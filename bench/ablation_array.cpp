@@ -1,0 +1,36 @@
+// Ablation (extension): decoder amortization in a multi-lane dot-product
+// array.  The Kulisch accumulator is shared across lanes while decoders,
+// multipliers and aligners replicate, so the per-lane cost drops with lane
+// count and the format comparison converges to the per-lane (decoder-
+// dominated) difference.
+#include <cstdio>
+
+#include "core/registry.h"
+#include "hw/dot_array.h"
+#include "rtl/sim.h"
+
+using namespace mersit;
+
+int main() {
+  std::printf("=== Ablation: dot-product array (shared Kulisch accumulator) ===\n\n");
+  const rtl::CellLibrary& lib = rtl::CellLibrary::nangate45_like();
+  std::printf("%-6s %14s %14s %14s %18s\n", "lanes", "FP(8,4) um^2",
+              "Posit(8,1)", "MERSIT(8,2)", "MERSIT vs Posit");
+  for (int i = 0; i < 72; ++i) std::putchar('-');
+  std::putchar('\n');
+  for (const int lanes : {1, 2, 4, 8, 16}) {
+    double area[3] = {};
+    int idx = 0;
+    for (const auto& fmt : core::headline_formats()) {
+      rtl::Netlist nl;
+      (void)hw::build_dot_array(nl, *fmt, lanes);
+      area[idx++] = lib.area_um2(nl);
+    }
+    std::printf("%-6d %14.0f %14.0f %14.0f %16.1f%%\n", lanes, area[0], area[1],
+                area[2], 100.0 * (1.0 - area[2] / area[1]));
+  }
+  std::printf("\nPer-lane area falls as the accumulator amortizes; the MERSIT-vs-\n"
+              "Posit saving persists because the replicated per-lane logic (45-bit\n"
+              "vs 35-bit aligners, decoders) is where the formats differ.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation: calibration scaling policy (DESIGN.md Section 5).
+//
+// kMaxToUnity (experiment default) parks the calibration maximum on the
+// format's precision sweet spot; kMaxToFormatMax stretches it to the top of
+// the representable range, pushing the data bulk into the fraction-poor top
+// binades of Posit/MERSIT.  This ablation regenerates the evidence for the
+// chosen default.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/registry.h"
+#include "ptq/ptq.h"
+
+using namespace mersit;
+
+int main() {
+  const auto sizes = bench::Sizes::from_env();
+  const nn::Dataset train = nn::make_vision_dataset(sizes.train, 3, sizes.img, 101);
+  const nn::Dataset test = nn::make_vision_dataset(sizes.test, 3, sizes.img, 102);
+  const nn::Dataset calib = nn::make_vision_dataset(sizes.calib, 3, sizes.img, 103);
+
+  std::printf("=== Ablation: calibration scaling policy (PTQ accuracy, %%) ===\n\n");
+
+  std::mt19937 rng(2024);
+  struct Entry {
+    const char* label;
+    nn::ModulePtr model;
+  };
+  Entry models[] = {
+      {"VGG16-mini", nn::make_vgg_mini(3, 10, rng)},
+      {"MobileNet_v3-mini", nn::make_mobilenet_v3_mini(3, 10, rng)},
+  };
+  const auto fmts = core::headline_formats();
+
+  for (auto& entry : models) {
+    bench::train_vision_model(*entry.model, train, sizes.epochs, 55);
+    nn::fold_all_batchnorms(*entry.model);
+    const float fp32 = ptq::evaluate_fp32(*entry.model, test, ptq::Metric::kAccuracy);
+    std::printf("%s (FP32 %.2f)\n", entry.label, fp32);
+    std::printf("  %-13s %14s %14s\n", "Format", "MaxToUnity", "MaxToFormatMax");
+    bench::print_rule(46);
+    for (const auto& fmt : fmts) {
+      ptq::PtqOptions unity;
+      unity.policy = formats::ScalePolicy::kMaxToUnity;
+      ptq::PtqOptions fmax;
+      fmax.policy = formats::ScalePolicy::kMaxToFormatMax;
+      std::printf("  %-13s %14.2f %14.2f\n", fmt->name().c_str(),
+                  ptq::evaluate_ptq(*entry.model, calib, test, *fmt, unity),
+                  ptq::evaluate_ptq(*entry.model, calib, test, *fmt, fmax));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("Expected: MaxToFormatMax severely hurts Posit/MERSIT (their top\n"
+              "binades carry no fraction bits) while barely moving FP8.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: Kulisch accumulator overflow-margin V (DESIGN.md Section 5).
+//
+// Sweeps V, reporting MAC area and the dot-product length at which the
+// exact accumulator first overflows under worst-case same-sign inputs and
+// under realistic gaussian data, justifying the documented V=6 default.
+#include <cstdio>
+#include <random>
+
+#include "core/registry.h"
+#include "hw/power.h"
+#include "hw/reference.h"
+#include "rtl/sim.h"
+
+using namespace mersit;
+
+namespace {
+
+/// First accumulation count at which the reference overflows (up to cap).
+int overflow_length(const formats::ExponentCodedFormat& fmt, int v, bool worst,
+                    int cap) {
+  hw::MacReference ref(fmt, v);
+  std::mt19937 rng(3);
+  std::normal_distribution<double> dist(0.0, 0.5);
+  const std::uint8_t max_code = fmt.encode(1e30);
+  for (int i = 1; i <= cap; ++i) {
+    if (worst) {
+      ref.accumulate(max_code, max_code);
+    } else {
+      ref.accumulate(fmt.encode(dist(rng)), fmt.encode(std::fabs(dist(rng))));
+    }
+    if (ref.overflowed()) return i;
+  }
+  return cap + 1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: accumulator overflow margin V ===\n\n");
+  const rtl::CellLibrary& lib = rtl::CellLibrary::nangate45_like();
+  for (const auto& fmt : core::headline_formats()) {
+    const auto* ef = dynamic_cast<const formats::ExponentCodedFormat*>(fmt.get());
+    std::printf("%s\n", fmt->name().c_str());
+    std::printf("  %3s %10s %12s %22s %22s\n", "V", "acc bits", "MAC um^2",
+                "overflow@worst-case", "overflow@gaussian");
+    for (int i = 0; i < 74; ++i) std::putchar('-');
+    std::putchar('\n');
+    for (const int v : {2, 4, 6, 8, 10}) {
+      rtl::Netlist nl;
+      const hw::MacPorts mac = hw::build_mac(nl, *fmt, v);
+      const int worst = overflow_length(*ef, v, true, 4096);
+      const int gauss = overflow_length(*ef, v, false, 100000);
+      std::printf("  %3d %10d %12.1f %21s%d %21s%d\n", v, mac.cfg.acc_width,
+                  lib.area_um2(nl), worst > 4096 ? ">" : "", std::min(worst, 4096),
+                  gauss > 100000 ? ">" : "", std::min(gauss, 100000));
+    }
+    std::printf("\n");
+  }
+  std::printf("V=6 absorbs thousands of realistic accumulations at a few percent\n"
+              "area cost; worst-case saturating inputs overflow any finite margin.\n");
+  return 0;
+}

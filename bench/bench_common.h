@@ -1,0 +1,60 @@
+// Shared helpers for the experiment-regeneration benches.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "nn/data.h"
+#include "nn/models.h"
+#include "nn/train.h"
+
+namespace mersit::bench {
+
+/// Experiment sizing; MERSIT_BENCH_FAST=1 shrinks everything for smoke runs.
+struct Sizes {
+  int train = 1280;
+  int test = 320;
+  int calib = 256;  ///< mirrors the paper's small calibration subset
+  int epochs = 5;
+  int img = 12;
+  int vocab = 48;
+  int seq = 18;
+  int bert_train = 2048;
+  int bert_test = 384;
+  int bert_epochs = 6;
+
+  static Sizes from_env() {
+    Sizes s;
+    const char* fast = std::getenv("MERSIT_BENCH_FAST");
+    if (fast != nullptr && fast[0] == '1') {
+      s.train = 320;
+      s.test = 128;
+      s.calib = 96;
+      s.epochs = 3;
+      s.bert_train = 384;
+      s.bert_test = 128;
+      s.bert_epochs = 2;
+    }
+    return s;
+  }
+};
+
+inline void print_rule(int width = 118) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// Train one vision model on the standard synthetic task.
+inline void train_vision_model(nn::Module& model, const nn::Dataset& train,
+                               int epochs, unsigned seed) {
+  nn::TrainOptions opt;
+  opt.epochs = epochs;
+  opt.batch = 32;
+  opt.lr = 2e-3f;
+  opt.shuffle_seed = seed;
+  (void)nn::train_classifier(model, train, opt);
+}
+
+}  // namespace mersit::bench

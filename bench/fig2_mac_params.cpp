@@ -1,0 +1,27 @@
+// Regenerates the Fig. 2 side table: dynamic range, P, M and W per format,
+// for the headline trio and every other configuration under study.
+#include <cstdio>
+
+#include "core/registry.h"
+#include "hw/mac.h"
+
+using namespace mersit;
+
+int main() {
+  std::printf("=== Fig. 2 table: MAC sizing per data format ===\n\n");
+  std::printf("%-14s %-18s %3s %3s %6s   W formula\n", "Format", "DynamicRange", "P",
+              "M", "W");
+  for (int i = 0; i < 64; ++i) std::putchar('-');
+  std::putchar('\n');
+  for (const auto& fmt : core::table2_formats()) {
+    const auto* ef = dynamic_cast<const formats::ExponentCodedFormat*>(fmt.get());
+    if (ef == nullptr) continue;  // INT8 has no exponent-coded MAC here
+    const hw::MacConfig cfg = hw::mac_config(*ef);
+    std::printf("%-14s 2^%-4d ~ 2^%-6d %3d %3d %6d   2*(%d+%d)+1\n",
+                fmt->name().c_str(), cfg.spec.emin, cfg.spec.emax, cfg.spec.p,
+                cfg.spec.m, cfg.w, -cfg.spec.emin, cfg.spec.emax);
+  }
+  std::printf("\nPaper values for the headline trio: FP(8,4) W=33, Posit(8,1) W=45, "
+              "MERSIT(8,2) W=35.\n");
+  return 0;
+}

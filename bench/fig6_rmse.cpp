@@ -1,0 +1,47 @@
+// Regenerates Fig. 6: quantization RMSE of FP(8,4), Posit(8,1) and
+// MERSIT(8,2) on the ResNet50 / MobileNet_v3 / EfficientNet_b0 analogues
+// (weights and activations, max-calibrated exactly as in the accuracy runs).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/registry.h"
+#include "ptq/ptq.h"
+
+using namespace mersit;
+
+int main() {
+  const auto sizes = bench::Sizes::from_env();
+  const nn::Dataset train = nn::make_vision_dataset(sizes.train, 3, sizes.img, 101);
+  const nn::Dataset calib = nn::make_vision_dataset(sizes.calib, 3, sizes.img, 103);
+
+  std::printf("=== Fig. 6: RMSE comparison (lower is better) ===\n\n");
+  std::printf("%-22s %-13s %14s %14s\n", "Model", "Format", "Weight RMSE",
+              "Activation RMSE");
+  bench::print_rule(68);
+
+  struct Entry {
+    const char* label;
+    nn::ModulePtr model;
+  };
+  std::mt19937 rng(2024);
+  Entry models[] = {
+      {"ResNet50-mini", nn::make_resnet_mini(3, 10, 2, rng)},
+      {"MobileNet_v3-mini", nn::make_mobilenet_v3_mini(3, 10, rng)},
+      {"EfficientNet_b0-mini", nn::make_efficientnet_b0_mini(3, 10, rng)},
+  };
+  const auto fmts = core::headline_formats();
+  for (auto& entry : models) {
+    bench::train_vision_model(*entry.model, train, sizes.epochs, 55);
+    nn::fold_all_batchnorms(*entry.model);
+    for (const auto& fmt : fmts) {
+      const ptq::RmseReport rep = ptq::measure_ptq_rmse(*entry.model, calib, *fmt);
+      std::printf("%-22s %-13s %14.5f %14.5f\n", entry.label, fmt->name().c_str(),
+                  rep.weight_rmse, rep.activation_rmse);
+      std::fflush(stdout);
+    }
+    bench::print_rule(68);
+  }
+  std::printf("\nExpected shape: MERSIT(8,2) slightly better than or comparable to\n"
+              "Posit(8,1), and notably lower than FP(8,4).\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Regenerates Fig. 7: area and power of the three synthesized MAC units
+// (FP(8,4), Posit(8,1), MERSIT(8,2)), power measured by replaying actual
+// quantized DNN tensor data through the gate-level netlists at 100 MHz.
+#include <cstdio>
+#include <random>
+
+#include "bench_common.h"
+#include "core/registry.h"
+#include "hw/power.h"
+#include "ptq/ptq.h"
+
+using namespace mersit;
+
+namespace {
+
+/// Quantized (weight, activation) pairs harvested from a trained model:
+/// first-layer weights against calibration-set activations, scaled with the
+/// experiment's max-calibration policy.
+hw::CodeStream dnn_stream(const formats::Format& fmt, std::size_t n) {
+  static const nn::Dataset calib = [] {
+    const auto sizes = bench::Sizes::from_env();
+    return nn::make_vision_dataset(sizes.calib, 3, sizes.img, 103);
+  }();
+  static const nn::ModulePtr model = [] {
+    const auto sizes = bench::Sizes::from_env();
+    const nn::Dataset train =
+        nn::make_vision_dataset(sizes.train / 2, 3, sizes.img, 101);
+    std::mt19937 rng(7);
+    auto m = nn::make_mobilenet_v3_mini(3, 10, rng);
+    bench::train_vision_model(*m, train, 2, 5);
+    nn::fold_all_batchnorms(*m);
+    return m;
+  }();
+
+  // Weights: every channel of every quantizable layer, flattened.
+  std::vector<float> weights;
+  for (nn::Module* m : model->modules()) {
+    if (auto* cw = dynamic_cast<nn::ChannelWeights*>(m)) {
+      for (int c = 0; c < cw->weight_channels(); ++c)
+        for (const float v : cw->channel_span(c)) weights.push_back(v);
+    }
+  }
+  const std::span<const float> acts = calib.inputs.data();
+  float wmax = 0.f, amax = 0.f;
+  for (const float v : weights) wmax = std::max(wmax, std::fabs(v));
+  for (const float v : acts) amax = std::max(amax, std::fabs(v));
+  std::vector<float> w(n), a(n);
+  std::mt19937 rng(99);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = weights[rng() % weights.size()];
+    a[i] = acts[rng() % acts.size()];
+  }
+  return hw::make_code_stream(fmt, w, a,
+                              formats::scale_for_absmax(fmt, wmax),
+                              formats::scale_for_absmax(fmt, amax));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 7: MAC area and power (45nm-like cell model, 100 MHz) ===\n\n");
+  const std::size_t kCycles = 2000;
+
+  std::vector<hw::MacCost> costs;
+  for (const auto& fmt : core::headline_formats())
+    costs.push_back(hw::measure_mac(*fmt, dnn_stream(*fmt, kCycles)));
+
+  std::printf("%-13s %12s %12s %8s %10s %10s\n", "Format", "Area(um^2)",
+              "Power(uW)", "Cells", "Area/Posit", "Pwr/Posit");
+  bench::print_rule(70);
+  const double pa = costs[1].area_um2, pp = costs[1].power_uw;
+  for (const auto& c : costs) {
+    std::printf("%-13s %12.1f %12.2f %8zu %9.1f%% %9.1f%%\n", c.format.c_str(),
+                c.area_um2, c.power_uw, c.cells, 100.0 * c.area_um2 / pa,
+                100.0 * c.power_uw / pp);
+  }
+
+  std::printf("\nPer-component breakdown:\n");
+  std::printf("%-13s %12s %12s %12s %12s %12s\n", "Format", "decoder", "exp_adder",
+              "frac_mult", "aligner", "accum");
+  bench::print_rule(78);
+  for (const auto& c : costs) {
+    std::printf("%-13s", c.format.c_str());
+    for (const char* part :
+         {"decoder", "exp_adder", "frac_multiplier", "aligner", "accumulator"})
+      std::printf(" %7.0f/%4.1f", c.component(part).area_um2,
+                  c.component(part).power_uw);
+    std::printf("   (area um^2 / power uW)\n");
+  }
+
+  const double save_area = 100.0 * (1.0 - costs[2].area_um2 / costs[1].area_um2);
+  const double save_pwr = 100.0 * (1.0 - costs[2].power_uw / costs[1].power_uw);
+  std::printf("\nMERSIT(8,2) vs Posit(8,1): %.1f%% area saving, %.1f%% power saving\n",
+              save_area, save_pwr);
+  std::printf("(paper: 26.6%% area, 22.2%% power; MERSIT ~11%% larger than FP(8,4))\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// google-benchmark microbenchmarks: codec encode/decode throughput and
+// gate-level MAC simulation rate.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "core/mersit.h"
+#include "core/registry.h"
+#include "formats/quantize.h"
+#include "hw/mac.h"
+#include "hw/reference.h"
+#include "rtl/sim.h"
+
+using namespace mersit;
+
+namespace {
+
+std::vector<double> random_values(std::size_t n) {
+  std::mt19937 rng(11);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+void BM_EncodeTable(benchmark::State& state, const char* name) {
+  const auto fmt = core::make_format(name);
+  (void)fmt->codec();  // build tables outside the loop
+  const auto vals = random_values(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fmt->encode(vals[i++ & 4095]));
+  }
+}
+
+void BM_EncodeDirectMersit(benchmark::State& state) {
+  const core::MersitFormat& fmt = core::mersit_8_2();
+  const auto vals = random_values(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fmt.encode_direct(vals[i++ & 4095]));
+  }
+}
+
+void BM_DecodeMersit(benchmark::State& state) {
+  const core::MersitFormat& fmt = core::mersit_8_2();
+  std::uint8_t c = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fmt.decode_value(c++));
+  }
+}
+
+void BM_QuantizeBuffer(benchmark::State& state, const char* name) {
+  const auto fmt = core::make_format(name);
+  (void)fmt->codec();
+  std::vector<float> buf(static_cast<std::size_t>(state.range(0)));
+  std::mt19937 rng(3);
+  std::normal_distribution<float> dist(0.f, 1.f);
+  for (auto& v : buf) v = dist(rng);
+  for (auto _ : state) {
+    std::vector<float> copy = buf;
+    formats::fake_quantize(copy, *fmt, 1.0);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_MacNetlistCycle(benchmark::State& state, const char* name) {
+  const auto fmt = core::make_format(name);
+  rtl::Netlist nl;
+  const hw::MacPorts mac = hw::build_mac(nl, *fmt);
+  rtl::Simulator sim(nl);
+  std::mt19937 rng(5);
+  for (auto _ : state) {
+    sim.set_input_bus(mac.wdec.code, rng() & 0xFF);
+    sim.set_input_bus(mac.adec.code, rng() & 0xFF);
+    sim.eval();
+    sim.clock();
+    benchmark::DoNotOptimize(sim.get(mac.acc[0]));
+  }
+}
+
+void BM_MacReference(benchmark::State& state) {
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  const auto* ef = dynamic_cast<const formats::ExponentCodedFormat*>(fmt.get());
+  hw::MacReference ref(*ef);
+  std::mt19937 rng(5);
+  for (auto _ : state) {
+    ref.accumulate(static_cast<std::uint8_t>(rng()), static_cast<std::uint8_t>(rng()));
+    benchmark::DoNotOptimize(ref.acc_raw());
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_EncodeTable, mersit82, "MERSIT(8,2)");
+BENCHMARK_CAPTURE(BM_EncodeTable, posit81, "Posit(8,1)");
+BENCHMARK_CAPTURE(BM_EncodeTable, fp84, "FP(8,4)");
+BENCHMARK_CAPTURE(BM_EncodeTable, int8, "INT8");
+BENCHMARK(BM_EncodeDirectMersit);
+BENCHMARK(BM_DecodeMersit);
+BENCHMARK_CAPTURE(BM_QuantizeBuffer, mersit82, "MERSIT(8,2)")->Arg(4096);
+BENCHMARK_CAPTURE(BM_QuantizeBuffer, fp84, "FP(8,4)")->Arg(4096);
+BENCHMARK_CAPTURE(BM_MacNetlistCycle, mersit82, "MERSIT(8,2)");
+BENCHMARK_CAPTURE(BM_MacNetlistCycle, posit81, "Posit(8,1)");
+BENCHMARK_CAPTURE(BM_MacNetlistCycle, fp84, "FP(8,4)");
+BENCHMARK(BM_MacReference);
+
+BENCHMARK_MAIN();

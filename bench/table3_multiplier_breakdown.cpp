@@ -1,0 +1,91 @@
+// Regenerates Table 3: the multiplier breakdown (decoder / exponent-adder /
+// fraction-multiplier) for FP(8,4), Posit(8,1) and MERSIT(8,2), plus the
+// introduction's claim that a Posit8 multiplier costs ~80% more area and
+// ~46% more power than its FP8 equivalent.
+#include <cstdio>
+#include <random>
+
+#include "bench_common.h"
+#include "core/registry.h"
+#include "formats/fp8.h"
+#include "formats/posit.h"
+#include "hw/power.h"
+#include "rtl/sim.h"
+
+using namespace mersit;
+
+namespace {
+
+hw::CodeStream gaussian_stream(const formats::Format& fmt, std::size_t n) {
+  std::mt19937 rng(31);
+  std::normal_distribution<float> dist(0.f, 0.25f);
+  std::vector<float> w(n), a(n);
+  for (auto& v : w) v = dist(rng);
+  for (auto& v : a) v = std::fabs(dist(rng));
+  return hw::make_code_stream(fmt, w, a, 1.0, 1.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 3: multiplier breakdown analysis ===\n\n");
+  std::vector<hw::MacCost> costs;
+  for (const auto& fmt : core::headline_formats())
+    costs.push_back(hw::measure_mac(*fmt, gaussian_stream(*fmt, 2000)));
+
+  std::printf("%-22s", "Area (um^2)");
+  for (const auto& c : costs) std::printf(" %12s", c.format.c_str());
+  std::printf("\n");
+  bench::print_rule(62);
+  for (const char* part : {"decoder", "exp_adder", "frac_multiplier"}) {
+    std::printf("%-22s", part);
+    for (const auto& c : costs) std::printf(" %12.1f", c.component(part).area_um2);
+    std::printf("\n");
+  }
+  std::printf("%-22s", "Total (multiplier)");
+  for (const auto& c : costs) std::printf(" %12.1f", c.multiplier().area_um2);
+  std::printf("\n\n");
+
+  std::printf("%-22s", "Power (uW)");
+  for (const auto& c : costs) std::printf(" %12s", c.format.c_str());
+  std::printf("\n");
+  bench::print_rule(62);
+  for (const char* part : {"decoder", "exp_adder", "frac_multiplier"}) {
+    std::printf("%-22s", part);
+    for (const auto& c : costs) std::printf(" %12.2f", c.component(part).power_uw);
+    std::printf("\n");
+  }
+  std::printf("%-22s", "Total (multiplier)");
+  for (const auto& c : costs) std::printf(" %12.2f", c.multiplier().power_uw);
+  std::printf("\n\n");
+
+  const auto& fp = costs[0];
+  const auto& ps = costs[1];
+  const auto& me = costs[2];
+  std::printf("Posit(8,1) multiplier vs FP(8,4): +%.0f%% area, +%.0f%% power "
+              "(paper Section 1: +80%% area, +46%% power)\n",
+              100.0 * (ps.multiplier().area_um2 / fp.multiplier().area_um2 - 1.0),
+              100.0 * (ps.multiplier().power_uw / fp.multiplier().power_uw - 1.0));
+  std::printf("MERSIT(8,2) decoder vs Posit(8,1) decoder: %.1f%% area saving "
+              "(paper: 59.2%%)\n\n",
+              100.0 * (1.0 - me.component("decoder").area_um2 /
+                                 ps.component("decoder").area_um2));
+
+  // Critical path (Section 4.1 note: the MERSIT decoder is faster than the
+  // Posit one); both synthesis corners of the MERSIT exponent unit.
+  std::printf("Decoder critical path (logic levels):\n");
+  const rtl::CellLibrary& lib = rtl::CellLibrary::nangate45_like();
+  for (const auto& fmt : core::headline_formats()) {
+    for (const auto style : {hw::DecoderStyle::kCompact, hw::DecoderStyle::kFast}) {
+      rtl::Netlist nl;
+      (void)hw::build_decoder(nl, *fmt, style);
+      std::printf("  %-13s %-8s depth %2d  area %6.1f um^2\n", fmt->name().c_str(),
+                  style == hw::DecoderStyle::kFast ? "fast" : "compact",
+                  rtl::logic_depth(nl), lib.area_um2(nl));
+      if (dynamic_cast<const formats::Fp8Format*>(fmt.get()) != nullptr ||
+          dynamic_cast<const formats::PaperPosit8*>(fmt.get()) != nullptr)
+        break;  // single implementation
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Format explorer: dump every representable value of any 8-bit format, or
+// compare quantization error across formats on a chosen distribution.
+//
+//   ./format_explorer MERSIT(8,2)          # dump the value table
+//   ./format_explorer MERSIT(8,2) gauss    # RMSE on gaussian data
+//   ./format_explorer list                 # list known formats
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "core/registry.h"
+#include "formats/quantize.h"
+
+using namespace mersit;
+
+namespace {
+
+void dump_values(const formats::Format& fmt) {
+  std::printf("%s: %zu finite positive values, minpos %.3e, max %.6g\n\n",
+              fmt.name().c_str(), fmt.codec().cardinality(), fmt.min_positive(),
+              fmt.max_finite());
+  std::printf("%6s %10s  %s\n", "code", "value", "(ascending positive values)");
+  for (const auto& e : fmt.codec().positives())
+    std::printf("  0x%02X %12.6g\n", e.code, e.value);
+}
+
+void rmse_comparison(const std::string& dist_name) {
+  std::mt19937 rng(17);
+  std::vector<float> data(65536);
+  float absmax = 0.f;
+  for (auto& v : data) {
+    if (dist_name == "uniform") {
+      v = std::uniform_real_distribution<float>(-1.f, 1.f)(rng);
+    } else if (dist_name == "lognormal") {
+      v = std::lognormal_distribution<float>(0.f, 1.5f)(rng) *
+          ((rng() & 1) ? 1.f : -1.f);
+    } else {
+      v = std::normal_distribution<float>(0.f, 1.f)(rng);
+    }
+    absmax = std::max(absmax, std::fabs(v));
+  }
+  std::printf("Quantization RMSE on %s data (max-calibrated, %zu samples)\n\n",
+              dist_name.c_str(), data.size());
+  std::printf("%-14s %12s\n", "Format", "RMSE");
+  for (const auto& fmt : core::table2_formats()) {
+    const double scale = formats::scale_for_absmax(*fmt, absmax);
+    std::printf("%-14s %12.6f\n", fmt->name().c_str(),
+                formats::quantization_rmse(data, *fmt, scale));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "list") == 0) {
+    std::printf("Known formats:\n");
+    for (const auto& fmt : core::table2_formats())
+      std::printf("  %s\n", fmt->name().c_str());
+    std::printf("  StdPosit(8,0..3)\n");
+    std::printf("\nUsage: %s <format> [gauss|uniform|lognormal]\n",
+                argc > 0 ? argv[0] : "format_explorer");
+    return argc < 2 ? 1 : 0;
+  }
+  try {
+    const auto fmt = core::make_format(argv[1]);
+    if (argc >= 3) {
+      rmse_comparison(argv[2]);
+    } else {
+      dump_values(*fmt);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// End-to-end PTQ pipeline on one model: train FP32 -> fold BN -> calibrate
+// -> quantize into several formats -> report accuracy, exactly as the
+// Table-2 experiments do but small enough to run in under a minute.
+//
+//   ./ptq_pipeline [model]    model in {vgg, resnet, mobilenet_v2,
+//                             mobilenet_v3, efficientnet_b0, efficientnet_v2}
+#include <cstdio>
+#include <cstring>
+
+#include "core/registry.h"
+#include "nn/data.h"
+#include "ptq/ptq.h"
+
+using namespace mersit;
+
+int main(int argc, char** argv) {
+  const char* which = argc > 1 ? argv[1] : "mobilenet_v3";
+  std::mt19937 rng(1);
+  nn::ModulePtr model;
+  if (std::strcmp(which, "vgg") == 0) model = nn::make_vgg_mini(3, 10, rng);
+  else if (std::strcmp(which, "resnet") == 0) model = nn::make_resnet_mini(3, 10, 2, rng);
+  else if (std::strcmp(which, "mobilenet_v2") == 0) model = nn::make_mobilenet_v2_mini(3, 10, rng);
+  else if (std::strcmp(which, "mobilenet_v3") == 0) model = nn::make_mobilenet_v3_mini(3, 10, rng);
+  else if (std::strcmp(which, "efficientnet_b0") == 0) model = nn::make_efficientnet_b0_mini(3, 10, rng);
+  else if (std::strcmp(which, "efficientnet_v2") == 0) model = nn::make_efficientnet_v2_mini(3, 10, rng);
+  else {
+    std::fprintf(stderr, "unknown model '%s'\n", which);
+    return 1;
+  }
+  std::printf("Model: %s-mini (%lld parameters)\n", which,
+              static_cast<long long>(nn::parameter_count(*model)));
+
+  // 1. Train in FP32 on the synthetic vision task.
+  const nn::Dataset train = nn::make_vision_dataset(640, 3, 12, 101);
+  const nn::Dataset test = nn::make_vision_dataset(256, 3, 12, 102);
+  const nn::Dataset calib = nn::make_vision_dataset(128, 3, 12, 103);
+  nn::TrainOptions opt;
+  opt.epochs = 4;
+  opt.batch = 32;
+  opt.lr = 2e-3f;
+  opt.verbose = true;
+  std::printf("Training (%d samples, %d epochs)...\n", train.size(), opt.epochs);
+  (void)nn::train_classifier(*model, train, opt);
+
+  // 2. Fold batch norms (PTQ operates on deployment-form weights).
+  nn::fold_all_batchnorms(*model);
+  const float fp32 = ptq::evaluate_fp32(*model, test, ptq::Metric::kAccuracy);
+  std::printf("\nFP32 accuracy: %.2f%%\n\n", fp32);
+
+  // 3. Calibrate + quantize + evaluate per format.
+  std::printf("%-14s %10s %10s\n", "Format", "Accuracy", "vs FP32");
+  for (const char* name : {"INT8", "FP(8,2)", "FP(8,4)", "Posit(8,1)",
+                           "MERSIT(8,2)", "MERSIT(8,3)"}) {
+    const auto fmt = core::make_format(name);
+    const float acc = ptq::evaluate_ptq(*model, calib, test, *fmt);
+    std::printf("%-14s %9.2f%% %+9.2f\n", name, acc, acc - fp32);
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Quickstart: encode/decode MERSIT values, inspect fields, compare formats.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "core/mersit.h"
+#include "core/registry.h"
+#include "formats/quantize.h"
+
+using namespace mersit;
+
+int main() {
+  const core::MersitFormat& m82 = core::mersit_8_2();
+
+  // 1. Encode a real number into MERSIT(8,2) and look at the fields.
+  const double x = 3.14159;
+  const std::uint8_t code = m82.encode(x);
+  const core::MersitFormat::Fields f = m82.fields(code);
+  std::printf("MERSIT(8,2) encode(%.5f) = 0x%02X\n", x, code);
+  std::printf("  sign=%d ks=%d g=%d k=%d exp=%d frac=0x%X (%d bits)\n", f.sign,
+              f.ks, f.g, f.k, f.exp, f.frac, f.frac_bits);
+  std::printf("  value = %.6f (quantization error %.2e)\n\n", m82.decode_value(code),
+              m82.decode_value(code) - x);
+
+  // 2. Round-trip a few values through every format in the paper.
+  std::printf("%-12s", "value");
+  for (const auto& fmt : core::headline_formats())
+    std::printf(" %12s", fmt->name().c_str());
+  std::printf("\n");
+  for (const double v : {0.001, 0.1, 1.0, 7.3, 100.0, 900.0}) {
+    std::printf("%-12g", v);
+    for (const auto& fmt : core::headline_formats())
+      std::printf(" %12.5f", fmt->quantize(v));
+    std::printf("\n");
+  }
+
+  // 3. Special values: MERSIT neither underflows nor overflows.
+  std::printf("\nMERSIT(8,2): min positive %.3e, max finite %.1f\n",
+              m82.min_positive(), m82.max_finite());
+  std::printf("quantize(1e-30) = %.3e (clamps to minpos, Posit semantics)\n",
+              m82.quantize(1e-30));
+  std::printf("quantize(1e+30) = %.1f (saturates, never inf)\n", m82.quantize(1e30));
+
+  // 4. Scaled fake-quantization as the PTQ pipeline uses it.
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  const double absmax = 37.4;  // e.g. a calibration maximum
+  const double scale = formats::scale_for_absmax(*fmt, absmax);
+  std::printf("\nPTQ-style: absmax %.1f -> scale %.4f, fake_quantize(12.7) = %.4f\n",
+              absmax, scale, formats::fake_quantize_value(12.7, *fmt, scale));
+  return 0;
+}

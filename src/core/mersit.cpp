@@ -1,0 +1,238 @@
+#include "core/mersit.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace mersit::core {
+
+MersitFormat::MersitFormat(int nbits, int es)
+    : nbits_(nbits), es_(es), groups_((nbits - 2) / (es > 0 ? es : 1)) {
+  if (nbits != 8) throw std::invalid_argument("MersitFormat: only 8-bit words supported");
+  if (es < 1 || (nbits - 2) % es != 0)
+    throw std::invalid_argument("MersitFormat: es must divide nbits-2");
+}
+
+std::string MersitFormat::name() const {
+  return "MERSIT(" + std::to_string(nbits_) + "," + std::to_string(es_) + ")";
+}
+
+std::uint32_t MersitFormat::ec(std::uint8_t code, int i) const {
+  const int shift = (groups_ - 1 - i) * es_;
+  return (static_cast<std::uint32_t>(code) >> shift) & ((1u << es_) - 1u);
+}
+
+MersitFormat::Fields MersitFormat::fields(std::uint8_t code) const {
+  Fields f;
+  f.sign = (code & 0x80u) != 0;
+  f.ks = (code & 0x40u) != 0;
+  const std::uint32_t ec_all_ones = (1u << es_) - 1u;
+
+  int g = -1;
+  for (int i = 0; i < groups_; ++i) {
+    if (ec(code, i) != ec_all_ones) {
+      g = i;
+      break;
+    }
+  }
+  if (g < 0) {  // every EC is all-ones: zero or NaR
+    f.is_zero = !f.ks;
+    f.is_nar = f.ks;
+    return f;
+  }
+  f.g = g;
+  f.k = f.ks ? g : -(g + 1);
+  f.exp = static_cast<int>(ec(code, g));
+  f.frac_bits = frac_bits_for_group(g);
+  f.frac = static_cast<std::uint32_t>(code) & ((1u << f.frac_bits) - 1u);
+  return f;
+}
+
+std::uint8_t MersitFormat::pack(const Fields& f) const {
+  const std::uint32_t sign_bit = f.sign ? 0x80u : 0u;
+  const std::uint32_t ec_all_ones = (1u << es_) - 1u;
+  if (f.is_zero) return static_cast<std::uint8_t>(0x3Fu);
+  if (f.is_nar) return static_cast<std::uint8_t>(sign_bit | 0x7Fu);
+  assert(f.g >= 0 && f.g < groups_);
+  assert(f.exp >= 0 && static_cast<std::uint32_t>(f.exp) < ec_all_ones);
+  std::uint32_t body = f.ks ? 0x40u : 0u;
+  for (int i = 0; i < f.g; ++i)
+    body |= ec_all_ones << ((groups_ - 1 - i) * es_);
+  body |= static_cast<std::uint32_t>(f.exp) << ((groups_ - 1 - f.g) * es_);
+  const int fb = frac_bits_for_group(f.g);
+  assert(f.frac < (1u << fb) || fb == 0);
+  body |= f.frac & (fb > 0 ? (1u << fb) - 1u : 0u);
+  return static_cast<std::uint8_t>(sign_bit | body);
+}
+
+formats::Decoded MersitFormat::decode(std::uint8_t code) const {
+  const Fields f = fields(code);
+  formats::Decoded d;
+  d.sign = f.sign;
+  if (f.is_zero) {
+    d.cls = formats::ValueClass::kZero;
+    return d;
+  }
+  if (f.is_nar) {
+    d.cls = formats::ValueClass::kInf;
+    return d;
+  }
+  d.cls = formats::ValueClass::kFinite;
+  d.exponent = f.effective_exponent(es_);
+  d.fraction = f.frac;
+  d.frac_bits = f.frac_bits;
+  return d;
+}
+
+std::uint8_t MersitFormat::zero_code() const { return 0x3Fu; }
+std::uint8_t MersitFormat::nar_code() const { return 0x7Fu; }
+
+std::uint8_t MersitFormat::max_code() const {
+  Fields f;
+  f.ks = true;
+  f.g = groups_ - 1;
+  f.exp = (1 << es_) - 2;
+  return pack(f);
+}
+
+std::uint8_t MersitFormat::min_pos_code() const {
+  Fields f;
+  f.ks = false;
+  f.g = groups_ - 1;
+  f.exp = 0;
+  return pack(f);
+}
+
+namespace {
+
+/// floor division for possibly-negative numerators.
+int floor_div(int a, int b) {
+  int q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+}  // namespace
+
+std::uint8_t MersitFormat::encode_direct(double x) const {
+  if (std::isnan(x) || x == 0.0) return zero_code();
+  const bool sign = x < 0.0;
+  const std::uint32_t sign_bit = sign ? 0x80u : 0u;
+  const double a = std::fabs(x);
+  const int w = regime_weight();
+
+  const double max_val = std::ldexp(1.0, max_eff_exponent());  // max has no frac bits
+  const double min_val = std::ldexp(1.0, min_eff_exponent());
+  if (a >= max_val) return static_cast<std::uint8_t>(max_code() | sign_bit);
+  if (a <= min_val) return static_cast<std::uint8_t>(min_pos_code() | sign_bit);
+
+  int e = 0;
+  (void)std::frexp(a, &e);
+  e -= 1;  // a = 1.xxx * 2^e,  min_eff <= e <= max_eff here
+
+  // Map the effective exponent to (k, exp, g, frac_bits) for this binade.
+  const auto binade_fields = [&](int eff) {
+    Fields f;
+    f.sign = sign;
+    f.k = floor_div(eff, w);
+    f.exp = eff - f.k * w;
+    f.ks = f.k >= 0;
+    f.g = f.ks ? f.k : -f.k - 1;
+    f.frac_bits = frac_bits_for_group(f.g);
+    return f;
+  };
+
+  Fields f = binade_fields(e);
+  const double scaled = std::ldexp(a, f.frac_bits - e);  // in [2^fb, 2^(fb+1))
+  const double fl = std::floor(scaled);
+  const double rem = scaled - fl;
+  auto lattice = static_cast<std::uint32_t>(fl);
+
+  const auto make_code = [&](int eff, std::uint32_t significand) -> std::uint8_t {
+    // significand includes the hidden bit at position frac_bits of its binade.
+    Fields bf = binade_fields(eff);
+    bf.frac = significand & ((bf.frac_bits > 0 ? (1u << bf.frac_bits) : 1u) - 1u);
+    if (bf.frac_bits == 0) bf.frac = 0;
+    return pack(bf);
+  };
+
+  const auto round_up_code = [&]() -> std::uint8_t {
+    if (lattice + 1u == (2u << f.frac_bits)) {  // carry into the next binade
+      if (e + 1 > max_eff_exponent()) return max_code();
+      return make_code(e + 1, 1u << binade_fields(e + 1).frac_bits);
+    }
+    return make_code(e, lattice + 1u);
+  };
+
+  std::uint8_t body;
+  if (rem < 0.5) {
+    body = make_code(e, lattice);
+  } else if (rem > 0.5) {
+    body = round_up_code();
+  } else {
+    // Exact tie: same rule as TableCodec — the lower neighbour wins when its
+    // code is even, otherwise the upper neighbour.
+    const std::uint8_t lo = make_code(e, lattice);
+    body = ((lo & 1u) == 0) ? lo : round_up_code();
+  }
+  return static_cast<std::uint8_t>(body | sign_bit);
+}
+
+std::vector<MersitFormat::TableRow> MersitFormat::decode_table() const {
+  std::vector<TableRow> rows;
+  const auto body_pattern = [&](std::uint8_t code, int frac_bits) {
+    std::string s;
+    for (int b = 6; b >= 0; --b) {
+      if (b < frac_bits)
+        s += 'x';
+      else
+        s += ((code >> b) & 1u) ? '1' : '0';
+    }
+    return s;
+  };
+  // Zero row first (smallest "value"), then ascending effective exponent,
+  // then NaR, mirroring Table 1's layout.
+  {
+    TableRow r;
+    r.body = body_pattern(zero_code(), 0);
+    r.special = true;
+    r.label = "zero";
+    rows.push_back(r);
+  }
+  for (int eff = min_eff_exponent(); eff <= max_eff_exponent(); ++eff) {
+    Fields f;
+    f.k = floor_div(eff, regime_weight());
+    f.exp = eff - f.k * regime_weight();
+    f.ks = f.k >= 0;
+    f.g = f.ks ? f.k : -f.k - 1;
+    const std::uint8_t code = pack(f);
+    TableRow r;
+    r.k = f.k;
+    r.exp = f.exp;
+    r.eff_exp = eff;
+    r.frac_bits = frac_bits_for_group(f.g);
+    r.body = body_pattern(code, r.frac_bits);
+    rows.push_back(r);
+  }
+  {
+    TableRow r;
+    r.body = body_pattern(nar_code(), 0);
+    r.special = true;
+    r.label = "+/-inf";
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+const MersitFormat& mersit_8_2() {
+  static const MersitFormat fmt(8, 2);
+  return fmt;
+}
+
+const MersitFormat& mersit_8_3() {
+  static const MersitFormat fmt(8, 3);
+  return fmt;
+}
+
+}  // namespace mersit::core

@@ -1,0 +1,114 @@
+// MERSIT(N,es): the paper's 8-bit Posit-like format with merged exponent and
+// regime (Section 3, Fig. 3, Table 1).
+//
+// Word layout (MSB..LSB):
+//   sign | ks | EC[0] | EC[1] | ... | EC[G-1]
+// where each exponent candidate EC[i] is an es-bit group and G = (N-2)/es.
+//
+// Decoding rule:
+//   * g  = index of the first EC (from the MSB side) that is NOT all-ones,
+//          i.e. the first EC "incorporating a leading zero" — in hardware each
+//          EC is AND-gated and a small LZD finds the first zero output.
+//   * exp = value of EC[g] (necessarily <= 2^es - 2).
+//   * k   = g        if ks == 1   (non-negative regime)
+//           -(g+1)   if ks == 0   (negative regime)
+//   * fraction = all bits below EC[g];  frac_bits = (G-1-g) * es.
+//   * value = (-1)^sign * 2^((2^es - 1)*k + exp) * (1 + .frac)      (Eq. 1)
+//
+// Special patterns (all ECs all-ones, so no exponent is found):
+//   * ks == 0  =>  zero   (body 0111111 for N=8; Table 1)
+//   * ks == 1  =>  +/-inf ("NaR"; body 1111111)
+//
+// Like Posit, MERSIT neither underflows to zero nor overflows to inf when
+// rounding: magnitudes saturate at minpos / maxpos.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "formats/format.h"
+
+namespace mersit::core {
+
+class MersitFormat final : public formats::ExponentCodedFormat {
+ public:
+  /// Decoded structural fields of one MERSIT word.
+  struct Fields {
+    bool sign = false;
+    bool ks = false;       ///< regime sign indicator
+    bool is_zero = false;
+    bool is_nar = false;   ///< +/-inf ("not a real")
+    int g = 0;             ///< index of the exponent EC
+    int k = 0;             ///< regime value (Eq. 2)
+    int exp = 0;           ///< exponent value (0 .. 2^es-2)
+    std::uint32_t frac = 0;
+    int frac_bits = 0;
+    /// Effective exponent (2^es - 1) * k + exp.
+    [[nodiscard]] int effective_exponent(int es) const {
+      return ((1 << es) - 1) * k + exp;
+    }
+  };
+
+  /// One row of the Table-1 style decode listing.
+  struct TableRow {
+    std::string body;      ///< 7-bit body pattern with fraction bits as 'x'
+    bool special = false;  ///< zero / inf row
+    int k = 0;
+    int exp = 0;
+    int eff_exp = 0;
+    int frac_bits = 0;
+    std::string label;     ///< "zero" / "+/-inf" for special rows
+  };
+
+  /// `nbits` must be 8 (code words are bytes); `es` >= 1 with (nbits-2) % es == 0.
+  MersitFormat(int nbits, int es);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] formats::Decoded decode(std::uint8_t code) const override;
+  [[nodiscard]] bool underflows_to_zero() const override { return false; }
+
+  /// Structural decode (regime sign, group index, merged fields).
+  [[nodiscard]] Fields fields(std::uint8_t code) const;
+
+  /// Inverse of fields(); `f.exp` must be <= 2^es-2 and `f.g` < groups().
+  [[nodiscard]] std::uint8_t pack(const Fields& f) const;
+
+  /// Direct algorithmic round-to-nearest encode (saturating, no-underflow
+  /// Posit semantics, ties resolved exactly as Format::encode's table codec).
+  [[nodiscard]] std::uint8_t encode_direct(double x) const;
+
+  [[nodiscard]] int es() const { return es_; }
+  [[nodiscard]] int groups() const { return groups_; }
+  /// Regime weight (2^es - 1), the multiplier in Eq. 1.
+  [[nodiscard]] int regime_weight() const { return (1 << es_) - 1; }
+  /// Fraction width of words whose exponent sits in EC[g].
+  [[nodiscard]] int frac_bits_for_group(int g) const { return (groups_ - 1 - g) * es_; }
+  /// Smallest effective exponent: -(2^es - 1) * G.
+  [[nodiscard]] int min_eff_exponent() const { return -regime_weight() * groups_; }
+  /// Largest effective exponent: (2^es - 1)*(G-1) + 2^es - 2.
+  [[nodiscard]] int max_eff_exponent() const {
+    return regime_weight() * (groups_ - 1) + (1 << es_) - 2;
+  }
+
+  [[nodiscard]] std::uint8_t zero_code() const;      ///< +0 pattern
+  [[nodiscard]] std::uint8_t nar_code() const;       ///< +inf pattern
+  [[nodiscard]] std::uint8_t max_code() const;       ///< largest finite
+  [[nodiscard]] std::uint8_t min_pos_code() const;   ///< smallest positive
+
+  /// Regenerates the paper's Table 1 (all body patterns, ascending eff. exp).
+  [[nodiscard]] std::vector<TableRow> decode_table() const;
+
+ private:
+  [[nodiscard]] std::uint32_t ec(std::uint8_t code, int i) const;
+
+  int nbits_;
+  int es_;
+  int groups_;
+};
+
+/// Convenience singletons for the two configurations studied in the paper.
+const MersitFormat& mersit_8_2();
+const MersitFormat& mersit_8_3();
+
+}  // namespace mersit::core

@@ -1,0 +1,168 @@
+#include "core/mersit_wide.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mersit::core {
+
+namespace {
+
+int floor_div(int a, int b) {
+  int q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+}  // namespace
+
+WideMersit::WideMersit(int nbits, int es)
+    : nbits_(nbits), es_(es), groups_(es >= 1 ? (nbits - 2) / es : 0) {
+  if (nbits < 4 || nbits > 16)
+    throw std::invalid_argument("WideMersit: nbits must be in [4, 16]");
+  if (es < 1 || (nbits - 2) % es != 0)
+    throw std::invalid_argument("WideMersit: es must divide nbits-2");
+}
+
+std::uint32_t WideMersit::ec(std::uint16_t code, int i) const {
+  const int shift = (groups_ - 1 - i) * es_;
+  return (static_cast<std::uint32_t>(code) >> shift) & ((1u << es_) - 1u);
+}
+
+WideMersit::Fields WideMersit::fields(std::uint16_t code) const {
+  Fields f;
+  f.sign = ((code >> (nbits_ - 1)) & 1u) != 0;
+  f.ks = ((code >> (nbits_ - 2)) & 1u) != 0;
+  const std::uint32_t ones = (1u << es_) - 1u;
+  int g = -1;
+  for (int i = 0; i < groups_; ++i) {
+    if (ec(code, i) != ones) {
+      g = i;
+      break;
+    }
+  }
+  if (g < 0) {
+    f.is_zero = !f.ks;
+    f.is_nar = f.ks;
+    return f;
+  }
+  f.g = g;
+  f.k = f.ks ? g : -(g + 1);
+  f.exp = static_cast<int>(ec(code, g));
+  f.frac_bits = (groups_ - 1 - g) * es_;
+  f.frac = static_cast<std::uint32_t>(code) & ((1u << f.frac_bits) - 1u);
+  return f;
+}
+
+std::uint16_t WideMersit::pack(const Fields& f) const {
+  const std::uint32_t sign_bit = f.sign ? (1u << (nbits_ - 1)) : 0u;
+  const std::uint32_t ks_bit = 1u << (nbits_ - 2);
+  const std::uint32_t ones = (1u << es_) - 1u;
+  const std::uint32_t body_ones = (1u << (nbits_ - 2)) - 1u;
+  if (f.is_zero) return static_cast<std::uint16_t>(body_ones);
+  if (f.is_nar) return static_cast<std::uint16_t>(sign_bit | ks_bit | body_ones);
+  assert(f.g >= 0 && f.g < groups_);
+  assert(f.exp >= 0 && static_cast<std::uint32_t>(f.exp) < ones);
+  std::uint32_t body = f.ks ? ks_bit : 0u;
+  for (int i = 0; i < f.g; ++i) body |= ones << ((groups_ - 1 - i) * es_);
+  body |= static_cast<std::uint32_t>(f.exp) << ((groups_ - 1 - f.g) * es_);
+  const int fb = (groups_ - 1 - f.g) * es_;
+  body |= f.frac & ((fb > 0 ? (1u << fb) : 1u) - 1u);
+  return static_cast<std::uint16_t>(sign_bit | body);
+}
+
+double WideMersit::decode_value(std::uint16_t code) const {
+  const Fields f = fields(code);
+  if (f.is_zero) return 0.0;
+  if (f.is_nar)
+    return f.sign ? -std::numeric_limits<double>::infinity()
+                  : std::numeric_limits<double>::infinity();
+  const int eff = regime_weight() * f.k + f.exp;
+  const double sig =
+      1.0 + static_cast<double>(f.frac) / std::ldexp(1.0, f.frac_bits);
+  const double mag = std::ldexp(sig, eff);
+  return f.sign ? -mag : mag;
+}
+
+std::uint16_t WideMersit::zero_code() const {
+  return static_cast<std::uint16_t>((1u << (nbits_ - 2)) - 1u);
+}
+std::uint16_t WideMersit::nar_code() const {
+  return static_cast<std::uint16_t>((1u << (nbits_ - 1)) - 1u);
+}
+std::uint16_t WideMersit::max_code() const {
+  Fields f;
+  f.ks = true;
+  f.g = groups_ - 1;
+  f.exp = (1 << es_) - 2;
+  return pack(f);
+}
+std::uint16_t WideMersit::min_pos_code() const {
+  Fields f;
+  f.ks = false;
+  f.g = groups_ - 1;
+  f.exp = 0;
+  return pack(f);
+}
+
+std::uint16_t WideMersit::encode(double x) const {
+  if (std::isnan(x) || x == 0.0) return zero_code();
+  const bool sign = x < 0.0;
+  const std::uint32_t sign_bit = sign ? (1u << (nbits_ - 1)) : 0u;
+  const double a = std::fabs(x);
+  const int w = regime_weight();
+
+  const double max_val = std::ldexp(1.0, max_eff_exponent());
+  const double min_val = std::ldexp(1.0, min_eff_exponent());
+  if (a >= max_val) return static_cast<std::uint16_t>(max_code() | sign_bit);
+  if (a <= min_val) return static_cast<std::uint16_t>(min_pos_code() | sign_bit);
+
+  int e = 0;
+  (void)std::frexp(a, &e);
+  e -= 1;
+
+  const auto binade_fields = [&](int eff) {
+    Fields f;
+    f.sign = false;  // sign applied at the end
+    f.k = floor_div(eff, w);
+    f.exp = eff - f.k * w;
+    f.ks = f.k >= 0;
+    f.g = f.ks ? f.k : -f.k - 1;
+    f.frac_bits = (groups_ - 1 - f.g) * es_;
+    return f;
+  };
+
+  Fields f = binade_fields(e);
+  const double scaled = std::ldexp(a, f.frac_bits - e);
+  const double fl = std::floor(scaled);
+  const double rem = scaled - fl;
+  auto lattice = static_cast<std::uint32_t>(fl);
+
+  const auto make_code = [&](int eff, std::uint32_t significand) -> std::uint16_t {
+    Fields bf = binade_fields(eff);
+    bf.frac = significand & ((bf.frac_bits > 0 ? (1u << bf.frac_bits) : 1u) - 1u);
+    if (bf.frac_bits == 0) bf.frac = 0;
+    return pack(bf);
+  };
+  const auto round_up_code = [&]() -> std::uint16_t {
+    if (lattice + 1u == (2u << f.frac_bits)) {
+      if (e + 1 > max_eff_exponent()) return max_code();
+      return make_code(e + 1, 1u << binade_fields(e + 1).frac_bits);
+    }
+    return make_code(e, lattice + 1u);
+  };
+
+  std::uint16_t body;
+  if (rem < 0.5) {
+    body = make_code(e, lattice);
+  } else if (rem > 0.5) {
+    body = round_up_code();
+  } else {
+    const std::uint16_t lo = make_code(e, lattice);
+    body = ((lo & 1u) == 0) ? lo : round_up_code();
+  }
+  return static_cast<std::uint16_t>(body | sign_bit);
+}
+
+}  // namespace mersit::core

@@ -1,0 +1,70 @@
+// MERSIT(N,es) for word sizes beyond the paper's 8 bits (extension).
+//
+// The paper fixes N=8 ("this work is focused on 8-bit representations");
+// the format definition itself generalizes verbatim to any N with
+// (N-2) % es == 0.  WideMersit implements the same decode rule and the same
+// round-to-nearest-even-code encode on up-to-16-bit words, enabling e.g.
+// MERSIT(16,2) studies of accumulation/weight-master-copy precision.
+//
+// WideMersit(8,es) is bit-for-bit identical to core::MersitFormat(8,es)
+// (enforced by tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mersit::core {
+
+class WideMersit {
+ public:
+  struct Fields {
+    bool sign = false;
+    bool ks = false;
+    bool is_zero = false;
+    bool is_nar = false;
+    int g = 0;
+    int k = 0;
+    int exp = 0;
+    std::uint32_t frac = 0;
+    int frac_bits = 0;
+  };
+
+  /// `nbits` in [4, 16]; `es` >= 1 and (nbits-2) % es == 0.
+  WideMersit(int nbits, int es);
+
+  [[nodiscard]] int nbits() const { return nbits_; }
+  [[nodiscard]] int es() const { return es_; }
+  [[nodiscard]] int groups() const { return groups_; }
+  [[nodiscard]] int regime_weight() const { return (1 << es_) - 1; }
+  [[nodiscard]] int min_eff_exponent() const { return -regime_weight() * groups_; }
+  [[nodiscard]] int max_eff_exponent() const {
+    return regime_weight() * (groups_ - 1) + (1 << es_) - 2;
+  }
+  [[nodiscard]] int max_frac_bits() const { return (groups_ - 1) * es_; }
+
+  [[nodiscard]] Fields fields(std::uint16_t code) const;
+  [[nodiscard]] std::uint16_t pack(const Fields& f) const;
+  [[nodiscard]] double decode_value(std::uint16_t code) const;
+
+  /// Round-to-nearest encode, saturating (no underflow / no overflow,
+  /// Posit semantics); ties resolved to the even lower-neighbour code,
+  /// matching MersitFormat::encode_direct.
+  [[nodiscard]] std::uint16_t encode(double x) const;
+
+  [[nodiscard]] std::uint16_t zero_code() const;
+  [[nodiscard]] std::uint16_t nar_code() const;
+  [[nodiscard]] std::uint16_t max_code() const;
+  [[nodiscard]] std::uint16_t min_pos_code() const;
+
+  /// Mask of valid code bits (codes above this are rejected).
+  [[nodiscard]] std::uint32_t code_mask() const {
+    return (1u << nbits_) - 1u;
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t ec(std::uint16_t code, int i) const;
+
+  int nbits_, es_, groups_;
+};
+
+}  // namespace mersit::core

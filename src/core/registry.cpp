@@ -1,0 +1,58 @@
+#include "core/registry.h"
+
+#include <stdexcept>
+
+#include "core/mersit.h"
+#include "formats/fp8.h"
+#include "formats/int8.h"
+#include "formats/posit.h"
+
+namespace mersit::core {
+
+using formats::Format;
+
+std::shared_ptr<const Format> make_format(const std::string& name) {
+  if (name == "INT8") return std::make_shared<formats::Int8Format>();
+  for (int e = 2; e <= 6; ++e)
+    if (name == "FP(8," + std::to_string(e) + ")")
+      return std::make_shared<formats::Fp8Format>(e);
+  for (int es = 0; es <= 4; ++es) {
+    if (name == "Posit(8," + std::to_string(es) + ")")
+      return std::make_shared<formats::PaperPosit8>(es);
+    if (name == "StdPosit(8," + std::to_string(es) + ")")
+      return std::make_shared<formats::StandardPosit8>(es);
+  }
+  for (int es : {2, 3, 6})
+    if (name == "MERSIT(8," + std::to_string(es) + ")")
+      return std::make_shared<MersitFormat>(8, es);
+  throw std::invalid_argument("make_format: unknown format '" + name + "'");
+}
+
+namespace {
+
+std::vector<std::shared_ptr<const Format>> make_all(
+    const std::vector<std::string>& names) {
+  std::vector<std::shared_ptr<const Format>> out;
+  out.reserve(names.size());
+  for (const auto& n : names) out.push_back(make_format(n));
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::shared_ptr<const Format>> table2_formats() {
+  return make_all({"INT8", "FP(8,2)", "FP(8,3)", "FP(8,4)", "FP(8,5)",
+                   "Posit(8,0)", "Posit(8,1)", "Posit(8,2)", "Posit(8,3)",
+                   "MERSIT(8,2)", "MERSIT(8,3)"});
+}
+
+std::vector<std::shared_ptr<const Format>> fig4_formats() {
+  return make_all({"FP(8,2)", "FP(8,3)", "FP(8,4)", "FP(8,5)", "Posit(8,0)",
+                   "Posit(8,1)", "Posit(8,2)", "MERSIT(8,2)", "MERSIT(8,3)"});
+}
+
+std::vector<std::shared_ptr<const Format>> headline_formats() {
+  return make_all({"FP(8,4)", "Posit(8,1)", "MERSIT(8,2)"});
+}
+
+}  // namespace mersit::core

@@ -1,0 +1,33 @@
+// Runtime registry of every data format studied in the paper.
+//
+// Names follow the paper's notation: "INT8", "FP(8,E)" for E in 2..5,
+// "Posit(8,es)" for es in 0..3 (the paper's sign-magnitude variant),
+// "StdPosit(8,es)" for the two's-complement standard posit, and
+// "MERSIT(8,es)" for es in {2,3}.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "formats/format.h"
+
+namespace mersit::core {
+
+/// Construct a format by its paper name; throws std::invalid_argument on an
+/// unknown name.
+[[nodiscard]] std::shared_ptr<const formats::Format> make_format(const std::string& name);
+
+/// The 11 quantized-format columns of Table 2, in column order:
+/// INT8, FP(8,2..5), Posit(8,0..3), MERSIT(8,2), MERSIT(8,3).
+[[nodiscard]] std::vector<std::shared_ptr<const formats::Format>> table2_formats();
+
+/// The nine configurations charted in Fig. 4:
+/// FP(8,2..5), Posit(8,0..2), MERSIT(8,2), MERSIT(8,3).
+[[nodiscard]] std::vector<std::shared_ptr<const formats::Format>> fig4_formats();
+
+/// The three head-to-head configurations of Figs. 6/7 and Table 3:
+/// FP(8,4), Posit(8,1), MERSIT(8,2).
+[[nodiscard]] std::vector<std::shared_ptr<const formats::Format>> headline_formats();
+
+}  // namespace mersit::core

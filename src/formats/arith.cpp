@@ -1,0 +1,54 @@
+#include "formats/arith.h"
+
+#include <cmath>
+
+namespace mersit::formats {
+
+namespace {
+
+/// True if either operand is inf/NaR; such results saturate.
+bool non_finite(const Format& fmt, std::uint8_t a, std::uint8_t b) {
+  const auto ca = fmt.classify(a);
+  const auto cb = fmt.classify(b);
+  return ca == ValueClass::kInf || ca == ValueClass::kNaN ||
+         cb == ValueClass::kInf || cb == ValueClass::kNaN;
+}
+
+std::uint8_t encode_result(const Format& fmt, double v) {
+  // encode() already saturates and applies family underflow semantics; it
+  // maps NaN (0*inf etc.) to the zero code.
+  return fmt.encode(v);
+}
+
+}  // namespace
+
+std::uint8_t quantized_mul(const Format& fmt, std::uint8_t a, std::uint8_t b) {
+  if (non_finite(fmt, a, b)) {
+    const double v = fmt.decode_value(a) * fmt.decode_value(b);
+    return encode_result(fmt, v);  // +-inf saturates, NaN -> zero code
+  }
+  // Exact in double: products of two <=11-significant-bit values.
+  return encode_result(fmt, fmt.decode_value(a) * fmt.decode_value(b));
+}
+
+std::uint8_t quantized_add(const Format& fmt, std::uint8_t a, std::uint8_t b) {
+  // Exact in double for every format whose exponent spread fits double's
+  // 52-bit alignment window (all but Posit(8,3), whose ~88-binade spread
+  // can double-round; even there the doubly-rounded sum never strays from
+  // the nearest pair because the value lattice is so much coarser).
+  return encode_result(fmt, fmt.decode_value(a) + fmt.decode_value(b));
+}
+
+std::uint8_t quantized_sub(const Format& fmt, std::uint8_t a, std::uint8_t b) {
+  return encode_result(fmt, fmt.decode_value(a) - fmt.decode_value(b));
+}
+
+std::uint8_t quantized_fma(const Format& fmt, std::uint8_t a, std::uint8_t b,
+                           std::uint8_t c) {
+  // a*b is exact (20 significant bits) and the sum aligns within double's
+  // precision for every 8-bit format, so one final rounding suffices.
+  return encode_result(fmt,
+                       fmt.decode_value(a) * fmt.decode_value(b) + fmt.decode_value(c));
+}
+
+}  // namespace mersit::formats

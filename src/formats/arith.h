@@ -1,0 +1,37 @@
+// Correctly-rounded arithmetic directly on 8-bit code words
+// (softposit-style operations, generic over every format in the library).
+//
+// Because every representable value and every product/sum of two of them is
+// exactly representable in double (10-bit significands, small exponents),
+// computing in double and re-encoding with the format's round-to-nearest-
+// even codec yields the correctly rounded result by construction.
+//
+// Special-value semantics follow each format family:
+//  * zero behaves as 0 (absorbing for mul, identity for add);
+//  * inf/NaR inputs saturate the result to the format's NaR/inf code when
+//    it has one, else to the largest finite magnitude;
+//  * overflow saturates, underflow follows the family rule (Posit/MERSIT
+//    clamp to minpos, IEEE-style formats flush to zero).
+#pragma once
+
+#include "formats/format.h"
+
+namespace mersit::formats {
+
+/// code(a) * code(b), correctly rounded into `fmt`.
+[[nodiscard]] std::uint8_t quantized_mul(const Format& fmt, std::uint8_t a,
+                                         std::uint8_t b);
+
+/// code(a) + code(b), correctly rounded into `fmt`.
+[[nodiscard]] std::uint8_t quantized_add(const Format& fmt, std::uint8_t a,
+                                         std::uint8_t b);
+
+/// code(a) - code(b), correctly rounded into `fmt`.
+[[nodiscard]] std::uint8_t quantized_sub(const Format& fmt, std::uint8_t a,
+                                         std::uint8_t b);
+
+/// Fused multiply-add: code(a)*code(b) + code(c) with a single rounding.
+[[nodiscard]] std::uint8_t quantized_fma(const Format& fmt, std::uint8_t a,
+                                         std::uint8_t b, std::uint8_t c);
+
+}  // namespace mersit::formats

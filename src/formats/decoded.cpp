@@ -1,0 +1,46 @@
+#include "formats/decoded.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace mersit::formats {
+
+double Decoded::value() const {
+  switch (cls) {
+    case ValueClass::kZero:
+      return 0.0;
+    case ValueClass::kInf:
+      return sign ? -std::numeric_limits<double>::infinity()
+                  : std::numeric_limits<double>::infinity();
+    case ValueClass::kNaN:
+      return std::numeric_limits<double>::quiet_NaN();
+    case ValueClass::kFinite:
+      break;
+  }
+  const double significand =
+      1.0 + static_cast<double>(fraction) / std::ldexp(1.0, frac_bits);
+  const double magnitude = std::ldexp(significand, exponent);
+  return sign ? -magnitude : magnitude;
+}
+
+std::string Decoded::to_string() const {
+  std::ostringstream os;
+  switch (cls) {
+    case ValueClass::kZero:
+      return sign ? "-0" : "0";
+    case ValueClass::kInf:
+      return sign ? "-inf" : "+inf";
+    case ValueClass::kNaN:
+      return "nan";
+    case ValueClass::kFinite:
+      break;
+  }
+  os << (sign ? '-' : '+') << "1.";
+  for (int i = frac_bits - 1; i >= 0; --i) os << ((fraction >> i) & 1u);
+  if (frac_bits == 0) os << '0';
+  os << "b * 2^" << exponent;
+  return os.str();
+}
+
+}  // namespace mersit::formats

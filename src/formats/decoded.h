@@ -1,0 +1,47 @@
+// Decoded-value model shared by every 8-bit data format in this library.
+//
+// All exponent-coded formats studied in the paper (FP8, Posit8, MERSIT8)
+// decode a code word into the same normal form:
+//
+//   value = (-1)^sign * 2^exponent * (1 + fraction / 2^frac_bits)
+//
+// with a small set of special classes (zero / infinity / NaN).  Subnormal
+// FP8 values are normalized into this form during decode (the exponent is
+// decremented by the number of leading zeros of the subnormal significand),
+// so `exponent` is always the effective, unbiased exponent of a normalized
+// significand in [1, 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mersit::formats {
+
+enum class ValueClass : std::uint8_t {
+  kZero = 0,
+  kFinite = 1,
+  kInf = 2,   // also used for Posit/MERSIT NaR ("not a real")
+  kNaN = 3,
+};
+
+/// Fully decoded fields of one code word.
+struct Decoded {
+  ValueClass cls = ValueClass::kZero;
+  bool sign = false;       ///< true => negative
+  int exponent = 0;        ///< unbiased exponent of the normalized significand
+  std::uint32_t fraction = 0;  ///< fraction field, `frac_bits` wide
+  int frac_bits = 0;       ///< number of fraction bits (0 => significand == 1.0)
+
+  /// Numeric value of this decoding; +/-inf for kInf, NaN for kNaN, 0 for kZero.
+  [[nodiscard]] double value() const;
+
+  /// True when the decoding represents a finite non-zero number.
+  [[nodiscard]] bool finite_nonzero() const { return cls == ValueClass::kFinite; }
+
+  /// Human-readable rendering, e.g. "-1.0110b * 2^-3".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Decoded&, const Decoded&) = default;
+};
+
+}  // namespace mersit::formats

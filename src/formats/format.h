@@ -1,0 +1,136 @@
+// Abstract interface for an 8-bit data format, plus the generic table-based
+// round-to-nearest-even codec used for encoding.
+//
+// Every format under study decodes each of its 256 code words to a real value
+// (or zero / inf / NaN).  Encoding is performed uniformly through TableCodec:
+// the finite positive values are enumerated, sorted, and a nearest-value
+// search with ties-to-even-code implements round-to-nearest-even for all of
+// FP8 / Posit8 / MERSIT8 / INT8 (adjacent codes always differ in the code
+// LSB, so "even code" coincides with IEEE/Posit RNE tie breaking).
+//
+// Two behavioural knobs distinguish the format families in a PTQ setting:
+//  * underflow: IEEE-style formats (FP8, INT8) round tiny values to zero;
+//    Posit-family formats (Posit, MERSIT) never underflow — the smallest
+//    representable magnitude is returned instead (Posit standard semantics).
+//  * overflow: in PTQ we never generate inf; all formats saturate to the
+//    largest finite value (again Posit-standard semantics, and the usual
+//    convention for quantized inference).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "formats/decoded.h"
+
+namespace mersit::formats {
+
+class TableCodec;
+
+/// Base class for all 8-bit formats.
+class Format {
+ public:
+  virtual ~Format();
+
+  /// Display name, e.g. "FP(8,4)", "Posit(8,1)", "MERSIT(8,2)", "INT8".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Total number of bits in a code word (always 8 in this study).
+  [[nodiscard]] virtual int bits() const { return 8; }
+
+  /// Real value represented by `code`.
+  [[nodiscard]] virtual double decode_value(std::uint8_t code) const = 0;
+
+  /// Class of the value represented by `code`.
+  [[nodiscard]] virtual ValueClass classify(std::uint8_t code) const = 0;
+
+  /// True when values below the smallest magnitude round to zero
+  /// (IEEE-style); false for Posit-family no-underflow semantics.
+  [[nodiscard]] virtual bool underflows_to_zero() const = 0;
+
+  /// The shared encode/decode table (built lazily, cached).
+  [[nodiscard]] const TableCodec& codec() const;
+
+  /// Encode with round-to-nearest-even, saturating to the largest finite
+  /// value; honours the format's underflow semantics.
+  [[nodiscard]] std::uint8_t encode(double x) const;
+
+  /// Round-trip a value through the format: decode(encode(x)).
+  [[nodiscard]] double quantize(double x) const;
+
+  /// Largest finite representable magnitude.
+  [[nodiscard]] double max_finite() const;
+
+  /// Smallest positive representable magnitude.
+  [[nodiscard]] double min_positive() const;
+
+  /// The magnitude the calibration maximum is mapped onto under the
+  /// "sweet spot" scaling policy: 1.0 for exponent-coded formats (where
+  /// precision is densest around unity), max_finite() for integer formats
+  /// (which have no exponent sweet spot).
+  [[nodiscard]] virtual double calibration_target() const { return 1.0; }
+
+ protected:
+  Format() = default;
+
+ private:
+  mutable std::unique_ptr<TableCodec> codec_;  // lazily built
+};
+
+/// Formats that decode into the exponent/fraction normal form.
+class ExponentCodedFormat : public Format {
+ public:
+  /// Full field decoding of `code`.
+  [[nodiscard]] virtual Decoded decode(std::uint8_t code) const = 0;
+
+  [[nodiscard]] double decode_value(std::uint8_t code) const override;
+  [[nodiscard]] ValueClass classify(std::uint8_t code) const override;
+
+  /// Smallest effective exponent of any finite non-zero value.
+  [[nodiscard]] int min_exponent() const;
+  /// Largest effective exponent of any finite value.
+  [[nodiscard]] int max_exponent() const;
+  /// Largest fraction width over all finite codes.
+  [[nodiscard]] int max_frac_bits() const;
+};
+
+/// Encode/decode tables for one format.  Built once per Format instance.
+class TableCodec {
+ public:
+  /// One finite positive representable value and its code.
+  struct Entry {
+    double value = 0.0;
+    std::uint8_t code = 0;
+  };
+
+  TableCodec(const Format& fmt, bool underflows_to_zero);
+
+  /// RNE encode of any real (NaN encodes to the zero code).
+  [[nodiscard]] std::uint8_t encode(double x) const;
+
+  /// Value of a code (from the owning format's decode).
+  [[nodiscard]] double decode(std::uint8_t code) const { return values_[code]; }
+
+  [[nodiscard]] double max_finite() const { return positives_.back().value; }
+  [[nodiscard]] double min_positive() const { return positives_.front().value; }
+  [[nodiscard]] std::uint8_t zero_code() const { return zero_code_; }
+
+  /// All finite positive values, ascending.
+  [[nodiscard]] const std::vector<Entry>& positives() const { return positives_; }
+
+  /// Number of finite positive representable values.
+  [[nodiscard]] std::size_t cardinality() const { return positives_.size(); }
+
+ private:
+  /// Encode a positive magnitude (x > 0) to the code of the nearest value.
+  [[nodiscard]] std::uint8_t encode_magnitude(double x) const;
+
+  std::vector<Entry> positives_;     // finite positive values, ascending
+  double values_[256];               // full decode table
+  std::uint8_t negate_[256];         // code of -value(code), per format
+  std::uint8_t zero_code_ = 0;
+  bool underflows_to_zero_ = false;
+};
+
+}  // namespace mersit::formats

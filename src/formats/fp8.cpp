@@ -1,0 +1,101 @@
+#include "formats/fp8.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mersit::formats {
+
+Fp8Format::Fp8Format(int exp_bits) : exp_bits_(exp_bits) {
+  if (exp_bits < 2 || exp_bits > 6)
+    throw std::invalid_argument("Fp8Format: exp_bits must be in [2, 6]");
+}
+
+std::string Fp8Format::name() const {
+  return "FP(8," + std::to_string(exp_bits_) + ")";
+}
+
+std::uint8_t Fp8Format::pack(bool sign, int exp_field, std::uint32_t mant) const {
+  const int m = mant_bits();
+  return static_cast<std::uint8_t>((sign ? 0x80u : 0u) |
+                                   (static_cast<std::uint32_t>(exp_field) << m) |
+                                   (mant & ((1u << m) - 1u)));
+}
+
+Decoded Fp8Format::decode(std::uint8_t code) const {
+  const int m = mant_bits();
+  const bool sign = (code & 0x80u) != 0;
+  const int exp_field = (code >> m) & ((1 << exp_bits_) - 1);
+  const std::uint32_t mant = code & ((1u << m) - 1u);
+  const int exp_max = (1 << exp_bits_) - 1;
+
+  Decoded d;
+  d.sign = sign;
+  if (exp_field == exp_max) {
+    d.cls = (mant == 0) ? ValueClass::kInf : ValueClass::kNaN;
+    return d;
+  }
+  if (exp_field == 0) {
+    if (mant == 0) {
+      d.cls = ValueClass::kZero;
+      return d;
+    }
+    // Subnormal: 0.mant * 2^(1-bias).  Normalize into the 1.f form.
+    int lz = 0;
+    while (((mant >> (m - 1 - lz)) & 1u) == 0) ++lz;
+    d.cls = ValueClass::kFinite;
+    d.exponent = 1 - bias() - lz - 1;
+    d.frac_bits = m;
+    // Shift out the leading 1 and re-left-align what remains.
+    d.fraction = (mant << (lz + 1)) & ((1u << m) - 1u);
+    // Keep frac_bits at m for uniform printing; trailing bits are zero.
+    return d;
+  }
+  d.cls = ValueClass::kFinite;
+  d.exponent = exp_field - bias();
+  d.fraction = mant;
+  d.frac_bits = m;
+  return d;
+}
+
+std::uint8_t Fp8Format::encode_direct(double x) const {
+  const int m = mant_bits();
+  const int emin = 1 - bias();                       // smallest normal exponent
+  const int emax = ((1 << exp_bits_) - 2) - bias();  // largest finite exponent
+  const std::uint32_t mant_max = (1u << m) - 1u;
+  const std::uint8_t max_code = pack(false, (1 << exp_bits_) - 2, mant_max);
+
+  if (std::isnan(x) || x == 0.0) return pack(false, 0, 0);
+  const bool sign = x < 0.0;
+  double a = std::fabs(x);
+
+  const double max_val = std::ldexp(1.0 + static_cast<double>(mant_max) / (1 << m), emax);
+  if (a >= max_val) return static_cast<std::uint8_t>(max_code | (sign ? 0x80u : 0u));
+
+  int e = 0;
+  (void)std::frexp(a, &e);  // a = f * 2^e with f in [0.5, 1)
+  e -= 1;                   // now a = 1.xxx * 2^e
+  if (e < emin) e = emin;   // subnormal range shares the emin scale
+
+  // Significand on a 2^-m lattice at scale 2^e; RNE with ties-to-even code.
+  const double scaled = std::ldexp(a, m - e);  // a / 2^(e-m)
+  auto lattice = std::llrint(scaled);          // RNE (default rounding mode)
+  // llrint ties-to-even on the integer lattice == even mantissa == even code.
+  if (lattice > static_cast<long long>((2u << m) - 1u)) {
+    // Carried past the top of the binade.
+    e += 1;
+    lattice = 1u << m;
+  }
+  if (lattice == 0) return pack(false, 0, 0);  // underflow to (+)zero
+  std::uint8_t body;
+  if (lattice < static_cast<long long>(1u << m)) {
+    // Subnormal (only reachable when e == emin).
+    body = pack(false, 0, static_cast<std::uint32_t>(lattice));
+  } else if (e > emax) {
+    body = max_code;
+  } else {
+    body = pack(false, e + bias(), static_cast<std::uint32_t>(lattice) & mant_max);
+  }
+  return static_cast<std::uint8_t>(body | (sign ? 0x80u : 0u));
+}
+
+}  // namespace mersit::formats

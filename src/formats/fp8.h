@@ -1,0 +1,39 @@
+// FP(8,E): IEEE-style 8-bit minifloat with E exponent bits.
+//
+// Layout (MSB..LSB): 1 sign bit | E exponent bits | M = 7-E fraction bits.
+// Bias = 2^(E-1) - 1.  Exponent field 0 selects the subnormal range
+// (significand 0.f, exponent 1-bias); the all-ones exponent field is
+// reserved for inf (fraction 0) and NaN (fraction != 0), exactly as in the
+// paper's FP8 whose FP(8,4) dynamic range is 2^-9 .. 2^7 (Fig. 2).
+#pragma once
+
+#include "formats/format.h"
+
+namespace mersit::formats {
+
+class Fp8Format final : public ExponentCodedFormat {
+ public:
+  /// `exp_bits` in [2, 6].
+  explicit Fp8Format(int exp_bits);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Decoded decode(std::uint8_t code) const override;
+  [[nodiscard]] bool underflows_to_zero() const override { return true; }
+
+  /// Direct algorithmic RNE encode (no table); used to cross-validate the
+  /// generic TableCodec and as a fast path.  Saturates to the largest
+  /// finite value and underflows to zero, matching Format::encode.
+  [[nodiscard]] std::uint8_t encode_direct(double x) const;
+
+  [[nodiscard]] int exp_bits() const { return exp_bits_; }
+  [[nodiscard]] int mant_bits() const { return 7 - exp_bits_; }
+  [[nodiscard]] int bias() const { return (1 << (exp_bits_ - 1)) - 1; }
+
+  /// Pack raw fields into a code word (no validation of semantics).
+  [[nodiscard]] std::uint8_t pack(bool sign, int exp_field, std::uint32_t mant) const;
+
+ private:
+  int exp_bits_;
+};
+
+}  // namespace mersit::formats

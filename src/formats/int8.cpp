@@ -1,0 +1,18 @@
+#include "formats/int8.h"
+
+namespace mersit::formats {
+
+double Int8Format::decode_value(std::uint8_t code) const {
+  const auto q = static_cast<std::int8_t>(code);
+  if (q == -128) return -127.0;  // clamped duplicate, excluded from the table
+  return static_cast<double>(q);
+}
+
+ValueClass Int8Format::classify(std::uint8_t code) const {
+  const auto q = static_cast<std::int8_t>(code);
+  if (q == 0) return ValueClass::kZero;
+  if (q == -128) return ValueClass::kNaN;  // excluded from the value set
+  return ValueClass::kFinite;
+}
+
+}  // namespace mersit::formats

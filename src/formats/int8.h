@@ -1,0 +1,24 @@
+// Symmetric INT8: two's-complement integer codes in [-127, 127].
+//
+// The code -128 is excluded (clamped to -127) so the value set is
+// sign-symmetric, the usual convention for symmetric per-channel weight
+// quantization.  The represented value of code q is simply q; the PTQ
+// scaling layer divides by `scale = absmax / 127` before encoding.
+#pragma once
+
+#include "formats/format.h"
+
+namespace mersit::formats {
+
+class Int8Format final : public Format {
+ public:
+  Int8Format() = default;
+
+  [[nodiscard]] std::string name() const override { return "INT8"; }
+  [[nodiscard]] double decode_value(std::uint8_t code) const override;
+  [[nodiscard]] ValueClass classify(std::uint8_t code) const override;
+  [[nodiscard]] bool underflows_to_zero() const override { return true; }
+  [[nodiscard]] double calibration_target() const override { return 127.0; }
+};
+
+}  // namespace mersit::formats

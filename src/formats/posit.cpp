@@ -1,0 +1,102 @@
+#include "formats/posit.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mersit::formats {
+
+PositBodyFields decode_posit_body(std::uint8_t body, int es) {
+  assert(body != 0x00);
+  PositBodyFields f;
+  const bool run_of_ones = (body & 0x40u) != 0;
+  int r = 0;
+  while (r < 7 && (((body >> (6 - r)) & 1u) != 0) == run_of_ones) ++r;
+  f.run = r;
+  f.k = run_of_ones ? r - 1 : -r;
+  if (r == 7) {
+    // Unterminated all-ones body (standard posit's largest magnitude,
+    // useed^6): no exponent or fraction bits remain.
+    f.exp = 0;
+    f.frac = 0;
+    f.frac_bits = 0;
+    return f;
+  }
+  // One terminator bit follows the run; then exponent, then fraction.
+  const int after = 7 - r - 1;  // bits left after run + terminator
+  const int eb = es < after ? es : after;
+  f.exp = 0;
+  if (eb > 0) {
+    const std::uint32_t field = (body >> (after - eb)) & ((1u << eb) - 1u);
+    f.exp = static_cast<int>(field) << (es - eb);  // missing low bits are 0
+  }
+  f.frac_bits = after - eb;
+  f.frac = f.frac_bits > 0 ? (body & ((1u << f.frac_bits) - 1u)) : 0u;
+  return f;
+}
+
+namespace {
+
+Decoded decode_body_to_value(std::uint8_t body, int es, bool sign) {
+  const PositBodyFields f = decode_posit_body(body, es);
+  Decoded d;
+  d.cls = ValueClass::kFinite;
+  d.sign = sign;
+  d.exponent = f.k * (1 << es) + f.exp;
+  d.fraction = f.frac;
+  d.frac_bits = f.frac_bits;
+  return d;
+}
+
+}  // namespace
+
+PaperPosit8::PaperPosit8(int es) : es_(es) {
+  if (es < 0 || es > 4) throw std::invalid_argument("PaperPosit8: es must be in [0, 4]");
+}
+
+std::string PaperPosit8::name() const {
+  return "Posit(8," + std::to_string(es_) + ")";
+}
+
+Decoded PaperPosit8::decode(std::uint8_t code) const {
+  const bool sign = (code & 0x80u) != 0;
+  const std::uint8_t body = code & 0x7Fu;
+  Decoded d;
+  d.sign = sign;
+  if (body == 0x00) {
+    d.cls = ValueClass::kZero;
+    return d;
+  }
+  if (body == 0x7F) {
+    d.cls = ValueClass::kInf;
+    return d;
+  }
+  return decode_body_to_value(body, es_, sign);
+}
+
+StandardPosit8::StandardPosit8(int es) : es_(es) {
+  if (es < 0 || es > 4)
+    throw std::invalid_argument("StandardPosit8: es must be in [0, 4]");
+}
+
+std::string StandardPosit8::name() const {
+  return "StdPosit(8," + std::to_string(es_) + ")";
+}
+
+Decoded StandardPosit8::decode(std::uint8_t code) const {
+  Decoded d;
+  if (code == 0x00) {
+    d.cls = ValueClass::kZero;
+    return d;
+  }
+  if (code == 0x80) {
+    d.cls = ValueClass::kNaN;  // NaR
+    return d;
+  }
+  const bool sign = (code & 0x80u) != 0;
+  const std::uint8_t mag = sign ? static_cast<std::uint8_t>(-code) : code;
+  // After two's-complement negation the magnitude is a positive posit whose
+  // body occupies bits 6..0 (bit 7 of `mag` is 0 for all codes but 0x80).
+  return decode_body_to_value(mag & 0x7Fu, es_, sign);
+}
+
+}  // namespace mersit::formats

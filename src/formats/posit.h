@@ -1,0 +1,67 @@
+// Posit(8,es) in the two flavours relevant to the paper.
+//
+// 1. PaperPosit8 — the hardware-oriented *sign-magnitude* posit the paper
+//    evaluates.  The MSB is a plain sign bit over a 7-bit body holding
+//    regime/exponent/fraction; the all-ones body is reserved for +/-inf.
+//    This is what gives Posit(8,1) the asymmetric 2^-12 .. 2^10 dynamic
+//    range quoted in the paper's Fig. 2 (the all-ones body, which would be
+//    2^12, is the infinity pattern).
+//
+// 2. StandardPosit8 — the 2017 Gustafson/Yonemoto two's-complement posit
+//    (0x80 = NaR).  Implemented for cross-validation; the representable
+//    magnitudes of the two flavours agree except at the very top code.
+//
+// Common decode of a 7-bit magnitude body (b6..b0):
+//   * run of leading bits equal to b6, length r, optionally terminated;
+//   * regime k = r-1 if the run is of ones, -r if of zeros;
+//   * next min(es, bits-left) bits are the *high* bits of the exponent
+//     (missing low bits read as zero);
+//   * remaining bits are the fraction;
+//   * value = 2^(k*2^es + exp) * (1 + .frac).
+#pragma once
+
+#include "formats/format.h"
+
+namespace mersit::formats {
+
+/// Decoded regime/exponent/fraction fields of a 7-bit posit body.
+struct PositBodyFields {
+  int k = 0;                ///< regime value
+  int run = 0;              ///< leading-run length
+  int exp = 0;              ///< exponent (zero-padded to es bits)
+  std::uint32_t frac = 0;   ///< fraction bits
+  int frac_bits = 0;
+};
+
+/// Decode a 7-bit body (must not be all-zeros or all-ones).
+[[nodiscard]] PositBodyFields decode_posit_body(std::uint8_t body, int es);
+
+/// The paper's sign-magnitude Posit(8,es) with x1111111 reserved as +/-inf.
+class PaperPosit8 final : public ExponentCodedFormat {
+ public:
+  explicit PaperPosit8(int es);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Decoded decode(std::uint8_t code) const override;
+  [[nodiscard]] bool underflows_to_zero() const override { return false; }
+  [[nodiscard]] int es() const { return es_; }
+
+ private:
+  int es_;
+};
+
+/// Standard two's-complement Posit(8,es); 0x80 is NaR, 0x00 is zero.
+class StandardPosit8 final : public ExponentCodedFormat {
+ public:
+  explicit StandardPosit8(int es);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Decoded decode(std::uint8_t code) const override;
+  [[nodiscard]] bool underflows_to_zero() const override { return false; }
+  [[nodiscard]] int es() const { return es_; }
+
+ private:
+  int es_;
+};
+
+}  // namespace mersit::formats

@@ -1,0 +1,37 @@
+#include "formats/quantize.h"
+
+#include <cmath>
+
+namespace mersit::formats {
+
+double scale_for_absmax(const Format& fmt, double absmax, ScalePolicy policy) {
+  if (absmax <= 0.0) return 1.0;  // degenerate tensor: identity scale
+  switch (policy) {
+    case ScalePolicy::kMaxToFormatMax:
+      return absmax / fmt.max_finite();
+    case ScalePolicy::kMaxToUnity:
+      return absmax / fmt.calibration_target();
+  }
+  return 1.0;
+}
+
+void fake_quantize(std::span<float> data, const Format& fmt, double scale) {
+  const double inv = 1.0 / scale;
+  for (float& v : data)
+    v = static_cast<float>(fmt.quantize(static_cast<double>(v) * inv) * scale);
+}
+
+double quantization_rmse(std::span<const float> data, const Format& fmt,
+                         double scale) {
+  if (data.empty()) return 0.0;
+  const double inv = 1.0 / scale;
+  double se = 0.0;
+  for (const float v : data) {
+    const double q = fmt.quantize(static_cast<double>(v) * inv) * scale;
+    const double d = q - static_cast<double>(v);
+    se += d * d;
+  }
+  return std::sqrt(se / static_cast<double>(data.size()));
+}
+
+}  // namespace mersit::formats

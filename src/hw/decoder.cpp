@@ -1,0 +1,296 @@
+#include "hw/decoder.h"
+
+#include <stdexcept>
+
+#include "core/mersit.h"
+#include "formats/fp8.h"
+#include "formats/posit.h"
+
+namespace mersit::hw {
+
+using rtl::Bus;
+using rtl::NetId;
+using rtl::Netlist;
+
+DecoderSpec decoder_spec(const formats::ExponentCodedFormat& fmt) {
+  DecoderSpec s;
+  s.emin = fmt.min_exponent();
+  s.emax = fmt.max_exponent();
+  s.m = fmt.max_frac_bits() + 1;
+  // Smallest two's-complement width holding [emin, emax].
+  int p = 1;
+  while (!((-(1 << (p - 1)) <= s.emin) && (s.emax < (1 << (p - 1))))) ++p;
+  s.p = p;
+  return s;
+}
+
+namespace {
+
+std::uint64_t to_field(std::int64_t value, int width) {
+  return static_cast<std::uint64_t>(value) & ((width >= 64) ? ~0ull : ((1ull << width) - 1ull));
+}
+
+DecoderPorts build_mersit_decoder(Netlist& nl, const core::MersitFormat& fmt,
+                                  DecoderStyle style) {
+  const int es = fmt.es();
+  const int groups = fmt.groups();
+  const int maxfb = (groups - 1) * es;
+  DecoderPorts d;
+  d.spec = decoder_spec(fmt);
+  d.code = nl.input_bus("code", 8);
+  d.sign = d.code[7];
+  const NetId ks = d.code[6];
+
+  // --- EC AND-gating + leading-zero detection over the AND outputs --------
+  std::vector<NetId> ec_all_ones(static_cast<std::size_t>(groups));
+  for (int i = 0; i < groups; ++i) {
+    Bus ec;
+    const int shift = (groups - 1 - i) * es;
+    for (int b = 0; b < es; ++b) ec.push_back(d.code[static_cast<std::size_t>(shift + b)]);
+    ec_all_ones[static_cast<std::size_t>(i)] = rtl::and_reduce(nl, ec);
+  }
+  // One-hot z[i]: EC[i] is the first group containing a zero.
+  std::vector<NetId> z(static_cast<std::size_t>(groups));
+  NetId prefix_ones = nl.constant(true);
+  for (int i = 0; i < groups; ++i) {
+    z[static_cast<std::size_t>(i)] =
+        nl.and2(prefix_ones, nl.inv(ec_all_ones[static_cast<std::size_t>(i)]));
+    prefix_ones = nl.and2(prefix_ones, ec_all_ones[static_cast<std::size_t>(i)]);
+  }
+  const NetId none = prefix_ones;  // all ECs all-ones: zero (ks=0) / NaR (ks=1)
+  d.is_special = none;
+  const NetId valid = nl.inv(none);
+
+  // --- exponent selection: exp = EC[g] -------------------------------------
+  Bus exp_bits;
+  for (int b = 0; b < es; ++b) {
+    NetId acc = nl.constant(false);
+    for (int i = 0; i < groups; ++i) {
+      const int shift = (groups - 1 - i) * es;
+      acc = nl.or2(acc, nl.and2(z[static_cast<std::size_t>(i)],
+                                d.code[static_cast<std::size_t>(shift + b)]));
+    }
+    exp_bits.push_back(acc);
+  }
+
+  // --- dynamic fraction shifter (es-bit granularity) ------------------------
+  // Fraction source: the low maxfb bits of the word; align the g-group
+  // fraction so its MSB sits at maxfb-1 by shifting left g*es.
+  Bus frac(static_cast<std::size_t>(maxfb), nl.constant(false));
+  for (int b = 0; b < maxfb; ++b) frac[static_cast<std::size_t>(b)] = d.code[static_cast<std::size_t>(b)];
+  // g in binary: bit j = OR of z[i] with bit j of i set.
+  int gbits = 0;
+  while ((1 << gbits) < groups) ++gbits;
+  for (int j = 0; j < gbits; ++j) {
+    NetId sel = nl.constant(false);
+    for (int i = 0; i < groups; ++i)
+      if ((i >> j) & 1) sel = nl.or2(sel, z[static_cast<std::size_t>(i)]);
+    const int amount = es << j;
+    Bus shifted(frac.size(), nl.constant(false));
+    for (int b = amount; b < maxfb; ++b)
+      shifted[static_cast<std::size_t>(b)] = frac[static_cast<std::size_t>(b - amount)];
+    frac = rtl::bus_mux(nl, sel, frac, shifted);
+  }
+  d.frac_eff = rtl::bus_and(nl, frac, valid);
+  d.frac_eff.push_back(valid);  // hidden bit at position maxfb
+
+  // --- "k x (2^es - 1)" unit + exponent merge (Fig. 5b) --------------------
+  // Carry-free formulation: with w = 2^es - 1 and
+  //   u = w*g + v,   v = ks ? exp : (w-1-exp),
+  // the effective exponent is
+  //   eff = w*k + exp = ks ? u : ~u
+  // (for ks=0: eff = -(w*(g+1)) + exp = -(u+1) = ~u).  This needs only a
+  // one-hot constant select and an XOR stage -- no carry chain, which is
+  // what gives the MERSIT decoder its short critical path.
+  // Carry-free formulation: with w = 2^es - 1 and
+  //   u = w*g + v,   v = ks ? exp : (w-1-exp) = ks ? exp : ~(exp+1),
+  // the effective exponent is
+  //   eff = w*k + exp = ks ? u : ~u
+  // (for ks=0: eff = -(w*(g+1)) + exp = -(u+1) = ~u), so the final stage is
+  // an XOR instead of a full carry chain.
+  const int w = fmt.regime_weight();
+  if (style == DecoderStyle::kFast && es == 2) {
+    // Hand-optimized es=2 unit (the paper's Fig. 5b "minimal gates"): with
+    // EC_i = (a1, a0), the per-group one-hot of v (= ks ? exp : 2-exp) is
+    //   v==0 : XOR(a1, ks) & ~a0    (exp==0 when ks, exp==2 otherwise)
+    //   v==1 : ~a1 & a0
+    //   v==2 : XNOR(a1, ks) & ~a0   (exp==2 when ks, exp==0 otherwise)
+    // computed in parallel with the LZD; u = 3g+v is a one-hot constant
+    // select over the (z_i, v_j) minterms and eff = ks ? u : ~u is a final
+    // XOR stage -- no carry chain anywhere.
+    std::vector<NetId> sels;
+    std::vector<std::uint64_t> consts;
+    for (int i = 0; i < groups; ++i) {
+      const int shift = (groups - 1 - i) * es;
+      const NetId a0 = d.code[static_cast<std::size_t>(shift)];
+      const NetId a1 = d.code[static_cast<std::size_t>(shift + 1)];
+      const NetId na0 = nl.inv(a0);
+      const NetId v_sel[3] = {nl.and2(nl.xor2(a1, ks), na0),
+                              nl.and2(nl.inv(a1), a0),
+                              nl.and2(nl.xnor2(a1, ks), na0)};
+      for (int j = 0; j < w; ++j) {
+        sels.push_back(nl.and2(z[static_cast<std::size_t>(i)], v_sel[j]));
+        consts.push_back(static_cast<std::uint64_t>(w * i + j));
+      }
+    }
+    const Bus u = rtl::one_hot_constant_select(nl, sels, consts, d.spec.p);
+    d.exp_eff = rtl::bus_xor(nl, u, nl.inv(ks));
+    return d;
+  }
+  // Generic es: carry-free formulation eff = ks ? u : ~u with
+  // u = w*g + v and v = ks ? exp : ~(exp+1) (es bits).
+  const Bus exp_plus_1 =
+      rtl::ripple_add(nl, exp_bits, rtl::constant_bus(nl, 1, es), nl.constant(false));
+  const Bus v = rtl::bus_mux(nl, ks, rtl::bus_invert(nl, exp_plus_1), exp_bits);
+  std::vector<NetId> sels;
+  std::vector<std::uint64_t> consts;
+  for (int i = 0; i < groups; ++i) {
+    sels.push_back(z[static_cast<std::size_t>(i)]);
+    consts.push_back(static_cast<std::uint64_t>(w) * static_cast<std::uint64_t>(i));
+  }
+  const Bus wg = rtl::one_hot_constant_select(nl, sels, consts, d.spec.p);
+  const Bus u = rtl::ripple_add(nl, wg, rtl::zero_extend(nl, v, d.spec.p),
+                                nl.constant(false));
+  d.exp_eff = rtl::bus_xor(nl, u, nl.inv(ks));
+  return d;
+}
+
+DecoderPorts build_posit_decoder(Netlist& nl, const formats::PaperPosit8& fmt) {
+  const int es = fmt.es();
+  const int max_frac = (es < 4) ? (5 - es) : 1;  // body 10 | es bits | frac
+  DecoderPorts d;
+  d.spec = decoder_spec(fmt);
+  d.code = nl.input_bus("code", 8);
+  d.sign = d.code[7];
+  const NetId lead = d.code[6];
+
+  // --- leading-run compare + priority chain (1-bit resolution) -------------
+  // t[i] = body bit (5-i) equal to the leading bit.
+  std::vector<NetId> t;
+  for (int i = 5; i >= 0; --i) t.push_back(nl.xnor2(d.code[static_cast<std::size_t>(i)], lead));
+  // One-hot u[j]: run length == j+1 (j = 0..5); run 7 handled via `all`.
+  std::vector<NetId> u(7);
+  NetId prefix = nl.constant(true);
+  for (int j = 0; j < 6; ++j) {
+    u[static_cast<std::size_t>(j)] = nl.and2(prefix, nl.inv(t[static_cast<std::size_t>(j)]));
+    prefix = nl.and2(prefix, t[static_cast<std::size_t>(j)]);
+  }
+  u[6] = prefix;  // run of 7 (all bits equal the leading bit)
+
+  // Special codes: all-zero body => zero, all-ones body => inf.
+  Bus body;
+  for (int i = 0; i < 7; ++i) body.push_back(d.code[static_cast<std::size_t>(i)]);
+  const NetId body_zero = nl.inv(rtl::or_reduce(nl, body));
+  const NetId body_ones = rtl::and_reduce(nl, body);
+  d.is_special = nl.or2(body_zero, body_ones);
+  const NetId valid = nl.inv(d.is_special);
+
+  // --- regime value: r-1 one-hot -> binary, k = (r-1) XOR ~lead ------------
+  Bus r_minus_1(3, nl.constant(false));
+  for (int j = 0; j < 7; ++j) {
+    for (int b = 0; b < 3; ++b) {
+      if ((j >> b) & 1)
+        r_minus_1[static_cast<std::size_t>(b)] =
+            nl.or2(r_minus_1[static_cast<std::size_t>(b)], u[static_cast<std::size_t>(j)]);
+    }
+  }
+  // k (4-bit signed): lead=1 -> r-1; lead=0 -> ~(r-1) = -(r).
+  const Bus k = rtl::bus_xor(nl, rtl::zero_extend(nl, r_minus_1, 4), nl.inv(lead));
+
+  // --- exponent / fraction extraction via 1-bit barrel shifter -------------
+  // Remainder (exp+frac) of the body, MSB-aligned to bit 4 after shifting
+  // the low 5 body bits left by r-1.
+  Bus low5;
+  for (int i = 0; i < 5; ++i) low5.push_back(d.code[static_cast<std::size_t>(i)]);
+  const Bus aligned = rtl::barrel_shift_left(nl, low5, r_minus_1, 5);
+  Bus exp_bits;  // es bits, LSB first
+  for (int b = 0; b < es; ++b) exp_bits.push_back(aligned[static_cast<std::size_t>(4 - es + 1 + b)]);
+  Bus frac;
+  for (int b = 0; b < max_frac; ++b) frac.push_back(aligned[static_cast<std::size_t>(b)]);
+
+  d.frac_eff = rtl::bus_and(nl, frac, valid);
+  d.frac_eff.push_back(valid);  // hidden bit
+
+  // --- effective exponent: k * 2^es + exp = {k, exp} -----------------------
+  Bus eff = exp_bits;  // low es bits
+  for (const NetId kb : k) eff.push_back(kb);
+  d.exp_eff = rtl::sign_extend(eff, d.spec.p);
+  return d;
+}
+
+DecoderPorts build_fp8_decoder(Netlist& nl, const formats::Fp8Format& fmt) {
+  const int e_bits = fmt.exp_bits();
+  const int m_bits = fmt.mant_bits();
+  const int bias = fmt.bias();
+  DecoderPorts d;
+  d.spec = decoder_spec(fmt);
+  d.code = nl.input_bus("code", 8);
+  d.sign = d.code[7];
+
+  Bus e, mant;
+  for (int i = 0; i < m_bits; ++i) mant.push_back(d.code[static_cast<std::size_t>(i)]);
+  for (int i = 0; i < e_bits; ++i) e.push_back(d.code[static_cast<std::size_t>(m_bits + i)]);
+
+  const NetId is_sub = nl.inv(rtl::or_reduce(nl, e));
+  const NetId is_top = rtl::and_reduce(nl, e);              // inf / NaN
+  const NetId mant_zero = nl.inv(rtl::or_reduce(nl, mant));
+  const NetId is_zero = nl.and2(is_sub, mant_zero);
+  d.is_special = nl.or2(is_zero, is_top);
+  const NetId valid = nl.inv(d.is_special);
+
+  // --- subnormal path: LZD over the mantissa + normalizing left shift ------
+  // One-hot l[j]: leading one of mant at bit (m_bits-1-j).
+  std::vector<NetId> l(static_cast<std::size_t>(m_bits));
+  NetId prefix = nl.constant(true);
+  for (int j = 0; j < m_bits; ++j) {
+    const NetId bit = mant[static_cast<std::size_t>(m_bits - 1 - j)];
+    l[static_cast<std::size_t>(j)] = nl.and2(prefix, bit);
+    prefix = nl.and2(prefix, nl.inv(bit));
+  }
+  // Normalized subnormal significand: mant << (lz+1) into m_bits+1 window
+  // (hidden-bit position m_bits holds the found leading one).
+  Bus sub_sig(static_cast<std::size_t>(m_bits + 1), nl.constant(false));
+  for (int pos = 0; pos <= m_bits; ++pos) {
+    NetId acc = nl.constant(false);
+    for (int j = 0; j < m_bits; ++j) {
+      const int src = pos - j - 1;  // mant bit index feeding `pos` for lz=j
+      if (src >= 0 && src < m_bits)
+        acc = nl.or2(acc, nl.and2(l[static_cast<std::size_t>(j)],
+                                  mant[static_cast<std::size_t>(src)]));
+    }
+    sub_sig[static_cast<std::size_t>(pos)] = acc;
+  }
+  // Subnormal exponent: (1 - bias) - (lz + 1), selected by the LZD one-hot.
+  std::vector<std::uint64_t> sub_consts;
+  for (int j = 0; j < m_bits; ++j)
+    sub_consts.push_back(to_field(-bias - j, d.spec.p));
+  const Bus sub_exp = rtl::one_hot_constant_select(nl, l, sub_consts, d.spec.p);
+
+  // --- normal path ----------------------------------------------------------
+  const Bus norm_exp = rtl::ripple_add(
+      nl, rtl::zero_extend(nl, e, d.spec.p),
+      rtl::constant_bus(nl, to_field(-bias, d.spec.p), d.spec.p), nl.constant(false));
+  Bus norm_sig = mant;
+  norm_sig.push_back(nl.constant(true));  // hidden 1
+
+  // --- merge ----------------------------------------------------------------
+  d.exp_eff = rtl::bus_mux(nl, is_sub, norm_exp, sub_exp);
+  const Bus sig = rtl::bus_mux(nl, is_sub, norm_sig, sub_sig);
+  d.frac_eff = rtl::bus_and(nl, sig, valid);
+  return d;
+}
+
+}  // namespace
+
+DecoderPorts build_decoder(Netlist& nl, const formats::Format& fmt,
+                           DecoderStyle style) {
+  if (const auto* m = dynamic_cast<const core::MersitFormat*>(&fmt))
+    return build_mersit_decoder(nl, *m, style);
+  if (const auto* p = dynamic_cast<const formats::PaperPosit8*>(&fmt))
+    return build_posit_decoder(nl, *p);
+  if (const auto* f = dynamic_cast<const formats::Fp8Format*>(&fmt))
+    return build_fp8_decoder(nl, *f);
+  throw std::invalid_argument("build_decoder: no hardware decoder for " + fmt.name());
+}
+
+}  // namespace mersit::hw

@@ -1,0 +1,59 @@
+// Gate-level decoders for the three format families (paper Section 3.3).
+//
+// Every decoder maps an 8-bit code word to the multiplier-facing fields of
+// Fig. 2:
+//   sign      : 1 bit
+//   exp_eff   : P-bit two's-complement effective exponent
+//   frac_eff  : M-bit significand including the hidden leading 1
+//               (all-zero for zero / inf / NaN codes, so downstream products
+//               vanish -- PTQ never generates non-finite codes)
+//
+// The three builders mirror the paper's designs:
+//  * MERSIT: per-EC AND gates -> small LZD -> es-bit-granular dynamic
+//    shifter -> one-hot "k x (2^es - 1)" constant unit (Fig. 5).
+//  * Posit: XNOR leading-run compare -> 7-bit priority chain -> 1-bit
+//    granular barrel shifter (the expensive part) -> regime/exp merge.
+//  * FP8: subnormal LZD + normalizing shifter + exponent bias adjust.
+#pragma once
+
+#include "formats/format.h"
+#include "rtl/components.h"
+#include "rtl/netlist.h"
+
+namespace mersit::hw {
+
+/// Multiplier-facing field widths of one format (Fig. 2's P and M).
+struct DecoderSpec {
+  int p = 0;     ///< exp_eff width (two's complement)
+  int m = 0;     ///< frac_eff width including the hidden bit
+  int emin = 0;  ///< smallest effective exponent of the format
+  int emax = 0;  ///< largest effective exponent of the format
+};
+
+/// Derive P/M/emin/emax from a format's value set.
+[[nodiscard]] DecoderSpec decoder_spec(const formats::ExponentCodedFormat& fmt);
+
+struct DecoderPorts {
+  rtl::Bus code;      ///< 8-bit input bus (LSB first)
+  rtl::NetId sign = 0;
+  rtl::Bus exp_eff;   ///< spec.p bits, signed
+  rtl::Bus frac_eff;  ///< spec.m bits, unsigned; zero for special codes
+  rtl::NetId is_special = 0;  ///< zero / inf / NaN input
+  DecoderSpec spec;
+};
+
+/// Synthesis corner for the MERSIT effective-exponent unit (Fig. 5b):
+/// kCompact minimizes area (one-hot w*g select + short carry chain);
+/// kFast minimizes depth (fully parallel per-EC one-hot select + XOR
+/// stage, carry-free -- 7 logic levels for MERSIT(8,2) vs 12 for the
+/// Posit(8,1) decoder).  FP8/Posit decoders have a single implementation.
+enum class DecoderStyle { kCompact, kFast };
+
+/// Build the decoder for `fmt` (dispatches on the concrete format type;
+/// throws std::invalid_argument for formats with no hardware decoder, i.e.
+/// INT8 and the two's-complement StandardPosit8).
+[[nodiscard]] DecoderPorts build_decoder(rtl::Netlist& nl,
+                                         const formats::Format& fmt,
+                                         DecoderStyle style = DecoderStyle::kCompact);
+
+}  // namespace mersit::hw

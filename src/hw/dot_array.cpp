@@ -1,0 +1,94 @@
+#include "hw/dot_array.h"
+
+#include <stdexcept>
+
+namespace mersit::hw {
+
+using rtl::Bus;
+using rtl::NetId;
+using rtl::Netlist;
+
+DotArrayPorts build_dot_array(Netlist& nl, const formats::Format& fmt, int lanes,
+                              int v_margin) {
+  const auto* ef = dynamic_cast<const formats::ExponentCodedFormat*>(&fmt);
+  if (ef == nullptr)
+    throw std::invalid_argument("build_dot_array: not an exponent-coded format");
+  if (lanes < 1) throw std::invalid_argument("build_dot_array: lanes must be >= 1");
+
+  DotArrayPorts arr;
+  arr.cfg = mac_config(*ef, v_margin);
+  arr.lanes = lanes;
+  while ((1 << arr.tree_bits) < lanes) ++arr.tree_bits;
+  const DecoderSpec& spec = arr.cfg.spec;
+  const int m = spec.m;
+  const int lane_width = arr.cfg.acc_width;        // aligned product width
+  const int total_width = lane_width + arr.tree_bits;
+
+  // --- per-lane decode, multiply, align, sign ------------------------------
+  std::vector<Bus> lane_addends;  // signed, total_width each
+  for (int lane = 0; lane < lanes; ++lane) {
+    nl.push_group("decoder");
+    arr.wdec.push_back(build_decoder(nl, fmt));
+    arr.adec.push_back(build_decoder(nl, fmt));
+    nl.pop_group();
+
+    nl.push_group("exp_adder");
+    const Bus exp_sum =
+        rtl::add_signed(nl, arr.wdec.back().exp_eff, arr.adec.back().exp_eff);
+    const NetId sign = nl.xor2(arr.wdec.back().sign, arr.adec.back().sign);
+    nl.pop_group();
+
+    nl.push_group("frac_multiplier");
+    const Bus product =
+        rtl::array_multiply(nl, arr.wdec.back().frac_eff, arr.adec.back().frac_eff);
+    nl.pop_group();
+
+    nl.push_group("aligner");
+    const int sw = static_cast<int>(exp_sum.size()) + 1;
+    const Bus shift_wide = rtl::ripple_add(
+        nl, rtl::sign_extend(exp_sum, sw),
+        rtl::constant_bus(nl,
+                          static_cast<std::uint64_t>(-2 * spec.emin) &
+                              ((1ull << sw) - 1ull),
+                          sw),
+        nl.constant(false));
+    const Bus shift(shift_wide.begin(), shift_wide.begin() + arr.cfg.shift_bits);
+    const int window = lane_width + 2 * m - 2;
+    const Bus aligned = rtl::barrel_shift_left(nl, product, shift, window);
+    Bus magnitude(aligned.begin() + (2 * m - 2), aligned.end());
+    // Two's-complement signed addend, extended for the tree.
+    const Bus addend = rtl::negate_if(
+        nl, rtl::zero_extend(nl, magnitude, total_width), sign);
+    nl.pop_group();
+    lane_addends.push_back(addend);
+  }
+
+  // --- balanced signed adder tree ------------------------------------------
+  nl.push_group("adder_tree");
+  std::vector<Bus> level = std::move(lane_addends);
+  while (level.size() > 1) {
+    std::vector<Bus> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      // Widths are uniform (total_width); a mod-2^total sum is exact because
+      // the true sum of N lane values fits in total_width by construction.
+      next.push_back(
+          rtl::ripple_add(nl, level[i], level[i + 1], nl.constant(false)));
+    }
+    if (level.size() % 2 != 0) next.push_back(level.back());
+    level = std::move(next);
+  }
+  const Bus tree_sum = level[0];
+  nl.pop_group();
+
+  // --- shared accumulator ---------------------------------------------------
+  nl.push_group("accumulator");
+  arr.acc.reserve(static_cast<std::size_t>(total_width));
+  for (int i = 0; i < total_width; ++i) arr.acc.push_back(nl.dff_unbound());
+  const Bus next = rtl::ripple_add(nl, arr.acc, tree_sum, nl.constant(false));
+  for (int i = 0; i < total_width; ++i)
+    nl.bind_dff(arr.acc[static_cast<std::size_t>(i)], next[static_cast<std::size_t>(i)]);
+  nl.pop_group();
+  return arr;
+}
+
+}  // namespace mersit::hw

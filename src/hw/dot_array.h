@@ -1,0 +1,37 @@
+// Multi-lane dot-product unit (extension).
+//
+// A deployment-shaped composition of the Fig. 2 MAC: N (weight, activation)
+// pairs per cycle, one decoder + multiplier + aligner per lane, a signed
+// adder tree, and a single shared Kulisch accumulator:
+//
+//   lane i:  codes -> decoders -> exp adder -> multiplier -> aligner
+//   tree  :  sum of the N aligned signed products
+//   accum :  acc += tree   (width W + V + ceil(log2 N))
+//
+// Because the per-lane logic (dominated by the decoders) replicates with N
+// while the accumulator is shared, the decoder-efficiency gap between
+// formats *grows* with lane count -- the amortization ablation
+// (bench/ablation_array) quantifies this.
+#pragma once
+
+#include "hw/mac.h"
+
+namespace mersit::hw {
+
+struct DotArrayPorts {
+  MacConfig cfg;            ///< per-lane sizing (acc_width excludes tree growth)
+  int lanes = 0;
+  int tree_bits = 0;        ///< extra accumulator bits for the adder tree
+  std::vector<DecoderPorts> wdec;  ///< one per lane
+  std::vector<DecoderPorts> adec;
+  rtl::Bus acc;             ///< shared accumulator register (signed)
+};
+
+/// Build an N-lane dot-product unit for `fmt`.  Component groups:
+/// "decoder", "exp_adder", "frac_multiplier", "aligner", "adder_tree",
+/// "accumulator".
+[[nodiscard]] DotArrayPorts build_dot_array(rtl::Netlist& nl,
+                                            const formats::Format& fmt, int lanes,
+                                            int v_margin = 6);
+
+}  // namespace mersit::hw

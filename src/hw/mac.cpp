@@ -1,0 +1,78 @@
+#include "hw/mac.h"
+
+#include <stdexcept>
+
+namespace mersit::hw {
+
+using rtl::Bus;
+using rtl::NetId;
+using rtl::Netlist;
+
+MacConfig mac_config(const formats::ExponentCodedFormat& fmt, int v_margin) {
+  MacConfig c;
+  c.spec = decoder_spec(fmt);
+  c.w = 2 * (c.spec.emax - c.spec.emin) + 1;
+  c.v = v_margin;
+  c.acc_width = c.w + c.v;
+  int s = 1;
+  while ((1 << s) < c.w) ++s;  // shift amounts span [0, w-1]
+  c.shift_bits = s;
+  return c;
+}
+
+MacPorts build_mac(Netlist& nl, const formats::Format& fmt, int v_margin) {
+  const auto* ef = dynamic_cast<const formats::ExponentCodedFormat*>(&fmt);
+  if (ef == nullptr)
+    throw std::invalid_argument("build_mac: " + fmt.name() +
+                                " is not an exponent-coded format");
+  MacPorts mac;
+  mac.cfg = mac_config(*ef, v_margin);
+  const DecoderSpec& spec = mac.cfg.spec;
+  const int m = spec.m;
+
+  nl.push_group("decoder");
+  mac.wdec = build_decoder(nl, fmt);
+  mac.adec = build_decoder(nl, fmt);
+  nl.pop_group();
+
+  nl.push_group("exp_adder");
+  mac.exp_sum = rtl::add_signed(nl, mac.wdec.exp_eff, mac.adec.exp_eff);
+  mac.prod_sign = nl.xor2(mac.wdec.sign, mac.adec.sign);
+  nl.pop_group();
+
+  nl.push_group("frac_multiplier");
+  mac.product = rtl::array_multiply(nl, mac.wdec.frac_eff, mac.adec.frac_eff);
+  nl.pop_group();
+
+  nl.push_group("aligner");
+  // shift = exp_sum - 2*emin, guaranteed in [0, w-1].
+  const int sw = static_cast<int>(mac.exp_sum.size()) + 1;
+  const Bus shift_wide = rtl::ripple_add(
+      nl, rtl::sign_extend(mac.exp_sum, sw),
+      rtl::constant_bus(nl,
+                        static_cast<std::uint64_t>(-2 * spec.emin) &
+                            ((1ull << sw) - 1ull),
+                        sw),
+      nl.constant(false));
+  Bus shift(shift_wide.begin(), shift_wide.begin() + mac.cfg.shift_bits);
+  // Window extends 2M-2 bits below the accumulator LSB; those positions are
+  // provably zero for representable products and are sliced away.
+  const int window = mac.cfg.acc_width + 2 * m - 2;
+  const Bus aligned = rtl::barrel_shift_left(nl, mac.product, shift, window);
+  mac.addend.assign(aligned.begin() + (2 * m - 2), aligned.end());
+  nl.pop_group();
+
+  nl.push_group("accumulator");
+  mac.acc.reserve(static_cast<std::size_t>(mac.cfg.acc_width));
+  for (int i = 0; i < mac.cfg.acc_width; ++i) mac.acc.push_back(nl.dff_unbound());
+  // acc +/- addend: two's-complement add of (addend XOR sign) with carry-in.
+  const Bus signed_addend = rtl::bus_xor(nl, mac.addend, mac.prod_sign);
+  const Bus next = rtl::ripple_add(nl, mac.acc, signed_addend, mac.prod_sign);
+  for (int i = 0; i < mac.cfg.acc_width; ++i)
+    nl.bind_dff(mac.acc[static_cast<std::size_t>(i)], next[static_cast<std::size_t>(i)]);
+  nl.pop_group();
+
+  return mac;
+}
+
+}  // namespace mersit::hw

@@ -1,0 +1,57 @@
+// The Fig. 2 multiply-and-accumulate unit with a Kulisch accumulator.
+//
+// Structure (all formats share it; only the decoders and widths differ):
+//
+//   code_w -> decoder -> exp_eff_w  \                         sign_w xor sign_a
+//   code_a -> decoder -> exp_eff_a  -> signed adder (P+1)          |
+//                     -> frac_eff_w \                              v
+//                     -> frac_eff_a -> unsigned multiplier (2M) -> align
+//                                                                  |
+//                              fixed-point adder + register (W+V) <-+
+//
+// Accumulator bit q has weight 2^(2*emin + q); W = 2*(emax-emin)+1 covers
+// every product's value range (the paper's Fig. 2 table: 33/45/35 bits for
+// FP(8,4)/Posit(8,1)/MERSIT(8,2)); V extra bits guard against overflow
+// while accumulating.
+//
+// The aligner shifts the 2M-bit integer product left by exp_sum - 2*emin
+// within a window that extends 2M-2 bits below the accumulator LSB; those
+// low window bits are provably zero for every representable product (each
+// operand is an integer multiple of 2^emin) and are sliced away, which is
+// exactly why the paper can size the adder at W+V.
+#pragma once
+
+#include "hw/decoder.h"
+
+namespace mersit::hw {
+
+struct MacConfig {
+  DecoderSpec spec;
+  int w = 0;           ///< product value-range bit positions: 2*(emax-emin)+1
+  int v = 0;           ///< overflow margin bits
+  int acc_width = 0;   ///< W + V
+  int shift_bits = 0;  ///< aligner shift-amount width
+};
+
+/// Derive the MAC sizing for a format (Fig. 2's table).
+[[nodiscard]] MacConfig mac_config(const formats::ExponentCodedFormat& fmt,
+                                   int v_margin = 6);
+
+struct MacPorts {
+  MacConfig cfg;
+  DecoderPorts wdec;      ///< weight-side decoder
+  DecoderPorts adec;      ///< activation-side decoder
+  rtl::NetId prod_sign = 0;
+  rtl::Bus exp_sum;       ///< P+1 bits, signed
+  rtl::Bus product;       ///< 2M bits, unsigned
+  rtl::Bus addend;        ///< acc_width bits (aligned magnitude)
+  rtl::Bus acc;           ///< accumulator register outputs (signed, acc_width)
+};
+
+/// Build a complete MAC for `fmt`.  Gates are attributed to the component
+/// groups "decoder", "exp_adder", "frac_multiplier", "aligner",
+/// "accumulator" for area/power breakdown (Fig. 7 / Table 3).
+[[nodiscard]] MacPorts build_mac(rtl::Netlist& nl, const formats::Format& fmt,
+                                 int v_margin = 6);
+
+}  // namespace mersit::hw

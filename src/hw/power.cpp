@@ -1,0 +1,96 @@
+#include "hw/power.h"
+
+#include <stdexcept>
+
+#include "hw/reference.h"
+#include "rtl/sim.h"
+
+namespace mersit::hw {
+
+const ComponentCost& MacCost::component(const std::string& name) const {
+  for (const auto& c : components)
+    if (c.name == name) return c;
+  throw std::out_of_range("MacCost::component: " + name);
+}
+
+ComponentCost MacCost::multiplier() const {
+  ComponentCost m;
+  m.name = "multiplier";
+  for (const char* part : {"decoder", "exp_adder", "frac_multiplier"}) {
+    const ComponentCost& c = component(part);
+    m.area_um2 += c.area_um2;
+    m.power_uw += c.power_uw;
+  }
+  return m;
+}
+
+MacCost measure_mac(const formats::Format& fmt, const CodeStream& stream,
+                    double clock_hz, int v_margin) {
+  const auto* ef = dynamic_cast<const formats::ExponentCodedFormat*>(&fmt);
+  if (ef == nullptr)
+    throw std::invalid_argument("measure_mac: not an exponent-coded format");
+
+  rtl::Netlist nl;
+  const MacPorts mac = build_mac(nl, fmt, v_margin);
+  const rtl::CellLibrary& lib = rtl::CellLibrary::nangate45_like();
+
+  MacCost cost;
+  cost.format = fmt.name();
+  cost.cfg = mac.cfg;
+  cost.area_um2 = lib.area_um2(nl);
+  cost.cells = nl.cell_count();
+
+  rtl::Simulator sim(nl);
+  MacReference ref(*ef, v_margin);
+  for (const auto& [w, a] : stream) {
+    sim.set_input_bus(mac.wdec.code, w);
+    sim.set_input_bus(mac.adec.code, a);
+    sim.eval();
+    sim.clock();
+    ref.accumulate(w, a);
+  }
+  if (!stream.empty() &&
+      sim.get_bus_signed(mac.acc) != ref.acc_raw()) {
+    throw std::logic_error("measure_mac: netlist/reference accumulator mismatch for " +
+                           fmt.name());
+  }
+
+  const double cycles = static_cast<double>(stream.empty() ? 1 : stream.size());
+  const double period_ns = 1e9 / clock_hz;
+  const auto energy_by_group = sim.dynamic_energy_by_group_fj(lib);
+  const auto area_by_group = lib.area_by_group_um2(nl);
+
+  // Leakage attributed exactly, per gate, to its component group.
+  const auto& names = nl.group_names();
+  std::vector<double> leak_by_group(names.size(), 0.0);
+  for (const auto& g : nl.gates())
+    leak_by_group[g.group] += lib.spec(g.type).leakage_nw * 1e-3;
+
+  double total_power = 0.0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    ComponentCost c;
+    c.name = names[i];
+    c.area_um2 = area_by_group[i];
+    c.power_uw = energy_by_group[i] / (cycles * period_ns) + leak_by_group[i];
+    total_power += c.power_uw;
+    if (c.name != "top") cost.components.push_back(c);
+  }
+  cost.power_uw = total_power;
+  return cost;
+}
+
+CodeStream make_code_stream(const formats::Format& fmt,
+                            std::span<const float> weights,
+                            std::span<const float> activations, double w_scale,
+                            double a_scale) {
+  const std::size_t n = std::min(weights.size(), activations.size());
+  CodeStream s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.emplace_back(fmt.encode(static_cast<double>(weights[i]) / w_scale),
+                   fmt.encode(static_cast<double>(activations[i]) / a_scale));
+  }
+  return s;
+}
+
+}  // namespace mersit::hw

@@ -1,0 +1,56 @@
+// Area / power measurement harness (substitutes Design Compiler reports and
+// PrimeTime PX averages over "actual DNN data").
+//
+// Area is summed from the cell library.  Dynamic power replays a stream of
+// (weight, activation) code pairs through the MAC netlist at the paper's
+// 100 MHz and charges every output transition its cell's switching energy;
+// leakage is added per cell.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "formats/format.h"
+#include "hw/mac.h"
+
+namespace mersit::hw {
+
+/// One (weight, activation) input pair per cycle.
+using CodeStream = std::vector<std::pair<std::uint8_t, std::uint8_t>>;
+
+struct ComponentCost {
+  std::string name;
+  double area_um2 = 0.0;
+  double power_uw = 0.0;  ///< dynamic + leakage
+};
+
+struct MacCost {
+  std::string format;
+  MacConfig cfg;
+  double area_um2 = 0.0;
+  double power_uw = 0.0;
+  std::size_t cells = 0;
+  std::vector<ComponentCost> components;  ///< decoder, exp_adder, ...
+
+  [[nodiscard]] const ComponentCost& component(const std::string& name) const;
+  /// Multiplier subtotal (decoder + exp_adder + frac_multiplier), Table 3.
+  [[nodiscard]] ComponentCost multiplier() const;
+};
+
+/// Build the MAC for `fmt`, stream `stream` through it, and report cost.
+/// `clock_hz` defaults to the paper's 100 MHz.  The functional result is
+/// cross-checked against MacReference; a mismatch throws std::logic_error.
+[[nodiscard]] MacCost measure_mac(const formats::Format& fmt, const CodeStream& stream,
+                                  double clock_hz = 100e6, int v_margin = 6);
+
+/// Quantize a real-valued data stream into a CodeStream for `fmt` using the
+/// given scales (PTQ-style: value/scale then encode).
+[[nodiscard]] CodeStream make_code_stream(const formats::Format& fmt,
+                                          std::span<const float> weights,
+                                          std::span<const float> activations,
+                                          double w_scale, double a_scale);
+
+}  // namespace mersit::hw

@@ -1,0 +1,255 @@
+#include "nn/data.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mersit::nn {
+
+Dataset make_vision_dataset(int n, int channels, int size, unsigned seed,
+                             unsigned task_seed) {
+  constexpr int kClasses = 10;
+  std::mt19937 proto_rng(task_seed * 7919u + 13u);
+  // Fixed per-class prototypes: 3 gaussian blobs + an orientation grating.
+  struct Blob {
+    float cx, cy, sigma, amp;
+    int ch;
+  };
+  std::vector<std::vector<Blob>> blobs(kClasses);
+  std::vector<float> grate_angle(kClasses), grate_freq(kClasses);
+  std::uniform_real_distribution<float> unit(0.f, 1.f);
+  for (int k = 0; k < kClasses; ++k) {
+    for (int b = 0; b < 3; ++b) {
+      blobs[static_cast<std::size_t>(k)].push_back(
+          {unit(proto_rng) * static_cast<float>(size),
+           unit(proto_rng) * static_cast<float>(size),
+           1.f + 2.f * unit(proto_rng), 0.7f + unit(proto_rng),
+           static_cast<int>(proto_rng() % static_cast<unsigned>(channels))});
+    }
+    grate_angle[static_cast<std::size_t>(k)] = unit(proto_rng) * 3.14159f;
+    grate_freq[static_cast<std::size_t>(k)] = 0.6f + 1.2f * unit(proto_rng);
+  }
+
+  std::mt19937 rng(seed);
+  std::normal_distribution<float> noise(0.f, 0.4f);
+  std::uniform_real_distribution<float> gain(0.6f, 1.4f);
+  std::uniform_int_distribution<int> jitter(-2, 2);
+
+  Dataset ds;
+  ds.num_classes = kClasses;
+  ds.inputs = Tensor({n, channels, size, size});
+  ds.labels.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int k = static_cast<int>(rng() % kClasses);
+    ds.labels[static_cast<std::size_t>(i)] = k;
+    const float g = gain(rng);
+    const int dx = jitter(rng), dy = jitter(rng);
+    // Per-sample class-independent clutter: structured distractor blobs that
+    // dominate the input energy, so the class signal is subtle and
+    // quantization noise meaningfully erodes the decision margin.
+    Blob clutter[3];
+    for (Blob& b : clutter) {
+      b = {unit(rng) * static_cast<float>(size), unit(rng) * static_cast<float>(size),
+           1.f + 2.f * unit(rng), 0.35f + 0.5f * unit(rng),
+           static_cast<int>(rng() % static_cast<unsigned>(channels))};
+    }
+    for (int c = 0; c < channels; ++c) {
+      for (int y = 0; y < size; ++y) {
+        for (int x = 0; x < size; ++x) {
+          float v = 0.f;
+          for (const Blob& b : blobs[static_cast<std::size_t>(k)]) {
+            if (b.ch != c) continue;
+            const float ddx = static_cast<float>(x + dx) - b.cx;
+            const float ddy = static_cast<float>(y + dy) - b.cy;
+            v += 0.8f * b.amp *
+                 std::exp(-(ddx * ddx + ddy * ddy) / (2.f * b.sigma * b.sigma));
+          }
+          for (const Blob& b : clutter) {
+            if (b.ch != c) continue;
+            const float ddx = static_cast<float>(x) - b.cx;
+            const float ddy = static_cast<float>(y) - b.cy;
+            v += b.amp * std::exp(-(ddx * ddx + ddy * ddy) / (2.f * b.sigma * b.sigma));
+          }
+          const float a = grate_angle[static_cast<std::size_t>(k)];
+          const float phase = (std::cos(a) * static_cast<float>(x + dx) +
+                               std::sin(a) * static_cast<float>(y + dy)) *
+                              grate_freq[static_cast<std::size_t>(k)];
+          v += 0.22f * std::sin(phase) * (c == 0 ? 1.f : 0.5f);
+          ds.inputs.at(i, c, y, x) = g * v + noise(rng);
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+const char* glue_task_name(GlueTask task) {
+  switch (task) {
+    case GlueTask::kCola: return "CoLA";
+    case GlueTask::kMnliMM: return "MNLI-mm";
+    case GlueTask::kMrpc: return "MRPC";
+    case GlueTask::kSst2: return "SST-2";
+  }
+  return "?";
+}
+
+int glue_num_classes(GlueTask task) {
+  return task == GlueTask::kMnliMM ? 3 : 2;
+}
+
+namespace {
+
+int content_tokens(int vocab) { return vocab - kFirstContentToken; }
+
+/// Deterministic "antonym" pairing of content tokens (used by MNLI).
+int antonym(int tok, int vocab) {
+  const int c = content_tokens(vocab);
+  const int idx = tok - kFirstContentToken;
+  return kFirstContentToken + (idx + c / 2) % c;
+}
+
+Dataset make_sst2(int n, int vocab, int seq_len, std::mt19937& rng) {
+  // Valence: first third positive, second third negative, rest neutral.
+  const int c = content_tokens(vocab);
+  auto valence = [&](int tok) {
+    const int idx = tok - kFirstContentToken;
+    if (idx < c / 3) return 1;
+    if (idx < 2 * (c / 3)) return -1;
+    return 0;
+  };
+  Dataset ds;
+  ds.num_classes = 2;
+  ds.inputs = Tensor({n, seq_len});
+  ds.labels.resize(static_cast<std::size_t>(n));
+  std::uniform_int_distribution<int> tok(kFirstContentToken, vocab - 1);
+  for (int i = 0; i < n; ++i) {
+    int sum = 0;
+    ds.inputs.at(i, 0) = kClsToken;
+    for (int t = 1; t < seq_len; ++t) {
+      const int v = tok(rng);
+      ds.inputs.at(i, t) = static_cast<float>(v);
+      sum += valence(v);
+    }
+    if (sum == 0) {
+      // Nudge one neutral slot to a sentiment token to break the tie.
+      const int v = kFirstContentToken + static_cast<int>(rng() % static_cast<unsigned>(c / 3));
+      ds.inputs.at(i, 1) = static_cast<float>(v);
+      sum = 1;
+    }
+    ds.labels[static_cast<std::size_t>(i)] = sum > 0 ? 1 : 0;
+  }
+  return ds;
+}
+
+Dataset make_cola(int n, int vocab, int seq_len, std::mt19937& rng) {
+  // "Grammar": even content positions draw from set A (even content ids),
+  // odd positions from set B.  Negatives violate 1-2 positions.
+  Dataset ds;
+  ds.num_classes = 2;
+  ds.inputs = Tensor({n, seq_len});
+  ds.labels.resize(static_cast<std::size_t>(n));
+  const int c = content_tokens(vocab);
+  auto draw = [&](bool even) {
+    const int idx = 2 * static_cast<int>(rng() % static_cast<unsigned>(c / 2)) + (even ? 0 : 1);
+    return kFirstContentToken + idx;
+  };
+  for (int i = 0; i < n; ++i) {
+    const bool acceptable = (rng() & 1) != 0;
+    ds.labels[static_cast<std::size_t>(i)] = acceptable ? 1 : 0;
+    ds.inputs.at(i, 0) = kClsToken;
+    for (int t = 1; t < seq_len; ++t)
+      ds.inputs.at(i, t) = static_cast<float>(draw(t % 2 == 0));
+    if (!acceptable) {
+      // Violate roughly a quarter of the positions (at least two) so the
+      // "ungrammatical" signal is strong enough to generalize from.
+      const int violations = std::max(2, (seq_len - 1) / 4);
+      for (int v = 0; v < violations; ++v) {
+        const int t = 1 + static_cast<int>(rng() % static_cast<unsigned>(seq_len - 1));
+        ds.inputs.at(i, t) = static_cast<float>(draw(t % 2 != 0));  // wrong set
+      }
+    }
+  }
+  return ds;
+}
+
+Dataset make_mrpc(int n, int vocab, int seq_len, std::mt19937& rng) {
+  // [CLS] s1 [SEP] s2 ; paraphrase = s2 is a shuffled copy of s1 with one
+  // token replaced; negative = independent s2.
+  Dataset ds;
+  ds.num_classes = 2;
+  ds.inputs = Tensor({n, seq_len});
+  ds.labels.resize(static_cast<std::size_t>(n));
+  const int half = (seq_len - 2) / 2;
+  std::uniform_int_distribution<int> tok(kFirstContentToken, vocab - 1);
+  for (int i = 0; i < n; ++i) {
+    const bool para = (rng() & 1) != 0;
+    ds.labels[static_cast<std::size_t>(i)] = para ? 1 : 0;
+    std::vector<int> s1(static_cast<std::size_t>(half));
+    for (auto& t : s1) t = tok(rng);
+    std::vector<int> s2;
+    if (para) {
+      s2 = s1;
+      std::shuffle(s2.begin(), s2.end(), rng);
+      s2[rng() % s2.size()] = tok(rng);
+    } else {
+      s2.resize(static_cast<std::size_t>(half));
+      for (auto& t : s2) t = tok(rng);
+    }
+    int p = 0;
+    ds.inputs.at(i, p++) = kClsToken;
+    for (const int t : s1) ds.inputs.at(i, p++) = static_cast<float>(t);
+    ds.inputs.at(i, p++) = kSepToken;
+    for (const int t : s2) ds.inputs.at(i, p++) = static_cast<float>(t);
+    while (p < seq_len) ds.inputs.at(i, p++) = kSepToken;
+  }
+  return ds;
+}
+
+Dataset make_mnli(int n, int vocab, int seq_len, std::mt19937& rng) {
+  // Premise tokens; hypothesis = subset of premise (entailment, 2),
+  // antonyms of premise tokens (contradiction, 0), or random (neutral, 1).
+  Dataset ds;
+  ds.num_classes = 3;
+  ds.inputs = Tensor({n, seq_len});
+  ds.labels.resize(static_cast<std::size_t>(n));
+  const int half = (seq_len - 2) / 2;
+  std::uniform_int_distribution<int> tok(kFirstContentToken, vocab - 1);
+  for (int i = 0; i < n; ++i) {
+    const int label = static_cast<int>(rng() % 3u);
+    ds.labels[static_cast<std::size_t>(i)] = label;
+    std::vector<int> prem(static_cast<std::size_t>(half));
+    for (auto& t : prem) t = tok(rng);
+    std::vector<int> hyp(static_cast<std::size_t>(half));
+    for (auto& t : hyp) {
+      const int src = prem[rng() % prem.size()];
+      if (label == 2) t = src;                       // entailment
+      else if (label == 0) t = antonym(src, vocab);  // contradiction
+      else t = tok(rng);                             // neutral
+    }
+    int p = 0;
+    ds.inputs.at(i, p++) = kClsToken;
+    for (const int t : prem) ds.inputs.at(i, p++) = static_cast<float>(t);
+    ds.inputs.at(i, p++) = kSepToken;
+    for (const int t : hyp) ds.inputs.at(i, p++) = static_cast<float>(t);
+    while (p < seq_len) ds.inputs.at(i, p++) = kSepToken;
+  }
+  return ds;
+}
+
+}  // namespace
+
+Dataset make_glue_dataset(GlueTask task, int n, int vocab, int seq_len,
+                          unsigned seed) {
+  if (vocab < 8 || seq_len < 6)
+    throw std::invalid_argument("make_glue_dataset: vocab/seq_len too small");
+  std::mt19937 rng(seed);
+  switch (task) {
+    case GlueTask::kCola: return make_cola(n, vocab, seq_len, rng);
+    case GlueTask::kMnliMM: return make_mnli(n, vocab, seq_len, rng);
+    case GlueTask::kMrpc: return make_mrpc(n, vocab, seq_len, rng);
+    case GlueTask::kSst2: return make_sst2(n, vocab, seq_len, rng);
+  }
+  throw std::invalid_argument("make_glue_dataset: unknown task");
+}
+
+}  // namespace mersit::nn

@@ -1,0 +1,41 @@
+// Synthetic datasets substituting for ImageNet and GLUE (see DESIGN.md).
+//
+// The vision task is a 10-way procedural-pattern classification: each class
+// owns a fixed prototype (random blobs + orientation grating, drawn once
+// from the dataset seed); samples blend the prototype with noise, a random
+// gain, and a spatial jitter, so FP32 models land in the high-90s and
+// quantization damage is measurable.
+//
+// The four text tasks mirror GLUE's structure on a small synthetic
+// vocabulary: CoLA-like acceptability (positional grammar; MCC metric),
+// MNLI-like 3-way premise/hypothesis inference, MRPC-like paraphrase
+// detection, and SST-2-like sentiment (token valence).  Pair tasks are
+// encoded BERT-style: [CLS] s1 [SEP] s2.
+#pragma once
+
+#include "nn/train.h"
+
+namespace mersit::nn {
+
+/// 10-class procedural image dataset: [n, channels, size, size].
+/// `seed` drives the sampling noise; `task_seed` fixes the class prototypes,
+/// so train/test splits share prototypes by using the same task_seed with
+/// different seeds.
+[[nodiscard]] Dataset make_vision_dataset(int n, int channels, int size,
+                                          unsigned seed, unsigned task_seed = 77);
+
+enum class GlueTask { kCola, kMnliMM, kMrpc, kSst2 };
+
+[[nodiscard]] const char* glue_task_name(GlueTask task);
+[[nodiscard]] int glue_num_classes(GlueTask task);
+
+/// Special token ids shared by all text tasks.
+inline constexpr int kClsToken = 0;
+inline constexpr int kSepToken = 1;
+inline constexpr int kFirstContentToken = 2;
+
+/// Sequence-classification dataset: inputs [n, seq_len] of token ids.
+[[nodiscard]] Dataset make_glue_dataset(GlueTask task, int n, int vocab,
+                                        int seq_len, unsigned seed);
+
+}  // namespace mersit::nn

@@ -1,0 +1,570 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mersit::nn {
+
+namespace {
+
+float sigmoidf(float x) { return 1.f / (1.f + std::exp(-x)); }
+
+}  // namespace
+
+// ---------------------------------------------------------------- Linear ---
+
+Linear::Linear(int in, int out, std::mt19937& rng)
+    : weight(Tensor::randn({out, in}, rng, std::sqrt(2.f / static_cast<float>(in)))),
+      bias(Tensor::zeros({out})),
+      in_(in),
+      out_(out) {}
+
+void Linear::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight);
+  out.push_back(&bias);
+}
+
+std::span<float> Linear::channel_span(int c) {
+  return weight.value.data().subspan(static_cast<std::size_t>(c) * static_cast<std::size_t>(in_),
+                                     static_cast<std::size_t>(in_));
+}
+
+Tensor Linear::forward(const Tensor& x, const Context& ctx) {
+  const int n = x.dim(0);
+  if (x.dim(1) != in_) throw std::invalid_argument("Linear: width mismatch");
+  Tensor y({n, out_});
+  for (int i = 0; i < n; ++i) {
+    const float* xi = x.raw() + static_cast<std::ptrdiff_t>(i) * in_;
+    for (int o = 0; o < out_; ++o) {
+      const float* w = weight.value.raw() + static_cast<std::ptrdiff_t>(o) * in_;
+      float acc = bias.value[o];
+      for (int j = 0; j < in_; ++j) acc += w[j] * xi[j];
+      y.at(i, o) = acc;
+    }
+  }
+  if (ctx.train) x_cache_ = x;
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  const Tensor& x = x_cache_;
+  const int n = x.dim(0);
+  Tensor dx({n, in_});
+  for (int i = 0; i < n; ++i) {
+    const float* xi = x.raw() + static_cast<std::ptrdiff_t>(i) * in_;
+    float* dxi = dx.raw() + static_cast<std::ptrdiff_t>(i) * in_;
+    for (int o = 0; o < out_; ++o) {
+      const float g = grad_out.at(i, o);
+      const float* w = weight.value.raw() + static_cast<std::ptrdiff_t>(o) * in_;
+      float* dw = weight.grad.raw() + static_cast<std::ptrdiff_t>(o) * in_;
+      bias.grad[o] += g;
+      for (int j = 0; j < in_; ++j) {
+        dw[j] += g * xi[j];
+        dxi[j] += g * w[j];
+      }
+    }
+  }
+  return dx;
+}
+
+// ---------------------------------------------------------------- Conv2d ---
+
+Conv2d::Conv2d(int in_ch, int out_ch, int ksize, int stride, int pad, int groups,
+               std::mt19937& rng)
+    : weight(Tensor::randn(
+          {out_ch, in_ch / groups, ksize, ksize}, rng,
+          std::sqrt(2.f / static_cast<float>((in_ch / groups) * ksize * ksize)))),
+      bias(Tensor::zeros({out_ch})),
+      in_ch_(in_ch),
+      out_ch_(out_ch),
+      k_(ksize),
+      stride_(stride),
+      pad_(pad),
+      groups_(groups) {
+  if (in_ch % groups != 0 || out_ch % groups != 0)
+    throw std::invalid_argument("Conv2d: groups must divide channel counts");
+}
+
+void Conv2d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight);
+  out.push_back(&bias);
+}
+
+std::span<float> Conv2d::channel_span(int c) {
+  const std::size_t per = static_cast<std::size_t>(in_ch_ / groups_) *
+                          static_cast<std::size_t>(k_) * static_cast<std::size_t>(k_);
+  return weight.value.data().subspan(static_cast<std::size_t>(c) * per, per);
+}
+
+Tensor Conv2d::forward(const Tensor& x, const Context& ctx) {
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  if (x.dim(1) != in_ch_) throw std::invalid_argument("Conv2d: channel mismatch");
+  const int oh = (h + 2 * pad_ - k_) / stride_ + 1;
+  const int ow = (w + 2 * pad_ - k_) / stride_ + 1;
+  const int icg = in_ch_ / groups_;
+  const int ocg = out_ch_ / groups_;
+  Tensor y({n, out_ch_, oh, ow});
+  for (int b = 0; b < n; ++b) {
+    for (int o = 0; o < out_ch_; ++o) {
+      const int g = o / ocg;
+      for (int i = 0; i < oh; ++i) {
+        for (int j = 0; j < ow; ++j) {
+          float acc = bias.value[o];
+          for (int c = 0; c < icg; ++c) {
+            const int ic = g * icg + c;
+            for (int ki = 0; ki < k_; ++ki) {
+              const int yi = i * stride_ + ki - pad_;
+              if (yi < 0 || yi >= h) continue;
+              for (int kj = 0; kj < k_; ++kj) {
+                const int xj = j * stride_ + kj - pad_;
+                if (xj < 0 || xj >= w) continue;
+                acc += weight.value.at(o, c, ki, kj) * x.at(b, ic, yi, xj);
+              }
+            }
+          }
+          y.at(b, o, i, j) = acc;
+        }
+      }
+    }
+  }
+  if (ctx.train) x_cache_ = x;
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const Tensor& x = x_cache_;
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int oh = grad_out.dim(2), ow = grad_out.dim(3);
+  const int icg = in_ch_ / groups_;
+  const int ocg = out_ch_ / groups_;
+  Tensor dx(x.shape());
+  for (int b = 0; b < n; ++b) {
+    for (int o = 0; o < out_ch_; ++o) {
+      const int g = o / ocg;
+      for (int i = 0; i < oh; ++i) {
+        for (int j = 0; j < ow; ++j) {
+          const float go = grad_out.at(b, o, i, j);
+          if (go == 0.f) continue;
+          bias.grad[o] += go;
+          for (int c = 0; c < icg; ++c) {
+            const int ic = g * icg + c;
+            for (int ki = 0; ki < k_; ++ki) {
+              const int yi = i * stride_ + ki - pad_;
+              if (yi < 0 || yi >= h) continue;
+              for (int kj = 0; kj < k_; ++kj) {
+                const int xj = j * stride_ + kj - pad_;
+                if (xj < 0 || xj >= w) continue;
+                weight.grad.at(o, c, ki, kj) += go * x.at(b, ic, yi, xj);
+                dx.at(b, ic, yi, xj) += go * weight.value.at(o, c, ki, kj);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+// ----------------------------------------------------------- BatchNorm2d ---
+
+BatchNorm2d::BatchNorm2d(int channels)
+    : gamma(Tensor({channels}, 1.f)),
+      beta(Tensor::zeros({channels})),
+      running_mean(Tensor::zeros({channels})),
+      running_var(Tensor({channels}, 1.f)),
+      c_(channels) {}
+
+void BatchNorm2d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&gamma);
+  out.push_back(&beta);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, const Context& ctx) {
+  if (folded_) return x;
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const float count = static_cast<float>(n * h * w);
+  Tensor y(x.shape());
+  if (ctx.train) {
+    x_shape_ = x.shape();
+    x_hat_ = Tensor(x.shape());
+    inv_std_ = Tensor({c_});
+    for (int c = 0; c < c_; ++c) {
+      float mean = 0.f;
+      for (int b = 0; b < n; ++b)
+        for (int i = 0; i < h; ++i)
+          for (int j = 0; j < w; ++j) mean += x.at(b, c, i, j);
+      mean /= count;
+      float var = 0.f;
+      for (int b = 0; b < n; ++b)
+        for (int i = 0; i < h; ++i)
+          for (int j = 0; j < w; ++j) {
+            const float d = x.at(b, c, i, j) - mean;
+            var += d * d;
+          }
+      var /= count;
+      const float inv = 1.f / std::sqrt(var + eps_);
+      inv_std_[c] = inv;
+      running_mean[c] = (1.f - momentum_) * running_mean[c] + momentum_ * mean;
+      running_var[c] = (1.f - momentum_) * running_var[c] + momentum_ * var;
+      for (int b = 0; b < n; ++b)
+        for (int i = 0; i < h; ++i)
+          for (int j = 0; j < w; ++j) {
+            const float xh = (x.at(b, c, i, j) - mean) * inv;
+            x_hat_.at(b, c, i, j) = xh;
+            y.at(b, c, i, j) = gamma.value[c] * xh + beta.value[c];
+          }
+    }
+  } else {
+    for (int c = 0; c < c_; ++c) {
+      const float inv = 1.f / std::sqrt(running_var[c] + eps_);
+      const float scale = gamma.value[c] * inv;
+      const float shift = beta.value[c] - running_mean[c] * scale;
+      for (int b = 0; b < n; ++b)
+        for (int i = 0; i < h; ++i)
+          for (int j = 0; j < w; ++j)
+            y.at(b, c, i, j) = scale * x.at(b, c, i, j) + shift;
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  const int n = x_shape_[0], h = x_shape_[2], w = x_shape_[3];
+  const float count = static_cast<float>(n * h * w);
+  Tensor dx({n, c_, h, w});
+  for (int c = 0; c < c_; ++c) {
+    float sum_dy = 0.f, sum_dy_xhat = 0.f;
+    for (int b = 0; b < n; ++b)
+      for (int i = 0; i < h; ++i)
+        for (int j = 0; j < w; ++j) {
+          const float g = grad_out.at(b, c, i, j);
+          sum_dy += g;
+          sum_dy_xhat += g * x_hat_.at(b, c, i, j);
+        }
+    gamma.grad[c] += sum_dy_xhat;
+    beta.grad[c] += sum_dy;
+    const float scale = gamma.value[c] * inv_std_[c] / count;
+    for (int b = 0; b < n; ++b)
+      for (int i = 0; i < h; ++i)
+        for (int j = 0; j < w; ++j) {
+          const float g = grad_out.at(b, c, i, j);
+          dx.at(b, c, i, j) =
+              scale * (count * g - sum_dy - x_hat_.at(b, c, i, j) * sum_dy_xhat);
+        }
+  }
+  return dx;
+}
+
+void BatchNorm2d::fold_into(Conv2d& conv) {
+  if (folded_) throw std::logic_error("BatchNorm2d: already folded");
+  if (conv.out_channels() != c_)
+    throw std::invalid_argument("BatchNorm2d::fold_into: channel mismatch");
+  for (int o = 0; o < c_; ++o) {
+    const float inv = 1.f / std::sqrt(running_var[o] + eps_);
+    const float scale = gamma.value[o] * inv;
+    for (float& v : conv.channel_span(o)) v *= scale;
+    conv.bias.value[o] = (conv.bias.value[o] - running_mean[o]) * scale + beta.value[o];
+  }
+  folded_ = true;
+}
+
+// ------------------------------------------------------------ Activation ---
+
+const char* act_name(Act a) {
+  switch (a) {
+    case Act::kReLU: return "ReLU";
+    case Act::kReLU6: return "ReLU6";
+    case Act::kSiLU: return "SiLU";
+    case Act::kHardSwish: return "HardSwish";
+    case Act::kGELU: return "GELU";
+    case Act::kSigmoid: return "Sigmoid";
+    case Act::kTanh: return "Tanh";
+  }
+  return "?";
+}
+
+float act_eval(Act a, float x) {
+  switch (a) {
+    case Act::kReLU: return x > 0.f ? x : 0.f;
+    case Act::kReLU6: return x < 0.f ? 0.f : (x > 6.f ? 6.f : x);
+    case Act::kSiLU: return x * sigmoidf(x);
+    case Act::kHardSwish:
+      if (x <= -3.f) return 0.f;
+      if (x >= 3.f) return x;
+      return x * (x + 3.f) / 6.f;
+    case Act::kGELU: {
+      const float u = 0.7978845608f * (x + 0.044715f * x * x * x);
+      return 0.5f * x * (1.f + std::tanh(u));
+    }
+    case Act::kSigmoid: return sigmoidf(x);
+    case Act::kTanh: return std::tanh(x);
+  }
+  return 0.f;
+}
+
+namespace {
+
+float act_grad(Act a, float x) {
+  switch (a) {
+    case Act::kReLU: return x > 0.f ? 1.f : 0.f;
+    case Act::kReLU6: return (x > 0.f && x < 6.f) ? 1.f : 0.f;
+    case Act::kSiLU: {
+      const float s = sigmoidf(x);
+      return s * (1.f + x * (1.f - s));
+    }
+    case Act::kHardSwish:
+      if (x <= -3.f) return 0.f;
+      if (x >= 3.f) return 1.f;
+      return (2.f * x + 3.f) / 6.f;
+    case Act::kGELU: {
+      const float c = 0.7978845608f;
+      const float u = c * (x + 0.044715f * x * x * x);
+      const float t = std::tanh(u);
+      return 0.5f * (1.f + t) +
+             0.5f * x * (1.f - t * t) * c * (1.f + 3.f * 0.044715f * x * x);
+    }
+    case Act::kSigmoid: {
+      const float s = sigmoidf(x);
+      return s * (1.f - s);
+    }
+    case Act::kTanh: {
+      const float t = std::tanh(x);
+      return 1.f - t * t;
+    }
+  }
+  return 0.f;
+}
+
+}  // namespace
+
+Tensor Activation::forward(const Tensor& x, const Context& ctx) {
+  Tensor y(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) y[i] = act_eval(kind_, x[i]);
+  if (ctx.train) x_cache_ = x;
+  return y;
+}
+
+Tensor Activation::backward(const Tensor& grad_out) {
+  Tensor dx(x_cache_.shape());
+  for (std::int64_t i = 0; i < dx.numel(); ++i)
+    dx[i] = grad_out[i] * act_grad(kind_, x_cache_[i]);
+  return dx;
+}
+
+// -------------------------------------------------------------- Pooling ----
+
+Tensor MaxPool2d::forward(const Tensor& x, const Context& ctx) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oh = h / 2, ow = w / 2;
+  Tensor y({n, c, oh, ow});
+  if (ctx.train) {
+    x_cache_ = x;
+    argmax_.assign(static_cast<std::size_t>(y.numel()), 0);
+  }
+  std::int64_t oi = 0;
+  for (int b = 0; b < n; ++b)
+    for (int ch = 0; ch < c; ++ch)
+      for (int i = 0; i < oh; ++i)
+        for (int j = 0; j < ow; ++j, ++oi) {
+          float best = -1e30f;
+          std::int64_t best_idx = 0;
+          for (int di = 0; di < 2; ++di)
+            for (int dj = 0; dj < 2; ++dj) {
+              const int yi = 2 * i + di, xj = 2 * j + dj;
+              const std::int64_t idx =
+                  ((static_cast<std::int64_t>(b) * c + ch) * h + yi) * w + xj;
+              if (x[idx] > best) {
+                best = x[idx];
+                best_idx = idx;
+              }
+            }
+          y[oi] = best;
+          if (ctx.train) argmax_[static_cast<std::size_t>(oi)] = best_idx;
+        }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  Tensor dx(x_cache_.shape());
+  for (std::int64_t oi = 0; oi < grad_out.numel(); ++oi)
+    dx[argmax_[static_cast<std::size_t>(oi)]] += grad_out[oi];
+  return dx;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x, const Context& ctx) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  if (ctx.train) x_shape_ = x.shape();
+  Tensor y({n, c});
+  const float inv = 1.f / static_cast<float>(h * w);
+  for (int b = 0; b < n; ++b)
+    for (int ch = 0; ch < c; ++ch) {
+      float acc = 0.f;
+      for (int i = 0; i < h; ++i)
+        for (int j = 0; j < w; ++j) acc += x.at(b, ch, i, j);
+      y.at(b, ch) = acc * inv;
+    }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  const int n = x_shape_[0], c = x_shape_[1], h = x_shape_[2], w = x_shape_[3];
+  Tensor dx({n, c, h, w});
+  const float inv = 1.f / static_cast<float>(h * w);
+  for (int b = 0; b < n; ++b)
+    for (int ch = 0; ch < c; ++ch) {
+      const float g = grad_out.at(b, ch) * inv;
+      for (int i = 0; i < h; ++i)
+        for (int j = 0; j < w; ++j) dx.at(b, ch, i, j) = g;
+    }
+  return dx;
+}
+
+Tensor Flatten::forward(const Tensor& x, const Context& ctx) {
+  if (ctx.train) x_shape_ = x.shape();
+  const int n = x.dim(0);
+  return x.reshaped({n, static_cast<int>(x.numel() / n)});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(x_shape_);
+}
+
+// ------------------------------------------------------------ Sequential ---
+
+Tensor Sequential::forward(const Tensor& x, const Context& ctx) {
+  Tensor cur = x;
+  for (auto& m : mods_) cur = m->run(cur, ctx);
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = mods_.rbegin(); it != mods_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+void Sequential::collect_params(std::vector<Param*>& out) {
+  for (auto& m : mods_) m->collect_params(out);
+}
+
+void Sequential::collect_modules(std::vector<Module*>& out) {
+  out.push_back(this);
+  for (auto& m : mods_) m->collect_modules(out);
+}
+
+// -------------------------------------------------------------- Residual ---
+
+Tensor ResidualBlock::forward(const Tensor& x, const Context& ctx) {
+  Tensor main = body_->run(x, ctx);
+  Tensor skip = shortcut_ ? shortcut_->run(x, ctx) : x;
+  if (main.numel() != skip.numel())
+    throw std::invalid_argument("ResidualBlock: branch shape mismatch");
+  for (std::int64_t i = 0; i < main.numel(); ++i) main[i] += skip[i];
+  return main;
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_out) {
+  Tensor dx = body_->backward(grad_out);
+  if (shortcut_) {
+    const Tensor ds = shortcut_->backward(grad_out);
+    for (std::int64_t i = 0; i < dx.numel(); ++i) dx[i] += ds[i];
+  } else {
+    for (std::int64_t i = 0; i < dx.numel(); ++i) dx[i] += grad_out[i];
+  }
+  return dx;
+}
+
+void ResidualBlock::collect_params(std::vector<Param*>& out) {
+  body_->collect_params(out);
+  if (shortcut_) shortcut_->collect_params(out);
+}
+
+void ResidualBlock::collect_modules(std::vector<Module*>& out) {
+  out.push_back(this);
+  body_->collect_modules(out);
+  if (shortcut_) shortcut_->collect_modules(out);
+}
+
+// -------------------------------------------------------------------- SE ---
+
+SEBlock::SEBlock(int channels, int reduced, std::mt19937& rng)
+    : c_(channels), fc1_(channels, reduced, rng), fc2_(reduced, channels, rng) {}
+
+void SEBlock::collect_params(std::vector<Param*>& out) {
+  fc1_.collect_params(out);
+  fc2_.collect_params(out);
+}
+
+void SEBlock::collect_modules(std::vector<Module*>& out) {
+  out.push_back(this);
+  fc1_.collect_modules(out);
+  fc2_.collect_modules(out);
+}
+
+Tensor SEBlock::forward(const Tensor& x, const Context& ctx) {
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  pooled_ = Tensor({n, c_});
+  const float inv = 1.f / static_cast<float>(h * w);
+  for (int b = 0; b < n; ++b)
+    for (int c = 0; c < c_; ++c) {
+      float acc = 0.f;
+      for (int i = 0; i < h; ++i)
+        for (int j = 0; j < w; ++j) acc += x.at(b, c, i, j);
+      pooled_.at(b, c) = acc * inv;
+    }
+  Tensor z1 = fc1_.forward(pooled_, ctx);
+  h1_ = Tensor(z1.shape());
+  for (std::int64_t i = 0; i < z1.numel(); ++i) h1_[i] = z1[i] > 0.f ? z1[i] : 0.f;
+  Tensor z2 = fc2_.forward(h1_, ctx);
+  gate_ = Tensor(z2.shape());
+  for (std::int64_t i = 0; i < z2.numel(); ++i) gate_[i] = sigmoidf(z2[i]);
+  Tensor y(x.shape());
+  for (int b = 0; b < n; ++b)
+    for (int c = 0; c < c_; ++c) {
+      const float g = gate_.at(b, c);
+      for (int i = 0; i < h; ++i)
+        for (int j = 0; j < w; ++j) y.at(b, c, i, j) = x.at(b, c, i, j) * g;
+    }
+  if (ctx.train) x_cache_ = x;
+  return y;
+}
+
+Tensor SEBlock::backward(const Tensor& grad_out) {
+  const Tensor& x = x_cache_;
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  Tensor dgate({n, c_});
+  Tensor dx(x.shape());
+  for (int b = 0; b < n; ++b)
+    for (int c = 0; c < c_; ++c) {
+      const float g = gate_.at(b, c);
+      float acc = 0.f;
+      for (int i = 0; i < h; ++i)
+        for (int j = 0; j < w; ++j) {
+          const float go = grad_out.at(b, c, i, j);
+          dx.at(b, c, i, j) = go * g;          // direct path
+          acc += go * x.at(b, c, i, j);        // gate path
+        }
+      dgate.at(b, c) = acc;
+    }
+  // Through the sigmoid.
+  Tensor dz2(dgate.shape());
+  for (std::int64_t i = 0; i < dz2.numel(); ++i) {
+    const float g = gate_[i];
+    dz2[i] = dgate[i] * g * (1.f - g);
+  }
+  Tensor dh1 = fc2_.backward(dz2);
+  for (std::int64_t i = 0; i < dh1.numel(); ++i)
+    if (h1_[i] <= 0.f) dh1[i] = 0.f;
+  Tensor dpooled = fc1_.backward(dh1);
+  const float inv = 1.f / static_cast<float>(h * w);
+  for (int b = 0; b < n; ++b)
+    for (int c = 0; c < c_; ++c) {
+      const float g = dpooled.at(b, c) * inv;
+      for (int i = 0; i < h; ++i)
+        for (int j = 0; j < w; ++j) dx.at(b, c, i, j) += g;
+    }
+  return dx;
+}
+
+}  // namespace mersit::nn

@@ -1,0 +1,200 @@
+// Core layers: linear, convolution (grouped/depthwise), batch norm with
+// folding, activations, pooling, and composite blocks (sequential, residual,
+// squeeze-excite).
+#pragma once
+
+#include "nn/module.h"
+
+namespace mersit::nn {
+
+class Linear final : public Module, public ChannelWeights {
+ public:
+  Linear(int in, int out, std::mt19937& rng);
+
+  [[nodiscard]] std::string name() const override { return "Linear"; }
+  Tensor forward(const Tensor& x, const Context& ctx) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  [[nodiscard]] bool quant_point() const override { return true; }
+
+  [[nodiscard]] int weight_channels() const override { return out_; }
+  [[nodiscard]] std::span<float> channel_span(int c) override;
+
+  Param weight;  ///< [out, in]
+  Param bias;    ///< [out]
+
+ private:
+  int in_, out_;
+  Tensor x_cache_;
+};
+
+class Conv2d final : public Module, public ChannelWeights {
+ public:
+  /// Square kernel, same-style padding; `groups` divides both channel counts
+  /// (groups == in == out gives a depthwise convolution).
+  Conv2d(int in_ch, int out_ch, int ksize, int stride, int pad, int groups,
+         std::mt19937& rng);
+
+  [[nodiscard]] std::string name() const override { return "Conv2d"; }
+  Tensor forward(const Tensor& x, const Context& ctx) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  [[nodiscard]] bool quant_point() const override { return true; }
+
+  [[nodiscard]] int weight_channels() const override { return out_ch_; }
+  [[nodiscard]] std::span<float> channel_span(int c) override;
+
+  [[nodiscard]] int out_channels() const { return out_ch_; }
+
+  Param weight;  ///< [out, in/groups, k, k]
+  Param bias;    ///< [out]
+
+ private:
+  int in_ch_, out_ch_, k_, stride_, pad_, groups_;
+  Tensor x_cache_;
+};
+
+/// Batch normalization over [N,C,H,W] (per-channel).  Training uses batch
+/// statistics and updates running estimates; inference uses running stats.
+class BatchNorm2d final : public Module {
+ public:
+  explicit BatchNorm2d(int channels);
+
+  [[nodiscard]] std::string name() const override { return "BatchNorm2d"; }
+  Tensor forward(const Tensor& x, const Context& ctx) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  // BN itself is folded before PTQ; not a quant point.
+
+  /// Fold this BN into the preceding convolution:
+  ///   w'[o,...] = w[o,...] * gamma[o]/sigma[o]
+  ///   b'[o]     = (b[o] - mean[o]) * gamma[o]/sigma[o] + beta[o]
+  /// After folding the BN becomes the identity.
+  void fold_into(Conv2d& conv);
+
+  [[nodiscard]] bool folded() const { return folded_; }
+
+  Param gamma, beta;
+  Tensor running_mean, running_var;
+
+ private:
+  int c_;
+  float momentum_ = 0.1f;
+  float eps_ = 1e-5f;
+  bool folded_ = false;
+  // backward caches
+  Tensor x_hat_, inv_std_;
+  std::vector<int> x_shape_;
+};
+
+enum class Act { kReLU, kReLU6, kSiLU, kHardSwish, kGELU, kSigmoid, kTanh };
+
+[[nodiscard]] const char* act_name(Act a);
+[[nodiscard]] float act_eval(Act a, float x);
+
+class Activation final : public Module {
+ public:
+  explicit Activation(Act kind) : kind_(kind) {}
+  [[nodiscard]] std::string name() const override { return act_name(kind_); }
+  Tensor forward(const Tensor& x, const Context& ctx) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] bool quant_point() const override { return true; }
+  [[nodiscard]] Act kind() const { return kind_; }
+
+ private:
+  Act kind_;
+  Tensor x_cache_;
+};
+
+/// 2x2 max pool, stride 2.
+class MaxPool2d final : public Module {
+ public:
+  [[nodiscard]] std::string name() const override { return "MaxPool2d"; }
+  Tensor forward(const Tensor& x, const Context& ctx) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] bool quant_point() const override { return true; }
+
+ private:
+  Tensor x_cache_;
+  std::vector<std::int64_t> argmax_;
+};
+
+/// Global average pool [N,C,H,W] -> [N,C].
+class GlobalAvgPool final : public Module {
+ public:
+  [[nodiscard]] std::string name() const override { return "GlobalAvgPool"; }
+  Tensor forward(const Tensor& x, const Context& ctx) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] bool quant_point() const override { return true; }
+
+ private:
+  std::vector<int> x_shape_;
+};
+
+class Flatten final : public Module {
+ public:
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+  Tensor forward(const Tensor& x, const Context& ctx) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::vector<int> x_shape_;
+};
+
+class Sequential final : public Module {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::vector<ModulePtr> mods) : mods_(std::move(mods)) {}
+  void add(ModulePtr m) { mods_.push_back(std::move(m)); }
+
+  [[nodiscard]] std::string name() const override { return "Sequential"; }
+  Tensor forward(const Tensor& x, const Context& ctx) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  void collect_modules(std::vector<Module*>& out) override;
+
+  [[nodiscard]] std::size_t size() const { return mods_.size(); }
+  [[nodiscard]] Module& operator[](std::size_t i) { return *mods_[i]; }
+
+ private:
+  std::vector<ModulePtr> mods_;
+};
+
+/// y = body(x) + shortcut(x); shortcut may be null (identity, shapes must
+/// match).  The sum is a quant point (the residual write-back).
+class ResidualBlock final : public Module {
+ public:
+  ResidualBlock(ModulePtr body, ModulePtr shortcut)
+      : body_(std::move(body)), shortcut_(std::move(shortcut)) {}
+
+  [[nodiscard]] std::string name() const override { return "Residual"; }
+  Tensor forward(const Tensor& x, const Context& ctx) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  void collect_modules(std::vector<Module*>& out) override;
+  [[nodiscard]] bool quant_point() const override { return true; }
+
+ private:
+  ModulePtr body_;
+  ModulePtr shortcut_;  // may be null
+};
+
+/// Squeeze-and-excite: x * sigmoid(fc2(relu(fc1(avgpool(x))))).
+class SEBlock final : public Module {
+ public:
+  SEBlock(int channels, int reduced, std::mt19937& rng);
+
+  [[nodiscard]] std::string name() const override { return "SE"; }
+  Tensor forward(const Tensor& x, const Context& ctx) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  void collect_modules(std::vector<Module*>& out) override;
+  [[nodiscard]] bool quant_point() const override { return true; }
+
+ private:
+  int c_;
+  Linear fc1_, fc2_;
+  Tensor x_cache_, pooled_, h1_, gate_;
+};
+
+}  // namespace mersit::nn

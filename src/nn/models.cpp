@@ -1,0 +1,232 @@
+#include "nn/models.h"
+
+namespace mersit::nn {
+
+namespace {
+
+ModulePtr seq(std::vector<ModulePtr> mods) {
+  return std::make_unique<Sequential>(std::move(mods));
+}
+
+ModulePtr conv(int in, int out, int k, int stride, int pad, int groups,
+               std::mt19937& rng) {
+  return std::make_unique<Conv2d>(in, out, k, stride, pad, groups, rng);
+}
+
+ModulePtr bn(int c) { return std::make_unique<BatchNorm2d>(c); }
+ModulePtr act(Act a) { return std::make_unique<Activation>(a); }
+
+/// conv3x3 + BN + activation.
+void push_cba(std::vector<ModulePtr>& v, int in, int out, int stride, Act a,
+              std::mt19937& rng) {
+  v.push_back(conv(in, out, 3, stride, 1, 1, rng));
+  v.push_back(bn(out));
+  v.push_back(act(a));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ VGG ----
+
+ModulePtr make_vgg_mini(int in_ch, int classes, std::mt19937& rng) {
+  std::vector<ModulePtr> v;
+  v.push_back(conv(in_ch, 14, 3, 1, 1, 1, rng));
+  v.push_back(act(Act::kReLU));
+  v.push_back(conv(14, 14, 3, 1, 1, 1, rng));
+  v.push_back(act(Act::kReLU));
+  v.push_back(std::make_unique<MaxPool2d>());
+  v.push_back(conv(14, 24, 3, 1, 1, 1, rng));
+  v.push_back(act(Act::kReLU));
+  v.push_back(conv(24, 24, 3, 1, 1, 1, rng));
+  v.push_back(act(Act::kReLU));
+  v.push_back(std::make_unique<MaxPool2d>());
+  v.push_back(std::make_unique<Flatten>());
+  v.push_back(std::make_unique<Linear>(24 * 3 * 3, 48, rng));
+  v.push_back(act(Act::kReLU));
+  v.push_back(std::make_unique<Linear>(48, classes, rng));
+  return seq(std::move(v));
+}
+
+// --------------------------------------------------------------- ResNet ----
+
+namespace {
+
+ModulePtr resnet_block(int in, int out, int stride, std::mt19937& rng) {
+  std::vector<ModulePtr> body;
+  body.push_back(conv(in, out, 3, stride, 1, 1, rng));
+  body.push_back(bn(out));
+  body.push_back(act(Act::kReLU));
+  body.push_back(conv(out, out, 3, 1, 1, 1, rng));
+  body.push_back(bn(out));
+  ModulePtr shortcut;
+  if (stride != 1 || in != out) {
+    std::vector<ModulePtr> sc;
+    sc.push_back(conv(in, out, 1, stride, 0, 1, rng));
+    sc.push_back(bn(out));
+    shortcut = seq(std::move(sc));
+  }
+  std::vector<ModulePtr> block;
+  block.push_back(std::make_unique<ResidualBlock>(seq(std::move(body)),
+                                                  std::move(shortcut)));
+  block.push_back(act(Act::kReLU));
+  return seq(std::move(block));
+}
+
+}  // namespace
+
+ModulePtr make_resnet_mini(int in_ch, int classes, int blocks_per_stage,
+                           std::mt19937& rng) {
+  std::vector<ModulePtr> v;
+  push_cba(v, in_ch, 12, 1, Act::kReLU, rng);
+  for (int b = 0; b < blocks_per_stage; ++b)
+    v.push_back(resnet_block(12, 12, 1, rng));
+  v.push_back(resnet_block(12, 24, 2, rng));
+  for (int b = 1; b < blocks_per_stage; ++b)
+    v.push_back(resnet_block(24, 24, 1, rng));
+  v.push_back(resnet_block(24, 32, 2, rng));
+  v.push_back(std::make_unique<GlobalAvgPool>());
+  v.push_back(std::make_unique<Linear>(32, classes, rng));
+  return seq(std::move(v));
+}
+
+// ------------------------------------------------------------ MobileNet ----
+
+namespace {
+
+/// MobileNet inverted residual: 1x1 expand -> depthwise 3x3 -> 1x1 project,
+/// optional SE, residual when shapes allow.
+ModulePtr inverted_residual(int in, int out, int expand, int stride, Act a,
+                            bool use_se, std::mt19937& rng) {
+  const int mid = in * expand;
+  std::vector<ModulePtr> body;
+  body.push_back(conv(in, mid, 1, 1, 0, 1, rng));
+  body.push_back(bn(mid));
+  body.push_back(act(a));
+  body.push_back(conv(mid, mid, 3, stride, 1, mid, rng));  // depthwise
+  body.push_back(bn(mid));
+  body.push_back(act(a));
+  if (use_se) body.push_back(std::make_unique<SEBlock>(mid, std::max(2, mid / 4), rng));
+  body.push_back(conv(mid, out, 1, 1, 0, 1, rng));
+  body.push_back(bn(out));
+  if (stride == 1 && in == out)
+    return std::make_unique<ResidualBlock>(seq(std::move(body)), nullptr);
+  return seq(std::move(body));
+}
+
+/// EfficientNetV2-style fused MBConv: 3x3 expand conv -> 1x1 project.
+ModulePtr fused_mbconv(int in, int out, int expand, int stride, Act a,
+                       std::mt19937& rng) {
+  const int mid = in * expand;
+  std::vector<ModulePtr> body;
+  body.push_back(conv(in, mid, 3, stride, 1, 1, rng));
+  body.push_back(bn(mid));
+  body.push_back(act(a));
+  body.push_back(conv(mid, out, 1, 1, 0, 1, rng));
+  body.push_back(bn(out));
+  if (stride == 1 && in == out)
+    return std::make_unique<ResidualBlock>(seq(std::move(body)), nullptr);
+  return seq(std::move(body));
+}
+
+}  // namespace
+
+ModulePtr make_mobilenet_v2_mini(int in_ch, int classes, std::mt19937& rng) {
+  std::vector<ModulePtr> v;
+  push_cba(v, in_ch, 8, 1, Act::kReLU6, rng);
+  v.push_back(inverted_residual(8, 12, 3, 1, Act::kReLU6, false, rng));
+  v.push_back(inverted_residual(12, 12, 3, 1, Act::kReLU6, false, rng));
+  v.push_back(inverted_residual(12, 20, 3, 2, Act::kReLU6, false, rng));
+  v.push_back(inverted_residual(20, 20, 3, 1, Act::kReLU6, false, rng));
+  v.push_back(inverted_residual(20, 28, 3, 2, Act::kReLU6, false, rng));
+  v.push_back(std::make_unique<GlobalAvgPool>());
+  v.push_back(std::make_unique<Linear>(28, classes, rng));
+  return seq(std::move(v));
+}
+
+ModulePtr make_mobilenet_v3_mini(int in_ch, int classes, std::mt19937& rng) {
+  std::vector<ModulePtr> v;
+  push_cba(v, in_ch, 8, 1, Act::kHardSwish, rng);
+  v.push_back(inverted_residual(8, 12, 3, 1, Act::kReLU, true, rng));
+  v.push_back(inverted_residual(12, 12, 3, 1, Act::kHardSwish, true, rng));
+  v.push_back(inverted_residual(12, 20, 3, 2, Act::kHardSwish, true, rng));
+  v.push_back(inverted_residual(20, 20, 3, 1, Act::kHardSwish, true, rng));
+  v.push_back(inverted_residual(20, 28, 3, 2, Act::kHardSwish, true, rng));
+  v.push_back(std::make_unique<GlobalAvgPool>());
+  v.push_back(std::make_unique<Linear>(28, 32, rng));
+  v.push_back(act(Act::kHardSwish));
+  v.push_back(std::make_unique<Linear>(32, classes, rng));
+  return seq(std::move(v));
+}
+
+ModulePtr make_efficientnet_b0_mini(int in_ch, int classes, std::mt19937& rng) {
+  std::vector<ModulePtr> v;
+  push_cba(v, in_ch, 8, 1, Act::kSiLU, rng);
+  v.push_back(inverted_residual(8, 12, 2, 1, Act::kSiLU, true, rng));
+  v.push_back(inverted_residual(12, 12, 4, 1, Act::kSiLU, true, rng));
+  v.push_back(inverted_residual(12, 20, 4, 2, Act::kSiLU, true, rng));
+  v.push_back(inverted_residual(20, 20, 4, 1, Act::kSiLU, true, rng));
+  v.push_back(inverted_residual(20, 28, 4, 2, Act::kSiLU, true, rng));
+  v.push_back(std::make_unique<GlobalAvgPool>());
+  v.push_back(std::make_unique<Linear>(28, classes, rng));
+  return seq(std::move(v));
+}
+
+ModulePtr make_efficientnet_v2_mini(int in_ch, int classes, std::mt19937& rng) {
+  std::vector<ModulePtr> v;
+  push_cba(v, in_ch, 8, 1, Act::kSiLU, rng);
+  v.push_back(fused_mbconv(8, 12, 2, 1, Act::kSiLU, rng));
+  v.push_back(fused_mbconv(12, 12, 2, 1, Act::kSiLU, rng));
+  v.push_back(fused_mbconv(12, 20, 2, 2, Act::kSiLU, rng));
+  v.push_back(inverted_residual(20, 20, 4, 1, Act::kSiLU, true, rng));
+  v.push_back(inverted_residual(20, 28, 4, 2, Act::kSiLU, true, rng));
+  v.push_back(std::make_unique<GlobalAvgPool>());
+  v.push_back(std::make_unique<Linear>(28, classes, rng));
+  return seq(std::move(v));
+}
+
+// ----------------------------------------------------------------- BERT ----
+
+ModulePtr make_bert_mini(int vocab, int max_len, int dim, int heads, int layers,
+                         int ff_dim, int classes, std::mt19937& rng) {
+  std::vector<ModulePtr> v;
+  v.push_back(std::make_unique<Embedding>(vocab, max_len, dim, rng));
+  for (int l = 0; l < layers; ++l)
+    v.push_back(std::make_unique<TransformerBlock>(dim, heads, ff_dim, rng));
+  v.push_back(std::make_unique<LayerNorm>(dim));
+  v.push_back(std::make_unique<ClsPool>());
+  v.push_back(std::make_unique<Linear>(dim, classes, rng));
+  return seq(std::move(v));
+}
+
+// ------------------------------------------------------------------ zoo ----
+
+std::vector<NamedModel> make_vision_zoo(int in_ch, int classes, unsigned seed) {
+  std::vector<NamedModel> zoo;
+  std::mt19937 rng(seed);
+  zoo.push_back({"VGG16-mini", make_vgg_mini(in_ch, classes, rng)});
+  zoo.push_back({"ResNet18-mini", make_resnet_mini(in_ch, classes, 1, rng)});
+  zoo.push_back({"ResNet50-mini", make_resnet_mini(in_ch, classes, 2, rng)});
+  zoo.push_back({"ResNet101-mini", make_resnet_mini(in_ch, classes, 3, rng)});
+  zoo.push_back({"MobileNet_v2-mini", make_mobilenet_v2_mini(in_ch, classes, rng)});
+  zoo.push_back({"MobileNet_v3-mini", make_mobilenet_v3_mini(in_ch, classes, rng)});
+  zoo.push_back({"EfficientNet_b0-mini", make_efficientnet_b0_mini(in_ch, classes, rng)});
+  zoo.push_back({"EfficientNet_v2-mini", make_efficientnet_v2_mini(in_ch, classes, rng)});
+  return zoo;
+}
+
+void fold_all_batchnorms(Module& root) {
+  const std::vector<Module*> mods = root.modules();
+  for (std::size_t i = 0; i + 1 < mods.size(); ++i) {
+    auto* c = dynamic_cast<Conv2d*>(mods[i]);
+    auto* b = dynamic_cast<BatchNorm2d*>(mods[i + 1]);
+    if (c != nullptr && b != nullptr && !b->folded()) b->fold_into(*c);
+  }
+}
+
+std::int64_t parameter_count(Module& m) {
+  std::int64_t n = 0;
+  for (const Param* p : m.parameters()) n += p->value.numel();
+  return n;
+}
+
+}  // namespace mersit::nn

@@ -1,0 +1,52 @@
+// Miniature analogues of the paper's evaluated architectures (Table 2 rows).
+//
+// Each keeps the architectural traits that shape its weight/activation
+// distributions -- and therefore its PTQ behaviour:
+//   VGG-mini           plain conv/ReLU stacks, no BN           (VGG16)
+//   ResNet-mini-{18,50,101}  BN residual stacks of growing depth
+//   MobileNetV2-mini   inverted residuals, depthwise, ReLU6    (MobileNet_v2)
+//   MobileNetV3-mini   + squeeze-excite + h-swish              (MobileNet_v3)
+//   EfficientNetB0-mini MBConv + SE + SiLU                     (EfficientNet_b0)
+//   EfficientNetV2-mini fused-MBConv early, MBConv late, SiLU  (EfficientNet_v2)
+//   BERT-mini          transformer encoder for the GLUE tasks  (BERT-base)
+#pragma once
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+
+namespace mersit::nn {
+
+struct NamedModel {
+  std::string name;
+  ModulePtr model;
+};
+
+[[nodiscard]] ModulePtr make_vgg_mini(int in_ch, int classes, std::mt19937& rng);
+/// `blocks_per_stage` 1/2/3 gives the ResNet18/50/101 analogues.
+[[nodiscard]] ModulePtr make_resnet_mini(int in_ch, int classes, int blocks_per_stage,
+                                         std::mt19937& rng);
+[[nodiscard]] ModulePtr make_mobilenet_v2_mini(int in_ch, int classes,
+                                               std::mt19937& rng);
+[[nodiscard]] ModulePtr make_mobilenet_v3_mini(int in_ch, int classes,
+                                               std::mt19937& rng);
+[[nodiscard]] ModulePtr make_efficientnet_b0_mini(int in_ch, int classes,
+                                                  std::mt19937& rng);
+[[nodiscard]] ModulePtr make_efficientnet_v2_mini(int in_ch, int classes,
+                                                  std::mt19937& rng);
+[[nodiscard]] ModulePtr make_bert_mini(int vocab, int max_len, int dim, int heads,
+                                       int layers, int ff_dim, int classes,
+                                       std::mt19937& rng);
+
+/// The eight Table-2 vision rows, in paper order.
+[[nodiscard]] std::vector<NamedModel> make_vision_zoo(int in_ch, int classes,
+                                                      unsigned seed);
+
+/// Fold every Conv2d+BatchNorm2d pair (in module order) for PTQ; after this
+/// the BN layers are identities and the conv weights carry the per-channel
+/// gamma/sigma spread that makes depthwise models hard to quantize.
+void fold_all_batchnorms(Module& root);
+
+/// Total parameter count.
+[[nodiscard]] std::int64_t parameter_count(Module& m);
+
+}  // namespace mersit::nn

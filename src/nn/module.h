@@ -1,0 +1,98 @@
+// Layer/module abstraction with explicit forward/backward and hooks for the
+// PTQ pipeline.
+//
+// Quantization integrates through two seams:
+//  * activation quantization: modules flagged as quant points pass their
+//    output through Context::quant->on_activation() -- this is where the
+//    PTQ harness observes calibration maxima and, at eval time, fake-
+//    quantizes every tensor an accelerator would spill to 8-bit memory;
+//  * weight quantization: Conv2d/Linear expose per-output-channel weight
+//    spans via the ChannelWeights interface (the paper quantizes weights
+//    per channel, activations per layer).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace mersit::nn {
+
+class Module;
+
+/// PTQ hook: observes / rewrites activations at quant points.
+class QuantSession {
+ public:
+  virtual ~QuantSession() = default;
+  virtual void on_activation(const Module& layer, Tensor& t) = 0;
+};
+
+struct Context {
+  bool train = false;
+  QuantSession* quant = nullptr;
+};
+
+/// A learnable parameter and its gradient accumulator.
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(Tensor v) : value(std::move(v)), grad(value.shape()) {}
+  Param() = default;
+  void zero_grad() { grad.zero(); }
+};
+
+/// Implemented by modules with per-output-channel quantizable weights.
+class ChannelWeights {
+ public:
+  virtual ~ChannelWeights() = default;
+  [[nodiscard]] virtual int weight_channels() const = 0;
+  /// Mutable view of all weights feeding output channel `c`.
+  [[nodiscard]] virtual std::span<float> channel_span(int c) = 0;
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Compute the output; caches whatever backward() needs when ctx.train.
+  virtual Tensor forward(const Tensor& x, const Context& ctx) = 0;
+  /// Propagate gradients; accumulates into Param::grad, returns dL/dx.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Append this module's parameters.
+  virtual void collect_params(std::vector<Param*>& out) { (void)out; }
+  /// Pre-order traversal including `this` and all children.
+  virtual void collect_modules(std::vector<Module*>& out) { out.push_back(this); }
+
+  /// True when the output tensor would be spilled to (8-bit) memory.
+  [[nodiscard]] virtual bool quant_point() const { return false; }
+
+  /// forward() plus the activation-quantization hook.
+  Tensor run(const Tensor& x, const Context& ctx) {
+    Tensor y = forward(x, ctx);
+    if (ctx.quant != nullptr && quant_point()) ctx.quant->on_activation(*this, y);
+    return y;
+  }
+
+  [[nodiscard]] std::vector<Param*> parameters() {
+    std::vector<Param*> p;
+    collect_params(p);
+    return p;
+  }
+  [[nodiscard]] std::vector<Module*> modules() {
+    std::vector<Module*> m;
+    collect_modules(m);
+    return m;
+  }
+  void zero_grad() {
+    for (Param* p : parameters()) p->zero_grad();
+  }
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+}  // namespace mersit::nn

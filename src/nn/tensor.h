@@ -1,0 +1,62 @@
+// Minimal dense float32 tensor for the DNN substrate.
+//
+// Row-major contiguous storage; shapes are small vectors of ints.  This is
+// deliberately simple: the PTQ study needs correct forward/backward math on
+// small models, not a BLAS.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mersit::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape);
+  Tensor(std::vector<int> shape, float fill);
+
+  [[nodiscard]] static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+  /// Gaussian init with the given standard deviation.
+  [[nodiscard]] static Tensor randn(std::vector<int> shape, std::mt19937& rng,
+                                    float stddev);
+
+  [[nodiscard]] const std::vector<int>& shape() const { return shape_; }
+  [[nodiscard]] int dim(int i) const { return shape_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] int ndim() const { return static_cast<int>(shape_.size()); }
+  [[nodiscard]] std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] std::span<float> data() { return data_; }
+  [[nodiscard]] std::span<const float> data() const { return data_; }
+  [[nodiscard]] float* raw() { return data_.data(); }
+  [[nodiscard]] const float* raw() const { return data_.data(); }
+
+  [[nodiscard]] float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  // Indexed access (2-4D convenience).
+  [[nodiscard]] float& at(int a, int b);
+  [[nodiscard]] float& at(int a, int b, int c);
+  [[nodiscard]] float& at(int a, int b, int c, int d);
+  [[nodiscard]] float at(int a, int b) const;
+  [[nodiscard]] float at(int a, int b, int c) const;
+  [[nodiscard]] float at(int a, int b, int c, int d) const;
+
+  /// Same data, new shape (numel must match).
+  [[nodiscard]] Tensor reshaped(std::vector<int> shape) const;
+
+  void fill(float v);
+  void zero() { fill(0.f); }
+  [[nodiscard]] float abs_max() const;
+  [[nodiscard]] std::string shape_str() const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace mersit::nn

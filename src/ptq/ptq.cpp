@@ -1,0 +1,198 @@
+#include "ptq/ptq.h"
+
+#include <cmath>
+
+namespace mersit::ptq {
+
+using formats::Format;
+using formats::ScalePolicy;
+using nn::Dataset;
+using nn::Module;
+using nn::Tensor;
+
+// ------------------------------------------------------------ calibration --
+
+void MaxCalibrator::on_activation(const Module& layer, Tensor& t) {
+  float& mx = absmax[&layer];
+  mx = std::max(mx, t.abs_max());
+}
+
+void MaxCalibrator::observe_input(const Tensor& t) {
+  input_absmax = std::max(input_absmax, t.abs_max());
+}
+
+FakeQuantizer::FakeQuantizer(const MaxCalibrator& calib, const Format& fmt,
+                             ScalePolicy policy)
+    : calib_(calib), fmt_(fmt), policy_(policy) {}
+
+void FakeQuantizer::on_activation(const Module& layer, Tensor& t) {
+  const auto it = calib_.absmax.find(&layer);
+  if (it == calib_.absmax.end()) {
+    ++uncalibrated_;
+    return;
+  }
+  if (it->second <= 0.f) return;  // degenerate (all-zero) layer output
+  const double scale = formats::scale_for_absmax(fmt_, it->second, policy_);
+  formats::fake_quantize(t.data(), fmt_, scale);
+}
+
+void FakeQuantizer::quantize_input(Tensor& t) const {
+  if (calib_.input_absmax <= 0.f) return;
+  const double scale =
+      formats::scale_for_absmax(fmt_, calib_.input_absmax, policy_);
+  formats::fake_quantize(t.data(), fmt_, scale);
+}
+
+// ---------------------------------------------------------------- weights --
+
+WeightSnapshot snapshot_weights(Module& model) {
+  WeightSnapshot snap;
+  for (const nn::Param* p : model.parameters()) snap.values.push_back(p->value);
+  return snap;
+}
+
+void restore_weights(Module& model, const WeightSnapshot& snap) {
+  const auto params = model.parameters();
+  if (params.size() != snap.values.size())
+    throw std::invalid_argument("restore_weights: parameter count mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i) params[i]->value = snap.values[i];
+}
+
+void quantize_weights_per_channel(Module& model, const Format& fmt,
+                                  ScalePolicy policy) {
+  for (Module* m : model.modules()) {
+    auto* cw = dynamic_cast<nn::ChannelWeights*>(m);
+    if (cw == nullptr) continue;
+    for (int c = 0; c < cw->weight_channels(); ++c) {
+      const std::span<float> w = cw->channel_span(c);
+      float mx = 0.f;
+      for (const float v : w) mx = std::max(mx, std::fabs(v));
+      if (mx <= 0.f) continue;
+      const double scale = formats::scale_for_absmax(fmt, mx, policy);
+      formats::fake_quantize(w, fmt, scale);
+    }
+  }
+}
+
+// ------------------------------------------------------------- experiment --
+
+namespace {
+
+/// Run the calibration pass over `calib`.
+MaxCalibrator calibrate(Module& model, const Dataset& calib, bool observe_input) {
+  MaxCalibrator cal;
+  const nn::Context ctx{/*train=*/false, &cal};
+  constexpr int kBatch = 32;
+  for (int start = 0; start < calib.size(); start += kBatch) {
+    const int count = std::min(kBatch, calib.size() - start);
+    const Tensor xb = nn::slice_batch(calib.inputs, start, count);
+    if (observe_input) cal.observe_input(xb);
+    (void)model.run(xb, ctx);
+  }
+  return cal;
+}
+
+/// Dataset copy with fake-quantized inputs.
+Dataset quantized_inputs(const Dataset& data, const FakeQuantizer& fq) {
+  Dataset q;
+  q.num_classes = data.num_classes;
+  q.labels = data.labels;
+  q.inputs = data.inputs;
+  Tensor& t = q.inputs;
+  fq.quantize_input(t);
+  return q;
+}
+
+float run_metric(Module& model, const Dataset& test, Metric metric,
+                 nn::QuantSession* quant) {
+  return metric == Metric::kAccuracy ? nn::evaluate_accuracy(model, test, quant)
+                                     : nn::evaluate_mcc(model, test, quant);
+}
+
+}  // namespace
+
+float evaluate_ptq(Module& model, const Dataset& calib, const Dataset& test,
+                   const Format& fmt, const PtqOptions& opt) {
+  const MaxCalibrator cal = calibrate(model, calib, opt.quantize_input);
+  const WeightSnapshot snap = snapshot_weights(model);
+  quantize_weights_per_channel(model, fmt, opt.policy);
+  FakeQuantizer fq(cal, fmt, opt.policy);
+  const Dataset test_q =
+      opt.quantize_input ? quantized_inputs(test, fq) : test;
+  const float metric =
+      run_metric(model, opt.quantize_input ? test_q : test, opt.metric, &fq);
+  restore_weights(model, snap);
+  return metric;
+}
+
+float evaluate_fp32(Module& model, const Dataset& test, Metric metric) {
+  return run_metric(model, test, metric, nullptr);
+}
+
+// ------------------------------------------------------------------ RMSE --
+
+namespace {
+
+/// QuantSession that measures per-layer activation RMSE without mutating
+/// the activations (so downstream layers see FP32 inputs).
+class RmseProbe final : public nn::QuantSession {
+ public:
+  RmseProbe(const MaxCalibrator& calib, const Format& fmt, ScalePolicy policy)
+      : calib_(calib), fmt_(fmt), policy_(policy) {}
+
+  void on_activation(const Module& layer, Tensor& t) override {
+    const auto it = calib_.absmax.find(&layer);
+    if (it == calib_.absmax.end() || it->second <= 0.f) return;
+    const double scale = formats::scale_for_absmax(fmt_, it->second, policy_);
+    const double rmse = formats::quantization_rmse(t.data(), fmt_, scale);
+    se_ += rmse * rmse * static_cast<double>(t.numel());
+    count_ += static_cast<double>(t.numel());
+  }
+
+  [[nodiscard]] double rmse() const { return count_ > 0 ? std::sqrt(se_ / count_) : 0.0; }
+
+ private:
+  const MaxCalibrator& calib_;
+  const Format& fmt_;
+  ScalePolicy policy_;
+  double se_ = 0.0;
+  double count_ = 0.0;
+};
+
+}  // namespace
+
+RmseReport measure_ptq_rmse(Module& model, const Dataset& calib, const Format& fmt,
+                            const PtqOptions& opt) {
+  RmseReport rep;
+  // Weights.
+  double se = 0.0, n = 0.0;
+  for (Module* m : model.modules()) {
+    auto* cw = dynamic_cast<nn::ChannelWeights*>(m);
+    if (cw == nullptr) continue;
+    for (int c = 0; c < cw->weight_channels(); ++c) {
+      const std::span<const float> w = cw->channel_span(c);
+      float mx = 0.f;
+      for (const float v : w) mx = std::max(mx, std::fabs(v));
+      if (mx <= 0.f) continue;
+      const double scale = formats::scale_for_absmax(fmt, mx, opt.policy);
+      const double rmse = formats::quantization_rmse(w, fmt, scale);
+      se += rmse * rmse * static_cast<double>(w.size());
+      n += static_cast<double>(w.size());
+    }
+  }
+  rep.weight_rmse = n > 0 ? std::sqrt(se / n) : 0.0;
+
+  // Activations: calibrate, then probe on the same set.
+  const MaxCalibrator cal = calibrate(model, calib, opt.quantize_input);
+  RmseProbe probe(cal, fmt, opt.policy);
+  const nn::Context ctx{/*train=*/false, &probe};
+  constexpr int kBatch = 32;
+  for (int start = 0; start < calib.size(); start += kBatch) {
+    const int count = std::min(kBatch, calib.size() - start);
+    (void)model.run(nn::slice_batch(calib.inputs, start, count), ctx);
+  }
+  rep.activation_rmse = probe.rmse();
+  return rep;
+}
+
+}  // namespace mersit::ptq

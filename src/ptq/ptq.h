@@ -1,0 +1,103 @@
+// Post-training quantization pipeline (paper Section 4.1).
+//
+// Methodology reproduced exactly:
+//  * a small calibration subset is run through the FP32 model to record the
+//    per-layer activation |max| (MaxCalibrator);
+//  * weights are scaled per output channel by their own |max|, activations
+//    per layer by the calibration |max|; the scaled values are encoded into
+//    the 8-bit format under study and decoded back (fake quantization);
+//  * no advanced PTQ tricks (PD-Quant, QDrop) -- plain max scaling, so that
+//    accuracy differences are attributable to the formats themselves.
+#pragma once
+
+#include <unordered_map>
+
+#include "formats/quantize.h"
+#include "nn/models.h"
+#include "nn/train.h"
+
+namespace mersit::ptq {
+
+/// Records per-quant-point activation |max| over the calibration set.
+class MaxCalibrator final : public nn::QuantSession {
+ public:
+  void on_activation(const nn::Module& layer, nn::Tensor& t) override;
+
+  /// Observed |max| per layer (keyed by module identity).
+  std::unordered_map<const nn::Module*, float> absmax;
+  float input_absmax = 0.f;
+
+  /// Observe the model input tensor (images; token ids are not observed).
+  void observe_input(const nn::Tensor& t);
+};
+
+/// Fake-quantizes every activation with the calibrated per-layer scales.
+class FakeQuantizer final : public nn::QuantSession {
+ public:
+  FakeQuantizer(const MaxCalibrator& calib, const formats::Format& fmt,
+                formats::ScalePolicy policy);
+
+  void on_activation(const nn::Module& layer, nn::Tensor& t) override;
+  /// Quantize the model input (vision models).
+  void quantize_input(nn::Tensor& t) const;
+
+  /// Layers seen at eval time but never calibrated (should stay zero).
+  [[nodiscard]] int uncalibrated_layers() const { return uncalibrated_; }
+
+ private:
+  const MaxCalibrator& calib_;
+  const formats::Format& fmt_;
+  formats::ScalePolicy policy_;
+  int uncalibrated_ = 0;
+};
+
+// ---------------------------------------------------------------- weights --
+
+/// Deep copy of every parameter value (for restoring between formats).
+struct WeightSnapshot {
+  std::vector<nn::Tensor> values;
+};
+
+[[nodiscard]] WeightSnapshot snapshot_weights(nn::Module& model);
+void restore_weights(nn::Module& model, const WeightSnapshot& snap);
+
+/// Per-output-channel fake quantization of every ChannelWeights module.
+void quantize_weights_per_channel(nn::Module& model, const formats::Format& fmt,
+                                  formats::ScalePolicy policy);
+
+// ------------------------------------------------------------- experiment --
+
+enum class Metric { kAccuracy, kMatthews };
+
+struct PtqOptions {
+  formats::ScalePolicy policy = formats::ScalePolicy::kMaxToUnity;
+  Metric metric = Metric::kAccuracy;
+  bool quantize_input = true;  ///< false for token-id inputs (BERT)
+};
+
+/// Calibrate on `calib`, quantize weights+activations into `fmt`, evaluate
+/// on `test`; weights are restored afterwards.  Returns the metric in
+/// percent.
+[[nodiscard]] float evaluate_ptq(nn::Module& model, const nn::Dataset& calib,
+                                 const nn::Dataset& test, const formats::Format& fmt,
+                                 const PtqOptions& opt = {});
+
+/// FP32 baseline with the same metric.
+[[nodiscard]] float evaluate_fp32(nn::Module& model, const nn::Dataset& test,
+                                  Metric metric);
+
+// ------------------------------------------------------------------ RMSE --
+
+/// The paper's Fig. 6 measurement: RMSE between FP32 and quantized tensors,
+/// element-weighted across all weight channels and all calibration-set
+/// activations.
+struct RmseReport {
+  double weight_rmse = 0.0;
+  double activation_rmse = 0.0;
+};
+
+[[nodiscard]] RmseReport measure_ptq_rmse(nn::Module& model, const nn::Dataset& calib,
+                                          const formats::Format& fmt,
+                                          const PtqOptions& opt = {});
+
+}  // namespace mersit::ptq

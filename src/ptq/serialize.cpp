@@ -1,0 +1,140 @@
+#include "ptq/serialize.h"
+
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace mersit::ptq {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'Q', 'T', '1'};
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("QuantizedModel: truncated stream");
+  return v;
+}
+
+}  // namespace
+
+void QuantizedModel::save(std::ostream& os) const {
+  os.write(kMagic, 4);
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(format_name.size()));
+  os.write(format_name.data(), static_cast<std::streamsize>(format_name.size()));
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(tensors.size()));
+  for (const QuantizedTensor& t : tensors) {
+    write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(t.shape.size()));
+    for (const int d : t.shape) write_pod<std::int32_t>(os, d);
+    write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(t.channels));
+    for (const float s : t.scales) write_pod<float>(os, s);
+    os.write(reinterpret_cast<const char*>(t.codes.data()),
+             static_cast<std::streamsize>(t.codes.size()));
+  }
+}
+
+QuantizedModel QuantizedModel::load(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::memcmp(magic, kMagic, 4) != 0)
+    throw std::runtime_error("QuantizedModel: bad magic");
+  QuantizedModel qm;
+  const auto name_len = read_pod<std::uint32_t>(is);
+  qm.format_name.resize(name_len);
+  is.read(qm.format_name.data(), name_len);
+  const auto count = read_pod<std::uint32_t>(is);
+  qm.tensors.resize(count);
+  for (QuantizedTensor& t : qm.tensors) {
+    const auto ndim = read_pod<std::uint32_t>(is);
+    if (ndim > 8) throw std::runtime_error("QuantizedModel: implausible rank");
+    t.shape.resize(ndim);
+    std::int64_t numel = 1;
+    for (auto& d : t.shape) {
+      d = read_pod<std::int32_t>(is);
+      if (d <= 0) throw std::runtime_error("QuantizedModel: bad dimension");
+      numel *= d;
+    }
+    t.channels = static_cast<int>(read_pod<std::uint32_t>(is));
+    if (t.channels <= 0 || numel % t.channels != 0)
+      throw std::runtime_error("QuantizedModel: bad channel count");
+    t.scales.resize(static_cast<std::size_t>(t.channels));
+    for (auto& s : t.scales) s = read_pod<float>(is);
+    t.codes.resize(static_cast<std::size_t>(numel));
+    is.read(reinterpret_cast<char*>(t.codes.data()),
+            static_cast<std::streamsize>(t.codes.size()));
+    if (!is) throw std::runtime_error("QuantizedModel: truncated codes");
+  }
+  return qm;
+}
+
+std::size_t QuantizedModel::byte_size() const {
+  std::size_t n = 4 + 4 + format_name.size() + 4;
+  for (const QuantizedTensor& t : tensors)
+    n += 4 + 4 * t.shape.size() + 4 + 4 * t.scales.size() + t.codes.size();
+  return n;
+}
+
+QuantizedModel pack_weights(nn::Module& model, const formats::Format& fmt,
+                            formats::ScalePolicy policy) {
+  QuantizedModel qm;
+  qm.format_name = fmt.name();
+  for (nn::Module* m : model.modules()) {
+    auto* cw = dynamic_cast<nn::ChannelWeights*>(m);
+    if (cw == nullptr) continue;
+    QuantizedTensor t;
+    t.channels = cw->weight_channels();
+    const std::size_t per = cw->channel_span(0).size();
+    t.shape = {t.channels, static_cast<int>(per)};
+    t.scales.reserve(static_cast<std::size_t>(t.channels));
+    t.codes.reserve(static_cast<std::size_t>(t.channels) * per);
+    for (int c = 0; c < t.channels; ++c) {
+      const std::span<const float> w = cw->channel_span(c);
+      float mx = 0.f;
+      for (const float v : w) mx = std::max(mx, std::fabs(v));
+      const double scale =
+          mx > 0.f ? formats::scale_for_absmax(fmt, mx, policy) : 1.0;
+      t.scales.push_back(static_cast<float>(scale));
+      for (const float v : w)
+        t.codes.push_back(fmt.encode(static_cast<double>(v) / scale));
+    }
+    qm.tensors.push_back(std::move(t));
+  }
+  return qm;
+}
+
+void unpack_weights(nn::Module& model, const QuantizedModel& qm,
+                    const formats::Format& fmt) {
+  if (fmt.name() != qm.format_name)
+    throw std::invalid_argument("unpack_weights: format mismatch (" + fmt.name() +
+                                " vs " + qm.format_name + ")");
+  std::size_t ti = 0;
+  for (nn::Module* m : model.modules()) {
+    auto* cw = dynamic_cast<nn::ChannelWeights*>(m);
+    if (cw == nullptr) continue;
+    if (ti >= qm.tensors.size())
+      throw std::invalid_argument("unpack_weights: too few tensors");
+    const QuantizedTensor& t = qm.tensors[ti++];
+    if (t.channels != cw->weight_channels())
+      throw std::invalid_argument("unpack_weights: channel mismatch");
+    std::size_t k = 0;
+    for (int c = 0; c < t.channels; ++c) {
+      const std::span<float> w = cw->channel_span(c);
+      const double scale = t.scales[static_cast<std::size_t>(c)];
+      for (float& v : w)
+        v = static_cast<float>(fmt.decode_value(t.codes[k++]) * scale);
+    }
+  }
+  if (ti != qm.tensors.size())
+    throw std::invalid_argument("unpack_weights: too many tensors");
+}
+
+}  // namespace mersit::ptq

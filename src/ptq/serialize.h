@@ -1,0 +1,55 @@
+// Quantized-model serialization: pack the per-channel quantized weights of
+// a model into true 8-bit code words plus FP32 scales (the artifact an
+// 8-bit accelerator actually ships), and restore them.
+//
+// Binary container (little-endian):
+//   "MQT1" | u32 format-name length | name bytes
+//   u32 tensor count, then per tensor:
+//     u32 ndim | i32 shape[ndim] | u32 channels |
+//     f32 scale[channels] | u8 codes[numel]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "formats/quantize.h"
+#include "nn/module.h"
+
+namespace mersit::ptq {
+
+struct QuantizedTensor {
+  std::vector<int> shape;            ///< original parameter shape
+  int channels = 1;                  ///< leading quantization-group count
+  std::vector<float> scales;         ///< one scale per channel
+  std::vector<std::uint8_t> codes;   ///< one code per element
+
+  [[nodiscard]] std::int64_t numel() const {
+    return static_cast<std::int64_t>(codes.size());
+  }
+};
+
+struct QuantizedModel {
+  std::string format_name;           ///< e.g. "MERSIT(8,2)"
+  std::vector<QuantizedTensor> tensors;  ///< one per ChannelWeights module
+
+  void save(std::ostream& os) const;
+  [[nodiscard]] static QuantizedModel load(std::istream& is);
+
+  /// Serialized size in bytes.
+  [[nodiscard]] std::size_t byte_size() const;
+};
+
+/// Encode every ChannelWeights module of `model` into true 8-bit codes
+/// (per-channel |max| scaling under `policy`).  The model is not modified.
+[[nodiscard]] QuantizedModel pack_weights(nn::Module& model,
+                                          const formats::Format& fmt,
+                                          formats::ScalePolicy policy =
+                                              formats::ScalePolicy::kMaxToUnity);
+
+/// Decode `qm` back into the model's ChannelWeights modules (module order
+/// and shapes must match).  `fmt` must be the format named in `qm`.
+void unpack_weights(nn::Module& model, const QuantizedModel& qm,
+                    const formats::Format& fmt);
+
+}  // namespace mersit::ptq

@@ -1,0 +1,78 @@
+#include "rtl/cells.h"
+
+namespace mersit::rtl {
+
+const CellLibrary& CellLibrary::nangate45_like() {
+  static const CellLibrary lib = [] {
+    CellLibrary l;
+    auto set = [&l](CellType t, double area, double energy, double leak) {
+      l.specs_[static_cast<int>(t)] = CellSpec{area, energy, leak};
+    };
+    set(CellType::kConst0, 0.0, 0.0, 0.0);
+    set(CellType::kConst1, 0.0, 0.0, 0.0);
+    set(CellType::kInput, 0.0, 0.0, 0.0);
+    set(CellType::kBuf, 1.06, 0.6, 0.012);
+    set(CellType::kInv, 0.80, 0.4, 0.008);
+    set(CellType::kAnd2, 1.33, 0.9, 0.016);
+    set(CellType::kOr2, 1.33, 0.9, 0.016);
+    set(CellType::kNand2, 1.06, 0.6, 0.012);
+    set(CellType::kNor2, 1.06, 0.6, 0.012);
+    set(CellType::kXor2, 2.13, 1.6, 0.026);
+    set(CellType::kXnor2, 2.13, 1.6, 0.026);
+    set(CellType::kMux2, 2.39, 1.4, 0.028);
+    set(CellType::kDff, 4.52, 2.8, 0.055);
+    return l;
+  }();
+  return lib;
+}
+
+double CellLibrary::area_um2(const Netlist& nl) const {
+  double a = 0.0;
+  for (const Gate& g : nl.gates()) a += spec(g.type).area_um2;
+  return a;
+}
+
+std::vector<double> CellLibrary::area_by_group_um2(const Netlist& nl) const {
+  std::vector<double> by(nl.group_names().size(), 0.0);
+  for (const Gate& g : nl.gates()) by[g.group] += spec(g.type).area_um2;
+  return by;
+}
+
+double CellLibrary::leakage_uw(const Netlist& nl) const {
+  double nw = 0.0;
+  for (const Gate& g : nl.gates()) nw += spec(g.type).leakage_nw;
+  return nw * 1e-3;
+}
+
+int logic_depth(const Netlist& nl) {
+  // Depth per net; creation order is topological for combinational logic.
+  std::vector<int> depth(nl.net_count(), 0);
+  int worst = 0;
+  for (const Gate& g : nl.gates()) {
+    switch (g.type) {
+      case CellType::kConst0:
+      case CellType::kConst1:
+      case CellType::kInput:
+        depth[g.out] = 0;
+        break;
+      case CellType::kDff:
+        // Q is a path source; the path INTO d is scored when d's driver ran.
+        depth[g.out] = 0;
+        break;
+      default: {
+        int d = depth[g.a];
+        if (cell_input_count(g.type) >= 2) d = std::max(d, static_cast<int>(depth[g.b]));
+        if (g.type == CellType::kMux2) d = std::max(d, static_cast<int>(depth[g.s]));
+        depth[g.out] = d + 1;
+        worst = std::max(worst, d + 1);
+        break;
+      }
+    }
+  }
+  // Include paths terminating at DFF inputs (register->register).
+  for (const std::size_t idx : nl.dff_gate_indices())
+    worst = std::max(worst, depth[nl.gates()[idx].a]);
+  return worst;
+}
+
+}  // namespace mersit::rtl

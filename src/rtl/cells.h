@@ -1,0 +1,51 @@
+// Standard-cell cost model.
+//
+// Substitutes for the paper's 45nm library + Synopsys Design Compiler /
+// PrimeTime PX flow.  The numbers are representative of a commercial 45nm
+// standard-cell library (NAND2-equivalent area ~1.06 um^2): absolute values
+// will not match a real synthesis run, but the *ratios* between the three
+// MAC designs are driven by gate counts and switching activity, which is
+// what the paper's Fig. 7 / Table 3 comparisons measure.
+//
+// Power model at clock period T:
+//   P_dyn  = sum_over_gates(toggles * switch_energy) / (cycles * T)
+//   P_leak = sum_over_gates(leakage)
+#pragma once
+
+#include "rtl/netlist.h"
+
+namespace mersit::rtl {
+
+struct CellSpec {
+  double area_um2 = 0.0;       ///< placed cell area
+  double switch_energy_fj = 0.0;  ///< energy per output transition
+  double leakage_nw = 0.0;     ///< static leakage power
+};
+
+class CellLibrary {
+ public:
+  /// The default 45nm-like library used throughout the study.
+  static const CellLibrary& nangate45_like();
+
+  [[nodiscard]] const CellSpec& spec(CellType t) const { return specs_[static_cast<int>(t)]; }
+
+  /// Total placed area of a netlist in um^2.
+  [[nodiscard]] double area_um2(const Netlist& nl) const;
+
+  /// Area grouped by the netlist's component groups.
+  [[nodiscard]] std::vector<double> area_by_group_um2(const Netlist& nl) const;
+
+  /// Total leakage in uW.
+  [[nodiscard]] double leakage_uw(const Netlist& nl) const;
+
+ private:
+  CellSpec specs_[16];
+};
+
+/// Combinational logic depth (gates on the longest input->output or
+/// register->register path; DFF outputs are path sources, DFF inputs are
+/// path sinks).  A unit-delay proxy for the critical path the paper refers
+/// to when noting the MERSIT decoder is faster than the Posit one.
+[[nodiscard]] int logic_depth(const Netlist& nl);
+
+}  // namespace mersit::rtl

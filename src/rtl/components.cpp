@@ -1,0 +1,194 @@
+#include "rtl/components.h"
+
+#include <stdexcept>
+
+namespace mersit::rtl {
+
+Bus constant_bus(Netlist& nl, std::uint64_t value, int width) {
+  Bus b;
+  b.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) b.push_back(nl.constant(((value >> i) & 1u) != 0));
+  return b;
+}
+
+Bus zero_extend(Netlist& nl, const Bus& a, int width) {
+  Bus b = a;
+  b.resize(static_cast<std::size_t>(width), nl.constant(false));
+  if (static_cast<int>(a.size()) > width) b.resize(static_cast<std::size_t>(width));
+  return b;
+}
+
+Bus sign_extend(const Bus& a, int width) {
+  if (a.empty()) throw std::invalid_argument("sign_extend: empty bus");
+  Bus b = a;
+  b.resize(static_cast<std::size_t>(width), a.back());
+  if (static_cast<int>(a.size()) > width) b.resize(static_cast<std::size_t>(width));
+  return b;
+}
+
+namespace {
+
+/// Balanced binary reduction (logarithmic depth, as synthesis would build).
+NetId tree_reduce(Netlist& nl, Bus level, CellType op) {
+  while (level.size() > 1) {
+    Bus next;
+    next.reserve(level.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(nl.gate(op, level[i], level[i + 1]));
+    if (level.size() % 2 != 0) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+}  // namespace
+
+NetId and_reduce(Netlist& nl, const Bus& a) {
+  if (a.empty()) return nl.constant(true);
+  return tree_reduce(nl, a, CellType::kAnd2);
+}
+
+NetId or_reduce(Netlist& nl, const Bus& a) {
+  if (a.empty()) return nl.constant(false);
+  return tree_reduce(nl, a, CellType::kOr2);
+}
+
+Bus bus_and(Netlist& nl, const Bus& a, NetId enable) {
+  Bus out;
+  out.reserve(a.size());
+  for (const NetId n : a) out.push_back(nl.and2(n, enable));
+  return out;
+}
+
+Bus bus_xor(Netlist& nl, const Bus& a, NetId flip) {
+  Bus out;
+  out.reserve(a.size());
+  for (const NetId n : a) out.push_back(nl.xor2(n, flip));
+  return out;
+}
+
+Bus bus_invert(Netlist& nl, const Bus& a) {
+  Bus out;
+  out.reserve(a.size());
+  for (const NetId n : a) out.push_back(nl.inv(n));
+  return out;
+}
+
+Bus bus_mux(Netlist& nl, NetId sel, const Bus& lo, const Bus& hi) {
+  if (lo.size() != hi.size()) throw std::invalid_argument("bus_mux: width mismatch");
+  Bus out;
+  out.reserve(lo.size());
+  for (std::size_t i = 0; i < lo.size(); ++i) out.push_back(nl.mux2(sel, lo[i], hi[i]));
+  return out;
+}
+
+SumCarry half_adder(Netlist& nl, NetId a, NetId b) {
+  return {nl.xor2(a, b), nl.and2(a, b)};
+}
+
+SumCarry full_adder(Netlist& nl, NetId a, NetId b, NetId cin) {
+  const NetId axb = nl.xor2(a, b);
+  const NetId sum = nl.xor2(axb, cin);
+  const NetId carry = nl.or2(nl.and2(a, b), nl.and2(axb, cin));
+  return {sum, carry};
+}
+
+Bus ripple_add(Netlist& nl, const Bus& a, const Bus& b, NetId cin, bool keep_carry) {
+  if (a.size() != b.size()) throw std::invalid_argument("ripple_add: width mismatch");
+  Bus out;
+  out.reserve(a.size() + 1);
+  NetId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const SumCarry sc = full_adder(nl, a[i], b[i], carry);
+    out.push_back(sc.sum);
+    carry = sc.carry;
+  }
+  if (keep_carry) out.push_back(carry);
+  return out;
+}
+
+Bus add_signed(Netlist& nl, const Bus& a, const Bus& b) {
+  const int w = static_cast<int>(std::max(a.size(), b.size())) + 1;
+  return ripple_add(nl, sign_extend(a, w), sign_extend(b, w), nl.constant(false));
+}
+
+Bus sub_signed(Netlist& nl, const Bus& a, const Bus& b) {
+  const int w = static_cast<int>(std::max(a.size(), b.size())) + 1;
+  return ripple_add(nl, sign_extend(a, w), bus_invert(nl, sign_extend(b, w)),
+                    nl.constant(true));
+}
+
+Bus negate_if(Netlist& nl, const Bus& a, NetId neg) {
+  // ~a + neg when neg, else a: XOR with neg then add neg as carry-in.
+  const Bus flipped = bus_xor(nl, a, neg);
+  return ripple_add(nl, flipped, constant_bus(nl, 0, static_cast<int>(a.size())), neg);
+}
+
+Bus array_multiply(Netlist& nl, const Bus& a, const Bus& b) {
+  const std::size_t wa = a.size(), wb = b.size();
+  if (wa == 0 || wb == 0) throw std::invalid_argument("array_multiply: empty bus");
+  // Carry-save array of partial products, reduced row by row.
+  Bus acc = bus_and(nl, a, b[0]);                     // row 0
+  acc.resize(wa + wb, nl.constant(false));
+  for (std::size_t j = 1; j < wb; ++j) {
+    const Bus pp = bus_and(nl, a, b[j]);              // partial product row j
+    NetId carry = nl.constant(false);
+    for (std::size_t i = 0; i < wa; ++i) {
+      const SumCarry sc = full_adder(nl, acc[j + i], pp[i], carry);
+      acc[j + i] = sc.sum;
+      carry = sc.carry;
+    }
+    // Propagate the final carry into the remaining high bits.
+    for (std::size_t i = j + wa; i < wa + wb && carry != nl.constant(false); ++i) {
+      const SumCarry sc = half_adder(nl, acc[i], carry);
+      acc[i] = sc.sum;
+      carry = sc.carry;
+    }
+  }
+  return acc;
+}
+
+Bus barrel_shift_left(Netlist& nl, const Bus& a, const Bus& sh, int result_width) {
+  Bus cur = zero_extend(nl, a, result_width);
+  for (std::size_t stage = 0; stage < sh.size(); ++stage) {
+    const int amount = 1 << stage;
+    if (amount >= result_width) {
+      // Shifting by >= width would clear the bus when selected.
+      cur = bus_and(nl, cur, nl.inv(sh[stage]));
+      continue;
+    }
+    Bus shifted(cur.size(), nl.constant(false));
+    for (int i = amount; i < result_width; ++i) shifted[static_cast<std::size_t>(i)] =
+        cur[static_cast<std::size_t>(i - amount)];
+    cur = bus_mux(nl, sh[stage], cur, shifted);
+  }
+  return cur;
+}
+
+Bus one_hot_constant_select(Netlist& nl, const std::vector<NetId>& sels,
+                            const std::vector<std::uint64_t>& constants, int width) {
+  if (sels.size() != constants.size())
+    throw std::invalid_argument("one_hot_constant_select: size mismatch");
+  Bus out;
+  out.reserve(static_cast<std::size_t>(width));
+  for (int bit = 0; bit < width; ++bit) {
+    Bus terms;
+    for (std::size_t i = 0; i < sels.size(); ++i) {
+      if ((constants[i] >> bit) & 1u) terms.push_back(sels[i]);
+    }
+    out.push_back(or_reduce(nl, terms));
+  }
+  return out;
+}
+
+NetId equals_const(Netlist& nl, const Bus& a, std::uint64_t value) {
+  Bus matched;
+  matched.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const bool bit = ((value >> i) & 1u) != 0;
+    matched.push_back(bit ? a[i] : nl.inv(a[i]));
+  }
+  return and_reduce(nl, matched);
+}
+
+}  // namespace mersit::rtl

@@ -1,0 +1,75 @@
+// Reusable structural components: adders, multipliers, shifters, reducers.
+//
+// All buses are LSB-first.  Signed buses are two's complement.
+#pragma once
+
+#include <cstdint>
+
+#include "rtl/netlist.h"
+
+namespace mersit::rtl {
+
+/// `width` constant-valued nets (low bits of `value`).
+[[nodiscard]] Bus constant_bus(Netlist& nl, std::uint64_t value, int width);
+
+/// Zero-extend (or truncate) to `width`.
+[[nodiscard]] Bus zero_extend(Netlist& nl, const Bus& a, int width);
+/// Sign-extend (or truncate) to `width`.
+[[nodiscard]] Bus sign_extend(const Bus& a, int width);
+
+/// AND / OR reduction over all bits.
+[[nodiscard]] NetId and_reduce(Netlist& nl, const Bus& a);
+[[nodiscard]] NetId or_reduce(Netlist& nl, const Bus& a);
+
+/// Bitwise ops.
+[[nodiscard]] Bus bus_and(Netlist& nl, const Bus& a, NetId enable);
+[[nodiscard]] Bus bus_xor(Netlist& nl, const Bus& a, NetId flip);
+[[nodiscard]] Bus bus_invert(Netlist& nl, const Bus& a);
+
+/// Bus-wide 2:1 mux: `sel ? hi : lo` (widths must match).
+[[nodiscard]] Bus bus_mux(Netlist& nl, NetId sel, const Bus& lo, const Bus& hi);
+
+/// Full adder from primitive gates; returns {sum, carry}.
+struct SumCarry {
+  NetId sum;
+  NetId carry;
+};
+[[nodiscard]] SumCarry full_adder(Netlist& nl, NetId a, NetId b, NetId cin);
+[[nodiscard]] SumCarry half_adder(Netlist& nl, NetId a, NetId b);
+
+/// Ripple-carry addition of equal-width buses; result has the same width
+/// (carry-out discarded) unless `keep_carry`.
+[[nodiscard]] Bus ripple_add(Netlist& nl, const Bus& a, const Bus& b, NetId cin,
+                             bool keep_carry = false);
+
+/// a + b for two's-complement buses of any widths; result width
+/// max(w_a, w_b) + 1 (never overflows).
+[[nodiscard]] Bus add_signed(Netlist& nl, const Bus& a, const Bus& b);
+
+/// a - b, two's complement, result width max(w_a, w_b) + 1.
+[[nodiscard]] Bus sub_signed(Netlist& nl, const Bus& a, const Bus& b);
+
+/// Conditionally negate a two's-complement bus (same width).
+[[nodiscard]] Bus negate_if(Netlist& nl, const Bus& a, NetId neg);
+
+/// Unsigned array multiplier; result width w_a + w_b.
+[[nodiscard]] Bus array_multiply(Netlist& nl, const Bus& a, const Bus& b);
+
+/// Logical left shift of `a` into a `result_width` window by the unsigned
+/// amount bus `sh` (barrel shifter; stages = bits of `sh`).  Bits shifted
+/// past the top are discarded; vacated bits are zero.
+[[nodiscard]] Bus barrel_shift_left(Netlist& nl, const Bus& a, const Bus& sh,
+                                    int result_width);
+
+/// One-hot selector network: out = OR_i (sel[i] AND constants[i]), i.e. pick
+/// a constant by one-hot select signals.  Exactly one sel is expected high;
+/// if none is, the output is 0.  Used for the "k x (2^es - 1)" unit.
+[[nodiscard]] Bus one_hot_constant_select(Netlist& nl,
+                                          const std::vector<NetId>& sels,
+                                          const std::vector<std::uint64_t>& constants,
+                                          int width);
+
+/// Equality comparison against a constant.
+[[nodiscard]] NetId equals_const(Netlist& nl, const Bus& a, std::uint64_t value);
+
+}  // namespace mersit::rtl

@@ -1,0 +1,196 @@
+#include "rtl/netlist.h"
+
+#include <stdexcept>
+
+namespace mersit::rtl {
+
+int cell_input_count(CellType t) {
+  switch (t) {
+    case CellType::kConst0:
+    case CellType::kConst1:
+    case CellType::kInput:
+      return 0;
+    case CellType::kBuf:
+    case CellType::kInv:
+    case CellType::kDff:
+      return 1;
+    case CellType::kAnd2:
+    case CellType::kOr2:
+    case CellType::kNand2:
+    case CellType::kNor2:
+    case CellType::kXor2:
+    case CellType::kXnor2:
+      return 2;
+    case CellType::kMux2:
+      return 3;
+  }
+  return 0;
+}
+
+const char* cell_type_name(CellType t) {
+  switch (t) {
+    case CellType::kConst0: return "CONST0";
+    case CellType::kConst1: return "CONST1";
+    case CellType::kInput: return "INPUT";
+    case CellType::kBuf: return "BUF";
+    case CellType::kInv: return "INV";
+    case CellType::kAnd2: return "AND2";
+    case CellType::kOr2: return "OR2";
+    case CellType::kNand2: return "NAND2";
+    case CellType::kNor2: return "NOR2";
+    case CellType::kXor2: return "XOR2";
+    case CellType::kXnor2: return "XNOR2";
+    case CellType::kMux2: return "MUX2";
+    case CellType::kDff: return "DFF";
+  }
+  return "?";
+}
+
+Netlist::Netlist() {
+  group_names_.push_back("top");
+  group_stack_.push_back(0);
+  Gate g0{CellType::kConst0, 0, 0, 0, new_net(), 0};
+  zero_ = g0.out;
+  gates_.push_back(g0);
+  Gate g1{CellType::kConst1, 0, 0, 0, new_net(), 0};
+  one_ = g1.out;
+  gates_.push_back(g1);
+}
+
+NetId Netlist::new_net() { return static_cast<NetId>(net_count_++); }
+
+NetId Netlist::input(const std::string& /*name*/) {
+  Gate g{CellType::kInput, 0, 0, 0, new_net(), group_stack_.back()};
+  gates_.push_back(g);
+  inputs_.push_back(g.out);
+  return g.out;
+}
+
+Bus Netlist::input_bus(const std::string& name, int width) {
+  Bus bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) bus.push_back(input(name + std::to_string(i)));
+  return bus;
+}
+
+NetId Netlist::gate(CellType type, NetId a, NetId b) {
+  if (a >= net_count_ || (cell_input_count(type) >= 2 && b >= net_count_))
+    throw std::logic_error("Netlist::gate: input net does not exist yet");
+  // Constant folding keeps generated structures lean, mirroring the trivial
+  // optimizations any synthesis tool performs.
+  const bool a0 = a == zero_, a1 = a == one_, b0 = b == zero_, b1 = b == one_;
+  switch (type) {
+    case CellType::kBuf:
+      return a;
+    case CellType::kInv:
+      if (a0) return one_;
+      if (a1) return zero_;
+      break;
+    case CellType::kAnd2:
+      if (a0 || b0) return zero_;
+      if (a1) return b;
+      if (b1) return a;
+      if (a == b) return a;
+      break;
+    case CellType::kOr2:
+      if (a1 || b1) return one_;
+      if (a0) return b;
+      if (b0) return a;
+      if (a == b) return a;
+      break;
+    case CellType::kNand2:
+      if (a0 || b0) return one_;
+      if (a1) return gate(CellType::kInv, b);
+      if (b1) return gate(CellType::kInv, a);
+      break;
+    case CellType::kNor2:
+      if (a1 || b1) return zero_;
+      if (a0) return gate(CellType::kInv, b);
+      if (b0) return gate(CellType::kInv, a);
+      break;
+    case CellType::kXor2:
+      if (a0) return b;
+      if (b0) return a;
+      if (a1) return gate(CellType::kInv, b);
+      if (b1) return gate(CellType::kInv, a);
+      if (a == b) return zero_;
+      break;
+    case CellType::kXnor2:
+      if (a1) return b;
+      if (b1) return a;
+      if (a0) return gate(CellType::kInv, b);
+      if (b0) return gate(CellType::kInv, a);
+      if (a == b) return one_;
+      break;
+    default:
+      break;
+  }
+  Gate g{type, a, b, 0, new_net(), group_stack_.back()};
+  gates_.push_back(g);
+  if (type == CellType::kDff) dffs_.push_back(gates_.size() - 1);
+  return g.out;
+}
+
+NetId Netlist::mux2(NetId sel, NetId lo, NetId hi) {
+  if (sel == zero_) return lo;
+  if (sel == one_) return hi;
+  if (lo == hi) return lo;
+  if (lo == zero_ && hi == one_) return sel;
+  if (lo == one_ && hi == zero_) return gate(CellType::kInv, sel);
+  if (lo == zero_) return and2(sel, hi);
+  if (hi == one_) return or2(sel, lo);
+  if (hi == zero_) return and2(gate(CellType::kInv, sel), lo);
+  if (lo == one_) return or2(gate(CellType::kInv, sel), hi);
+  Gate g{CellType::kMux2, lo, hi, sel, new_net(), group_stack_.back()};
+  gates_.push_back(g);
+  return g.out;
+}
+
+NetId Netlist::dff(NetId d) { return gate(CellType::kDff, d); }
+
+NetId Netlist::dff_unbound() {
+  Gate g{CellType::kDff, constant(false), 0, 0, new_net(), group_stack_.back()};
+  gates_.push_back(g);
+  dffs_.push_back(gates_.size() - 1);
+  return g.out;
+}
+
+void Netlist::bind_dff(NetId q, NetId d) {
+  if (d >= net_count_) throw std::logic_error("bind_dff: unknown d net");
+  for (const std::size_t idx : dffs_) {
+    if (gates_[idx].out == q) {
+      gates_[idx].a = d;
+      return;
+    }
+  }
+  throw std::logic_error("bind_dff: q is not a DFF output");
+}
+
+void Netlist::push_group(const std::string& name) {
+  for (std::size_t i = 0; i < group_names_.size(); ++i) {
+    if (group_names_[i] == name) {
+      group_stack_.push_back(static_cast<std::uint16_t>(i));
+      return;
+    }
+  }
+  group_names_.push_back(name);
+  group_stack_.push_back(static_cast<std::uint16_t>(group_names_.size() - 1));
+}
+
+void Netlist::pop_group() {
+  if (group_stack_.size() <= 1)
+    throw std::logic_error("Netlist::pop_group: stack underflow");
+  group_stack_.pop_back();
+}
+
+std::size_t Netlist::cell_count() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_) {
+    if (g.type != CellType::kConst0 && g.type != CellType::kConst1 &&
+        g.type != CellType::kInput)
+      ++n;
+  }
+  return n;
+}
+
+}  // namespace mersit::rtl

@@ -1,0 +1,113 @@
+// Structural gate-level netlist.
+//
+// This is the substrate substituting for the paper's Verilog + Design
+// Compiler flow: hardware blocks are built as explicit gate graphs from a
+// small primitive cell set, costed with a 45nm-like standard-cell library
+// (cells.h) and simulated cycle-accurately with toggle counting (sim.h).
+//
+// Construction order doubles as topological order: a gate's inputs must
+// already exist when the gate is created, so combinational evaluation is a
+// single in-order pass.  Sequential loops are closed only through DFFs,
+// whose outputs are sources for combinational evaluation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mersit::rtl {
+
+using NetId = std::uint32_t;
+
+/// A bit-vector of nets, least-significant bit first.
+using Bus = std::vector<NetId>;
+
+enum class CellType : std::uint8_t {
+  kConst0,
+  kConst1,
+  kInput,
+  kBuf,
+  kInv,
+  kAnd2,
+  kOr2,
+  kNand2,
+  kNor2,
+  kXor2,
+  kXnor2,
+  kMux2,  ///< out = s ? b : a
+  kDff,   ///< out = registered d (input `a`)
+};
+
+/// Number of logic inputs a cell type consumes.
+[[nodiscard]] int cell_input_count(CellType t);
+[[nodiscard]] const char* cell_type_name(CellType t);
+
+struct Gate {
+  CellType type = CellType::kConst0;
+  NetId a = 0;       ///< first input (d for DFF)
+  NetId b = 0;       ///< second input
+  NetId s = 0;       ///< select input (MUX2 only)
+  NetId out = 0;     ///< driven net
+  std::uint16_t group = 0;  ///< index into Netlist::group_names()
+};
+
+class Netlist {
+ public:
+  Netlist();
+
+  // --- construction -------------------------------------------------------
+  [[nodiscard]] NetId constant(bool value) const { return value ? one_ : zero_; }
+  NetId input(const std::string& name);
+  Bus input_bus(const std::string& name, int width);
+
+  NetId gate(CellType type, NetId a, NetId b = 0);
+  NetId buf(NetId a) { return gate(CellType::kBuf, a); }
+  NetId inv(NetId a) { return gate(CellType::kInv, a); }
+  NetId and2(NetId a, NetId b) { return gate(CellType::kAnd2, a, b); }
+  NetId or2(NetId a, NetId b) { return gate(CellType::kOr2, a, b); }
+  NetId nand2(NetId a, NetId b) { return gate(CellType::kNand2, a, b); }
+  NetId nor2(NetId a, NetId b) { return gate(CellType::kNor2, a, b); }
+  NetId xor2(NetId a, NetId b) { return gate(CellType::kXor2, a, b); }
+  NetId xnor2(NetId a, NetId b) { return gate(CellType::kXnor2, a, b); }
+  /// 2:1 multiplexer: returns `sel ? hi : lo`.
+  NetId mux2(NetId sel, NetId lo, NetId hi);
+  /// D flip-flop; the returned net is the registered output Q.
+  NetId dff(NetId d);
+
+  /// D flip-flop whose D input is connected later with bind_dff(); enables
+  /// feedback loops (e.g. an accumulator register feeding its own adder).
+  NetId dff_unbound();
+  void bind_dff(NetId q, NetId d);
+
+  // --- component grouping (for per-component area/power breakdown) --------
+  /// Subsequent gates are attributed to `name` until pop_group().
+  void push_group(const std::string& name);
+  void pop_group();
+  [[nodiscard]] const std::vector<std::string>& group_names() const {
+    return group_names_;
+  }
+
+  // --- introspection -------------------------------------------------------
+  [[nodiscard]] std::size_t net_count() const { return net_count_; }
+  [[nodiscard]] const std::vector<Gate>& gates() const { return gates_; }
+  [[nodiscard]] const std::vector<NetId>& inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<std::size_t>& dff_gate_indices() const {
+    return dffs_;
+  }
+  /// Number of gates excluding constants/inputs (i.e. costed cells).
+  [[nodiscard]] std::size_t cell_count() const;
+
+ private:
+  NetId new_net();
+
+  std::size_t net_count_ = 0;
+  std::vector<Gate> gates_;
+  std::vector<NetId> inputs_;
+  std::vector<std::size_t> dffs_;
+  std::vector<std::string> group_names_;
+  std::vector<std::uint16_t> group_stack_;
+  NetId zero_ = 0;
+  NetId one_ = 0;
+};
+
+}  // namespace mersit::rtl

@@ -1,0 +1,112 @@
+#include "rtl/sim.h"
+
+#include <stdexcept>
+
+namespace mersit::rtl {
+
+Simulator::Simulator(const Netlist& nl)
+    : nl_(nl), value_(nl.net_count(), 0), toggles_(nl.gates().size(), 0) {
+  // Establish consistent initial values (constants, settled logic).
+  eval();
+  reset_stats();
+}
+
+void Simulator::set_input(NetId net, bool value) { value_[net] = value ? 1 : 0; }
+
+void Simulator::set_input_bus(const Bus& bus, std::uint64_t value) {
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    value_[bus[i]] = static_cast<std::uint8_t>((value >> i) & 1u);
+}
+
+void Simulator::eval_gate(const Gate& g) {
+  std::uint8_t out = 0;
+  switch (g.type) {
+    case CellType::kConst0: out = 0; break;
+    case CellType::kConst1: out = 1; break;
+    case CellType::kInput:
+    case CellType::kDff:
+      return;  // sources during combinational evaluation
+    case CellType::kBuf: out = value_[g.a]; break;
+    case CellType::kInv: out = value_[g.a] ^ 1u; break;
+    case CellType::kAnd2: out = value_[g.a] & value_[g.b]; break;
+    case CellType::kOr2: out = value_[g.a] | value_[g.b]; break;
+    case CellType::kNand2: out = (value_[g.a] & value_[g.b]) ^ 1u; break;
+    case CellType::kNor2: out = (value_[g.a] | value_[g.b]) ^ 1u; break;
+    case CellType::kXor2: out = value_[g.a] ^ value_[g.b]; break;
+    case CellType::kXnor2: out = (value_[g.a] ^ value_[g.b]) ^ 1u; break;
+    case CellType::kMux2: out = value_[g.s] ? value_[g.b] : value_[g.a]; break;
+  }
+  if (out != value_[g.out]) {
+    value_[g.out] = out;
+    toggles_[&g - nl_.gates().data()]++;
+  }
+}
+
+void Simulator::eval() {
+  for (const Gate& g : nl_.gates()) eval_gate(g);
+}
+
+void Simulator::clock() {
+  const auto& gates = nl_.gates();
+  // Sample every D simultaneously, then update the Qs.
+  std::vector<std::uint8_t> sampled;
+  sampled.reserve(nl_.dff_gate_indices().size());
+  for (const std::size_t idx : nl_.dff_gate_indices())
+    sampled.push_back(value_[gates[idx].a]);
+  std::size_t i = 0;
+  for (const std::size_t idx : nl_.dff_gate_indices()) {
+    const Gate& g = gates[idx];
+    if (value_[g.out] != sampled[i]) {
+      value_[g.out] = sampled[i];
+      toggles_[idx]++;
+    }
+    ++i;
+  }
+  eval();
+}
+
+std::uint64_t Simulator::get_bus(const Bus& bus) const {
+  if (bus.size() > 64) throw std::invalid_argument("get_bus: bus wider than 64");
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    v |= static_cast<std::uint64_t>(value_[bus[i]]) << i;
+  return v;
+}
+
+std::int64_t Simulator::get_bus_signed(const Bus& bus) const {
+  const std::uint64_t raw = get_bus(bus);
+  const std::size_t w = bus.size();
+  if (w == 0 || w >= 64) return static_cast<std::int64_t>(raw);
+  const std::uint64_t sign = 1ull << (w - 1);
+  return static_cast<std::int64_t>((raw ^ sign)) - static_cast<std::int64_t>(sign);
+}
+
+void Simulator::reset_stats() {
+  std::fill(toggles_.begin(), toggles_.end(), 0);
+}
+
+std::uint64_t Simulator::total_toggles() const {
+  std::uint64_t t = 0;
+  for (const auto n : toggles_) t += n;
+  return t;
+}
+
+double Simulator::dynamic_energy_fj(const CellLibrary& lib) const {
+  double e = 0.0;
+  const auto& gates = nl_.gates();
+  for (std::size_t i = 0; i < gates.size(); ++i)
+    e += static_cast<double>(toggles_[i]) * lib.spec(gates[i].type).switch_energy_fj;
+  return e;
+}
+
+std::vector<double> Simulator::dynamic_energy_by_group_fj(
+    const CellLibrary& lib) const {
+  std::vector<double> by(nl_.group_names().size(), 0.0);
+  const auto& gates = nl_.gates();
+  for (std::size_t i = 0; i < gates.size(); ++i)
+    by[gates[i].group] +=
+        static_cast<double>(toggles_[i]) * lib.spec(gates[i].type).switch_energy_fj;
+  return by;
+}
+
+}  // namespace mersit::rtl

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/mersit.h"
+
+namespace mersit::core {
+namespace {
+
+class MersitEncode : public ::testing::TestWithParam<int> {
+ protected:
+  MersitEncode() : fmt_(8, GetParam()) {}
+  MersitFormat fmt_;
+};
+
+TEST_P(MersitEncode, DirectMatchesTableOnAllRepresentableValues) {
+  for (int c = 0; c < 256; ++c) {
+    const auto code = static_cast<std::uint8_t>(c);
+    if (fmt_.classify(code) != formats::ValueClass::kFinite) continue;
+    const double v = fmt_.decode_value(code);
+    EXPECT_EQ(fmt_.encode_direct(v), fmt_.encode(v)) << "code " << c;
+    EXPECT_EQ(fmt_.encode_direct(v), code) << "code " << c;
+  }
+}
+
+TEST_P(MersitEncode, DirectMatchesTableOnMidpointsAndNeighbors) {
+  const auto& pos = fmt_.codec().positives();
+  for (std::size_t i = 0; i + 1 < pos.size(); ++i) {
+    const double mid = 0.5 * (pos[i].value + pos[i + 1].value);
+    for (const double x : {mid, std::nextafter(mid, 0.0),
+                           std::nextafter(mid, 1e30), -mid}) {
+      EXPECT_EQ(fmt_.encode_direct(x), fmt_.encode(x)) << "x=" << x;
+    }
+  }
+}
+
+TEST_P(MersitEncode, DirectMatchesTableOnRandomValues) {
+  std::mt19937 rng(99);
+  std::uniform_real_distribution<double> mant(-1.0, 1.0);
+  std::uniform_int_distribution<int> expo(-20, 18);
+  for (int i = 0; i < 40000; ++i) {
+    const double x = std::ldexp(mant(rng), expo(rng));
+    EXPECT_EQ(fmt_.encode_direct(x), fmt_.encode(x)) << "x=" << x;
+  }
+}
+
+TEST_P(MersitEncode, SpecialInputs) {
+  EXPECT_EQ(fmt_.encode_direct(0.0), fmt_.zero_code());
+  EXPECT_EQ(fmt_.encode_direct(std::numeric_limits<double>::quiet_NaN()),
+            fmt_.zero_code());
+  EXPECT_EQ(fmt_.encode_direct(1e300), fmt_.max_code());
+  EXPECT_EQ(fmt_.encode_direct(-1e300),
+            static_cast<std::uint8_t>(fmt_.max_code() | 0x80));
+  // Posit semantics: no underflow.
+  EXPECT_EQ(fmt_.encode_direct(1e-300), fmt_.min_pos_code());
+}
+
+TEST_P(MersitEncode, SaturationBoundary) {
+  const double maxv = fmt_.max_finite();
+  EXPECT_EQ(fmt_.encode_direct(maxv), fmt_.max_code());
+  EXPECT_EQ(fmt_.encode_direct(maxv * 4), fmt_.max_code());
+  EXPECT_EQ(fmt_.encode_direct(std::nextafter(maxv, 0.0)),
+            fmt_.encode(std::nextafter(maxv, 0.0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(EsSweep, MersitEncode, ::testing::Values(1, 2, 3, 6),
+                         [](const auto& info) {
+                           return "es" + std::to_string(info.param);
+                         });
+
+TEST(MersitEncodeFixed, KnownRoundings) {
+  const MersitFormat& m = mersit_8_2();
+  // 1.03 lies between 1.0 and 1.0625; nearer 1.0.
+  EXPECT_DOUBLE_EQ(m.quantize(1.03), 1.0);
+  // 1.05 is nearer 1.0625.
+  EXPECT_DOUBLE_EQ(m.quantize(1.05), 1.0625);
+  // 3.2 in binade e=1 (frac step 1/8 scaled by 2): values 3.0, 3.25 -> 3.25.
+  EXPECT_DOUBLE_EQ(m.quantize(3.2), 3.25);
+  // 100 in binade e=6 (no frac): values 64, 128 -> 128.
+  EXPECT_DOUBLE_EQ(m.quantize(100.0), 128.0);
+  EXPECT_DOUBLE_EQ(m.quantize(90.0), 64.0);
+}
+
+}  // namespace
+}  // namespace mersit::core

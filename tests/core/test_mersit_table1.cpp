@@ -1,0 +1,117 @@
+// Bit-for-bit pin of the paper's Table 1: the complete MERSIT(8,2) decode.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/mersit.h"
+
+namespace mersit::core {
+namespace {
+
+struct Row {
+  const char* body;  // b6..b0, 'x' = fraction bit
+  int k;
+  int exp;
+  int eff;
+  int frac_bits;
+};
+
+// Every non-special row of Table 1, verbatim from the paper.
+constexpr Row kTable1[] = {
+    {"0111100", -3, 0, -9, 0}, {"0111101", -3, 1, -8, 0}, {"0111110", -3, 2, -7, 0},
+    {"01100xx", -2, 0, -6, 2}, {"01101xx", -2, 1, -5, 2}, {"01110xx", -2, 2, -4, 2},
+    {"000xxxx", -1, 0, -3, 4}, {"001xxxx", -1, 1, -2, 4}, {"010xxxx", -1, 2, -1, 4},
+    {"100xxxx", 0, 0, 0, 4},   {"101xxxx", 0, 1, 1, 4},   {"110xxxx", 0, 2, 2, 4},
+    {"11100xx", 1, 0, 3, 2},   {"11101xx", 1, 1, 4, 2},   {"11110xx", 1, 2, 5, 2},
+    {"1111100", 2, 0, 6, 0},   {"1111101", 2, 1, 7, 0},   {"1111110", 2, 2, 8, 0},
+};
+
+std::uint8_t body_with_frac(const std::string& pattern, std::uint32_t frac) {
+  std::uint8_t code = 0;
+  int frac_bit = 0;
+  for (int i = 6; i >= 0; --i) {
+    const char c = pattern[static_cast<std::size_t>(6 - i)];
+    if (c == '1') {
+      code |= static_cast<std::uint8_t>(1u << i);
+    } else if (c == 'x') {
+      ++frac_bit;
+    }
+  }
+  // Fill fraction bits (they occupy the low `frac_bit` positions).
+  code |= static_cast<std::uint8_t>(frac & ((1u << frac_bit) - 1u));
+  return code;
+}
+
+TEST(MersitTable1, AllRowsAllFractions) {
+  const MersitFormat& m = mersit_8_2();
+  for (const Row& row : kTable1) {
+    const int nfrac = 1 << row.frac_bits;
+    for (int fr = 0; fr < nfrac; ++fr) {
+      const std::uint8_t code = body_with_frac(row.body, static_cast<std::uint32_t>(fr));
+      const MersitFormat::Fields f = m.fields(code);
+      ASSERT_FALSE(f.is_zero) << row.body;
+      ASSERT_FALSE(f.is_nar) << row.body;
+      EXPECT_EQ(f.k, row.k) << row.body << " frac " << fr;
+      EXPECT_EQ(f.exp, row.exp) << row.body;
+      EXPECT_EQ(f.effective_exponent(2), row.eff) << row.body;
+      EXPECT_EQ(f.frac_bits, row.frac_bits) << row.body;
+      EXPECT_EQ(f.frac, static_cast<std::uint32_t>(fr)) << row.body;
+    }
+  }
+}
+
+TEST(MersitTable1, SpecialRows) {
+  const MersitFormat& m = mersit_8_2();
+  // 0111111 -> zero.
+  EXPECT_TRUE(m.fields(0b0111111).is_zero);
+  // 1111111 -> +/-inf.
+  EXPECT_TRUE(m.fields(0b1111111).is_nar);
+  EXPECT_TRUE(m.fields(0b11111111).is_nar);
+  EXPECT_TRUE(m.decode(0b11111111).sign);
+}
+
+TEST(MersitTable1, EffectiveExponentRangeIsMinus9To8) {
+  const MersitFormat& m = mersit_8_2();
+  EXPECT_EQ(m.min_eff_exponent(), -9);
+  EXPECT_EQ(m.max_eff_exponent(), 8);
+  EXPECT_EQ(m.min_exponent(), -9);
+  EXPECT_EQ(m.max_exponent(), 8);
+}
+
+TEST(MersitTable1, MaxFractionIs4Bits) {
+  EXPECT_EQ(mersit_8_2().max_frac_bits(), 4);
+}
+
+TEST(MersitTable1, DecodeTableReproducesPaperLayout) {
+  const auto rows = mersit_8_2().decode_table();
+  // zero + 18 exponent rows + inf.
+  ASSERT_EQ(rows.size(), 20u);
+  EXPECT_TRUE(rows.front().special);
+  EXPECT_EQ(rows.front().label, "zero");
+  EXPECT_EQ(rows.front().body, "0111111");
+  EXPECT_TRUE(rows.back().special);
+  EXPECT_EQ(rows.back().body, "1111111");
+  for (std::size_t i = 0; i < 18; ++i) {
+    const auto& r = rows[i + 1];
+    EXPECT_EQ(r.body, kTable1[i].body) << i;
+    EXPECT_EQ(r.k, kTable1[i].k);
+    EXPECT_EQ(r.exp, kTable1[i].exp);
+    EXPECT_EQ(r.eff_exp, kTable1[i].eff);
+    EXPECT_EQ(r.frac_bits, kTable1[i].frac_bits);
+  }
+}
+
+TEST(MersitTable1, EveryEffectiveExponentAppearsExactlyOnce) {
+  const MersitFormat& m = mersit_8_2();
+  int count[32] = {};
+  for (int c = 0; c < 128; ++c) {  // positive codes
+    const auto f = m.fields(static_cast<std::uint8_t>(c));
+    if (f.is_zero || f.is_nar || f.sign) continue;
+    if (f.frac == 0) count[f.effective_exponent(2) + 16]++;
+  }
+  for (int eff = -9; eff <= 8; ++eff)
+    EXPECT_EQ(count[eff + 16], 1) << "eff " << eff;
+}
+
+}  // namespace
+}  // namespace mersit::core

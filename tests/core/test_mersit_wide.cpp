@@ -1,0 +1,132 @@
+#include "core/mersit_wide.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <set>
+
+#include "core/mersit.h"
+
+namespace mersit::core {
+namespace {
+
+TEST(WideMersit8, BitForBitIdenticalToMersitFormat) {
+  for (const int es : {1, 2, 3}) {
+    const WideMersit wide(8, es);
+    const MersitFormat ref(8, es);
+    for (int c = 0; c < 256; ++c) {
+      const auto code8 = static_cast<std::uint8_t>(c);
+      const auto code16 = static_cast<std::uint16_t>(c);
+      const double vw = wide.decode_value(code16);
+      const double vr = ref.decode_value(code8);
+      if (std::isnan(vr)) {
+        EXPECT_TRUE(std::isnan(vw) || std::isinf(vw));
+      } else {
+        EXPECT_EQ(vw, vr) << "es=" << es << " code " << c;
+      }
+    }
+    // Encodes agree on a dense sweep.
+    std::mt19937 rng(3);
+    std::uniform_real_distribution<double> mant(-1.0, 1.0);
+    std::uniform_int_distribution<int> expo(-16, 14);
+    for (int i = 0; i < 20000; ++i) {
+      const double x = std::ldexp(mant(rng), expo(rng));
+      EXPECT_EQ(wide.encode(x), ref.encode_direct(x)) << "es=" << es << " x=" << x;
+    }
+  }
+}
+
+TEST(WideMersit16, Configuration) {
+  const WideMersit m(16, 2);
+  EXPECT_EQ(m.groups(), 7);
+  EXPECT_EQ(m.regime_weight(), 3);
+  EXPECT_EQ(m.min_eff_exponent(), -21);
+  EXPECT_EQ(m.max_eff_exponent(), 20);
+  EXPECT_EQ(m.max_frac_bits(), 12);
+}
+
+TEST(WideMersit16, FieldsPackRoundTrip) {
+  const WideMersit m(16, 2);
+  for (int c = 0; c <= 0xFFFF; ++c) {
+    const auto code = static_cast<std::uint16_t>(c);
+    const auto f = m.fields(code);
+    if (f.is_zero) {
+      EXPECT_EQ(m.pack(f) & (m.code_mask() >> 1), m.zero_code());
+      continue;
+    }
+    ASSERT_EQ(m.pack(f), code) << c;
+  }
+}
+
+TEST(WideMersit16, AllFiniteValuesDistinctAndRoundTrip) {
+  const WideMersit m(16, 2);
+  std::set<double> vals;
+  int finite = 0;
+  for (int c = 0; c < (1 << 15); ++c) {  // positive codes
+    const auto code = static_cast<std::uint16_t>(c);
+    const auto f = m.fields(code);
+    if (f.is_zero || f.is_nar) continue;
+    ++finite;
+    const double v = m.decode_value(code);
+    vals.insert(v);
+    ASSERT_EQ(m.encode(v), code) << c;
+  }
+  EXPECT_EQ(static_cast<int>(vals.size()), finite);
+  EXPECT_EQ(finite, (1 << 15) - 2);  // all bodies minus zero and inf
+}
+
+TEST(WideMersit16, PrecisionExceedsEightBitVariant) {
+  // MERSIT(16,2) must quantize gaussian data far more finely than
+  // MERSIT(8,2): at least 2^6 lower RMS error (8 extra fraction bits in the
+  // central binades, range-limited at the tails).
+  const WideMersit wide(16, 2);
+  const MersitFormat narrow(8, 2);
+  std::mt19937 rng(5);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  double se_wide = 0.0, se_narrow = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = dist(rng);
+    const double dw = wide.decode_value(wide.encode(x)) - x;
+    const double dn = narrow.decode_value(narrow.encode_direct(x)) - x;
+    se_wide += dw * dw;
+    se_narrow += dn * dn;
+  }
+  EXPECT_LT(std::sqrt(se_wide) * 64, std::sqrt(se_narrow));
+}
+
+TEST(WideMersit16, SpecialsAndSaturation) {
+  const WideMersit m(16, 7);
+  EXPECT_EQ(m.encode(0.0), m.zero_code());
+  EXPECT_EQ(m.encode(1e300), m.max_code());
+  EXPECT_EQ(m.encode(1e-300), m.min_pos_code());
+  EXPECT_EQ(m.decode_value(m.zero_code()), 0.0);
+  EXPECT_TRUE(std::isinf(m.decode_value(m.nar_code())));
+  EXPECT_DOUBLE_EQ(m.decode_value(m.encode(1.0)), 1.0);
+}
+
+TEST(WideMersit, ConstructorValidation) {
+  EXPECT_THROW(WideMersit(17, 3), std::invalid_argument);
+  EXPECT_THROW(WideMersit(3, 1), std::invalid_argument);
+  EXPECT_THROW(WideMersit(16, 3), std::invalid_argument);  // 14 % 3 != 0
+  EXPECT_NO_THROW(WideMersit(16, 2));
+  EXPECT_NO_THROW(WideMersit(16, 7));
+  EXPECT_NO_THROW(WideMersit(12, 5));
+  EXPECT_NO_THROW(WideMersit(4, 2));
+}
+
+TEST(WideMersit12, MonotoneQuantization) {
+  const WideMersit m(12, 5);
+  double prev = -1e30;
+  for (int e = -12; e <= 10; ++e) {
+    for (int step = 0; step < 8; ++step) {
+      const double x = std::ldexp(1.0 + step / 8.0, e);
+      const double q = m.decode_value(m.encode(x));
+      EXPECT_GE(q, prev) << "x=" << x;
+      prev = q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mersit::core

@@ -1,0 +1,46 @@
+#include "core/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace mersit::core {
+namespace {
+
+TEST(Registry, MakesEveryPaperFormat) {
+  for (const char* name :
+       {"INT8", "FP(8,2)", "FP(8,3)", "FP(8,4)", "FP(8,5)", "Posit(8,0)",
+        "Posit(8,1)", "Posit(8,2)", "Posit(8,3)", "StdPosit(8,1)",
+        "MERSIT(8,2)", "MERSIT(8,3)"}) {
+    const auto fmt = make_format(name);
+    ASSERT_NE(fmt, nullptr) << name;
+    EXPECT_EQ(fmt->name(), name);
+  }
+}
+
+TEST(Registry, ThrowsOnUnknownName) {
+  EXPECT_THROW(make_format("FP(8,9)"), std::invalid_argument);
+  EXPECT_THROW(make_format("bogus"), std::invalid_argument);
+  EXPECT_THROW(make_format(""), std::invalid_argument);
+}
+
+TEST(Registry, Table2ColumnsInPaperOrder) {
+  const auto fmts = table2_formats();
+  ASSERT_EQ(fmts.size(), 11u);
+  EXPECT_EQ(fmts.front()->name(), "INT8");
+  EXPECT_EQ(fmts[6]->name(), "Posit(8,1)");
+  EXPECT_EQ(fmts.back()->name(), "MERSIT(8,3)");
+}
+
+TEST(Registry, HeadlineTrio) {
+  const auto fmts = headline_formats();
+  ASSERT_EQ(fmts.size(), 3u);
+  EXPECT_EQ(fmts[0]->name(), "FP(8,4)");
+  EXPECT_EQ(fmts[1]->name(), "Posit(8,1)");
+  EXPECT_EQ(fmts[2]->name(), "MERSIT(8,2)");
+}
+
+TEST(Registry, Fig4Formats) {
+  EXPECT_EQ(fig4_formats().size(), 9u);
+}
+
+}  // namespace
+}  // namespace mersit::core

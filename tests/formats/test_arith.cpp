@@ -1,0 +1,146 @@
+// Correctly-rounded code-level arithmetic (softposit-style ops).
+#include "formats/arith.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/registry.h"
+
+namespace mersit::formats {
+namespace {
+
+class Arith : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override { fmt_ = core::make_format(GetParam()); }
+  std::shared_ptr<const Format> fmt_;
+};
+
+TEST_P(Arith, MulExhaustiveCorrectRounding) {
+  // All finite pairs: the result must equal encode(exact product), which is
+  // exact in double (products of <=11-bit significands).
+  for (int a = 0; a < 256; ++a) {
+    const auto ca = static_cast<std::uint8_t>(a);
+    if (fmt_->classify(ca) == ValueClass::kInf || fmt_->classify(ca) == ValueClass::kNaN)
+      continue;
+    for (int b = 0; b < 256; b += 3) {  // stride keeps runtime modest
+      const auto cb = static_cast<std::uint8_t>(b);
+      const auto cls_b = fmt_->classify(cb);
+      if (cls_b == ValueClass::kInf || cls_b == ValueClass::kNaN) continue;
+      const std::uint8_t r = quantized_mul(*fmt_, ca, cb);
+      const std::uint8_t want =
+          fmt_->encode(fmt_->decode_value(ca) * fmt_->decode_value(cb));
+      ASSERT_EQ(r, want) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST_P(Arith, MulCommutes) {
+  for (int a = 0; a < 256; a += 5) {
+    for (int b = 0; b < 256; b += 7) {
+      EXPECT_EQ(quantized_mul(*fmt_, static_cast<std::uint8_t>(a),
+                              static_cast<std::uint8_t>(b)),
+                quantized_mul(*fmt_, static_cast<std::uint8_t>(b),
+                              static_cast<std::uint8_t>(a)));
+    }
+  }
+}
+
+TEST_P(Arith, MulIdentityAndAbsorber) {
+  const std::uint8_t one = fmt_->encode(1.0);
+  const std::uint8_t zero = fmt_->encode(0.0);
+  for (int a = 0; a < 256; ++a) {
+    const auto ca = static_cast<std::uint8_t>(a);
+    if (fmt_->classify(ca) != ValueClass::kFinite) continue;
+    EXPECT_EQ(fmt_->decode_value(quantized_mul(*fmt_, ca, one)),
+              fmt_->decode_value(ca));
+    EXPECT_EQ(fmt_->decode_value(quantized_mul(*fmt_, ca, zero)), 0.0);
+  }
+}
+
+TEST_P(Arith, AddIsCommutativeWithZeroIdentity) {
+  const std::uint8_t zero = fmt_->encode(0.0);
+  for (int a = 0; a < 256; a += 3) {
+    const auto ca = static_cast<std::uint8_t>(a);
+    if (fmt_->classify(ca) != ValueClass::kFinite) continue;
+    EXPECT_EQ(fmt_->decode_value(quantized_add(*fmt_, ca, zero)),
+              fmt_->decode_value(ca));
+    for (int b = 0; b < 256; b += 11) {
+      EXPECT_EQ(quantized_add(*fmt_, ca, static_cast<std::uint8_t>(b)),
+                quantized_add(*fmt_, static_cast<std::uint8_t>(b), ca));
+    }
+  }
+}
+
+TEST_P(Arith, SubOfSelfIsZero) {
+  for (int a = 0; a < 256; a += 2) {
+    const auto ca = static_cast<std::uint8_t>(a);
+    if (fmt_->classify(ca) != ValueClass::kFinite) continue;
+    EXPECT_EQ(fmt_->decode_value(quantized_sub(*fmt_, ca, ca)), 0.0);
+  }
+}
+
+TEST_P(Arith, AddExhaustiveCorrectRoundingModerateRange) {
+  // For formats whose exponent spread fits double exactly, verify RNE on a
+  // strided exhaustive sweep.
+  for (int a = 0; a < 256; a += 2) {
+    const auto ca = static_cast<std::uint8_t>(a);
+    if (fmt_->classify(ca) != ValueClass::kFinite) continue;
+    for (int b = 0; b < 256; b += 5) {
+      const auto cb = static_cast<std::uint8_t>(b);
+      if (fmt_->classify(cb) != ValueClass::kFinite) continue;
+      const std::uint8_t want =
+          fmt_->encode(fmt_->decode_value(ca) + fmt_->decode_value(cb));
+      ASSERT_EQ(quantized_add(*fmt_, ca, cb), want) << a << "+" << b;
+    }
+  }
+}
+
+TEST_P(Arith, FmaSingleRoundingBeatsTwoRoundings) {
+  // There must exist operand triples where fma differs from mul-then-add
+  // (the whole point of fusing); and fma must equal the correctly rounded
+  // exact result everywhere.
+  if (GetParam() == "INT8") GTEST_SKIP() << "integer ops never double-round";
+  int diffs = 0;
+  for (int a = 8; a < 256; a += 7) {
+    for (int b = 3; b < 256; b += 13) {
+      const auto ca = static_cast<std::uint8_t>(a);
+      const auto cb = static_cast<std::uint8_t>(b);
+      const std::uint8_t cc = fmt_->encode(0.7);
+      if (fmt_->classify(ca) != ValueClass::kFinite ||
+          fmt_->classify(cb) != ValueClass::kFinite)
+        continue;
+      const std::uint8_t fused = quantized_fma(*fmt_, ca, cb, cc);
+      const std::uint8_t split =
+          quantized_add(*fmt_, quantized_mul(*fmt_, ca, cb), cc);
+      const std::uint8_t want = fmt_->encode(
+          fmt_->decode_value(ca) * fmt_->decode_value(cb) + fmt_->decode_value(cc));
+      ASSERT_EQ(fused, want);
+      if (fused != split) ++diffs;
+    }
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, Arith,
+                         ::testing::Values("FP(8,3)", "FP(8,4)", "Posit(8,0)",
+                                           "Posit(8,1)", "MERSIT(8,2)",
+                                           "MERSIT(8,3)", "INT8"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& ch : n)
+                             if (!std::isalnum(static_cast<unsigned char>(ch)))
+                               ch = '_';
+                           return n;
+                         });
+
+TEST(ArithSpecial, InfSaturates) {
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  const std::uint8_t inf = 0x7F;  // NaR/+inf pattern
+  const std::uint8_t two = fmt->encode(2.0);
+  // inf * 2 -> saturates to max finite (PTQ semantics: no inf generation).
+  EXPECT_EQ(fmt->decode_value(quantized_mul(*fmt, inf, two)), fmt->max_finite());
+}
+
+}  // namespace
+}  // namespace mersit::formats

@@ -1,0 +1,144 @@
+// Property tests that must hold for EVERY format in the study: round-trip
+// stability, monotonicity, sign symmetry, correct rounding, saturation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/registry.h"
+#include "formats/format.h"
+
+namespace mersit::formats {
+namespace {
+
+class CodecProperty : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override { fmt_ = core::make_format(GetParam()); }
+  std::shared_ptr<const Format> fmt_;
+};
+
+TEST_P(CodecProperty, EncodeIsLeftInverseOfDecodeOnFiniteCodes) {
+  for (int c = 0; c < 256; ++c) {
+    const auto code = static_cast<std::uint8_t>(c);
+    if (fmt_->classify(code) != ValueClass::kFinite) continue;
+    EXPECT_EQ(fmt_->encode(fmt_->decode_value(code)), code) << "code " << c;
+  }
+}
+
+TEST_P(CodecProperty, QuantizeIsIdempotent) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  for (int i = 0; i < 2000; ++i) {
+    const double q = fmt_->quantize(dist(rng));
+    EXPECT_EQ(fmt_->quantize(q), q);
+  }
+}
+
+TEST_P(CodecProperty, QuantizeIsMonotone) {
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> mant(0.0, 1.0);
+  double prev_x = 0.0, prev_q = 0.0;
+  bool first = true;
+  // Sweep a sorted log-spaced grid across the whole dynamic range.
+  for (int e = -20; e <= 12; ++e) {
+    for (int step = 0; step < 16; ++step) {
+      const double x = std::ldexp(1.0 + step / 16.0, e);
+      const double q = fmt_->quantize(x);
+      if (!first) {
+        ASSERT_GE(x, prev_x);
+        EXPECT_LE(prev_q, q) << "x=" << x;
+      }
+      prev_x = x;
+      prev_q = q;
+      first = false;
+    }
+  }
+  (void)mant;
+  (void)rng;
+}
+
+TEST_P(CodecProperty, QuantizeIsOddFunction) {
+  std::mt19937 rng(13);
+  std::uniform_real_distribution<double> dist(-4.0, 4.0);
+  for (int i = 0; i < 4000; ++i) {
+    const double x = dist(rng);
+    EXPECT_EQ(fmt_->quantize(-x), -fmt_->quantize(x)) << "x=" << x;
+  }
+}
+
+TEST_P(CodecProperty, QuantizePicksNearestRepresentable) {
+  // For random x, |x - q(x)| must be <= |x - v| for the two values bracketing
+  // x in the table (and for values inside the range, strictly the nearest).
+  const auto& pos = fmt_->codec().positives();
+  std::mt19937 rng(17);
+  std::uniform_int_distribution<std::size_t> pick(0, pos.size() - 2);
+  std::uniform_real_distribution<double> t(0.0, 1.0);
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t j = pick(rng);
+    const double lo = pos[j].value, hi = pos[j + 1].value;
+    const double x = lo + t(rng) * (hi - lo);
+    const double q = fmt_->quantize(x);
+    const double err = std::fabs(x - q);
+    EXPECT_LE(err, std::fabs(x - lo) + 1e-300);
+    EXPECT_LE(err, std::fabs(x - hi) + 1e-300);
+  }
+}
+
+TEST_P(CodecProperty, ExactMidpointsGoToEvenCode) {
+  const auto& pos = fmt_->codec().positives();
+  for (std::size_t j = 0; j + 1 < pos.size(); ++j) {
+    const double mid = 0.5 * (pos[j].value + pos[j + 1].value);
+    const std::uint8_t enc = fmt_->encode(mid);
+    // The winner must be one of the two neighbours...
+    ASSERT_TRUE(enc == pos[j].code || enc == pos[j + 1].code) << "j=" << j;
+    // ...and if exactly one is even, it wins.
+    const bool lo_even = (pos[j].code & 1) == 0;
+    const bool hi_even = (pos[j + 1].code & 1) == 0;
+    if (lo_even != hi_even) {
+      EXPECT_EQ((enc & 1), 0) << "midpoint " << mid;
+    }
+  }
+}
+
+TEST_P(CodecProperty, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(fmt_->quantize(1e300), fmt_->max_finite());
+  EXPECT_EQ(fmt_->quantize(-1e300), -fmt_->max_finite());
+  EXPECT_EQ(fmt_->quantize(std::numeric_limits<double>::infinity()),
+            fmt_->max_finite());
+}
+
+TEST_P(CodecProperty, UnderflowSemanticsMatchFamily) {
+  const double tiny = 1e-300;
+  if (fmt_->underflows_to_zero()) {
+    EXPECT_EQ(fmt_->quantize(tiny), 0.0);
+  } else {
+    EXPECT_EQ(fmt_->quantize(tiny), fmt_->min_positive());
+    EXPECT_EQ(fmt_->quantize(-tiny), -fmt_->min_positive());
+  }
+}
+
+TEST_P(CodecProperty, NanEncodesToZero) {
+  EXPECT_EQ(fmt_->quantize(std::numeric_limits<double>::quiet_NaN()), 0.0);
+}
+
+TEST_P(CodecProperty, ValueSetIsSignSymmetric) {
+  // Constructing the codec already validates this; spot-check via quantize.
+  for (const auto& e : fmt_->codec().positives())
+    EXPECT_EQ(fmt_->quantize(-e.value), -e.value);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, CodecProperty,
+    ::testing::Values("INT8", "FP(8,2)", "FP(8,3)", "FP(8,4)", "FP(8,5)",
+                      "Posit(8,0)", "Posit(8,1)", "Posit(8,2)", "Posit(8,3)",
+                      "StdPosit(8,0)", "StdPosit(8,1)", "StdPosit(8,2)",
+                      "MERSIT(8,2)", "MERSIT(8,3)"),
+    [](const auto& info) {
+      std::string n = info.param;
+      for (char& ch : n)
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      return n;
+    });
+
+}  // namespace
+}  // namespace mersit::formats

@@ -1,0 +1,69 @@
+#include "formats/decoded.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mersit::formats {
+namespace {
+
+TEST(Decoded, ValueOfFiniteNumbers) {
+  Decoded d;
+  d.cls = ValueClass::kFinite;
+  d.exponent = 3;
+  d.fraction = 0b101;
+  d.frac_bits = 3;
+  EXPECT_DOUBLE_EQ(d.value(), (1.0 + 5.0 / 8.0) * 8.0);
+  d.sign = true;
+  EXPECT_DOUBLE_EQ(d.value(), -(1.0 + 5.0 / 8.0) * 8.0);
+}
+
+TEST(Decoded, ZeroFractionBitsMeansPowerOfTwo) {
+  Decoded d;
+  d.cls = ValueClass::kFinite;
+  d.exponent = -7;
+  d.frac_bits = 0;
+  EXPECT_DOUBLE_EQ(d.value(), std::ldexp(1.0, -7));
+}
+
+TEST(Decoded, SpecialValues) {
+  Decoded d;
+  d.cls = ValueClass::kZero;
+  EXPECT_EQ(d.value(), 0.0);
+  d.cls = ValueClass::kInf;
+  EXPECT_TRUE(std::isinf(d.value()));
+  EXPECT_GT(d.value(), 0.0);
+  d.sign = true;
+  EXPECT_LT(d.value(), 0.0);
+  d.cls = ValueClass::kNaN;
+  EXPECT_TRUE(std::isnan(d.value()));
+}
+
+TEST(Decoded, ToString) {
+  Decoded d;
+  d.cls = ValueClass::kFinite;
+  d.exponent = 2;
+  d.fraction = 0b0110;
+  d.frac_bits = 4;
+  EXPECT_EQ(d.to_string(), "+1.0110b * 2^2");
+  d.sign = true;
+  EXPECT_EQ(d.to_string(), "-1.0110b * 2^2");
+  d.cls = ValueClass::kZero;
+  d.sign = false;
+  EXPECT_EQ(d.to_string(), "0");
+  d.cls = ValueClass::kInf;
+  EXPECT_EQ(d.to_string(), "+inf");
+}
+
+TEST(Decoded, EqualityIsFieldwise) {
+  Decoded a, b;
+  a.cls = b.cls = ValueClass::kFinite;
+  a.exponent = b.exponent = 1;
+  EXPECT_EQ(a, b);
+  b.fraction = 1;
+  b.frac_bits = 1;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace mersit::formats

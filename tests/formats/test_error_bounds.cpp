@@ -1,0 +1,102 @@
+// Quantization error-bound properties: inside a format's dynamic range, the
+// relative round-off error is bounded by half an ulp of the binade's
+// fraction width.  This is the formal backbone of the Fig. 4 comparison.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <random>
+
+#include "core/registry.h"
+#include "formats/format.h"
+
+namespace mersit::formats {
+namespace {
+
+class ErrorBound : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ErrorBound, RelativeErrorBoundedByHalfUlpPerBinade) {
+  const auto fmt = core::make_format(GetParam());
+  const auto* ef = dynamic_cast<const ExponentCodedFormat*>(fmt.get());
+  ASSERT_NE(ef, nullptr);
+  // Effective fraction bits per binade = log2(#values in the binade); for
+  // FP8 subnormal binades this is less than the stored field width.
+  std::map<int, int> counts;
+  for (int c = 0; c < 256; ++c) {
+    const Decoded d = ef->decode(static_cast<std::uint8_t>(c));
+    if (d.cls == ValueClass::kFinite && !d.sign) counts[d.exponent]++;
+  }
+  std::map<int, int> fb;
+  for (const auto& [e, cnt] : counts) {
+    int bits = 0;
+    while ((1 << (bits + 1)) <= cnt) ++bits;
+    fb[e] = bits;
+  }
+  std::mt19937 rng(23);
+  std::uniform_real_distribution<double> mant(1.0, 2.0);
+  for (const auto& [e, bits] : fb) {
+    if (e == ef->max_exponent()) continue;  // top binade can saturate
+    for (int i = 0; i < 50; ++i) {
+      const double x = std::ldexp(mant(rng), e);
+      const double q = fmt->quantize(x);
+      const double rel = std::fabs(q - x) / x;
+      // Half-ulp of a (bits)-bit fraction, doubled at binade edges where the
+      // neighbouring binade may be coarser.
+      EXPECT_LE(rel, std::ldexp(1.0, -(bits + 1)) * (1.0 + 1e-9) * 2.0)
+          << GetParam() << " binade " << e << " x=" << x;
+    }
+  }
+}
+
+TEST_P(ErrorBound, MaxRelativeErrorInUnitBinadeMatchesMaxFrac) {
+  // Around 1.0 (the calibration sweet spot) every format achieves its best
+  // precision; verify the half-ulp bound is also TIGHT there.
+  const auto fmt = core::make_format(GetParam());
+  const auto* ef = dynamic_cast<const ExponentCodedFormat*>(fmt.get());
+  int unit_fb = 0;
+  for (int c = 0; c < 256; ++c) {
+    const Decoded d = ef->decode(static_cast<std::uint8_t>(c));
+    if (d.cls == ValueClass::kFinite && d.exponent == 0)
+      unit_fb = std::max(unit_fb, d.frac_bits);
+  }
+  const double ulp = std::ldexp(1.0, -unit_fb);
+  double worst = 0.0;
+  for (int i = 0; i < 4096; ++i) {
+    const double x = 1.0 + (i + 0.5) / 4096.0;
+    worst = std::max(worst, std::fabs(fmt->quantize(x) - x) / x);
+  }
+  EXPECT_LE(worst, 0.5 * ulp + 1e-12);
+  EXPECT_GE(worst, 0.2 * ulp);  // the bound is nearly attained
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, ErrorBound,
+                         ::testing::Values("FP(8,3)", "FP(8,4)", "Posit(8,1)",
+                                           "Posit(8,2)", "MERSIT(8,2)",
+                                           "MERSIT(8,3)"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& ch : n)
+                             if (!std::isalnum(static_cast<unsigned char>(ch)))
+                               ch = '_';
+                           return n;
+                         });
+
+TEST(ErrorBoundCross, MersitBeatsFp84AroundUnity) {
+  // Fig. 4's punchline as a numeric property: in binades -3..2 MERSIT(8,2)
+  // has 4 fraction bits vs FP(8,4)'s 3, so its worst relative error there
+  // is half of FP's.
+  const auto mer = core::make_format("MERSIT(8,2)");
+  const auto fp = core::make_format("FP(8,4)");
+  for (int e = -3; e <= 2; ++e) {
+    double worst_m = 0.0, worst_f = 0.0;
+    for (int i = 0; i < 2048; ++i) {
+      const double x = std::ldexp(1.0 + (i + 0.5) / 2048.0, e);
+      worst_m = std::max(worst_m, std::fabs(mer->quantize(x) - x) / x);
+      worst_f = std::max(worst_f, std::fabs(fp->quantize(x) - x) / x);
+    }
+    EXPECT_LT(worst_m, 0.6 * worst_f) << "binade " << e;
+  }
+}
+
+}  // namespace
+}  // namespace mersit::formats

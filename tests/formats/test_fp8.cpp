@@ -1,0 +1,166 @@
+#include "formats/fp8.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace mersit::formats {
+namespace {
+
+TEST(Fp8, RejectsBadExpBits) {
+  EXPECT_THROW(Fp8Format(1), std::invalid_argument);
+  EXPECT_THROW(Fp8Format(7), std::invalid_argument);
+  EXPECT_NO_THROW(Fp8Format(2));
+  EXPECT_NO_THROW(Fp8Format(6));
+}
+
+TEST(Fp8, NameAndFieldWidths) {
+  const Fp8Format f(4);
+  EXPECT_EQ(f.name(), "FP(8,4)");
+  EXPECT_EQ(f.exp_bits(), 4);
+  EXPECT_EQ(f.mant_bits(), 3);
+  EXPECT_EQ(f.bias(), 7);
+}
+
+TEST(Fp8, ZeroCodes) {
+  const Fp8Format f(4);
+  EXPECT_EQ(f.classify(0x00), ValueClass::kZero);
+  EXPECT_EQ(f.classify(0x80), ValueClass::kZero);  // negative zero
+  EXPECT_EQ(f.decode_value(0x00), 0.0);
+}
+
+TEST(Fp8, InfAndNaNReservedAtTopExponent) {
+  const Fp8Format f(4);
+  const std::uint8_t inf = f.pack(false, 0xF, 0);
+  EXPECT_EQ(f.classify(inf), ValueClass::kInf);
+  EXPECT_EQ(f.classify(static_cast<std::uint8_t>(inf | 0x80)), ValueClass::kInf);
+  for (std::uint32_t m = 1; m < 8; ++m)
+    EXPECT_EQ(f.classify(f.pack(false, 0xF, m)), ValueClass::kNaN);
+}
+
+TEST(Fp8, NormalDecode) {
+  const Fp8Format f(4);
+  // 1.0 = exp field 7 (bias 7), mant 0 -> code 0x38.
+  EXPECT_DOUBLE_EQ(f.decode_value(0x38), 1.0);
+  // 1.5
+  EXPECT_DOUBLE_EQ(f.decode_value(f.pack(false, 7, 4)), 1.5);
+  // -2.0
+  EXPECT_DOUBLE_EQ(f.decode_value(f.pack(true, 8, 0)), -2.0);
+  // Largest finite: exp field 14 (=2^7), mant 7 -> 240.
+  EXPECT_DOUBLE_EQ(f.decode_value(f.pack(false, 14, 7)), 240.0);
+}
+
+TEST(Fp8, SubnormalDecodeIsNormalized) {
+  const Fp8Format f(4);
+  // Smallest subnormal: 0.001b * 2^-6 = 2^-9 (the paper's FP(8,4) lower bound).
+  const Decoded d = f.decode(f.pack(false, 0, 1));
+  EXPECT_EQ(d.cls, ValueClass::kFinite);
+  EXPECT_EQ(d.exponent, -9);
+  EXPECT_EQ(d.fraction, 0u);
+  EXPECT_DOUBLE_EQ(d.value(), std::ldexp(1.0, -9));
+  // 0.011b * 2^-6 = 1.1b * 2^-8.
+  const Decoded d2 = f.decode(f.pack(false, 0, 3));
+  EXPECT_EQ(d2.exponent, -8);
+  EXPECT_DOUBLE_EQ(d2.value(), 1.5 * std::ldexp(1.0, -8));
+}
+
+TEST(Fp8, PaperDynamicRanges) {
+  // Fig. 2: FP(8,4) spans 2^-9 .. 2^7 (exponent range of finite values).
+  const Fp8Format f4(4);
+  EXPECT_EQ(f4.min_exponent(), -9);
+  EXPECT_EQ(f4.max_exponent(), 7);
+  EXPECT_DOUBLE_EQ(f4.min_positive(), std::ldexp(1.0, -9));
+  EXPECT_DOUBLE_EQ(f4.max_finite(), 240.0);
+}
+
+TEST(Fp8, ExponentRangesAcrossConfigs) {
+  // bias = 2^(E-1)-1; min = 1-bias-M (subnormal), max = (2^E-2)-bias.
+  const struct {
+    int e, min_exp, max_exp;
+  } cases[] = {
+      {2, -5, 1},     // bias 1, M 5
+      {3, -6, 3},     // bias 3, M 4
+      {4, -9, 7},     // bias 7, M 3
+      {5, -16, 15},   // bias 15, M 2
+  };
+  for (const auto& c : cases) {
+    const Fp8Format f(c.e);
+    EXPECT_EQ(f.min_exponent(), c.min_exp) << f.name();
+    EXPECT_EQ(f.max_exponent(), c.max_exp) << f.name();
+  }
+}
+
+TEST(Fp8, DirectEncodeMatchesTableOnAllCodes) {
+  for (int e = 2; e <= 5; ++e) {
+    const Fp8Format f(e);
+    for (int c = 0; c < 256; ++c) {
+      const auto code = static_cast<std::uint8_t>(c);
+      if (f.classify(code) != ValueClass::kFinite) continue;
+      const double v = f.decode_value(code);
+      EXPECT_EQ(f.encode_direct(v), f.encode(v)) << f.name() << " code " << c;
+      EXPECT_EQ(f.encode_direct(v), code) << f.name() << " code " << c;
+    }
+  }
+}
+
+TEST(Fp8, DirectEncodeMatchesTableOnRandomValues) {
+  std::mt19937 rng(1234);
+  std::uniform_real_distribution<double> mant(-1.0, 1.0);
+  std::uniform_int_distribution<int> expo(-20, 20);
+  for (int e = 2; e <= 5; ++e) {
+    const Fp8Format f(e);
+    for (int i = 0; i < 20000; ++i) {
+      const double x = std::ldexp(mant(rng), expo(rng));
+      EXPECT_EQ(f.encode_direct(x), f.encode(x))
+          << f.name() << " x=" << x;
+    }
+  }
+}
+
+TEST(Fp8, DirectEncodeMatchesTableOnMidpoints) {
+  for (int e = 2; e <= 5; ++e) {
+    const Fp8Format f(e);
+    const auto& pos = f.codec().positives();
+    for (std::size_t i = 0; i + 1 < pos.size(); ++i) {
+      const double mid = 0.5 * (pos[i].value + pos[i + 1].value);
+      EXPECT_EQ(f.encode_direct(mid), f.encode(mid)) << f.name() << " i=" << i;
+      EXPECT_EQ(f.encode_direct(-mid), f.encode(-mid)) << f.name() << " i=" << i;
+      EXPECT_EQ(f.encode_direct(std::nextafter(mid, 0.0)),
+                f.encode(std::nextafter(mid, 0.0)));
+      EXPECT_EQ(f.encode_direct(std::nextafter(mid, 1e30)),
+                f.encode(std::nextafter(mid, 1e30)));
+    }
+  }
+}
+
+TEST(Fp8, UnderflowsToZero) {
+  const Fp8Format f(4);
+  EXPECT_EQ(f.quantize(1e-12), 0.0);
+  EXPECT_EQ(f.quantize(-1e-12), 0.0);
+  // Just above half of minpos rounds up to minpos.
+  const double minpos = f.min_positive();
+  EXPECT_EQ(f.quantize(minpos * 0.51), minpos);
+  EXPECT_EQ(f.quantize(minpos * 0.49), 0.0);
+}
+
+TEST(Fp8, SaturatesToMaxFinite) {
+  const Fp8Format f(4);
+  EXPECT_EQ(f.quantize(1e9), 240.0);
+  EXPECT_EQ(f.quantize(-1e9), -240.0);
+  EXPECT_EQ(f.quantize(241.0), 240.0);
+}
+
+TEST(Fp8, CardinalityOfFiniteValues) {
+  // E exponent bits: subnormals 2^M-1, normals (2^E-2)*2^M positive values.
+  for (int e = 2; e <= 5; ++e) {
+    const Fp8Format f(e);
+    const int m = 7 - e;
+    const std::size_t expected =
+        ((1u << m) - 1) + ((1u << e) - 2) * (1u << m);
+    EXPECT_EQ(f.codec().cardinality(), expected) << f.name();
+  }
+}
+
+}  // namespace
+}  // namespace mersit::formats

@@ -1,0 +1,42 @@
+#include "formats/int8.h"
+
+#include <gtest/gtest.h>
+
+namespace mersit::formats {
+namespace {
+
+TEST(Int8, DecodesSignedIntegers) {
+  const Int8Format f;
+  EXPECT_EQ(f.decode_value(0x01), 1.0);
+  EXPECT_EQ(f.decode_value(0x7F), 127.0);
+  EXPECT_EQ(f.decode_value(0xFF), -1.0);
+  EXPECT_EQ(f.decode_value(0x81), -127.0);
+}
+
+TEST(Int8, SymmetricRangeExcludesMinus128) {
+  const Int8Format f;
+  EXPECT_EQ(f.classify(0x80), ValueClass::kNaN);
+  EXPECT_EQ(f.codec().cardinality(), 127u);
+  EXPECT_EQ(f.max_finite(), 127.0);
+  EXPECT_EQ(f.min_positive(), 1.0);
+}
+
+TEST(Int8, RoundsToNearestEven) {
+  const Int8Format f;
+  EXPECT_EQ(f.quantize(2.4), 2.0);
+  EXPECT_EQ(f.quantize(2.6), 3.0);
+  EXPECT_EQ(f.quantize(2.5), 2.0);   // tie to even
+  EXPECT_EQ(f.quantize(3.5), 4.0);   // tie to even
+  EXPECT_EQ(f.quantize(-2.5), -2.0);
+  EXPECT_EQ(f.quantize(0.4), 0.0);   // underflow to zero
+  EXPECT_EQ(f.quantize(0.6), 1.0);
+}
+
+TEST(Int8, Saturates) {
+  const Int8Format f;
+  EXPECT_EQ(f.quantize(1000.0), 127.0);
+  EXPECT_EQ(f.quantize(-1000.0), -127.0);
+}
+
+}  // namespace
+}  // namespace mersit::formats

@@ -1,0 +1,141 @@
+#include "formats/posit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mersit::formats {
+namespace {
+
+TEST(PositBody, RegimeRunDecoding) {
+  // body 1000000: run of one '1', k = 0.
+  EXPECT_EQ(decode_posit_body(0x40, 1).k, 0);
+  // body 0100000: run of one '0', k = -1.
+  EXPECT_EQ(decode_posit_body(0x20, 1).k, -1);
+  // body 1111110: run of six '1's, k = 5.
+  EXPECT_EQ(decode_posit_body(0x7E, 1).k, 5);
+  // body 0000001: run of six '0's, k = -6.
+  EXPECT_EQ(decode_posit_body(0x01, 1).k, -6);
+}
+
+TEST(PositBody, ExponentPaddingWhenTruncated) {
+  // es=2, body 1111101: run 5, terminator, one exponent bit '1' which is the
+  // HIGH bit of a 2-bit exponent -> exp = 2.
+  const PositBodyFields f = decode_posit_body(0x7D, 2);
+  EXPECT_EQ(f.k, 4);
+  EXPECT_EQ(f.exp, 2);
+  EXPECT_EQ(f.frac_bits, 0);
+}
+
+TEST(PositBody, FractionExtraction) {
+  // es=1, body 10 1 1011: k=0, exp=1, frac=1011 (4 bits).
+  const PositBodyFields f = decode_posit_body(0b1011011, 1);
+  EXPECT_EQ(f.k, 0);
+  EXPECT_EQ(f.exp, 1);
+  EXPECT_EQ(f.frac_bits, 4);
+  EXPECT_EQ(f.frac, 0b1011u);
+}
+
+TEST(PaperPosit8, SpecialCodes) {
+  const PaperPosit8 p(1);
+  EXPECT_EQ(p.classify(0x00), ValueClass::kZero);
+  EXPECT_EQ(p.classify(0x80), ValueClass::kZero);  // sign-magnitude -0
+  EXPECT_EQ(p.classify(0x7F), ValueClass::kInf);
+  EXPECT_EQ(p.classify(0xFF), ValueClass::kInf);
+  EXPECT_TRUE(p.decode(0xFF).sign);
+}
+
+TEST(PaperPosit8, PaperDynamicRangeFig2) {
+  // Fig. 2: Posit(8,1) spans 2^-12 .. 2^10 (all-ones body reserved as inf).
+  const PaperPosit8 p(1);
+  EXPECT_DOUBLE_EQ(p.min_positive(), std::ldexp(1.0, -12));
+  EXPECT_DOUBLE_EQ(p.max_finite(), std::ldexp(1.0, 10));
+  EXPECT_EQ(p.min_exponent(), -12);
+  EXPECT_EQ(p.max_exponent(), 10);
+}
+
+TEST(PaperPosit8, RangesAcrossEs) {
+  // min = 2^(-6*2^es); max = 2^((5*2^es) + 2^es - ... ) -- computed from
+  // body 1111110 (k=5, no exp bits -> exp 0): max = 2^(5 * 2^es).
+  for (int es = 0; es <= 3; ++es) {
+    const PaperPosit8 p(es);
+    EXPECT_EQ(p.min_exponent(), -6 * (1 << es)) << p.name();
+    EXPECT_EQ(p.max_exponent(), 5 * (1 << es)) << p.name();
+  }
+}
+
+TEST(PaperPosit8, UnitValueAndNeighbors) {
+  const PaperPosit8 p(1);
+  // +1.0 = body 1000000 = 0x40.
+  EXPECT_DOUBLE_EQ(p.decode_value(0x40), 1.0);
+  EXPECT_DOUBLE_EQ(p.decode_value(0xC0), -1.0);
+  // 1 + 1/16: frac 0001 with 4 fraction bits.
+  EXPECT_DOUBLE_EQ(p.decode_value(0x41), 1.0625);
+}
+
+TEST(PaperPosit8, MaxFracBitsMatchesFig4) {
+  EXPECT_EQ(PaperPosit8(0).max_frac_bits(), 5);
+  EXPECT_EQ(PaperPosit8(1).max_frac_bits(), 4);
+  EXPECT_EQ(PaperPosit8(2).max_frac_bits(), 3);
+  EXPECT_EQ(PaperPosit8(3).max_frac_bits(), 2);
+}
+
+TEST(PaperPosit8, NoUnderflowNoOverflow) {
+  const PaperPosit8 p(1);
+  EXPECT_EQ(p.quantize(1e-30), p.min_positive());
+  EXPECT_EQ(p.quantize(-1e-30), -p.min_positive());
+  EXPECT_EQ(p.quantize(1e30), p.max_finite());
+}
+
+TEST(StandardPosit8, SpecialCodes) {
+  const StandardPosit8 p(1);
+  EXPECT_EQ(p.classify(0x00), ValueClass::kZero);
+  EXPECT_EQ(p.classify(0x80), ValueClass::kNaN);  // NaR
+}
+
+TEST(StandardPosit8, TwosComplementNegation) {
+  const StandardPosit8 p(1);
+  for (int c = 1; c < 128; ++c) {
+    const auto pos = static_cast<std::uint8_t>(c);
+    const auto neg = static_cast<std::uint8_t>(-c);
+    EXPECT_DOUBLE_EQ(p.decode_value(neg), -p.decode_value(pos)) << c;
+  }
+}
+
+TEST(StandardPosit8, FullSymmetricRange) {
+  // Standard posit's top code 0x7F is useed^6 = 2^12 for es=1.
+  const StandardPosit8 p(1);
+  EXPECT_DOUBLE_EQ(p.decode_value(0x7F), std::ldexp(1.0, 12));
+  EXPECT_DOUBLE_EQ(p.decode_value(0x81), -std::ldexp(1.0, 12));
+  EXPECT_DOUBLE_EQ(p.decode_value(0x01), std::ldexp(1.0, -12));
+}
+
+TEST(StandardPosit8, CodeOrderIsValueOrderOnPositives) {
+  const StandardPosit8 p(1);
+  for (int c = 1; c < 127; ++c) {
+    EXPECT_LT(p.decode_value(static_cast<std::uint8_t>(c)),
+              p.decode_value(static_cast<std::uint8_t>(c + 1)))
+        << c;
+  }
+}
+
+TEST(StandardPosit8, AgreesWithPaperPositExceptTopCode) {
+  // The two flavours represent the same magnitudes except the paper variant
+  // reserves the all-ones body (standard's 2^12) as inf.
+  const StandardPosit8 std_p(1);
+  const PaperPosit8 paper_p(1);
+  for (int c = 1; c < 0x7F; ++c) {
+    const auto code = static_cast<std::uint8_t>(c);
+    EXPECT_DOUBLE_EQ(std_p.decode_value(code), paper_p.decode_value(code)) << c;
+  }
+}
+
+TEST(PaperPosit8, CardinalityIs126PositiveValues) {
+  const PaperPosit8 p(1);
+  EXPECT_EQ(p.codec().cardinality(), 126u);
+  const StandardPosit8 s(1);
+  EXPECT_EQ(s.codec().cardinality(), 127u);
+}
+
+}  // namespace
+}  // namespace mersit::formats

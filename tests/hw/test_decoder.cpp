@@ -1,0 +1,97 @@
+// Gate-level decoders verified bit-for-bit against the software formats for
+// every one of the 256 code words, for every hardware-decodable format.
+#include "hw/decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "hw/reference.h"
+#include "rtl/sim.h"
+
+namespace mersit::hw {
+namespace {
+
+class DecoderEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DecoderEquivalence, MatchesSoftwareOnAllCodes) {
+  const auto fmt = core::make_format(GetParam());
+  const auto* ef = dynamic_cast<const formats::ExponentCodedFormat*>(fmt.get());
+  ASSERT_NE(ef, nullptr);
+  rtl::Netlist nl;
+  const DecoderPorts dec = build_decoder(nl, *fmt);
+  rtl::Simulator sim(nl);
+  for (int c = 0; c < 256; ++c) {
+    const auto code = static_cast<std::uint8_t>(c);
+    const DecodedFields want = decode_fields(*ef, dec.spec, code);
+    sim.set_input_bus(dec.code, code);
+    sim.eval();
+    EXPECT_EQ(sim.get(dec.sign), want.sign) << "code " << c;
+    EXPECT_EQ(sim.get(dec.is_special), want.special) << "code " << c;
+    EXPECT_EQ(sim.get_bus(dec.frac_eff), want.frac_eff) << "code " << c;
+    if (!want.special) {
+      EXPECT_EQ(sim.get_bus_signed(dec.exp_eff), want.exp_eff) << "code " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllHardwareFormats, DecoderEquivalence,
+    ::testing::Values("FP(8,2)", "FP(8,3)", "FP(8,4)", "FP(8,5)", "Posit(8,0)",
+                      "Posit(8,1)", "Posit(8,2)", "Posit(8,3)", "MERSIT(8,2)",
+                      "MERSIT(8,3)"),
+    [](const auto& info) {
+      std::string n = info.param;
+      for (char& ch : n)
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      return n;
+    });
+
+TEST(DecoderSpec, MatchesPaperFig2) {
+  // Fig. 2's table: P=5, M=4 for FP(8,4); P=5, M=5 for Posit(8,1); P=5, M=5
+  // for MERSIT(8,2).
+  const auto fp = core::make_format("FP(8,4)");
+  const auto ps = core::make_format("Posit(8,1)");
+  const auto me = core::make_format("MERSIT(8,2)");
+  const auto sfp = decoder_spec(dynamic_cast<const formats::ExponentCodedFormat&>(*fp));
+  const auto sps = decoder_spec(dynamic_cast<const formats::ExponentCodedFormat&>(*ps));
+  const auto sme = decoder_spec(dynamic_cast<const formats::ExponentCodedFormat&>(*me));
+  EXPECT_EQ(sfp.p, 5);
+  EXPECT_EQ(sfp.m, 4);
+  EXPECT_EQ(sps.p, 5);
+  EXPECT_EQ(sps.m, 5);
+  EXPECT_EQ(sme.p, 5);
+  EXPECT_EQ(sme.m, 5);
+}
+
+TEST(DecoderArea, PositDecoderIsTheLargest) {
+  // Section 3.3 / Table 3's primary claim: the Posit decoder (1-bit
+  // resolution run detection + full barrel shift) is the most expensive of
+  // the three; MERSIT's grouped decode is cheaper.  (The paper additionally
+  // reports FP(8,4) > MERSIT(8,2); in our leaner gate model -- no
+  // timing-driven upsizing -- the two are within ~15% with FP slightly
+  // smaller, a documented deviation, see EXPERIMENTS.md.)
+  const rtl::CellLibrary& lib = rtl::CellLibrary::nangate45_like();
+  auto area_of = [&](const char* name) {
+    rtl::Netlist nl;
+    (void)build_decoder(nl, *core::make_format(name));
+    return lib.area_um2(nl);
+  };
+  const double fp = area_of("FP(8,4)");
+  const double ps = area_of("Posit(8,1)");
+  const double me = area_of("MERSIT(8,2)");
+  EXPECT_LT(me, ps);
+  EXPECT_LT(fp, ps);
+  // FP and MERSIT decoders must stay in the same ballpark.
+  EXPECT_NEAR(me / fp, 1.0, 0.35);
+}
+
+TEST(Decoder, RejectsNonHardwareFormats) {
+  rtl::Netlist nl;
+  EXPECT_THROW((void)build_decoder(nl, *core::make_format("INT8")),
+               std::invalid_argument);
+  EXPECT_THROW((void)build_decoder(nl, *core::make_format("StdPosit(8,1)")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mersit::hw

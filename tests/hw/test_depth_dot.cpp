@@ -1,0 +1,138 @@
+// Critical-path (logic depth) checks and the exact Kulisch dot product.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/registry.h"
+#include "hw/decoder.h"
+#include "hw/reference.h"
+#include "rtl/sim.h"
+
+namespace mersit::hw {
+namespace {
+
+TEST(LogicDepth, SimpleChains) {
+  rtl::Netlist nl;
+  const rtl::NetId a = nl.input("a");
+  rtl::NetId x = a;
+  for (int i = 0; i < 5; ++i) x = nl.inv(nl.inv(x));  // folds? INV(INV) stays
+  EXPECT_EQ(rtl::logic_depth(nl), 10);
+}
+
+TEST(LogicDepth, DffBreaksPaths) {
+  rtl::Netlist nl;
+  const rtl::NetId a = nl.input("a");
+  const rtl::NetId x = nl.inv(nl.inv(nl.inv(a)));  // depth 3 into the DFF
+  const rtl::NetId q = nl.dff(x);
+  (void)nl.inv(q);  // depth 1 after the DFF
+  EXPECT_EQ(rtl::logic_depth(nl), 3);
+}
+
+TEST(LogicDepth, FastMersitDecoderShorterThanPosit) {
+  // Section 4.1: "our decoder having a shorter critical path than the
+  // Posit one" -- holds for the depth-optimized Fig. 5b corner.
+  auto depth_of = [](const char* name, DecoderStyle style) {
+    rtl::Netlist nl;
+    (void)build_decoder(nl, *core::make_format(name), style);
+    return rtl::logic_depth(nl);
+  };
+  EXPECT_LT(depth_of("MERSIT(8,2)", DecoderStyle::kFast),
+            depth_of("Posit(8,1)", DecoderStyle::kCompact));
+}
+
+TEST(LogicDepth, MersitDecoderStyleTradeoff) {
+  // kFast buys logic levels with area; kCompact the reverse.
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  const rtl::CellLibrary& lib = rtl::CellLibrary::nangate45_like();
+  rtl::Netlist fast_nl, compact_nl;
+  (void)build_decoder(fast_nl, *fmt, DecoderStyle::kFast);
+  (void)build_decoder(compact_nl, *fmt, DecoderStyle::kCompact);
+  EXPECT_LT(rtl::logic_depth(fast_nl), rtl::logic_depth(compact_nl));
+  EXPECT_LT(lib.area_um2(compact_nl), lib.area_um2(fast_nl));
+}
+
+TEST(LogicDepth, MersitMacShorterThanPositMac) {
+  // At the MAC level (what sets the clock), MERSIT(8,2) beats Posit(8,1)
+  // in either decoder corner: the W=45 aligner/accumulator dominates.
+  auto depth_of = [](const char* name) {
+    rtl::Netlist nl;
+    (void)build_mac(nl, *core::make_format(name));
+    return rtl::logic_depth(nl);
+  };
+  EXPECT_LT(depth_of("MERSIT(8,2)"), depth_of("Posit(8,1)"));
+}
+
+TEST(LogicDepth, FastDecoderIsFunctionallyIdentical) {
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  const auto* ef = dynamic_cast<const formats::ExponentCodedFormat*>(fmt.get());
+  rtl::Netlist nl;
+  const DecoderPorts dec = build_decoder(nl, *fmt, DecoderStyle::kFast);
+  rtl::Simulator sim(nl);
+  for (int c = 0; c < 256; ++c) {
+    const auto code = static_cast<std::uint8_t>(c);
+    const DecodedFields want = decode_fields(*ef, dec.spec, code);
+    sim.set_input_bus(dec.code, code);
+    sim.eval();
+    ASSERT_EQ(sim.get_bus(dec.frac_eff), want.frac_eff) << c;
+    if (!want.special) {
+      ASSERT_EQ(sim.get_bus_signed(dec.exp_eff), want.exp_eff) << c;
+    }
+  }
+}
+
+TEST(KulischDot, MatchesFp64OnModerateData) {
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  const auto* ef = dynamic_cast<const formats::ExponentCodedFormat*>(fmt.get());
+  std::mt19937 rng(7);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<std::uint8_t> w(512), a(512);
+  double expect = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = fmt->encode(dist(rng));
+    a[i] = fmt->encode(dist(rng));
+    expect += fmt->decode_value(w[i]) * fmt->decode_value(a[i]);
+  }
+  EXPECT_DOUBLE_EQ(kulisch_dot(*ef, w, a), expect);
+}
+
+TEST(KulischDot, ExactWhereFloatAccumulationIsNot) {
+  // Alternating huge/tiny products: float32 accumulation loses the tiny
+  // contributions entirely; the Kulisch accumulator keeps every bit.
+  const auto fmt = core::make_format("Posit(8,1)");
+  const auto* ef = dynamic_cast<const formats::ExponentCodedFormat*>(fmt.get());
+  const std::uint8_t big = fmt->encode(1024.0);
+  const std::uint8_t tiny = fmt->encode(std::ldexp(1.0, -12));
+  std::vector<std::uint8_t> w, a;
+  for (int i = 0; i < 64; ++i) {
+    w.push_back(big);
+    a.push_back(big);
+    w.push_back(tiny);
+    a.push_back(tiny);
+  }
+  const double exact = kulisch_dot(*ef, w, a, /*v_margin=*/10);
+  // 64 * (2^20 + 2^-24), exactly.
+  EXPECT_EQ(exact, 64.0 * (std::ldexp(1.0, 20) + std::ldexp(1.0, -24)));
+  // A float accumulator drops the tiny terms.
+  float facc = 0.f;
+  for (std::size_t i = 0; i < w.size(); ++i)
+    facc += static_cast<float>(fmt->decode_value(w[i]) * fmt->decode_value(a[i]));
+  EXPECT_NE(static_cast<double>(facc), exact);
+}
+
+TEST(KulischDot, ThrowsOnOverflow) {
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  const auto* ef = dynamic_cast<const formats::ExponentCodedFormat*>(fmt.get());
+  const std::uint8_t big = fmt->encode(256.0);
+  const std::vector<std::uint8_t> w(100, big);
+  EXPECT_THROW((void)kulisch_dot(*ef, w, w, /*v_margin=*/2), std::overflow_error);
+}
+
+TEST(KulischDot, LengthMismatchRejected) {
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  const auto* ef = dynamic_cast<const formats::ExponentCodedFormat*>(fmt.get());
+  const std::vector<std::uint8_t> w(4, 0), a(5, 0);
+  EXPECT_THROW((void)kulisch_dot(*ef, w, a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mersit::hw

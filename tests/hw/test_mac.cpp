@@ -1,0 +1,166 @@
+// MAC netlists verified cycle-by-cycle against the exact integer reference
+// and against double-precision dot products (Kulisch accumulation is exact).
+#include "hw/mac.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/registry.h"
+#include "hw/reference.h"
+#include "rtl/sim.h"
+
+namespace mersit::hw {
+namespace {
+
+std::uint8_t random_finite_code(const formats::Format& fmt, std::mt19937& rng) {
+  for (;;) {
+    const auto code = static_cast<std::uint8_t>(rng() & 0xFF);
+    const auto cls = fmt.classify(code);
+    if (cls == formats::ValueClass::kFinite || cls == formats::ValueClass::kZero)
+      return code;
+  }
+}
+
+class MacEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MacEquivalence, NetlistMatchesReferenceCycleByCycle) {
+  const auto fmt = core::make_format(GetParam());
+  const auto* ef = dynamic_cast<const formats::ExponentCodedFormat*>(fmt.get());
+  ASSERT_NE(ef, nullptr);
+  rtl::Netlist nl;
+  const MacPorts mac = build_mac(nl, *fmt);
+  rtl::Simulator sim(nl);
+  MacReference ref(*ef);
+  std::mt19937 rng(2024);
+  for (int cycle = 0; cycle < 400; ++cycle) {
+    const std::uint8_t w = random_finite_code(*fmt, rng);
+    const std::uint8_t a = random_finite_code(*fmt, rng);
+    sim.set_input_bus(mac.wdec.code, w);
+    sim.set_input_bus(mac.adec.code, a);
+    sim.eval();
+    sim.clock();
+    ref.accumulate(w, a);
+    ASSERT_EQ(sim.get_bus_signed(mac.acc), ref.acc_raw())
+        << "cycle " << cycle << " w=" << int(w) << " a=" << int(a);
+  }
+}
+
+TEST_P(MacEquivalence, AccumulationIsExactVsDoubles) {
+  const auto fmt = core::make_format(GetParam());
+  const auto* ef = dynamic_cast<const formats::ExponentCodedFormat*>(fmt.get());
+  ASSERT_NE(ef, nullptr);
+  MacReference ref(*ef);
+  std::mt19937 rng(7);
+  // Keep magnitudes moderate so the double-precision sum is itself exact.
+  std::normal_distribution<double> dist(0.0, 1.0);
+  double expect = 0.0;
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t w = fmt->encode(dist(rng));
+    const std::uint8_t a = fmt->encode(dist(rng));
+    ref.accumulate(w, a);
+    expect += fmt->decode_value(w) * fmt->decode_value(a);
+  }
+  EXPECT_FALSE(ref.overflowed());
+  EXPECT_DOUBLE_EQ(ref.value(), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HeadlineFormats, MacEquivalence,
+    ::testing::Values("FP(8,4)", "Posit(8,1)", "MERSIT(8,2)", "FP(8,3)",
+                      "MERSIT(8,3)", "Posit(8,0)"),
+    [](const auto& info) {
+      std::string n = info.param;
+      for (char& ch : n)
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      return n;
+    });
+
+TEST(MacConfigTest, PaperWValues) {
+  // Fig. 2's table: W = 33 / 45 / 35 bits for FP(8,4) / Posit(8,1) /
+  // MERSIT(8,2).
+  auto w_of = [](const char* name) {
+    const auto fmt = core::make_format(name);
+    return mac_config(dynamic_cast<const formats::ExponentCodedFormat&>(*fmt)).w;
+  };
+  EXPECT_EQ(w_of("FP(8,4)"), 33);
+  EXPECT_EQ(w_of("Posit(8,1)"), 45);
+  EXPECT_EQ(w_of("MERSIT(8,2)"), 35);
+}
+
+TEST(MacConfigTest, AccumulatorWidthAddsMargin) {
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  const auto cfg =
+      mac_config(dynamic_cast<const formats::ExponentCodedFormat&>(*fmt), 8);
+  EXPECT_EQ(cfg.acc_width, 35 + 8);
+}
+
+TEST(MacZero, ZeroCodesContributeNothing) {
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  const auto* ef = dynamic_cast<const formats::ExponentCodedFormat*>(fmt.get());
+  rtl::Netlist nl;
+  const MacPorts mac = build_mac(nl, *fmt);
+  rtl::Simulator sim(nl);
+  // Accumulate 1.0 * 1.0, then a pile of zero-weight products.
+  const std::uint8_t one = fmt->encode(1.0);
+  const std::uint8_t zero = fmt->encode(0.0);
+  sim.set_input_bus(mac.wdec.code, one);
+  sim.set_input_bus(mac.adec.code, one);
+  sim.eval();
+  sim.clock();
+  const std::int64_t after_one = sim.get_bus_signed(mac.acc);
+  for (int i = 0; i < 5; ++i) {
+    sim.set_input_bus(mac.wdec.code, zero);
+    sim.set_input_bus(mac.adec.code, static_cast<std::uint8_t>(i * 37 + 1));
+    sim.eval();
+    sim.clock();
+  }
+  EXPECT_EQ(sim.get_bus_signed(mac.acc), after_one);
+  MacReference ref(*ef);
+  ref.accumulate(one, one);
+  EXPECT_EQ(ref.acc_raw(), after_one);
+  EXPECT_DOUBLE_EQ(ref.value(), 1.0);
+}
+
+TEST(MacSigns, SignedAccumulationCancels) {
+  const auto fmt = core::make_format("Posit(8,1)");
+  const auto* ef = dynamic_cast<const formats::ExponentCodedFormat*>(fmt.get());
+  MacReference ref(*ef);
+  const std::uint8_t pos = fmt->encode(1.5);
+  const std::uint8_t neg = fmt->encode(-1.5);
+  const std::uint8_t x = fmt->encode(0.75);
+  ref.accumulate(pos, x);
+  ref.accumulate(neg, x);
+  EXPECT_EQ(ref.acc_raw(), 0);
+  EXPECT_DOUBLE_EQ(ref.value(), 0.0);
+}
+
+TEST(MacOverflow, ReferenceFlagsAndWraps) {
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  const auto* ef = dynamic_cast<const formats::ExponentCodedFormat*>(fmt.get());
+  MacReference ref(*ef, /*v_margin=*/2);
+  const std::uint8_t big = fmt->encode(256.0);
+  for (int i = 0; i < 64 && !ref.overflowed(); ++i) ref.accumulate(big, big);
+  EXPECT_TRUE(ref.overflowed());
+}
+
+TEST(MacArea, PositLargestMersitBetweenOrBelowFp8) {
+  // Fig. 7's shape: Posit(8,1) is by far the largest; FP(8,4) and
+  // MERSIT(8,2) are comparable.
+  const rtl::CellLibrary& lib = rtl::CellLibrary::nangate45_like();
+  auto area_of = [&](const char* name) {
+    rtl::Netlist nl;
+    (void)build_mac(nl, *core::make_format(name));
+    return lib.area_um2(nl);
+  };
+  const double fp = area_of("FP(8,4)");
+  const double ps = area_of("Posit(8,1)");
+  const double me = area_of("MERSIT(8,2)");
+  EXPECT_GT(ps, me * 1.1);
+  EXPECT_GT(ps, fp * 1.1);
+  EXPECT_LT(std::abs(me - fp) / fp, 0.35);  // same ballpark
+}
+
+}  // namespace
+}  // namespace mersit::hw

@@ -1,0 +1,93 @@
+#include "hw/power.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/registry.h"
+
+namespace mersit::hw {
+namespace {
+
+CodeStream gaussian_stream(const formats::Format& fmt, std::size_t n,
+                           unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<float> dist(0.f, 0.3f);
+  std::vector<float> w(n), a(n);
+  for (auto& v : w) v = dist(rng);
+  for (auto& v : a) v = std::abs(dist(rng));
+  return make_code_stream(fmt, w, a, 1.0, 1.0);
+}
+
+TEST(MeasureMac, ProducesComponentBreakdown) {
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  const MacCost cost = measure_mac(*fmt, gaussian_stream(*fmt, 200, 11));
+  EXPECT_GT(cost.area_um2, 0.0);
+  EXPECT_GT(cost.power_uw, 0.0);
+  EXPECT_GT(cost.cells, 100u);
+  // All five components present, with sensible totals.
+  double comp_area = 0.0, comp_power = 0.0;
+  for (const char* name :
+       {"decoder", "exp_adder", "frac_multiplier", "aligner", "accumulator"}) {
+    const auto& c = cost.component(name);
+    EXPECT_GT(c.area_um2, 0.0) << name;
+    comp_area += c.area_um2;
+    comp_power += c.power_uw;
+  }
+  EXPECT_NEAR(comp_area, cost.area_um2, 1e-9);
+  EXPECT_NEAR(comp_power, cost.power_uw, 1e-9);
+}
+
+TEST(MeasureMac, MultiplierSubtotal) {
+  const auto fmt = core::make_format("FP(8,4)");
+  const MacCost cost = measure_mac(*fmt, gaussian_stream(*fmt, 100, 3));
+  const ComponentCost mult = cost.multiplier();
+  EXPECT_DOUBLE_EQ(mult.area_um2, cost.component("decoder").area_um2 +
+                                      cost.component("exp_adder").area_um2 +
+                                      cost.component("frac_multiplier").area_um2);
+  EXPECT_LT(mult.area_um2, cost.area_um2);
+}
+
+TEST(MeasureMac, PowerScalesWithActivity) {
+  // An all-zero stream toggles almost nothing; a busy stream must burn more.
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  CodeStream quiet(200, {fmt->encode(0.0), fmt->encode(0.0)});
+  const MacCost q = measure_mac(*fmt, quiet);
+  const MacCost busy = measure_mac(*fmt, gaussian_stream(*fmt, 200, 17));
+  EXPECT_GT(busy.power_uw, q.power_uw);
+}
+
+TEST(MeasureMac, Table3Shape) {
+  // Table 3: multiplier (decoder+exp-adder+frac-mult) areas: Posit(8,1) much
+  // larger than FP(8,4) and MERSIT(8,2), which are comparable; the MERSIT
+  // decoder is the smallest of the three.
+  auto mult_of = [](const char* name) {
+    const auto fmt = core::make_format(name);
+    return measure_mac(*fmt, gaussian_stream(*fmt, 64, 5));
+  };
+  const MacCost fp = mult_of("FP(8,4)");
+  const MacCost ps = mult_of("Posit(8,1)");
+  const MacCost me = mult_of("MERSIT(8,2)");
+  EXPECT_GT(ps.multiplier().area_um2, 1.05 * me.multiplier().area_um2);
+  EXPECT_GT(ps.multiplier().area_um2, 1.05 * fp.multiplier().area_um2);
+  EXPECT_LT(me.component("decoder").area_um2, ps.component("decoder").area_um2);
+  // FP's fraction multiplier (4x4) must be smaller than MERSIT's (5x5),
+  // Table 3's explanation for the near-equal multiplier totals.
+  EXPECT_LT(fp.component("frac_multiplier").area_um2,
+            me.component("frac_multiplier").area_um2);
+}
+
+TEST(MakeCodeStream, EncodesScaledValues) {
+  const auto fmt = core::make_format("FP(8,4)");
+  std::vector<float> w = {1.0f, -2.0f};
+  std::vector<float> a = {0.5f, 0.25f};
+  const CodeStream s = make_code_stream(*fmt, w, a, 2.0, 0.5);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].first, fmt->encode(0.5));
+  EXPECT_EQ(s[0].second, fmt->encode(1.0));
+  EXPECT_EQ(s[1].first, fmt->encode(-1.0));
+  EXPECT_EQ(s[1].second, fmt->encode(0.5));
+}
+
+}  // namespace
+}  // namespace mersit::hw

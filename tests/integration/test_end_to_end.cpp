@@ -1,0 +1,83 @@
+// Cross-module integration: train -> calibrate -> PTQ -> serialize ->
+// hardware-exact dot products, all on one tiny model.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/registry.h"
+#include "hw/power.h"
+#include "hw/reference.h"
+#include "nn/data.h"
+#include "ptq/ptq.h"
+#include "ptq/serialize.h"
+
+namespace mersit {
+namespace {
+
+TEST(EndToEnd, TrainQuantizeDeploySimulate) {
+  // 1. Train a small MLP-ish CNN.
+  const nn::Dataset train = nn::make_vision_dataset(384, 3, 12, 41);
+  const nn::Dataset test = nn::make_vision_dataset(128, 3, 12, 42);
+  std::mt19937 rng(11);
+  auto model = nn::make_vgg_mini(3, 10, rng);
+  nn::TrainOptions opt;
+  opt.epochs = 3;
+  opt.batch = 32;
+  opt.lr = 2e-3f;
+  (void)nn::train_classifier(*model, train, opt);
+  const float fp32 = ptq::evaluate_fp32(*model, test, ptq::Metric::kAccuracy);
+  ASSERT_GT(fp32, 55.f);
+
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  const auto* ef = dynamic_cast<const formats::ExponentCodedFormat*>(fmt.get());
+
+  // 2. PTQ with the paper's pipeline stays near baseline.
+  const float q = ptq::evaluate_ptq(*model, train, test, *fmt);
+  EXPECT_GT(q, fp32 - 8.f);
+
+  // 3. Serialize, reload into a fresh model, verify behaviour transfers.
+  const ptq::QuantizedModel qm = ptq::pack_weights(*model, *fmt);
+  std::stringstream blob;
+  qm.save(blob);
+  std::mt19937 rng2(77);
+  auto deployed = nn::make_vgg_mini(3, 10, rng2);
+  ptq::unpack_weights(*deployed, ptq::QuantizedModel::load(blob), *fmt);
+  const float deployed_acc =
+      ptq::evaluate_fp32(*deployed, test, ptq::Metric::kAccuracy);
+  EXPECT_GT(deployed_acc, fp32 - 8.f);
+
+  // 4. Drive real packed weights through the gate-level MAC and confirm the
+  //    netlist, the integer reference and fp64 agree exactly.
+  const ptq::QuantizedTensor& t0 = qm.tensors.front();
+  const std::size_t n = std::min<std::size_t>(64, t0.codes.size());
+  std::vector<std::uint8_t> w(t0.codes.begin(),
+                              t0.codes.begin() + static_cast<std::ptrdiff_t>(n));
+  std::vector<std::uint8_t> a(n);
+  std::normal_distribution<double> dist(0.0, 0.5);
+  for (auto& c : a) c = fmt->encode(dist(rng));
+  hw::CodeStream stream;
+  for (std::size_t i = 0; i < n; ++i) stream.emplace_back(w[i], a[i]);
+  // measure_mac throws on netlist/reference mismatch.
+  const hw::MacCost cost = hw::measure_mac(*fmt, stream);
+  EXPECT_GT(cost.area_um2, 0.0);
+  double fp64 = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    fp64 += fmt->decode_value(w[i]) * fmt->decode_value(a[i]);
+  EXPECT_DOUBLE_EQ(hw::kulisch_dot(*ef, w, a), fp64);
+}
+
+TEST(EndToEnd, FormatRegistryCoversEveryPipelinePath) {
+  // Every Table-2 format must run the whole fake-quantization path on a
+  // tiny model without throwing.
+  const nn::Dataset data = nn::make_vision_dataset(64, 3, 12, 43);
+  std::mt19937 rng(13);
+  auto model = nn::make_vgg_mini(3, 10, rng);
+  for (const auto& fmt : core::table2_formats()) {
+    const float acc = ptq::evaluate_ptq(*model, data, data, *fmt);
+    EXPECT_GE(acc, 0.f) << fmt->name();
+    EXPECT_LE(acc, 100.f) << fmt->name();
+  }
+}
+
+}  // namespace
+}  // namespace mersit

@@ -1,0 +1,78 @@
+// Finite-difference gradient checking for Module backward() implementations.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "nn/module.h"
+
+namespace mersit::nn::testing {
+
+/// Scalar loss L = sum(y * r) with fixed random projection r; checks both
+/// dL/dx and dL/dtheta against central finite differences.
+inline void check_gradients(Module& mod, const Tensor& x0, unsigned seed,
+                            float eps = 1e-2f, float tol = 6e-2f,
+                            int max_checks = 60) {
+  std::mt19937 rng(seed);
+  const Context ctx{/*train=*/true, nullptr};
+  Tensor y0 = mod.forward(x0, ctx);
+  Tensor r(y0.shape());
+  std::uniform_real_distribution<float> u(-1.f, 1.f);
+  for (std::int64_t i = 0; i < r.numel(); ++i) r[i] = u(rng);
+
+  mod.zero_grad();
+  // Rerun forward so caches match x0 (zero_grad doesn't disturb them, but be
+  // explicit for modules whose forward mutates state).
+  y0 = mod.forward(x0, ctx);
+  const Tensor dx = mod.backward(r);
+
+  auto loss_at = [&](const Tensor& x) {
+    const Tensor y = mod.forward(x, ctx);
+    double l = 0.0;
+    for (std::int64_t i = 0; i < y.numel(); ++i)
+      l += static_cast<double>(y[i]) * static_cast<double>(r[i]);
+    return l;
+  };
+
+  // dL/dx.
+  {
+    Tensor xp = x0;
+    std::uniform_int_distribution<std::int64_t> pick(0, x0.numel() - 1);
+    for (int k = 0; k < max_checks; ++k) {
+      const std::int64_t i = pick(rng);
+      const float orig = xp[i];
+      xp[i] = orig + eps;
+      const double lp = loss_at(xp);
+      xp[i] = orig - eps;
+      const double lm = loss_at(xp);
+      xp[i] = orig;
+      const double num = (lp - lm) / (2.0 * eps);
+      const double ana = dx[i];
+      const double scale = std::max({std::fabs(num), std::fabs(ana), 1.0});
+      EXPECT_NEAR(ana, num, tol * scale) << "input grad at " << i;
+    }
+  }
+  // dL/dtheta.
+  for (Param* p : mod.parameters()) {
+    if (p->value.numel() == 0) continue;
+    std::uniform_int_distribution<std::int64_t> pick(0, p->value.numel() - 1);
+    const int checks = std::min<std::int64_t>(max_checks / 2 + 4, p->value.numel());
+    for (int k = 0; k < checks; ++k) {
+      const std::int64_t i = pick(rng);
+      const float orig = p->value[i];
+      p->value[i] = orig + eps;
+      const double lp = loss_at(x0);
+      p->value[i] = orig - eps;
+      const double lm = loss_at(x0);
+      p->value[i] = orig;
+      const double num = (lp - lm) / (2.0 * eps);
+      const double ana = p->grad[i];
+      const double scale = std::max({std::fabs(num), std::fabs(ana), 1.0});
+      EXPECT_NEAR(ana, num, tol * scale) << "param grad at " << i;
+    }
+  }
+}
+
+}  // namespace mersit::nn::testing

@@ -1,0 +1,108 @@
+#include "nn/attention.h"
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+
+namespace mersit::nn {
+namespace {
+
+TEST(EmbeddingTest, LooksUpTokenPlusPosition) {
+  std::mt19937 rng(1);
+  Embedding emb(10, 6, 4, rng);
+  Tensor tokens({1, 2});
+  tokens.at(0, 0) = 3.f;
+  tokens.at(0, 1) = 7.f;
+  const Tensor y = emb.forward(tokens, {});
+  for (int d = 0; d < 4; ++d) {
+    EXPECT_FLOAT_EQ(y.at(0, 0, d), emb.table.value.at(3, d) + emb.pos.value.at(0, d));
+    EXPECT_FLOAT_EQ(y.at(0, 1, d), emb.table.value.at(7, d) + emb.pos.value.at(1, d));
+  }
+}
+
+TEST(EmbeddingTest, RejectsBadIds) {
+  std::mt19937 rng(2);
+  Embedding emb(10, 6, 4, rng);
+  Tensor tokens({1, 1});
+  tokens.at(0, 0) = 11.f;
+  EXPECT_THROW((void)emb.forward(tokens, {}), std::invalid_argument);
+}
+
+TEST(EmbeddingTest, AccumulatesGradsPerToken) {
+  std::mt19937 rng(3);
+  Embedding emb(6, 4, 3, rng);
+  Tensor tokens({1, 2});
+  tokens.at(0, 0) = 2.f;
+  tokens.at(0, 1) = 2.f;  // same token twice
+  const Context ctx{true, nullptr};
+  (void)emb.forward(tokens, ctx);
+  Tensor g({1, 2, 3});
+  g.fill(1.f);
+  (void)emb.backward(g);
+  for (int d = 0; d < 3; ++d) EXPECT_FLOAT_EQ(emb.table.grad.at(2, d), 2.f);
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  LayerNorm ln(8);
+  std::mt19937 rng(4);
+  const Tensor x = Tensor::randn({3, 8}, rng, 3.f);
+  const Tensor y = ln.forward(x, {});
+  for (int r = 0; r < 3; ++r) {
+    float mean = 0.f, var = 0.f;
+    for (int d = 0; d < 8; ++d) mean += y.at(r, d);
+    mean /= 8.f;
+    for (int d = 0; d < 8; ++d) var += (y.at(r, d) - mean) * (y.at(r, d) - mean);
+    var /= 8.f;
+    EXPECT_NEAR(mean, 0.f, 1e-5f);
+    EXPECT_NEAR(var, 1.f, 1e-3f);
+  }
+}
+
+TEST(LayerNormTest, GradCheck) {
+  LayerNorm ln(6);
+  std::mt19937 rng(5);
+  ln.gamma.value[2] = 1.7f;
+  ln.beta.value[3] = -0.3f;
+  const Tensor x = Tensor::randn({4, 6}, rng, 1.f);
+  testing::check_gradients(ln, x, 6);
+}
+
+TEST(MhsaTest, OutputShape) {
+  std::mt19937 rng(7);
+  MultiHeadSelfAttention attn(8, 2, rng);
+  const Tensor x = Tensor::randn({2, 5, 8}, rng, 1.f);
+  const Tensor y = attn.forward(x, {});
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 5, 8}));
+}
+
+TEST(MhsaTest, GradCheck) {
+  std::mt19937 rng(8);
+  MultiHeadSelfAttention attn(6, 2, rng);
+  const Tensor x = Tensor::randn({2, 3, 6}, rng, 0.8f);
+  testing::check_gradients(attn, x, 9, 1e-2f, 8e-2f, 40);
+}
+
+TEST(MhsaTest, RejectsIndivisibleHeads) {
+  std::mt19937 rng(10);
+  EXPECT_THROW(MultiHeadSelfAttention(7, 2, rng), std::invalid_argument);
+}
+
+TEST(TransformerBlockTest, GradCheck) {
+  std::mt19937 rng(11);
+  TransformerBlock block(6, 2, 12, rng);
+  const Tensor x = Tensor::randn({2, 3, 6}, rng, 0.8f);
+  testing::check_gradients(block, x, 12, 1e-2f, 8e-2f, 40);
+}
+
+TEST(ClsPoolTest, TakesFirstPosition) {
+  ClsPool pool;
+  std::mt19937 rng(13);
+  const Tensor x = Tensor::randn({2, 4, 3}, rng, 1.f);
+  const Tensor y = pool.forward(x, {});
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 3}));
+  for (int d = 0; d < 3; ++d) EXPECT_FLOAT_EQ(y.at(1, d), x.at(1, 0, d));
+  testing::check_gradients(pool, x, 14);
+}
+
+}  // namespace
+}  // namespace mersit::nn

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nn/data.h"
+#include "nn/models.h"
+
+namespace mersit::nn {
+namespace {
+
+TEST(VisionData, ShapesAndLabelRange) {
+  const Dataset ds = make_vision_dataset(64, 3, 12, 5);
+  EXPECT_EQ(ds.inputs.shape(), (std::vector<int>{64, 3, 12, 12}));
+  EXPECT_EQ(ds.labels.size(), 64u);
+  EXPECT_EQ(ds.num_classes, 10);
+  std::set<int> seen;
+  for (const int l : ds.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 10);
+    seen.insert(l);
+  }
+  EXPECT_GT(seen.size(), 5u);  // most classes appear
+}
+
+TEST(VisionData, DeterministicPerSeed) {
+  const Dataset a = make_vision_dataset(8, 3, 10, 9);
+  const Dataset b = make_vision_dataset(8, 3, 10, 9);
+  const Dataset c = make_vision_dataset(8, 3, 10, 10);
+  for (std::int64_t i = 0; i < a.inputs.numel(); ++i)
+    ASSERT_EQ(a.inputs[i], b.inputs[i]);
+  bool differs = false;
+  for (std::int64_t i = 0; i < a.inputs.numel() && !differs; ++i)
+    differs = a.inputs[i] != c.inputs[i];
+  EXPECT_TRUE(differs);
+}
+
+class GlueData : public ::testing::TestWithParam<GlueTask> {};
+
+TEST_P(GlueData, WellFormed) {
+  const GlueTask task = GetParam();
+  const Dataset ds = make_glue_dataset(task, 128, 48, 18, 11);
+  EXPECT_EQ(ds.inputs.shape(), (std::vector<int>{128, 18}));
+  EXPECT_EQ(ds.num_classes, glue_num_classes(task));
+  int counts[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < ds.labels.size(); ++i) {
+    ASSERT_GE(ds.labels[i], 0);
+    ASSERT_LT(ds.labels[i], ds.num_classes);
+    counts[ds.labels[i]]++;
+  }
+  // Roughly balanced labels.
+  for (int c = 0; c < ds.num_classes; ++c) EXPECT_GT(counts[c], 128 / (ds.num_classes * 3));
+  // Token ids stay in range and sequences start with CLS.
+  for (int i = 0; i < 128; ++i) {
+    EXPECT_EQ(static_cast<int>(ds.inputs.at(i, 0)), kClsToken);
+    for (int t = 0; t < 18; ++t) {
+      const int id = static_cast<int>(ds.inputs.at(i, t));
+      EXPECT_GE(id, 0);
+      EXPECT_LT(id, 48);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, GlueData,
+                         ::testing::Values(GlueTask::kCola, GlueTask::kMnliMM,
+                                           GlueTask::kMrpc, GlueTask::kSst2),
+                         [](const auto& info) {
+                           std::string n = glue_task_name(info.param);
+                           for (char& c : n)
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return n;
+                         });
+
+TEST(ModelZoo, AllModelsForwardCorrectShapes) {
+  auto zoo = make_vision_zoo(3, 10, 21);
+  ASSERT_EQ(zoo.size(), 8u);
+  std::mt19937 rng(1);
+  const Tensor x = Tensor::randn({2, 3, 12, 12}, rng, 1.f);
+  for (auto& m : zoo) {
+    const Tensor y = m.model->run(x, {});
+    EXPECT_EQ(y.shape(), (std::vector<int>{2, 10})) << m.name;
+    EXPECT_GT(parameter_count(*m.model), 500) << m.name;
+  }
+}
+
+TEST(ModelZoo, BertForwardShape) {
+  std::mt19937 rng(2);
+  auto bert = make_bert_mini(48, 24, 32, 4, 2, 64, 3, rng);
+  Tensor tokens({2, 18});
+  for (std::int64_t i = 0; i < tokens.numel(); ++i)
+    tokens[i] = static_cast<float>(i % 40);
+  const Tensor y = bert->run(tokens, {});
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 3}));
+}
+
+TEST(ModelZoo, FoldAllBatchnormsPreservesEvalOutputs) {
+  auto zoo = make_vision_zoo(3, 10, 23);
+  std::mt19937 rng(3);
+  const Tensor x = Tensor::randn({2, 3, 12, 12}, rng, 1.f);
+  for (auto& m : zoo) {
+    // Give the BNs non-trivial running stats via a couple of train steps.
+    const Context train_ctx{true, nullptr};
+    for (int it = 0; it < 3; ++it) (void)m.model->forward(x, train_ctx);
+    const Tensor before = m.model->run(x, {});
+    fold_all_batchnorms(*m.model);
+    const Tensor after = m.model->run(x, {});
+    for (std::int64_t i = 0; i < before.numel(); ++i)
+      ASSERT_NEAR(before[i], after[i], 5e-3f) << m.name << " idx " << i;
+  }
+}
+
+TEST(ModelZoo, DepthIncreasesWithResnetVariant) {
+  std::mt19937 rng(4);
+  auto r18 = make_resnet_mini(3, 10, 1, rng);
+  auto r101 = make_resnet_mini(3, 10, 3, rng);
+  EXPECT_GT(parameter_count(*r101), parameter_count(*r18));
+}
+
+}  // namespace
+}  // namespace mersit::nn

@@ -1,0 +1,92 @@
+// QuantSession plumbing: which modules are quant points, and that run()
+// invokes the hook exactly once per quant point in execution order.
+#include <gtest/gtest.h>
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/models.h"
+
+namespace mersit::nn {
+namespace {
+
+class RecordingSession final : public QuantSession {
+ public:
+  void on_activation(const Module& layer, Tensor& t) override {
+    names.push_back(layer.name());
+    elements += t.numel();
+  }
+  std::vector<std::string> names;
+  std::int64_t elements = 0;
+};
+
+TEST(QuantHooks, QuantPointFlags) {
+  std::mt19937 rng(1);
+  EXPECT_TRUE(Linear(2, 2, rng).quant_point());
+  EXPECT_TRUE(Conv2d(2, 2, 3, 1, 1, 1, rng).quant_point());
+  EXPECT_TRUE(Activation(Act::kReLU).quant_point());
+  EXPECT_TRUE(MaxPool2d().quant_point());
+  EXPECT_TRUE(GlobalAvgPool().quant_point());
+  EXPECT_TRUE(SEBlock(4, 2, rng).quant_point());
+  EXPECT_TRUE(LayerNorm(4).quant_point());
+  EXPECT_TRUE(Embedding(8, 4, 4, rng).quant_point());
+  // Structural / folded modules are not spill points themselves.
+  EXPECT_FALSE(Flatten().quant_point());
+  EXPECT_FALSE(BatchNorm2d(4).quant_point());
+  EXPECT_FALSE(Sequential().quant_point());
+}
+
+TEST(QuantHooks, SequentialInvokesHookPerQuantPoint) {
+  std::mt19937 rng(2);
+  Sequential s;
+  s.add(std::make_unique<Linear>(4, 3, rng));       // quant point
+  s.add(std::make_unique<Activation>(Act::kReLU));  // quant point
+  s.add(std::make_unique<Flatten>());               // not
+  s.add(std::make_unique<Linear>(3, 2, rng));       // quant point
+  RecordingSession rec;
+  const Context ctx{false, &rec};
+  const Tensor x = Tensor::randn({5, 4}, rng, 1.f);
+  (void)s.run(x, ctx);
+  ASSERT_EQ(rec.names.size(), 3u);
+  EXPECT_EQ(rec.names[0], "Linear");
+  EXPECT_EQ(rec.names[1], "ReLU");
+  EXPECT_EQ(rec.names[2], "Linear");
+  EXPECT_EQ(rec.elements, 5 * 3 + 5 * 3 + 5 * 2);
+}
+
+TEST(QuantHooks, HookCanRewriteActivations) {
+  std::mt19937 rng(3);
+  Sequential s;
+  s.add(std::make_unique<Activation>(Act::kTanh));
+  class Zeroer final : public QuantSession {
+   public:
+    void on_activation(const Module&, Tensor& t) override { t.zero(); }
+  } zeroer;
+  const Context ctx{false, &zeroer};
+  const Tensor y = s.run(Tensor::randn({2, 4}, rng, 1.f), ctx);
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_EQ(y[i], 0.f);
+}
+
+TEST(QuantHooks, EveryZooModelHasManyQuantPoints) {
+  auto zoo = make_vision_zoo(3, 10, 9);
+  std::mt19937 rng(4);
+  const Tensor x = Tensor::randn({1, 3, 12, 12}, rng, 1.f);
+  for (auto& m : zoo) {
+    RecordingSession rec;
+    const Context ctx{false, &rec};
+    (void)m.model->run(x, ctx);
+    EXPECT_GE(rec.names.size(), 8u) << m.name;
+  }
+}
+
+TEST(QuantHooks, NoHookMeansNoOverhead) {
+  // run() without a session must produce identical outputs to forward().
+  std::mt19937 rng(5);
+  auto model = make_vgg_mini(3, 10, rng);
+  const Tensor x = Tensor::randn({2, 3, 12, 12}, rng, 1.f);
+  const Tensor a = model->run(x, {});
+  const Tensor b = model->forward(x, {});
+  for (std::int64_t i = 0; i < a.numel(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace mersit::nn

@@ -1,0 +1,107 @@
+#include "nn/train.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/data.h"
+#include "nn/layers.h"
+#include "nn/models.h"
+
+namespace mersit::nn {
+namespace {
+
+TEST(CrossEntropy, MatchesHandComputation) {
+  Tensor logits({1, 3});
+  logits[0] = 1.f;
+  logits[1] = 2.f;
+  logits[2] = 0.5f;
+  const int label = 1;
+  Tensor grad;
+  const float loss = softmax_cross_entropy(logits, std::span(&label, 1), grad);
+  // Hand: softmax denom and loss -log p1.
+  const float d = std::exp(1.f) + std::exp(2.f) + std::exp(0.5f);
+  EXPECT_NEAR(loss, -std::log(std::exp(2.f) / d), 1e-5f);
+  // Gradient sums to zero and is p - onehot.
+  EXPECT_NEAR(grad[0] + grad[1] + grad[2], 0.f, 1e-6f);
+  EXPECT_NEAR(grad[1], std::exp(2.f) / d - 1.f, 1e-5f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize (w-3)^2 via grad = 2(w-3).
+  Param w(Tensor({1}, 0.f));
+  Adam opt({&w}, 0.1f);
+  for (int i = 0; i < 500; ++i) {
+    w.zero_grad();
+    w.grad[0] = 2.f * (w.value[0] - 3.f);
+    opt.step();
+  }
+  EXPECT_NEAR(w.value[0], 3.f, 1e-2f);
+}
+
+TEST(SliceBatch, CopiesRows) {
+  Tensor t({4, 2});
+  for (std::int64_t i = 0; i < 8; ++i) t[i] = static_cast<float>(i);
+  const Tensor s = slice_batch(t, 1, 2);
+  EXPECT_EQ(s.shape(), (std::vector<int>{2, 2}));
+  EXPECT_FLOAT_EQ(s[0], 2.f);
+  EXPECT_FLOAT_EQ(s[3], 5.f);
+}
+
+TEST(Training, LinearModelLearnsLinearlySeparableData) {
+  std::mt19937 rng(42);
+  Dataset ds;
+  ds.num_classes = 2;
+  ds.inputs = Tensor::randn({256, 4}, rng, 1.f);
+  ds.labels.resize(256);
+  for (int i = 0; i < 256; ++i)
+    ds.labels[static_cast<std::size_t>(i)] =
+        ds.inputs.at(i, 0) + 0.5f * ds.inputs.at(i, 1) > 0.f ? 1 : 0;
+  Sequential model;
+  model.add(std::make_unique<Linear>(4, 2, rng));
+  TrainOptions opt;
+  opt.epochs = 20;
+  opt.batch = 32;
+  opt.lr = 5e-2f;
+  (void)train_classifier(model, ds, opt);
+  EXPECT_GT(evaluate_accuracy(model, ds), 97.f);
+}
+
+TEST(Training, SmallCnnLearnsVisionTask) {
+  const Dataset train = make_vision_dataset(512, 3, 12, 7);
+  const Dataset test = make_vision_dataset(128, 3, 12, 8);
+  std::mt19937 rng(1);
+  auto model = make_vgg_mini(3, 10, rng);
+  TrainOptions opt;
+  opt.epochs = 4;
+  opt.batch = 32;
+  opt.lr = 2e-3f;
+  (void)train_classifier(*model, train, opt);
+  EXPECT_GT(evaluate_accuracy(*model, test), 60.f);
+}
+
+TEST(Mcc, PerfectAndRandomPredictors) {
+  std::mt19937 rng(3);
+  Dataset ds;
+  ds.num_classes = 2;
+  ds.inputs = Tensor({64, 2});
+  ds.labels.resize(64);
+  for (int i = 0; i < 64; ++i) {
+    const int y = (i % 2);
+    ds.labels[static_cast<std::size_t>(i)] = y;
+    ds.inputs.at(i, 0) = y == 1 ? 5.f : -5.f;  // trivially separable
+    ds.inputs.at(i, 1) = 0.f;
+  }
+  Sequential model;
+  model.add(std::make_unique<Linear>(2, 2, rng));
+  // Hand weights: logit1 = x0 -> perfect prediction.
+  auto& lin = dynamic_cast<Linear&>(model[0]);
+  lin.weight.value.fill(0.f);
+  lin.weight.value.at(1, 0) = 1.f;
+  EXPECT_FLOAT_EQ(evaluate_mcc(model, ds), 100.f);
+  // Constant predictor -> MCC 0.
+  lin.weight.value.fill(0.f);
+  lin.bias.value[1] = 10.f;
+  EXPECT_FLOAT_EQ(evaluate_mcc(model, ds), 0.f);
+}
+
+}  // namespace
+}  // namespace mersit::nn

@@ -1,0 +1,91 @@
+#include "ptq/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/registry.h"
+#include "nn/models.h"
+#include "ptq/ptq.h"
+
+namespace mersit::ptq {
+namespace {
+
+TEST(Serialize, PackUnpackEqualsFakeQuantization) {
+  std::mt19937 rng(7);
+  auto model = nn::make_vgg_mini(3, 10, rng);
+  const auto fmt = core::make_format("MERSIT(8,2)");
+
+  // Reference: in-place fake quantization.
+  const WeightSnapshot snap = snapshot_weights(*model);
+  const QuantizedModel qm = pack_weights(*model, *fmt);
+  quantize_weights_per_channel(*model, *fmt, formats::ScalePolicy::kMaxToUnity);
+  const WeightSnapshot fake = snapshot_weights(*model);
+  restore_weights(*model, snap);
+
+  // Unpack the codes into the pristine model and compare.
+  unpack_weights(*model, qm, *fmt);
+  const auto params = model->parameters();
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    for (std::int64_t j = 0; j < params[i]->value.numel(); ++j) {
+      ASSERT_NEAR(params[i]->value[j], fake.values[i][j], 2e-6f) << i << "," << j;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 1000u);
+  restore_weights(*model, snap);
+}
+
+TEST(Serialize, StreamRoundTripIsExact) {
+  std::mt19937 rng(9);
+  auto model = nn::make_resnet_mini(3, 10, 1, rng);
+  const auto fmt = core::make_format("Posit(8,1)");
+  const QuantizedModel qm = pack_weights(*model, *fmt);
+
+  std::stringstream ss;
+  qm.save(ss);
+  EXPECT_EQ(ss.str().size(), qm.byte_size());
+  const QuantizedModel back = QuantizedModel::load(ss);
+  ASSERT_EQ(back.format_name, qm.format_name);
+  ASSERT_EQ(back.tensors.size(), qm.tensors.size());
+  for (std::size_t i = 0; i < qm.tensors.size(); ++i) {
+    EXPECT_EQ(back.tensors[i].shape, qm.tensors[i].shape);
+    EXPECT_EQ(back.tensors[i].channels, qm.tensors[i].channels);
+    EXPECT_EQ(back.tensors[i].scales, qm.tensors[i].scales);
+    EXPECT_EQ(back.tensors[i].codes, qm.tensors[i].codes);
+  }
+}
+
+TEST(Serialize, CompressionRatioIsRoughly4x) {
+  std::mt19937 rng(11);
+  auto model = nn::make_vgg_mini(3, 10, rng);
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  const QuantizedModel qm = pack_weights(*model, *fmt);
+  std::int64_t weight_elems = 0;
+  for (const auto& t : qm.tensors) weight_elems += t.numel();
+  const double fp32_bytes = 4.0 * static_cast<double>(weight_elems);
+  EXPECT_LT(static_cast<double>(qm.byte_size()), 0.30 * fp32_bytes);
+}
+
+TEST(Serialize, LoadRejectsGarbage) {
+  std::stringstream bad("not a model");
+  EXPECT_THROW((void)QuantizedModel::load(bad), std::runtime_error);
+  std::stringstream truncated;
+  truncated.write("MQT1", 4);
+  EXPECT_THROW((void)QuantizedModel::load(truncated), std::runtime_error);
+}
+
+TEST(Serialize, UnpackValidatesFormatAndShape) {
+  std::mt19937 rng(13);
+  auto model = nn::make_vgg_mini(3, 10, rng);
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  const auto other = core::make_format("FP(8,4)");
+  const QuantizedModel qm = pack_weights(*model, *fmt);
+  EXPECT_THROW(unpack_weights(*model, qm, *other), std::invalid_argument);
+  auto small = nn::make_resnet_mini(3, 10, 1, rng);
+  EXPECT_THROW(unpack_weights(*small, qm, *fmt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mersit::ptq

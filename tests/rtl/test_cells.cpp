@@ -1,0 +1,72 @@
+#include "rtl/cells.h"
+
+#include <gtest/gtest.h>
+
+#include "rtl/components.h"
+#include "rtl/sim.h"
+
+namespace mersit::rtl {
+namespace {
+
+TEST(Cells, FreeCellsCostNothing) {
+  const CellLibrary& lib = CellLibrary::nangate45_like();
+  for (const CellType t : {CellType::kConst0, CellType::kConst1, CellType::kInput}) {
+    EXPECT_EQ(lib.spec(t).area_um2, 0.0);
+    EXPECT_EQ(lib.spec(t).switch_energy_fj, 0.0);
+    EXPECT_EQ(lib.spec(t).leakage_nw, 0.0);
+  }
+}
+
+TEST(Cells, RelativeCellCostsAreSane) {
+  const CellLibrary& lib = CellLibrary::nangate45_like();
+  // NAND cheaper than AND; XOR pricier than NAND; DFF the priciest.
+  EXPECT_LT(lib.spec(CellType::kNand2).area_um2, lib.spec(CellType::kAnd2).area_um2);
+  EXPECT_GT(lib.spec(CellType::kXor2).area_um2, lib.spec(CellType::kNand2).area_um2);
+  EXPECT_GT(lib.spec(CellType::kDff).area_um2, lib.spec(CellType::kXor2).area_um2);
+}
+
+TEST(Cells, AreaSumsOverGates) {
+  Netlist nl;
+  const NetId a = nl.input("a");
+  const NetId b = nl.input("b");
+  (void)nl.and2(a, b);
+  (void)nl.xor2(a, b);
+  const CellLibrary& lib = CellLibrary::nangate45_like();
+  EXPECT_DOUBLE_EQ(lib.area_um2(nl), lib.spec(CellType::kAnd2).area_um2 +
+                                         lib.spec(CellType::kXor2).area_um2);
+  EXPECT_GT(lib.leakage_uw(nl), 0.0);
+}
+
+TEST(Cells, DynamicEnergyMatchesToggleCount) {
+  Netlist nl;
+  const NetId a = nl.input("a");
+  const NetId out = nl.inv(a);
+  (void)out;
+  const CellLibrary& lib = CellLibrary::nangate45_like();
+  Simulator sim(nl);
+  for (int i = 0; i < 10; ++i) {
+    sim.set_input(a, i % 2 != 0);
+    sim.eval();
+  }
+  // a starts at 0, so the first cycle (a=0) does not toggle: 9 transitions.
+  EXPECT_DOUBLE_EQ(sim.dynamic_energy_fj(lib),
+                   9.0 * lib.spec(CellType::kInv).switch_energy_fj);
+}
+
+TEST(LogicDepthUnit, BalancedReductionIsLogarithmic) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 32);
+  (void)and_reduce(nl, a);
+  EXPECT_EQ(logic_depth(nl), 5);  // ceil(log2(32))
+}
+
+TEST(LogicDepthUnit, RippleAdderIsLinear) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 16);
+  const Bus b = nl.input_bus("b", 16);
+  (void)ripple_add(nl, a, b, nl.constant(false));
+  EXPECT_GE(logic_depth(nl), 16);
+}
+
+}  // namespace
+}  // namespace mersit::rtl

@@ -1,0 +1,195 @@
+#include "rtl/components.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rtl/sim.h"
+
+namespace mersit::rtl {
+namespace {
+
+TEST(Components, ConstantBus) {
+  Netlist nl;
+  const Bus b = constant_bus(nl, 0b1011, 6);
+  Simulator sim(nl);
+  EXPECT_EQ(sim.get_bus(b), 0b001011u);
+}
+
+TEST(Components, RippleAddExhaustive6Bit) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 6);
+  const Bus b = nl.input_bus("b", 6);
+  const Bus sum = ripple_add(nl, a, b, nl.constant(false), /*keep_carry=*/true);
+  Simulator sim(nl);
+  for (std::uint64_t va = 0; va < 64; ++va) {
+    for (std::uint64_t vb = 0; vb < 64; ++vb) {
+      sim.set_input_bus(a, va);
+      sim.set_input_bus(b, vb);
+      sim.eval();
+      ASSERT_EQ(sim.get_bus(sum), va + vb);
+    }
+  }
+}
+
+TEST(Components, AddSignedNeverOverflows) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 5);
+  const Bus b = nl.input_bus("b", 5);
+  const Bus sum = add_signed(nl, a, b);
+  ASSERT_EQ(sum.size(), 6u);
+  Simulator sim(nl);
+  for (int va = -16; va < 16; ++va) {
+    for (int vb = -16; vb < 16; ++vb) {
+      sim.set_input_bus(a, static_cast<std::uint64_t>(va) & 0x1F);
+      sim.set_input_bus(b, static_cast<std::uint64_t>(vb) & 0x1F);
+      sim.eval();
+      ASSERT_EQ(sim.get_bus_signed(sum), va + vb);
+    }
+  }
+}
+
+TEST(Components, SubSigned) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 5);
+  const Bus b = nl.input_bus("b", 5);
+  const Bus diff = sub_signed(nl, a, b);
+  Simulator sim(nl);
+  for (int va = -16; va < 16; va += 3) {
+    for (int vb = -16; vb < 16; ++vb) {
+      sim.set_input_bus(a, static_cast<std::uint64_t>(va) & 0x1F);
+      sim.set_input_bus(b, static_cast<std::uint64_t>(vb) & 0x1F);
+      sim.eval();
+      ASSERT_EQ(sim.get_bus_signed(diff), va - vb);
+    }
+  }
+}
+
+TEST(Components, NegateIf) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 6);
+  const NetId neg = nl.input("neg");
+  const Bus out = negate_if(nl, a, neg);
+  Simulator sim(nl);
+  for (int va = -32; va < 32; ++va) {
+    for (int vn = 0; vn <= 1; ++vn) {
+      sim.set_input_bus(a, static_cast<std::uint64_t>(va) & 0x3F);
+      sim.set_input(neg, vn);
+      sim.eval();
+      const int expect = vn ? -va : va;
+      // -32 negated overflows back to -32 in 6 bits; skip that case.
+      if (va == -32 && vn) continue;
+      ASSERT_EQ(sim.get_bus_signed(out), expect) << va << " " << vn;
+    }
+  }
+}
+
+TEST(Components, ArrayMultiplyExhaustive5x5) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 5);
+  const Bus b = nl.input_bus("b", 5);
+  const Bus prod = array_multiply(nl, a, b);
+  ASSERT_EQ(prod.size(), 10u);
+  Simulator sim(nl);
+  for (std::uint64_t va = 0; va < 32; ++va) {
+    for (std::uint64_t vb = 0; vb < 32; ++vb) {
+      sim.set_input_bus(a, va);
+      sim.set_input_bus(b, vb);
+      sim.eval();
+      ASSERT_EQ(sim.get_bus(prod), va * vb);
+    }
+  }
+}
+
+TEST(Components, ArrayMultiplyAsymmetricWidths) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 7);
+  const Bus b = nl.input_bus("b", 3);
+  const Bus prod = array_multiply(nl, a, b);
+  ASSERT_EQ(prod.size(), 10u);
+  Simulator sim(nl);
+  std::mt19937 rng(21);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t va = rng() & 0x7F, vb = rng() & 0x7;
+    sim.set_input_bus(a, va);
+    sim.set_input_bus(b, vb);
+    sim.eval();
+    ASSERT_EQ(sim.get_bus(prod), va * vb);
+  }
+}
+
+TEST(Components, BarrelShiftLeft) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 10);
+  const Bus sh = nl.input_bus("sh", 6);
+  const Bus out = barrel_shift_left(nl, a, sh, 48);
+  Simulator sim(nl);
+  std::mt19937 rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t va = rng() & 0x3FF;
+    const std::uint64_t vs = rng() % 64;
+    sim.set_input_bus(a, va);
+    sim.set_input_bus(sh, vs);
+    sim.eval();
+    const std::uint64_t expect =
+        vs >= 48 ? 0 : (va << vs) & ((1ull << 48) - 1);
+    ASSERT_EQ(sim.get_bus(out), expect) << "a=" << va << " sh=" << vs;
+  }
+}
+
+TEST(Components, Reductions) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 7);
+  const NetId all = and_reduce(nl, a);
+  const NetId any = or_reduce(nl, a);
+  Simulator sim(nl);
+  for (std::uint64_t v : {0ull, 1ull, 0x7Full, 0x3Full, 0x40ull}) {
+    sim.set_input_bus(a, v);
+    sim.eval();
+    EXPECT_EQ(sim.get(all), v == 0x7F);
+    EXPECT_EQ(sim.get(any), v != 0);
+  }
+}
+
+TEST(Components, OneHotConstantSelect) {
+  Netlist nl;
+  std::vector<NetId> sels = {nl.input("s0"), nl.input("s1"), nl.input("s2")};
+  const Bus out = one_hot_constant_select(nl, sels, {5, 9, 30}, 5);
+  Simulator sim(nl);
+  const std::uint64_t expected[] = {5, 9, 30};
+  for (int hot = 0; hot < 3; ++hot) {
+    for (int i = 0; i < 3; ++i) sim.set_input(sels[static_cast<std::size_t>(i)], i == hot);
+    sim.eval();
+    EXPECT_EQ(sim.get_bus(out), expected[hot]);
+  }
+  for (int i = 0; i < 3; ++i) sim.set_input(sels[static_cast<std::size_t>(i)], false);
+  sim.eval();
+  EXPECT_EQ(sim.get_bus(out), 0u);
+}
+
+TEST(Components, EqualsConst) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 8);
+  const NetId eq = equals_const(nl, a, 0xA5);
+  Simulator sim(nl);
+  for (std::uint64_t v : {0xA5ull, 0xA4ull, 0x00ull, 0xFFull}) {
+    sim.set_input_bus(a, v);
+    sim.eval();
+    EXPECT_EQ(sim.get(eq), v == 0xA5);
+  }
+}
+
+TEST(Components, SignExtendTruncate) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 4);
+  const Bus ext = sign_extend(a, 8);
+  const Bus z = zero_extend(nl, a, 8);
+  Simulator sim(nl);
+  sim.set_input_bus(a, 0b1010);  // -6 signed
+  sim.eval();
+  EXPECT_EQ(sim.get_bus_signed(ext), -6);
+  EXPECT_EQ(sim.get_bus(z), 0b1010u);
+}
+
+}  // namespace
+}  // namespace mersit::rtl
