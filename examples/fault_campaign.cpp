@@ -1,0 +1,148 @@
+// Fault-injection walkthrough: corrupt a quantized artifact bit by bit,
+// compare the two corruption policies, then put a stuck-at fault and a
+// transient SEU on the MERSIT MAC netlist and classify what they do.
+//
+// Everything is seeded — run it twice and the numbers are identical.
+#include <cstdio>
+#include <random>
+
+#include "core/registry.h"
+#include "fault/bitflip.h"
+#include "fault/campaign.h"
+#include "hw/mac.h"
+#include "hw/reference.h"
+#include "nn/data.h"
+#include "nn/models.h"
+#include "ptq/ptq.h"
+#include "rtl/sim.h"
+
+using namespace mersit;
+
+int main() {
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  // FP(8,4) for the artifact sections: IEEE-style FP8 reserves a whole band
+  // of NaN/Inf codes, so random flips actually land on them.  (MERSIT has a
+  // single NaR word — one reason its artifacts corrupt more gracefully.)
+  const auto afmt = core::make_format("FP(8,4)");
+
+  // --- 1. Corrupt a packed artifact at a fixed bit-error rate. -------------
+  std::printf("== 1. Bit errors in a packed QuantizedModel ==\n\n");
+  std::mt19937 rng(7);
+  auto model = nn::make_vgg_mini(3, 10, rng);
+  const nn::Dataset test = nn::make_vision_dataset(96, 3, 12, 5);
+  const ptq::WeightSnapshot fp32 = ptq::snapshot_weights(*model);
+
+  ptq::QuantizedModel artifact = ptq::pack_weights(*model, *afmt);
+  fault::BitFlipInjector injector(/*seed=*/2024);
+  const fault::InjectionReport rep = injector.inject_ber(artifact, 1e-2);
+  std::printf("%s artifact: %llu codes; BER 1e-2 flipped %llu bits in %llu "
+              "codes\n\n", afmt->name().c_str(),
+              static_cast<unsigned long long>(rep.total_codes),
+              static_cast<unsigned long long>(rep.bits_flipped),
+              static_cast<unsigned long long>(rep.codes_touched));
+
+  // --- 2. Policy comparison: propagate vs zero-substitute. -----------------
+  std::printf("== 2. CorruptionPolicy: what happens to NaR/Inf codes ==\n\n");
+  for (const auto policy : {formats::CorruptionPolicy::kPropagate,
+                            formats::CorruptionPolicy::kZeroSubstitute}) {
+    formats::CorruptionStats stats;
+    ptq::unpack_weights(*model, artifact, *afmt, policy, &stats);
+    const float acc = ptq::evaluate_fp32(*model, test, ptq::Metric::kAccuracy);
+    std::printf("%-16s: %llu non-finite codes hit, %lld non-finite weights "
+                "in the net, accuracy %.2f%%\n",
+                policy == formats::CorruptionPolicy::kPropagate
+                    ? "propagate" : "zero-substitute",
+                static_cast<unsigned long long>(stats.non_finite),
+                static_cast<long long>(nn::count_nonfinite_params(*model)), acc);
+  }
+  ptq::restore_weights(*model, fp32);
+  std::printf("\n(zero-substitution trades each corrupted weight for 0.0 and "
+              "counts it; propagation lets NaN/Inf poison the activations.)\n\n");
+
+  // --- 3. A stuck-at fault on the MAC accumulator. -------------------------
+  std::printf("== 3. Gate-level injection on the %s MAC ==\n\n",
+              fmt->name().c_str());
+  const auto* ef = dynamic_cast<const formats::ExponentCodedFormat*>(fmt.get());
+  if (ef == nullptr) {
+    std::fprintf(stderr, "%s has no hardware MAC\n", fmt->name().c_str());
+    return 1;
+  }
+  rtl::Netlist nl;
+  const hw::MacPorts mac = hw::build_mac(nl, *fmt);
+
+  // Fixed operand stream, same for the golden and both faulty runs.
+  const int cycles = 12;
+  std::mt19937 oprng(11);
+  std::normal_distribution<double> dist(0.0, 0.8);
+  std::vector<std::uint8_t> wc(cycles), ac(cycles);
+  for (int i = 0; i < cycles; ++i) {
+    wc[i] = fmt->encode(dist(oprng));
+    ac[i] = fmt->encode(dist(oprng));
+  }
+
+  // Golden run: record the fault-free accumulator and special-flag traces,
+  // verifying the netlist against the bit-exact reference as we go.
+  std::vector<std::int64_t> gold_acc(cycles);
+  std::vector<bool> gold_flag(cycles);
+  {
+    rtl::Simulator sim(nl);
+    hw::MacReference ref(*ef);
+    for (int i = 0; i < cycles; ++i) {
+      sim.set_input_bus(mac.wdec.code, wc[i]);
+      sim.set_input_bus(mac.adec.code, ac[i]);
+      sim.eval();
+      gold_flag[static_cast<std::size_t>(i)] = sim.get(mac.special_any);
+      sim.clock();
+      ref.accumulate(wc[i], ac[i]);
+      gold_acc[static_cast<std::size_t>(i)] = sim.get_bus_signed(mac.acc);
+      if (gold_acc[static_cast<std::size_t>(i)] != ref.acc_raw()) {
+        std::fprintf(stderr, "golden netlist deviates from reference!\n");
+        return 1;
+      }
+    }
+  }
+  std::printf("%-34s acc=%12lld  (matches hw::MacReference)\n", "fault-free",
+              static_cast<long long>(gold_acc[static_cast<std::size_t>(cycles - 1)]));
+
+  auto run = [&](const rtl::FaultPlan& plan, const char* label) {
+    rtl::Simulator sim(nl);
+    sim.set_fault_plan(plan);
+    bool corrupted = false, flag_deviated = false;
+    for (int i = 0; i < cycles; ++i) {
+      sim.set_input_bus(mac.wdec.code, wc[i]);
+      sim.set_input_bus(mac.adec.code, ac[i]);
+      sim.eval();
+      if (sim.get(mac.special_any) != gold_flag[static_cast<std::size_t>(i)])
+        flag_deviated = true;
+      sim.clock();
+      if (sim.get_bus_signed(mac.acc) != gold_acc[static_cast<std::size_t>(i)])
+        corrupted = true;
+    }
+    const char* verdict = (!corrupted && !flag_deviated) ? "masked"
+                          : flag_deviated ? "detected (special flag deviated)"
+                                          : "SDC (silent data corruption)";
+    std::printf("%-34s acc=%12lld  -> %s\n", label,
+                static_cast<long long>(sim.get_bus_signed(mac.acc)), verdict);
+  };
+
+  rtl::FaultPlan stuck;
+  stuck.stuck.push_back({mac.acc[0], true});  // accumulator LSB stuck at 1
+  run(stuck, "stuck-at-1 on accumulator LSB");
+
+  rtl::FaultPlan seu;
+  seu.transients.push_back({/*cycle=*/5, mac.wdec.is_special});
+  run(seu, "SEU on is_special at cycle 5");
+
+  std::printf("\nFull campaigns over sampled fault sites:\n");
+  fault::GateCampaignConfig gcfg;
+  gcfg.max_sites = 64;
+  const fault::StuckAtReport report = fault::run_stuckat_campaign(*fmt, gcfg);
+  std::printf("  %s stuck-at: %llu trials -> %llu masked, %llu detected, "
+              "%llu SDC (%.1f%% SDC rate)\n", report.format_name.c_str(),
+              static_cast<unsigned long long>(report.trials),
+              static_cast<unsigned long long>(report.masked),
+              static_cast<unsigned long long>(report.detected),
+              static_cast<unsigned long long>(report.sdc),
+              100.0 * report.sdc_rate());
+  return 0;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI entry point: run the tier-1 verify twice — a default (Release) build,
+# then an Address+UB-sanitized build (MERSIT_SANITIZE=ON) so memory and UB
+# bugs surface on the same test suite (including the serialization fuzz
+# tests and fault campaigns).
+#
+# Usage: scripts/ci.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_suite() {
+  local build_dir="$1"; shift
+  echo "==> configure ${build_dir} ($*)"
+  cmake -B "${build_dir}" -S . "$@"
+  echo "==> build ${build_dir}"
+  cmake --build "${build_dir}" -j "${JOBS}"
+  echo "==> ctest ${build_dir}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_suite build
+run_suite build-sanitize -DMERSIT_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+echo "==> CI OK (default + sanitized)"

@@ -55,4 +55,15 @@ std::vector<std::shared_ptr<const Format>> headline_formats() {
   return make_all({"FP(8,4)", "Posit(8,1)", "MERSIT(8,2)"});
 }
 
+std::vector<std::string> all_format_names() {
+  std::vector<std::string> names{"INT8"};
+  for (int e = 2; e <= 6; ++e) names.push_back("FP(8," + std::to_string(e) + ")");
+  for (int es = 0; es <= 4; ++es) {
+    names.push_back("Posit(8," + std::to_string(es) + ")");
+    names.push_back("StdPosit(8," + std::to_string(es) + ")");
+  }
+  for (int es : {2, 3, 6}) names.push_back("MERSIT(8," + std::to_string(es) + ")");
+  return names;
+}
+
 }  // namespace mersit::core

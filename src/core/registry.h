@@ -30,4 +30,8 @@ namespace mersit::core {
 /// FP(8,4), Posit(8,1), MERSIT(8,2).
 [[nodiscard]] std::vector<std::shared_ptr<const formats::Format>> headline_formats();
 
+/// Every name make_format() accepts (the full registry), for exhaustive
+/// sweeps such as the decode-contract tests and resilience campaigns.
+[[nodiscard]] std::vector<std::string> all_format_names();
+
 }  // namespace mersit::core

@@ -1,0 +1,46 @@
+#include "fault/bitflip.h"
+
+namespace mersit::fault {
+
+InjectionReport BitFlipInjector::inject_ber(ptq::QuantizedModel& qm, double ber) {
+  InjectionReport rep;
+  for (ptq::QuantizedTensor& t : qm.tensors) {
+    rep.total_codes += t.codes.size();
+    for (std::uint8_t& code : t.codes) {
+      std::uint8_t mask = 0;
+      for (int b = 0; b < 8; ++b)
+        if (rng_.next_unit() < ber) mask |= static_cast<std::uint8_t>(1u << b);
+      if (mask != 0) {
+        code ^= mask;
+        ++rep.codes_touched;
+        rep.bits_flipped += static_cast<std::uint64_t>(__builtin_popcount(mask));
+      }
+    }
+  }
+  return rep;
+}
+
+InjectionReport BitFlipInjector::inject_bit_position(ptq::QuantizedModel& qm,
+                                                     int bit, double rate) {
+  InjectionReport rep;
+  const auto mask = static_cast<std::uint8_t>(1u << (bit & 7));
+  for (ptq::QuantizedTensor& t : qm.tensors) {
+    rep.total_codes += t.codes.size();
+    for (std::uint8_t& code : t.codes) {
+      if (rng_.next_unit() < rate) {
+        code ^= mask;
+        ++rep.codes_touched;
+        ++rep.bits_flipped;
+      }
+    }
+  }
+  return rep;
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t index) {
+  // Two rounds of the splitmix64 finalizer decorrelate (seed, index) pairs.
+  SplitMix64 rng(seed ^ (index * 0x9e3779b97f4a7c15ull + 0x632be59bd9b4e019ull));
+  return rng.next();
+}
+
+}  // namespace mersit::fault

@@ -1,0 +1,15 @@
+#include "formats/corruption.h"
+
+namespace mersit::formats {
+
+double decode_with_policy(const Format& fmt, std::uint8_t code,
+                          CorruptionPolicy policy, CorruptionStats* stats) {
+  const ValueClass cls = fmt.classify(code);
+  if (cls == ValueClass::kInf || cls == ValueClass::kNaN) {
+    if (stats != nullptr) ++stats->non_finite;
+    if (policy == CorruptionPolicy::kZeroSubstitute) return 0.0;
+  }
+  return fmt.decode_value(code);
+}
+
+}  // namespace mersit::formats

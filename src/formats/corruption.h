@@ -1,0 +1,39 @@
+// Policy for decoding possibly-corrupted code words.
+//
+// PTQ encoding never produces non-finite codes (Format::encode saturates),
+// so any NaR / Inf / NaN code in an artifact is evidence of corruption —
+// a flipped bit in storage or transport.  Campaigns that measure accuracy
+// under bit-error rates must decide what a decoder does with such codes:
+//
+//  * kPropagate: decode faithfully (+/-inf, NaN).  One corrupted weight then
+//    poisons every activation it touches — the honest "no hardware support"
+//    baseline, but it turns accuracy metrics into NaN-arithmetic artifacts.
+//  * kZeroSubstitute: replace non-finite decodes with 0.0 and count them —
+//    the standard accelerator mitigation (a NaR weight contributes nothing),
+//    keeping metrics meaningful while still recording every detection.
+#pragma once
+
+#include <cstdint>
+
+#include "formats/format.h"
+
+namespace mersit::formats {
+
+enum class CorruptionPolicy : std::uint8_t {
+  kPropagate,       ///< decode NaR/Inf/NaN faithfully
+  kZeroSubstitute,  ///< map non-finite decodes to 0.0 and count them
+};
+
+/// Counters accumulated by policy-guarded decoding.
+struct CorruptionStats {
+  std::uint64_t non_finite = 0;  ///< NaR/Inf/NaN codes encountered
+};
+
+/// Decode `code` under `policy`.  Never exhibits UB for any of the 256
+/// codes; with kZeroSubstitute the result is always finite.  `stats` (when
+/// non-null) is bumped for every non-finite code regardless of policy.
+[[nodiscard]] double decode_with_policy(const Format& fmt, std::uint8_t code,
+                                        CorruptionPolicy policy,
+                                        CorruptionStats* stats = nullptr);
+
+}  // namespace mersit::formats

@@ -29,6 +29,23 @@ namespace mersit::formats {
 class TableCodec;
 
 /// Base class for all 8-bit formats.
+///
+/// Decode contract (relied upon by the fault-injection campaigns, which
+/// feed arbitrary corrupted code words through these methods):
+///  * decode_value() and classify() are total over all 256 codes — no UB,
+///    no throw, for any input byte;
+///  * classify() agrees with decode_value(): kZero <=> value == +/-0,
+///    kFinite <=> finite non-zero, kInf <=> +/-infinity (including the
+///    Posit/MERSIT NaR sentinel), kNaN <=> NaN (FP8 NaN payloads and codes
+///    excluded from a format's value set, e.g. INT8 0x80);
+///  * every kFinite code round-trips: encode(decode_value(c)) yields a code
+///    with the same decoded value (codes themselves may alias only if two
+///    codes decode to the same value);
+///  * reserved / non-finite codes map to the defined sentinels above, never
+///    to garbage — formats::decode_with_policy (corruption.h) builds on
+///    this to give campaigns a finite-only view.
+/// tests/formats/test_decode_contract.cpp enforces all of this for every
+/// registered format.
 class Format {
  public:
   virtual ~Format();
@@ -39,10 +56,11 @@ class Format {
   /// Total number of bits in a code word (always 8 in this study).
   [[nodiscard]] virtual int bits() const { return 8; }
 
-  /// Real value represented by `code`.
+  /// Real value represented by `code` (total: defined for all 256 codes;
+  /// non-finite codes decode to +/-inf or NaN, see the class contract).
   [[nodiscard]] virtual double decode_value(std::uint8_t code) const = 0;
 
-  /// Class of the value represented by `code`.
+  /// Class of the value represented by `code` (total over all 256 codes).
   [[nodiscard]] virtual ValueClass classify(std::uint8_t code) const = 0;
 
   /// True when values below the smallest magnitude round to zero

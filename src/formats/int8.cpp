@@ -1,10 +1,15 @@
 #include "formats/int8.h"
 
+#include <limits>
+
 namespace mersit::formats {
 
 double Int8Format::decode_value(std::uint8_t code) const {
   const auto q = static_cast<std::int8_t>(code);
-  if (q == -128) return -127.0;  // clamped duplicate, excluded from the table
+  // -128 is reserved (never produced by encoding); per the decode contract
+  // its value matches its kNaN classification so corrupted artifacts can't
+  // smuggle it in as a finite weight.
+  if (q == -128) return std::numeric_limits<double>::quiet_NaN();
   return static_cast<double>(q);
 }
 

@@ -1,9 +1,10 @@
 // Symmetric INT8: two's-complement integer codes in [-127, 127].
 //
-// The code -128 is excluded (clamped to -127) so the value set is
-// sign-symmetric, the usual convention for symmetric per-channel weight
-// quantization.  The represented value of code q is simply q; the PTQ
-// scaling layer divides by `scale = absmax / 127` before encoding.
+// The code -128 is reserved (classified kNaN, decoding to NaN) so the value
+// set is sign-symmetric, the usual convention for symmetric per-channel
+// weight quantization; encoding clamps to -127 and never emits it.  The
+// represented value of any other code q is simply q; the PTQ scaling layer
+// divides by `scale = absmax / 127` before encoding.
 #pragma once
 
 #include "formats/format.h"

@@ -33,6 +33,7 @@ MacPorts build_mac(Netlist& nl, const formats::Format& fmt, int v_margin) {
   nl.push_group("decoder");
   mac.wdec = build_decoder(nl, fmt);
   mac.adec = build_decoder(nl, fmt);
+  mac.special_any = nl.or2(mac.wdec.is_special, mac.adec.is_special);
   nl.pop_group();
 
   nl.push_group("exp_adder");

@@ -41,6 +41,11 @@ struct MacPorts {
   MacConfig cfg;
   DecoderPorts wdec;      ///< weight-side decoder
   DecoderPorts adec;      ///< activation-side decoder
+  /// OR of the two decoders' is_special flags: the unit's externally
+  /// observable "non-finite / zero operand this cycle" detection signal
+  /// (monitored by the fault campaigns to classify detected vs silent
+  /// corruptions).
+  rtl::NetId special_any = 0;
   rtl::NetId prod_sign = 0;
   rtl::Bus exp_sum;       ///< P+1 bits, signed
   rtl::Bus product;       ///< 2M bits, unsigned

@@ -1,5 +1,7 @@
 #include "nn/models.h"
 
+#include <cmath>
+
 namespace mersit::nn {
 
 namespace {
@@ -226,6 +228,14 @@ void fold_all_batchnorms(Module& root) {
 std::int64_t parameter_count(Module& m) {
   std::int64_t n = 0;
   for (const Param* p : m.parameters()) n += p->value.numel();
+  return n;
+}
+
+std::int64_t count_nonfinite_params(Module& m) {
+  std::int64_t n = 0;
+  for (const Param* p : m.parameters())
+    for (const float v : p->value.data())
+      if (!std::isfinite(v)) ++n;
   return n;
 }
 

@@ -49,4 +49,10 @@ void fold_all_batchnorms(Module& root);
 /// Total parameter count.
 [[nodiscard]] std::int64_t parameter_count(Module& m);
 
+/// Number of non-finite (Inf/NaN) parameter values — nonzero only when a
+/// corrupted artifact was unpacked with CorruptionPolicy::kPropagate (see
+/// formats/corruption.h); used by the fault campaigns to report how far
+/// NaR poisoning spread.
+[[nodiscard]] std::int64_t count_nonfinite_params(Module& m);
+
 }  // namespace mersit::nn

@@ -1,10 +1,12 @@
 #include "ptq/serialize.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <string>
 
 namespace mersit::ptq {
 
@@ -12,18 +14,83 @@ namespace {
 
 constexpr char kMagic[4] = {'M', 'Q', 'T', '1'};
 
+// Hard caps on untrusted length fields (far above any legitimate artifact,
+// far below anything that could exhaust memory).
+constexpr std::uint32_t kMaxNameLen = 4096;
+constexpr std::uint32_t kMaxTensors = 1u << 20;
+constexpr std::uint32_t kMaxRank = 8;
+constexpr std::int64_t kMaxNumel = std::int64_t{1} << 31;
+constexpr std::int64_t kMaxChannels = std::int64_t{1} << 24;
+constexpr std::size_t kReadChunk = std::size_t{1} << 16;
+
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
-template <typename T>
-T read_pod(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!is) throw std::runtime_error("QuantizedModel: truncated stream");
-  return v;
-}
+/// Untrusted-input reader: tracks the remaining stream size when the stream
+/// is seekable, so declared lengths can be rejected *before* allocation;
+/// bulk payloads are read in bounded chunks either way, so a lying length
+/// on a non-seekable stream fails at the actual end of data instead of
+/// triggering a giant allocation.
+class BoundedReader {
+ public:
+  explicit BoundedReader(std::istream& is) : is_(is) {
+    const auto pos = is.tellg();
+    if (pos == std::istream::pos_type(-1)) return;  // not seekable
+    is.clear();
+    is.seekg(0, std::ios::end);
+    const auto end = is.tellg();
+    is.seekg(pos);
+    if (end != std::istream::pos_type(-1) && end >= pos) {
+      remaining_ = static_cast<std::uint64_t>(end - pos);
+      known_ = true;
+    }
+  }
+
+  /// Reject a claimed payload of `n` bytes that cannot fit in the stream.
+  void claim(std::uint64_t n, const char* what) {
+    if (known_ && n > remaining_)
+      throw std::runtime_error(std::string("QuantizedModel: ") + what +
+                               " exceeds remaining stream size");
+  }
+
+  void read_raw(void* dst, std::size_t n, const char* what) {
+    claim(n, what);
+    is_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+    if (!is_ || static_cast<std::size_t>(is_.gcount()) != n)
+      throw std::runtime_error(std::string("QuantizedModel: truncated ") + what);
+    if (known_) remaining_ -= n;
+  }
+
+  template <typename T>
+  T read_pod(const char* what) {
+    T v{};
+    read_raw(&v, sizeof(T), what);
+    return v;
+  }
+
+  /// Read `count` elements of `T` into `out`, growing in bounded chunks so
+  /// the allocation never outruns the data actually present.
+  template <typename T>
+  void read_array(std::vector<T>& out, std::uint64_t count, const char* what) {
+    claim(count * sizeof(T), what);
+    out.clear();
+    while (count > 0) {
+      const auto n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(count, kReadChunk / sizeof(T)));
+      const std::size_t base = out.size();
+      out.resize(base + n);
+      read_raw(out.data() + base, n * sizeof(T), what);
+      count -= n;
+    }
+  }
+
+ private:
+  std::istream& is_;
+  std::uint64_t remaining_ = 0;
+  bool known_ = false;
+};
 
 }  // namespace
 
@@ -43,35 +110,50 @@ void QuantizedModel::save(std::ostream& os) const {
 }
 
 QuantizedModel QuantizedModel::load(std::istream& is) {
+  BoundedReader r(is);
   char magic[4];
-  is.read(magic, 4);
-  if (!is || std::memcmp(magic, kMagic, 4) != 0)
+  r.read_raw(magic, 4, "magic");
+  if (std::memcmp(magic, kMagic, 4) != 0)
     throw std::runtime_error("QuantizedModel: bad magic");
   QuantizedModel qm;
-  const auto name_len = read_pod<std::uint32_t>(is);
+  const auto name_len = r.read_pod<std::uint32_t>("format-name length");
+  if (name_len > kMaxNameLen)
+    throw std::runtime_error("QuantizedModel: format-name length " +
+                             std::to_string(name_len) + " exceeds cap");
+  r.claim(name_len, "format name");
   qm.format_name.resize(name_len);
-  is.read(qm.format_name.data(), name_len);
-  const auto count = read_pod<std::uint32_t>(is);
-  qm.tensors.resize(count);
-  for (QuantizedTensor& t : qm.tensors) {
-    const auto ndim = read_pod<std::uint32_t>(is);
-    if (ndim > 8) throw std::runtime_error("QuantizedModel: implausible rank");
+  if (name_len > 0) r.read_raw(qm.format_name.data(), name_len, "format name");
+  const auto count = r.read_pod<std::uint32_t>("tensor count");
+  if (count > kMaxTensors)
+    throw std::runtime_error("QuantizedModel: tensor count " +
+                             std::to_string(count) + " exceeds cap");
+  // Each tensor record occupies at least ndim + channels = 8 bytes.  No
+  // reserve(count): growth stays proportional to data actually parsed.
+  r.claim(std::uint64_t{8} * count, "tensor records");
+  for (std::uint32_t i = 0; i < count; ++i) {
+    QuantizedTensor t;
+    const auto ndim = r.read_pod<std::uint32_t>("rank");
+    if (ndim > kMaxRank)
+      throw std::runtime_error("QuantizedModel: implausible rank " +
+                               std::to_string(ndim));
     t.shape.resize(ndim);
     std::int64_t numel = 1;
     for (auto& d : t.shape) {
-      d = read_pod<std::int32_t>(is);
+      d = r.read_pod<std::int32_t>("dimension");
       if (d <= 0) throw std::runtime_error("QuantizedModel: bad dimension");
+      if (numel > kMaxNumel / d)
+        throw std::runtime_error("QuantizedModel: element count overflow");
       numel *= d;
     }
-    t.channels = static_cast<int>(read_pod<std::uint32_t>(is));
-    if (t.channels <= 0 || numel % t.channels != 0)
+    const auto channels = r.read_pod<std::uint32_t>("channel count");
+    if (channels == 0 || static_cast<std::int64_t>(channels) > kMaxChannels ||
+        static_cast<std::int64_t>(channels) > numel ||
+        numel % static_cast<std::int64_t>(channels) != 0)
       throw std::runtime_error("QuantizedModel: bad channel count");
-    t.scales.resize(static_cast<std::size_t>(t.channels));
-    for (auto& s : t.scales) s = read_pod<float>(is);
-    t.codes.resize(static_cast<std::size_t>(numel));
-    is.read(reinterpret_cast<char*>(t.codes.data()),
-            static_cast<std::streamsize>(t.codes.size()));
-    if (!is) throw std::runtime_error("QuantizedModel: truncated codes");
+    t.channels = static_cast<int>(channels);
+    r.read_array(t.scales, channels, "scales");
+    r.read_array(t.codes, static_cast<std::uint64_t>(numel), "codes");
+    qm.tensors.push_back(std::move(t));
   }
   return qm;
 }
@@ -112,7 +194,8 @@ QuantizedModel pack_weights(nn::Module& model, const formats::Format& fmt,
 }
 
 void unpack_weights(nn::Module& model, const QuantizedModel& qm,
-                    const formats::Format& fmt) {
+                    const formats::Format& fmt, formats::CorruptionPolicy policy,
+                    formats::CorruptionStats* stats) {
   if (fmt.name() != qm.format_name)
     throw std::invalid_argument("unpack_weights: format mismatch (" + fmt.name() +
                                 " vs " + qm.format_name + ")");
@@ -125,12 +208,15 @@ void unpack_weights(nn::Module& model, const QuantizedModel& qm,
     const QuantizedTensor& t = qm.tensors[ti++];
     if (t.channels != cw->weight_channels())
       throw std::invalid_argument("unpack_weights: channel mismatch");
+    if (t.numel() != t.channels * static_cast<std::int64_t>(cw->channel_span(0).size()))
+      throw std::invalid_argument("unpack_weights: element count mismatch");
     std::size_t k = 0;
     for (int c = 0; c < t.channels; ++c) {
       const std::span<float> w = cw->channel_span(c);
       const double scale = t.scales[static_cast<std::size_t>(c)];
       for (float& v : w)
-        v = static_cast<float>(fmt.decode_value(t.codes[k++]) * scale);
+        v = static_cast<float>(
+            formats::decode_with_policy(fmt, t.codes[k++], policy, stats) * scale);
     }
   }
   if (ti != qm.tensors.size())

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "formats/corruption.h"
 #include "formats/quantize.h"
 #include "nn/module.h"
 
@@ -34,6 +35,14 @@ struct QuantizedModel {
   std::vector<QuantizedTensor> tensors;  ///< one per ChannelWeights module
 
   void save(std::ostream& os) const;
+
+  /// Parse a container from `is`.  Hardened against malformed input: every
+  /// length field is bounds-checked against the remaining stream size (when
+  /// the stream is seekable) and against hard caps, payloads are read in
+  /// bounded chunks (no allocation sized by an attacker-controlled u32),
+  /// and shape/channel/numel consistency is validated.  Any truncated,
+  /// corrupted, or random byte stream yields a descriptive
+  /// std::runtime_error — never a crash, hang, or OOM.
   [[nodiscard]] static QuantizedModel load(std::istream& is);
 
   /// Serialized size in bytes.
@@ -49,7 +58,13 @@ struct QuantizedModel {
 
 /// Decode `qm` back into the model's ChannelWeights modules (module order
 /// and shapes must match).  `fmt` must be the format named in `qm`.
+/// `policy` governs non-finite (NaR/Inf/NaN) codes, which a clean artifact
+/// never contains but a corrupted one may: kPropagate writes IEEE specials
+/// into the weights, kZeroSubstitute writes 0 and counts the substitution
+/// in `stats` (see formats/corruption.h).
 void unpack_weights(nn::Module& model, const QuantizedModel& qm,
-                    const formats::Format& fmt);
+                    const formats::Format& fmt,
+                    formats::CorruptionPolicy policy = formats::CorruptionPolicy::kPropagate,
+                    formats::CorruptionStats* stats = nullptr);
 
 }  // namespace mersit::ptq

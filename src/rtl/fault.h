@@ -1,0 +1,42 @@
+// Gate-level fault models for resilience campaigns.
+//
+// A FaultPlan describes defects to superimpose on a simulated netlist:
+//  * stuck-at faults permanently force a net to 0 or 1 (manufacturing
+//    defects, latent wear-out);
+//  * transient faults flip the value driven onto a net for the duration of
+//    one clock cycle (SEU-style single-event upsets on datapath nets).
+//
+// Plans are pure data; the Simulator applies them (sim.h).  An empty plan
+// is guaranteed to leave simulation bit-identical to a fault-free run,
+// including toggle statistics, so instrumented campaigns can share one code
+// path with golden runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/netlist.h"
+
+namespace mersit::rtl {
+
+struct FaultPlan {
+  struct StuckAt {
+    NetId net = 0;
+    bool value = false;  ///< forced level
+  };
+  /// Single-cycle bit flip: the value driven onto `net` is inverted during
+  /// cycle `cycle` (cycle N = the interval settled by the N-th clock edge;
+  /// the constructor's initial settle and everything before the first
+  /// clock() is cycle 0).
+  struct Transient {
+    std::uint64_t cycle = 0;
+    NetId net = 0;
+  };
+
+  std::vector<StuckAt> stuck;
+  std::vector<Transient> transients;
+
+  [[nodiscard]] bool empty() const { return stuck.empty() && transients.empty(); }
+};
+
+}  // namespace mersit::rtl

@@ -1,21 +1,29 @@
 #include "rtl/sim.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace mersit::rtl {
 
 Simulator::Simulator(const Netlist& nl)
-    : nl_(nl), value_(nl.net_count(), 0), toggles_(nl.gates().size(), 0) {
+    : nl_(nl), value_(nl.net_count(), 0), toggles_(nl.gates().size(), 0),
+      input_net_(nl.net_count(), 0) {
+  for (const Gate& g : nl.gates())
+    if (g.type == CellType::kInput) input_net_[g.out] = 1;
   // Establish consistent initial values (constants, settled logic).
   eval();
   reset_stats();
 }
 
-void Simulator::set_input(NetId net, bool value) { value_[net] = value ? 1 : 0; }
+void Simulator::set_input(NetId net, bool value) {
+  std::uint8_t v = value ? 1 : 0;
+  if (has_faults_) v = faulted(net, v);
+  value_[net] = v;
+}
 
 void Simulator::set_input_bus(const Bus& bus, std::uint64_t value) {
   for (std::size_t i = 0; i < bus.size(); ++i)
-    value_[bus[i]] = static_cast<std::uint8_t>((value >> i) & 1u);
+    set_input(bus[i], ((value >> i) & 1u) != 0);
 }
 
 void Simulator::eval_gate(const Gate& g) {
@@ -36,6 +44,7 @@ void Simulator::eval_gate(const Gate& g) {
     case CellType::kXnor2: out = (value_[g.a] ^ value_[g.b]) ^ 1u; break;
     case CellType::kMux2: out = value_[g.s] ? value_[g.b] : value_[g.a]; break;
   }
+  if (has_faults_) out = faulted(g.out, out);
   if (out != value_[g.out]) {
     value_[g.out] = out;
     toggles_[&g - nl_.gates().data()]++;
@@ -53,11 +62,15 @@ void Simulator::clock() {
   sampled.reserve(nl_.dff_gate_indices().size());
   for (const std::size_t idx : nl_.dff_gate_indices())
     sampled.push_back(value_[gates[idx].a]);
+  ++cycle_;
+  if (has_faults_) rebuild_transients();
   std::size_t i = 0;
   for (const std::size_t idx : nl_.dff_gate_indices()) {
     const Gate& g = gates[idx];
-    if (value_[g.out] != sampled[i]) {
-      value_[g.out] = sampled[i];
+    std::uint8_t q = sampled[i];
+    if (has_faults_) q = faulted(g.out, q);
+    if (value_[g.out] != q) {
+      value_[g.out] = q;
       toggles_[idx]++;
     }
     ++i;
@@ -107,6 +120,47 @@ std::vector<double> Simulator::dynamic_energy_by_group_fj(
     by[gates[i].group] +=
         static_cast<double>(toggles_[i]) * lib.spec(gates[i].type).switch_energy_fj;
   return by;
+}
+
+// --- fault injection --------------------------------------------------------
+
+void Simulator::set_fault_plan(const FaultPlan& plan) {
+  for (const auto& f : plan.stuck)
+    if (f.net >= nl_.net_count())
+      throw std::invalid_argument("FaultPlan: stuck-at net out of range");
+  for (const auto& f : plan.transients)
+    if (f.net >= nl_.net_count())
+      throw std::invalid_argument("FaultPlan: transient net out of range");
+  // Undo any transient level still held on a primary input by the old plan.
+  for (std::size_t n = 0; n < flip_.size(); ++n)
+    if (flip_[n] && input_net_[n]) value_[n] ^= 1u;
+  plan_ = plan;
+  has_faults_ = !plan_.empty();
+  if (!has_faults_) {
+    stuck_.clear();
+    flip_.clear();
+    return;
+  }
+  stuck_.assign(nl_.net_count(), kFree);
+  flip_.assign(nl_.net_count(), 0);
+  for (const auto& f : plan_.stuck) {
+    stuck_[f.net] = f.value ? 1 : 0;
+    value_[f.net] = f.value ? 1 : 0;  // force current state; eval() propagates
+  }
+  rebuild_transients();
+}
+
+void Simulator::clear_fault_plan() { set_fault_plan(FaultPlan{}); }
+
+void Simulator::rebuild_transients() {
+  flip_scratch_.assign(flip_.size(), 0);
+  for (const auto& t : plan_.transients)
+    if (t.cycle == cycle_) flip_scratch_[t.net] ^= 1u;
+  // Gate and DFF outputs pick flips up when next driven (eval / clock), but
+  // primary inputs hold their level, so apply the flip delta to them here.
+  for (std::size_t n = 0; n < flip_.size(); ++n)
+    if (flip_scratch_[n] != flip_[n] && input_net_[n]) value_[n] ^= 1u;
+  flip_.swap(flip_scratch_);
 }
 
 }  // namespace mersit::rtl

@@ -8,12 +8,23 @@
 // power "using PrimeTime PX with the average value obtained from actual DNN
 // data"; here the same quantized data streams are replayed through the gate
 // graph and every output transition is charged the cell's switching energy.
+//
+// Fault injection (fault.h): an installed FaultPlan forces stuck-at levels
+// and single-cycle transient flips onto arbitrary nets.  Faults intercept
+// the value *driven* onto a net — by a gate, a DFF, or set_input — so
+// downstream logic and toggle accounting see the corrupted level exactly as
+// real silicon would.  Primary-input nets, which nothing re-drives between
+// set_input calls, have transient flips applied directly to their held
+// level when the scheduled cycle begins and removed when it ends.  With no
+// plan (or an empty one) the simulator is bit-identical, toggles included,
+// to the uninstrumented original.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "rtl/cells.h"
+#include "rtl/fault.h"
 #include "rtl/netlist.h"
 
 namespace mersit::rtl {
@@ -46,12 +57,39 @@ class Simulator {
   [[nodiscard]] std::vector<double> dynamic_energy_by_group_fj(
       const CellLibrary& lib) const;
 
+  // --- fault injection ------------------------------------------------------
+  /// Install `plan`.  Stuck-at levels are forced onto the affected nets
+  /// immediately (without charging toggles; call eval() to propagate).
+  /// Transients take effect when their cycle arrives.  The plan is copied.
+  void set_fault_plan(const FaultPlan& plan);
+  void clear_fault_plan();
+  /// Number of clock() edges applied so far (transient cycles count from 0
+  /// at construction; see FaultPlan::Transient).
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+
  private:
   void eval_gate(const Gate& g);
+  /// Value actually appearing on `net` when `v` is driven onto it.
+  [[nodiscard]] std::uint8_t faulted(NetId net, std::uint8_t v) const {
+    const std::uint8_t s = stuck_[net];
+    if (s != kFree) return s & 1u;
+    return v ^ flip_[net];
+  }
+  void rebuild_transients();
+
+  static constexpr std::uint8_t kFree = 0xFF;
 
   const Netlist& nl_;
   std::vector<std::uint8_t> value_;          // per net
   std::vector<std::uint64_t> toggles_;       // per gate
+
+  bool has_faults_ = false;
+  std::uint64_t cycle_ = 0;
+  FaultPlan plan_;
+  std::vector<std::uint8_t> stuck_;          // per net: kFree, 0, or 1
+  std::vector<std::uint8_t> flip_;           // per net: 1 while a transient is live
+  std::vector<std::uint8_t> flip_scratch_;   // per net: next cycle's flip set
+  std::vector<std::uint8_t> input_net_;      // per net: 1 if a primary input
 };
 
 }  // namespace mersit::rtl

@@ -1,0 +1,67 @@
+// WideMersit under single-bit corruption: for every N in {4, 8, 12, 16},
+// flipping any one bit of any code must land on another *defined* code —
+// zero, NaR, or a finite value that survives an encode/decode round trip
+// bit-stably.  This is the wide-word analogue of the 8-bit decode contract
+// the fault campaigns rely on.
+#include "core/mersit_wide.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mersit::core {
+namespace {
+
+class WideMersitFlips : public ::testing::TestWithParam<int> {};
+
+TEST_P(WideMersitFlips, SingleBitFlipsLandOnDefinedCodes) {
+  const int nbits = GetParam();
+  const WideMersit wm(nbits, 2);
+  const std::uint32_t ncodes = 1u << nbits;
+  for (std::uint32_t c = 0; c < ncodes; ++c) {
+    for (int bit = 0; bit < nbits; ++bit) {
+      const auto flipped = static_cast<std::uint16_t>(c ^ (1u << bit));
+      const WideMersit::Fields f = wm.fields(flipped);
+      const double v = wm.decode_value(flipped);
+      if (f.is_zero) {
+        EXPECT_EQ(v, 0.0);
+        continue;
+      }
+      if (f.is_nar) {
+        EXPECT_TRUE(std::isinf(v));
+        continue;
+      }
+      ASSERT_TRUE(std::isfinite(v) && v != 0.0)
+          << "N=" << nbits << " code " << c << " bit " << bit;
+      // Finite corrupted codes re-encode to a code of identical value
+      // (the flip moved us to another lattice point, not to garbage).
+      const std::uint16_t re = wm.encode(v);
+      ASSERT_EQ(wm.decode_value(re), v)
+          << "N=" << nbits << " code " << c << " bit " << bit;
+      // Field/pack round trip is bit-exact for canonical finite codes.
+      ASSERT_EQ(wm.pack(f), flipped)
+          << "N=" << nbits << " code " << c << " bit " << bit;
+    }
+  }
+}
+
+TEST_P(WideMersitFlips, FlipOfTopBitOnlyTogglesSign) {
+  const int nbits = GetParam();
+  const WideMersit wm(nbits, 2);
+  const std::uint32_t ncodes = 1u << nbits;
+  for (std::uint32_t c = 0; c < ncodes; ++c) {
+    const auto code = static_cast<std::uint16_t>(c);
+    const auto flipped = static_cast<std::uint16_t>(c ^ (1u << (nbits - 1)));
+    const WideMersit::Fields f = wm.fields(code);
+    if (f.is_zero || f.is_nar) continue;  // specials ignore the sign bit
+    EXPECT_EQ(wm.decode_value(flipped), -wm.decode_value(code)) << "code " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WordSizes, WideMersitFlips, ::testing::Values(4, 8, 12, 16),
+                         [](const auto& info) {
+                           return "N" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace mersit::core

@@ -1,0 +1,163 @@
+// FaultPlan semantics, and the campaign-critical property that an empty
+// plan leaves the simulator bit-identical — outputs *and* toggle counts —
+// to the uninstrumented simulator on the three headline MAC netlists.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/registry.h"
+#include "hw/mac.h"
+#include "rtl/sim.h"
+
+namespace mersit::fault {
+namespace {
+
+std::uint8_t random_finite_code(const formats::Format& fmt, std::mt19937& rng) {
+  for (;;) {
+    const auto code = static_cast<std::uint8_t>(rng() & 0xFF);
+    const auto cls = fmt.classify(code);
+    if (cls == formats::ValueClass::kFinite || cls == formats::ValueClass::kZero)
+      return code;
+  }
+}
+
+class EmptyPlanIdentity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EmptyPlanIdentity, BitIdenticalOutputsAndToggles) {
+  const auto fmt = core::make_format(GetParam());
+  rtl::Netlist nl;
+  const hw::MacPorts mac = hw::build_mac(nl, *fmt);
+
+  rtl::Simulator golden(nl);        // never told about faults at all
+  rtl::Simulator instrumented(nl);  // empty plan installed, then cleared+reinstalled
+  instrumented.set_fault_plan(rtl::FaultPlan{});
+  instrumented.clear_fault_plan();
+  instrumented.set_fault_plan(rtl::FaultPlan{});
+
+  std::mt19937 rng(99);
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    const std::uint8_t w = random_finite_code(*fmt, rng);
+    const std::uint8_t a = random_finite_code(*fmt, rng);
+    for (rtl::Simulator* sim : {&golden, &instrumented}) {
+      sim->set_input_bus(mac.wdec.code, w);
+      sim->set_input_bus(mac.adec.code, a);
+      sim->eval();
+    }
+    ASSERT_EQ(instrumented.get(mac.special_any), golden.get(mac.special_any))
+        << "cycle " << cycle;
+    golden.clock();
+    instrumented.clock();
+    ASSERT_EQ(instrumented.get_bus_signed(mac.acc), golden.get_bus_signed(mac.acc))
+        << "cycle " << cycle;
+    ASSERT_EQ(instrumented.total_toggles(), golden.total_toggles())
+        << "cycle " << cycle;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HeadlineMacs, EmptyPlanIdentity,
+                         ::testing::Values("FP(8,4)", "Posit(8,1)", "MERSIT(8,2)"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& ch : n)
+                             if (!std::isalnum(static_cast<unsigned char>(ch)))
+                               ch = '_';
+                           return n;
+                         });
+
+TEST(FaultPlan, StuckAtForcesGateOutput) {
+  rtl::Netlist nl;
+  const rtl::NetId a = nl.input("a");
+  const rtl::NetId b = nl.input("b");
+  const rtl::NetId y = nl.and2(a, b);
+  const rtl::NetId z = nl.inv(y);
+
+  rtl::Simulator sim(nl);
+  rtl::FaultPlan plan;
+  plan.stuck.push_back({y, true});  // AND output stuck-at-1
+  sim.set_fault_plan(plan);
+
+  sim.set_input(a, false);
+  sim.set_input(b, false);
+  sim.eval();
+  EXPECT_TRUE(sim.get(y));   // forced despite 0 AND 0
+  EXPECT_FALSE(sim.get(z));  // downstream sees the faulty level
+}
+
+TEST(FaultPlan, StuckAtForcesInputNet) {
+  rtl::Netlist nl;
+  const rtl::NetId a = nl.input("a");
+  const rtl::NetId y = nl.buf(a);
+  rtl::Simulator sim(nl);
+  rtl::FaultPlan plan;
+  plan.stuck.push_back({a, false});
+  sim.set_fault_plan(plan);
+  sim.set_input(a, true);  // driven 1, but the net is stuck at 0
+  sim.eval();
+  EXPECT_FALSE(sim.get(a));
+  EXPECT_FALSE(sim.get(y));
+}
+
+TEST(FaultPlan, TransientFlipsExactlyOneCycle) {
+  rtl::Netlist nl;
+  const rtl::NetId a = nl.input("a");
+  const rtl::NetId y = nl.buf(a);
+  const rtl::NetId q = nl.dff(y);
+
+  rtl::Simulator sim(nl);
+  rtl::FaultPlan plan;
+  plan.transients.push_back({2, y});  // SEU on the buffer output in cycle 2
+  sim.set_fault_plan(plan);
+
+  sim.set_input(a, true);
+  for (std::uint64_t cyc = 0; cyc < 5; ++cyc) {
+    ASSERT_EQ(sim.cycle(), cyc);
+    sim.eval();
+    EXPECT_EQ(sim.get(y), cyc != 2) << "cycle " << cyc;
+    sim.clock();
+    // Q latched the (possibly flipped) D of the cycle that just ended.
+    EXPECT_EQ(sim.get(q), cyc != 2) << "cycle " << cyc;
+  }
+}
+
+TEST(FaultPlan, OutOfRangeNetThrows) {
+  rtl::Netlist nl;
+  (void)nl.input("a");
+  rtl::Simulator sim(nl);
+  rtl::FaultPlan plan;
+  plan.stuck.push_back({static_cast<rtl::NetId>(nl.net_count() + 7), true});
+  EXPECT_THROW(sim.set_fault_plan(plan), std::invalid_argument);
+  rtl::FaultPlan plan2;
+  plan2.transients.push_back({0, static_cast<rtl::NetId>(nl.net_count())});
+  EXPECT_THROW(sim.set_fault_plan(plan2), std::invalid_argument);
+}
+
+TEST(FaultPlan, StuckAccumulatorBitCorruptsMacDeterministically) {
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  rtl::Netlist nl;
+  const hw::MacPorts mac = hw::build_mac(nl, *fmt);
+
+  auto run = [&](const rtl::FaultPlan& plan) {
+    rtl::Simulator sim(nl);
+    sim.set_fault_plan(plan);
+    std::mt19937 rng(5);
+    for (int i = 0; i < 16; ++i) {
+      sim.set_input_bus(mac.wdec.code, random_finite_code(*fmt, rng));
+      sim.set_input_bus(mac.adec.code, random_finite_code(*fmt, rng));
+      sim.eval();
+      sim.clock();
+    }
+    return sim.get_bus_signed(mac.acc);
+  };
+
+  rtl::FaultPlan stuck_low;
+  stuck_low.stuck.push_back({mac.acc[0], true});  // acc LSB stuck-at-1
+  const std::int64_t clean = run(rtl::FaultPlan{});
+  const std::int64_t faulty1 = run(stuck_low);
+  const std::int64_t faulty2 = run(stuck_low);
+  EXPECT_EQ(faulty1, faulty2);            // deterministic
+  EXPECT_NE(clean, faulty1);              // the defect is visible
+  EXPECT_EQ(faulty1 & 1, 1);              // and is the programmed level
+}
+
+}  // namespace
+}  // namespace mersit::fault

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace mersit::formats {
 namespace {
 
@@ -16,6 +18,7 @@ TEST(Int8, DecodesSignedIntegers) {
 TEST(Int8, SymmetricRangeExcludesMinus128) {
   const Int8Format f;
   EXPECT_EQ(f.classify(0x80), ValueClass::kNaN);
+  EXPECT_TRUE(std::isnan(f.decode_value(0x80)));
   EXPECT_EQ(f.codec().cardinality(), 127u);
   EXPECT_EQ(f.max_finite(), 127.0);
   EXPECT_EQ(f.min_positive(), 1.0);
