@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_array.dir/ablation_array.cpp.o"
+  "CMakeFiles/ablation_array.dir/ablation_array.cpp.o.d"
+  "ablation_array"
+  "ablation_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

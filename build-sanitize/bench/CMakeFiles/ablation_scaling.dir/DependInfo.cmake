@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_scaling.cpp" "bench/CMakeFiles/ablation_scaling.dir/ablation_scaling.cpp.o" "gcc" "bench/CMakeFiles/ablation_scaling.dir/ablation_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/ptq/CMakeFiles/mersit_ptq.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/core/CMakeFiles/mersit_core.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/nn/CMakeFiles/mersit_nn.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/formats/CMakeFiles/mersit_formats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

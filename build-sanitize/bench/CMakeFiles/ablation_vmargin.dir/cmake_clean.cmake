@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vmargin.dir/ablation_vmargin.cpp.o"
+  "CMakeFiles/ablation_vmargin.dir/ablation_vmargin.cpp.o.d"
+  "ablation_vmargin"
+  "ablation_vmargin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vmargin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_resilience.dir/fault_resilience.cpp.o"
+  "CMakeFiles/fault_resilience.dir/fault_resilience.cpp.o.d"
+  "fault_resilience"
+  "fault_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_mac_params.dir/fig2_mac_params.cpp.o"
+  "CMakeFiles/fig2_mac_params.dir/fig2_mac_params.cpp.o.d"
+  "fig2_mac_params"
+  "fig2_mac_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_mac_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_range_precision.dir/fig4_range_precision.cpp.o"
+  "CMakeFiles/fig4_range_precision.dir/fig4_range_precision.cpp.o.d"
+  "fig4_range_precision"
+  "fig4_range_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_range_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

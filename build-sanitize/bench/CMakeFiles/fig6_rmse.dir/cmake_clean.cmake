@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_rmse.dir/fig6_rmse.cpp.o"
+  "CMakeFiles/fig6_rmse.dir/fig6_rmse.cpp.o.d"
+  "fig6_rmse"
+  "fig6_rmse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_rmse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_rmse.
+# This may be replaced when dependencies are built.

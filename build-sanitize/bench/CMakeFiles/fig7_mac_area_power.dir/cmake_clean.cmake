@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_mac_area_power.dir/fig7_mac_area_power.cpp.o"
+  "CMakeFiles/fig7_mac_area_power.dir/fig7_mac_area_power.cpp.o.d"
+  "fig7_mac_area_power"
+  "fig7_mac_area_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mac_area_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

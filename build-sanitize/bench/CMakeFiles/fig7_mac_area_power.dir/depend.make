@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_mac_area_power.
+# This may be replaced when dependencies are built.

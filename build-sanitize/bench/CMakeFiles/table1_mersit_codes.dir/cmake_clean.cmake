@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_mersit_codes.dir/table1_mersit_codes.cpp.o"
+  "CMakeFiles/table1_mersit_codes.dir/table1_mersit_codes.cpp.o.d"
+  "table1_mersit_codes"
+  "table1_mersit_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_mersit_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_mersit_codes.
+# This may be replaced when dependencies are built.

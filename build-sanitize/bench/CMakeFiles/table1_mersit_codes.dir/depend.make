@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_mersit_codes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_multiplier_breakdown.dir/table3_multiplier_breakdown.cpp.o"
+  "CMakeFiles/table3_multiplier_breakdown.dir/table3_multiplier_breakdown.cpp.o.d"
+  "table3_multiplier_breakdown"
+  "table3_multiplier_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_multiplier_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

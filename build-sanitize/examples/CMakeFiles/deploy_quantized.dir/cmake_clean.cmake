@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_quantized.dir/deploy_quantized.cpp.o"
+  "CMakeFiles/deploy_quantized.dir/deploy_quantized.cpp.o.d"
+  "deploy_quantized"
+  "deploy_quantized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_quantized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

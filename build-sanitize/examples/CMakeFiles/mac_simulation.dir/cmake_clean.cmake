@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_simulation.dir/mac_simulation.cpp.o"
+  "CMakeFiles/mac_simulation.dir/mac_simulation.cpp.o.d"
+  "mac_simulation"
+  "mac_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptq_pipeline.dir/ptq_pipeline.cpp.o"
+  "CMakeFiles/ptq_pipeline.dir/ptq_pipeline.cpp.o.d"
+  "ptq_pipeline"
+  "ptq_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptq_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

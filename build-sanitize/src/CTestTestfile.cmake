@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-sanitize/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("formats")
+subdirs("core")
+subdirs("rtl")
+subdirs("hw")
+subdirs("nn")
+subdirs("ptq")
+subdirs("fault")

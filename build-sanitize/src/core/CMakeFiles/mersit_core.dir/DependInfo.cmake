@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/mersit.cpp" "src/core/CMakeFiles/mersit_core.dir/mersit.cpp.o" "gcc" "src/core/CMakeFiles/mersit_core.dir/mersit.cpp.o.d"
+  "/root/repo/src/core/mersit_wide.cpp" "src/core/CMakeFiles/mersit_core.dir/mersit_wide.cpp.o" "gcc" "src/core/CMakeFiles/mersit_core.dir/mersit_wide.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/mersit_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/mersit_core.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/formats/CMakeFiles/mersit_formats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

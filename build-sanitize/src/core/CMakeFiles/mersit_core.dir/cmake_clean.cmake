@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mersit_core.dir/mersit.cpp.o"
+  "CMakeFiles/mersit_core.dir/mersit.cpp.o.d"
+  "CMakeFiles/mersit_core.dir/mersit_wide.cpp.o"
+  "CMakeFiles/mersit_core.dir/mersit_wide.cpp.o.d"
+  "CMakeFiles/mersit_core.dir/registry.cpp.o"
+  "CMakeFiles/mersit_core.dir/registry.cpp.o.d"
+  "libmersit_core.a"
+  "libmersit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mersit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mersit_fault.dir/bitflip.cpp.o"
+  "CMakeFiles/mersit_fault.dir/bitflip.cpp.o.d"
+  "CMakeFiles/mersit_fault.dir/campaign.cpp.o"
+  "CMakeFiles/mersit_fault.dir/campaign.cpp.o.d"
+  "libmersit_fault.a"
+  "libmersit_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mersit_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/formats/arith.cpp" "src/formats/CMakeFiles/mersit_formats.dir/arith.cpp.o" "gcc" "src/formats/CMakeFiles/mersit_formats.dir/arith.cpp.o.d"
+  "/root/repo/src/formats/corruption.cpp" "src/formats/CMakeFiles/mersit_formats.dir/corruption.cpp.o" "gcc" "src/formats/CMakeFiles/mersit_formats.dir/corruption.cpp.o.d"
+  "/root/repo/src/formats/decoded.cpp" "src/formats/CMakeFiles/mersit_formats.dir/decoded.cpp.o" "gcc" "src/formats/CMakeFiles/mersit_formats.dir/decoded.cpp.o.d"
+  "/root/repo/src/formats/format.cpp" "src/formats/CMakeFiles/mersit_formats.dir/format.cpp.o" "gcc" "src/formats/CMakeFiles/mersit_formats.dir/format.cpp.o.d"
+  "/root/repo/src/formats/fp8.cpp" "src/formats/CMakeFiles/mersit_formats.dir/fp8.cpp.o" "gcc" "src/formats/CMakeFiles/mersit_formats.dir/fp8.cpp.o.d"
+  "/root/repo/src/formats/int8.cpp" "src/formats/CMakeFiles/mersit_formats.dir/int8.cpp.o" "gcc" "src/formats/CMakeFiles/mersit_formats.dir/int8.cpp.o.d"
+  "/root/repo/src/formats/posit.cpp" "src/formats/CMakeFiles/mersit_formats.dir/posit.cpp.o" "gcc" "src/formats/CMakeFiles/mersit_formats.dir/posit.cpp.o.d"
+  "/root/repo/src/formats/quantize.cpp" "src/formats/CMakeFiles/mersit_formats.dir/quantize.cpp.o" "gcc" "src/formats/CMakeFiles/mersit_formats.dir/quantize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mersit_formats.dir/arith.cpp.o"
+  "CMakeFiles/mersit_formats.dir/arith.cpp.o.d"
+  "CMakeFiles/mersit_formats.dir/corruption.cpp.o"
+  "CMakeFiles/mersit_formats.dir/corruption.cpp.o.d"
+  "CMakeFiles/mersit_formats.dir/decoded.cpp.o"
+  "CMakeFiles/mersit_formats.dir/decoded.cpp.o.d"
+  "CMakeFiles/mersit_formats.dir/format.cpp.o"
+  "CMakeFiles/mersit_formats.dir/format.cpp.o.d"
+  "CMakeFiles/mersit_formats.dir/fp8.cpp.o"
+  "CMakeFiles/mersit_formats.dir/fp8.cpp.o.d"
+  "CMakeFiles/mersit_formats.dir/int8.cpp.o"
+  "CMakeFiles/mersit_formats.dir/int8.cpp.o.d"
+  "CMakeFiles/mersit_formats.dir/posit.cpp.o"
+  "CMakeFiles/mersit_formats.dir/posit.cpp.o.d"
+  "CMakeFiles/mersit_formats.dir/quantize.cpp.o"
+  "CMakeFiles/mersit_formats.dir/quantize.cpp.o.d"
+  "libmersit_formats.a"
+  "libmersit_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mersit_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

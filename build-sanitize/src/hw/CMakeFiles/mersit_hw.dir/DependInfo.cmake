@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/decoder.cpp" "src/hw/CMakeFiles/mersit_hw.dir/decoder.cpp.o" "gcc" "src/hw/CMakeFiles/mersit_hw.dir/decoder.cpp.o.d"
+  "/root/repo/src/hw/dot_array.cpp" "src/hw/CMakeFiles/mersit_hw.dir/dot_array.cpp.o" "gcc" "src/hw/CMakeFiles/mersit_hw.dir/dot_array.cpp.o.d"
+  "/root/repo/src/hw/mac.cpp" "src/hw/CMakeFiles/mersit_hw.dir/mac.cpp.o" "gcc" "src/hw/CMakeFiles/mersit_hw.dir/mac.cpp.o.d"
+  "/root/repo/src/hw/power.cpp" "src/hw/CMakeFiles/mersit_hw.dir/power.cpp.o" "gcc" "src/hw/CMakeFiles/mersit_hw.dir/power.cpp.o.d"
+  "/root/repo/src/hw/reference.cpp" "src/hw/CMakeFiles/mersit_hw.dir/reference.cpp.o" "gcc" "src/hw/CMakeFiles/mersit_hw.dir/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/core/CMakeFiles/mersit_core.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/formats/CMakeFiles/mersit_formats.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/rtl/CMakeFiles/mersit_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

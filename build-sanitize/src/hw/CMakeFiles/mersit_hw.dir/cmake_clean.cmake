@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mersit_hw.dir/decoder.cpp.o"
+  "CMakeFiles/mersit_hw.dir/decoder.cpp.o.d"
+  "CMakeFiles/mersit_hw.dir/dot_array.cpp.o"
+  "CMakeFiles/mersit_hw.dir/dot_array.cpp.o.d"
+  "CMakeFiles/mersit_hw.dir/mac.cpp.o"
+  "CMakeFiles/mersit_hw.dir/mac.cpp.o.d"
+  "CMakeFiles/mersit_hw.dir/power.cpp.o"
+  "CMakeFiles/mersit_hw.dir/power.cpp.o.d"
+  "CMakeFiles/mersit_hw.dir/reference.cpp.o"
+  "CMakeFiles/mersit_hw.dir/reference.cpp.o.d"
+  "libmersit_hw.a"
+  "libmersit_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mersit_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/mersit_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/mersit_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/data.cpp" "src/nn/CMakeFiles/mersit_nn.dir/data.cpp.o" "gcc" "src/nn/CMakeFiles/mersit_nn.dir/data.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/mersit_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/mersit_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/nn/CMakeFiles/mersit_nn.dir/models.cpp.o" "gcc" "src/nn/CMakeFiles/mersit_nn.dir/models.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/mersit_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/mersit_nn.dir/tensor.cpp.o.d"
+  "/root/repo/src/nn/train.cpp" "src/nn/CMakeFiles/mersit_nn.dir/train.cpp.o" "gcc" "src/nn/CMakeFiles/mersit_nn.dir/train.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mersit_nn.dir/attention.cpp.o"
+  "CMakeFiles/mersit_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/mersit_nn.dir/data.cpp.o"
+  "CMakeFiles/mersit_nn.dir/data.cpp.o.d"
+  "CMakeFiles/mersit_nn.dir/layers.cpp.o"
+  "CMakeFiles/mersit_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/mersit_nn.dir/models.cpp.o"
+  "CMakeFiles/mersit_nn.dir/models.cpp.o.d"
+  "CMakeFiles/mersit_nn.dir/tensor.cpp.o"
+  "CMakeFiles/mersit_nn.dir/tensor.cpp.o.d"
+  "CMakeFiles/mersit_nn.dir/train.cpp.o"
+  "CMakeFiles/mersit_nn.dir/train.cpp.o.d"
+  "libmersit_nn.a"
+  "libmersit_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mersit_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ptq/ptq.cpp" "src/ptq/CMakeFiles/mersit_ptq.dir/ptq.cpp.o" "gcc" "src/ptq/CMakeFiles/mersit_ptq.dir/ptq.cpp.o.d"
+  "/root/repo/src/ptq/serialize.cpp" "src/ptq/CMakeFiles/mersit_ptq.dir/serialize.cpp.o" "gcc" "src/ptq/CMakeFiles/mersit_ptq.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/nn/CMakeFiles/mersit_nn.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/formats/CMakeFiles/mersit_formats.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/core/CMakeFiles/mersit_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

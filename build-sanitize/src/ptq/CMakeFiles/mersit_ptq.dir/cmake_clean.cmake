@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mersit_ptq.dir/ptq.cpp.o"
+  "CMakeFiles/mersit_ptq.dir/ptq.cpp.o.d"
+  "CMakeFiles/mersit_ptq.dir/serialize.cpp.o"
+  "CMakeFiles/mersit_ptq.dir/serialize.cpp.o.d"
+  "libmersit_ptq.a"
+  "libmersit_ptq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mersit_ptq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mersit_ptq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for mersit_ptq.
+# This may be replaced when dependencies are built.

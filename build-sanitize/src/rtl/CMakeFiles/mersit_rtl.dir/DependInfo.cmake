@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/cells.cpp" "src/rtl/CMakeFiles/mersit_rtl.dir/cells.cpp.o" "gcc" "src/rtl/CMakeFiles/mersit_rtl.dir/cells.cpp.o.d"
+  "/root/repo/src/rtl/components.cpp" "src/rtl/CMakeFiles/mersit_rtl.dir/components.cpp.o" "gcc" "src/rtl/CMakeFiles/mersit_rtl.dir/components.cpp.o.d"
+  "/root/repo/src/rtl/netlist.cpp" "src/rtl/CMakeFiles/mersit_rtl.dir/netlist.cpp.o" "gcc" "src/rtl/CMakeFiles/mersit_rtl.dir/netlist.cpp.o.d"
+  "/root/repo/src/rtl/sim.cpp" "src/rtl/CMakeFiles/mersit_rtl.dir/sim.cpp.o" "gcc" "src/rtl/CMakeFiles/mersit_rtl.dir/sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mersit_rtl.dir/cells.cpp.o"
+  "CMakeFiles/mersit_rtl.dir/cells.cpp.o.d"
+  "CMakeFiles/mersit_rtl.dir/components.cpp.o"
+  "CMakeFiles/mersit_rtl.dir/components.cpp.o.d"
+  "CMakeFiles/mersit_rtl.dir/netlist.cpp.o"
+  "CMakeFiles/mersit_rtl.dir/netlist.cpp.o.d"
+  "CMakeFiles/mersit_rtl.dir/sim.cpp.o"
+  "CMakeFiles/mersit_rtl.dir/sim.cpp.o.d"
+  "libmersit_rtl.a"
+  "libmersit_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mersit_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

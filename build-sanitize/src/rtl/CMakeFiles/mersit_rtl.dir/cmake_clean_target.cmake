@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmersit_rtl.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/formats/test_arith.cpp" "tests/CMakeFiles/test_formats.dir/formats/test_arith.cpp.o" "gcc" "tests/CMakeFiles/test_formats.dir/formats/test_arith.cpp.o.d"
+  "/root/repo/tests/formats/test_codec_properties.cpp" "tests/CMakeFiles/test_formats.dir/formats/test_codec_properties.cpp.o" "gcc" "tests/CMakeFiles/test_formats.dir/formats/test_codec_properties.cpp.o.d"
+  "/root/repo/tests/formats/test_decode_contract.cpp" "tests/CMakeFiles/test_formats.dir/formats/test_decode_contract.cpp.o" "gcc" "tests/CMakeFiles/test_formats.dir/formats/test_decode_contract.cpp.o.d"
+  "/root/repo/tests/formats/test_decoded.cpp" "tests/CMakeFiles/test_formats.dir/formats/test_decoded.cpp.o" "gcc" "tests/CMakeFiles/test_formats.dir/formats/test_decoded.cpp.o.d"
+  "/root/repo/tests/formats/test_error_bounds.cpp" "tests/CMakeFiles/test_formats.dir/formats/test_error_bounds.cpp.o" "gcc" "tests/CMakeFiles/test_formats.dir/formats/test_error_bounds.cpp.o.d"
+  "/root/repo/tests/formats/test_fp8.cpp" "tests/CMakeFiles/test_formats.dir/formats/test_fp8.cpp.o" "gcc" "tests/CMakeFiles/test_formats.dir/formats/test_fp8.cpp.o.d"
+  "/root/repo/tests/formats/test_int8.cpp" "tests/CMakeFiles/test_formats.dir/formats/test_int8.cpp.o" "gcc" "tests/CMakeFiles/test_formats.dir/formats/test_int8.cpp.o.d"
+  "/root/repo/tests/formats/test_posit.cpp" "tests/CMakeFiles/test_formats.dir/formats/test_posit.cpp.o" "gcc" "tests/CMakeFiles/test_formats.dir/formats/test_posit.cpp.o.d"
+  "/root/repo/tests/formats/test_quantize.cpp" "tests/CMakeFiles/test_formats.dir/formats/test_quantize.cpp.o" "gcc" "tests/CMakeFiles/test_formats.dir/formats/test_quantize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/core/CMakeFiles/mersit_core.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/formats/CMakeFiles/mersit_formats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_formats.dir/formats/test_arith.cpp.o"
+  "CMakeFiles/test_formats.dir/formats/test_arith.cpp.o.d"
+  "CMakeFiles/test_formats.dir/formats/test_codec_properties.cpp.o"
+  "CMakeFiles/test_formats.dir/formats/test_codec_properties.cpp.o.d"
+  "CMakeFiles/test_formats.dir/formats/test_decode_contract.cpp.o"
+  "CMakeFiles/test_formats.dir/formats/test_decode_contract.cpp.o.d"
+  "CMakeFiles/test_formats.dir/formats/test_decoded.cpp.o"
+  "CMakeFiles/test_formats.dir/formats/test_decoded.cpp.o.d"
+  "CMakeFiles/test_formats.dir/formats/test_error_bounds.cpp.o"
+  "CMakeFiles/test_formats.dir/formats/test_error_bounds.cpp.o.d"
+  "CMakeFiles/test_formats.dir/formats/test_fp8.cpp.o"
+  "CMakeFiles/test_formats.dir/formats/test_fp8.cpp.o.d"
+  "CMakeFiles/test_formats.dir/formats/test_int8.cpp.o"
+  "CMakeFiles/test_formats.dir/formats/test_int8.cpp.o.d"
+  "CMakeFiles/test_formats.dir/formats/test_posit.cpp.o"
+  "CMakeFiles/test_formats.dir/formats/test_posit.cpp.o.d"
+  "CMakeFiles/test_formats.dir/formats/test_quantize.cpp.o"
+  "CMakeFiles/test_formats.dir/formats/test_quantize.cpp.o.d"
+  "test_formats"
+  "test_formats.pdb"
+  "test_formats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/test_decoder.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_decoder.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_decoder.cpp.o.d"
+  "/root/repo/tests/hw/test_depth_dot.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_depth_dot.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_depth_dot.cpp.o.d"
+  "/root/repo/tests/hw/test_dot_array.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_dot_array.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_dot_array.cpp.o.d"
+  "/root/repo/tests/hw/test_mac.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_mac.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_mac.cpp.o.d"
+  "/root/repo/tests/hw/test_power.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_power.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/hw/CMakeFiles/mersit_hw.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/core/CMakeFiles/mersit_core.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/formats/CMakeFiles/mersit_formats.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/rtl/CMakeFiles/mersit_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/hw/test_decoder.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_decoder.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_depth_dot.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_depth_dot.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_dot_array.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_dot_array.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_mac.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_mac.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_power.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_power.cpp.o.d"
+  "test_hw"
+  "test_hw.pdb"
+  "test_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

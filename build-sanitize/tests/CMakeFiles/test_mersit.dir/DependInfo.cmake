@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_mersit_decode.cpp" "tests/CMakeFiles/test_mersit.dir/core/test_mersit_decode.cpp.o" "gcc" "tests/CMakeFiles/test_mersit.dir/core/test_mersit_decode.cpp.o.d"
+  "/root/repo/tests/core/test_mersit_encode.cpp" "tests/CMakeFiles/test_mersit.dir/core/test_mersit_encode.cpp.o" "gcc" "tests/CMakeFiles/test_mersit.dir/core/test_mersit_encode.cpp.o.d"
+  "/root/repo/tests/core/test_mersit_table1.cpp" "tests/CMakeFiles/test_mersit.dir/core/test_mersit_table1.cpp.o" "gcc" "tests/CMakeFiles/test_mersit.dir/core/test_mersit_table1.cpp.o.d"
+  "/root/repo/tests/core/test_mersit_wide.cpp" "tests/CMakeFiles/test_mersit.dir/core/test_mersit_wide.cpp.o" "gcc" "tests/CMakeFiles/test_mersit.dir/core/test_mersit_wide.cpp.o.d"
+  "/root/repo/tests/core/test_mersit_wide_faults.cpp" "tests/CMakeFiles/test_mersit.dir/core/test_mersit_wide_faults.cpp.o" "gcc" "tests/CMakeFiles/test_mersit.dir/core/test_mersit_wide_faults.cpp.o.d"
+  "/root/repo/tests/core/test_registry.cpp" "tests/CMakeFiles/test_mersit.dir/core/test_registry.cpp.o" "gcc" "tests/CMakeFiles/test_mersit.dir/core/test_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/core/CMakeFiles/mersit_core.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/formats/CMakeFiles/mersit_formats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

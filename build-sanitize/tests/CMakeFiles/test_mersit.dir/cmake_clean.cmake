@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mersit.dir/core/test_mersit_decode.cpp.o"
+  "CMakeFiles/test_mersit.dir/core/test_mersit_decode.cpp.o.d"
+  "CMakeFiles/test_mersit.dir/core/test_mersit_encode.cpp.o"
+  "CMakeFiles/test_mersit.dir/core/test_mersit_encode.cpp.o.d"
+  "CMakeFiles/test_mersit.dir/core/test_mersit_table1.cpp.o"
+  "CMakeFiles/test_mersit.dir/core/test_mersit_table1.cpp.o.d"
+  "CMakeFiles/test_mersit.dir/core/test_mersit_wide.cpp.o"
+  "CMakeFiles/test_mersit.dir/core/test_mersit_wide.cpp.o.d"
+  "CMakeFiles/test_mersit.dir/core/test_mersit_wide_faults.cpp.o"
+  "CMakeFiles/test_mersit.dir/core/test_mersit_wide_faults.cpp.o.d"
+  "CMakeFiles/test_mersit.dir/core/test_registry.cpp.o"
+  "CMakeFiles/test_mersit.dir/core/test_registry.cpp.o.d"
+  "test_mersit"
+  "test_mersit.pdb"
+  "test_mersit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mersit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

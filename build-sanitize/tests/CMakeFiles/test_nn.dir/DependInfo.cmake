@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/test_attention.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_attention.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_attention.cpp.o.d"
+  "/root/repo/tests/nn/test_data_models.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_data_models.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_data_models.cpp.o.d"
+  "/root/repo/tests/nn/test_layers.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_layers.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_layers.cpp.o.d"
+  "/root/repo/tests/nn/test_quant_hooks.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_quant_hooks.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_quant_hooks.cpp.o.d"
+  "/root/repo/tests/nn/test_train.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_train.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_train.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/nn/CMakeFiles/mersit_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/test_attention.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_attention.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_data_models.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_data_models.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_layers.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_layers.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_quant_hooks.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_quant_hooks.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_train.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_train.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ptq.dir/ptq/test_ptq.cpp.o"
+  "CMakeFiles/test_ptq.dir/ptq/test_ptq.cpp.o.d"
+  "CMakeFiles/test_ptq.dir/ptq/test_serialize.cpp.o"
+  "CMakeFiles/test_ptq.dir/ptq/test_serialize.cpp.o.d"
+  "CMakeFiles/test_ptq.dir/ptq/test_serialize_fuzz.cpp.o"
+  "CMakeFiles/test_ptq.dir/ptq/test_serialize_fuzz.cpp.o.d"
+  "test_ptq"
+  "test_ptq.pdb"
+  "test_ptq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ptq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rtl/test_cells.cpp" "tests/CMakeFiles/test_rtl.dir/rtl/test_cells.cpp.o" "gcc" "tests/CMakeFiles/test_rtl.dir/rtl/test_cells.cpp.o.d"
+  "/root/repo/tests/rtl/test_components.cpp" "tests/CMakeFiles/test_rtl.dir/rtl/test_components.cpp.o" "gcc" "tests/CMakeFiles/test_rtl.dir/rtl/test_components.cpp.o.d"
+  "/root/repo/tests/rtl/test_netlist.cpp" "tests/CMakeFiles/test_rtl.dir/rtl/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/test_rtl.dir/rtl/test_netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/rtl/CMakeFiles/mersit_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl.dir/rtl/test_cells.cpp.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_cells.cpp.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/test_components.cpp.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_components.cpp.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/test_netlist.cpp.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_netlist.cpp.o.d"
+  "test_rtl"
+  "test_rtl.pdb"
+  "test_rtl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-sanitize/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-sanitize/tests/test_formats[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_rtl[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_hw[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_nn[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_ptq[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_fault[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_mersit[1]_include.cmake")
