@@ -1,12 +1,25 @@
-// google-benchmark microbenchmarks: codec encode/decode throughput and
-// gate-level MAC simulation rate.
+// google-benchmark microbenchmarks: codec encode/decode throughput, the
+// scalar-vs-kernel batch quantization comparison, and gate-level MAC
+// simulation rate.
+//
+// Extra flag: --codec_json=PATH writes a machine-readable speedup report
+// (one JSON object with per-format scalar/kernel throughput and the
+// single-thread speedup) before the google-benchmark run — the bench
+// trajectory and EXPERIMENTS.md consume it.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <random>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "core/mersit.h"
 #include "core/registry.h"
+#include "formats/kernels/kernel_cache.h"
 #include "formats/quantize.h"
 #include "hw/mac.h"
 #include "hw/reference.h"
@@ -51,19 +64,135 @@ void BM_DecodeMersit(benchmark::State& state) {
   }
 }
 
-void BM_QuantizeBuffer(benchmark::State& state, const char* name) {
-  const auto fmt = core::make_format(name);
-  (void)fmt->codec();
-  std::vector<float> buf(static_cast<std::size_t>(state.range(0)));
-  std::mt19937 rng(3);
+std::vector<float> random_floats(std::size_t n, unsigned seed = 3) {
+  std::vector<float> buf(n);
+  std::mt19937 rng(seed);
   std::normal_distribution<float> dist(0.f, 1.f);
   for (auto& v : buf) v = dist(rng);
+  return buf;
+}
+
+/// The scale a PTQ run would use for this buffer (paper-default policy), so
+/// the quantize benchmarks exercise the format's whole value range instead
+/// of the degenerate all-underflow corner.
+double ptq_scale(const formats::Format& fmt, const std::vector<float>& buf) {
+  float mx = 0.f;
+  for (const float v : buf) mx = std::max(mx, std::fabs(v));
+  return formats::scale_for_absmax(fmt, mx, formats::ScalePolicy::kMaxToUnity);
+}
+
+void BM_QuantizeBufferScalar(benchmark::State& state, const char* name) {
+  const auto fmt = core::make_format(name);
+  (void)fmt->codec();  // build tables outside the loop
+  const std::vector<float> buf =
+      random_floats(static_cast<std::size_t>(state.range(0)));
+  const double scale = ptq_scale(*fmt, buf);
   for (auto _ : state) {
     std::vector<float> copy = buf;
-    formats::fake_quantize(copy, *fmt, 1.0);
+    formats::fake_quantize_scalar(copy, *fmt, scale);
     benchmark::DoNotOptimize(copy.data());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_QuantizeBufferKernel(benchmark::State& state, const char* name) {
+  const auto fmt = core::make_format(name);
+  (void)formats::kernels::kernel_for(*fmt);  // build LUTs outside the loop
+  const std::vector<float> buf =
+      random_floats(static_cast<std::size_t>(state.range(0)));
+  const double scale = ptq_scale(*fmt, buf);
+  for (auto _ : state) {
+    std::vector<float> copy = buf;
+    formats::fake_quantize(copy, *fmt, scale);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+// ------------------------------------------------- speedup report (JSON) --
+
+struct CodecTiming {
+  std::string format;
+  double scalar_ns_per_elem = 0.0;
+  double kernel_ns_per_elem = 0.0;
+  [[nodiscard]] double speedup() const {
+    return kernel_ns_per_elem > 0.0 ? scalar_ns_per_elem / kernel_ns_per_elem
+                                    : 0.0;
+  }
+};
+
+/// Wall-time one fake_quantize variant over repeated passes of `buf`,
+/// working through an L1-resident scratch chunk so the unavoidable
+/// refresh-copy (fake_quantize is in-place) stays off the measurement.
+template <typename Fn>
+double time_ns_per_elem(const std::vector<float>& buf, int passes, Fn&& fn) {
+  constexpr std::size_t kChunk = 4096;
+  std::vector<float> scratch(kChunk);
+  const auto pass = [&](bool timed, double& ns) {
+    for (std::size_t at = 0; at < buf.size(); at += kChunk) {
+      const std::size_t n = std::min(kChunk, buf.size() - at);
+      std::copy_n(buf.data() + at, n, scratch.data());
+      const auto t0 = std::chrono::steady_clock::now();
+      fn(std::span<float>(scratch.data(), n));
+      const auto t1 = std::chrono::steady_clock::now();
+      if (timed)
+        ns += static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count());
+    }
+  };
+  double ns = 0.0;
+  pass(/*timed=*/false, ns);  // warm-up (tables, caches, page faults)
+  for (int p = 0; p < passes; ++p) pass(/*timed=*/true, ns);
+  return ns / (static_cast<double>(passes) * static_cast<double>(buf.size()));
+}
+
+/// Measure every registered format and write the JSON report.
+int write_codec_json(const char* path) {
+  constexpr std::size_t kElems = 1 << 16;
+  constexpr int kPasses = 24;
+  const std::vector<float> buf = random_floats(kElems);
+  std::vector<CodecTiming> rows;
+  for (const std::string& name : core::all_format_names()) {
+    const auto fmt = core::make_format(name);
+    (void)fmt->codec();
+    (void)formats::kernels::kernel_for(*fmt);
+    const double scale = ptq_scale(*fmt, buf);
+    CodecTiming t;
+    t.format = name;
+    t.scalar_ns_per_elem =
+        time_ns_per_elem(buf, kPasses, [&](std::span<float> c) {
+          formats::fake_quantize_scalar(c, *fmt, scale);
+        });
+    t.kernel_ns_per_elem =
+        time_ns_per_elem(buf, kPasses, [&](std::span<float> c) {
+          formats::fake_quantize(c, *fmt, scale);
+        });
+    rows.push_back(t);
+  }
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "micro_codecs: cannot open %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_codecs/fake_quantize\",\n");
+  std::fprintf(f, "  \"elements\": %zu,\n  \"formats\": [\n", kElems);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const CodecTiming& t = rows[i];
+    std::fprintf(f,
+                 "    {\"format\": \"%s\", \"scalar_ns_per_elem\": %.3f, "
+                 "\"kernel_ns_per_elem\": %.3f, \"speedup\": %.2f}%s\n",
+                 t.format.c_str(), t.scalar_ns_per_elem, t.kernel_ns_per_elem,
+                 t.speedup(), i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("%-16s %14s %14s %9s\n", "format", "scalar ns/elem",
+              "kernel ns/elem", "speedup");
+  for (const CodecTiming& t : rows)
+    std::printf("%-16s %14.2f %14.2f %8.1fx\n", t.format.c_str(),
+                t.scalar_ns_per_elem, t.kernel_ns_per_elem, t.speedup());
+  return 0;
 }
 
 void BM_MacNetlistCycle(benchmark::State& state, const char* name) {
@@ -100,11 +229,33 @@ BENCHMARK_CAPTURE(BM_EncodeTable, fp84, "FP(8,4)");
 BENCHMARK_CAPTURE(BM_EncodeTable, int8, "INT8");
 BENCHMARK(BM_EncodeDirectMersit);
 BENCHMARK(BM_DecodeMersit);
-BENCHMARK_CAPTURE(BM_QuantizeBuffer, mersit82, "MERSIT(8,2)")->Arg(4096);
-BENCHMARK_CAPTURE(BM_QuantizeBuffer, fp84, "FP(8,4)")->Arg(4096);
+BENCHMARK_CAPTURE(BM_QuantizeBufferScalar, mersit82, "MERSIT(8,2)")->Arg(4096);
+BENCHMARK_CAPTURE(BM_QuantizeBufferScalar, posit81, "Posit(8,1)")->Arg(4096);
+BENCHMARK_CAPTURE(BM_QuantizeBufferScalar, fp84, "FP(8,4)")->Arg(4096);
+BENCHMARK_CAPTURE(BM_QuantizeBufferScalar, int8, "INT8")->Arg(4096);
+BENCHMARK_CAPTURE(BM_QuantizeBufferKernel, mersit82, "MERSIT(8,2)")->Arg(4096);
+BENCHMARK_CAPTURE(BM_QuantizeBufferKernel, posit81, "Posit(8,1)")->Arg(4096);
+BENCHMARK_CAPTURE(BM_QuantizeBufferKernel, fp84, "FP(8,4)")->Arg(4096);
+BENCHMARK_CAPTURE(BM_QuantizeBufferKernel, int8, "INT8")->Arg(4096);
 BENCHMARK_CAPTURE(BM_MacNetlistCycle, mersit82, "MERSIT(8,2)");
 BENCHMARK_CAPTURE(BM_MacNetlistCycle, posit81, "Posit(8,1)");
 BENCHMARK_CAPTURE(BM_MacNetlistCycle, fp84, "FP(8,4)");
 BENCHMARK(BM_MacReference);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--codec_json=", 13) == 0) {
+      const int rc = write_codec_json(argv[i] + 13);
+      if (rc != 0) return rc;
+      // Strip the custom flag so google-benchmark doesn't reject it.
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# CI entry point: run the tier-1 verify twice — a default (Release) build,
-# then an Address+UB-sanitized build (MERSIT_SANITIZE=ON) so memory and UB
-# bugs surface on the same test suite (including the serialization fuzz
-# tests and fault campaigns).
+# CI entry point: run the tier-1 verify three ways — a default (Release)
+# build, an Address+UB-sanitized build (MERSIT_SANITIZE=ON) over the full
+# suite (including the serialization fuzz tests and fault campaigns), and a
+# ThreadSanitizer build (MERSIT_SANITIZE=thread) over the concurrency suites
+# (codec lazy init, kernel cache, thread pool, parallel PTQ).  Finally,
+# guard against build artifacts leaking into the work tree.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -23,4 +25,31 @@ run_suite() {
 run_suite build
 run_suite build-sanitize -DMERSIT_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
-echo "==> CI OK (default + sanitized)"
+# TSan stage: rebuild and run only the concurrency-sensitive suites (a full
+# TSan run of the training-heavy tests would dominate CI time).  Force a
+# multi-thread pool so parallel paths actually interleave on 1-core runners.
+echo "==> configure build-tsan (MERSIT_SANITIZE=thread)"
+cmake -B build-tsan -S . -DMERSIT_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+echo "==> build build-tsan"
+cmake --build build-tsan -j "${JOBS}" --target test_formats test_mersit test_ptq
+echo "==> ctest build-tsan (concurrency suites)"
+MERSIT_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+  -R '^(CodecInit|KernelCache|KernelEquivalence|ThreadPool|ParallelPtq)\.'
+
+# Committed build trees have bitten this repo before (a stale build-sanitize/
+# was checked in); fail if any build artifact is tracked by git or shows up
+# untracked (i.e. not covered by .gitignore).
+ARTIFACTS="$(git ls-files | grep -E '^build|\.o$|\.a$' || true)"
+if [[ -n "${ARTIFACTS}" ]]; then
+  echo "==> CI FAIL: build artifacts are tracked by git:" >&2
+  echo "${ARTIFACTS}" >&2
+  exit 1
+fi
+UNIGNORED="$(git status --porcelain | grep -E '^\?\? (build|.*\.(o|a)$)' || true)"
+if [[ -n "${UNIGNORED}" ]]; then
+  echo "==> CI FAIL: build artifacts not covered by .gitignore:" >&2
+  echo "${UNIGNORED}" >&2
+  exit 1
+fi
+
+echo "==> CI OK (default + ASan/UBSan + TSan + artifact guard)"

@@ -1,0 +1,186 @@
+// Minimal blocking fork-join thread pool for the PTQ / benchmark hot loops.
+//
+// Design constraints, in order:
+//  * deterministic work assignment — parallel_chunks always splits [0, n)
+//    into the same contiguous ranges for a given pool size, so parallel
+//    reductions that combine per-chunk partials in chunk order reproduce
+//    bit-identical results run to run;
+//  * safe nesting — a parallel_for issued from inside a worker (or from
+//    inside another parallel_for on the calling thread) runs inline in the
+//    caller, so coarse-grained outer loops (e.g. the Table-2 model rows)
+//    compose with the fine-grained inner loops (per-channel weight
+//    quantization) without oversubscription or deadlock;
+//  * header-only with no project dependencies, so any layer (nn, ptq,
+//    bench) can use it without a link edge onto mersit_core.
+//
+// Sizing: MERSIT_THREADS in the environment pins the global pool width;
+// unset or invalid falls back to std::thread::hardware_concurrency().
+// A width of 1 spawns no threads at all — every parallel_* call runs
+// inline, which keeps single-core containers and TSan traces simple.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mersit::core {
+
+class ThreadPool {
+ public:
+  /// MERSIT_THREADS if set to a positive integer, else hardware concurrency.
+  [[nodiscard]] static int default_thread_count() {
+    if (const char* env = std::getenv("MERSIT_THREADS")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && v >= 1 && v <= 1024) return static_cast<int>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+
+  explicit ThreadPool(int threads = default_thread_count()) {
+    const int extra = std::max(1, threads) - 1;  // the caller is worker #0
+    workers_.reserve(static_cast<std::size_t>(extra));
+    for (int i = 0; i < extra; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  /// Total workers including the calling thread.
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Split [0, n) into at most size() contiguous chunks and run
+  /// fn(begin, end) on each; blocks until every chunk finished.  The first
+  /// exception thrown by any chunk is rethrown on the caller.  Nested calls
+  /// (from a worker or from inside another parallel region on this thread)
+  /// execute fn(0, n) inline.
+  void parallel_chunks(std::size_t n,
+                       const std::function<void(std::size_t, std::size_t)>& fn) {
+    if (n == 0) return;
+    if (in_parallel_region() || workers_.empty() || n == 1) {
+      const RegionGuard guard;
+      fn(0, n);
+      return;
+    }
+    const std::size_t parts = std::min(n, static_cast<std::size_t>(size()));
+    Batch batch;
+    batch.fn = &fn;
+    batch.remaining = static_cast<int>(parts) - 1;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      for (std::size_t i = 1; i < parts; ++i)
+        queue_.push_back({&batch, i * n / parts, (i + 1) * n / parts});
+    }
+    cv_.notify_all();
+    {
+      const RegionGuard guard;
+      try {
+        fn(0, n / parts);
+      } catch (...) {
+        batch.capture(std::current_exception());
+      }
+    }
+    std::unique_lock<std::mutex> lock(batch.mu);
+    batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
+    if (batch.error) std::rethrow_exception(batch.error);
+  }
+
+  /// parallel_chunks with a per-index body.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    parallel_chunks(n, [&fn](std::size_t begin, std::size_t end) {
+      for (; begin < end; ++begin) fn(begin);
+    });
+  }
+
+ private:
+  struct Batch {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable done;
+    int remaining = 0;
+    std::exception_ptr error;
+
+    void capture(std::exception_ptr e) {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (!error) error = std::move(e);
+    }
+  };
+
+  struct Task {
+    Batch* batch = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  /// Thread-local nesting flag (per thread, shared by every pool — nesting
+  /// across two distinct pools still runs inline, which is the safe choice).
+  [[nodiscard]] static bool& in_parallel_region() {
+    thread_local bool in_region = false;
+    return in_region;
+  }
+
+  /// Restores (not clears) the previous value, so a second nested call
+  /// issued after an inner region ended still sees itself as nested.
+  struct RegionGuard {
+    bool prev = in_parallel_region();
+    RegionGuard() { in_parallel_region() = true; }
+    ~RegionGuard() { in_parallel_region() = prev; }
+  };
+
+  void worker_loop() {
+    for (;;) {
+      Task task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (stop_ && queue_.empty()) return;
+        task = queue_.front();
+        queue_.pop_front();
+      }
+      {
+        const RegionGuard guard;
+        try {
+          (*task.batch->fn)(task.begin, task.end);
+        } catch (...) {
+          task.batch->capture(std::current_exception());
+        }
+      }
+      {
+        const std::lock_guard<std::mutex> lock(task.batch->mu);
+        --task.batch->remaining;
+      }
+      task.batch->done.notify_one();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool sized by MERSIT_THREADS (see default_thread_count()).
+inline ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace mersit::core

@@ -11,7 +11,9 @@ namespace mersit::formats {
 Format::~Format() = default;
 
 const TableCodec& Format::codec() const {
-  if (!codec_) codec_ = std::make_unique<TableCodec>(*this, underflows_to_zero());
+  std::call_once(codec_once_, [this] {
+    codec_ = std::make_unique<TableCodec>(*this, underflows_to_zero());
+  });
   return *codec_;
 }
 

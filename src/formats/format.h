@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -67,7 +68,10 @@ class Format {
   /// (IEEE-style); false for Posit-family no-underflow semantics.
   [[nodiscard]] virtual bool underflows_to_zero() const = 0;
 
-  /// The shared encode/decode table (built lazily, cached).
+  /// The shared encode/decode table (built lazily on first use, cached).
+  /// Thread-safe: concurrent first calls from multiple threads build the
+  /// table exactly once (std::call_once), so a freshly constructed format
+  /// may be handed straight to a worker pool.
   [[nodiscard]] const TableCodec& codec() const;
 
   /// Encode with round-to-nearest-even, saturating to the largest finite
@@ -93,7 +97,8 @@ class Format {
   Format() = default;
 
  private:
-  mutable std::unique_ptr<TableCodec> codec_;  // lazily built
+  mutable std::once_flag codec_once_;
+  mutable std::unique_ptr<TableCodec> codec_;  // built under codec_once_
 };
 
 /// Formats that decode into the exponent/fraction normal form.
@@ -133,6 +138,11 @@ class TableCodec {
   [[nodiscard]] double max_finite() const { return positives_.back().value; }
   [[nodiscard]] double min_positive() const { return positives_.front().value; }
   [[nodiscard]] std::uint8_t zero_code() const { return zero_code_; }
+
+  /// Code of the equal-magnitude opposite-sign value (identity for codes
+  /// outside the finite-positive set).  Exposed so the batch kernels
+  /// (formats/kernels) can reuse the sign-symmetry mapping.
+  [[nodiscard]] std::uint8_t negate(std::uint8_t code) const { return negate_[code]; }
 
   /// All finite positive values, ascending.
   [[nodiscard]] const std::vector<Entry>& positives() const { return positives_; }

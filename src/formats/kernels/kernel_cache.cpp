@@ -1,0 +1,48 @@
+#include "formats/kernels/kernel_cache.h"
+
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace mersit::formats::kernels {
+
+namespace {
+
+struct Cache {
+  std::shared_mutex mu;
+  std::unordered_map<std::string, std::shared_ptr<const QuantKernel>> by_name;
+};
+
+Cache& cache() {
+  static Cache c;
+  return c;
+}
+
+}  // namespace
+
+std::shared_ptr<const QuantKernel> kernel_for(const Format& fmt) {
+  Cache& c = cache();
+  const std::string name = fmt.name();
+  {
+    const std::shared_lock<std::shared_mutex> lock(c.mu);
+    const auto it = c.by_name.find(name);
+    if (it != c.by_name.end()) return it->second;
+  }
+  // Build outside the lock: table construction is milliseconds and must not
+  // serialize readers.  Two racing builders are harmless — first insert wins.
+  auto built = std::make_shared<const QuantKernel>(fmt);
+  const std::unique_lock<std::shared_mutex> lock(c.mu);
+  const auto [it, inserted] = c.by_name.emplace(name, std::move(built));
+  (void)inserted;
+  return it->second;
+}
+
+void clear_kernel_cache() {
+  Cache& c = cache();
+  const std::unique_lock<std::shared_mutex> lock(c.mu);
+  c.by_name.clear();
+}
+
+}  // namespace mersit::formats::kernels

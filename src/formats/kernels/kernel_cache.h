@@ -1,0 +1,23 @@
+// Process-wide, thread-safe cache of QuantKernels.
+//
+// make_format() hands out a fresh Format instance per call, so keying on the
+// object address would rebuild tables constantly; the format name fully
+// determines the value set, so the cache keys on name().  Lookup is a shared
+// (reader) lock on the hot path; a miss builds the kernel outside any lock
+// and the first finished build wins.
+#pragma once
+
+#include <memory>
+
+#include "formats/kernels/quant_kernel.h"
+
+namespace mersit::formats::kernels {
+
+/// The cached kernel for `fmt` (building and inserting it on first use).
+/// Safe to call concurrently from any thread.
+[[nodiscard]] std::shared_ptr<const QuantKernel> kernel_for(const Format& fmt);
+
+/// Drop every cached kernel (test isolation / memory reclamation).
+void clear_kernel_cache();
+
+}  // namespace mersit::formats::kernels

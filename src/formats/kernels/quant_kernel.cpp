@@ -1,0 +1,129 @@
+#include "formats/kernels/quant_kernel.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mersit::formats::kernels {
+
+QuantKernel::QuantKernel(const Format& fmt) : name_(fmt.name()) {
+  const TableCodec& codec = fmt.codec();
+  underflows_to_zero_ = fmt.underflows_to_zero();
+  zero_code_ = codec.zero_code();
+  for (int c = 0; c < 256; ++c) {
+    values_[c] = codec.decode(static_cast<std::uint8_t>(c));
+    negate_[c] = codec.negate(static_cast<std::uint8_t>(c));
+  }
+
+  const std::vector<TableCodec::Entry>& pos = codec.positives();
+  const std::size_t n = pos.size();
+  pos_value_.resize(n);
+  pos_code_.resize(n);
+  mid_.resize(n + 1);
+  cand_code_.resize(n + 1);
+  cand_value_.resize(n + 1);
+  cand_code_[0] = zero_code_;
+  cand_value_[0] = values_[zero_code_];
+  for (std::size_t i = 0; i < n; ++i) {
+    pos_value_[i] = pos[i].value;
+    pos_code_[i] = pos[i].code;
+    cand_code_[i + 1] = pos[i].code;
+    cand_value_[i + 1] = values_[pos[i].code];
+    // Same expression the scalar reference evaluates per element, so an
+    // exact midpoint compares identically here.
+    if (i > 0) mid_[i] = 0.5 * (pos_value_[i - 1] + pos_value_[i]);
+  }
+
+  min_pos_ = pos_value_.front();
+  max_finite_ = pos_value_.back();
+  min_code_ = pos_code_.front();
+  max_code_ = pos_code_.back();
+  underflow_half_ = min_pos_ * 0.5;
+  under_tie_code_ = (min_code_ & 1u) == 0 ? min_code_ : zero_code_;
+  zero_value_ = values_[zero_code_];
+  // Sentinel boundaries: below the smallest value, the RNE underflow
+  // threshold when small magnitudes round to zero, or unreachable (-1 <
+  // every magnitude) when the format clamps up to min_pos_ (posit
+  // semantics); above the largest value, NaN (compares false), so the pick
+  // arithmetic saturates at the max code for any x from max_finite_ to +inf.
+  mid_[0] = underflows_to_zero_ ? underflow_half_ : -1.0;
+  mid_[n] = std::numeric_limits<double>::quiet_NaN();
+
+  // quantize_value's integer sign restore assumes that, for every code the
+  // encode path can emit (the candidate slots: zero code + positive codes),
+  // the negate table is an exact bitwise sign flip for nonzero values and
+  // the identity for zero codes; verify rather than assume, since every
+  // batch path rides on it.  (Unreachable codes — e.g. INT8's -128, whose
+  // negation saturates — are allowed to break the symmetry.)
+  for (const std::uint8_t c : cand_code_) {
+    const double v = values_[c];
+    const double nv = values_[negate_[c]];
+    const bool ok =
+        v == 0.0
+            ? std::bit_cast<std::uint64_t>(nv) == std::bit_cast<std::uint64_t>(v)
+            : std::bit_cast<std::uint64_t>(nv) ==
+                  (std::bit_cast<std::uint64_t>(v) ^ (1ull << 63));
+    if (!ok)
+      throw std::logic_error("QuantKernel: negate table of " + name_ +
+                             " is not an exact sign flip");
+  }
+
+  // Bucket LUT.  Positive finite doubles order like their bit patterns, so
+  // bucket k covers the value interval [key_to_double(k), key_to_double(k+1))
+  // and maps to the first positive value >= its start.  Start at shift 46
+  // (64 buckets per octave) and refine until every bucket holds at most one
+  // representable value, so at most the two boundaries mid_[lo] and
+  // mid_[lo+1] can fall inside it — the precondition for encode_magnitude's
+  // branch-free two-compare pick.
+  for (shift_ = 46; shift_ >= 38; --shift_) {
+    const auto key_of = [this](double v) {
+      return std::bit_cast<std::uint64_t>(v) >> shift_;
+    };
+    const auto bucket_start = [this](std::uint64_t key) {
+      return std::bit_cast<double>(key << shift_);
+    };
+    key_base_ = key_of(min_pos_);
+    const std::uint64_t key_max = key_of(max_finite_);
+    const std::size_t buckets =
+        static_cast<std::size_t>(key_max - key_base_) + 1;
+    key_top_ = buckets - 1;
+    bucket_.assign(buckets, 0);
+    std::size_t max_span = 0;
+    for (std::size_t k = 0; k < buckets; ++k) {
+      const double start = bucket_start(key_base_ + k);
+      const double next = bucket_start(key_base_ + k + 1);  // +inf past top
+      const auto first =
+          std::lower_bound(pos_value_.begin(), pos_value_.end(), start);
+      const auto last = std::lower_bound(first, pos_value_.end(), next);
+      max_span = std::max(max_span, static_cast<std::size_t>(last - first));
+      bucket_[k] = static_cast<std::uint16_t>(first - pos_value_.begin());
+    }
+    if (max_span <= 1) return;
+  }
+  throw std::logic_error("QuantKernel: bucket refinement failed for " + name_);
+}
+
+void QuantKernel::fake_quantize(std::span<float> data, double scale) const {
+  const double inv = 1.0 / scale;
+  for (float& v : data) {
+    const double q = quantize_value(static_cast<double>(v) * inv);
+    v = static_cast<float>(q * scale);
+  }
+}
+
+double QuantKernel::quantization_rmse(std::span<const float> data,
+                                      double scale) const {
+  if (data.empty()) return 0.0;
+  const double inv = 1.0 / scale;
+  double se = 0.0;
+  for (const float v : data) {
+    const double q = quantize_value(static_cast<double>(v) * inv);
+    const double d = q * scale - static_cast<double>(v);
+    se += d * d;
+  }
+  return std::sqrt(se / static_cast<double>(data.size()));
+}
+
+}  // namespace mersit::formats::kernels

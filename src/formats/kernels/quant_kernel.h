@@ -1,0 +1,180 @@
+// Batch quantization kernel for one 8-bit format.
+//
+// The generic path (Format::quantize) costs two codec() acquisitions plus a
+// std::lower_bound over a 16-byte-stride Entry array per scalar — fine for
+// building tables, far too slow for the PTQ hot loops that push every weight
+// and activation element through it.  Following the LUT-driven posit-codec
+// designs of Murillo et al. ("Template-Based Posit Multiplication") and Deep
+// Positron (see PAPERS.md), QuantKernel precomputes, once per format:
+//
+//  * the full 256-entry decode table and sign-symmetry (negate) table;
+//  * the finite positive values as a dense ascending double array plus the
+//    rounding midpoints between neighbours (slot 0 holds the underflow
+//    boundary, so round-to-zero rides the same arrays);
+//  * a bucketed float→candidate-index LUT keyed on the high bits (exponent +
+//    top mantissa bits) of the positive double under encode.  Because IEEE
+//    doubles order like their bit patterns, each bucket pins the RNE answer
+//    down to at most a couple of candidates, so an encode is one table
+//    lookup plus O(1) comparisons — no binary search, no virtual dispatch.
+//
+// All rounding decisions stay in the integer domain (index arithmetic and
+// u8 code selects compile to conditional moves); the only data-dependent
+// branches left are the short candidate scan and rare events (NaN/±0 input,
+// exact midpoint ties).
+//
+// The kernel is immutable after construction and safe for concurrent use
+// from any number of threads.  Scale is a per-call parameter: the tables are
+// scale-independent (the scalar reference divides by `scale` before the
+// search and multiplies after), so one kernel serves every channel scale.
+//
+// Contract: every operation is bit-for-bit identical to the scalar reference
+// path (fake_quantize_scalar / Format::quantize), including saturation,
+// underflow, ties-to-even-code and NaN/±0/±inf handling.
+// tests/formats/test_kernels.cpp enforces this exhaustively for every
+// registered format.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "formats/format.h"
+
+namespace mersit::formats::kernels {
+
+class QuantKernel {
+ public:
+  /// Builds every table from `fmt` (forces fmt.codec() once; the format
+  /// object is not retained).
+  explicit QuantKernel(const Format& fmt);
+
+  [[nodiscard]] const std::string& format_name() const { return name_; }
+
+  /// Bit-identical to fmt.encode(x).
+  [[nodiscard]] std::uint8_t encode(double x) const {
+    // !(|x| > 0) catches +0, -0 and NaN in one (rarely taken) branch; the
+    // sign selection below compiles to a conditional move, so the 50/50
+    // sign of real tensor data costs no branch misprediction.
+    const double mag = std::fabs(x);
+    if (!(mag > 0.0)) return zero_code_;
+    const std::uint8_t pos = encode_magnitude(mag);
+    const std::uint8_t neg = negate_[pos];
+    return x < 0.0 ? neg : pos;
+  }
+
+  /// Bit-identical to fmt.decode_value(code) (as cached by TableCodec).
+  [[nodiscard]] double decode(std::uint8_t code) const { return values_[code]; }
+
+  /// Bit-identical to fmt.quantize(x).
+  [[nodiscard]] double quantize(double x) const { return values_[encode(x)]; }
+
+  /// Value-direct twin of quantize(): skips the code/negate table hops the
+  /// batch loops don't need (one candidate-value load instead of three
+  /// dependent byte-table loads).  The sign restore is pure integer ALU:
+  /// nonzero magnitudes take m's sign bit — exact, because the constructor
+  /// verifies values_[negate_[c]] is the bitwise negation of values_[c] —
+  /// while zero results keep the zero code's own sign, exactly like the
+  /// scalar negate table (zero codes are their own negation).
+  [[nodiscard]] double quantize_value(double m) const {
+    const double mag = std::fabs(m);
+    if (!(mag > 0.0)) return zero_value_;  // ±0 and NaN → zero code
+    const double q = cand_value_[pick_index(mag)];
+    const std::uint64_t sign = std::bit_cast<std::uint64_t>(m) & (1ull << 63);
+    const std::uint64_t qb = std::bit_cast<std::uint64_t>(q);
+    const auto nonzero = static_cast<std::uint64_t>((qb << 1) != 0);
+    return std::bit_cast<double>(qb ^ (sign & (0 - nonzero)));
+  }
+
+  /// In-place batched fake quantization; bit-identical to the scalar
+  /// reference loop (fake_quantize_scalar).
+  void fake_quantize(std::span<float> data, double scale) const;
+
+  /// Batched RMSE between `data` and its fake-quantized image; identical
+  /// accumulation order (hence bit-identical result) to the scalar path.
+  [[nodiscard]] double quantization_rmse(std::span<const float> data,
+                                         double scale) const;
+
+ private:
+  /// Candidate index for a positive magnitude (caller filtered ±0/NaN):
+  /// slot 0 is the zero code, slot k+1 is positive value k.  The constructor
+  /// refines the bucket LUT until each bucket holds at most one representable
+  /// value, so at most two rounding boundaries (mid_[lo] and mid_[lo+1]) can
+  /// fall inside it and counting the boundaries at or below x IS the answer
+  /// — two independent compares, no scan, no data-dependent branch.
+  /// Underflow and saturation need no dedicated branches either: out-of-range
+  /// keys clamp onto the end buckets, whose sentinel midpoints (underflow
+  /// boundary below, NaN above) steer the same arithmetic to the zero / min /
+  /// max code, and ±inf saturates the same way.
+  [[nodiscard]] std::size_t pick_index(double x) const {
+    std::uint64_t key = std::bit_cast<std::uint64_t>(x) >> shift_;
+    key = key > key_base_ ? key - key_base_ : 0;
+    key = key < key_top_ ? key : key_top_;
+    const std::size_t lo = bucket_[key];
+    const double* mids = mid_.data() + lo;
+    const double m0 = mids[0];
+    const double m1 = mids[1];
+    // Candidate slot lo is the value below this bucket; each boundary x has
+    // passed moves the pick up one value.
+    const std::size_t pick = lo + static_cast<std::size_t>(x >= m0) +
+                             static_cast<std::size_t>(x >= m1);
+    // Exact value hits need no special case (a value sits strictly between
+    // its boundaries); only exact midpoint ties leave the common path, to
+    // the even-code rule.
+    if ((x == m0) | (x == m1)) [[unlikely]]
+      return tie_pick(lo + static_cast<std::size_t>(x == m1));
+    return pick;
+  }
+
+  [[nodiscard]] std::uint8_t encode_magnitude(double x) const {
+    return cand_code_[pick_index(x)];
+  }
+
+  /// Candidate index the even-code rule picks for a magnitude exactly on
+  /// boundary mid_[j] (the tie between candidate slots j and j+1).
+  [[nodiscard]] std::size_t tie_pick(std::size_t j) const {
+    if (j == 0) return under_tie_code_ == zero_code_ ? 0 : 1;
+    return (pos_code_[j - 1] & 1u) == 0 ? j : j + 1;
+  }
+
+  std::string name_;
+  bool underflows_to_zero_ = false;
+  std::uint8_t zero_code_ = 0;
+  double values_[256];
+  std::uint8_t negate_[256];
+
+  // Finite positive values ascending and their codes.  mid_[j] is the lower
+  // rounding boundary of value j: 0.5 * (pos_value_[j-1] + pos_value_[j])
+  // for 1 <= j < n (the exact expression the scalar reference evaluates);
+  // mid_[0] is the underflow boundary — min_pos_ / 2 when the format rounds
+  // small magnitudes to zero, or an unreachable -1 when it clamps up (posit
+  // semantics) — and mid_[n] is a NaN sentinel (compares false against
+  // everything, so the pick arithmetic saturates at the top value).
+  // cand_code_[0] is the zero code; cand_code_[k+1] is the code of positive
+  // value k.
+  std::vector<double> pos_value_;
+  std::vector<std::uint8_t> pos_code_;
+  std::vector<double> mid_;
+  std::vector<std::uint8_t> cand_code_;
+  std::vector<double> cand_value_;  // values_[cand_code_[k]], same slots
+
+  double min_pos_ = 0.0, max_finite_ = 0.0;
+  std::uint8_t min_code_ = 0, max_code_ = 0;
+  double underflow_half_ = 0.0;      // min_pos_ * 0.5 (RNE boundary to zero)
+  std::uint8_t under_tie_code_ = 0;  // even-code winner of an exact tie
+  double zero_value_ = 0.0;          // values_[zero_code_] (keeps ±0 sign)
+
+  // Bucket LUT: for positive x, key(x) = clamp((bits(x) >> shift_) -
+  // key_base_, 0, key_top_) maps to the index of the first positive value >=
+  // the bucket's start.  shift_ starts at 46 (exponent + 6 mantissa bits per
+  // key) and the constructor lowers it until every bucket holds at most one
+  // representable value — the precondition for the two-compare pick above.
+  int shift_ = 46;
+  std::uint64_t key_base_ = 0;
+  std::uint64_t key_top_ = 0;
+  std::vector<std::uint16_t> bucket_;
+};
+
+}  // namespace mersit::formats::kernels

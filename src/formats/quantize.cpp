@@ -1,6 +1,9 @@
 #include "formats/quantize.h"
 
 #include <cmath>
+#include <stdexcept>
+
+#include "formats/kernels/kernel_cache.h"
 
 namespace mersit::formats {
 
@@ -12,17 +15,35 @@ double scale_for_absmax(const Format& fmt, double absmax, ScalePolicy policy) {
     case ScalePolicy::kMaxToUnity:
       return absmax / fmt.calibration_target();
   }
-  return 1.0;
+  // Exhaustive switch above — reaching here means the enum was corrupted
+  // (bad deserialization, stale config); refuse to masquerade as identity.
+  throw std::invalid_argument("scale_for_absmax: invalid ScalePolicy value " +
+                              std::to_string(static_cast<int>(policy)));
 }
 
 void fake_quantize(std::span<float> data, const Format& fmt, double scale) {
+  kernels::kernel_for(fmt)->fake_quantize(data, scale);
+}
+
+double quantization_rmse(std::span<const float> data, const Format& fmt,
+                         double scale) {
+  return kernels::kernel_for(fmt)->quantization_rmse(data, scale);
+}
+
+// ------------------------------------------------------ scalar reference --
+// The original per-element path through Format::quantize().  Kept verbatim
+// as the reference implementation: tests/formats/test_kernels.cpp proves the
+// kernel path bit-identical to it, and bench/micro_codecs measures the gap.
+
+void fake_quantize_scalar(std::span<float> data, const Format& fmt,
+                          double scale) {
   const double inv = 1.0 / scale;
   for (float& v : data)
     v = static_cast<float>(fmt.quantize(static_cast<double>(v) * inv) * scale);
 }
 
-double quantization_rmse(std::span<const float> data, const Format& fmt,
-                         double scale) {
+double quantization_rmse_scalar(std::span<const float> data, const Format& fmt,
+                                double scale) {
   if (data.empty()) return 0.0;
   const double inv = 1.0 / scale;
   double se = 0.0;

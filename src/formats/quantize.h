@@ -37,12 +37,21 @@ enum class ScalePolicy {
   return fmt.quantize(x / scale) * scale;
 }
 
-/// In-place fake quantization of a buffer.
+/// In-place fake quantization of a buffer.  Runs on the cached LUT kernel
+/// for `fmt` (formats/kernels) — bit-identical to the scalar reference
+/// below, an order of magnitude faster, and safe to call concurrently.
 void fake_quantize(std::span<float> data, const Format& fmt, double scale);
 
 /// Root-mean-square error between `data` and its fake-quantized image
-/// (the metric of the paper's Fig. 6).
+/// (the metric of the paper's Fig. 6).  Kernel-backed like fake_quantize.
 [[nodiscard]] double quantization_rmse(std::span<const float> data, const Format& fmt,
                                        double scale);
+
+/// Reference implementations routing every element through Format::quantize
+/// (two codec() acquisitions + a binary search per scalar).  The kernel path
+/// is verified bit-for-bit against these; benches measure the speedup.
+void fake_quantize_scalar(std::span<float> data, const Format& fmt, double scale);
+[[nodiscard]] double quantization_rmse_scalar(std::span<const float> data,
+                                              const Format& fmt, double scale);
 
 }  // namespace mersit::formats

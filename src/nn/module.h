@@ -27,6 +27,12 @@ class QuantSession {
  public:
   virtual ~QuantSession() = default;
   virtual void on_activation(const Module& layer, Tensor& t) = 0;
+
+  /// True when on_activation may be invoked concurrently from several
+  /// evaluation threads (each on its own tensor).  Sessions that accumulate
+  /// unguarded state (calibrators, probes) keep the default false and force
+  /// the evaluators into their serial path.
+  [[nodiscard]] virtual bool concurrent_safe() const { return false; }
 };
 
 struct Context {

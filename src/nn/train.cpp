@@ -7,6 +7,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "core/thread_pool.h"
+
 namespace mersit::nn {
 
 Tensor slice_batch(const Tensor& t, int start, int count) {
@@ -112,9 +114,8 @@ namespace {
 std::vector<int> predict(Module& model, const Dataset& data, QuantSession* quant,
                          int batch) {
   const Context ctx{/*train=*/false, quant};
-  std::vector<int> preds;
-  preds.reserve(static_cast<std::size_t>(data.size()));
-  for (int start = 0; start < data.size(); start += batch) {
+  std::vector<int> preds(static_cast<std::size_t>(data.size()));
+  const auto run_batch = [&](int start) {
     const int count = std::min(batch, data.size() - start);
     const Tensor xb = slice_batch(data.inputs, start, count);
     const Tensor logits = model.run(xb, ctx);
@@ -123,8 +124,18 @@ std::vector<int> predict(Module& model, const Dataset& data, QuantSession* quant
       int best = 0;
       for (int j = 1; j < c; ++j)
         if (logits.at(i, j) > logits.at(i, best)) best = j;
-      preds.push_back(best);
+      preds[static_cast<std::size_t>(start + i)] = best;
     }
+  };
+  const std::size_t batches =
+      static_cast<std::size_t>((data.size() + batch - 1) / batch);
+  if (quant == nullptr || quant->concurrent_safe()) {
+    // Eval-mode forward is stateless w.r.t. the module tree (backward caches
+    // are gated on ctx.train), so independent batches may run concurrently.
+    core::global_pool().parallel_for(
+        batches, [&](std::size_t b) { run_batch(static_cast<int>(b) * batch); });
+  } else {
+    for (std::size_t b = 0; b < batches; ++b) run_batch(static_cast<int>(b) * batch);
   }
   return preds;
 }

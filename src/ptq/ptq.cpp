@@ -1,6 +1,12 @@
 #include "ptq/ptq.h"
 
 #include <cmath>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "formats/kernels/kernel_cache.h"
 
 namespace mersit::ptq {
 
@@ -58,36 +64,72 @@ void restore_weights(Module& model, const WeightSnapshot& snap) {
   for (std::size_t i = 0; i < params.size(); ++i) params[i]->value = snap.values[i];
 }
 
-void quantize_weights_per_channel(Module& model, const Format& fmt,
-                                  ScalePolicy policy) {
+namespace {
+
+/// Every (module, channel) weight span in the model, in traversal order.
+std::vector<std::pair<nn::ChannelWeights*, int>> channel_jobs(Module& model) {
+  std::vector<std::pair<nn::ChannelWeights*, int>> jobs;
   for (Module* m : model.modules()) {
     auto* cw = dynamic_cast<nn::ChannelWeights*>(m);
     if (cw == nullptr) continue;
-    for (int c = 0; c < cw->weight_channels(); ++c) {
-      const std::span<float> w = cw->channel_span(c);
-      float mx = 0.f;
-      for (const float v : w) mx = std::max(mx, std::fabs(v));
-      if (mx <= 0.f) continue;
-      const double scale = formats::scale_for_absmax(fmt, mx, policy);
-      formats::fake_quantize(w, fmt, scale);
-    }
+    for (int c = 0; c < cw->weight_channels(); ++c) jobs.emplace_back(cw, c);
   }
+  return jobs;
+}
+
+}  // namespace
+
+void quantize_weights_per_channel(Module& model, const Format& fmt,
+                                  ScalePolicy policy) {
+  const auto jobs = channel_jobs(model);
+  // Channels are disjoint spans, so they quantize independently across the
+  // pool; the kernel is fetched once instead of per channel.
+  const auto kernel = formats::kernels::kernel_for(fmt);
+  core::global_pool().parallel_for(jobs.size(), [&](std::size_t i) {
+    const std::span<float> w = jobs[i].first->channel_span(jobs[i].second);
+    float mx = 0.f;
+    for (const float v : w) mx = std::max(mx, std::fabs(v));
+    if (mx <= 0.f) return;
+    const double scale = formats::scale_for_absmax(fmt, mx, policy);
+    kernel->fake_quantize(w, scale);
+  });
 }
 
 // ------------------------------------------------------------- experiment --
 
 namespace {
 
-/// Run the calibration pass over `calib`.
+/// Run the calibration pass over `calib`.  Batches fan out across the
+/// thread pool, each chunk observing into its own MaxCalibrator; the
+/// per-layer maxima then merge with max(), which is order-independent, so
+/// the result is identical to a serial pass.
 MaxCalibrator calibrate(Module& model, const Dataset& calib, bool observe_input) {
-  MaxCalibrator cal;
-  const nn::Context ctx{/*train=*/false, &cal};
   constexpr int kBatch = 32;
-  for (int start = 0; start < calib.size(); start += kBatch) {
-    const int count = std::min(kBatch, calib.size() - start);
-    const Tensor xb = nn::slice_batch(calib.inputs, start, count);
-    if (observe_input) cal.observe_input(xb);
-    (void)model.run(xb, ctx);
+  const std::size_t batches =
+      static_cast<std::size_t>((calib.size() + kBatch - 1) / kBatch);
+  std::vector<MaxCalibrator> partials;
+  std::mutex mu;
+  core::global_pool().parallel_chunks(batches, [&](std::size_t begin,
+                                                   std::size_t end) {
+    MaxCalibrator local;
+    const nn::Context ctx{/*train=*/false, &local};
+    for (std::size_t b = begin; b < end; ++b) {
+      const int start = static_cast<int>(b) * kBatch;
+      const int count = std::min(kBatch, calib.size() - start);
+      const Tensor xb = nn::slice_batch(calib.inputs, start, count);
+      if (observe_input) local.observe_input(xb);
+      (void)model.run(xb, ctx);
+    }
+    const std::lock_guard<std::mutex> lock(mu);
+    partials.push_back(std::move(local));
+  });
+  MaxCalibrator cal;
+  for (const MaxCalibrator& p : partials) {
+    for (const auto& [layer, mx] : p.absmax) {
+      float& slot = cal.absmax[layer];
+      slot = std::max(slot, mx);
+    }
+    cal.input_absmax = std::max(cal.input_absmax, p.input_absmax);
   }
   return cal;
 }
@@ -150,6 +192,8 @@ class RmseProbe final : public nn::QuantSession {
   }
 
   [[nodiscard]] double rmse() const { return count_ > 0 ? std::sqrt(se_ / count_) : 0.0; }
+  [[nodiscard]] double sum_squared() const { return se_; }
+  [[nodiscard]] double count() const { return count_; }
 
  private:
   const MaxCalibrator& calib_;
@@ -164,34 +208,56 @@ class RmseProbe final : public nn::QuantSession {
 RmseReport measure_ptq_rmse(Module& model, const Dataset& calib, const Format& fmt,
                             const PtqOptions& opt) {
   RmseReport rep;
-  // Weights.
+  // Weights: per-channel squared errors computed across the pool, reduced in
+  // channel order so the report is independent of the thread count.
+  const auto jobs = channel_jobs(model);
+  const auto kernel = formats::kernels::kernel_for(fmt);
+  std::vector<std::pair<double, double>> per_channel(jobs.size(), {0.0, 0.0});
+  core::global_pool().parallel_for(jobs.size(), [&](std::size_t i) {
+    const std::span<const float> w = jobs[i].first->channel_span(jobs[i].second);
+    float mx = 0.f;
+    for (const float v : w) mx = std::max(mx, std::fabs(v));
+    if (mx <= 0.f) return;
+    const double scale = formats::scale_for_absmax(fmt, mx, opt.policy);
+    const double rmse = kernel->quantization_rmse(w, scale);
+    per_channel[i] = {rmse * rmse * static_cast<double>(w.size()),
+                      static_cast<double>(w.size())};
+  });
   double se = 0.0, n = 0.0;
-  for (Module* m : model.modules()) {
-    auto* cw = dynamic_cast<nn::ChannelWeights*>(m);
-    if (cw == nullptr) continue;
-    for (int c = 0; c < cw->weight_channels(); ++c) {
-      const std::span<const float> w = cw->channel_span(c);
-      float mx = 0.f;
-      for (const float v : w) mx = std::max(mx, std::fabs(v));
-      if (mx <= 0.f) continue;
-      const double scale = formats::scale_for_absmax(fmt, mx, opt.policy);
-      const double rmse = formats::quantization_rmse(w, fmt, scale);
-      se += rmse * rmse * static_cast<double>(w.size());
-      n += static_cast<double>(w.size());
-    }
+  for (const auto& [cse, cn] : per_channel) {
+    se += cse;
+    n += cn;
   }
   rep.weight_rmse = n > 0 ? std::sqrt(se / n) : 0.0;
 
-  // Activations: calibrate, then probe on the same set.
+  // Activations: calibrate, then probe on the same set.  Each chunk probes
+  // into its own RmseProbe; partials reduce in chunk order.
   const MaxCalibrator cal = calibrate(model, calib, opt.quantize_input);
-  RmseProbe probe(cal, fmt, opt.policy);
-  const nn::Context ctx{/*train=*/false, &probe};
   constexpr int kBatch = 32;
-  for (int start = 0; start < calib.size(); start += kBatch) {
-    const int count = std::min(kBatch, calib.size() - start);
-    (void)model.run(nn::slice_batch(calib.inputs, start, count), ctx);
+  const std::size_t batches =
+      static_cast<std::size_t>((calib.size() + kBatch - 1) / kBatch);
+  struct Partial {
+    double se = 0.0;
+    double count = 0.0;
+  };
+  std::vector<Partial> partials(batches);  // indexed by first batch of chunk
+  core::global_pool().parallel_chunks(batches, [&](std::size_t begin,
+                                                   std::size_t end) {
+    RmseProbe probe(cal, fmt, opt.policy);
+    const nn::Context ctx{/*train=*/false, &probe};
+    for (std::size_t b = begin; b < end; ++b) {
+      const int start = static_cast<int>(b) * kBatch;
+      const int count = std::min(kBatch, calib.size() - start);
+      (void)model.run(nn::slice_batch(calib.inputs, start, count), ctx);
+    }
+    partials[begin] = {probe.sum_squared(), probe.count()};
+  });
+  double ase = 0.0, acount = 0.0;
+  for (const Partial& p : partials) {
+    ase += p.se;
+    acount += p.count;
   }
-  rep.activation_rmse = probe.rmse();
+  rep.activation_rmse = acount > 0 ? std::sqrt(ase / acount) : 0.0;
   return rep;
 }
 

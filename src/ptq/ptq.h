@@ -10,6 +10,7 @@
 //    accuracy differences are attributable to the formats themselves.
 #pragma once
 
+#include <atomic>
 #include <unordered_map>
 
 #include "formats/quantize.h"
@@ -32,23 +33,29 @@ class MaxCalibrator final : public nn::QuantSession {
 };
 
 /// Fake-quantizes every activation with the calibrated per-layer scales.
+///
+/// Concurrency: after construction the quantizer only reads the calibration
+/// map and the shared format kernel, and each evaluation thread hands it a
+/// distinct activation tensor — so it declares concurrent_safe() and the
+/// evaluators fan test batches out across the thread pool.
 class FakeQuantizer final : public nn::QuantSession {
  public:
   FakeQuantizer(const MaxCalibrator& calib, const formats::Format& fmt,
                 formats::ScalePolicy policy);
 
   void on_activation(const nn::Module& layer, nn::Tensor& t) override;
+  [[nodiscard]] bool concurrent_safe() const override { return true; }
   /// Quantize the model input (vision models).
   void quantize_input(nn::Tensor& t) const;
 
   /// Layers seen at eval time but never calibrated (should stay zero).
-  [[nodiscard]] int uncalibrated_layers() const { return uncalibrated_; }
+  [[nodiscard]] int uncalibrated_layers() const { return uncalibrated_.load(); }
 
  private:
   const MaxCalibrator& calib_;
   const formats::Format& fmt_;
   formats::ScalePolicy policy_;
-  int uncalibrated_ = 0;
+  std::atomic<int> uncalibrated_ = 0;
 };
 
 // ---------------------------------------------------------------- weights --

@@ -1,0 +1,122 @@
+#include "core/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mersit::core {
+namespace {
+
+TEST(ThreadPool, SizeCountsCallerAsWorkerZero) {
+  ThreadPool solo(1);
+  EXPECT_EQ(solo.size(), 1);
+  ThreadPool quad(4);
+  EXPECT_EQ(quad.size(), 4);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 5000;
+  // Chunks are disjoint, so plain (non-atomic) per-index writes are safe;
+  // TSan corroborates.
+  std::vector<int> hits(kN, 0);
+  pool.parallel_for(kN, [&hits](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i], 1) << i;
+}
+
+TEST(ThreadPool, ParallelChunksPartitionIsDeterministic) {
+  ThreadPool pool(3);
+  const auto collect = [&pool] {
+    std::mutex mu;
+    std::set<std::pair<std::size_t, std::size_t>> chunks;
+    pool.parallel_chunks(10, [&](std::size_t b, std::size_t e) {
+      const std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace(b, e);
+    });
+    return chunks;
+  };
+  const auto first = collect();
+  // i*n/parts boundaries: [0,3) [3,6) [6,10).
+  const std::set<std::pair<std::size_t, std::size_t>> expected = {
+      {0, 3}, {3, 6}, {6, 10}};
+  EXPECT_EQ(first, expected);
+  EXPECT_EQ(collect(), expected);  // identical run to run
+}
+
+TEST(ThreadPool, SmallBatchesRunInlineWithoutLosingIndices) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);  // n == 1 runs inline on the caller
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  const auto boom = [](std::size_t i) {
+    if (i == 37) throw std::runtime_error("chunk failure");
+  };
+  EXPECT_THROW(pool.parallel_for(64, boom), std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<int> count{0};
+  pool.parallel_for(64, [&count](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, NestedCallsRunInlineOnTheOwningWorker) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::mutex mu;
+  std::vector<std::set<std::thread::id>> inner_ids(4);
+  pool.parallel_for(4, [&](std::size_t outer) {
+    // Two successive nested regions: the second one is the regression for
+    // the guard restoring (not clearing) the nesting flag.
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      pool.parallel_for(8, [&](std::size_t) {
+        total.fetch_add(1, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock(mu);
+        inner_ids[outer].insert(std::this_thread::get_id());
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 4 * 2 * 8);
+  // Every nested iteration ran on the thread that owns its outer chunk.
+  for (const auto& ids : inner_ids) EXPECT_EQ(ids.size(), 1u);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsEverythingInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool all_inline = true;
+  pool.parallel_for(16, [&](std::size_t) {
+    if (std::this_thread::get_id() != caller) all_inline = false;
+  });
+  EXPECT_TRUE(all_inline);
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnvOverride) {
+  const char* saved = std::getenv("MERSIT_THREADS");
+  const std::string saved_copy = saved ? saved : "";
+  setenv("MERSIT_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 3);
+  setenv("MERSIT_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1);  // falls back to hw
+  setenv("MERSIT_THREADS", "0", 1);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1);
+  if (saved)
+    setenv("MERSIT_THREADS", saved_copy.c_str(), 1);
+  else
+    unsetenv("MERSIT_THREADS");
+}
+
+}  // namespace
+}  // namespace mersit::core

@@ -1,0 +1,198 @@
+// Exhaustive bit-for-bit equivalence of the LUT batch kernels against the
+// scalar reference path (Format::encode / Format::quantize /
+// fake_quantize_scalar), for every registered format.  The probe set leans
+// on the adversarial corners: exact decoded values, exact rounding midpoints
+// (the ties-to-even-code rule), their nextafter neighbours, the underflow
+// boundary, the saturation boundary, ±0, double denormals, NaN and ±inf —
+// plus a large random sweep.
+#include "formats/kernels/quant_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "core/registry.h"
+#include "formats/kernels/kernel_cache.h"
+#include "formats/quantize.h"
+
+namespace mersit::formats::kernels {
+namespace {
+
+/// Adversarial double probes in the format's (pre-scale) value space.
+std::vector<double> double_probes(const Format& fmt) {
+  const TableCodec& codec = fmt.codec();
+  std::vector<double> probes = {
+      0.0,
+      -0.0,
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::min(),
+      1e300,
+      -1e300,
+      1e-300,
+  };
+  const auto push_signed = [&probes](double v) {
+    probes.push_back(v);
+    probes.push_back(-v);
+  };
+  const auto& pos = codec.positives();
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    const double v = pos[i].value;
+    push_signed(v);
+    push_signed(std::nextafter(v, 0.0));
+    push_signed(std::nextafter(v, std::numeric_limits<double>::infinity()));
+    if (i > 0) {
+      // The exact midpoint expression the scalar path evaluates — this is
+      // the ties-to-even-code branch.
+      const double mid = 0.5 * (pos[i - 1].value + pos[i].value);
+      push_signed(mid);
+      push_signed(std::nextafter(mid, 0.0));
+      push_signed(std::nextafter(mid, std::numeric_limits<double>::infinity()));
+    }
+  }
+  // Underflow boundary (round-to-zero vs clamp-to-min) and saturation edge.
+  const double min_pos = codec.min_positive();
+  const double max_fin = codec.max_finite();
+  push_signed(min_pos * 0.5);
+  push_signed(std::nextafter(min_pos * 0.5, 0.0));
+  push_signed(std::nextafter(min_pos * 0.5, 1.0));
+  push_signed(min_pos * 0.25);
+  push_signed(std::nextafter(max_fin, std::numeric_limits<double>::infinity()));
+  push_signed(max_fin * 2.0);
+  // Random sweep across many octaves.
+  std::mt19937_64 rng(17);
+  std::normal_distribution<double> normal(0.0, 1.0);
+  std::uniform_real_distribution<double> octave(-20.0, 20.0);
+  for (int i = 0; i < 10000; ++i)
+    probes.push_back(normal(rng) * std::exp2(octave(rng)));
+  return probes;
+}
+
+/// Mixed float buffer with the edge cases embedded, for the batch paths.
+std::vector<float> float_probes(const Format& fmt, double scale) {
+  const TableCodec& codec = fmt.codec();
+  std::vector<float> buf = {
+      0.f,
+      -0.f,
+      std::numeric_limits<float>::quiet_NaN(),
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(),
+      std::numeric_limits<float>::denorm_min(),
+      -std::numeric_limits<float>::denorm_min(),
+      static_cast<float>(codec.max_finite() * scale),
+      static_cast<float>(-codec.max_finite() * scale),
+      static_cast<float>(codec.max_finite() * scale * 4.0),
+      static_cast<float>(codec.min_positive() * scale),
+      static_cast<float>(codec.min_positive() * scale * 0.5),
+      static_cast<float>(-codec.min_positive() * scale * 0.5),
+  };
+  std::mt19937 rng(23);
+  std::normal_distribution<float> normal(0.f, 1.f);
+  std::uniform_real_distribution<float> octave(-12.f, 12.f);
+  for (int i = 0; i < 10000; ++i)
+    buf.push_back(normal(rng) * std::exp2(octave(rng)) *
+                  static_cast<float>(scale));
+  return buf;
+}
+
+const std::vector<double> kScales = {1.0, 0.25, 7.5, 1e-3, 64.0};
+
+TEST(KernelEquivalence, DecodeTableMatchesCodec) {
+  for (const auto& name : core::all_format_names()) {
+    const auto fmt = core::make_format(name);
+    const auto kernel = kernel_for(*fmt);
+    for (int c = 0; c < 256; ++c) {
+      const double a = kernel->decode(static_cast<std::uint8_t>(c));
+      const double b = fmt->codec().decode(static_cast<std::uint8_t>(c));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+          << name << " code " << c;
+    }
+  }
+}
+
+TEST(KernelEquivalence, EncodeMatchesFormatOnAdversarialProbes) {
+  for (const auto& name : core::all_format_names()) {
+    const auto fmt = core::make_format(name);
+    const auto kernel = kernel_for(*fmt);
+    for (const double x : double_probes(*fmt)) {
+      EXPECT_EQ(kernel->encode(x), fmt->encode(x))
+          << name << " x=" << std::hexfloat << x;
+    }
+  }
+}
+
+TEST(KernelEquivalence, QuantizeMatchesFormatBitForBit) {
+  for (const auto& name : core::all_format_names()) {
+    const auto fmt = core::make_format(name);
+    const auto kernel = kernel_for(*fmt);
+    for (const double x : double_probes(*fmt)) {
+      const double a = kernel->quantize(x);
+      const double b = fmt->quantize(x);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+          << name << " x=" << std::hexfloat << x;
+      // The value-direct batch path must agree with the code path exactly.
+      const double c = kernel->quantize_value(x);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(c), std::bit_cast<std::uint64_t>(a))
+          << name << " x=" << std::hexfloat << x;
+    }
+  }
+}
+
+TEST(KernelEquivalence, BatchFakeQuantizeMatchesScalarReference) {
+  for (const auto& name : core::all_format_names()) {
+    const auto fmt = core::make_format(name);
+    for (const double scale : kScales) {
+      const std::vector<float> buf = float_probes(*fmt, scale);
+      std::vector<float> kernel_out = buf;
+      std::vector<float> scalar_out = buf;
+      fake_quantize(kernel_out, *fmt, scale);
+      fake_quantize_scalar(scalar_out, *fmt, scale);
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        EXPECT_EQ(std::bit_cast<std::uint32_t>(kernel_out[i]),
+                  std::bit_cast<std::uint32_t>(scalar_out[i]))
+            << name << " scale=" << scale << " i=" << i
+            << " in=" << std::hexfloat << buf[i];
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, BatchRmseMatchesScalarReference) {
+  for (const auto& name : core::all_format_names()) {
+    const auto fmt = core::make_format(name);
+    for (const double scale : kScales) {
+      // Drop the NaN/inf probes: RMSE over them is NaN on both paths, which
+      // compares unequal to itself; the accumulation-order equivalence is
+      // what this test pins down.
+      std::vector<float> buf;
+      for (const float v : float_probes(*fmt, scale))
+        if (std::isfinite(v)) buf.push_back(v);
+      const double a = quantization_rmse(buf, *fmt, scale);
+      const double b = quantization_rmse_scalar(buf, *fmt, scale);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+          << name << " scale=" << scale;
+    }
+  }
+}
+
+TEST(KernelCache, ReturnsSameInstanceAndClearResets) {
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  const auto a = kernel_for(*fmt);
+  const auto b = kernel_for(*fmt);
+  EXPECT_EQ(a.get(), b.get());
+  clear_kernel_cache();
+  const auto c = kernel_for(*fmt);
+  EXPECT_NE(a.get(), c.get());
+  // Old handles stay valid after a clear (shared ownership).
+  EXPECT_EQ(a->format_name(), c->format_name());
+}
+
+}  // namespace
+}  // namespace mersit::formats::kernels

@@ -1,0 +1,140 @@
+// Parallel-vs-serial determinism of the PTQ pipeline: weight quantization,
+// calibration, RMSE measurement and accuracy evaluation must produce
+// bit-identical results whether the pool fans out or everything runs inline.
+//
+// The serial reference is obtained with the pool's own nesting rule: a
+// parallel region entered from inside another parallel region runs inline,
+// so wrapping a call in parallel_chunks(1, ...) forces its internal
+// parallel_* calls onto one thread without touching any global state.
+#include "ptq/ptq.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+
+#include "core/registry.h"
+#include "core/thread_pool.h"
+#include "nn/data.h"
+
+namespace mersit::ptq {
+namespace {
+
+// Give the global pool real fan-out even on single-core CI (respects an
+// explicit MERSIT_THREADS from the environment).  Static init runs before
+// main(), which is before the pool's first use can construct it.
+const bool kEnvReady = [] {
+  setenv("MERSIT_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+struct Fixture {
+  Fixture() : rng(9) {
+    model = nn::make_vgg_mini(3, 10, rng);
+    calib = nn::make_vision_dataset(96, 3, 12, 41);
+    test = nn::make_vision_dataset(96, 3, 12, 42);
+    nn::TrainOptions opt;
+    opt.epochs = 2;
+    opt.batch = 32;
+    opt.lr = 2e-3f;
+    train = nn::make_vision_dataset(256, 3, 12, 43);
+    (void)nn::train_classifier(*model, train, opt);
+  }
+  std::mt19937 rng;
+  nn::ModulePtr model;
+  nn::Dataset train, calib, test;
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+/// Runs fn with every internal parallel_* call forced inline (serial).
+template <typename Fn>
+void run_serial(Fn&& fn) {
+  core::global_pool().parallel_chunks(1,
+                                      [&fn](std::size_t, std::size_t) { fn(); });
+}
+
+bool snapshots_bitwise_equal(const WeightSnapshot& a, const WeightSnapshot& b) {
+  if (a.values.size() != b.values.size()) return false;
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    const std::span<const float> da = a.values[i].data();
+    const std::span<const float> db = b.values[i].data();
+    if (da.size() != db.size()) return false;
+    for (std::size_t j = 0; j < da.size(); ++j)
+      if (std::bit_cast<std::uint32_t>(da[j]) !=
+          std::bit_cast<std::uint32_t>(db[j]))
+        return false;
+  }
+  return true;
+}
+
+TEST(ParallelPtq, PoolHasFanOut) {
+  ASSERT_TRUE(kEnvReady);
+  EXPECT_GE(core::global_pool().size(), 1);
+}
+
+TEST(ParallelPtq, WeightQuantizationMatchesSerialBitForBit) {
+  auto& f = fixture();
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  const WeightSnapshot original = snapshot_weights(*f.model);
+
+  quantize_weights_per_channel(*f.model, *fmt,
+                               formats::ScalePolicy::kMaxToUnity);
+  const WeightSnapshot parallel_out = snapshot_weights(*f.model);
+  restore_weights(*f.model, original);
+
+  run_serial([&] {
+    quantize_weights_per_channel(*f.model, *fmt,
+                                 formats::ScalePolicy::kMaxToUnity);
+  });
+  const WeightSnapshot serial_out = snapshot_weights(*f.model);
+  restore_weights(*f.model, original);
+
+  EXPECT_TRUE(snapshots_bitwise_equal(parallel_out, serial_out));
+  EXPECT_FALSE(snapshots_bitwise_equal(parallel_out, original));  // it did act
+}
+
+TEST(ParallelPtq, RmseMeasurementMatchesSerialBitForBit) {
+  auto& f = fixture();
+  const auto fmt = core::make_format("Posit(8,1)");
+  const RmseReport parallel_report = measure_ptq_rmse(*f.model, f.calib, *fmt);
+  RmseReport serial_report;
+  run_serial([&] { serial_report = measure_ptq_rmse(*f.model, f.calib, *fmt); });
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(parallel_report.weight_rmse),
+            std::bit_cast<std::uint64_t>(serial_report.weight_rmse));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(parallel_report.activation_rmse),
+            std::bit_cast<std::uint64_t>(serial_report.activation_rmse));
+  EXPECT_GT(parallel_report.weight_rmse, 0.0);
+}
+
+TEST(ParallelPtq, EvaluationIsDeterministicAndMatchesSerial) {
+  auto& f = fixture();
+  const auto fmt = core::make_format("FP(8,4)");
+  const WeightSnapshot original = snapshot_weights(*f.model);
+
+  const float a = evaluate_ptq(*f.model, f.calib, f.test, *fmt);
+  restore_weights(*f.model, original);
+  const float b = evaluate_ptq(*f.model, f.calib, f.test, *fmt);
+  restore_weights(*f.model, original);
+  float serial = 0.f;
+  run_serial([&] { serial = evaluate_ptq(*f.model, f.calib, f.test, *fmt); });
+  restore_weights(*f.model, original);
+
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(a), std::bit_cast<std::uint32_t>(b));
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(a), std::bit_cast<std::uint32_t>(serial));
+}
+
+TEST(ParallelPtq, Fp32EvaluationIsDeterministic) {
+  auto& f = fixture();
+  const float a = evaluate_fp32(*f.model, f.test, Metric::kAccuracy);
+  const float b = evaluate_fp32(*f.model, f.test, Metric::kAccuracy);
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(a), std::bit_cast<std::uint32_t>(b));
+}
+
+}  // namespace
+}  // namespace mersit::ptq
