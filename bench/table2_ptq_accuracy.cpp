@@ -63,9 +63,10 @@ int main() {
       return row;
     });
   }
+  // Progress goes to stderr: rows complete in pool order, and stdout (the
+  // table artifact) must diff clean run to run.
   vision.on_row_done([](const ptq::SweepRowResult& row) {
-    std::printf("  [done] %s\n", row.name.c_str());
-    std::fflush(stdout);
+    std::fprintf(stderr, "  [done] %s\n", row.name.c_str());
   });
   const auto vision_rows = vision.run();
   std::printf("\n");
@@ -107,8 +108,7 @@ int main() {
     });
   }
   glue.on_row_done([](const ptq::SweepRowResult& row) {
-    std::printf("  [done] %s\n", row.name.c_str());
-    std::fflush(stdout);
+    std::fprintf(stderr, "  [done] %s\n", row.name.c_str());
   });
   const auto glue_rows = glue.run();
   std::printf("\n");

@@ -163,10 +163,13 @@ class ThreadPool {
         }
       }
       {
+        // Notify while still holding the batch mutex: once the lock drops,
+        // the caller in parallel_chunks may observe remaining == 0 and
+        // destroy Batch, so no member may be touched after the unlock.
         const std::lock_guard<std::mutex> lock(task.batch->mu);
         --task.batch->remaining;
+        task.batch->done.notify_one();
       }
-      task.batch->done.notify_one();
     }
   }
 

@@ -140,50 +140,61 @@ void MultiHeadSelfAttention::collect_modules(std::vector<Module*>& out) {
 }
 
 Tensor MultiHeadSelfAttention::forward(const Tensor& x, const Context& ctx) {
-  n_ = x.dim(0);
-  t_ = x.dim(1);
-  const Tensor flat = x.reshaped({n_ * t_, d_});
-  q_ = wq_.forward(flat, ctx);
-  k_ = wk_.forward(flat, ctx);
-  v_ = wv_.forward(flat, ctx);
+  // Inference-mode forwards run concurrently on a shared model (the parallel
+  // PTQ calibration/eval loops), so everything is computed in locals; member
+  // caches are written only under ctx.train, where runs are single-threaded.
+  const int n = x.dim(0);
+  const int t = x.dim(1);
+  const Tensor flat = x.reshaped({n * t, d_});
+  Tensor q = wq_.forward(flat, ctx);
+  Tensor k = wk_.forward(flat, ctx);
+  Tensor v = wv_.forward(flat, ctx);
   const float scale = 1.f / std::sqrt(static_cast<float>(dh_));
 
-  attn_ = Tensor({n_ * h_, t_, t_});
-  ctx_out_ = Tensor({n_ * t_, d_});
-  for (int b = 0; b < n_; ++b) {
+  Tensor attn({n * h_, t, t});
+  Tensor ctx_out({n * t, d_});
+  for (int b = 0; b < n; ++b) {
     for (int hd = 0; hd < h_; ++hd) {
       const int off = hd * dh_;
-      float* a = attn_.raw() + (static_cast<std::int64_t>(b) * h_ + hd) * t_ * t_;
-      for (int i = 0; i < t_; ++i) {
-        const float* qi = q_.raw() + (static_cast<std::int64_t>(b) * t_ + i) * d_ + off;
+      float* a = attn.raw() + (static_cast<std::int64_t>(b) * h_ + hd) * t * t;
+      for (int i = 0; i < t; ++i) {
+        const float* qi = q.raw() + (static_cast<std::int64_t>(b) * t + i) * d_ + off;
         float mx = -1e30f;
-        for (int j = 0; j < t_; ++j) {
-          const float* kj = k_.raw() + (static_cast<std::int64_t>(b) * t_ + j) * d_ + off;
+        for (int j = 0; j < t; ++j) {
+          const float* kj = k.raw() + (static_cast<std::int64_t>(b) * t + j) * d_ + off;
           float s = 0.f;
           for (int d = 0; d < dh_; ++d) s += qi[d] * kj[d];
           s *= scale;
-          a[i * t_ + j] = s;
+          a[i * t + j] = s;
           mx = std::max(mx, s);
         }
         float denom = 0.f;
-        for (int j = 0; j < t_; ++j) {
-          a[i * t_ + j] = std::exp(a[i * t_ + j] - mx);
-          denom += a[i * t_ + j];
+        for (int j = 0; j < t; ++j) {
+          a[i * t + j] = std::exp(a[i * t + j] - mx);
+          denom += a[i * t + j];
         }
         const float invd = 1.f / denom;
-        for (int j = 0; j < t_; ++j) a[i * t_ + j] *= invd;
-        float* out = ctx_out_.raw() + (static_cast<std::int64_t>(b) * t_ + i) * d_ + off;
+        for (int j = 0; j < t; ++j) a[i * t + j] *= invd;
+        float* out = ctx_out.raw() + (static_cast<std::int64_t>(b) * t + i) * d_ + off;
         for (int d = 0; d < dh_; ++d) out[d] = 0.f;
-        for (int j = 0; j < t_; ++j) {
-          const float w = a[i * t_ + j];
-          const float* vj = v_.raw() + (static_cast<std::int64_t>(b) * t_ + j) * d_ + off;
+        for (int j = 0; j < t; ++j) {
+          const float w = a[i * t + j];
+          const float* vj = v.raw() + (static_cast<std::int64_t>(b) * t + j) * d_ + off;
           for (int d = 0; d < dh_; ++d) out[d] += w * vj[d];
         }
       }
     }
   }
-  Tensor y = wo_.forward(ctx_out_, ctx);
-  return y.reshaped({n_, t_, d_});
+  Tensor y = wo_.forward(ctx_out, ctx);
+  if (ctx.train) {
+    n_ = n;
+    t_ = t;
+    q_ = std::move(q);
+    k_ = std::move(k);
+    v_ = std::move(v);
+    attn_ = std::move(attn);
+  }
+  return y.reshaped({n, t, d_});
 }
 
 Tensor MultiHeadSelfAttention::backward(const Tensor& grad_out) {
@@ -263,15 +274,19 @@ void TransformerBlock::collect_modules(std::vector<Module*>& out) {
 }
 
 Tensor TransformerBlock::forward(const Tensor& x, const Context& ctx) {
-  n_ = x.dim(0);
-  t_ = x.dim(1);
+  const int n = x.dim(0);
+  const int t = x.dim(1);
+  if (ctx.train) {
+    n_ = n;
+    t_ = t;
+  }
   Tensor h = ln1_.run(x, ctx);
   h = attn_.run(h, ctx);
   Tensor mid(x.shape());
   for (std::int64_t i = 0; i < x.numel(); ++i) mid[i] = x[i] + h[i];
 
   Tensor f = ln2_.run(mid, ctx);
-  f = ff1_.run(f.reshaped({n_ * t_, d_}), ctx);
+  f = ff1_.run(f.reshaped({n * t, d_}), ctx);
   f = gelu_.run(f, ctx);
   f = ff2_.run(f, ctx);
   Tensor out(mid.shape());

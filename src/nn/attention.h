@@ -61,8 +61,9 @@ class MultiHeadSelfAttention final : public Module {
  private:
   int d_, h_, dh_;
   Linear wq_, wk_, wv_, wo_;
-  // caches (train only)
-  Tensor q_, k_, v_, attn_, ctx_out_;
+  // caches, written only when ctx.train (inference forwards must stay
+  // re-entrant for the parallel PTQ loops)
+  Tensor q_, k_, v_, attn_;
   int n_ = 0, t_ = 0;
 };
 

@@ -503,30 +503,37 @@ void SEBlock::collect_modules(std::vector<Module*>& out) {
 }
 
 Tensor SEBlock::forward(const Tensor& x, const Context& ctx) {
+  // Computed in locals so concurrent inference forwards on a shared model
+  // (parallel PTQ calibration/eval) don't race; caches move into members
+  // only under ctx.train, where runs are single-threaded.
   const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
-  pooled_ = Tensor({n, c_});
+  Tensor pooled({n, c_});
   const float inv = 1.f / static_cast<float>(h * w);
   for (int b = 0; b < n; ++b)
     for (int c = 0; c < c_; ++c) {
       float acc = 0.f;
       for (int i = 0; i < h; ++i)
         for (int j = 0; j < w; ++j) acc += x.at(b, c, i, j);
-      pooled_.at(b, c) = acc * inv;
+      pooled.at(b, c) = acc * inv;
     }
-  Tensor z1 = fc1_.forward(pooled_, ctx);
-  h1_ = Tensor(z1.shape());
-  for (std::int64_t i = 0; i < z1.numel(); ++i) h1_[i] = z1[i] > 0.f ? z1[i] : 0.f;
-  Tensor z2 = fc2_.forward(h1_, ctx);
-  gate_ = Tensor(z2.shape());
-  for (std::int64_t i = 0; i < z2.numel(); ++i) gate_[i] = sigmoidf(z2[i]);
+  Tensor z1 = fc1_.forward(pooled, ctx);
+  Tensor h1(z1.shape());
+  for (std::int64_t i = 0; i < z1.numel(); ++i) h1[i] = z1[i] > 0.f ? z1[i] : 0.f;
+  Tensor z2 = fc2_.forward(h1, ctx);
+  Tensor gate(z2.shape());
+  for (std::int64_t i = 0; i < z2.numel(); ++i) gate[i] = sigmoidf(z2[i]);
   Tensor y(x.shape());
   for (int b = 0; b < n; ++b)
     for (int c = 0; c < c_; ++c) {
-      const float g = gate_.at(b, c);
+      const float g = gate.at(b, c);
       for (int i = 0; i < h; ++i)
         for (int j = 0; j < w; ++j) y.at(b, c, i, j) = x.at(b, c, i, j) * g;
     }
-  if (ctx.train) x_cache_ = x;
+  if (ctx.train) {
+    x_cache_ = x;
+    h1_ = std::move(h1);
+    gate_ = std::move(gate);
+  }
   return y;
 }
 

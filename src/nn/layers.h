@@ -194,7 +194,7 @@ class SEBlock final : public Module {
  private:
   int c_;
   Linear fc1_, fc2_;
-  Tensor x_cache_, pooled_, h1_, gate_;
+  Tensor x_cache_, h1_, gate_;  // written only when ctx.train
 };
 
 }  // namespace mersit::nn

@@ -230,8 +230,10 @@ RmseReport measure_ptq_rmse(Module& model, const Dataset& calib, const Format& f
   }
   rep.weight_rmse = n > 0 ? std::sqrt(se / n) : 0.0;
 
-  // Activations: calibrate, then probe on the same set.  Each chunk probes
-  // into its own RmseProbe; partials reduce in chunk order.
+  // Activations: calibrate, then probe on the same set.  Each batch probes
+  // into its own RmseProbe and the per-batch partials reduce in batch order,
+  // so the reduction tree — and therefore the result, to the last bit — is
+  // the same for any thread count or chunk split.
   const MaxCalibrator cal = calibrate(model, calib, opt.quantize_input);
   constexpr int kBatch = 32;
   const std::size_t batches =
@@ -240,17 +242,17 @@ RmseReport measure_ptq_rmse(Module& model, const Dataset& calib, const Format& f
     double se = 0.0;
     double count = 0.0;
   };
-  std::vector<Partial> partials(batches);  // indexed by first batch of chunk
+  std::vector<Partial> partials(batches);  // one per batch
   core::global_pool().parallel_chunks(batches, [&](std::size_t begin,
                                                    std::size_t end) {
-    RmseProbe probe(cal, fmt, opt.policy);
-    const nn::Context ctx{/*train=*/false, &probe};
     for (std::size_t b = begin; b < end; ++b) {
+      RmseProbe probe(cal, fmt, opt.policy);
+      const nn::Context ctx{/*train=*/false, &probe};
       const int start = static_cast<int>(b) * kBatch;
       const int count = std::min(kBatch, calib.size() - start);
       (void)model.run(nn::slice_batch(calib.inputs, start, count), ctx);
+      partials[b] = {probe.sum_squared(), probe.count()};
     }
-    partials[begin] = {probe.sum_squared(), probe.count()};
   });
   double ase = 0.0, acount = 0.0;
   for (const Partial& p : partials) {
