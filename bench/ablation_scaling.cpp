@@ -19,7 +19,8 @@ int main() {
   const nn::Dataset test = nn::make_vision_dataset(sizes.test, 3, sizes.img, 102);
   const nn::Dataset calib = nn::make_vision_dataset(sizes.calib, 3, sizes.img, 103);
 
-  std::printf("=== Ablation: calibration scaling policy (PTQ accuracy, %%) ===\n\n");
+  std::printf("=== Ablation: calibration scaling policy (PTQ accuracy, %%) ===\n");
+  std::printf("(%s sizing, img=%d)\n\n", sizes.mode(), sizes.img);
 
   std::mt19937 rng(2024);
   struct Entry {
@@ -27,7 +28,7 @@ int main() {
     nn::ModulePtr model;
   };
   Entry models[] = {
-      {"VGG16-mini", nn::make_vgg_mini(3, 10, rng)},
+      {"VGG16-mini", nn::make_vgg_mini(3, 10, rng, sizes.img)},
       {"MobileNet_v3-mini", nn::make_mobilenet_v3_mini(3, 10, rng)},
   };
   const auto fmts = core::headline_formats();

@@ -12,7 +12,8 @@
 
 namespace mersit::bench {
 
-/// Experiment sizing; MERSIT_BENCH_FAST=1 shrinks everything for smoke runs.
+/// Experiment sizing; MERSIT_BENCH_FAST=1 shrinks everything for smoke runs,
+/// including the per-sample dimensions (img, seq), not just sample counts.
 struct Sizes {
   int train = 1280;
   int test = 320;
@@ -24,15 +25,23 @@ struct Sizes {
   int bert_train = 2048;
   int bert_test = 384;
   int bert_epochs = 6;
+  bool fast = false;
+
+  /// "fast" / "full" — stamp bench output so smoke numbers are never
+  /// mistaken for the committed full-size runs.
+  [[nodiscard]] const char* mode() const { return fast ? "fast" : "full"; }
 
   static Sizes from_env() {
     Sizes s;
     const char* fast = std::getenv("MERSIT_BENCH_FAST");
     if (fast != nullptr && fast[0] == '1') {
+      s.fast = true;
       s.train = 320;
       s.test = 128;
       s.calib = 96;
       s.epochs = 3;
+      s.img = 8;   // must stay a multiple of 4 for the VGG classifier head
+      s.seq = 12;
       s.bert_train = 384;
       s.bert_test = 128;
       s.bert_epochs = 2;

@@ -1,0 +1,188 @@
+// Naive-vs-GEMM forward inference benchmark across the model zoo.
+//
+// For every vision model (and BERT-mini) this times a full forward batch on
+// both dispatch paths — the naive reference loops (MERSIT_GEMM=0) and the
+// blocked GEMM engine — then cross-checks the two outputs element by
+// element.  The GEMM lowering is designed to reproduce the naive rounding
+// sequence exactly, so any divergence beyond 4 ULPs is a bug and the bench
+// exits nonzero (the CI perf-smoke stage relies on this).
+//
+// Extra flag: --json=PATH writes the per-model latency/throughput/speedup
+// report consumed by EXPERIMENTS.md ("Inference throughput") and the
+// committed BENCH_inference.json.  MERSIT_BENCH_FAST=1 shrinks the batch
+// and image/sequence sizes; the output is labeled with the sizing mode.
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/thread_pool.h"
+#include "nn/gemm/gemm.h"
+#include "nn/models.h"
+
+using namespace mersit;
+
+namespace {
+
+/// ULP distance between two finite floats (monotone integer mapping).
+std::uint32_t ulp_distance(float a, float b) {
+  const auto key = [](float v) {
+    const auto u = std::bit_cast<std::uint32_t>(v);
+    return (u & 0x8000'0000u) != 0 ? 0x8000'0000u - (u & 0x7fff'ffffu)
+                                   : 0x8000'0000u + u;
+  };
+  const std::uint32_t ka = key(a), kb = key(b);
+  return ka > kb ? ka - kb : kb - ka;
+}
+
+std::uint32_t max_ulp(const nn::Tensor& a, const nn::Tensor& b) {
+  std::uint32_t m = 0;
+  const auto da = a.data(), db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i)
+    m = std::max(m, ulp_distance(da[i], db[i]));
+  return m;
+}
+
+/// Best-of-R wall time for one forward batch, in milliseconds (one untimed
+/// warm-up pass absorbs lazy allocations and cache effects).
+double time_forward_ms(nn::Module& model, const nn::Tensor& x, int reps) {
+  const nn::Context ctx;
+  (void)model.forward(x, ctx);
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)model.forward(x, ctx);
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Row {
+  std::string model;
+  double naive_ms = 0.0;  ///< per forward batch
+  double gemm_ms = 0.0;
+  int batch = 0;
+  std::uint32_t ulp = 0;
+  [[nodiscard]] double speedup() const {
+    return gemm_ms > 0.0 ? naive_ms / gemm_ms : 0.0;
+  }
+  [[nodiscard]] double gemm_per_s() const {
+    return gemm_ms > 0.0 ? 1e3 * batch / gemm_ms : 0.0;
+  }
+};
+
+Row measure(const std::string& name, nn::Module& model, const nn::Tensor& x,
+            int reps) {
+  Row row;
+  row.model = name;
+  row.batch = x.dim(0);
+  const nn::Context ctx;
+  const bool prev = nn::gemm::set_enabled(false);
+  const nn::Tensor naive_y = model.forward(x, ctx);
+  row.naive_ms = time_forward_ms(model, x, reps);
+  nn::gemm::set_enabled(true);
+  const nn::Tensor gemm_y = model.forward(x, ctx);
+  row.gemm_ms = time_forward_ms(model, x, reps);
+  nn::gemm::set_enabled(prev);
+  row.ulp = max_ulp(naive_y, gemm_y);
+  return row;
+}
+
+int write_json(const char* path, const bench::Sizes& sizes, int threads,
+               const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_inference: cannot open %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_inference/forward\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n  \"threads\": %d,\n", sizes.mode(),
+               threads);
+  std::fprintf(f, "  \"img\": %d,\n  \"seq\": %d,\n  \"models\": [\n",
+               sizes.img, sizes.seq);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"model\": \"%s\", \"batch\": %d, "
+                 "\"naive_ms\": %.3f, \"gemm_ms\": %.3f, \"speedup\": %.2f, "
+                 "\"gemm_img_per_s\": %.1f, \"max_ulp\": %u}%s\n",
+                 r.model.c_str(), r.batch, r.naive_ms, r.gemm_ms, r.speedup(),
+                 r.gemm_per_s(), r.ulp, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const auto sizes = bench::Sizes::from_env();
+  const int threads = core::global_pool().size();
+  const int batch = sizes.fast ? 8 : 32;
+  const int reps = sizes.fast ? 3 : 7;
+
+  std::printf("=== Inference throughput: naive loops vs GEMM engine ===\n");
+  std::printf("(%s sizing, img=%d, seq=%d, batch=%d, best of %d, "
+              "%d worker thread(s))\n\n",
+              sizes.mode(), sizes.img, sizes.seq, batch, reps, threads);
+
+  std::mt19937 rng(2024);
+  std::vector<Row> rows;
+
+  auto zoo = nn::make_vision_zoo(3, 10, 2024, sizes.img);
+  const nn::Tensor vision_x = nn::Tensor::randn({batch, 3, sizes.img, sizes.img}, rng, 1.f);
+  for (auto& entry : zoo)
+    rows.push_back(measure(entry.name, *entry.model, vision_x, reps));
+
+  auto bert = nn::make_bert_mini(sizes.vocab, sizes.seq + 2, 32, 4, 2, 64, 4, rng);
+  nn::Tensor tokens({batch, sizes.seq});
+  std::uniform_int_distribution<int> tok(0, sizes.vocab - 1);
+  for (auto& t : tokens.data()) t = static_cast<float>(tok(rng));
+  rows.push_back(measure("BERT-mini", *bert, tokens, reps));
+
+  std::printf("%-22s %6s %12s %12s %9s %14s %8s\n", "model", "batch",
+              "naive ms", "gemm ms", "speedup", "gemm img/s", "max ULP");
+  bench::print_rule(90);
+  for (const Row& r : rows)
+    std::printf("%-22s %6d %12.3f %12.3f %8.2fx %14.1f %8u\n", r.model.c_str(),
+                r.batch, r.naive_ms, r.gemm_ms, r.speedup(), r.gemm_per_s(),
+                r.ulp);
+
+  if (json_path != nullptr) {
+    const int rc = write_json(json_path, sizes, threads, rows);
+    if (rc != 0) return rc;
+    std::printf("\nwrote %s\n", json_path);
+  }
+
+  // Equivalence gate: the GEMM engine must reproduce the naive outputs.
+  int bad = 0;
+  for (const Row& r : rows) {
+    if (r.ulp > 4) {
+      std::fprintf(stderr,
+                   "bench_inference: %s diverges (max ULP %u > 4)\n",
+                   r.model.c_str(), r.ulp);
+      ++bad;
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}

@@ -75,14 +75,15 @@ int main() {
   const auto sizes = bench::Sizes::from_env();
 
   std::printf("=== Resilience study: bit errors in artifacts and MAC netlists ===\n");
-  std::printf("(all campaigns seeded with %llu; output is deterministic)\n\n",
-              static_cast<unsigned long long>(kSeed));
+  std::printf("(all campaigns seeded with %llu; output is deterministic; "
+              "%s sizing, img=%d)\n\n",
+              static_cast<unsigned long long>(kSeed), sizes.mode(), sizes.img);
 
   // One trained vision model shared by every artifact campaign.
   const nn::Dataset train = nn::make_vision_dataset(sizes.train, 3, sizes.img, 101);
   const nn::Dataset test = nn::make_vision_dataset(sizes.test, 3, sizes.img, 102);
   std::mt19937 rng(kSeed);
-  auto model = nn::make_vgg_mini(3, 10, rng);
+  auto model = nn::make_vgg_mini(3, 10, rng, sizes.img);
   bench::train_vision_model(*model, train, sizes.epochs, 55);
   nn::fold_all_batchnorms(*model);
 

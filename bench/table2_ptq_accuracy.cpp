@@ -42,8 +42,8 @@ int main() {
   std::printf("(thread pool: %d worker(s); override with MERSIT_THREADS)\n\n",
               core::global_pool().size());
   std::printf("Image classification (10-class synthetic, %d train / %d test, "
-              "%d calibration samples)\n\n",
-              sizes.train, sizes.test, sizes.calib);
+              "%d calibration samples; %s sizing, img=%d)\n\n",
+              sizes.train, sizes.test, sizes.calib, sizes.mode(), sizes.img);
 
   const nn::Dataset train = nn::make_vision_dataset(sizes.train, 3, sizes.img, 101);
   const nn::Dataset test = nn::make_vision_dataset(sizes.test, 3, sizes.img, 102);
@@ -51,7 +51,7 @@ int main() {
 
   // Rows run across the pool (each owns its model); results keep zoo order.
   ptq::SweepRunner vision;
-  auto zoo = nn::make_vision_zoo(3, 10, 2024);
+  auto zoo = nn::make_vision_zoo(3, 10, 2024, sizes.img);
   for (auto& entry : zoo) {
     vision.add_row([&entry, &train, &test, &calib, &fmts, &sizes] {
       bench::train_vision_model(*entry.model, train, sizes.epochs, 55);

@@ -23,18 +23,26 @@ run_suite() {
 }
 
 run_suite build
+
+# Perf smoke: the Release bench cross-checks the GEMM engine against the
+# naive loops on every model and exits nonzero on divergence (> 4 ULPs).
+echo "==> perf smoke (bench_inference, fast sizing)"
+MERSIT_BENCH_FAST=1 ./build/bench/bench_inference --json=build/BENCH_inference.json
+
 run_suite build-sanitize -DMERSIT_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
 # TSan stage: rebuild and run only the concurrency-sensitive suites (a full
 # TSan run of the training-heavy tests would dominate CI time).  Force a
 # multi-thread pool so parallel paths actually interleave on 1-core runners.
+# The Gemm suites ride along: the tiled sgemm and the batch-parallel conv
+# forward are the newest concurrent hot paths.
 echo "==> configure build-tsan (MERSIT_SANITIZE=thread)"
 cmake -B build-tsan -S . -DMERSIT_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 echo "==> build build-tsan"
-cmake --build build-tsan -j "${JOBS}" --target test_formats test_mersit test_ptq
+cmake --build build-tsan -j "${JOBS}" --target test_formats test_mersit test_ptq test_nn
 echo "==> ctest build-tsan (concurrency suites)"
 MERSIT_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-  -R '^(CodecInit|KernelCache|KernelEquivalence|ThreadPool|ParallelPtq)\.'
+  -R '^(CodecInit|KernelCache|KernelEquivalence|ThreadPool|ParallelPtq|Gemm)'
 
 # Committed build trees have bitten this repo before (a stale build-sanitize/
 # was checked in); fail if any build artifact is tracked by git or shows up

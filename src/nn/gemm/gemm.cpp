@@ -1,0 +1,248 @@
+#include "nn/gemm/gemm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace mersit::nn::gemm {
+
+namespace {
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("MERSIT_GEMM");
+    return !(env != nullptr && env[0] == '0' && env[1] == '\0');
+  }();
+  return flag;
+}
+
+// Register blocking: the micro-kernel keeps an MR x NR accumulator block in
+// locals.  4 x 8 = 8 vector registers on baseline SSE2 (4-wide), leaving
+// room for the A broadcast and B loads — 6 x 8 already spills on GCC 12 and
+// runs ~4x slower.  MC/KC/NC size the packed panels for L2/L1 residency.
+constexpr int kMR = 4;
+constexpr int kNR = 8;
+constexpr int kMC = 120;
+constexpr int kKC = 256;
+constexpr int kNC = 1024;
+
+inline float a_elem(const float* a, int lda, bool trans, int m, int k) {
+  return trans ? a[static_cast<std::size_t>(k) * lda + m]
+               : a[static_cast<std::size_t>(m) * lda + k];
+}
+
+inline float b_elem(const float* b, int ldb, bool trans, int k, int n) {
+  return trans ? b[static_cast<std::size_t>(n) * ldb + k]
+               : b[static_cast<std::size_t>(k) * ldb + n];
+}
+
+/// Pack an (mc x kc) block of op(A) into kMR-row panels, k-major within a
+/// panel (panel i holds rows [i*kMR, i*kMR+kMR), laid out [k][m]); short
+/// final panels are zero-padded so the micro-kernel never reads garbage.
+void pack_a(const float* a, int lda, bool trans, int m0, int mc, int k0, int kc,
+            float* dst) {
+  for (int ip = 0; ip < mc; ip += kMR) {
+    const int mr = std::min(kMR, mc - ip);
+    for (int k = 0; k < kc; ++k) {
+      for (int m = 0; m < mr; ++m)
+        dst[k * kMR + m] = a_elem(a, lda, trans, m0 + ip + m, k0 + k);
+      for (int m = mr; m < kMR; ++m) dst[k * kMR + m] = 0.f;
+    }
+    dst += static_cast<std::size_t>(kc) * kMR;
+  }
+}
+
+/// Pack a (kc x nc) block of op(B) into kNR-column panels, [k][n] within a
+/// panel, zero-padded like pack_a.
+void pack_b(const float* b, int ldb, bool trans, int k0, int kc, int n0, int nc,
+            float* dst) {
+  for (int jp = 0; jp < nc; jp += kNR) {
+    const int nr = std::min(kNR, nc - jp);
+    for (int k = 0; k < kc; ++k) {
+      for (int n = 0; n < nr; ++n)
+        dst[k * kNR + n] = b_elem(b, ldb, trans, k0 + k, n0 + jp + n);
+      for (int n = nr; n < kNR; ++n) dst[k * kNR + n] = 0.f;
+    }
+    dst += static_cast<std::size_t>(kc) * kNR;
+  }
+}
+
+/// Full kMR x kNR tile: constant trip counts so the inner n-loop
+/// vectorizes; accumulates kc products into the C tile in ascending k
+/// order.
+void micro_full(int kc, const float* ap, const float* bp, float* c, int ldc) {
+  float acc[kMR][kNR];
+  for (int m = 0; m < kMR; ++m)
+    for (int n = 0; n < kNR; ++n) acc[m][n] = c[static_cast<std::size_t>(m) * ldc + n];
+  for (int k = 0; k < kc; ++k) {
+    const float* av = ap + static_cast<std::size_t>(k) * kMR;
+    const float* bv = bp + static_cast<std::size_t>(k) * kNR;
+    for (int m = 0; m < kMR; ++m) {
+      const float a = av[m];
+      for (int n = 0; n < kNR; ++n) acc[m][n] += a * bv[n];
+    }
+  }
+  for (int m = 0; m < kMR; ++m)
+    for (int n = 0; n < kNR; ++n) c[static_cast<std::size_t>(m) * ldc + n] = acc[m][n];
+}
+
+/// Edge tile (mr < kMR and/or nr < kNR): same accumulation order, partial
+/// loads/stores.  The packed panels are zero-padded, so the k-loop may still
+/// run the full kNR width internally — but only real C entries are touched.
+void micro_edge(int kc, const float* ap, const float* bp, float* c, int ldc,
+                int mr, int nr) {
+  float acc[kMR][kNR] = {};
+  for (int m = 0; m < mr; ++m)
+    for (int n = 0; n < nr; ++n) acc[m][n] = c[static_cast<std::size_t>(m) * ldc + n];
+  for (int k = 0; k < kc; ++k) {
+    const float* av = ap + static_cast<std::size_t>(k) * kMR;
+    const float* bv = bp + static_cast<std::size_t>(k) * kNR;
+    for (int m = 0; m < mr; ++m) {
+      const float a = av[m];
+      for (int n = 0; n < kNR; ++n) acc[m][n] += a * bv[n];
+    }
+  }
+  for (int m = 0; m < mr; ++m)
+    for (int n = 0; n < nr; ++n) c[static_cast<std::size_t>(m) * ldc + n] = acc[m][n];
+}
+
+/// Problems below this many multiply-adds skip the packing machinery: a
+/// direct m / k / n loop nest is faster there and keeps the identical
+/// per-element ascending-k accumulation order (row-at-a-time, so the inner
+/// n loop still vectorizes).  Sized for the per-head attention matmuls of
+/// short sequences, which would otherwise spend more time packing than
+/// multiplying.
+constexpr std::int64_t kSmallWork = 1 << 13;
+
+void small_gemm(int M, int N, int K, const float* a, int lda, bool trans_a,
+                const float* b, int ldb, bool trans_b, float* c, int ldc,
+                Init init, const float* bias) {
+  for (int m = 0; m < M; ++m) {
+    float* row = c + static_cast<std::size_t>(m) * ldc;
+    switch (init) {
+      case Init::kZero:
+        for (int n = 0; n < N; ++n) row[n] = 0.f;
+        break;
+      case Init::kBiasRow:
+        for (int n = 0; n < N; ++n) row[n] = bias[m];
+        break;
+      case Init::kBiasCol:
+        for (int n = 0; n < N; ++n) row[n] = bias[n];
+        break;
+      case Init::kAccumulate:
+        break;
+    }
+    for (int k = 0; k < K; ++k) {
+      const float av = a_elem(a, lda, trans_a, m, k);
+      for (int n = 0; n < N; ++n) row[n] += av * b_elem(b, ldb, trans_b, k, n);
+    }
+  }
+}
+
+struct TileArgs {
+  int M, N, K;
+  const float* a;
+  int lda;
+  bool trans_a;
+  const float* b;
+  int ldb;
+  bool trans_b;
+  float* c;
+  int ldc;
+  Init init;
+  const float* bias;
+};
+
+/// Compute one (MC x NC) output tile end to end: init, then all KC panels
+/// in ascending k order.  Packing buffers are per-call (per-task) locals,
+/// so concurrent tiles share nothing mutable.
+void run_tile(const TileArgs& t, int m0, int mc, int n0, int nc) {
+  float* c0 = t.c + static_cast<std::size_t>(m0) * t.ldc + n0;
+  switch (t.init) {
+    case Init::kZero:
+      for (int m = 0; m < mc; ++m)
+        for (int n = 0; n < nc; ++n) c0[static_cast<std::size_t>(m) * t.ldc + n] = 0.f;
+      break;
+    case Init::kBiasRow:
+      for (int m = 0; m < mc; ++m) {
+        const float v = t.bias[m0 + m];
+        for (int n = 0; n < nc; ++n) c0[static_cast<std::size_t>(m) * t.ldc + n] = v;
+      }
+      break;
+    case Init::kBiasCol:
+      for (int m = 0; m < mc; ++m)
+        for (int n = 0; n < nc; ++n)
+          c0[static_cast<std::size_t>(m) * t.ldc + n] = t.bias[n0 + n];
+      break;
+    case Init::kAccumulate:
+      break;  // start from the existing C
+  }
+
+  const int mpanels = (mc + kMR - 1) / kMR;
+  const int npanels = (nc + kNR - 1) / kNR;
+  std::vector<float> abuf(static_cast<std::size_t>(mpanels) * kMR * std::min(t.K, kKC));
+  std::vector<float> bbuf(static_cast<std::size_t>(npanels) * kNR * std::min(t.K, kKC));
+
+  for (int k0 = 0; k0 < t.K; k0 += kKC) {
+    const int kc = std::min(kKC, t.K - k0);
+    pack_a(t.a, t.lda, t.trans_a, m0, mc, k0, kc, abuf.data());
+    pack_b(t.b, t.ldb, t.trans_b, k0, kc, n0, nc, bbuf.data());
+    for (int jp = 0; jp < nc; jp += kNR) {
+      const int nr = std::min(kNR, nc - jp);
+      const float* bp = bbuf.data() + static_cast<std::size_t>(jp / kNR) * kc * kNR;
+      for (int ip = 0; ip < mc; ip += kMR) {
+        const int mr = std::min(kMR, mc - ip);
+        const float* ap = abuf.data() + static_cast<std::size_t>(ip / kMR) * kc * kMR;
+        float* c = c0 + static_cast<std::size_t>(ip) * t.ldc + jp;
+        if (mr == kMR && nr == kNR)
+          micro_full(kc, ap, bp, c, t.ldc);
+        else
+          micro_edge(kc, ap, bp, c, t.ldc, mr, nr);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+bool set_enabled(bool on) {
+  return enabled_flag().exchange(on, std::memory_order_relaxed);
+}
+
+void sgemm(int M, int N, int K, const float* A, int lda, bool trans_a,
+           const float* B, int ldb, bool trans_b, float* C, int ldc, Init init,
+           const float* bias, core::ThreadPool* pool) {
+  if (M < 0 || N < 0 || K < 0) throw std::invalid_argument("sgemm: negative dim");
+  if (M == 0 || N == 0) return;
+  if ((init == Init::kBiasRow || init == Init::kBiasCol) && bias == nullptr)
+    throw std::invalid_argument("sgemm: bias init without bias pointer");
+
+  if (static_cast<std::int64_t>(M) * N * K <= kSmallWork) {
+    small_gemm(M, N, K, A, lda, trans_a, B, ldb, trans_b, C, ldc, init, bias);
+    return;
+  }
+
+  const TileArgs t{M, N, K, A, lda, trans_a, B, ldb, trans_b, C, ldc, init, bias};
+  const int mtiles = (M + kMC - 1) / kMC;
+  const int ntiles = (N + kNC - 1) / kNC;
+  const std::size_t tiles = static_cast<std::size_t>(mtiles) * ntiles;
+  const auto tile = [&t, ntiles](std::size_t idx) {
+    const int mb = static_cast<int>(idx) / ntiles;
+    const int nb = static_cast<int>(idx) % ntiles;
+    const int m0 = mb * kMC;
+    const int n0 = nb * kNC;
+    run_tile(t, m0, std::min(kMC, t.M - m0), n0, std::min(kNC, t.N - n0));
+  };
+  if (tiles == 1) {
+    tile(0);  // skip the pool round-trip for the common tiny-matrix case
+    return;
+  }
+  core::ThreadPool& p = pool != nullptr ? *pool : core::global_pool();
+  p.parallel_for(tiles, tile);
+}
+
+}  // namespace mersit::nn::gemm

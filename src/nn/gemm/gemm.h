@@ -1,0 +1,61 @@
+// Dense single-precision GEMM for the inference hot paths.
+//
+// A cache-blocked, packing SGEMM with a small register-tiled micro-kernel
+// written in plain C++ so the compiler auto-vectorizes the NR dimension (no
+// intrinsics, no -ffast-math).  Three properties the rest of the repo leans
+// on:
+//
+//  * Fixed k-order summation.  Every output element accumulates its K
+//    products in ascending k order, starting from its initial value (zero,
+//    a broadcast bias, or the existing C for accumulating calls).  The
+//    compiler cannot reassociate float adds, so the per-element rounding
+//    sequence is exactly the naive triple loop's — GEMM outputs are
+//    bit-identical to the reference layer implementations.
+//
+//  * Thread-count invariance.  Parallelism is over disjoint (MC x NC)
+//    output tiles; each tile is computed in full by whichever worker picks
+//    it up, so the result is independent of MERSIT_THREADS and of how
+//    parallel_for chunks the tile list.
+//
+//  * Safe nesting.  The tile loop runs on core::ThreadPool, whose nested
+//    parallel regions execute inline — callers that already fan out (the
+//    per-batch conv loop, the parallel PTQ evaluators) compose without
+//    oversubscription.
+//
+// MERSIT_GEMM=0 in the environment (or set_enabled(false)) routes every
+// layer back to its naive reference loops; the equivalence tests compare
+// the two paths.
+#pragma once
+
+#include "core/thread_pool.h"
+
+namespace mersit::nn::gemm {
+
+/// GEMM dispatch switch: MERSIT_GEMM=0 disables it (naive reference loops);
+/// anything else — including unset — enables it.
+[[nodiscard]] bool enabled();
+
+/// Programmatic override (tests, benches); returns the previous value.
+bool set_enabled(bool on);
+
+/// What each C element starts from before the k-summation.
+enum class Init {
+  kZero,     ///< C = op(A)·op(B)
+  kBiasRow,  ///< C[m,n] = bias[m] + ...   (conv: per-output-channel bias)
+  kBiasCol,  ///< C[m,n] = bias[n] + ...   (linear: per-output-feature bias)
+  kAccumulate,  ///< C += op(A)·op(B)      (gradient accumulation)
+};
+
+/// C (M x N, row-major, leading dim ldc) = init + op(A)·op(B).
+///
+/// op(A) is M x K: element (m,k) is A[m*lda + k], or A[k*lda + m] when
+/// trans_a.  op(B) is K x N: element (k,n) is B[k*ldb + n], or B[n*ldb + k]
+/// when trans_b.  `bias` must have M (kBiasRow) or N (kBiasCol) entries and
+/// may be null otherwise.  `pool` defaults to the global pool; tests pass
+/// their own to pin thread-count invariance.
+void sgemm(int M, int N, int K, const float* A, int lda, bool trans_a,
+           const float* B, int ldb, bool trans_b, float* C, int ldc,
+           Init init = Init::kZero, const float* bias = nullptr,
+           core::ThreadPool* pool = nullptr);
+
+}  // namespace mersit::nn::gemm

@@ -1,0 +1,83 @@
+#include "nn/gemm/im2col.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mersit::nn::gemm {
+
+namespace {
+
+/// Valid output-x range [j_begin, j_end) for kernel column kj: the j where
+/// j*stride + kj - pad lands inside [0, w).
+inline void out_range(int extent, int k_off, int stride, int pad, int out,
+                      int& begin, int& end) {
+  // j*stride + k_off - pad >= 0  =>  j >= ceil((pad - k_off) / stride)
+  const int lo = pad - k_off;
+  begin = lo > 0 ? (lo + stride - 1) / stride : 0;
+  // j*stride + k_off - pad <= extent-1  =>  j <= (extent-1+pad-k_off)/stride
+  const int hi = extent - 1 + pad - k_off;
+  end = hi < 0 ? 0 : std::min(out, hi / stride + 1);
+  begin = std::min(begin, end);
+}
+
+}  // namespace
+
+void im2col(const float* x, int channels, int h, int w, int k, int stride,
+            int pad, float* col) {
+  const int oh = conv_out_dim(h, k, stride, pad);
+  const int ow = conv_out_dim(w, k, stride, pad);
+  const int osz = oh * ow;
+  float* row = col;
+  for (int c = 0; c < channels; ++c) {
+    const float* plane = x + static_cast<std::size_t>(c) * h * w;
+    for (int ki = 0; ki < k; ++ki) {
+      for (int kj = 0; kj < k; ++kj, row += osz) {
+        int jb, je;
+        out_range(w, kj, stride, pad, ow, jb, je);
+        for (int i = 0; i < oh; ++i) {
+          float* out = row + static_cast<std::size_t>(i) * ow;
+          const int yi = i * stride + ki - pad;
+          if (yi < 0 || yi >= h) {
+            std::memset(out, 0, static_cast<std::size_t>(ow) * sizeof(float));
+            continue;
+          }
+          const float* src = plane + static_cast<std::size_t>(yi) * w + kj - pad;
+          for (int j = 0; j < jb; ++j) out[j] = 0.f;
+          if (stride == 1) {
+            std::memcpy(out + jb, src + jb,
+                        static_cast<std::size_t>(je - jb) * sizeof(float));
+          } else {
+            for (int j = jb; j < je; ++j) out[j] = src[j * stride];
+          }
+          for (int j = je; j < ow; ++j) out[j] = 0.f;
+        }
+      }
+    }
+  }
+}
+
+void col2im_add(const float* col, int channels, int h, int w, int k, int stride,
+                int pad, float* dx) {
+  const int oh = conv_out_dim(h, k, stride, pad);
+  const int ow = conv_out_dim(w, k, stride, pad);
+  const int osz = oh * ow;
+  const float* row = col;
+  for (int c = 0; c < channels; ++c) {
+    float* plane = dx + static_cast<std::size_t>(c) * h * w;
+    for (int ki = 0; ki < k; ++ki) {
+      for (int kj = 0; kj < k; ++kj, row += osz) {
+        int jb, je;
+        out_range(w, kj, stride, pad, ow, jb, je);
+        for (int i = 0; i < oh; ++i) {
+          const int yi = i * stride + ki - pad;
+          if (yi < 0 || yi >= h) continue;
+          const float* src = row + static_cast<std::size_t>(i) * ow;
+          float* dst = plane + static_cast<std::size_t>(yi) * w + kj - pad;
+          for (int j = jb; j < je; ++j) dst[j * stride] += src[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mersit::nn::gemm

@@ -1,0 +1,27 @@
+// im2col / col2im lowering for the GEMM conv path.
+//
+// The column buffer is [channels*k*k, oh*ow] row-major, with the row index
+// ordered (c, ki, kj) — exactly the accumulation order of the naive conv
+// loops, so a fixed-k-order GEMM over it reproduces the reference results
+// bit for bit.  Out-of-bounds (padding) taps are stored as 0.
+#pragma once
+
+namespace mersit::nn::gemm {
+
+/// Output spatial size of a same-style square conv.
+[[nodiscard]] inline int conv_out_dim(int in, int k, int stride, int pad) {
+  return (in + 2 * pad - k) / stride + 1;
+}
+
+/// Lower one image plane group `x` ([channels, h, w] contiguous) into
+/// `col` ([channels*k*k, oh*ow]).
+void im2col(const float* x, int channels, int h, int w, int k, int stride,
+            int pad, float* col);
+
+/// Scatter-add `col` ([channels*k*k, oh*ow]) back into `dx`
+/// ([channels, h, w]); padding taps are dropped.  Used by Conv2d::backward
+/// to fold the column-space input gradient back to image space.
+void col2im_add(const float* col, int channels, int h, int w, int k, int stride,
+                int pad, float* dx);
+
+}  // namespace mersit::nn::gemm

@@ -2,6 +2,11 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "nn/gemm/gemm.h"
+#include "nn/gemm/im2col.h"
 
 namespace mersit::nn {
 
@@ -33,13 +38,21 @@ Tensor Linear::forward(const Tensor& x, const Context& ctx) {
   const int n = x.dim(0);
   if (x.dim(1) != in_) throw std::invalid_argument("Linear: width mismatch");
   Tensor y({n, out_});
-  for (int i = 0; i < n; ++i) {
-    const float* xi = x.raw() + static_cast<std::ptrdiff_t>(i) * in_;
-    for (int o = 0; o < out_; ++o) {
-      const float* w = weight.value.raw() + static_cast<std::ptrdiff_t>(o) * in_;
-      float acc = bias.value[o];
-      for (int j = 0; j < in_; ++j) acc += w[j] * xi[j];
-      y.at(i, o) = acc;
+  if (gemm::enabled()) {
+    // y = x · Wᵀ + b; bias-first then ascending-k accumulation matches the
+    // naive loop's rounding sequence exactly.
+    gemm::sgemm(n, out_, in_, x.raw(), in_, /*trans_a=*/false,
+                weight.value.raw(), in_, /*trans_b=*/true, y.raw(), out_,
+                gemm::Init::kBiasCol, bias.value.raw());
+  } else {
+    for (int i = 0; i < n; ++i) {
+      const float* xi = x.raw() + static_cast<std::ptrdiff_t>(i) * in_;
+      for (int o = 0; o < out_; ++o) {
+        const float* w = weight.value.raw() + static_cast<std::ptrdiff_t>(o) * in_;
+        float acc = bias.value[o];
+        for (int j = 0; j < in_; ++j) acc += w[j] * xi[j];
+        y.at(i, o) = acc;
+      }
     }
   }
   if (ctx.train) x_cache_ = x;
@@ -50,17 +63,31 @@ Tensor Linear::backward(const Tensor& grad_out) {
   const Tensor& x = x_cache_;
   const int n = x.dim(0);
   Tensor dx({n, in_});
-  for (int i = 0; i < n; ++i) {
-    const float* xi = x.raw() + static_cast<std::ptrdiff_t>(i) * in_;
-    float* dxi = dx.raw() + static_cast<std::ptrdiff_t>(i) * in_;
+  if (gemm::enabled()) {
+    // dx = g · W;  dW += gᵀ · x;  db += column sums of g.
+    gemm::sgemm(n, in_, out_, grad_out.raw(), out_, /*trans_a=*/false,
+                weight.value.raw(), in_, /*trans_b=*/false, dx.raw(), in_);
+    gemm::sgemm(out_, in_, n, grad_out.raw(), out_, /*trans_a=*/true, x.raw(),
+                in_, /*trans_b=*/false, weight.grad.raw(), in_,
+                gemm::Init::kAccumulate);
     for (int o = 0; o < out_; ++o) {
-      const float g = grad_out.at(i, o);
-      const float* w = weight.value.raw() + static_cast<std::ptrdiff_t>(o) * in_;
-      float* dw = weight.grad.raw() + static_cast<std::ptrdiff_t>(o) * in_;
-      bias.grad[o] += g;
-      for (int j = 0; j < in_; ++j) {
-        dw[j] += g * xi[j];
-        dxi[j] += g * w[j];
+      float s = bias.grad[o];
+      for (int i = 0; i < n; ++i) s += grad_out[static_cast<std::int64_t>(i) * out_ + o];
+      bias.grad[o] = s;
+    }
+  } else {
+    for (int i = 0; i < n; ++i) {
+      const float* xi = x.raw() + static_cast<std::ptrdiff_t>(i) * in_;
+      float* dxi = dx.raw() + static_cast<std::ptrdiff_t>(i) * in_;
+      for (int o = 0; o < out_; ++o) {
+        const float g = grad_out.at(i, o);
+        const float* w = weight.value.raw() + static_cast<std::ptrdiff_t>(o) * in_;
+        float* dw = weight.grad.raw() + static_cast<std::ptrdiff_t>(o) * in_;
+        bias.grad[o] += g;
+        for (int j = 0; j < in_; ++j) {
+          dw[j] += g * xi[j];
+          dxi[j] += g * w[j];
+        }
       }
     }
   }
@@ -96,6 +123,75 @@ std::span<float> Conv2d::channel_span(int c) {
   return weight.value.data().subspan(static_cast<std::size_t>(c) * per, per);
 }
 
+namespace {
+
+/// Static geometry of one conv application, shared by the GEMM-lowered
+/// forward and backward.
+struct ConvGeom {
+  int n, in_ch, out_ch, h, w, oh, ow, k, stride, pad, groups, icg, ocg;
+  [[nodiscard]] int osz() const { return oh * ow; }
+  [[nodiscard]] int kdim() const { return icg * k * k; }
+  /// 1x1/stride-1/no-pad convs read the input slab as the column buffer
+  /// directly — no im2col copy.
+  [[nodiscard]] bool unit() const { return k == 1 && stride == 1 && pad == 0; }
+  [[nodiscard]] bool depthwise() const { return icg == 1 && ocg == 1; }
+};
+
+/// Depthwise forward: kernel-taps-outer / output-x-inner direct loops.  The
+/// inner j loop is contiguous (vectorizable at stride 1) and the per-output
+/// accumulation order — bias, then (ki, kj) ascending with out-of-bounds
+/// taps skipped — is exactly the naive loop's, so results are bit-identical.
+void conv_forward_depthwise(const ConvGeom& g, const float* xb, const float* wt,
+                            const float* bias, float* yb) {
+  const int kk = g.k * g.k;
+  for (int c = 0; c < g.out_ch; ++c) {
+    const float* plane = xb + static_cast<std::size_t>(c) * g.h * g.w;
+    const float* wk = wt + static_cast<std::size_t>(c) * kk;
+    float* yp = yb + static_cast<std::size_t>(c) * g.osz();
+    for (int i = 0; i < g.oh; ++i) {
+      float* yrow = yp + static_cast<std::size_t>(i) * g.ow;
+      const float b0 = bias[c];
+      for (int j = 0; j < g.ow; ++j) yrow[j] = b0;
+      for (int ki = 0; ki < g.k; ++ki) {
+        const int yi = i * g.stride + ki - g.pad;
+        if (yi < 0 || yi >= g.h) continue;
+        const float* xrow = plane + static_cast<std::size_t>(yi) * g.w;
+        for (int kj = 0; kj < g.k; ++kj) {
+          const int lo = g.pad - kj;
+          const int jb = lo > 0 ? (lo + g.stride - 1) / g.stride : 0;
+          const int hi = g.w - 1 + g.pad - kj;
+          const int je = hi < 0 ? 0 : std::min(g.ow, hi / g.stride + 1);
+          const float wv = wk[ki * g.k + kj];
+          const float* src = xrow + kj - g.pad;
+          for (int j = jb; j < je; ++j) yrow[j] += wv * src[j * g.stride];
+        }
+      }
+    }
+  }
+}
+
+/// One sample's grouped-conv forward as per-group GEMMs over an im2col
+/// buffer (`col` is caller-provided scratch of kdim x osz floats, unused
+/// for unit convs).
+void conv_forward_sample(const ConvGeom& g, const float* xb, const float* wt,
+                         const float* bias, float* yb, float* col) {
+  for (int grp = 0; grp < g.groups; ++grp) {
+    const float* src = xb + static_cast<std::size_t>(grp) * g.icg * g.h * g.w;
+    const float* colp = src;
+    if (!g.unit()) {
+      gemm::im2col(src, g.icg, g.h, g.w, g.k, g.stride, g.pad, col);
+      colp = col;
+    }
+    gemm::sgemm(g.ocg, g.osz(), g.kdim(),
+                wt + static_cast<std::size_t>(grp) * g.ocg * g.kdim(), g.kdim(),
+                /*trans_a=*/false, colp, g.osz(), /*trans_b=*/false,
+                yb + static_cast<std::size_t>(grp) * g.ocg * g.osz(), g.osz(),
+                gemm::Init::kBiasRow, bias + static_cast<std::size_t>(grp) * g.ocg);
+  }
+}
+
+}  // namespace
+
 Tensor Conv2d::forward(const Tensor& x, const Context& ctx) {
   const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
   if (x.dim(1) != in_ch_) throw std::invalid_argument("Conv2d: channel mismatch");
@@ -104,25 +200,46 @@ Tensor Conv2d::forward(const Tensor& x, const Context& ctx) {
   const int icg = in_ch_ / groups_;
   const int ocg = out_ch_ / groups_;
   Tensor y({n, out_ch_, oh, ow});
-  for (int b = 0; b < n; ++b) {
-    for (int o = 0; o < out_ch_; ++o) {
-      const int g = o / ocg;
-      for (int i = 0; i < oh; ++i) {
-        for (int j = 0; j < ow; ++j) {
-          float acc = bias.value[o];
-          for (int c = 0; c < icg; ++c) {
-            const int ic = g * icg + c;
-            for (int ki = 0; ki < k_; ++ki) {
-              const int yi = i * stride_ + ki - pad_;
-              if (yi < 0 || yi >= h) continue;
-              for (int kj = 0; kj < k_; ++kj) {
-                const int xj = j * stride_ + kj - pad_;
-                if (xj < 0 || xj >= w) continue;
-                acc += weight.value.at(o, c, ki, kj) * x.at(b, ic, yi, xj);
+  if (gemm::enabled()) {
+    const ConvGeom g{n,  in_ch_,  out_ch_, h,       w,   oh,  ow,
+                     k_, stride_, pad_,    groups_, icg, ocg};
+    const float* wt = weight.value.raw();
+    const float* bs = bias.value.raw();
+    // Samples are independent; nested calls (e.g. from the parallel PTQ
+    // evaluators) run inline, and each sample is computed whole, so the
+    // output is invariant to the thread count.
+    core::global_pool().parallel_for(static_cast<std::size_t>(n), [&](std::size_t b) {
+      const float* xb = x.raw() + b * static_cast<std::size_t>(in_ch_) * h * w;
+      float* yb = y.raw() + b * static_cast<std::size_t>(out_ch_) * oh * ow;
+      if (g.depthwise()) {
+        conv_forward_depthwise(g, xb, wt, bs, yb);
+        return;
+      }
+      std::vector<float> col;
+      if (!g.unit()) col.resize(static_cast<std::size_t>(g.kdim()) * g.osz());
+      conv_forward_sample(g, xb, wt, bs, yb, col.data());
+    });
+  } else {
+    for (int b = 0; b < n; ++b) {
+      for (int o = 0; o < out_ch_; ++o) {
+        const int g = o / ocg;
+        for (int i = 0; i < oh; ++i) {
+          for (int j = 0; j < ow; ++j) {
+            float acc = bias.value[o];
+            for (int c = 0; c < icg; ++c) {
+              const int ic = g * icg + c;
+              for (int ki = 0; ki < k_; ++ki) {
+                const int yi = i * stride_ + ki - pad_;
+                if (yi < 0 || yi >= h) continue;
+                for (int kj = 0; kj < k_; ++kj) {
+                  const int xj = j * stride_ + kj - pad_;
+                  if (xj < 0 || xj >= w) continue;
+                  acc += weight.value.at(o, c, ki, kj) * x.at(b, ic, yi, xj);
+                }
               }
             }
+            y.at(b, o, i, j) = acc;
           }
-          y.at(b, o, i, j) = acc;
         }
       }
     }
@@ -138,6 +255,58 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const int icg = in_ch_ / groups_;
   const int ocg = out_ch_ / groups_;
   Tensor dx(x.shape());
+  if (gemm::enabled()) {
+    const ConvGeom g{n,  in_ch_,  out_ch_, h,       w,   oh,  ow,
+                     k_, stride_, pad_,    groups_, icg, ocg};
+    const int osz = g.osz(), kdim = g.kdim();
+    std::vector<float> col(g.unit() ? 0 : static_cast<std::size_t>(kdim) * osz);
+    std::vector<float> dcol(g.unit() ? 0 : static_cast<std::size_t>(kdim) * osz);
+    // Serial over samples: gradient accumulation into weight.grad keeps the
+    // naive loop's batch-ascending add order (training is single-threaded).
+    for (int b = 0; b < n; ++b) {
+      const float* xb = x.raw() + static_cast<std::size_t>(b) * in_ch_ * h * w;
+      float* dxb = dx.raw() + static_cast<std::size_t>(b) * in_ch_ * h * w;
+      for (int grp = 0; grp < groups_; ++grp) {
+        const float* src = xb + static_cast<std::size_t>(grp) * icg * h * w;
+        const float* colp = src;
+        if (!g.unit()) {
+          gemm::im2col(src, icg, h, w, k_, stride_, pad_, col.data());
+          colp = col.data();
+        }
+        const float* gy = grad_out.raw() +
+                          (static_cast<std::size_t>(b) * out_ch_ +
+                           static_cast<std::size_t>(grp) * ocg) * osz;
+        // db: per-channel sums of gy, (i, j) ascending as in the naive loop.
+        for (int o = 0; o < ocg; ++o) {
+          float s = bias.grad[grp * ocg + o];
+          const float* row = gy + static_cast<std::size_t>(o) * osz;
+          for (int p = 0; p < osz; ++p) s += row[p];
+          bias.grad[grp * ocg + o] = s;
+        }
+        // dW += gy · colᵀ   ([ocg x osz] · [osz x kdim])
+        gemm::sgemm(ocg, kdim, osz, gy, osz, /*trans_a=*/false, colp, osz,
+                    /*trans_b=*/true,
+                    weight.grad.raw() + static_cast<std::size_t>(grp) * ocg * kdim,
+                    kdim, gemm::Init::kAccumulate);
+        // dcol = Wᵀ · gy   ([kdim x ocg] · [ocg x osz]), then fold back to
+        // image space.  Unit convs write the input-gradient slab directly.
+        float* dslab = dxb + static_cast<std::size_t>(grp) * icg * h * w;
+        if (g.unit()) {
+          gemm::sgemm(kdim, osz, ocg,
+                      weight.value.raw() + static_cast<std::size_t>(grp) * ocg * kdim,
+                      kdim, /*trans_a=*/true, gy, osz, /*trans_b=*/false, dslab,
+                      osz);
+        } else {
+          gemm::sgemm(kdim, osz, ocg,
+                      weight.value.raw() + static_cast<std::size_t>(grp) * ocg * kdim,
+                      kdim, /*trans_a=*/true, gy, osz, /*trans_b=*/false,
+                      dcol.data(), osz);
+          gemm::col2im_add(dcol.data(), icg, h, w, k_, stride_, pad_, dslab);
+        }
+      }
+    }
+    return dx;
+  }
   for (int b = 0; b < n; ++b) {
     for (int o = 0; o < out_ch_; ++o) {
       const int g = o / ocg;

@@ -30,7 +30,8 @@ void push_cba(std::vector<ModulePtr>& v, int in, int out, int stride, Act a,
 
 // ------------------------------------------------------------------ VGG ----
 
-ModulePtr make_vgg_mini(int in_ch, int classes, std::mt19937& rng) {
+ModulePtr make_vgg_mini(int in_ch, int classes, std::mt19937& rng, int img) {
+  const int final_side = img / 4;  // two 2x2 MaxPools halve the side twice
   std::vector<ModulePtr> v;
   v.push_back(conv(in_ch, 14, 3, 1, 1, 1, rng));
   v.push_back(act(Act::kReLU));
@@ -43,7 +44,7 @@ ModulePtr make_vgg_mini(int in_ch, int classes, std::mt19937& rng) {
   v.push_back(act(Act::kReLU));
   v.push_back(std::make_unique<MaxPool2d>());
   v.push_back(std::make_unique<Flatten>());
-  v.push_back(std::make_unique<Linear>(24 * 3 * 3, 48, rng));
+  v.push_back(std::make_unique<Linear>(24 * final_side * final_side, 48, rng));
   v.push_back(act(Act::kReLU));
   v.push_back(std::make_unique<Linear>(48, classes, rng));
   return seq(std::move(v));
@@ -202,10 +203,11 @@ ModulePtr make_bert_mini(int vocab, int max_len, int dim, int heads, int layers,
 
 // ------------------------------------------------------------------ zoo ----
 
-std::vector<NamedModel> make_vision_zoo(int in_ch, int classes, unsigned seed) {
+std::vector<NamedModel> make_vision_zoo(int in_ch, int classes, unsigned seed,
+                                        int img) {
   std::vector<NamedModel> zoo;
   std::mt19937 rng(seed);
-  zoo.push_back({"VGG16-mini", make_vgg_mini(in_ch, classes, rng)});
+  zoo.push_back({"VGG16-mini", make_vgg_mini(in_ch, classes, rng, img)});
   zoo.push_back({"ResNet18-mini", make_resnet_mini(in_ch, classes, 1, rng)});
   zoo.push_back({"ResNet50-mini", make_resnet_mini(in_ch, classes, 2, rng)});
   zoo.push_back({"ResNet101-mini", make_resnet_mini(in_ch, classes, 3, rng)});

@@ -21,7 +21,11 @@ struct NamedModel {
   ModulePtr model;
 };
 
-[[nodiscard]] ModulePtr make_vgg_mini(int in_ch, int classes, std::mt19937& rng);
+/// `img` is the square input resolution; the classifier head flattens
+/// 24*(img/4)^2 features after the two MaxPools, so img must be a multiple
+/// of 4 (the default 12 matches the standard synthetic task).
+[[nodiscard]] ModulePtr make_vgg_mini(int in_ch, int classes, std::mt19937& rng,
+                                      int img = 12);
 /// `blocks_per_stage` 1/2/3 gives the ResNet18/50/101 analogues.
 [[nodiscard]] ModulePtr make_resnet_mini(int in_ch, int classes, int blocks_per_stage,
                                          std::mt19937& rng);
@@ -37,9 +41,10 @@ struct NamedModel {
                                        int layers, int ff_dim, int classes,
                                        std::mt19937& rng);
 
-/// The eight Table-2 vision rows, in paper order.
+/// The eight Table-2 vision rows, in paper order.  `img` sizes the VGG
+/// classifier head (the other models are resolution-independent).
 [[nodiscard]] std::vector<NamedModel> make_vision_zoo(int in_ch, int classes,
-                                                      unsigned seed);
+                                                      unsigned seed, int img = 12);
 
 /// Fold every Conv2d+BatchNorm2d pair (in module order) for PTQ; after this
 /// the BN layers are identities and the conv weights carry the per-channel

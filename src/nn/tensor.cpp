@@ -58,12 +58,22 @@ float Tensor::at(int a, int b, int c, int d) const {
   return const_cast<Tensor*>(this)->at(a, b, c, d);
 }
 
-Tensor Tensor::reshaped(std::vector<int> shape) const {
+Tensor Tensor::reshaped(std::vector<int> shape) const& {
   if (static_cast<std::int64_t>(shape_numel(shape)) != numel())
     throw std::invalid_argument("Tensor::reshaped: numel mismatch");
   Tensor t;
   t.shape_ = std::move(shape);
   t.data_ = data_;
+  return t;
+}
+
+Tensor Tensor::reshaped(std::vector<int> shape) && {
+  if (static_cast<std::int64_t>(shape_numel(shape)) != numel())
+    throw std::invalid_argument("Tensor::reshaped: numel mismatch");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(data_);
+  shape_.clear();
   return t;
 }
 

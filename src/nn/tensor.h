@@ -46,8 +46,12 @@ class Tensor {
   [[nodiscard]] float at(int a, int b, int c) const;
   [[nodiscard]] float at(int a, int b, int c, int d) const;
 
-  /// Same data, new shape (numel must match).
-  [[nodiscard]] Tensor reshaped(std::vector<int> shape) const;
+  /// Same data, new shape (numel must match).  The lvalue overload deep-
+  /// copies; the rvalue overload steals the buffer, so hot paths that
+  /// reshape a temporary (attention head folding, the GEMM conv lowering)
+  /// pay no copy: `std::move(t).reshaped(...)`.
+  [[nodiscard]] Tensor reshaped(std::vector<int> shape) const&;
+  [[nodiscard]] Tensor reshaped(std::vector<int> shape) &&;
 
   void fill(float v);
   void zero() { fill(0.f); }
