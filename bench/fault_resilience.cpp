@@ -104,6 +104,32 @@ int main() {
               "codes have that single bit flipped\n\n", 100.0 * cfg.bit_rate);
   print_bit_table(results);
 
+  // Per-layer sensitivity: corrupt one packed tensor at a time (addressed by
+  // its module path) and measure the accuracy hit.  Headline formats only —
+  // this is layers x evaluations, the most expensive table here.
+  fault::ArtifactCampaignConfig lcfg;
+  lcfg.seed = kSeed;
+  lcfg.bers.clear();     // skip the whole-artifact sweeps...
+  lcfg.bit_rate = 0.0;
+  lcfg.layer_ber = 1e-2; // ...and run only the per-layer pass
+  std::printf("\nPer-layer sensitivity: accuracy (%%) with BER=%.0e applied to "
+              "one layer's packed weights at a time\n\n", lcfg.layer_ber);
+  for (const auto& fmt : core::headline_formats()) {
+    const fault::ArtifactCampaignResult lr =
+        fault::run_artifact_campaign(*model, test, *fmt, lcfg);
+    std::printf("%s (clean %.2f%%)\n", lr.format_name.c_str(), lr.clean_accuracy);
+    std::printf("  %-34s %9s %7s %10s\n", "Module path", "acc (%)", "flips",
+                "non-finite");
+    bench::print_rule(66);
+    for (const auto& p : lr.layer_profile) {
+      std::printf("  %-34s %9.2f %7llu %10llu\n", p.path.c_str(), p.accuracy,
+                  static_cast<unsigned long long>(p.bits_flipped),
+                  static_cast<unsigned long long>(p.non_finite));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
   // Gate-level campaigns on the three head-to-head MACs.
   fault::GateCampaignConfig gcfg;
   gcfg.seed = kSeed;

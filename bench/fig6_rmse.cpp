@@ -43,5 +43,19 @@ int main() {
   }
   std::printf("\nExpected shape: MERSIT(8,2) slightly better than or comparable to\n"
               "Posit(8,1), and notably lower than FP(8,4).\n");
+
+  // Per-layer calibration profile for MobileNet_v3-mini (the EXPERIMENTS.md
+  // table): every path-keyed absmax the MCT1 artifact carries.  The paths are
+  // the stable module paths assigned by the factory, so this table is valid
+  // for any instance of the architecture.
+  std::printf("\n=== Per-layer activation absmax: MobileNet_v3-mini ===\n\n");
+  const ptq::CalibrationTable table =
+      ptq::calibrate_model(*models[1].model, calib);
+  std::printf("input absmax: %.5f   (%zu calibrated quant points)\n\n",
+              table.input_absmax, table.absmax.size());
+  std::printf("%-52s %12s\n", "Module path", "absmax");
+  bench::print_rule(68);
+  for (const auto& [path, mx] : table.absmax)
+    std::printf("%-52s %12.5f\n", path.c_str(), mx);
   return 0;
 }

@@ -2,8 +2,9 @@
 # CI entry point: run the tier-1 verify three ways — a default (Release)
 # build, an Address+UB-sanitized build (MERSIT_SANITIZE=ON) over the full
 # suite (including the serialization fuzz tests and fault campaigns), and a
-# ThreadSanitizer build (MERSIT_SANITIZE=thread) over the concurrency suites
-# (codec lazy init, kernel cache, thread pool, parallel PTQ).  Finally,
+# ThreadSanitizer build (MERSIT_SANITIZE=thread) over the `concurrency`-
+# labelled suites (codec lazy init, kernel cache, thread pool, GEMM,
+# parallel PTQ; see tests/CMakeLists.txt for the label registry).  Finally,
 # guard against build artifacts leaking into the work tree.
 #
 # Usage: scripts/ci.sh [jobs]
@@ -12,10 +13,18 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
+# Three configure+build cycles make compiler caching pay for itself; pick up
+# ccache automatically when the host has it, stay silent when it doesn't.
+CACHE_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+  CACHE_ARGS=(-DCMAKE_C_COMPILER_LAUNCHER=ccache -DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+  echo "==> ccache detected: $(ccache --version | head -n1)"
+fi
+
 run_suite() {
   local build_dir="$1"; shift
   echo "==> configure ${build_dir} ($*)"
-  cmake -B "${build_dir}" -S . "$@"
+  cmake -B "${build_dir}" -S . "${CACHE_ARGS[@]}" "$@"
   echo "==> build ${build_dir}"
   cmake --build "${build_dir}" -j "${JOBS}"
   echo "==> ctest ${build_dir}"
@@ -32,17 +41,19 @@ MERSIT_BENCH_FAST=1 ./build/bench/bench_inference --json=build/BENCH_inference.j
 run_suite build-sanitize -DMERSIT_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
 # TSan stage: rebuild and run only the concurrency-sensitive suites (a full
-# TSan run of the training-heavy tests would dominate CI time).  Force a
+# TSan run of the training-heavy tests would dominate CI time).  Selection is
+# by ctest label, not name regex: tests/CMakeLists.txt labels the dedicated
+# test_concurrency executable (codec lazy init, kernel cache, thread pool,
+# GEMM, parallel PTQ) with `concurrency`, so new suites join the stage by
+# adding a source there instead of editing a pattern here.  Force a
 # multi-thread pool so parallel paths actually interleave on 1-core runners.
-# The Gemm suites ride along: the tiled sgemm and the batch-parallel conv
-# forward are the newest concurrent hot paths.
 echo "==> configure build-tsan (MERSIT_SANITIZE=thread)"
-cmake -B build-tsan -S . -DMERSIT_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake -B build-tsan -S . "${CACHE_ARGS[@]}" -DMERSIT_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 echo "==> build build-tsan"
-cmake --build build-tsan -j "${JOBS}" --target test_formats test_mersit test_ptq test_nn
-echo "==> ctest build-tsan (concurrency suites)"
+cmake --build build-tsan -j "${JOBS}" --target test_concurrency
+echo "==> ctest build-tsan (-L concurrency)"
 MERSIT_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-  -R '^(CodecInit|KernelCache|KernelEquivalence|ThreadPool|ParallelPtq|Gemm)'
+  -L concurrency
 
 # Committed build trees have bitten this repo before (a stale build-sanitize/
 # was checked in); fail if any build artifact is tracked by git or shows up

@@ -1,40 +1,78 @@
 #include "fault/bitflip.h"
 
+#include <stdexcept>
+#include <string>
+
 namespace mersit::fault {
+
+namespace {
+
+void check_index(const ptq::QuantizedModel& qm, std::size_t tensor_idx) {
+  if (tensor_idx >= qm.tensors.size())
+    throw std::out_of_range("BitFlipInjector: tensor index " +
+                            std::to_string(tensor_idx) + " out of range (" +
+                            std::to_string(qm.tensors.size()) + " tensors)");
+}
+
+}  // namespace
 
 InjectionReport BitFlipInjector::inject_ber(ptq::QuantizedModel& qm, double ber) {
   InjectionReport rep;
-  for (ptq::QuantizedTensor& t : qm.tensors) {
-    rep.total_codes += t.codes.size();
-    for (std::uint8_t& code : t.codes) {
-      std::uint8_t mask = 0;
-      for (int b = 0; b < 8; ++b)
-        if (rng_.next_unit() < ber) mask |= static_cast<std::uint8_t>(1u << b);
-      if (mask != 0) {
-        code ^= mask;
-        ++rep.codes_touched;
-        rep.bits_flipped += static_cast<std::uint64_t>(__builtin_popcount(mask));
-      }
-    }
-  }
+  for (ptq::QuantizedTensor& t : qm.tensors) corrupt_tensor_ber(t, ber, rep);
+  return rep;
+}
+
+InjectionReport BitFlipInjector::inject_ber_tensor(ptq::QuantizedModel& qm,
+                                                   std::size_t tensor_idx,
+                                                   double ber) {
+  check_index(qm, tensor_idx);
+  InjectionReport rep;
+  corrupt_tensor_ber(qm.tensors[tensor_idx], ber, rep);
   return rep;
 }
 
 InjectionReport BitFlipInjector::inject_bit_position(ptq::QuantizedModel& qm,
                                                      int bit, double rate) {
   InjectionReport rep;
-  const auto mask = static_cast<std::uint8_t>(1u << (bit & 7));
-  for (ptq::QuantizedTensor& t : qm.tensors) {
-    rep.total_codes += t.codes.size();
-    for (std::uint8_t& code : t.codes) {
-      if (rng_.next_unit() < rate) {
-        code ^= mask;
-        ++rep.codes_touched;
-        ++rep.bits_flipped;
-      }
+  for (ptq::QuantizedTensor& t : qm.tensors)
+    corrupt_tensor_bit(t, bit, rate, rep);
+  return rep;
+}
+
+InjectionReport BitFlipInjector::inject_bit_position_tensor(
+    ptq::QuantizedModel& qm, std::size_t tensor_idx, int bit, double rate) {
+  check_index(qm, tensor_idx);
+  InjectionReport rep;
+  corrupt_tensor_bit(qm.tensors[tensor_idx], bit, rate, rep);
+  return rep;
+}
+
+void BitFlipInjector::corrupt_tensor_ber(ptq::QuantizedTensor& t, double ber,
+                                         InjectionReport& rep) {
+  rep.total_codes += t.codes.size();
+  for (std::uint8_t& code : t.codes) {
+    std::uint8_t mask = 0;
+    for (int b = 0; b < 8; ++b)
+      if (rng_.next_unit() < ber) mask |= static_cast<std::uint8_t>(1u << b);
+    if (mask != 0) {
+      code ^= mask;
+      ++rep.codes_touched;
+      rep.bits_flipped += static_cast<std::uint64_t>(__builtin_popcount(mask));
     }
   }
-  return rep;
+}
+
+void BitFlipInjector::corrupt_tensor_bit(ptq::QuantizedTensor& t, int bit,
+                                         double rate, InjectionReport& rep) {
+  const auto mask = static_cast<std::uint8_t>(1u << (bit & 7));
+  rep.total_codes += t.codes.size();
+  for (std::uint8_t& code : t.codes) {
+    if (rng_.next_unit() < rate) {
+      code ^= mask;
+      ++rep.codes_touched;
+      ++rep.bits_flipped;
+    }
+  }
 }
 
 std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t index) {

@@ -59,12 +59,28 @@ class BitFlipInjector {
   /// `ber` (bit-error rate in [0,1]).
   InjectionReport inject_ber(ptq::QuantizedModel& qm, double ber);
 
+  /// Same, but restricted to one tensor (`tensor_idx` into qm.tensors) —
+  /// used to corrupt a single named layer and measure its sensitivity.
+  /// Throws std::out_of_range on a bad index.
+  InjectionReport inject_ber_tensor(ptq::QuantizedModel& qm,
+                                    std::size_t tensor_idx, double ber);
+
   /// Flip bit `bit` (0 = LSB .. 7 = MSB) of each code word independently
   /// with probability `rate`.
   InjectionReport inject_bit_position(ptq::QuantizedModel& qm, int bit,
                                       double rate);
 
+  /// Same, restricted to one tensor.
+  InjectionReport inject_bit_position_tensor(ptq::QuantizedModel& qm,
+                                             std::size_t tensor_idx, int bit,
+                                             double rate);
+
  private:
+  void corrupt_tensor_ber(ptq::QuantizedTensor& t, double ber,
+                          InjectionReport& rep);
+  void corrupt_tensor_bit(ptq::QuantizedTensor& t, int bit, double rate,
+                          InjectionReport& rep);
+
   SplitMix64 rng_;
 };
 

@@ -11,6 +11,35 @@ namespace mersit::fault {
 
 // ----------------------------------------------------- artifact campaigns --
 
+namespace {
+
+/// Resolve cfg.target_layers against the paths pack_weights recorded.
+/// Returns tensor indices in artifact order; empty when untargeted.
+std::vector<std::size_t> resolve_targets(const ptq::QuantizedModel& qm,
+                                         const ArtifactCampaignConfig& cfg) {
+  std::vector<std::size_t> idx;
+  for (const std::string& want : cfg.target_layers) {
+    bool found = false;
+    for (std::size_t i = 0; i < qm.tensors.size(); ++i) {
+      if (qm.tensors[i].path == want) {
+        idx.push_back(i);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::string msg = "run_artifact_campaign: target layer '" + want +
+                        "' not in artifact; packed layers are:";
+      for (const ptq::QuantizedTensor& t : qm.tensors)
+        msg += " '" + t.path + "'";
+      throw std::invalid_argument(msg);
+    }
+  }
+  return idx;
+}
+
+}  // namespace
+
 ArtifactCampaignResult run_artifact_campaign(nn::Module& model,
                                              const nn::Dataset& test,
                                              const formats::Format& fmt,
@@ -20,6 +49,7 @@ ArtifactCampaignResult run_artifact_campaign(nn::Module& model,
 
   const ptq::WeightSnapshot snap = ptq::snapshot_weights(model);
   const ptq::QuantizedModel clean = ptq::pack_weights(model, fmt);
+  const std::vector<std::size_t> targets = resolve_targets(clean, cfg);
 
   ptq::unpack_weights(model, clean, fmt, cfg.policy);
   res.clean_accuracy = ptq::evaluate_fp32(model, test, ptq::Metric::kAccuracy);
@@ -28,7 +58,17 @@ ArtifactCampaignResult run_artifact_campaign(nn::Module& model,
   for (const double ber : cfg.bers) {
     ptq::QuantizedModel corrupt = clean;
     BitFlipInjector inj(derive_seed(cfg.seed, ++point));
-    const InjectionReport rep = inj.inject_ber(corrupt, ber);
+    InjectionReport rep;
+    if (targets.empty()) {
+      rep = inj.inject_ber(corrupt, ber);
+    } else {
+      for (const std::size_t t : targets) {
+        const InjectionReport r = inj.inject_ber_tensor(corrupt, t, ber);
+        rep.total_codes += r.total_codes;
+        rep.codes_touched += r.codes_touched;
+        rep.bits_flipped += r.bits_flipped;
+      }
+    }
     formats::CorruptionStats stats;
     ptq::unpack_weights(model, corrupt, fmt, cfg.policy, &stats);
     BerPoint p;
@@ -39,10 +79,21 @@ ArtifactCampaignResult run_artifact_campaign(nn::Module& model,
     res.ber_curve.push_back(p);
   }
 
-  for (int bit = 0; bit < 8; ++bit) {
+  for (int bit = 0; cfg.bit_rate > 0.0 && bit < 8; ++bit) {
     ptq::QuantizedModel corrupt = clean;
     BitFlipInjector inj(derive_seed(cfg.seed, 0x100u + static_cast<unsigned>(bit)));
-    const InjectionReport rep = inj.inject_bit_position(corrupt, bit, cfg.bit_rate);
+    InjectionReport rep;
+    if (targets.empty()) {
+      rep = inj.inject_bit_position(corrupt, bit, cfg.bit_rate);
+    } else {
+      for (const std::size_t t : targets) {
+        const InjectionReport r =
+            inj.inject_bit_position_tensor(corrupt, t, bit, cfg.bit_rate);
+        rep.total_codes += r.total_codes;
+        rep.codes_touched += r.codes_touched;
+        rep.bits_flipped += r.bits_flipped;
+      }
+    }
     formats::CorruptionStats stats;
     ptq::unpack_weights(model, corrupt, fmt, cfg.policy, &stats);
     BitPositionPoint p;
@@ -51,6 +102,25 @@ ArtifactCampaignResult run_artifact_campaign(nn::Module& model,
     p.non_finite = stats.non_finite;
     p.accuracy = ptq::evaluate_fp32(model, test, ptq::Metric::kAccuracy);
     res.bit_profile.push_back(p);
+  }
+
+  // Per-layer sensitivity: corrupt each packed tensor alone and re-evaluate,
+  // so the curve reads "what breaks when only resnet18/stem_conv breaks".
+  if (cfg.layer_ber > 0.0) {
+    for (std::size_t t = 0; t < clean.tensors.size(); ++t) {
+      ptq::QuantizedModel corrupt = clean;
+      BitFlipInjector inj(derive_seed(cfg.seed, 0x200u + t));
+      const InjectionReport rep = inj.inject_ber_tensor(corrupt, t, cfg.layer_ber);
+      formats::CorruptionStats stats;
+      ptq::unpack_weights(model, corrupt, fmt, cfg.policy, &stats);
+      LayerSensitivityPoint p;
+      p.path = clean.tensors[t].path.empty() ? "tensor" + std::to_string(t)
+                                             : clean.tensors[t].path;
+      p.bits_flipped = rep.bits_flipped;
+      p.non_finite = stats.non_finite;
+      p.accuracy = ptq::evaluate_fp32(model, test, ptq::Metric::kAccuracy);
+      res.layer_profile.push_back(p);
+    }
   }
 
   ptq::restore_weights(model, snap);

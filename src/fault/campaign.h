@@ -44,11 +44,33 @@ struct BitPositionPoint {
   std::uint64_t non_finite = 0;
 };
 
+/// Accuracy after corrupting one named layer's tensor alone.
+struct LayerSensitivityPoint {
+  std::string path;                 ///< module path of the corrupted layer
+  float accuracy = 0.f;             ///< percent
+  std::uint64_t bits_flipped = 0;
+  std::uint64_t non_finite = 0;
+};
+
 struct ArtifactCampaignConfig {
   std::vector<double> bers{1e-4, 1e-3, 1e-2, 5e-2};
-  double bit_rate = 0.02;           ///< per-code flip rate for the positional sweep
+  /// Per-code flip rate for the per-bit-position sweep; 0 skips the sweep
+  /// (e.g. when only the per-layer pass below is wanted).
+  double bit_rate = 0.02;
   std::uint64_t seed = 2024;
   formats::CorruptionPolicy policy = formats::CorruptionPolicy::kZeroSubstitute;
+
+  /// When non-empty, BER and bit-position corruption hits only the tensors
+  /// of the layers whose module paths are listed here (exact match against
+  /// the paths pack_weights records).  An unknown path throws
+  /// std::invalid_argument naming the available layers.  Empty (default):
+  /// corrupt the whole artifact — bit-identical to the untargeted campaign.
+  std::vector<std::string> target_layers;
+
+  /// When > 0, additionally corrupt each packed tensor *alone* at this BER
+  /// and evaluate, producing ArtifactCampaignResult::layer_profile (the
+  /// per-layer sensitivity table).  0 (default): skip the per-layer pass.
+  double layer_ber = 0.0;
 };
 
 struct ArtifactCampaignResult {
@@ -56,6 +78,7 @@ struct ArtifactCampaignResult {
   float clean_accuracy = 0.f;       ///< weights quantized+packed, no corruption
   std::vector<BerPoint> ber_curve;
   std::vector<BitPositionPoint> bit_profile;
+  std::vector<LayerSensitivityPoint> layer_profile;  ///< when layer_ber > 0
 };
 
 /// Pack `model`'s weights into `fmt`, then measure accuracy on `test` under

@@ -134,12 +134,11 @@ void MultiHeadSelfAttention::collect_params(std::vector<Param*>& out) {
   wo_.collect_params(out);
 }
 
-void MultiHeadSelfAttention::collect_modules(std::vector<Module*>& out) {
-  out.push_back(this);
-  wq_.collect_modules(out);
-  wk_.collect_modules(out);
-  wv_.collect_modules(out);
-  wo_.collect_modules(out);
+void MultiHeadSelfAttention::collect_children(std::vector<NamedChild>& out) {
+  out.push_back({"wq", &wq_});
+  out.push_back({"wk", &wk_});
+  out.push_back({"wv", &wv_});
+  out.push_back({"wo", &wo_});
 }
 
 Tensor MultiHeadSelfAttention::forward(const Tensor& x, const Context& ctx) {
@@ -307,13 +306,16 @@ void TransformerBlock::collect_params(std::vector<Param*>& out) {
   ff2_.collect_params(out);
 }
 
-void TransformerBlock::collect_modules(std::vector<Module*>& out) {
-  out.push_back(this);
-  ln1_.collect_modules(out);
-  attn_.collect_modules(out);
-  ln2_.collect_modules(out);
-  ff1_.collect_modules(out);
-  ff2_.collect_modules(out);
+void TransformerBlock::collect_children(std::vector<NamedChild>& out) {
+  out.push_back({"ln1", &ln1_});
+  out.push_back({"attn", &attn_});
+  out.push_back({"ln2", &ln2_});
+  out.push_back({"ff1", &ff1_});
+  // gelu_ was historically missing from collect_modules even though it is a
+  // quant point fired by forward(); it must be part of the named walk so its
+  // calibration entry has a path.
+  out.push_back({"gelu", &gelu_});
+  out.push_back({"ff2", &ff2_});
 }
 
 Tensor TransformerBlock::forward(const Tensor& x, const Context& ctx) {

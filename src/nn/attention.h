@@ -18,6 +18,7 @@ class Embedding final : public Module {
   Tensor forward(const Tensor& tokens, const Context& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect_params(std::vector<Param*>& out) override;
+  [[nodiscard]] ModulePtr clone() const override { return std::make_unique<Embedding>(*this); }
   [[nodiscard]] bool quant_point() const override { return true; }
 
   Param table;  ///< [vocab, dim]
@@ -37,6 +38,7 @@ class LayerNorm final : public Module {
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect_params(std::vector<Param*>& out) override;
+  [[nodiscard]] ModulePtr clone() const override { return std::make_unique<LayerNorm>(*this); }
   [[nodiscard]] bool quant_point() const override { return true; }
 
   Param gamma, beta;
@@ -55,7 +57,10 @@ class MultiHeadSelfAttention final : public Module {
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect_params(std::vector<Param*>& out) override;
-  void collect_modules(std::vector<Module*>& out) override;
+  void collect_children(std::vector<NamedChild>& out) override;
+  [[nodiscard]] ModulePtr clone() const override {
+    return std::make_unique<MultiHeadSelfAttention>(*this);
+  }
   [[nodiscard]] bool quant_point() const override { return true; }
 
  private:
@@ -77,7 +82,10 @@ class TransformerBlock final : public Module {
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect_params(std::vector<Param*>& out) override;
-  void collect_modules(std::vector<Module*>& out) override;
+  void collect_children(std::vector<NamedChild>& out) override;
+  [[nodiscard]] ModulePtr clone() const override {
+    return std::make_unique<TransformerBlock>(*this);
+  }
   [[nodiscard]] bool quant_point() const override { return true; }
 
  private:
@@ -95,6 +103,7 @@ class ClsPool final : public Module {
   [[nodiscard]] std::string name() const override { return "ClsPool"; }
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] ModulePtr clone() const override { return std::make_unique<ClsPool>(*this); }
 
  private:
   std::vector<int> x_shape_;

@@ -601,6 +601,21 @@ Tensor Flatten::backward(const Tensor& grad_out) {
 
 // ------------------------------------------------------------ Sequential ---
 
+Sequential::Sequential(std::vector<ModulePtr> mods) : mods_(std::move(mods)) {
+  names_.reserve(mods_.size());
+  for (std::size_t i = 0; i < mods_.size(); ++i) names_.push_back(std::to_string(i));
+}
+
+void Sequential::add(ModulePtr m) {
+  names_.push_back(std::to_string(mods_.size()));
+  mods_.push_back(std::move(m));
+}
+
+void Sequential::add(std::string child_name, ModulePtr m) {
+  names_.push_back(std::move(child_name));
+  mods_.push_back(std::move(m));
+}
+
 Tensor Sequential::forward(const Tensor& x, const Context& ctx) {
   Tensor cur = x;
   for (auto& m : mods_) cur = m->run(cur, ctx);
@@ -617,9 +632,17 @@ void Sequential::collect_params(std::vector<Param*>& out) {
   for (auto& m : mods_) m->collect_params(out);
 }
 
-void Sequential::collect_modules(std::vector<Module*>& out) {
-  out.push_back(this);
-  for (auto& m : mods_) m->collect_modules(out);
+void Sequential::collect_children(std::vector<NamedChild>& out) {
+  for (std::size_t i = 0; i < mods_.size(); ++i) out.push_back({names_[i], mods_[i].get()});
+}
+
+ModulePtr Sequential::clone() const {
+  auto copy = std::make_unique<Sequential>();
+  copy->set_path(path());
+  copy->names_ = names_;
+  copy->mods_.reserve(mods_.size());
+  for (const ModulePtr& m : mods_) copy->mods_.push_back(m->clone());
+  return copy;
 }
 
 // -------------------------------------------------------------- Residual ---
@@ -649,10 +672,16 @@ void ResidualBlock::collect_params(std::vector<Param*>& out) {
   if (shortcut_) shortcut_->collect_params(out);
 }
 
-void ResidualBlock::collect_modules(std::vector<Module*>& out) {
-  out.push_back(this);
-  body_->collect_modules(out);
-  if (shortcut_) shortcut_->collect_modules(out);
+void ResidualBlock::collect_children(std::vector<NamedChild>& out) {
+  out.push_back({"body", body_.get()});
+  if (shortcut_) out.push_back({"shortcut", shortcut_.get()});
+}
+
+ModulePtr ResidualBlock::clone() const {
+  auto copy = std::make_unique<ResidualBlock>(body_->clone(),
+                                              shortcut_ ? shortcut_->clone() : nullptr);
+  copy->set_path(path());
+  return copy;
 }
 
 // -------------------------------------------------------------------- SE ---
@@ -665,10 +694,9 @@ void SEBlock::collect_params(std::vector<Param*>& out) {
   fc2_.collect_params(out);
 }
 
-void SEBlock::collect_modules(std::vector<Module*>& out) {
-  out.push_back(this);
-  fc1_.collect_modules(out);
-  fc2_.collect_modules(out);
+void SEBlock::collect_children(std::vector<NamedChild>& out) {
+  out.push_back({"fc1", &fc1_});
+  out.push_back({"fc2", &fc2_});
 }
 
 Tensor SEBlock::forward(const Tensor& x, const Context& ctx) {

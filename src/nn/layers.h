@@ -15,6 +15,7 @@ class Linear final : public Module, public ChannelWeights {
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect_params(std::vector<Param*>& out) override;
+  [[nodiscard]] ModulePtr clone() const override { return std::make_unique<Linear>(*this); }
   [[nodiscard]] bool quant_point() const override { return true; }
 
   [[nodiscard]] int weight_channels() const override { return out_; }
@@ -39,6 +40,7 @@ class Conv2d final : public Module, public ChannelWeights {
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect_params(std::vector<Param*>& out) override;
+  [[nodiscard]] ModulePtr clone() const override { return std::make_unique<Conv2d>(*this); }
   [[nodiscard]] bool quant_point() const override { return true; }
 
   [[nodiscard]] int weight_channels() const override { return out_ch_; }
@@ -64,6 +66,7 @@ class BatchNorm2d final : public Module {
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect_params(std::vector<Param*>& out) override;
+  [[nodiscard]] ModulePtr clone() const override { return std::make_unique<BatchNorm2d>(*this); }
   // BN itself is folded before PTQ; not a quant point.
 
   /// Fold this BN into the preceding convolution:
@@ -98,6 +101,7 @@ class Activation final : public Module {
   [[nodiscard]] std::string name() const override { return act_name(kind_); }
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] ModulePtr clone() const override { return std::make_unique<Activation>(*this); }
   [[nodiscard]] bool quant_point() const override { return true; }
   [[nodiscard]] Act kind() const { return kind_; }
 
@@ -112,6 +116,7 @@ class MaxPool2d final : public Module {
   [[nodiscard]] std::string name() const override { return "MaxPool2d"; }
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] ModulePtr clone() const override { return std::make_unique<MaxPool2d>(*this); }
   [[nodiscard]] bool quant_point() const override { return true; }
 
  private:
@@ -125,6 +130,7 @@ class GlobalAvgPool final : public Module {
   [[nodiscard]] std::string name() const override { return "GlobalAvgPool"; }
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] ModulePtr clone() const override { return std::make_unique<GlobalAvgPool>(*this); }
   [[nodiscard]] bool quant_point() const override { return true; }
 
  private:
@@ -136,6 +142,7 @@ class Flatten final : public Module {
   [[nodiscard]] std::string name() const override { return "Flatten"; }
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] ModulePtr clone() const override { return std::make_unique<Flatten>(*this); }
 
  private:
   std::vector<int> x_shape_;
@@ -144,20 +151,26 @@ class Flatten final : public Module {
 class Sequential final : public Module {
  public:
   Sequential() = default;
-  explicit Sequential(std::vector<ModulePtr> mods) : mods_(std::move(mods)) {}
-  void add(ModulePtr m) { mods_.push_back(std::move(m)); }
+  explicit Sequential(std::vector<ModulePtr> mods);
+  /// Unnamed add: the child's structural name defaults to its index ("0",
+  /// "1", ...), which stays stable because children are append-only.
+  void add(ModulePtr m);
+  /// Named add: the child contributes `name` as its path segment.
+  void add(std::string child_name, ModulePtr m);
 
   [[nodiscard]] std::string name() const override { return "Sequential"; }
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect_params(std::vector<Param*>& out) override;
-  void collect_modules(std::vector<Module*>& out) override;
+  void collect_children(std::vector<NamedChild>& out) override;
+  [[nodiscard]] ModulePtr clone() const override;
 
   [[nodiscard]] std::size_t size() const { return mods_.size(); }
   [[nodiscard]] Module& operator[](std::size_t i) { return *mods_[i]; }
 
  private:
   std::vector<ModulePtr> mods_;
+  std::vector<std::string> names_;  // parallel to mods_
 };
 
 /// y = body(x) + shortcut(x); shortcut may be null (identity, shapes must
@@ -171,7 +184,8 @@ class ResidualBlock final : public Module {
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect_params(std::vector<Param*>& out) override;
-  void collect_modules(std::vector<Module*>& out) override;
+  void collect_children(std::vector<NamedChild>& out) override;
+  [[nodiscard]] ModulePtr clone() const override;
   [[nodiscard]] bool quant_point() const override { return true; }
 
  private:
@@ -188,7 +202,8 @@ class SEBlock final : public Module {
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect_params(std::vector<Param*>& out) override;
-  void collect_modules(std::vector<Module*>& out) override;
+  void collect_children(std::vector<NamedChild>& out) override;
+  [[nodiscard]] ModulePtr clone() const override { return std::make_unique<SEBlock>(*this); }
   [[nodiscard]] bool quant_point() const override { return true; }
 
  private:

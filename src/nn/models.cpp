@@ -6,10 +6,6 @@ namespace mersit::nn {
 
 namespace {
 
-ModulePtr seq(std::vector<ModulePtr> mods) {
-  return std::make_unique<Sequential>(std::move(mods));
-}
-
 ModulePtr conv(int in, int out, int k, int stride, int pad, int groups,
                std::mt19937& rng) {
   return std::make_unique<Conv2d>(in, out, k, stride, pad, groups, rng);
@@ -18,12 +14,13 @@ ModulePtr conv(int in, int out, int k, int stride, int pad, int groups,
 ModulePtr bn(int c) { return std::make_unique<BatchNorm2d>(c); }
 ModulePtr act(Act a) { return std::make_unique<Activation>(a); }
 
-/// conv3x3 + BN + activation.
-void push_cba(std::vector<ModulePtr>& v, int in, int out, int stride, Act a,
-              std::mt19937& rng) {
-  v.push_back(conv(in, out, 3, stride, 1, 1, rng));
-  v.push_back(bn(out));
-  v.push_back(act(a));
+/// conv3x3 + BN + activation, named `<prefix>_conv` / `<prefix>_bn` /
+/// `<prefix>_act`.
+void add_cba(Sequential& s, const std::string& prefix, int in, int out,
+             int stride, Act a, std::mt19937& rng) {
+  s.add(prefix + "_conv", conv(in, out, 3, stride, 1, 1, rng));
+  s.add(prefix + "_bn", bn(out));
+  s.add(prefix + "_act", act(a));
 }
 
 }  // namespace
@@ -32,22 +29,23 @@ void push_cba(std::vector<ModulePtr>& v, int in, int out, int stride, Act a,
 
 ModulePtr make_vgg_mini(int in_ch, int classes, std::mt19937& rng, int img) {
   const int final_side = img / 4;  // two 2x2 MaxPools halve the side twice
-  std::vector<ModulePtr> v;
-  v.push_back(conv(in_ch, 14, 3, 1, 1, 1, rng));
-  v.push_back(act(Act::kReLU));
-  v.push_back(conv(14, 14, 3, 1, 1, 1, rng));
-  v.push_back(act(Act::kReLU));
-  v.push_back(std::make_unique<MaxPool2d>());
-  v.push_back(conv(14, 24, 3, 1, 1, 1, rng));
-  v.push_back(act(Act::kReLU));
-  v.push_back(conv(24, 24, 3, 1, 1, 1, rng));
-  v.push_back(act(Act::kReLU));
-  v.push_back(std::make_unique<MaxPool2d>());
-  v.push_back(std::make_unique<Flatten>());
-  v.push_back(std::make_unique<Linear>(24 * final_side * final_side, 48, rng));
-  v.push_back(act(Act::kReLU));
-  v.push_back(std::make_unique<Linear>(48, classes, rng));
-  return seq(std::move(v));
+  auto m = std::make_unique<Sequential>();
+  m->add("conv1", conv(in_ch, 14, 3, 1, 1, 1, rng));
+  m->add("relu1", act(Act::kReLU));
+  m->add("conv2", conv(14, 14, 3, 1, 1, 1, rng));
+  m->add("relu2", act(Act::kReLU));
+  m->add("pool1", std::make_unique<MaxPool2d>());
+  m->add("conv3", conv(14, 24, 3, 1, 1, 1, rng));
+  m->add("relu3", act(Act::kReLU));
+  m->add("conv4", conv(24, 24, 3, 1, 1, 1, rng));
+  m->add("relu4", act(Act::kReLU));
+  m->add("pool2", std::make_unique<MaxPool2d>());
+  m->add("flatten", std::make_unique<Flatten>());
+  m->add("fc1", std::make_unique<Linear>(24 * final_side * final_side, 48, rng));
+  m->add("relu5", act(Act::kReLU));
+  m->add("fc2", std::make_unique<Linear>(48, classes, rng));
+  assign_paths(*m, "vgg");
+  return m;
 }
 
 // --------------------------------------------------------------- ResNet ----
@@ -55,41 +53,46 @@ ModulePtr make_vgg_mini(int in_ch, int classes, std::mt19937& rng, int img) {
 namespace {
 
 ModulePtr resnet_block(int in, int out, int stride, std::mt19937& rng) {
-  std::vector<ModulePtr> body;
-  body.push_back(conv(in, out, 3, stride, 1, 1, rng));
-  body.push_back(bn(out));
-  body.push_back(act(Act::kReLU));
-  body.push_back(conv(out, out, 3, 1, 1, 1, rng));
-  body.push_back(bn(out));
+  auto body = std::make_unique<Sequential>();
+  body->add("conv1", conv(in, out, 3, stride, 1, 1, rng));
+  body->add("bn1", bn(out));
+  body->add("relu", act(Act::kReLU));
+  body->add("conv2", conv(out, out, 3, 1, 1, 1, rng));
+  body->add("bn2", bn(out));
   ModulePtr shortcut;
   if (stride != 1 || in != out) {
-    std::vector<ModulePtr> sc;
-    sc.push_back(conv(in, out, 1, stride, 0, 1, rng));
-    sc.push_back(bn(out));
-    shortcut = seq(std::move(sc));
+    auto sc = std::make_unique<Sequential>();
+    sc->add("conv", conv(in, out, 1, stride, 0, 1, rng));
+    sc->add("bn", bn(out));
+    shortcut = std::move(sc);
   }
-  std::vector<ModulePtr> block;
-  block.push_back(std::make_unique<ResidualBlock>(seq(std::move(body)),
-                                                  std::move(shortcut)));
-  block.push_back(act(Act::kReLU));
-  return seq(std::move(block));
+  auto block = std::make_unique<Sequential>();
+  block->add("residual", std::make_unique<ResidualBlock>(std::move(body),
+                                                         std::move(shortcut)));
+  block->add("relu", act(Act::kReLU));
+  return block;
 }
 
 }  // namespace
 
 ModulePtr make_resnet_mini(int in_ch, int classes, int blocks_per_stage,
                            std::mt19937& rng) {
-  std::vector<ModulePtr> v;
-  push_cba(v, in_ch, 12, 1, Act::kReLU, rng);
+  const char* root = blocks_per_stage == 1   ? "resnet18"
+                     : blocks_per_stage == 2 ? "resnet50"
+                     : blocks_per_stage == 3 ? "resnet101"
+                                             : "resnet";
+  auto m = std::make_unique<Sequential>();
+  add_cba(*m, "stem", in_ch, 12, 1, Act::kReLU, rng);
   for (int b = 0; b < blocks_per_stage; ++b)
-    v.push_back(resnet_block(12, 12, 1, rng));
-  v.push_back(resnet_block(12, 24, 2, rng));
+    m->add("stage1_block" + std::to_string(b), resnet_block(12, 12, 1, rng));
+  m->add("stage2_block0", resnet_block(12, 24, 2, rng));
   for (int b = 1; b < blocks_per_stage; ++b)
-    v.push_back(resnet_block(24, 24, 1, rng));
-  v.push_back(resnet_block(24, 32, 2, rng));
-  v.push_back(std::make_unique<GlobalAvgPool>());
-  v.push_back(std::make_unique<Linear>(32, classes, rng));
-  return seq(std::move(v));
+    m->add("stage2_block" + std::to_string(b), resnet_block(24, 24, 1, rng));
+  m->add("stage3_block0", resnet_block(24, 32, 2, rng));
+  m->add("avgpool", std::make_unique<GlobalAvgPool>());
+  m->add("fc", std::make_unique<Linear>(32, classes, rng));
+  assign_paths(*m, root);
+  return m;
 }
 
 // ------------------------------------------------------------ MobileNet ----
@@ -101,104 +104,111 @@ namespace {
 ModulePtr inverted_residual(int in, int out, int expand, int stride, Act a,
                             bool use_se, std::mt19937& rng) {
   const int mid = in * expand;
-  std::vector<ModulePtr> body;
-  body.push_back(conv(in, mid, 1, 1, 0, 1, rng));
-  body.push_back(bn(mid));
-  body.push_back(act(a));
-  body.push_back(conv(mid, mid, 3, stride, 1, mid, rng));  // depthwise
-  body.push_back(bn(mid));
-  body.push_back(act(a));
-  if (use_se) body.push_back(std::make_unique<SEBlock>(mid, std::max(2, mid / 4), rng));
-  body.push_back(conv(mid, out, 1, 1, 0, 1, rng));
-  body.push_back(bn(out));
+  auto body = std::make_unique<Sequential>();
+  body->add("expand_conv", conv(in, mid, 1, 1, 0, 1, rng));
+  body->add("expand_bn", bn(mid));
+  body->add("expand_act", act(a));
+  body->add("dw_conv", conv(mid, mid, 3, stride, 1, mid, rng));  // depthwise
+  body->add("dw_bn", bn(mid));
+  body->add("dw_act", act(a));
+  if (use_se)
+    body->add("se", std::make_unique<SEBlock>(mid, std::max(2, mid / 4), rng));
+  body->add("project_conv", conv(mid, out, 1, 1, 0, 1, rng));
+  body->add("project_bn", bn(out));
   if (stride == 1 && in == out)
-    return std::make_unique<ResidualBlock>(seq(std::move(body)), nullptr);
-  return seq(std::move(body));
+    return std::make_unique<ResidualBlock>(std::move(body), nullptr);
+  return body;
 }
 
 /// EfficientNetV2-style fused MBConv: 3x3 expand conv -> 1x1 project.
 ModulePtr fused_mbconv(int in, int out, int expand, int stride, Act a,
                        std::mt19937& rng) {
   const int mid = in * expand;
-  std::vector<ModulePtr> body;
-  body.push_back(conv(in, mid, 3, stride, 1, 1, rng));
-  body.push_back(bn(mid));
-  body.push_back(act(a));
-  body.push_back(conv(mid, out, 1, 1, 0, 1, rng));
-  body.push_back(bn(out));
+  auto body = std::make_unique<Sequential>();
+  body->add("expand_conv", conv(in, mid, 3, stride, 1, 1, rng));
+  body->add("expand_bn", bn(mid));
+  body->add("expand_act", act(a));
+  body->add("project_conv", conv(mid, out, 1, 1, 0, 1, rng));
+  body->add("project_bn", bn(out));
   if (stride == 1 && in == out)
-    return std::make_unique<ResidualBlock>(seq(std::move(body)), nullptr);
-  return seq(std::move(body));
+    return std::make_unique<ResidualBlock>(std::move(body), nullptr);
+  return body;
 }
 
 }  // namespace
 
 ModulePtr make_mobilenet_v2_mini(int in_ch, int classes, std::mt19937& rng) {
-  std::vector<ModulePtr> v;
-  push_cba(v, in_ch, 8, 1, Act::kReLU6, rng);
-  v.push_back(inverted_residual(8, 12, 3, 1, Act::kReLU6, false, rng));
-  v.push_back(inverted_residual(12, 12, 3, 1, Act::kReLU6, false, rng));
-  v.push_back(inverted_residual(12, 20, 3, 2, Act::kReLU6, false, rng));
-  v.push_back(inverted_residual(20, 20, 3, 1, Act::kReLU6, false, rng));
-  v.push_back(inverted_residual(20, 28, 3, 2, Act::kReLU6, false, rng));
-  v.push_back(std::make_unique<GlobalAvgPool>());
-  v.push_back(std::make_unique<Linear>(28, classes, rng));
-  return seq(std::move(v));
+  auto m = std::make_unique<Sequential>();
+  add_cba(*m, "stem", in_ch, 8, 1, Act::kReLU6, rng);
+  m->add("block1", inverted_residual(8, 12, 3, 1, Act::kReLU6, false, rng));
+  m->add("block2", inverted_residual(12, 12, 3, 1, Act::kReLU6, false, rng));
+  m->add("block3", inverted_residual(12, 20, 3, 2, Act::kReLU6, false, rng));
+  m->add("block4", inverted_residual(20, 20, 3, 1, Act::kReLU6, false, rng));
+  m->add("block5", inverted_residual(20, 28, 3, 2, Act::kReLU6, false, rng));
+  m->add("avgpool", std::make_unique<GlobalAvgPool>());
+  m->add("fc", std::make_unique<Linear>(28, classes, rng));
+  assign_paths(*m, "mobilenet_v2");
+  return m;
 }
 
 ModulePtr make_mobilenet_v3_mini(int in_ch, int classes, std::mt19937& rng) {
-  std::vector<ModulePtr> v;
-  push_cba(v, in_ch, 8, 1, Act::kHardSwish, rng);
-  v.push_back(inverted_residual(8, 12, 3, 1, Act::kReLU, true, rng));
-  v.push_back(inverted_residual(12, 12, 3, 1, Act::kHardSwish, true, rng));
-  v.push_back(inverted_residual(12, 20, 3, 2, Act::kHardSwish, true, rng));
-  v.push_back(inverted_residual(20, 20, 3, 1, Act::kHardSwish, true, rng));
-  v.push_back(inverted_residual(20, 28, 3, 2, Act::kHardSwish, true, rng));
-  v.push_back(std::make_unique<GlobalAvgPool>());
-  v.push_back(std::make_unique<Linear>(28, 32, rng));
-  v.push_back(act(Act::kHardSwish));
-  v.push_back(std::make_unique<Linear>(32, classes, rng));
-  return seq(std::move(v));
+  auto m = std::make_unique<Sequential>();
+  add_cba(*m, "stem", in_ch, 8, 1, Act::kHardSwish, rng);
+  m->add("block1", inverted_residual(8, 12, 3, 1, Act::kReLU, true, rng));
+  m->add("block2", inverted_residual(12, 12, 3, 1, Act::kHardSwish, true, rng));
+  m->add("block3", inverted_residual(12, 20, 3, 2, Act::kHardSwish, true, rng));
+  m->add("block4", inverted_residual(20, 20, 3, 1, Act::kHardSwish, true, rng));
+  m->add("block5", inverted_residual(20, 28, 3, 2, Act::kHardSwish, true, rng));
+  m->add("avgpool", std::make_unique<GlobalAvgPool>());
+  m->add("fc1", std::make_unique<Linear>(28, 32, rng));
+  m->add("fc1_act", act(Act::kHardSwish));
+  m->add("fc2", std::make_unique<Linear>(32, classes, rng));
+  assign_paths(*m, "mobilenet_v3");
+  return m;
 }
 
 ModulePtr make_efficientnet_b0_mini(int in_ch, int classes, std::mt19937& rng) {
-  std::vector<ModulePtr> v;
-  push_cba(v, in_ch, 8, 1, Act::kSiLU, rng);
-  v.push_back(inverted_residual(8, 12, 2, 1, Act::kSiLU, true, rng));
-  v.push_back(inverted_residual(12, 12, 4, 1, Act::kSiLU, true, rng));
-  v.push_back(inverted_residual(12, 20, 4, 2, Act::kSiLU, true, rng));
-  v.push_back(inverted_residual(20, 20, 4, 1, Act::kSiLU, true, rng));
-  v.push_back(inverted_residual(20, 28, 4, 2, Act::kSiLU, true, rng));
-  v.push_back(std::make_unique<GlobalAvgPool>());
-  v.push_back(std::make_unique<Linear>(28, classes, rng));
-  return seq(std::move(v));
+  auto m = std::make_unique<Sequential>();
+  add_cba(*m, "stem", in_ch, 8, 1, Act::kSiLU, rng);
+  m->add("block1", inverted_residual(8, 12, 2, 1, Act::kSiLU, true, rng));
+  m->add("block2", inverted_residual(12, 12, 4, 1, Act::kSiLU, true, rng));
+  m->add("block3", inverted_residual(12, 20, 4, 2, Act::kSiLU, true, rng));
+  m->add("block4", inverted_residual(20, 20, 4, 1, Act::kSiLU, true, rng));
+  m->add("block5", inverted_residual(20, 28, 4, 2, Act::kSiLU, true, rng));
+  m->add("avgpool", std::make_unique<GlobalAvgPool>());
+  m->add("fc", std::make_unique<Linear>(28, classes, rng));
+  assign_paths(*m, "efficientnet_b0");
+  return m;
 }
 
 ModulePtr make_efficientnet_v2_mini(int in_ch, int classes, std::mt19937& rng) {
-  std::vector<ModulePtr> v;
-  push_cba(v, in_ch, 8, 1, Act::kSiLU, rng);
-  v.push_back(fused_mbconv(8, 12, 2, 1, Act::kSiLU, rng));
-  v.push_back(fused_mbconv(12, 12, 2, 1, Act::kSiLU, rng));
-  v.push_back(fused_mbconv(12, 20, 2, 2, Act::kSiLU, rng));
-  v.push_back(inverted_residual(20, 20, 4, 1, Act::kSiLU, true, rng));
-  v.push_back(inverted_residual(20, 28, 4, 2, Act::kSiLU, true, rng));
-  v.push_back(std::make_unique<GlobalAvgPool>());
-  v.push_back(std::make_unique<Linear>(28, classes, rng));
-  return seq(std::move(v));
+  auto m = std::make_unique<Sequential>();
+  add_cba(*m, "stem", in_ch, 8, 1, Act::kSiLU, rng);
+  m->add("block1", fused_mbconv(8, 12, 2, 1, Act::kSiLU, rng));
+  m->add("block2", fused_mbconv(12, 12, 2, 1, Act::kSiLU, rng));
+  m->add("block3", fused_mbconv(12, 20, 2, 2, Act::kSiLU, rng));
+  m->add("block4", inverted_residual(20, 20, 4, 1, Act::kSiLU, true, rng));
+  m->add("block5", inverted_residual(20, 28, 4, 2, Act::kSiLU, true, rng));
+  m->add("avgpool", std::make_unique<GlobalAvgPool>());
+  m->add("fc", std::make_unique<Linear>(28, classes, rng));
+  assign_paths(*m, "efficientnet_v2");
+  return m;
 }
 
 // ----------------------------------------------------------------- BERT ----
 
 ModulePtr make_bert_mini(int vocab, int max_len, int dim, int heads, int layers,
                          int ff_dim, int classes, std::mt19937& rng) {
-  std::vector<ModulePtr> v;
-  v.push_back(std::make_unique<Embedding>(vocab, max_len, dim, rng));
+  auto m = std::make_unique<Sequential>();
+  m->add("embed", std::make_unique<Embedding>(vocab, max_len, dim, rng));
   for (int l = 0; l < layers; ++l)
-    v.push_back(std::make_unique<TransformerBlock>(dim, heads, ff_dim, rng));
-  v.push_back(std::make_unique<LayerNorm>(dim));
-  v.push_back(std::make_unique<ClsPool>());
-  v.push_back(std::make_unique<Linear>(dim, classes, rng));
-  return seq(std::move(v));
+    m->add("layer" + std::to_string(l),
+           std::make_unique<TransformerBlock>(dim, heads, ff_dim, rng));
+  m->add("final_ln", std::make_unique<LayerNorm>(dim));
+  m->add("cls_pool", std::make_unique<ClsPool>());
+  m->add("classifier", std::make_unique<Linear>(dim, classes, rng));
+  assign_paths(*m, "bert");
+  return m;
 }
 
 // ------------------------------------------------------------------ zoo ----

@@ -59,6 +59,16 @@ class ChannelWeights {
   [[nodiscard]] virtual std::span<float> channel_span(int c) = 0;
 };
 
+class Module;
+using ModulePtr = std::unique_ptr<Module>;
+
+/// One direct child of a container module, with its structural name (the
+/// path segment this child contributes, e.g. "body", "fc1", "stage1_block0").
+struct NamedChild {
+  std::string name;
+  Module* module = nullptr;
+};
+
 class Module {
  public:
   virtual ~Module() = default;
@@ -71,11 +81,38 @@ class Module {
 
   /// Append this module's parameters.
   virtual void collect_params(std::vector<Param*>& out) { (void)out; }
+
+  /// Append the direct children with their structural names, in execution
+  /// order.  Leaf modules have none; containers override.  This single seam
+  /// drives both the pointer traversal (collect_modules) and the named-path
+  /// traversal (named_modules / assign_paths), so the two can never drift
+  /// out of order.
+  virtual void collect_children(std::vector<NamedChild>& out) { (void)out; }
+
   /// Pre-order traversal including `this` and all children.
-  virtual void collect_modules(std::vector<Module*>& out) { out.push_back(this); }
+  void collect_modules(std::vector<Module*>& out) {
+    out.push_back(this);
+    std::vector<NamedChild> ch;
+    collect_children(ch);
+    for (const NamedChild& c : ch) c.module->collect_modules(out);
+  }
+
+  /// Structural deep copy: same architecture, same parameter values and
+  /// buffers (BN running stats, folded flags) and the same assigned paths,
+  /// but no shared storage — a trained model can be replicated per thread
+  /// for concurrent serving.  Transient forward/backward caches need not
+  /// survive the copy.
+  [[nodiscard]] virtual ModulePtr clone() const = 0;
 
   /// True when the output tensor would be spilled to (8-bit) memory.
   [[nodiscard]] virtual bool quant_point() const { return false; }
+
+  /// Stable hierarchical path of this module within its tree (e.g.
+  /// "resnet18/stage1_block0/residual/body/conv1").  Empty until
+  /// assign_paths() runs on the root; the model factories assign paths
+  /// before returning.
+  [[nodiscard]] const std::string& path() const { return path_; }
+  void set_path(std::string p) { path_ = std::move(p); }
 
   /// forward() plus the activation-quantization hook.
   Tensor run(const Tensor& x, const Context& ctx) {
@@ -97,8 +134,26 @@ class Module {
   void zero_grad() {
     for (Param* p : parameters()) p->zero_grad();
   }
+
+ private:
+  std::string path_;
 };
 
-using ModulePtr = std::unique_ptr<Module>;
+/// A module and its full path, as produced by named_modules().
+struct NamedModuleRef {
+  std::string path;
+  Module* module = nullptr;
+};
+
+/// Pre-order walk of the tree rooted at `root` with the path each module
+/// would carry under `root_name` (same order as collect_modules).  Paths
+/// join child names with '/'; the root's path is `root_name` itself.
+[[nodiscard]] std::vector<NamedModuleRef> named_modules(Module& root,
+                                                        const std::string& root_name);
+
+/// Walk the tree and store each module's path (see Module::path()).
+/// Throws std::logic_error if two modules would share a path — structural
+/// names must be unique among siblings.
+void assign_paths(Module& root, const std::string& root_name);
 
 }  // namespace mersit::nn

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <mutex>
+#include <sstream>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -18,23 +20,41 @@ using nn::Tensor;
 
 // ------------------------------------------------------------ calibration --
 
+void CalibrationTable::merge(const CalibrationTable& other) {
+  for (const auto& [path, mx] : other.absmax) {
+    float& slot = absmax[path];
+    slot = std::max(slot, mx);
+  }
+  input_absmax = std::max(input_absmax, other.input_absmax);
+  if (model_name.empty()) model_name = other.model_name;
+}
+
 void MaxCalibrator::on_activation(const Module& layer, Tensor& t) {
-  float& mx = absmax[&layer];
+  const std::string& path = layer.path();
+  if (path.empty())
+    throw std::logic_error(
+        "MaxCalibrator: quant point '" + layer.name() +
+        "' has no module path; run nn::assign_paths on the model root "
+        "(the nn model factories do this) before calibrating");
+  float& mx = table.absmax[path];
   mx = std::max(mx, t.abs_max());
 }
 
 void MaxCalibrator::observe_input(const Tensor& t) {
-  input_absmax = std::max(input_absmax, t.abs_max());
+  table.input_absmax = std::max(table.input_absmax, t.abs_max());
 }
 
-FakeQuantizer::FakeQuantizer(const MaxCalibrator& calib, const Format& fmt,
+FakeQuantizer::FakeQuantizer(const CalibrationTable& table, const Format& fmt,
                              ScalePolicy policy)
-    : calib_(calib), fmt_(fmt), policy_(policy) {}
+    : table_(table), fmt_(fmt), policy_(policy) {}
 
 void FakeQuantizer::on_activation(const Module& layer, Tensor& t) {
-  const auto it = calib_.absmax.find(&layer);
-  if (it == calib_.absmax.end()) {
+  const std::string& path = layer.path();
+  const auto it = table_.absmax.find(path);
+  if (path.empty() || it == table_.absmax.end()) {
     ++uncalibrated_;
+    const std::lock_guard<std::mutex> lock(miss_mu_);
+    missed_.insert(path.empty() ? "<unpathed " + layer.name() + ">" : path);
     return;
   }
   if (it->second <= 0.f) return;  // degenerate (all-zero) layer output
@@ -42,10 +62,15 @@ void FakeQuantizer::on_activation(const Module& layer, Tensor& t) {
   formats::fake_quantize(t.data(), fmt_, scale);
 }
 
+std::set<std::string> FakeQuantizer::uncalibrated_paths() const {
+  const std::lock_guard<std::mutex> lock(miss_mu_);
+  return missed_;
+}
+
 void FakeQuantizer::quantize_input(Tensor& t) const {
-  if (calib_.input_absmax <= 0.f) return;
+  if (table_.input_absmax <= 0.f) return;
   const double scale =
-      formats::scale_for_absmax(fmt_, calib_.input_absmax, policy_);
+      formats::scale_for_absmax(fmt_, table_.input_absmax, policy_);
   formats::fake_quantize(t.data(), fmt_, scale);
 }
 
@@ -57,10 +82,35 @@ WeightSnapshot snapshot_weights(Module& model) {
   return snap;
 }
 
+namespace {
+
+std::string shape_str(const std::vector<int>& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i)
+    os << (i > 0 ? "," : "") << shape[i];
+  os << ']';
+  return os.str();
+}
+
+}  // namespace
+
 void restore_weights(Module& model, const WeightSnapshot& snap) {
   const auto params = model.parameters();
+  // Validate the whole structure up front: nothing is mutated unless every
+  // parameter matches, so a mismatched restore can never leave the model
+  // half-overwritten.
   if (params.size() != snap.values.size())
-    throw std::invalid_argument("restore_weights: parameter count mismatch");
+    throw std::invalid_argument(
+        "restore_weights: parameter count mismatch (model has " +
+        std::to_string(params.size()) + ", snapshot has " +
+        std::to_string(snap.values.size()) + ")");
+  for (std::size_t i = 0; i < params.size(); ++i)
+    if (params[i]->value.shape() != snap.values[i].shape())
+      throw std::invalid_argument(
+          "restore_weights: shape mismatch at parameter " + std::to_string(i) +
+          " (model " + shape_str(params[i]->value.shape()) + ", snapshot " +
+          shape_str(snap.values[i].shape()) + ")");
   for (std::size_t i = 0; i < params.size(); ++i) params[i]->value = snap.values[i];
 }
 
@@ -99,41 +149,6 @@ void quantize_weights_per_channel(Module& model, const Format& fmt,
 
 namespace {
 
-/// Run the calibration pass over `calib`.  Batches fan out across the
-/// thread pool, each chunk observing into its own MaxCalibrator; the
-/// per-layer maxima then merge with max(), which is order-independent, so
-/// the result is identical to a serial pass.
-MaxCalibrator calibrate(Module& model, const Dataset& calib, bool observe_input) {
-  constexpr int kBatch = 32;
-  const std::size_t batches =
-      static_cast<std::size_t>((calib.size() + kBatch - 1) / kBatch);
-  std::vector<MaxCalibrator> partials;
-  std::mutex mu;
-  core::global_pool().parallel_chunks(batches, [&](std::size_t begin,
-                                                   std::size_t end) {
-    MaxCalibrator local;
-    const nn::Context ctx{/*train=*/false, &local};
-    for (std::size_t b = begin; b < end; ++b) {
-      const int start = static_cast<int>(b) * kBatch;
-      const int count = std::min(kBatch, calib.size() - start);
-      const Tensor xb = nn::slice_batch(calib.inputs, start, count);
-      if (observe_input) local.observe_input(xb);
-      (void)model.run(xb, ctx);
-    }
-    const std::lock_guard<std::mutex> lock(mu);
-    partials.push_back(std::move(local));
-  });
-  MaxCalibrator cal;
-  for (const MaxCalibrator& p : partials) {
-    for (const auto& [layer, mx] : p.absmax) {
-      float& slot = cal.absmax[layer];
-      slot = std::max(slot, mx);
-    }
-    cal.input_absmax = std::max(cal.input_absmax, p.input_absmax);
-  }
-  return cal;
-}
-
 /// Dataset copy with fake-quantized inputs.
 Dataset quantized_inputs(const Dataset& data, const FakeQuantizer& fq) {
   Dataset q;
@@ -151,20 +166,103 @@ float run_metric(Module& model, const Dataset& test, Metric metric,
                                      : nn::evaluate_mcc(model, test, quant);
 }
 
+/// Observes which quant points fire and which of them lack a table entry —
+/// used by the cheap single-sample pre-check in evaluate_with_table.
+class CoverageCheckSession final : public nn::QuantSession {
+ public:
+  explicit CoverageCheckSession(const CalibrationTable& table) : table_(table) {}
+  void on_activation(const Module& layer, Tensor& t) override {
+    (void)t;
+    const std::string& path = layer.path();
+    if (path.empty())
+      missing_.insert("<unpathed " + layer.name() + ">");
+    else if (table_.absmax.find(path) == table_.absmax.end())
+      missing_.insert(path);
+  }
+  [[nodiscard]] const std::set<std::string>& missing() const { return missing_; }
+
+ private:
+  const CalibrationTable& table_;
+  std::set<std::string> missing_;
+};
+
+[[noreturn]] void throw_uncalibrated(const std::set<std::string>& paths,
+                                     const CalibrationTable& table,
+                                     const char* when) {
+  std::ostringstream os;
+  os << "evaluate_with_table: " << paths.size() << " quant point(s) " << when
+     << " have no entry in the calibration table";
+  if (!table.model_name.empty()) os << " (table calibrated on '" << table.model_name << "')";
+  os << ':';
+  for (const std::string& p : paths) os << ' ' << p;
+  throw std::runtime_error(os.str());
+}
+
 }  // namespace
 
-float evaluate_ptq(Module& model, const Dataset& calib, const Dataset& test,
-                   const Format& fmt, const PtqOptions& opt) {
-  const MaxCalibrator cal = calibrate(model, calib, opt.quantize_input);
+CalibrationTable calibrate_model(Module& model, const Dataset& calib,
+                                 bool observe_input, std::string model_name) {
+  // Batches fan out across the thread pool, each chunk observing into its
+  // own MaxCalibrator; the per-layer maxima then merge with max(), which is
+  // order-independent, so the result is identical to a serial pass.
+  constexpr int kBatch = 32;
+  const std::size_t batches =
+      static_cast<std::size_t>((calib.size() + kBatch - 1) / kBatch);
+  std::vector<CalibrationTable> partials;
+  std::mutex mu;
+  core::global_pool().parallel_chunks(batches, [&](std::size_t begin,
+                                                   std::size_t end) {
+    MaxCalibrator local;
+    const nn::Context ctx{/*train=*/false, &local};
+    for (std::size_t b = begin; b < end; ++b) {
+      const int start = static_cast<int>(b) * kBatch;
+      const int count = std::min(kBatch, calib.size() - start);
+      const Tensor xb = nn::slice_batch(calib.inputs, start, count);
+      if (observe_input) local.observe_input(xb);
+      (void)model.run(xb, ctx);
+    }
+    const std::lock_guard<std::mutex> lock(mu);
+    partials.push_back(std::move(local.table));
+  });
+  CalibrationTable table;
+  for (const CalibrationTable& p : partials) table.merge(p);
+  table.model_name = model_name.empty() ? model.path() : std::move(model_name);
+  return table;
+}
+
+float evaluate_with_table(Module& model, const CalibrationTable& table,
+                          const Dataset& test, const Format& fmt,
+                          const PtqOptions& opt) {
+  // Cheap pre-check: run one sample through the model and verify every
+  // firing quant point has a calibration entry, so a table from a different
+  // architecture is rejected before the (expensive) quantized evaluation.
+  if (test.size() > 0) {
+    CoverageCheckSession cover(table);
+    const nn::Context ctx{/*train=*/false, &cover};
+    (void)model.run(nn::slice_batch(test.inputs, 0, 1), ctx);
+    if (!cover.missing().empty())
+      throw_uncalibrated(cover.missing(), table, "in this model");
+  }
   const WeightSnapshot snap = snapshot_weights(model);
   quantize_weights_per_channel(model, fmt, opt.policy);
-  FakeQuantizer fq(cal, fmt, opt.policy);
+  FakeQuantizer fq(table, fmt, opt.policy);
   const Dataset test_q =
       opt.quantize_input ? quantized_inputs(test, fq) : test;
   const float metric =
       run_metric(model, opt.quantize_input ? test_q : test, opt.metric, &fq);
   restore_weights(model, snap);
+  // Backstop for anything the single-sample pre-check could not see (e.g.
+  // data-dependent control flow): never report a metric computed with
+  // silently unquantized activations.
+  if (fq.uncalibrated_layers() > 0)
+    throw_uncalibrated(fq.uncalibrated_paths(), table, "fired during evaluation but");
   return metric;
+}
+
+float evaluate_ptq(Module& model, const Dataset& calib, const Dataset& test,
+                   const Format& fmt, const PtqOptions& opt) {
+  const CalibrationTable table = calibrate_model(model, calib, opt.quantize_input);
+  return evaluate_with_table(model, table, test, fmt, opt);
 }
 
 float evaluate_fp32(Module& model, const Dataset& test, Metric metric) {
@@ -179,12 +277,12 @@ namespace {
 /// the activations (so downstream layers see FP32 inputs).
 class RmseProbe final : public nn::QuantSession {
  public:
-  RmseProbe(const MaxCalibrator& calib, const Format& fmt, ScalePolicy policy)
-      : calib_(calib), fmt_(fmt), policy_(policy) {}
+  RmseProbe(const CalibrationTable& table, const Format& fmt, ScalePolicy policy)
+      : table_(table), fmt_(fmt), policy_(policy) {}
 
   void on_activation(const Module& layer, Tensor& t) override {
-    const auto it = calib_.absmax.find(&layer);
-    if (it == calib_.absmax.end() || it->second <= 0.f) return;
+    const auto it = table_.absmax.find(layer.path());
+    if (it == table_.absmax.end() || it->second <= 0.f) return;
     const double scale = formats::scale_for_absmax(fmt_, it->second, policy_);
     const double rmse = formats::quantization_rmse(t.data(), fmt_, scale);
     se_ += rmse * rmse * static_cast<double>(t.numel());
@@ -196,7 +294,7 @@ class RmseProbe final : public nn::QuantSession {
   [[nodiscard]] double count() const { return count_; }
 
  private:
-  const MaxCalibrator& calib_;
+  const CalibrationTable& table_;
   const Format& fmt_;
   ScalePolicy policy_;
   double se_ = 0.0;
@@ -234,7 +332,7 @@ RmseReport measure_ptq_rmse(Module& model, const Dataset& calib, const Format& f
   // into its own RmseProbe and the per-batch partials reduce in batch order,
   // so the reduction tree — and therefore the result, to the last bit — is
   // the same for any thread count or chunk split.
-  const MaxCalibrator cal = calibrate(model, calib, opt.quantize_input);
+  const CalibrationTable table = calibrate_model(model, calib, opt.quantize_input);
   constexpr int kBatch = 32;
   const std::size_t batches =
       static_cast<std::size_t>((calib.size() + kBatch - 1) / kBatch);
@@ -246,7 +344,7 @@ RmseReport measure_ptq_rmse(Module& model, const Dataset& calib, const Format& f
   core::global_pool().parallel_chunks(batches, [&](std::size_t begin,
                                                    std::size_t end) {
     for (std::size_t b = begin; b < end; ++b) {
-      RmseProbe probe(cal, fmt, opt.policy);
+      RmseProbe probe(table, fmt, opt.policy);
       const nn::Context ctx{/*train=*/false, &probe};
       const int start = static_cast<int>(b) * kBatch;
       const int count = std::min(kBatch, calib.size() - start);

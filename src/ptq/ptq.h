@@ -8,10 +8,19 @@
 //    the 8-bit format under study and decoded back (fake quantization);
 //  * no advanced PTQ tricks (PD-Quant, QDrop) -- plain max scaling, so that
 //    accuracy differences are attributable to the formats themselves.
+//
+// Calibration state is keyed on stable module *paths* (see nn::assign_paths),
+// not module pointers, so a CalibrationTable is a portable artifact: save it
+// once, load it into any structurally identical model instance (e.g. a
+// clone() replica on another thread or another process) and evaluate.
 #pragma once
 
 #include <atomic>
-#include <unordered_map>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
 
 #include "formats/quantize.h"
 #include "nn/models.h"
@@ -19,28 +28,58 @@
 
 namespace mersit::ptq {
 
-/// Records per-quant-point activation |max| over the calibration set.
+/// Portable per-layer calibration state: module path -> activation |max|,
+/// plus the model-input |max|.  Keys are the stable hierarchical paths
+/// assigned by nn::assign_paths, so the table can be serialized (MCT1
+/// container, see serialize.h) and applied to any structurally identical
+/// model instance.  std::map keeps iteration (and therefore serialization)
+/// order deterministic.
+struct CalibrationTable {
+  std::string model_name;              ///< informational (e.g. root path)
+  float input_absmax = 0.f;
+  std::map<std::string, float> absmax; ///< path -> activation |max|
+
+  /// Pointwise max-merge (order-independent): used to reduce the per-thread
+  /// partial tables of the parallel calibration pass.
+  void merge(const CalibrationTable& other);
+
+  bool operator==(const CalibrationTable&) const = default;
+
+  /// Serialize into the hardened MCT1 binary container (see serialize.cpp).
+  void save(std::ostream& os) const;
+  /// Parse an MCT1 container.  Hardened like QuantizedModel::load: every
+  /// length is bounds-checked, payloads read in bounded chunks, and any
+  /// truncated/corrupted/random stream yields std::runtime_error.
+  [[nodiscard]] static CalibrationTable load(std::istream& is);
+  /// Serialized size in bytes.
+  [[nodiscard]] std::size_t byte_size() const;
+};
+
+/// Records per-quant-point activation |max| over the calibration set into a
+/// path-keyed CalibrationTable.  Every observed module must carry a path
+/// (models built by the nn factories do); observing an unpathed module is a
+/// programming error and throws std::logic_error.
 class MaxCalibrator final : public nn::QuantSession {
  public:
   void on_activation(const nn::Module& layer, nn::Tensor& t) override;
 
-  /// Observed |max| per layer (keyed by module identity).
-  std::unordered_map<const nn::Module*, float> absmax;
-  float input_absmax = 0.f;
-
   /// Observe the model input tensor (images; token ids are not observed).
   void observe_input(const nn::Tensor& t);
+
+  CalibrationTable table;
 };
 
 /// Fake-quantizes every activation with the calibrated per-layer scales.
 ///
 /// Concurrency: after construction the quantizer only reads the calibration
-/// map and the shared format kernel, and each evaluation thread hands it a
+/// table and the shared format kernel, and each evaluation thread hands it a
 /// distinct activation tensor — so it declares concurrent_safe() and the
-/// evaluators fan test batches out across the thread pool.
+/// evaluators fan test batches out across the thread pool.  (The
+/// uncalibrated-path set is mutex-guarded; it is touched only on the miss
+/// path, which a correct pipeline never hits.)
 class FakeQuantizer final : public nn::QuantSession {
  public:
-  FakeQuantizer(const MaxCalibrator& calib, const formats::Format& fmt,
+  FakeQuantizer(const CalibrationTable& table, const formats::Format& fmt,
                 formats::ScalePolicy policy);
 
   void on_activation(const nn::Module& layer, nn::Tensor& t) override;
@@ -50,22 +89,32 @@ class FakeQuantizer final : public nn::QuantSession {
 
   /// Layers seen at eval time but never calibrated (should stay zero).
   [[nodiscard]] int uncalibrated_layers() const { return uncalibrated_.load(); }
+  /// The distinct paths (or "<unpathed TypeName>") of those layers.
+  [[nodiscard]] std::set<std::string> uncalibrated_paths() const;
 
  private:
-  const MaxCalibrator& calib_;
+  const CalibrationTable& table_;
   const formats::Format& fmt_;
   formats::ScalePolicy policy_;
   std::atomic<int> uncalibrated_ = 0;
+  mutable std::mutex miss_mu_;
+  std::set<std::string> missed_;
 };
 
 // ---------------------------------------------------------------- weights --
 
-/// Deep copy of every parameter value (for restoring between formats).
+/// Deep copy of every parameter value (for restoring between formats),
+/// together with each parameter's shape so a restore onto a structurally
+/// different model fails loudly instead of silently misassigning tensors.
 struct WeightSnapshot {
   std::vector<nn::Tensor> values;
 };
 
 [[nodiscard]] WeightSnapshot snapshot_weights(nn::Module& model);
+
+/// Restore a snapshot.  Validates structural compatibility (parameter count
+/// and every shape) *before* mutating anything; throws std::invalid_argument
+/// with the offending index/shape on mismatch.
 void restore_weights(nn::Module& model, const WeightSnapshot& snap);
 
 /// Per-output-channel fake quantization of every ChannelWeights module.
@@ -82,9 +131,32 @@ struct PtqOptions {
   bool quantize_input = true;  ///< false for token-id inputs (BERT)
 };
 
-/// Calibrate on `calib`, quantize weights+activations into `fmt`, evaluate
-/// on `test`; weights are restored afterwards.  Returns the metric in
-/// percent.
+/// Run the calibration pass over `calib` and return the path-keyed table.
+/// Batches fan out across the thread pool; the per-thread partial tables
+/// merge with max(), which is order-independent, so the result is identical
+/// to a serial pass.  `model_name` defaults to the model root's path.
+[[nodiscard]] CalibrationTable calibrate_model(nn::Module& model,
+                                               const nn::Dataset& calib,
+                                               bool observe_input = true,
+                                               std::string model_name = "");
+
+/// Quantize weights+activations into `fmt` using a previously built (or
+/// loaded) calibration table and evaluate on `test`; weights are restored
+/// afterwards.  Returns the metric in percent.
+///
+/// Fails loudly: before evaluating, every quant-point module of `model` must
+/// have an entry in `table` — a table calibrated on a structurally different
+/// model throws std::runtime_error naming the missing paths.  As a backstop,
+/// any quant point that still fires uncalibrated during evaluation raises
+/// the same error after weights are restored.
+[[nodiscard]] float evaluate_with_table(nn::Module& model,
+                                        const CalibrationTable& table,
+                                        const nn::Dataset& test,
+                                        const formats::Format& fmt,
+                                        const PtqOptions& opt = {});
+
+/// Calibrate on `calib`, then evaluate_with_table on `test` — the one-shot
+/// convenience used by the Table-2 sweep.
 [[nodiscard]] float evaluate_ptq(nn::Module& model, const nn::Dataset& calib,
                                  const nn::Dataset& test, const formats::Format& fmt,
                                  const PtqOptions& opt = {});

@@ -8,11 +8,14 @@
 #include <stdexcept>
 #include <string>
 
+#include "ptq/ptq.h"
+
 namespace mersit::ptq {
 
 namespace {
 
 constexpr char kMagic[4] = {'M', 'Q', 'T', '1'};
+constexpr char kCalibMagic[4] = {'M', 'C', 'T', '1'};
 
 // Hard caps on untrusted length fields (far above any legitimate artifact,
 // far below anything that could exhaust memory).
@@ -22,20 +25,28 @@ constexpr std::uint32_t kMaxRank = 8;
 constexpr std::int64_t kMaxNumel = std::int64_t{1} << 31;
 constexpr std::int64_t kMaxChannels = std::int64_t{1} << 24;
 constexpr std::size_t kReadChunk = std::size_t{1} << 16;
+constexpr std::uint32_t kMaxCalibEntries = 1u << 20;
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
+void write_str(std::ostream& os, const std::string& s) {
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
 /// Untrusted-input reader: tracks the remaining stream size when the stream
 /// is seekable, so declared lengths can be rejected *before* allocation;
 /// bulk payloads are read in bounded chunks either way, so a lying length
 /// on a non-seekable stream fails at the actual end of data instead of
-/// triggering a giant allocation.
+/// triggering a giant allocation.  `who` prefixes every error message
+/// ("QuantizedModel" / "CalibrationTable").
 class BoundedReader {
  public:
-  explicit BoundedReader(std::istream& is) : is_(is) {
+  explicit BoundedReader(std::istream& is, const char* who = "QuantizedModel")
+      : is_(is), who_(who) {
     const auto pos = is.tellg();
     if (pos == std::istream::pos_type(-1)) return;  // not seekable
     is.clear();
@@ -51,7 +62,7 @@ class BoundedReader {
   /// Reject a claimed payload of `n` bytes that cannot fit in the stream.
   void claim(std::uint64_t n, const char* what) {
     if (known_ && n > remaining_)
-      throw std::runtime_error(std::string("QuantizedModel: ") + what +
+      throw std::runtime_error(std::string(who_) + ": " + what +
                                " exceeds remaining stream size");
   }
 
@@ -59,7 +70,7 @@ class BoundedReader {
     claim(n, what);
     is_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
     if (!is_ || static_cast<std::size_t>(is_.gcount()) != n)
-      throw std::runtime_error(std::string("QuantizedModel: truncated ") + what);
+      throw std::runtime_error(std::string(who_) + ": truncated " + what);
     if (known_) remaining_ -= n;
   }
 
@@ -86,8 +97,21 @@ class BoundedReader {
     }
   }
 
+  /// Read a u32-length-prefixed string, capped at kMaxNameLen.
+  std::string read_str(const char* what) {
+    const auto len = read_pod<std::uint32_t>(what);
+    if (len > kMaxNameLen)
+      throw std::runtime_error(std::string(who_) + ": " + what + " length " +
+                               std::to_string(len) + " exceeds cap");
+    claim(len, what);
+    std::string s(len, '\0');
+    if (len > 0) read_raw(s.data(), len, what);
+    return s;
+  }
+
  private:
   std::istream& is_;
+  const char* who_;
   std::uint64_t remaining_ = 0;
   bool known_ = false;
 };
@@ -165,6 +189,63 @@ std::size_t QuantizedModel::byte_size() const {
   return n;
 }
 
+// ------------------------------------------------------ calibration table --
+
+void CalibrationTable::save(std::ostream& os) const {
+  os.write(kCalibMagic, 4);
+  write_str(os, model_name);
+  write_pod<float>(os, input_absmax);
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(absmax.size()));
+  // std::map iterates in sorted path order: identical tables serialize to
+  // identical bytes.
+  for (const auto& [path, mx] : absmax) {
+    write_str(os, path);
+    write_pod<float>(os, mx);
+  }
+}
+
+CalibrationTable CalibrationTable::load(std::istream& is) {
+  BoundedReader r(is, "CalibrationTable");
+  char magic[4];
+  r.read_raw(magic, 4, "magic");
+  if (std::memcmp(magic, kCalibMagic, 4) != 0)
+    throw std::runtime_error("CalibrationTable: bad magic");
+  CalibrationTable t;
+  t.model_name = r.read_str("model name");
+  t.input_absmax = r.read_pod<float>("input absmax");
+  if (!std::isfinite(t.input_absmax) || t.input_absmax < 0.f)
+    throw std::runtime_error("CalibrationTable: non-finite or negative input absmax");
+  const auto count = r.read_pod<std::uint32_t>("entry count");
+  if (count > kMaxCalibEntries)
+    throw std::runtime_error("CalibrationTable: entry count " +
+                             std::to_string(count) + " exceeds cap");
+  // Each entry occupies at least a path length + absmax = 8 bytes.
+  r.claim(std::uint64_t{8} * count, "entry records");
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string path = r.read_str("entry path");
+    if (path.empty())
+      throw std::runtime_error("CalibrationTable: empty entry path");
+    const float mx = r.read_pod<float>("entry absmax");
+    if (!std::isfinite(mx) || mx < 0.f)
+      throw std::runtime_error("CalibrationTable: non-finite or negative absmax for '" +
+                               path + "'");
+    if (!t.absmax.emplace(std::move(path), mx).second)
+      throw std::runtime_error("CalibrationTable: duplicate entry path");
+  }
+  return t;
+}
+
+std::size_t CalibrationTable::byte_size() const {
+  std::size_t n = 4 + 4 + model_name.size() + 4 + 4;
+  for (const auto& [path, mx] : absmax) {
+    (void)mx;
+    n += 4 + path.size() + 4;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------- weights --
+
 QuantizedModel pack_weights(nn::Module& model, const formats::Format& fmt,
                             formats::ScalePolicy policy) {
   QuantizedModel qm;
@@ -173,6 +254,7 @@ QuantizedModel pack_weights(nn::Module& model, const formats::Format& fmt,
     auto* cw = dynamic_cast<nn::ChannelWeights*>(m);
     if (cw == nullptr) continue;
     QuantizedTensor t;
+    t.path = m->path();
     t.channels = cw->weight_channels();
     const std::size_t per = cw->channel_span(0).size();
     t.shape = {t.channels, static_cast<int>(per)};
@@ -193,23 +275,59 @@ QuantizedModel pack_weights(nn::Module& model, const formats::Format& fmt,
   return qm;
 }
 
+namespace {
+
+std::string layer_label(const nn::Module* m, std::size_t index) {
+  return m->path().empty() ? "#" + std::to_string(index) + " (" + m->name() + ")"
+                           : "'" + m->path() + "'";
+}
+
+}  // namespace
+
 void unpack_weights(nn::Module& model, const QuantizedModel& qm,
                     const formats::Format& fmt, formats::CorruptionPolicy policy,
                     formats::CorruptionStats* stats) {
   if (fmt.name() != qm.format_name)
     throw std::invalid_argument("unpack_weights: format mismatch (" + fmt.name() +
                                 " vs " + qm.format_name + ")");
-  std::size_t ti = 0;
+  // Pass 1: validate the artifact against the whole model before touching a
+  // single weight, so a structurally incompatible artifact can never leave
+  // the model half-overwritten.
+  std::vector<std::pair<nn::Module*, nn::ChannelWeights*>> targets;
   for (nn::Module* m : model.modules()) {
     auto* cw = dynamic_cast<nn::ChannelWeights*>(m);
-    if (cw == nullptr) continue;
-    if (ti >= qm.tensors.size())
-      throw std::invalid_argument("unpack_weights: too few tensors");
-    const QuantizedTensor& t = qm.tensors[ti++];
+    if (cw != nullptr) targets.emplace_back(m, cw);
+  }
+  if (targets.size() != qm.tensors.size())
+    throw std::invalid_argument(
+        "unpack_weights: tensor count mismatch (model has " +
+        std::to_string(targets.size()) + " quantizable layers, artifact has " +
+        std::to_string(qm.tensors.size()) + " tensors)");
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const QuantizedTensor& t = qm.tensors[i];
+    nn::ChannelWeights* cw = targets[i].second;
+    const std::string label = layer_label(targets[i].first, i);
     if (t.channels != cw->weight_channels())
-      throw std::invalid_argument("unpack_weights: channel mismatch");
+      throw std::invalid_argument(
+          "unpack_weights: channel mismatch at layer " + label + " (model has " +
+          std::to_string(cw->weight_channels()) + ", artifact has " +
+          std::to_string(t.channels) + ")");
+    if (static_cast<std::int64_t>(t.scales.size()) !=
+        static_cast<std::int64_t>(t.channels))
+      throw std::invalid_argument("unpack_weights: scale count mismatch at layer " +
+                                  label);
     if (t.numel() != t.channels * static_cast<std::int64_t>(cw->channel_span(0).size()))
-      throw std::invalid_argument("unpack_weights: element count mismatch");
+      throw std::invalid_argument(
+          "unpack_weights: element count mismatch at layer " + label +
+          " (model has " +
+          std::to_string(t.channels *
+                         static_cast<std::int64_t>(cw->channel_span(0).size())) +
+          ", artifact has " + std::to_string(t.numel()) + ")");
+  }
+  // Pass 2: decode.
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const QuantizedTensor& t = qm.tensors[i];
+    nn::ChannelWeights* cw = targets[i].second;
     std::size_t k = 0;
     for (int c = 0; c < t.channels; ++c) {
       const std::span<float> w = cw->channel_span(c);
@@ -219,8 +337,6 @@ void unpack_weights(nn::Module& model, const QuantizedModel& qm,
             formats::decode_with_policy(fmt, t.codes[k++], policy, stats) * scale);
     }
   }
-  if (ti != qm.tensors.size())
-    throw std::invalid_argument("unpack_weights: too many tensors");
 }
 
 }  // namespace mersit::ptq

@@ -1,12 +1,20 @@
-// Quantized-model serialization: pack the per-channel quantized weights of
-// a model into true 8-bit code words plus FP32 scales (the artifact an
-// 8-bit accelerator actually ships), and restore them.
+// Quantized-artifact serialization: pack the per-channel quantized weights
+// of a model into true 8-bit code words plus FP32 scales (the artifact an
+// 8-bit accelerator actually ships), restore them, and persist calibration
+// tables.
 //
-// Binary container (little-endian):
+// Weight container (little-endian):
 //   "MQT1" | u32 format-name length | name bytes
 //   u32 tensor count, then per tensor:
 //     u32 ndim | i32 shape[ndim] | u32 channels |
 //     f32 scale[channels] | u8 codes[numel]
+//
+// Calibration container (little-endian, see ptq::CalibrationTable):
+//   "MCT1" | u32 model-name length | name bytes | f32 input_absmax
+//   u32 entry count, then per entry:
+//     u32 path length | path bytes | f32 absmax
+// Entries are written in sorted path order (std::map) so two identical
+// tables always serialize to identical bytes.
 #pragma once
 
 #include <iosfwd>
@@ -24,6 +32,12 @@ struct QuantizedTensor {
   int channels = 1;                  ///< leading quantization-group count
   std::vector<float> scales;         ///< one scale per channel
   std::vector<std::uint8_t> codes;   ///< one code per element
+
+  /// Module path of the layer this tensor came from (e.g.
+  /// "resnet18/stem_conv").  In-memory only — filled by pack_weights for
+  /// per-layer reporting/targeting; NOT serialized (the MQT1 byte format is
+  /// unchanged), so tensors parsed by load() carry an empty path.
+  std::string path;
 
   [[nodiscard]] std::int64_t numel() const {
     return static_cast<std::int64_t>(codes.size());
@@ -58,6 +72,10 @@ struct QuantizedModel {
 
 /// Decode `qm` back into the model's ChannelWeights modules (module order
 /// and shapes must match).  `fmt` must be the format named in `qm`.
+/// Structural compatibility (tensor count, channel counts, element counts)
+/// is validated for the whole model *before* any weight is written, so a
+/// mismatched artifact throws std::invalid_argument naming the offending
+/// layer instead of leaving the model half-overwritten.
 /// `policy` governs non-finite (NaR/Inf/NaN) codes, which a clean artifact
 /// never contains but a corrupted one may: kPropagate writes IEEE specials
 /// into the weights, kZeroSubstitute writes 0 and counts the substitution

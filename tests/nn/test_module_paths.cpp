@@ -1,0 +1,149 @@
+// Stable hierarchical module paths (nn::assign_paths / named_modules) and
+// structural clone(): the seams the portable-calibration pipeline stands on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "nn/data.h"
+#include "nn/models.h"
+
+namespace mersit::nn {
+namespace {
+
+std::set<std::string> path_set(Module& root) {
+  std::set<std::string> out;
+  for (Module* m : root.modules()) out.insert(m->path());
+  return out;
+}
+
+TEST(ModulePaths, FactoriesAssignNonEmptyUniquePaths) {
+  auto zoo = make_vision_zoo(3, 10, /*seed=*/1);
+  std::mt19937 rng(1);
+  zoo.push_back({"BERT-mini", make_bert_mini(48, 24, 16, 2, 2, 32, 2, rng)});
+  for (auto& [name, model] : zoo) {
+    const std::vector<Module*> mods = model->modules();
+    std::set<std::string> seen;
+    for (Module* m : mods) {
+      EXPECT_FALSE(m->path().empty()) << name << ": unpathed " << m->name();
+      EXPECT_TRUE(seen.insert(m->path()).second)
+          << name << ": duplicate path " << m->path();
+    }
+    EXPECT_EQ(seen.size(), mods.size()) << name;
+  }
+}
+
+TEST(ModulePaths, NamedWalkMatchesPointerWalkOrder) {
+  std::mt19937 rng(3);
+  auto model = make_resnet_mini(3, 10, 2, rng);
+  const std::vector<Module*> mods = model->modules();
+  const std::vector<NamedModuleRef> named = named_modules(*model, "resnet50");
+  ASSERT_EQ(named.size(), mods.size());
+  for (std::size_t i = 0; i < named.size(); ++i) {
+    EXPECT_EQ(named[i].module, mods[i]) << i;
+    EXPECT_EQ(named[i].path, mods[i]->path()) << i;
+  }
+  // Paths are rooted and hierarchical.
+  EXPECT_EQ(model->path(), "resnet50");
+  EXPECT_TRUE(std::any_of(named.begin(), named.end(), [](const NamedModuleRef& r) {
+    return r.path == "resnet50/stage1_block0/residual/body/conv1";
+  }));
+}
+
+// Satellite: two independently constructed instances (different RNG seeds,
+// hence different weights) must produce identical path sets — the property
+// that makes a CalibrationTable portable between instances.
+TEST(ModulePaths, PathSetsStableAcrossInstances) {
+  auto zoo_a = make_vision_zoo(3, 10, /*seed=*/1);
+  auto zoo_b = make_vision_zoo(3, 10, /*seed=*/2);
+  ASSERT_EQ(zoo_a.size(), zoo_b.size());
+  for (std::size_t i = 0; i < zoo_a.size(); ++i) {
+    EXPECT_EQ(path_set(*zoo_a[i].model), path_set(*zoo_b[i].model))
+        << zoo_a[i].name;
+  }
+  std::mt19937 rng_a(7), rng_b(8);
+  auto bert_a = make_bert_mini(48, 24, 16, 2, 2, 32, 2, rng_a);
+  auto bert_b = make_bert_mini(48, 24, 16, 2, 2, 32, 2, rng_b);
+  EXPECT_EQ(path_set(*bert_a), path_set(*bert_b));
+}
+
+TEST(ModulePaths, SequentialAutoNamesByIndexAndRejectsDuplicates) {
+  std::mt19937 rng(5);
+  Sequential s;
+  s.add(std::make_unique<Linear>(4, 4, rng));
+  s.add("fc", std::make_unique<Linear>(4, 4, rng));
+  std::vector<NamedChild> ch;
+  s.collect_children(ch);
+  ASSERT_EQ(ch.size(), 2u);
+  EXPECT_EQ(ch[0].name, "0");
+  EXPECT_EQ(ch[1].name, "fc");
+  assign_paths(s, "net");
+  EXPECT_EQ(s[0].path(), "net/0");
+  EXPECT_EQ(s[1].path(), "net/fc");
+
+  Sequential dup;
+  dup.add("same", std::make_unique<Linear>(4, 4, rng));
+  dup.add("same", std::make_unique<Linear>(4, 4, rng));
+  EXPECT_THROW(assign_paths(dup, "net"), std::logic_error);
+}
+
+TEST(ModulePaths, TransformerGeluIsPartOfTheWalk) {
+  std::mt19937 rng(11);
+  auto bert = make_bert_mini(48, 24, 16, 2, 1, 32, 2, rng);
+  const auto paths = path_set(*bert);
+  // The FF GELU is a quant point fired by TransformerBlock::forward; it must
+  // carry a path so its calibration entry is addressable.
+  EXPECT_TRUE(paths.count("bert/layer0/gelu")) << "missing bert/layer0/gelu";
+  EXPECT_TRUE(paths.count("bert/layer0/attn/wq"));
+}
+
+TEST(ModuleClone, StructuralIdentityAndBitwiseEqualForward) {
+  auto zoo = make_vision_zoo(3, 10, /*seed=*/4);
+  const Dataset data = make_vision_dataset(4, 3, 12, /*seed=*/17);
+  for (auto& [name, model] : zoo) {
+    const ModulePtr copy = model->clone();
+    // Same structure: module types, paths, and parameter shapes/values.
+    const std::vector<Module*> a = model->modules();
+    const std::vector<Module*> b = copy->modules();
+    ASSERT_EQ(a.size(), b.size()) << name;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NE(a[i], b[i]) << name << ": clone shares a module";
+      EXPECT_EQ(a[i]->name(), b[i]->name()) << name;
+      EXPECT_EQ(a[i]->path(), b[i]->path()) << name;
+    }
+    const auto pa = model->parameters();
+    const auto pb = copy->parameters();
+    ASSERT_EQ(pa.size(), pb.size()) << name;
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      ASSERT_EQ(pa[i]->value.shape(), pb[i]->value.shape()) << name;
+      EXPECT_NE(pa[i], pb[i]) << name << ": clone shares a parameter";
+      for (std::int64_t j = 0; j < pa[i]->value.numel(); ++j)
+        ASSERT_EQ(pa[i]->value[j], pb[i]->value[j]) << name;
+    }
+    // Same function: bitwise-equal inference forward.
+    const Context ctx{/*train=*/false, nullptr};
+    const Tensor ya = model->run(data.inputs, ctx);
+    const Tensor yb = copy->run(data.inputs, ctx);
+    ASSERT_EQ(ya.numel(), yb.numel()) << name;
+    for (std::int64_t j = 0; j < ya.numel(); ++j)
+      ASSERT_EQ(ya[j], yb[j]) << name;
+  }
+}
+
+TEST(ModuleClone, CloneIsIndependentOfOriginal) {
+  std::mt19937 rng(21);
+  auto model = make_mobilenet_v3_mini(3, 10, rng);
+  const ModulePtr copy = model->clone();
+  // Mutating the original must not touch the clone.
+  const auto params = model->parameters();
+  for (nn::Param* p : params)
+    for (std::int64_t j = 0; j < p->value.numel(); ++j) p->value[j] += 1.f;
+  const auto pa = model->parameters();
+  const auto pb = copy->parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::int64_t j = 0; j < pa[i]->value.numel(); ++j)
+      ASSERT_NE(pa[i]->value[j], pb[i]->value[j]);
+}
+
+}  // namespace
+}  // namespace mersit::nn

@@ -40,9 +40,14 @@ TEST(Calibrator, RecordsPerLayerMaxima) {
   const Tensor xb = nn::slice_batch(f.train.inputs, 0, 16);
   cal.observe_input(xb);
   (void)f.model->run(xb, ctx);
-  EXPECT_GT(cal.absmax.size(), 5u);
-  EXPECT_GT(cal.input_absmax, 0.f);
-  for (const auto& [layer, mx] : cal.absmax) EXPECT_GE(mx, 0.f) << layer->name();
+  EXPECT_GT(cal.table.absmax.size(), 5u);
+  EXPECT_GT(cal.table.input_absmax, 0.f);
+  for (const auto& [path, mx] : cal.table.absmax) {
+    EXPECT_FALSE(path.empty());
+    EXPECT_GE(mx, 0.f) << path;
+    // Paths are rooted at the factory's root name.
+    EXPECT_EQ(path.rfind("vgg", 0), 0u) << path;
+  }
 }
 
 TEST(Weights, SnapshotRestoreRoundTrip) {
@@ -122,7 +127,7 @@ TEST(Ptq, QuantizerLeavesUncalibratedZero) {
   const nn::Context cctx{false, &cal};
   (void)f.model->run(nn::slice_batch(f.train.inputs, 0, 32), cctx);
   const auto fmt = core::make_format("FP(8,4)");
-  FakeQuantizer fq(cal, *fmt, formats::ScalePolicy::kMaxToUnity);
+  FakeQuantizer fq(cal.table, *fmt, formats::ScalePolicy::kMaxToUnity);
   const nn::Context qctx{false, &fq};
   (void)f.model->run(nn::slice_batch(f.test.inputs, 0, 16), qctx);
   EXPECT_EQ(fq.uncalibrated_layers(), 0);

@@ -5,12 +5,14 @@
 // UBSan findings on hostile input.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <random>
 #include <sstream>
 
 #include "core/registry.h"
 #include "nn/models.h"
+#include "ptq/ptq.h"
 #include "ptq/serialize.h"
 
 namespace mersit::ptq {
@@ -134,6 +136,145 @@ TEST(SerializeFuzz, RoundTripStillExactAfterHardening) {
   std::stringstream out;
   qm.save(out);
   EXPECT_EQ(out.str(), blob);
+}
+
+// ------------------------------------------------- MCT1 calibration tables --
+// CalibrationTable::load shares the BoundedReader hardening; same contract:
+// any hostile stream throws, never crashes.
+
+std::string valid_table_blob() {
+  CalibrationTable t;
+  t.model_name = "resnet18";
+  t.input_absmax = 2.75f;
+  t.absmax["resnet18/stem_conv"] = 1.5f;
+  t.absmax["resnet18/stage1_block0/residual/body/conv1"] = 0.75f;
+  t.absmax["resnet18/fc"] = 3.25f;
+  std::stringstream ss;
+  t.save(ss);
+  return ss.str();
+}
+
+void try_load_table(const std::string& bytes) {
+  std::stringstream ss(bytes);
+  try {
+    const CalibrationTable t = CalibrationTable::load(ss);
+    // Parsed tables must honour their own invariants.
+    for (const auto& [path, mx] : t.absmax) {
+      ASSERT_FALSE(path.empty());
+      ASSERT_TRUE(std::isfinite(mx));
+      ASSERT_GE(mx, 0.f);
+    }
+    ASSERT_TRUE(std::isfinite(t.input_absmax));
+  } catch (const std::exception&) {
+    // expected for malformed input
+  }
+}
+
+TEST(CalibTableFuzz, SurvivesTenThousandCorruptStreams) {
+  const std::string blob = valid_table_blob();
+  std::mt19937 rng(0xCAB1);
+  std::uniform_int_distribution<int> mode_dist(0, 3);
+  std::uniform_int_distribution<std::size_t> pos_dist(0, blob.size() - 1);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+
+  for (int iter = 0; iter < 10000; ++iter) {
+    std::string s;
+    switch (mode_dist(rng)) {
+      case 0:
+        s = blob.substr(0, pos_dist(rng));
+        break;
+      case 1: {
+        s = blob;
+        const int flips = 1 + static_cast<int>(rng() % 32);
+        for (int i = 0; i < flips; ++i)
+          s[pos_dist(rng)] = static_cast<char>(byte_dist(rng));
+        break;
+      }
+      case 2: {
+        s = blob;
+        const std::uint32_t evil =
+            (rng() % 2) ? 0xFFFFFFFFu : (0x7FFFFFFFu - (rng() % 1024));
+        const std::size_t at = pos_dist(rng) % (s.size() - 4);
+        std::memcpy(s.data() + at, &evil, 4);
+        break;
+      }
+      default: {
+        s.resize(rng() % 1024);
+        for (char& ch : s) ch = static_cast<char>(byte_dist(rng));
+        break;
+      }
+    }
+    try_load_table(s);
+  }
+}
+
+TEST(CalibTableFuzz, TruncatedAtEveryByteBoundary) {
+  const std::string blob = valid_table_blob();
+  for (std::size_t n = 0; n < blob.size(); ++n) {
+    std::stringstream ss(blob.substr(0, n));
+    EXPECT_THROW((void)CalibrationTable::load(ss), std::runtime_error) << n;
+  }
+}
+
+TEST(CalibTableFuzz, HugeDeclaredLengthsRejectedWithoutAllocation) {
+  // Header claiming a 4 GiB model name on a 16-byte stream.
+  std::string s("MCT1", 4);
+  const std::uint32_t huge = 0xFFFFFFFFu;
+  s.append(reinterpret_cast<const char*>(&huge), 4);
+  s.append(8, '\0');
+  std::stringstream ss(s);
+  EXPECT_THROW((void)CalibrationTable::load(ss), std::runtime_error);
+
+  // Valid header, then an entry count far beyond the stream.
+  std::string s2("MCT1", 4);
+  auto put_u32 = [&s2](std::uint32_t v) {
+    s2.append(reinterpret_cast<const char*>(&v), 4);
+  };
+  put_u32(0);  // empty model name
+  const float in_absmax = 1.f;
+  s2.append(reinterpret_cast<const char*>(&in_absmax), 4);
+  put_u32(0x000FFFFFu);  // ~1M entries on an empty stream
+  std::stringstream ss2(s2);
+  EXPECT_THROW((void)CalibrationTable::load(ss2), std::runtime_error);
+}
+
+TEST(CalibTableFuzz, NonFiniteAndNegativeValuesRejected) {
+  auto build = [](float in_absmax, float entry) {
+    std::string s("MCT1", 4);
+    auto put_u32 = [&s](std::uint32_t v) {
+      s.append(reinterpret_cast<const char*>(&v), 4);
+    };
+    auto put_f32 = [&s](float v) {
+      s.append(reinterpret_cast<const char*>(&v), 4);
+    };
+    put_u32(1);
+    s.append("m", 1);
+    put_f32(in_absmax);
+    put_u32(1);
+    put_u32(3);
+    s.append("a/b", 3);
+    put_f32(entry);
+    return s;
+  };
+  for (const auto& bad : {build(std::nanf(""), 1.f), build(-1.f, 1.f),
+                          build(1.f, std::nanf("")), build(1.f, -0.5f)}) {
+    std::stringstream ss(bad);
+    EXPECT_THROW((void)CalibrationTable::load(ss), std::runtime_error);
+  }
+  // The same layout with clean values parses.
+  std::stringstream ok(build(1.f, 0.5f));
+  const CalibrationTable t = CalibrationTable::load(ok);
+  EXPECT_EQ(t.absmax.at("a/b"), 0.5f);
+}
+
+TEST(CalibTableFuzz, RoundTripStillExactAfterHardening) {
+  const std::string blob = valid_table_blob();
+  std::stringstream ss(blob);
+  const CalibrationTable t = CalibrationTable::load(ss);
+  std::stringstream out;
+  t.save(out);
+  EXPECT_EQ(out.str(), blob);
+  EXPECT_EQ(blob.size(), t.byte_size());
 }
 
 }  // namespace
