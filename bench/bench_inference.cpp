@@ -1,16 +1,29 @@
-// Naive-vs-GEMM forward inference benchmark across the model zoo.
+// Inference-runtime benchmark across the model zoo: naive loops vs the GEMM
+// engine packing per call vs the persistent prepacked-weight cache with
+// fused epilogues (and, as a fourth opt-in column, inference-only BN fold).
 //
-// For every vision model (and BERT-mini) this times a full forward batch on
-// both dispatch paths — the naive reference loops (MERSIT_GEMM=0) and the
-// blocked GEMM engine — then cross-checks the two outputs element by
-// element.  The GEMM lowering is designed to reproduce the naive rounding
-// sequence exactly, so any divergence beyond 4 ULPs is a bug and the bench
-// exits nonzero (the CI perf-smoke stage relies on this).
+// For every vision model (and BERT-mini) this times a full forward batch in
+// each mode and cross-checks outputs element by element.  The packed and
+// prepacked paths are designed to reproduce the naive rounding sequence
+// exactly — identical packed panels, identical ascending-k accumulation,
+// epilogues applied only at final write-back — so any non-zero ULP distance
+// is a bug and the bench exits nonzero (the CI perf-smoke stage relies on
+// this).  BN folding rescales weights (w' = w*gamma/sigma), which
+// reassociates the rounding, so that column gets a small numeric tolerance
+// instead of the bitwise gate.
 //
-// Extra flag: --json=PATH writes the per-model latency/throughput/speedup
-// report consumed by EXPERIMENTS.md ("Inference throughput") and the
-// committed BENCH_inference.json.  MERSIT_BENCH_FAST=1 shrinks the batch
-// and image/sequence sizes; the output is labeled with the sizing mode.
+// The whole sweep runs at two pool widths (1 and 4 worker threads, via
+// core::resize_global_pool) to demonstrate thread-count invariance of the
+// bit-exact modes and multi-thread scaling of the prepacked path.
+//
+// Extra flag: --json=PATH writes the per-model latency/speedup report
+// consumed by EXPERIMENTS.md ("Prepacked inference") and the committed
+// BENCH_inference.json.  MERSIT_BENCH_FAST=1 shrinks the batch and
+// image/sequence sizes; the output is labeled with the sizing mode.
+//
+// Perf gate: on ResNet18-mini the prepacked path must be at least as fast as
+// packing per call (small measurement-noise allowance); a regression exits
+// nonzero.
 #include <algorithm>
 #include <bit>
 #include <chrono>
@@ -31,6 +44,14 @@ using namespace mersit;
 
 namespace {
 
+/// BN fold tolerance on the final logits: the rescale is tiny for the
+/// bench's freshly initialized running stats, but downstream layers can
+/// amplify the reassociated rounding a little.
+constexpr float kFoldTol = 2e-3f;
+
+/// Allowance for timer noise in the prepacked >= packed-per-call gate.
+constexpr double kPerfSlack = 1.02;
+
 /// ULP distance between two finite floats (monotone integer mapping).
 std::uint32_t ulp_distance(float a, float b) {
   const auto key = [](float v) {
@@ -50,8 +71,17 @@ std::uint32_t max_ulp(const nn::Tensor& a, const nn::Tensor& b) {
   return m;
 }
 
+float max_abs_diff(const nn::Tensor& a, const nn::Tensor& b) {
+  float m = 0.f;
+  const auto da = a.data(), db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i)
+    m = std::max(m, std::fabs(da[i] - db[i]));
+  return m;
+}
+
 /// Best-of-R wall time for one forward batch, in milliseconds (one untimed
-/// warm-up pass absorbs lazy allocations and cache effects).
+/// warm-up pass absorbs lazy work — including the one-time weight prepack,
+/// which is exactly what the persistent cache amortizes away).
 double time_forward_ms(nn::Module& model, const nn::Tensor& x, int reps) {
   const nn::Context ctx;
   (void)model.forward(x, ctx);
@@ -68,55 +98,120 @@ double time_forward_ms(nn::Module& model, const nn::Tensor& x, int reps) {
 
 struct Row {
   std::string model;
-  double naive_ms = 0.0;  ///< per forward batch
-  double gemm_ms = 0.0;
   int batch = 0;
-  std::uint32_t ulp = 0;
-  [[nodiscard]] double speedup() const {
-    return gemm_ms > 0.0 ? naive_ms / gemm_ms : 0.0;
+  bool vision = true;        ///< counts toward the zoo geomean
+  double naive_ms = 0.0;     ///< per forward batch, MERSIT_GEMM=0
+  double packed_ms = 0.0;    ///< GEMM engine, repacking weights every call
+  double prepacked_ms = 0.0; ///< persistent prepack + fused epilogues
+  double folded_ms = 0.0;    ///< + inference-only BN fold (MERSIT_FOLD_BN)
+  std::uint32_t packed_ulp = 0;
+  std::uint32_t prepacked_ulp = 0;
+  float folded_diff = 0.f;
+  [[nodiscard]] double speedup_vs_naive() const {
+    return prepacked_ms > 0.0 ? naive_ms / prepacked_ms : 0.0;
   }
-  [[nodiscard]] double gemm_per_s() const {
-    return gemm_ms > 0.0 ? 1e3 * batch / gemm_ms : 0.0;
+  [[nodiscard]] double speedup_vs_packed() const {
+    return prepacked_ms > 0.0 ? packed_ms / prepacked_ms : 0.0;
+  }
+  [[nodiscard]] double img_per_s() const {
+    return prepacked_ms > 0.0 ? 1e3 * batch / prepacked_ms : 0.0;
   }
 };
 
 Row measure(const std::string& name, nn::Module& model, const nn::Tensor& x,
-            int reps) {
+            int reps, bool vision) {
   Row row;
   row.model = name;
   row.batch = x.dim(0);
+  row.vision = vision;
   const nn::Context ctx;
-  const bool prev = nn::gemm::set_enabled(false);
-  const nn::Tensor naive_y = model.forward(x, ctx);
+
+  nn::gemm::set_enabled(false);
+  const nn::Tensor ref = model.forward(x, ctx);
   row.naive_ms = time_forward_ms(model, x, reps);
+
   nn::gemm::set_enabled(true);
-  const nn::Tensor gemm_y = model.forward(x, ctx);
-  row.gemm_ms = time_forward_ms(model, x, reps);
-  nn::gemm::set_enabled(prev);
-  row.ulp = max_ulp(naive_y, gemm_y);
+  nn::gemm::set_prepack_enabled(false);
+  row.packed_ulp = max_ulp(ref, model.forward(x, ctx));
+  row.packed_ms = time_forward_ms(model, x, reps);
+
+  nn::gemm::set_prepack_enabled(true);
+  row.prepacked_ulp = max_ulp(ref, model.forward(x, ctx));
+  row.prepacked_ms = time_forward_ms(model, x, reps);
+
+  nn::gemm::set_fold_bn_enabled(true);
+  row.folded_diff = max_abs_diff(ref, model.forward(x, ctx));
+  row.folded_ms = time_forward_ms(model, x, reps);
+  nn::gemm::set_fold_bn_enabled(false);
   return row;
 }
 
-int write_json(const char* path, const bench::Sizes& sizes, int threads,
-               const std::vector<Row>& rows) {
+/// Geomean of the prepacked-over-packed speedup across the vision rows.
+double zoo_geomean(const std::vector<Row>& rows) {
+  double log_sum = 0.0;
+  int n = 0;
+  for (const Row& r : rows) {
+    if (!r.vision || r.speedup_vs_packed() <= 0.0) continue;
+    log_sum += std::log(r.speedup_vs_packed());
+    ++n;
+  }
+  return n > 0 ? std::exp(log_sum / n) : 0.0;
+}
+
+struct RunReport {
+  int threads = 0;
+  std::vector<Row> rows;
+  double geomean = 0.0;
+};
+
+void print_run(const RunReport& run) {
+  std::printf("\n--- %d worker thread(s) ---\n", run.threads);
+  std::printf("%-22s %6s %10s %10s %11s %10s %8s %8s %7s %7s\n", "model",
+              "batch", "naive ms", "packed ms", "prepack ms", "folded ms",
+              "vs naive", "vs pack", "ULP pk", "ULP pp");
+  bench::print_rule(110);
+  for (const Row& r : run.rows)
+    std::printf("%-22s %6d %10.3f %10.3f %11.3f %10.3f %7.2fx %7.2fx %7u %7u\n",
+                r.model.c_str(), r.batch, r.naive_ms, r.packed_ms,
+                r.prepacked_ms, r.folded_ms, r.speedup_vs_naive(),
+                r.speedup_vs_packed(), r.packed_ulp, r.prepacked_ulp);
+  std::printf("vision-zoo geomean (prepacked+fused over packed-per-call): "
+              "%.2fx\n", run.geomean);
+}
+
+int write_json(const char* path, const bench::Sizes& sizes,
+               const std::vector<RunReport>& runs) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_inference: cannot open %s\n", path);
     return 1;
   }
   std::fprintf(f, "{\n  \"bench\": \"bench_inference/forward\",\n");
-  std::fprintf(f, "  \"mode\": \"%s\",\n  \"threads\": %d,\n", sizes.mode(),
-               threads);
-  std::fprintf(f, "  \"img\": %d,\n  \"seq\": %d,\n  \"models\": [\n",
-               sizes.img, sizes.seq);
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
+  std::fprintf(f, "  \"mode\": \"%s\",\n", sizes.mode());
+  std::fprintf(f, "  \"img\": %d,\n  \"seq\": %d,\n  \"runs\": [\n", sizes.img,
+               sizes.seq);
+  for (std::size_t k = 0; k < runs.size(); ++k) {
+    const RunReport& run = runs[k];
     std::fprintf(f,
-                 "    {\"model\": \"%s\", \"batch\": %d, "
-                 "\"naive_ms\": %.3f, \"gemm_ms\": %.3f, \"speedup\": %.2f, "
-                 "\"gemm_img_per_s\": %.1f, \"max_ulp\": %u}%s\n",
-                 r.model.c_str(), r.batch, r.naive_ms, r.gemm_ms, r.speedup(),
-                 r.gemm_per_s(), r.ulp, i + 1 < rows.size() ? "," : "");
+                 "    {\"threads\": %d, \"zoo_geomean_prepack_vs_packed\": "
+                 "%.2f, \"models\": [\n",
+                 run.threads, run.geomean);
+    for (std::size_t i = 0; i < run.rows.size(); ++i) {
+      const Row& r = run.rows[i];
+      std::fprintf(
+          f,
+          "      {\"model\": \"%s\", \"batch\": %d, \"naive_ms\": %.3f, "
+          "\"packed_ms\": %.3f, \"prepacked_ms\": %.3f, \"folded_ms\": %.3f, "
+          "\"speedup_vs_naive\": %.2f, \"speedup_vs_packed\": %.2f, "
+          "\"prepacked_img_per_s\": %.1f, \"packed_ulp\": %u, "
+          "\"prepacked_ulp\": %u, \"folded_max_abs_diff\": %.2e}%s\n",
+          r.model.c_str(), r.batch, r.naive_ms, r.packed_ms, r.prepacked_ms,
+          r.folded_ms, r.speedup_vs_naive(), r.speedup_vs_packed(),
+          r.img_per_s(), r.packed_ulp, r.prepacked_ulp,
+          static_cast<double>(r.folded_diff),
+          i + 1 < run.rows.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", k + 1 < runs.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -137,51 +232,77 @@ int main(int argc, char** argv) {
   }
 
   const auto sizes = bench::Sizes::from_env();
-  const int threads = core::global_pool().size();
   const int batch = sizes.fast ? 8 : 32;
   const int reps = sizes.fast ? 3 : 7;
 
-  std::printf("=== Inference throughput: naive loops vs GEMM engine ===\n");
-  std::printf("(%s sizing, img=%d, seq=%d, batch=%d, best of %d, "
-              "%d worker thread(s))\n\n",
-              sizes.mode(), sizes.img, sizes.seq, batch, reps, threads);
+  std::printf("=== Inference: naive vs packed-per-call vs prepacked+fused ===\n");
+  std::printf("(%s sizing, img=%d, seq=%d, batch=%d, best of %d)\n",
+              sizes.mode(), sizes.img, sizes.seq, batch, reps);
 
   std::mt19937 rng(2024);
-  std::vector<Row> rows;
-
   auto zoo = nn::make_vision_zoo(3, 10, 2024, sizes.img);
-  const nn::Tensor vision_x = nn::Tensor::randn({batch, 3, sizes.img, sizes.img}, rng, 1.f);
-  for (auto& entry : zoo)
-    rows.push_back(measure(entry.name, *entry.model, vision_x, reps));
-
+  const nn::Tensor vision_x =
+      nn::Tensor::randn({batch, 3, sizes.img, sizes.img}, rng, 1.f);
   auto bert = nn::make_bert_mini(sizes.vocab, sizes.seq + 2, 32, 4, 2, 64, 4, rng);
   nn::Tensor tokens({batch, sizes.seq});
   std::uniform_int_distribution<int> tok(0, sizes.vocab - 1);
   for (auto& t : tokens.data()) t = static_cast<float>(tok(rng));
-  rows.push_back(measure("BERT-mini", *bert, tokens, reps));
 
-  std::printf("%-22s %6s %12s %12s %9s %14s %8s\n", "model", "batch",
-              "naive ms", "gemm ms", "speedup", "gemm img/s", "max ULP");
-  bench::print_rule(90);
-  for (const Row& r : rows)
-    std::printf("%-22s %6d %12.3f %12.3f %8.2fx %14.1f %8u\n", r.model.c_str(),
-                r.batch, r.naive_ms, r.gemm_ms, r.speedup(), r.gemm_per_s(),
-                r.ulp);
+  std::vector<RunReport> runs;
+  for (const int threads : {1, 4}) {
+    core::resize_global_pool(threads);
+    RunReport run;
+    run.threads = threads;
+    for (auto& entry : zoo)
+      run.rows.push_back(
+          measure(entry.name, *entry.model, vision_x, reps, /*vision=*/true));
+    run.rows.push_back(
+        measure("BERT-mini", *bert, tokens, reps, /*vision=*/false));
+    run.geomean = zoo_geomean(run.rows);
+    print_run(run);
+    runs.push_back(std::move(run));
+  }
 
   if (json_path != nullptr) {
-    const int rc = write_json(json_path, sizes, threads, rows);
+    const int rc = write_json(json_path, sizes, runs);
     if (rc != 0) return rc;
     std::printf("\nwrote %s\n", json_path);
   }
 
-  // Equivalence gate: the GEMM engine must reproduce the naive outputs.
+  // Gates (all must hold in every pool-width run):
+  //  * bit-exactness — the packed and prepacked paths must reproduce the
+  //    naive outputs to the last bit (max ULP 0);
+  //  * BN fold stays within the numeric tolerance;
+  //  * perf — on ResNet18-mini the persistent prepack must not lose to
+  //    packing per call (CI perf-smoke regression gate).
   int bad = 0;
-  for (const Row& r : rows) {
-    if (r.ulp > 4) {
-      std::fprintf(stderr,
-                   "bench_inference: %s diverges (max ULP %u > 4)\n",
-                   r.model.c_str(), r.ulp);
-      ++bad;
+  for (const RunReport& run : runs) {
+    for (const Row& r : run.rows) {
+      if (r.packed_ulp > 0 || r.prepacked_ulp > 0) {
+        std::fprintf(stderr,
+                     "bench_inference: %s diverges at %d thread(s) "
+                     "(packed ULP %u, prepacked ULP %u; must be 0)\n",
+                     r.model.c_str(), run.threads, r.packed_ulp,
+                     r.prepacked_ulp);
+        ++bad;
+      }
+      if (r.folded_diff > kFoldTol) {
+        std::fprintf(stderr,
+                     "bench_inference: %s BN-fold diverges at %d thread(s) "
+                     "(max |diff| %.3e > %.1e)\n",
+                     r.model.c_str(), run.threads,
+                     static_cast<double>(r.folded_diff),
+                     static_cast<double>(kFoldTol));
+        ++bad;
+      }
+      if (r.model == "ResNet18-mini" &&
+          r.prepacked_ms > r.packed_ms * kPerfSlack) {
+        std::fprintf(stderr,
+                     "bench_inference: prepacked slower than packed-per-call "
+                     "on %s at %d thread(s) (%.3f ms vs %.3f ms)\n",
+                     r.model.c_str(), run.threads, r.prepacked_ms, r.packed_ms);
+        ++bad;
+      }
     }
   }
   return bad == 0 ? 0 : 1;

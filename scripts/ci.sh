@@ -33,8 +33,12 @@ run_suite() {
 
 run_suite build
 
-# Perf smoke: the Release bench cross-checks the GEMM engine against the
-# naive loops on every model and exits nonzero on divergence (> 4 ULPs).
+# Perf smoke: the Release bench runs every model through all four modes
+# (naive / packed-per-call / prepacked+fused / folded-BN) and enforces its
+# gates internally, exiting nonzero when any fails:
+#  * ULP > 0 for a non-folded GEMM mode (the bit-identity contract),
+#  * folded-BN divergence beyond its documented tolerance,
+#  * prepacked+fused slower than packed-per-call on ResNet18-mini.
 echo "==> perf smoke (bench_inference, fast sizing)"
 MERSIT_BENCH_FAST=1 ./build/bench/bench_inference --json=build/BENCH_inference.json
 
@@ -44,9 +48,10 @@ run_suite build-sanitize -DMERSIT_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 # TSan run of the training-heavy tests would dominate CI time).  Selection is
 # by ctest label, not name regex: tests/CMakeLists.txt labels the dedicated
 # test_concurrency executable (codec lazy init, kernel cache, thread pool,
-# GEMM, parallel PTQ) with `concurrency`, so new suites join the stage by
-# adding a source there instead of editing a pattern here.  Force a
-# multi-thread pool so parallel paths actually interleave on 1-core runners.
+# GEMM, prepack/arena, parallel PTQ) with `concurrency`, so new suites join
+# the stage by adding a source there instead of editing a pattern here.
+# Force a multi-thread pool so parallel paths actually interleave on 1-core
+# runners.
 echo "==> configure build-tsan (MERSIT_SANITIZE=thread)"
 cmake -B build-tsan -S . "${CACHE_ARGS[@]}" -DMERSIT_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 echo "==> build build-tsan"

@@ -1,0 +1,129 @@
+// Thread-local bump-pointer scratch arena for the inference hot paths.
+//
+// The GEMM engine and the conv lowering need short-lived float buffers
+// (im2col columns, packed A/B panels) on every call; allocating them from
+// the heap each time costs more than the math for small layers.  The arena
+// hands out bump allocations from thread-owned blocks that persist across
+// calls, so steady-state inference performs zero heap allocations for
+// scratch.
+//
+// Usage is strictly scoped:
+//
+//   auto& arena = core::ScratchArena::local();
+//   const core::ScratchArena::Scope scope(arena);
+//   float* col = arena.alloc(n);   // valid until `scope` is destroyed
+//
+// Properties the callers rely on:
+//  * LIFO scopes — Scope saves the bump position and restores it on
+//    destruction, so allocations nest like stack frames.  Nested
+//    core::ThreadPool regions run inline on the calling thread, which makes
+//    their scopes nest correctly too.
+//  * Stable pointers — the arena grows by appending new blocks, never by
+//    moving existing ones, so earlier allocations in the same scope stay
+//    valid when a later allocation forces growth.
+//  * Thread isolation — local() returns a distinct arena per thread; no
+//    locks, no sharing, TSan-clean by construction.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace mersit::core {
+
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// RAII allocation frame: restores the arena's bump position on
+  /// destruction, releasing (for reuse, not to the heap) everything
+  /// allocated inside it.
+  class Scope {
+   public:
+    explicit Scope(ScratchArena& a)
+        : arena_(a), block_(a.block_), offset_(a.offset_) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() {
+      arena_.block_ = block_;
+      arena_.offset_ = offset_;
+    }
+
+   private:
+    ScratchArena& arena_;
+    std::size_t block_;
+    std::size_t offset_;
+  };
+
+  /// Bump-allocate `n` floats (64-byte aligned).  The memory is
+  /// uninitialized and valid until the innermost enclosing Scope ends.
+  /// alloc(0) returns nullptr.
+  [[nodiscard]] float* alloc(std::size_t n) {
+    if (n == 0) return nullptr;
+    const std::size_t need = align_up(n);
+    if (block_ < blocks_.size() && offset_ + need <= blocks_[block_].size) {
+      float* p = blocks_[block_].data.get() + offset_;
+      offset_ += need;
+      return p;
+    }
+    return alloc_slow(need);
+  }
+
+  /// Bytes currently held across all blocks (monitoring / tests).
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size * sizeof(float);
+    return total;
+  }
+
+  /// This thread's arena.  Workers of core::ThreadPool each get their own;
+  /// nested inline parallel regions share the caller's, with Scope nesting
+  /// keeping their allocations disjoint.
+  [[nodiscard]] static ScratchArena& local() {
+    thread_local ScratchArena arena;
+    return arena;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<float[]> data;
+    std::size_t size = 0;  // floats
+  };
+
+  static constexpr std::size_t kAlignFloats = 16;  // 64 bytes
+  static constexpr std::size_t kMinBlockFloats = std::size_t{1} << 14;  // 64 KiB
+
+  [[nodiscard]] static std::size_t align_up(std::size_t n) {
+    return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+  }
+
+  float* alloc_slow(std::size_t need) {
+    // Advance to the next block; anything at or past the bump position holds
+    // no live allocation (strict LIFO), so an undersized block there may be
+    // replaced without invalidating outstanding pointers.
+    std::size_t next = block_ < blocks_.size() ? block_ + 1 : blocks_.size();
+    if (offset_ == 0 && block_ < blocks_.size()) next = block_;  // unused block
+    if (next < blocks_.size() && blocks_[next].size < need) blocks_[next] = {};
+    if (next >= blocks_.size() || blocks_[next].size == 0) {
+      std::size_t sz = kMinBlockFloats;
+      if (!blocks_.empty()) sz = blocks_.back().size * 2;
+      sz = std::max(sz, need);
+      Block b{std::make_unique<float[]>(sz), sz};
+      if (next >= blocks_.size())
+        blocks_.push_back(std::move(b));
+      else
+        blocks_[next] = std::move(b);
+    }
+    block_ = next;
+    offset_ = need;
+    return blocks_[block_].data.get();
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;   // current block index (may equal blocks_.size())
+  std::size_t offset_ = 0;  // bump position within the current block
+};
+
+}  // namespace mersit::core

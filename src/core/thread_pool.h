@@ -25,6 +25,7 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -180,10 +181,25 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Process-wide pool sized by MERSIT_THREADS (see default_thread_count()).
-inline ThreadPool& global_pool() {
-  static ThreadPool pool;
+namespace detail {
+inline std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool = std::make_unique<ThreadPool>();
   return pool;
+}
+}  // namespace detail
+
+/// Process-wide pool sized by MERSIT_THREADS (see default_thread_count()).
+inline ThreadPool& global_pool() { return *detail::global_pool_slot(); }
+
+/// Replace the global pool with one of `threads` workers (the benches sweep
+/// thread widths within one process).  MUST be called from quiescence — no
+/// parallel region may be in flight; the old pool is joined and destroyed
+/// before the new one exists, so callers holding a ThreadPool& across the
+/// call would dangle.
+inline void resize_global_pool(int threads) {
+  std::unique_ptr<ThreadPool>& slot = detail::global_pool_slot();
+  slot.reset();  // join the old workers first
+  slot = std::make_unique<ThreadPool>(threads);
 }
 
 }  // namespace mersit::core

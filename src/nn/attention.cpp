@@ -331,8 +331,16 @@ Tensor TransformerBlock::forward(const Tensor& x, const Context& ctx) {
   for (std::int64_t i = 0; i < x.numel(); ++i) mid[i] = x[i] + h[i];
 
   Tensor f = ln2_.run(mid, ctx);
-  f = ff1_.run(std::move(f).reshaped({n * t, d_}), ctx);
-  f = gelu_.run(f, ctx);
+  if (fuse_inference_ok(ctx)) {
+    // No quant session, so ff1's and gelu's hooks are no-ops: fuse the GELU
+    // into ff1's GEMM write-back (bit-identical — act_eval delegates to the
+    // same epilogue formula) and skip the standalone module.
+    f = ff1_.forward_fused(std::move(f).reshaped({n * t, d_}), ctx,
+                           gemm::Epilogue::kGELU);
+  } else {
+    f = ff1_.run(std::move(f).reshaped({n * t, d_}), ctx);
+    f = gelu_.run(f, ctx);
+  }
   f = ff2_.run(f, ctx);
   Tensor out(mid.shape());
   for (std::int64_t i = 0; i < mid.numel(); ++i) out[i] = mid[i] + f[i];

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 #include <vector>
+
+#include "core/scratch_arena.h"
 
 namespace mersit::nn::gemm {
 
@@ -14,6 +17,22 @@ std::atomic<bool>& enabled_flag() {
   static std::atomic<bool> flag = [] {
     const char* env = std::getenv("MERSIT_GEMM");
     return !(env != nullptr && env[0] == '0' && env[1] == '\0');
+  }();
+  return flag;
+}
+
+std::atomic<bool>& prepack_flag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("MERSIT_PREPACK");
+    return !(env != nullptr && env[0] == '0' && env[1] == '\0');
+  }();
+  return flag;
+}
+
+std::atomic<bool>& fold_bn_flag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("MERSIT_FOLD_BN");
+    return env != nullptr && env[0] == '1' && env[1] == '\0';
   }();
   return flag;
 }
@@ -69,10 +88,38 @@ void pack_b(const float* b, int ldb, bool trans, int k0, int kc, int n0, int nc,
   }
 }
 
+/// Row write-back of completed sums with the epilogue switch hoisted out of
+/// the element loop: each case instantiates epilogue_eval with a constant
+/// kind, so the per-element switch folds away and the clamp-style cases
+/// (ReLU/ReLU6/HardSwish) vectorize.  Same formula per element, so results
+/// are bit-identical to the per-element dispatch.
+template <Epilogue E>
+void finish_row(const float* src, float* dst, int n) {
+  for (int i = 0; i < n; ++i) dst[i] = epilogue_eval(E, src[i]);
+}
+
+void finish_row(Epilogue epi, const float* src, float* dst, int n) {
+  switch (epi) {
+    case Epilogue::kNone: finish_row<Epilogue::kNone>(src, dst, n); return;
+    case Epilogue::kReLU: finish_row<Epilogue::kReLU>(src, dst, n); return;
+    case Epilogue::kReLU6: finish_row<Epilogue::kReLU6>(src, dst, n); return;
+    case Epilogue::kSiLU: finish_row<Epilogue::kSiLU>(src, dst, n); return;
+    case Epilogue::kHardSwish:
+      finish_row<Epilogue::kHardSwish>(src, dst, n);
+      return;
+    case Epilogue::kGELU: finish_row<Epilogue::kGELU>(src, dst, n); return;
+  }
+}
+
 /// Full kMR x kNR tile: constant trip counts so the inner n-loop
 /// vectorizes; accumulates kc products into the C tile in ascending k
-/// order.
-void micro_full(int kc, const float* ap, const float* bp, float* c, int ldc) {
+/// order.  `epi` is the fused epilogue for this write-back — kNone except
+/// on the final k-block, where each element's summation is complete.
+/// `asc`/`ash`, when non-null, are this tile's rows of the fused per-row
+/// affine (v = asc[m]*v + ash[m], before the activation) — also final
+/// write-back only.
+void micro_full(int kc, const float* ap, const float* bp, float* c, int ldc,
+                Epilogue epi, const float* asc, const float* ash) {
   float acc[kMR][kNR];
   for (int m = 0; m < kMR; ++m)
     for (int n = 0; n < kNR; ++n) acc[m][n] = c[static_cast<std::size_t>(m) * ldc + n];
@@ -84,15 +131,26 @@ void micro_full(int kc, const float* ap, const float* bp, float* c, int ldc) {
       for (int n = 0; n < kNR; ++n) acc[m][n] += a * bv[n];
     }
   }
-  for (int m = 0; m < kMR; ++m)
-    for (int n = 0; n < kNR; ++n) c[static_cast<std::size_t>(m) * ldc + n] = acc[m][n];
+  if (epi == Epilogue::kNone && asc == nullptr) {
+    for (int m = 0; m < kMR; ++m)
+      for (int n = 0; n < kNR; ++n) c[static_cast<std::size_t>(m) * ldc + n] = acc[m][n];
+  } else {
+    for (int m = 0; m < kMR; ++m) {
+      if (asc != nullptr) {
+        const float s = asc[m], t = ash[m];
+        for (int n = 0; n < kNR; ++n) acc[m][n] = s * acc[m][n] + t;
+      }
+      finish_row(epi, acc[m], c + static_cast<std::size_t>(m) * ldc, kNR);
+    }
+  }
 }
 
 /// Edge tile (mr < kMR and/or nr < kNR): same accumulation order, partial
 /// loads/stores.  The packed panels are zero-padded, so the k-loop may still
 /// run the full kNR width internally — but only real C entries are touched.
 void micro_edge(int kc, const float* ap, const float* bp, float* c, int ldc,
-                int mr, int nr) {
+                int mr, int nr, Epilogue epi, const float* asc,
+                const float* ash) {
   float acc[kMR][kNR] = {};
   for (int m = 0; m < mr; ++m)
     for (int n = 0; n < nr; ++n) acc[m][n] = c[static_cast<std::size_t>(m) * ldc + n];
@@ -104,8 +162,13 @@ void micro_edge(int kc, const float* ap, const float* bp, float* c, int ldc,
       for (int n = 0; n < kNR; ++n) acc[m][n] += a * bv[n];
     }
   }
-  for (int m = 0; m < mr; ++m)
-    for (int n = 0; n < nr; ++n) c[static_cast<std::size_t>(m) * ldc + n] = acc[m][n];
+  for (int m = 0; m < mr; ++m) {
+    if (asc != nullptr) {
+      const float s = asc[m], t = ash[m];
+      for (int n = 0; n < nr; ++n) acc[m][n] = s * acc[m][n] + t;
+    }
+    finish_row(epi, acc[m], c + static_cast<std::size_t>(m) * ldc, nr);
+  }
 }
 
 /// Problems below this many multiply-adds skip the packing machinery: a
@@ -118,7 +181,8 @@ constexpr std::int64_t kSmallWork = 1 << 13;
 
 void small_gemm(int M, int N, int K, const float* a, int lda, bool trans_a,
                 const float* b, int ldb, bool trans_b, float* c, int ldc,
-                Init init, const float* bias) {
+                Init init, const float* bias, Epilogue epi, const float* asc,
+                const float* ash) {
   for (int m = 0; m < M; ++m) {
     float* row = c + static_cast<std::size_t>(m) * ldc;
     switch (init) {
@@ -138,6 +202,11 @@ void small_gemm(int M, int N, int K, const float* a, int lda, bool trans_a,
       const float av = a_elem(a, lda, trans_a, m, k);
       for (int n = 0; n < N; ++n) row[n] += av * b_elem(b, ldb, trans_b, k, n);
     }
+    if (asc != nullptr) {
+      const float s = asc[m], t = ash[m];
+      for (int n = 0; n < N; ++n) row[n] = s * row[n] + t;
+    }
+    if (epi != Epilogue::kNone) finish_row(epi, row, row, N);
   }
 }
 
@@ -153,11 +222,18 @@ struct TileArgs {
   int ldc;
   Init init;
   const float* bias;
+  Epilogue epi;
+  const PackedMatrix* pa;
+  const PackedMatrix* pb;
+  const float* asc;  ///< fused per-row affine scale (null when absent)
+  const float* ash;  ///< fused per-row affine shift
 };
 
 /// Compute one (MC x NC) output tile end to end: init, then all KC panels
-/// in ascending k order.  Packing buffers are per-call (per-task) locals,
-/// so concurrent tiles share nothing mutable.
+/// in ascending k order.  Per-call packing buffers come from the thread's
+/// ScratchArena (released on return, reused by the next call); prepacked
+/// operands skip the pack and index straight into their stored blocks,
+/// which are byte-identical to what pack_a/pack_b would write here.
 void run_tile(const TileArgs& t, int m0, int mc, int n0, int nc) {
   float* c0 = t.c + static_cast<std::size_t>(m0) * t.ldc + n0;
   switch (t.init) {
@@ -180,26 +256,54 @@ void run_tile(const TileArgs& t, int m0, int mc, int n0, int nc) {
       break;  // start from the existing C
   }
 
+  const int kc_max = std::min(t.K, kKC);
+  const int kblocks = (t.K + kKC - 1) / kKC;
   const int mpanels = (mc + kMR - 1) / kMR;
   const int npanels = (nc + kNR - 1) / kNR;
-  std::vector<float> abuf(static_cast<std::size_t>(mpanels) * kMR * std::min(t.K, kKC));
-  std::vector<float> bbuf(static_cast<std::size_t>(npanels) * kNR * std::min(t.K, kKC));
+  core::ScratchArena& arena = core::ScratchArena::local();
+  const core::ScratchArena::Scope scope(arena);
+  float* abuf = t.pa != nullptr
+                    ? nullptr
+                    : arena.alloc(static_cast<std::size_t>(mpanels) * kMR * kc_max);
+  float* bbuf = t.pb != nullptr
+                    ? nullptr
+                    : arena.alloc(static_cast<std::size_t>(npanels) * kNR * kc_max);
 
   for (int k0 = 0; k0 < t.K; k0 += kKC) {
     const int kc = std::min(kKC, t.K - k0);
-    pack_a(t.a, t.lda, t.trans_a, m0, mc, k0, kc, abuf.data());
-    pack_b(t.b, t.ldb, t.trans_b, k0, kc, n0, nc, bbuf.data());
+    const int kb = k0 / kKC;
+    const float* apack = abuf;
+    const float* bpack = bbuf;
+    if (t.pa != nullptr) {
+      apack = t.pa->data.data() +
+              t.pa->block_off[static_cast<std::size_t>(m0 / kMC) * kblocks + kb];
+    } else {
+      pack_a(t.a, t.lda, t.trans_a, m0, mc, k0, kc, abuf);
+    }
+    if (t.pb != nullptr) {
+      bpack = t.pb->data.data() +
+              t.pb->block_off[static_cast<std::size_t>(n0 / kNC) * kblocks + kb];
+    } else {
+      pack_b(t.b, t.ldb, t.trans_b, k0, kc, n0, nc, bbuf);
+    }
+    // The fused epilogue/affine fires only on the final k-block's
+    // write-back, when every element of this tile has its complete
+    // k-summation.
+    const bool last = k0 + kc >= t.K;
+    const Epilogue epi = last ? t.epi : Epilogue::kNone;
     for (int jp = 0; jp < nc; jp += kNR) {
       const int nr = std::min(kNR, nc - jp);
-      const float* bp = bbuf.data() + static_cast<std::size_t>(jp / kNR) * kc * kNR;
+      const float* bp = bpack + static_cast<std::size_t>(jp / kNR) * kc * kNR;
       for (int ip = 0; ip < mc; ip += kMR) {
         const int mr = std::min(kMR, mc - ip);
-        const float* ap = abuf.data() + static_cast<std::size_t>(ip / kMR) * kc * kMR;
+        const float* ap = apack + static_cast<std::size_t>(ip / kMR) * kc * kMR;
         float* c = c0 + static_cast<std::size_t>(ip) * t.ldc + jp;
+        const float* asc = (last && t.asc != nullptr) ? t.asc + m0 + ip : nullptr;
+        const float* ash = asc != nullptr ? t.ash + m0 + ip : nullptr;
         if (mr == kMR && nr == kNR)
-          micro_full(kc, ap, bp, c, t.ldc);
+          micro_full(kc, ap, bp, c, t.ldc, epi, asc, ash);
         else
-          micro_edge(kc, ap, bp, c, t.ldc, mr, nr);
+          micro_edge(kc, ap, bp, c, t.ldc, mr, nr, epi, asc, ash);
       }
     }
   }
@@ -213,20 +317,149 @@ bool set_enabled(bool on) {
   return enabled_flag().exchange(on, std::memory_order_relaxed);
 }
 
+bool prepack_enabled() { return prepack_flag().load(std::memory_order_relaxed); }
+
+bool set_prepack_enabled(bool on) {
+  return prepack_flag().exchange(on, std::memory_order_relaxed);
+}
+
+bool fold_bn_enabled() { return fold_bn_flag().load(std::memory_order_relaxed); }
+
+bool set_fold_bn_enabled(bool on) {
+  return fold_bn_flag().exchange(on, std::memory_order_relaxed);
+}
+
+float epilogue_eval(Epilogue e, float x) {
+  // These are the single definitions of the fusable activations; nn::act_eval
+  // delegates the matching Act kinds here, so the fused write-back and the
+  // standalone Activation modules agree bit for bit by construction.
+  switch (e) {
+    case Epilogue::kNone:
+      return x;
+    case Epilogue::kReLU:
+      return x > 0.f ? x : 0.f;
+    case Epilogue::kReLU6:
+      return x < 0.f ? 0.f : (x > 6.f ? 6.f : x);
+    case Epilogue::kSiLU:
+      return x * (1.f / (1.f + std::exp(-x)));
+    case Epilogue::kHardSwish:
+      if (x <= -3.f) return 0.f;
+      if (x >= 3.f) return x;
+      return x * (x + 3.f) / 6.f;
+    case Epilogue::kGELU: {
+      const float u = 0.7978845608f * (x + 0.044715f * x * x * x);
+      return 0.5f * x * (1.f + std::tanh(u));
+    }
+  }
+  return x;
+}
+
+void epilogue_apply(Epilogue e, const float* src, float* dst, int n) {
+  finish_row(e, src, dst, n);
+}
+
+PackedMatrix pack_a_matrix(int M, int K, const float* A, int lda, bool trans_a) {
+  if (M < 0 || K < 0)
+    throw std::invalid_argument("pack_a_matrix: negative dim");
+  PackedMatrix p;
+  p.is_a = true;
+  p.other = M;
+  p.k = K;
+  if (M == 0 || K == 0) return p;
+  const int oblocks = (M + kMC - 1) / kMC;
+  const int kblocks = (K + kKC - 1) / kKC;
+  p.block_off.resize(static_cast<std::size_t>(oblocks) * kblocks);
+  std::size_t total = 0;
+  for (int ob = 0; ob < oblocks; ++ob) {
+    const int mc = std::min(kMC, M - ob * kMC);
+    const int mpanels = (mc + kMR - 1) / kMR;
+    for (int kb = 0; kb < kblocks; ++kb) {
+      const int kc = std::min(kKC, K - kb * kKC);
+      p.block_off[static_cast<std::size_t>(ob) * kblocks + kb] = total;
+      total += static_cast<std::size_t>(mpanels) * kMR * kc;
+    }
+  }
+  p.data.resize(total);
+  for (int ob = 0; ob < oblocks; ++ob) {
+    const int m0 = ob * kMC;
+    const int mc = std::min(kMC, M - m0);
+    for (int kb = 0; kb < kblocks; ++kb) {
+      const int k0 = kb * kKC;
+      const int kc = std::min(kKC, K - k0);
+      pack_a(A, lda, trans_a, m0, mc, k0, kc,
+             p.data.data() + p.block_off[static_cast<std::size_t>(ob) * kblocks + kb]);
+    }
+  }
+  return p;
+}
+
+PackedMatrix pack_b_matrix(int K, int N, const float* B, int ldb, bool trans_b) {
+  if (K < 0 || N < 0)
+    throw std::invalid_argument("pack_b_matrix: negative dim");
+  PackedMatrix p;
+  p.is_a = false;
+  p.other = N;
+  p.k = K;
+  if (N == 0 || K == 0) return p;
+  const int oblocks = (N + kNC - 1) / kNC;
+  const int kblocks = (K + kKC - 1) / kKC;
+  p.block_off.resize(static_cast<std::size_t>(oblocks) * kblocks);
+  std::size_t total = 0;
+  for (int ob = 0; ob < oblocks; ++ob) {
+    const int nc = std::min(kNC, N - ob * kNC);
+    const int npanels = (nc + kNR - 1) / kNR;
+    for (int kb = 0; kb < kblocks; ++kb) {
+      const int kc = std::min(kKC, K - kb * kKC);
+      p.block_off[static_cast<std::size_t>(ob) * kblocks + kb] = total;
+      total += static_cast<std::size_t>(npanels) * kNR * kc;
+    }
+  }
+  p.data.resize(total);
+  for (int ob = 0; ob < oblocks; ++ob) {
+    const int n0 = ob * kNC;
+    const int nc = std::min(kNC, N - n0);
+    for (int kb = 0; kb < kblocks; ++kb) {
+      const int k0 = kb * kKC;
+      const int kc = std::min(kKC, K - k0);
+      pack_b(B, ldb, trans_b, k0, kc, n0, nc,
+             p.data.data() + p.block_off[static_cast<std::size_t>(ob) * kblocks + kb]);
+    }
+  }
+  return p;
+}
+
 void sgemm(int M, int N, int K, const float* A, int lda, bool trans_a,
            const float* B, int ldb, bool trans_b, float* C, int ldc, Init init,
-           const float* bias, core::ThreadPool* pool) {
+           const float* bias, core::ThreadPool* pool, Epilogue epilogue,
+           const PackedMatrix* packed_a, const PackedMatrix* packed_b,
+           const RowAffine* affine) {
   if (M < 0 || N < 0 || K < 0) throw std::invalid_argument("sgemm: negative dim");
   if (M == 0 || N == 0) return;
   if ((init == Init::kBiasRow || init == Init::kBiasCol) && bias == nullptr)
     throw std::invalid_argument("sgemm: bias init without bias pointer");
+  if ((epilogue != Epilogue::kNone || affine != nullptr) &&
+      init == Init::kAccumulate)
+    throw std::invalid_argument("sgemm: epilogue over an incomplete accumulation");
+  if (affine != nullptr && (affine->scale == nullptr || affine->shift == nullptr))
+    throw std::invalid_argument("sgemm: affine with null scale/shift");
+  if (packed_a != nullptr && (!packed_a->is_a || packed_a->other != M || packed_a->k != K))
+    throw std::invalid_argument("sgemm: packed A does not match the call shape");
+  if (packed_b != nullptr && (packed_b->is_a || packed_b->other != N || packed_b->k != K))
+    throw std::invalid_argument("sgemm: packed B does not match the call shape");
+  const float* asc = affine != nullptr ? affine->scale : nullptr;
+  const float* ash = affine != nullptr ? affine->shift : nullptr;
 
   if (static_cast<std::int64_t>(M) * N * K <= kSmallWork) {
-    small_gemm(M, N, K, A, lda, trans_a, B, ldb, trans_b, C, ldc, init, bias);
+    // The direct path reads the raw operands; values are identical to the
+    // packed panels, so skipping them changes nothing observable.
+    small_gemm(M, N, K, A, lda, trans_a, B, ldb, trans_b, C, ldc, init, bias,
+               epilogue, asc, ash);
     return;
   }
 
-  const TileArgs t{M, N, K, A, lda, trans_a, B, ldb, trans_b, C, ldc, init, bias};
+  const TileArgs t{M,    N,   K,    A,        lda,      trans_a,  B,
+                   ldb,  trans_b,   C,        ldc,      init,     bias,
+                   epilogue, packed_a, packed_b, asc,   ash};
   const int mtiles = (M + kMC - 1) / kMC;
   const int ntiles = (N + kNC - 1) / kNC;
   const std::size_t tiles = static_cast<std::size_t>(mtiles) * ntiles;

@@ -22,10 +22,36 @@
 //    per-batch conv loop, the parallel PTQ evaluators) compose without
 //    oversubscription.
 //
+// On top of the kernel sits the inference-runtime layer:
+//
+//  * Prepacked operands.  pack_a_matrix / pack_b_matrix run the kernel's
+//    panel packing once for a frozen operand (layer weights); sgemm calls
+//    that pass the resulting PackedMatrix skip the per-call pack entirely.
+//    The packed panels are byte-identical to what the per-call path would
+//    build, so prepacked results are bit-identical too.  MERSIT_PREPACK=0
+//    (or set_prepack_enabled(false)) turns the layer-side caches off for
+//    A/B comparisons.
+//
+//  * Fused epilogues.  An Epilogue applies an elementwise activation
+//    inside the micro-kernel's final write-back, after the full k-summation
+//    of each element — numerically indistinguishable from a separate
+//    activation pass over the stored output, but without materializing the
+//    pre-activation tensor.  A RowAffine slots in before the activation and
+//    applies the per-row `scale[m]*v + shift[m]` that inference BatchNorm
+//    reduces to — so conv -> BN -> act collapses into the GEMM write-back
+//    with bit-identical results (no weight folding involved).
+//
+//  * Scratch arenas.  Per-call pack buffers come from the thread-local
+//    core::ScratchArena instead of the heap, so steady-state inference
+//    allocates nothing.
+//
 // MERSIT_GEMM=0 in the environment (or set_enabled(false)) routes every
 // layer back to its naive reference loops; the equivalence tests compare
 // the two paths.
 #pragma once
+
+#include <cstdint>
+#include <vector>
 
 #include "core/thread_pool.h"
 
@@ -38,6 +64,20 @@ namespace mersit::nn::gemm {
 /// Programmatic override (tests, benches); returns the previous value.
 bool set_enabled(bool on);
 
+/// Prepack/fusion switch for the inference-runtime layer: MERSIT_PREPACK=0
+/// makes the layers pack per call and keep explicit activation modules (the
+/// PR-4 behaviour); anything else — including unset — enables the
+/// prepacked-weight caches and epilogue fusion.
+[[nodiscard]] bool prepack_enabled();
+bool set_prepack_enabled(bool on);
+
+/// Inference-only BatchNorm folding switch (MERSIT_FOLD_BN=1 to enable;
+/// default off).  Folding multiplies conv weights by gamma/sigma before the
+/// GEMM, which reassociates rounding — results are tolerance-equal, not
+/// bit-identical, hence opt-in.
+[[nodiscard]] bool fold_bn_enabled();
+bool set_fold_bn_enabled(bool on);
+
 /// What each C element starts from before the k-summation.
 enum class Init {
   kZero,     ///< C = op(A)·op(B)
@@ -46,16 +86,87 @@ enum class Init {
   kAccumulate,  ///< C += op(A)·op(B)      (gradient accumulation)
 };
 
-/// C (M x N, row-major, leading dim ldc) = init + op(A)·op(B).
+/// Elementwise function applied to each C element after its k-summation
+/// completes, inside the final write-back.
+enum class Epilogue {
+  kNone,
+  kReLU,       ///< conv/linear + ReLU fusion
+  kReLU6,      ///< MobileNetV2-style clamp
+  kSiLU,       ///< EfficientNet swish
+  kHardSwish,  ///< MobileNetV3 h-swish
+  kGELU,       ///< linear + GELU fusion (tanh approximation)
+};
+
+/// The scalar the fused write-back applies; nn::act_eval delegates the
+/// matching Act kinds here so fused and unfused paths share one formula
+/// and stay bit-identical by construction.
+[[nodiscard]] float epilogue_eval(Epilogue e, float x);
+
+/// dst[i] = epilogue_eval(e, src[i]) for n elements, with the epilogue
+/// switch hoisted out of the element loop so the clamp-style cases stay
+/// vectorizable (src may alias dst).  Same per-element formula, so results
+/// are bit-identical to calling epilogue_eval in a loop.
+void epilogue_apply(Epilogue e, const float* src, float* dst, int n);
+
+/// Per-row affine stage of the fused write-back: v = scale[m]*v + shift[m],
+/// applied after the k-summation and before the Epilogue activation.  This
+/// is exactly the per-channel form inference BatchNorm evaluates (with
+/// scale = gamma/sqrt(var+eps), shift = beta - mean*scale), so fusing it
+/// reproduces the standalone BN pass bit for bit.  Rows of a conv GEMM are
+/// output channels; callers offset the pointers per group.
+struct RowAffine {
+  const float* scale = nullptr;  ///< M entries
+  const float* shift = nullptr;  ///< M entries
+};
+
+/// A GEMM operand packed once into the kernel's panel layout, for reuse
+/// across many sgemm calls over frozen data (layer weights).  Produced by
+/// pack_a_matrix / pack_b_matrix; the fields are internal to the engine —
+/// treat instances as opaque tokens.
+struct PackedMatrix {
+  bool is_a = false;  ///< A-operand (kMR-row panels) vs B (kNR-col panels)
+  int other = 0;      ///< M for an A-pack, N for a B-pack
+  int k = 0;          ///< shared K extent
+  std::vector<float> data;              ///< all blocks, contiguous
+  std::vector<std::size_t> block_off;   ///< [outer_block * kblocks + kblock]
+
+  [[nodiscard]] bool empty() const { return data.empty(); }
+  /// Heap footprint (bench/monitoring).
+  [[nodiscard]] std::size_t byte_size() const {
+    return data.size() * sizeof(float);
+  }
+};
+
+/// Pack op(A) (M x K; trans_a reads A[k*lda + m]) into the kernel's A-panel
+/// layout — byte-identical to what the per-call path packs, block by block.
+[[nodiscard]] PackedMatrix pack_a_matrix(int M, int K, const float* A, int lda,
+                                         bool trans_a);
+/// Pack op(B) (K x N; trans_b reads B[n*ldb + k]) into the B-panel layout.
+[[nodiscard]] PackedMatrix pack_b_matrix(int K, int N, const float* B, int ldb,
+                                         bool trans_b);
+
+/// C (M x N, row-major, leading dim ldc) = epilogue(init + op(A)·op(B)).
 ///
 /// op(A) is M x K: element (m,k) is A[m*lda + k], or A[k*lda + m] when
 /// trans_a.  op(B) is K x N: element (k,n) is B[k*ldb + n], or B[n*ldb + k]
 /// when trans_b.  `bias` must have M (kBiasRow) or N (kBiasCol) entries and
 /// may be null otherwise.  `pool` defaults to the global pool; tests pass
 /// their own to pin thread-count invariance.
+///
+/// `packed_a` / `packed_b`, when non-null, must have been produced by
+/// pack_a_matrix / pack_b_matrix from the *same logical operand* (same
+/// M/N/K and values); the kernel then skips that operand's per-call pack.
+/// The raw pointers are still required — the small-problem direct path and
+/// the shape validation read them.  Neither an epilogue nor an affine may
+/// combine with Init::kAccumulate (the element sum would not be complete);
+/// `affine`, when non-null, must carry both pointers with M entries each.
 void sgemm(int M, int N, int K, const float* A, int lda, bool trans_a,
            const float* B, int ldb, bool trans_b, float* C, int ldc,
            Init init = Init::kZero, const float* bias = nullptr,
-           core::ThreadPool* pool = nullptr);
+           core::ThreadPool* pool = nullptr,
+           Epilogue epilogue = Epilogue::kNone,
+           const PackedMatrix* packed_a = nullptr,
+           const PackedMatrix* packed_b = nullptr,
+           const RowAffine* affine = nullptr);
 
 }  // namespace mersit::nn::gemm

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/scratch_arena.h"
 #include "core/thread_pool.h"
 #include "nn/gemm/gemm.h"
 #include "nn/gemm/im2col.h"
@@ -14,7 +15,33 @@ namespace {
 
 float sigmoidf(float x) { return 1.f / (1.f + std::exp(-x)); }
 
+/// Weight prepacking is value-preserving (the cached panels are
+/// byte-identical to per-call packs), so it stays on under quant sessions —
+/// that is what accelerates the PTQ sweeps.  Only training (weights move
+/// every step) opts out.
+bool use_prepack(const Context& ctx) {
+  return gemm::prepack_enabled() && !ctx.train;
+}
+
+/// The fused-epilogue equivalent of an Act kind, or kNone when the kind has
+/// no epilogue (sigmoid/tanh never directly follow a conv/linear here).
+gemm::Epilogue epilogue_for(Act a) {
+  switch (a) {
+    case Act::kReLU: return gemm::Epilogue::kReLU;
+    case Act::kReLU6: return gemm::Epilogue::kReLU6;
+    case Act::kSiLU: return gemm::Epilogue::kSiLU;
+    case Act::kHardSwish: return gemm::Epilogue::kHardSwish;
+    case Act::kGELU: return gemm::Epilogue::kGELU;
+    default: return gemm::Epilogue::kNone;
+  }
+}
+
 }  // namespace
+
+bool fuse_inference_ok(const Context& ctx) {
+  return !ctx.train && ctx.quant == nullptr && gemm::enabled() &&
+         gemm::prepack_enabled();
+}
 
 // ---------------------------------------------------------------- Linear ---
 
@@ -35,15 +62,31 @@ std::span<float> Linear::channel_span(int c) {
 }
 
 Tensor Linear::forward(const Tensor& x, const Context& ctx) {
+  return forward_fused(x, ctx, gemm::Epilogue::kNone);
+}
+
+Tensor Linear::forward_fused(const Tensor& x, const Context& ctx,
+                             gemm::Epilogue epi) {
   const int n = x.dim(0);
   if (x.dim(1) != in_) throw std::invalid_argument("Linear: width mismatch");
   Tensor y({n, out_});
   if (gemm::enabled()) {
+    const gemm::PackedMatrix* pb = nullptr;
+    if (use_prepack(ctx)) {
+      const std::vector<gemm::PackedMatrix>& cached = packs_.get(weight, [&] {
+        std::vector<gemm::PackedMatrix> v;
+        v.push_back(gemm::pack_b_matrix(in_, out_, weight.value.raw(), in_,
+                                        /*trans_b=*/true));
+        return v;
+      });
+      pb = cached.data();
+    }
     // y = x · Wᵀ + b; bias-first then ascending-k accumulation matches the
     // naive loop's rounding sequence exactly.
     gemm::sgemm(n, out_, in_, x.raw(), in_, /*trans_a=*/false,
                 weight.value.raw(), in_, /*trans_b=*/true, y.raw(), out_,
-                gemm::Init::kBiasCol, bias.value.raw());
+                gemm::Init::kBiasCol, bias.value.raw(), nullptr, epi, nullptr,
+                pb);
   } else {
     for (int i = 0; i < n; ++i) {
       const float* xi = x.raw() + static_cast<std::ptrdiff_t>(i) * in_;
@@ -51,7 +94,7 @@ Tensor Linear::forward(const Tensor& x, const Context& ctx) {
         const float* w = weight.value.raw() + static_cast<std::ptrdiff_t>(o) * in_;
         float acc = bias.value[o];
         for (int j = 0; j < in_; ++j) acc += w[j] * xi[j];
-        y.at(i, o) = acc;
+        y.at(i, o) = gemm::epilogue_eval(epi, acc);
       }
     }
   }
@@ -172,9 +215,14 @@ void conv_forward_depthwise(const ConvGeom& g, const float* xb, const float* wt,
 
 /// One sample's grouped-conv forward as per-group GEMMs over an im2col
 /// buffer (`col` is caller-provided scratch of kdim x osz floats, unused
-/// for unit convs).
+/// for unit convs).  `packs`, when non-null, holds one prepacked A operand
+/// per group; `epi` fuses a following activation into the write-back, and
+/// `bn_scale`/`bn_shift` (out_ch entries) fuse a following inference BN as
+/// the per-channel affine applied before `epi`.
 void conv_forward_sample(const ConvGeom& g, const float* xb, const float* wt,
-                         const float* bias, float* yb, float* col) {
+                         const float* bias, float* yb, float* col,
+                         const gemm::PackedMatrix* packs, gemm::Epilogue epi,
+                         const float* bn_scale, const float* bn_shift) {
   for (int grp = 0; grp < g.groups; ++grp) {
     const float* src = xb + static_cast<std::size_t>(grp) * g.icg * g.h * g.w;
     const float* colp = src;
@@ -182,17 +230,131 @@ void conv_forward_sample(const ConvGeom& g, const float* xb, const float* wt,
       gemm::im2col(src, g.icg, g.h, g.w, g.k, g.stride, g.pad, col);
       colp = col;
     }
+    gemm::RowAffine aff;
+    if (bn_scale != nullptr) {
+      aff.scale = bn_scale + static_cast<std::size_t>(grp) * g.ocg;
+      aff.shift = bn_shift + static_cast<std::size_t>(grp) * g.ocg;
+    }
     gemm::sgemm(g.ocg, g.osz(), g.kdim(),
                 wt + static_cast<std::size_t>(grp) * g.ocg * g.kdim(), g.kdim(),
                 /*trans_a=*/false, colp, g.osz(), /*trans_b=*/false,
                 yb + static_cast<std::size_t>(grp) * g.ocg * g.osz(), g.osz(),
-                gemm::Init::kBiasRow, bias + static_cast<std::size_t>(grp) * g.ocg);
+                gemm::Init::kBiasRow, bias + static_cast<std::size_t>(grp) * g.ocg,
+                nullptr, epi, packs != nullptr ? &packs[grp] : nullptr, nullptr,
+                bn_scale != nullptr ? &aff : nullptr);
   }
+}
+
+/// Per-group A-operand packs of a conv weight array ([groups x ocg x kdim]).
+std::vector<gemm::PackedMatrix> pack_conv_weights(const float* wt, int groups,
+                                                  int ocg, int kdim) {
+  std::vector<gemm::PackedMatrix> packs;
+  packs.reserve(static_cast<std::size_t>(groups));
+  for (int grp = 0; grp < groups; ++grp)
+    packs.push_back(gemm::pack_a_matrix(
+        ocg, kdim, wt + static_cast<std::size_t>(grp) * ocg * kdim, kdim,
+        /*trans_a=*/false));
+  return packs;
 }
 
 }  // namespace
 
 Tensor Conv2d::forward(const Tensor& x, const Context& ctx) {
+  return forward_fused(x, ctx, gemm::Epilogue::kNone);
+}
+
+Tensor Conv2d::forward_fused(const Tensor& x, const Context& ctx,
+                             gemm::Epilogue epi) {
+  const gemm::PackedMatrix* packs = nullptr;
+  const bool depthwise = in_ch_ == groups_ && out_ch_ == groups_;
+  if (gemm::enabled() && !depthwise && use_prepack(ctx)) {
+    const int icg = in_ch_ / groups_;
+    const int kdim = icg * k_ * k_;
+    const int ocg = out_ch_ / groups_;
+    const std::vector<gemm::PackedMatrix>& cached = packs_.get(weight, [&] {
+      return pack_conv_weights(weight.value.raw(), groups_, ocg, kdim);
+    });
+    packs = cached.data();
+  }
+  return run_conv(x, ctx, weight.value.raw(), bias.value.raw(), packs, epi);
+}
+
+Tensor Conv2d::forward_bn_fused(const Tensor& x, const Context& ctx,
+                                const BatchNorm2d& bn, gemm::Epilogue epi) {
+  if (bn.folded())
+    throw std::logic_error("Conv2d::forward_bn_fused: BN already folded");
+  if (bn.channels() != out_ch_)
+    throw std::invalid_argument("Conv2d::forward_bn_fused: channel mismatch");
+  // The exact per-channel coefficients BatchNorm2d::forward evaluates in
+  // inference mode — same expressions, so scale*v + shift reproduces the
+  // module pass bit for bit.  Recomputed per forward like the module does;
+  // out_ch scalars, negligible next to the GEMM.
+  std::vector<float> sc(static_cast<std::size_t>(out_ch_));
+  std::vector<float> sh(static_cast<std::size_t>(out_ch_));
+  for (int c = 0; c < out_ch_; ++c) {
+    const float inv = 1.f / std::sqrt(bn.running_var[c] + bn.eps());
+    const float scale = bn.gamma.value[c] * inv;
+    sc[static_cast<std::size_t>(c)] = scale;
+    sh[static_cast<std::size_t>(c)] =
+        bn.beta.value[c] - bn.running_mean[c] * scale;
+  }
+  const gemm::PackedMatrix* packs = nullptr;
+  const bool depthwise = in_ch_ == groups_ && out_ch_ == groups_;
+  if (gemm::enabled() && !depthwise && use_prepack(ctx)) {
+    const int icg = in_ch_ / groups_;
+    const int kdim = icg * k_ * k_;
+    const int ocg = out_ch_ / groups_;
+    const std::vector<gemm::PackedMatrix>& cached = packs_.get(weight, [&] {
+      return pack_conv_weights(weight.value.raw(), groups_, ocg, kdim);
+    });
+    packs = cached.data();
+  }
+  return run_conv(x, ctx, weight.value.raw(), bias.value.raw(), packs, epi,
+                  sc.data(), sh.data());
+}
+
+Tensor Conv2d::forward_folded(const Tensor& x, const Context& ctx,
+                              const BatchNorm2d& bn, gemm::Epilogue epi) {
+  if (bn.folded()) throw std::logic_error("Conv2d::forward_folded: BN already folded");
+  if (bn.channels() != out_ch_)
+    throw std::invalid_argument("Conv2d::forward_folded: channel mismatch");
+  const std::uint64_t wv = weight.version(), bv = bias.version(),
+                      gv = bn.gamma.version(), bev = bn.beta.version();
+  {
+    const std::lock_guard<std::mutex> lock(fold_.mu);
+    if (fold_.wv != wv || fold_.bv != bv || fold_.gv != gv || fold_.bev != bev) {
+      const std::size_t per = static_cast<std::size_t>(in_ch_ / groups_) * k_ * k_;
+      fold_.w.assign(weight.value.raw(),
+                     weight.value.raw() + static_cast<std::size_t>(out_ch_) * per);
+      fold_.b.assign(bias.value.raw(), bias.value.raw() + out_ch_);
+      for (int o = 0; o < out_ch_; ++o) {
+        const float inv = 1.f / std::sqrt(bn.running_var[o] + bn.eps());
+        const float scale = bn.gamma.value[o] * inv;
+        float* wo = fold_.w.data() + static_cast<std::size_t>(o) * per;
+        for (std::size_t i = 0; i < per; ++i) wo[i] *= scale;
+        fold_.b[o] = (fold_.b[o] - bn.running_mean[o]) * scale + bn.beta.value[o];
+      }
+      fold_.packs.clear();
+      const bool depthwise = in_ch_ == groups_ && out_ch_ == groups_;
+      if (gemm::enabled() && !depthwise) {
+        const int icg = in_ch_ / groups_;
+        fold_.packs = pack_conv_weights(fold_.w.data(), groups_,
+                                        out_ch_ / groups_, icg * k_ * k_);
+      }
+      fold_.wv = wv;
+      fold_.bv = bv;
+      fold_.gv = gv;
+      fold_.bev = bev;
+    }
+  }
+  return run_conv(x, ctx, fold_.w.data(), fold_.b.data(),
+                  fold_.packs.empty() ? nullptr : fold_.packs.data(), epi);
+}
+
+Tensor Conv2d::run_conv(const Tensor& x, const Context& ctx, const float* wt,
+                        const float* bs, const gemm::PackedMatrix* group_packs,
+                        gemm::Epilogue epi, const float* bn_scale,
+                        const float* bn_shift) {
   const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
   if (x.dim(1) != in_ch_) throw std::invalid_argument("Conv2d: channel mismatch");
   const int oh = (h + 2 * pad_ - k_) / stride_ + 1;
@@ -203,8 +365,6 @@ Tensor Conv2d::forward(const Tensor& x, const Context& ctx) {
   if (gemm::enabled()) {
     const ConvGeom g{n,  in_ch_,  out_ch_, h,       w,   oh,  ow,
                      k_, stride_, pad_,    groups_, icg, ocg};
-    const float* wt = weight.value.raw();
-    const float* bs = bias.value.raw();
     // Samples are independent; nested calls (e.g. from the parallel PTQ
     // evaluators) run inline, and each sample is computed whole, so the
     // output is invariant to the thread count.
@@ -213,32 +373,50 @@ Tensor Conv2d::forward(const Tensor& x, const Context& ctx) {
       float* yb = y.raw() + b * static_cast<std::size_t>(out_ch_) * oh * ow;
       if (g.depthwise()) {
         conv_forward_depthwise(g, xb, wt, bs, yb);
+        if (bn_scale != nullptr || epi != gemm::Epilogue::kNone) {
+          // Channel-major second pass: the same elementwise ops the BN /
+          // Activation modules would apply, so still bit-identical.
+          for (int c = 0; c < g.out_ch; ++c) {
+            float* yp = yb + static_cast<std::size_t>(c) * g.osz();
+            if (bn_scale != nullptr) {
+              const float s = bn_scale[c], t = bn_shift[c];
+              for (int i = 0; i < g.osz(); ++i) yp[i] = s * yp[i] + t;
+            }
+            gemm::epilogue_apply(epi, yp, yp, g.osz());
+          }
+        }
         return;
       }
-      std::vector<float> col;
-      if (!g.unit()) col.resize(static_cast<std::size_t>(g.kdim()) * g.osz());
-      conv_forward_sample(g, xb, wt, bs, yb, col.data());
+      core::ScratchArena& arena = core::ScratchArena::local();
+      const core::ScratchArena::Scope scope(arena);
+      float* col = g.unit() ? nullptr
+                            : arena.alloc(static_cast<std::size_t>(g.kdim()) * g.osz());
+      conv_forward_sample(g, xb, wt, bs, yb, col, group_packs, epi, bn_scale,
+                          bn_shift);
     });
   } else {
+    const int kk = k_ * k_;
     for (int b = 0; b < n; ++b) {
       for (int o = 0; o < out_ch_; ++o) {
         const int g = o / ocg;
         for (int i = 0; i < oh; ++i) {
           for (int j = 0; j < ow; ++j) {
-            float acc = bias.value[o];
+            float acc = bs[o];
             for (int c = 0; c < icg; ++c) {
               const int ic = g * icg + c;
+              const float* wo = wt + (static_cast<std::size_t>(o) * icg + c) * kk;
               for (int ki = 0; ki < k_; ++ki) {
                 const int yi = i * stride_ + ki - pad_;
                 if (yi < 0 || yi >= h) continue;
                 for (int kj = 0; kj < k_; ++kj) {
                   const int xj = j * stride_ + kj - pad_;
                   if (xj < 0 || xj >= w) continue;
-                  acc += weight.value.at(o, c, ki, kj) * x.at(b, ic, yi, xj);
+                  acc += wo[ki * k_ + kj] * x.at(b, ic, yi, xj);
                 }
               }
             }
-            y.at(b, o, i, j) = acc;
+            if (bn_scale != nullptr) acc = bn_scale[o] * acc + bn_shift[o];
+            y.at(b, o, i, j) = gemm::epilogue_eval(epi, acc);
           }
         }
       }
@@ -259,8 +437,11 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
     const ConvGeom g{n,  in_ch_,  out_ch_, h,       w,   oh,  ow,
                      k_, stride_, pad_,    groups_, icg, ocg};
     const int osz = g.osz(), kdim = g.kdim();
-    std::vector<float> col(g.unit() ? 0 : static_cast<std::size_t>(kdim) * osz);
-    std::vector<float> dcol(g.unit() ? 0 : static_cast<std::size_t>(kdim) * osz);
+    core::ScratchArena& arena = core::ScratchArena::local();
+    const core::ScratchArena::Scope scope(arena);
+    const std::size_t cn = g.unit() ? 0 : static_cast<std::size_t>(kdim) * osz;
+    float* col = arena.alloc(cn);
+    float* dcol = arena.alloc(cn);
     // Serial over samples: gradient accumulation into weight.grad keeps the
     // naive loop's batch-ascending add order (training is single-threaded).
     for (int b = 0; b < n; ++b) {
@@ -270,8 +451,8 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
         const float* src = xb + static_cast<std::size_t>(grp) * icg * h * w;
         const float* colp = src;
         if (!g.unit()) {
-          gemm::im2col(src, icg, h, w, k_, stride_, pad_, col.data());
-          colp = col.data();
+          gemm::im2col(src, icg, h, w, k_, stride_, pad_, col);
+          colp = col;
         }
         const float* gy = grad_out.raw() +
                           (static_cast<std::size_t>(b) * out_ch_ +
@@ -300,8 +481,8 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
           gemm::sgemm(kdim, osz, ocg,
                       weight.value.raw() + static_cast<std::size_t>(grp) * ocg * kdim,
                       kdim, /*trans_a=*/true, gy, osz, /*trans_b=*/false,
-                      dcol.data(), osz);
-          gemm::col2im_add(dcol.data(), icg, h, w, k_, stride_, pad_, dslab);
+                      dcol, osz);
+          gemm::col2im_add(dcol, icg, h, w, k_, stride_, pad_, dslab);
         }
       }
     }
@@ -376,6 +557,11 @@ Tensor BatchNorm2d::forward(const Tensor& x, const Context& ctx) {
       inv_std_[c] = inv;
       running_mean[c] = (1.f - momentum_) * running_mean[c] + momentum_ * mean;
       running_var[c] = (1.f - momentum_) * running_var[c] + momentum_ * var;
+      if (c == 0) {
+        // Running stats moved: stamp gamma so MERSIT_FOLD_BN caches keyed on
+        // this BN rebuild (the stats tensors carry no version of their own).
+        gamma.bump_version();
+      }
       for (int b = 0; b < n; ++b)
         for (int i = 0; i < h; ++i)
           for (int j = 0; j < w; ++j) {
@@ -435,6 +621,8 @@ void BatchNorm2d::fold_into(Conv2d& conv) {
     for (float& v : conv.channel_span(o)) v *= scale;
     conv.bias.value[o] = (conv.bias.value[o] - running_mean[o]) * scale + beta.value[o];
   }
+  conv.weight.bump_version();
+  conv.bias.bump_version();
   folded_ = true;
 }
 
@@ -455,17 +643,15 @@ const char* act_name(Act a) {
 
 float act_eval(Act a, float x) {
   switch (a) {
-    case Act::kReLU: return x > 0.f ? x : 0.f;
-    case Act::kReLU6: return x < 0.f ? 0.f : (x > 6.f ? 6.f : x);
-    case Act::kSiLU: return x * sigmoidf(x);
+    // The fusable kinds delegate to the GEMM epilogue so the fused
+    // write-back and the standalone Activation module share one formula —
+    // bit-identity between the two paths holds by construction.
+    case Act::kReLU: return gemm::epilogue_eval(gemm::Epilogue::kReLU, x);
+    case Act::kReLU6: return gemm::epilogue_eval(gemm::Epilogue::kReLU6, x);
+    case Act::kSiLU: return gemm::epilogue_eval(gemm::Epilogue::kSiLU, x);
     case Act::kHardSwish:
-      if (x <= -3.f) return 0.f;
-      if (x >= 3.f) return x;
-      return x * (x + 3.f) / 6.f;
-    case Act::kGELU: {
-      const float u = 0.7978845608f * (x + 0.044715f * x * x * x);
-      return 0.5f * x * (1.f + std::tanh(u));
-    }
+      return gemm::epilogue_eval(gemm::Epilogue::kHardSwish, x);
+    case Act::kGELU: return gemm::epilogue_eval(gemm::Epilogue::kGELU, x);
     case Act::kSigmoid: return sigmoidf(x);
     case Act::kTanh: return std::tanh(x);
   }
@@ -617,8 +803,70 @@ void Sequential::add(std::string child_name, ModulePtr m) {
 }
 
 Tensor Sequential::forward(const Tensor& x, const Context& ctx) {
+  if (!fuse_inference_ok(ctx)) {
+    Tensor cur = x;
+    for (auto& m : mods_) cur = m->run(cur, ctx);
+    return cur;
+  }
+  // Inference-only fusion scan (no quant session, so run() == forward() and
+  // skipping a module loses no hooks): a Conv2d or Linear head absorbs an
+  // already-folded BN (exact identity — saves the pass-through copy), an
+  // unfolded BN — as the bit-identical per-channel affine write-back by
+  // default, or as a weight fold (tolerance-equal) when MERSIT_FOLD_BN is
+  // on — and a trailing fusable Activation (bit-identical fused epilogue).
   Tensor cur = x;
-  for (auto& m : mods_) cur = m->run(cur, ctx);
+  for (std::size_t i = 0; i < mods_.size();) {
+    Module* m = mods_[i].get();
+    if (auto* conv = dynamic_cast<Conv2d*>(m)) {
+      std::size_t j = i + 1;
+      const BatchNorm2d* fold_bn = nullptr;
+      const BatchNorm2d* affine_bn = nullptr;
+      if (j < mods_.size()) {
+        if (auto* bn = dynamic_cast<BatchNorm2d*>(mods_[j].get())) {
+          if (bn->folded()) {
+            ++j;  // identity module: skip it outright
+          } else if (bn->channels() == conv->out_channels()) {
+            (gemm::fold_bn_enabled() ? fold_bn : affine_bn) = bn;
+            ++j;
+          }
+        }
+      }
+      gemm::Epilogue epi = gemm::Epilogue::kNone;
+      if (j < mods_.size()) {  // activation directly after conv[+bn]
+        if (auto* act = dynamic_cast<Activation*>(mods_[j].get())) {
+          if (const auto e = epilogue_for(act->kind());
+              e != gemm::Epilogue::kNone) {
+            epi = e;
+            ++j;
+          }
+        }
+      }
+      cur = fold_bn != nullptr ? conv->forward_folded(cur, ctx, *fold_bn, epi)
+            : affine_bn != nullptr
+                ? conv->forward_bn_fused(cur, ctx, *affine_bn, epi)
+                : conv->forward_fused(cur, ctx, epi);
+      i = j;
+      continue;
+    }
+    if (auto* lin = dynamic_cast<Linear*>(m)) {
+      std::size_t j = i + 1;
+      gemm::Epilogue epi = gemm::Epilogue::kNone;
+      if (j < mods_.size()) {
+        if (auto* act = dynamic_cast<Activation*>(mods_[j].get())) {
+          if (const auto e = epilogue_for(act->kind());
+              e != gemm::Epilogue::kNone) {
+            epi = e;
+            ++j;
+          }
+        }
+      }
+      cur = lin->forward_fused(cur, ctx, epi);
+      i = j;
+      continue;
+    }
+    cur = m->run(cur, ctx);
+    ++i;
+  }
   return cur;
 }
 
@@ -713,9 +961,18 @@ Tensor SEBlock::forward(const Tensor& x, const Context& ctx) {
         for (int j = 0; j < w; ++j) acc += x.at(b, c, i, j);
       pooled.at(b, c) = acc * inv;
     }
-  Tensor z1 = fc1_.forward(pooled, ctx);
-  Tensor h1(z1.shape());
-  for (std::int64_t i = 0; i < z1.numel(); ++i) h1[i] = z1[i] > 0.f ? z1[i] : 0.f;
+  // fc1's ReLU is applied by SEBlock itself (no Activation module and no
+  // intermediate quant hook), so fusing it into fc1's GEMM write-back is
+  // legal even under a quant session; backward needs nothing from z1 either,
+  // but training keeps the explicit form so fc1 caches its input.
+  Tensor h1;
+  if (ctx.train) {
+    Tensor z1 = fc1_.forward(pooled, ctx);
+    h1 = Tensor(z1.shape());
+    for (std::int64_t i = 0; i < z1.numel(); ++i) h1[i] = z1[i] > 0.f ? z1[i] : 0.f;
+  } else {
+    h1 = fc1_.forward_fused(pooled, ctx, gemm::Epilogue::kReLU);
+  }
   Tensor z2 = fc2_.forward(h1, ctx);
   Tensor gate(z2.shape());
   for (std::int64_t i = 0; i < z2.numel(); ++i) gate[i] = sigmoidf(z2[i]);

@@ -3,9 +3,70 @@
 // squeeze-excite).
 #pragma once
 
+#include <cstdint>
+#include <mutex>
+
+#include "nn/gemm/gemm.h"
 #include "nn/module.h"
 
 namespace mersit::nn {
+
+class BatchNorm2d;
+
+/// Version-stamped cache of prepacked GEMM operands for one weight Param
+/// (one PackedMatrix per conv group; a single entry for Linear).  get()
+/// rebuilds when the Param's version has moved — every weight-mutation seam
+/// (optimizer steps, PTQ quantize/restore, artifact unpack, BN folding)
+/// bumps the version, so a stale pack is never served.  Copies start empty:
+/// a cloned module must repack from its own storage, never alias another
+/// module's panels.
+class PackCache {
+ public:
+  PackCache() = default;
+  PackCache(const PackCache&) noexcept {}
+  PackCache& operator=(const PackCache&) noexcept { return *this; }
+
+  /// The packs for `p.value` at its current version; `build` runs under the
+  /// cache lock when the stored version is stale or absent.  Weight
+  /// mutation is never concurrent with inference forwards, so the returned
+  /// reference stays valid for the duration of the forward.
+  template <typename BuildFn>
+  const std::vector<gemm::PackedMatrix>& get(const Param& p, BuildFn&& build) {
+    const std::uint64_t v = p.version();
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (version_ != v) {
+      packs_ = build();
+      version_ = v;
+    }
+    return packs_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::uint64_t version_ = 0;  // 0 = never built (Param versions start at 1)
+  std::vector<gemm::PackedMatrix> packs_;
+};
+
+/// Inference-only folded conv+BN weights (MERSIT_FOLD_BN), keyed on the
+/// versions of all four contributing Params.  Same copy semantics as
+/// PackCache.  Fields are populated by Conv2d::forward_folded under `mu`.
+struct FoldCache {
+  FoldCache() = default;
+  FoldCache(const FoldCache&) noexcept {}
+  FoldCache& operator=(const FoldCache&) noexcept { return *this; }
+
+  std::mutex mu;
+  std::uint64_t wv = 0, bv = 0, gv = 0, bev = 0;
+  std::vector<float> w, b;                 ///< folded weight / bias values
+  std::vector<gemm::PackedMatrix> packs;   ///< per-group packs of `w`
+};
+
+/// True when the container fusions (skipping explicit Activation modules,
+/// folding BN) are legal: inference only, and no quant session — the PTQ
+/// hooks must observe every intermediate tensor a real accelerator would
+/// spill.  Weight prepacking alone is value-preserving and stays active
+/// under quant sessions; this gate covers the structural fusions.
+[[nodiscard]] bool fuse_inference_ok(const Context& ctx);
 
 class Linear final : public Module, public ChannelWeights {
  public:
@@ -13,6 +74,9 @@ class Linear final : public Module, public ChannelWeights {
 
   [[nodiscard]] std::string name() const override { return "Linear"; }
   Tensor forward(const Tensor& x, const Context& ctx) override;
+  /// forward() with a fused activation epilogue; `Epilogue::kNone` is plain
+  /// forward().  In inference the weight panel comes from the prepack cache.
+  Tensor forward_fused(const Tensor& x, const Context& ctx, gemm::Epilogue epi);
   Tensor backward(const Tensor& grad_out) override;
   void collect_params(std::vector<Param*>& out) override;
   [[nodiscard]] ModulePtr clone() const override { return std::make_unique<Linear>(*this); }
@@ -20,6 +84,7 @@ class Linear final : public Module, public ChannelWeights {
 
   [[nodiscard]] int weight_channels() const override { return out_; }
   [[nodiscard]] std::span<float> channel_span(int c) override;
+  [[nodiscard]] Param& weight_param() override { return weight; }
 
   Param weight;  ///< [out, in]
   Param bias;    ///< [out]
@@ -27,6 +92,7 @@ class Linear final : public Module, public ChannelWeights {
  private:
   int in_, out_;
   Tensor x_cache_;
+  PackCache packs_;
 };
 
 class Conv2d final : public Module, public ChannelWeights {
@@ -38,6 +104,21 @@ class Conv2d final : public Module, public ChannelWeights {
 
   [[nodiscard]] std::string name() const override { return "Conv2d"; }
   Tensor forward(const Tensor& x, const Context& ctx) override;
+  /// forward() with a fused activation epilogue applied after bias + full
+  /// k-summation (bit-identical to a following Activation module).
+  Tensor forward_fused(const Tensor& x, const Context& ctx, gemm::Epilogue epi);
+  /// Inference-only conv with `bn` fused into the GEMM write-back as the
+  /// per-channel affine it evaluates to (scale[c]*v + shift[c]) — the same
+  /// arithmetic the BatchNorm2d module applies, so the result is
+  /// bit-identical to conv→BN(→act) while skipping both separate passes.
+  /// `bn` must be unfolded and channel-matched.
+  Tensor forward_bn_fused(const Tensor& x, const Context& ctx,
+                          const BatchNorm2d& bn, gemm::Epilogue epi);
+  /// Inference-only conv with `bn` folded into weights/bias on the fly
+  /// (tolerance-equal to conv→BN, not bit-identical; gated by
+  /// MERSIT_FOLD_BN).  `bn` must be unfolded and channel-matched.
+  Tensor forward_folded(const Tensor& x, const Context& ctx,
+                        const BatchNorm2d& bn, gemm::Epilogue epi);
   Tensor backward(const Tensor& grad_out) override;
   void collect_params(std::vector<Param*>& out) override;
   [[nodiscard]] ModulePtr clone() const override { return std::make_unique<Conv2d>(*this); }
@@ -45,6 +126,7 @@ class Conv2d final : public Module, public ChannelWeights {
 
   [[nodiscard]] int weight_channels() const override { return out_ch_; }
   [[nodiscard]] std::span<float> channel_span(int c) override;
+  [[nodiscard]] Param& weight_param() override { return weight; }
 
   [[nodiscard]] int out_channels() const { return out_ch_; }
 
@@ -52,8 +134,19 @@ class Conv2d final : public Module, public ChannelWeights {
   Param bias;    ///< [out]
 
  private:
+  /// Shared forward body: runs the conv with the given weight/bias arrays
+  /// (the live Params or the folded copies), optional per-group packs, and
+  /// an optional fused per-channel affine (bn_scale/bn_shift, out_ch
+  /// entries each, applied before `epi` at write-back).
+  Tensor run_conv(const Tensor& x, const Context& ctx, const float* wt,
+                  const float* bs, const gemm::PackedMatrix* group_packs,
+                  gemm::Epilogue epi, const float* bn_scale = nullptr,
+                  const float* bn_shift = nullptr);
+
   int in_ch_, out_ch_, k_, stride_, pad_, groups_;
   Tensor x_cache_;
+  PackCache packs_;
+  FoldCache fold_;
 };
 
 /// Batch normalization over [N,C,H,W] (per-channel).  Training uses batch
@@ -76,6 +169,8 @@ class BatchNorm2d final : public Module {
   void fold_into(Conv2d& conv);
 
   [[nodiscard]] bool folded() const { return folded_; }
+  [[nodiscard]] int channels() const { return c_; }
+  [[nodiscard]] float eps() const { return eps_; }
 
   Param gamma, beta;
   Tensor running_mean, running_var;

@@ -11,6 +11,8 @@
 //    per channel, activations per layer).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -28,6 +30,11 @@ class QuantSession {
   virtual ~QuantSession() = default;
   virtual void on_activation(const Module& layer, Tensor& t) = 0;
 
+  /// Input-side hook: called on each batch before it enters the model, so
+  /// sessions that quantize network inputs do it on the fly instead of
+  /// materializing a quantized copy of the whole dataset.  Default: no-op.
+  virtual void on_input(Tensor& t) { (void)t; }
+
   /// True when on_activation may be invoked concurrently from several
   /// evaluation threads (each on its own tensor).  Sessions that accumulate
   /// unguarded state (calibrators, probes) keep the default false and force
@@ -41,13 +48,45 @@ struct Context {
 };
 
 /// A learnable parameter and its gradient accumulator.
+///
+/// The version counter stamps the value tensor's mutation history: every
+/// seam that rewrites `value` in place (optimizer steps, per-channel weight
+/// quantization, restore/unpack, BN folding) calls bump_version(), and
+/// derived caches (prepacked GEMM panels, folded-BN weights) record the
+/// version they were built from and rebuild on mismatch.  Reads/writes are
+/// atomic so concurrent inference threads may validate a cache while a
+/// (serial) mutator is absent; mutation itself is never concurrent with
+/// forwards.
 struct Param {
   Tensor value;
   Tensor grad;
 
   explicit Param(Tensor v) : value(std::move(v)), grad(value.shape()) {}
   Param() = default;
+  // The atomic member deletes the implicit copies; a copied Param is a new
+  // storage lineage, so it starts its own version history.
+  Param(const Param& other) : value(other.value), grad(other.grad) {}
+  Param& operator=(const Param& other) {
+    if (this != &other) {
+      value = other.value;
+      grad = other.grad;
+      bump_version();
+    }
+    return *this;
+  }
+
   void zero_grad() { grad.zero(); }
+
+  /// Current mutation stamp of `value` (starts at 1; never 0, so caches can
+  /// use 0 as "never built").
+  [[nodiscard]] std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+  /// Record an in-place mutation of `value`.  Call after the write.
+  void bump_version() { version_.fetch_add(1, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<std::uint64_t> version_{1};
 };
 
 /// Implemented by modules with per-output-channel quantizable weights.
@@ -57,6 +96,10 @@ class ChannelWeights {
   [[nodiscard]] virtual int weight_channels() const = 0;
   /// Mutable view of all weights feeding output channel `c`.
   [[nodiscard]] virtual std::span<float> channel_span(int c) = 0;
+  /// The Param owning the storage channel_span views into.  Callers that
+  /// mutate spans must bump_version() on it afterwards so prepacked-weight
+  /// caches notice.
+  [[nodiscard]] virtual Param& weight_param() = 0;
 };
 
 class Module;

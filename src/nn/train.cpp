@@ -67,6 +67,7 @@ void Adam::step() {
       const float vhat = v_[k][i] / bc2;
       p.value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
+    p.bump_version();  // invalidate prepacked-weight caches
   }
 }
 
@@ -117,7 +118,10 @@ std::vector<int> predict(Module& model, const Dataset& data, QuantSession* quant
   std::vector<int> preds(static_cast<std::size_t>(data.size()));
   const auto run_batch = [&](int start) {
     const int count = std::min(batch, data.size() - start);
-    const Tensor xb = slice_batch(data.inputs, start, count);
+    Tensor xb = slice_batch(data.inputs, start, count);
+    // Input-side quantization happens here, batch by batch, instead of on a
+    // materialized copy of the whole dataset (sessions opt in via on_input).
+    if (quant != nullptr) quant->on_input(xb);
     const Tensor logits = model.run(xb, ctx);
     const int c = logits.dim(1);
     for (int i = 0; i < count; ++i) {

@@ -111,7 +111,10 @@ void restore_weights(Module& model, const WeightSnapshot& snap) {
           "restore_weights: shape mismatch at parameter " + std::to_string(i) +
           " (model " + shape_str(params[i]->value.shape()) + ", snapshot " +
           shape_str(snap.values[i].shape()) + ")");
-  for (std::size_t i = 0; i < params.size(); ++i) params[i]->value = snap.values[i];
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = snap.values[i];
+    params[i]->bump_version();  // invalidate prepacked-weight caches
+  }
 }
 
 namespace {
@@ -143,22 +146,17 @@ void quantize_weights_per_channel(Module& model, const Format& fmt,
     const double scale = formats::scale_for_absmax(fmt, mx, policy);
     kernel->fake_quantize(w, scale);
   });
+  // One bump per mutated weight Param, after the fan-out: prepacked-GEMM
+  // caches built from the FP32 weights must not survive into the quantized
+  // evaluation.
+  for (Module* m : model.modules())
+    if (auto* cw = dynamic_cast<nn::ChannelWeights*>(m))
+      cw->weight_param().bump_version();
 }
 
 // ------------------------------------------------------------- experiment --
 
 namespace {
-
-/// Dataset copy with fake-quantized inputs.
-Dataset quantized_inputs(const Dataset& data, const FakeQuantizer& fq) {
-  Dataset q;
-  q.num_classes = data.num_classes;
-  q.labels = data.labels;
-  q.inputs = data.inputs;
-  Tensor& t = q.inputs;
-  fq.quantize_input(t);
-  return q;
-}
 
 float run_metric(Module& model, const Dataset& test, Metric metric,
                  nn::QuantSession* quant) {
@@ -246,10 +244,10 @@ float evaluate_with_table(Module& model, const CalibrationTable& table,
   const WeightSnapshot snap = snapshot_weights(model);
   quantize_weights_per_channel(model, fmt, opt.policy);
   FakeQuantizer fq(table, fmt, opt.policy);
-  const Dataset test_q =
-      opt.quantize_input ? quantized_inputs(test, fq) : test;
-  const float metric =
-      run_metric(model, opt.quantize_input ? test_q : test, opt.metric, &fq);
+  // Inputs are fake-quantized per batch via the evaluator's on_input hook —
+  // no second copy of the dataset is ever materialized.
+  fq.set_input_quantization(opt.quantize_input);
+  const float metric = run_metric(model, test, opt.metric, &fq);
   restore_weights(model, snap);
   // Backstop for anything the single-sample pre-check could not see (e.g.
   // data-dependent control flow): never report a metric computed with

@@ -87,6 +87,14 @@ class FakeQuantizer final : public nn::QuantSession {
   /// Quantize the model input (vision models).
   void quantize_input(nn::Tensor& t) const;
 
+  /// When enabled, the evaluator's per-batch on_input hook fake-quantizes
+  /// each input batch in place (replacing the old whole-dataset copy).
+  /// Off by default — token-id inputs (BERT) must pass through untouched.
+  void set_input_quantization(bool on) { quantize_inputs_ = on; }
+  void on_input(nn::Tensor& t) override {
+    if (quantize_inputs_) quantize_input(t);
+  }
+
   /// Layers seen at eval time but never calibrated (should stay zero).
   [[nodiscard]] int uncalibrated_layers() const { return uncalibrated_.load(); }
   /// The distinct paths (or "<unpathed TypeName>") of those layers.
@@ -96,6 +104,7 @@ class FakeQuantizer final : public nn::QuantSession {
   const CalibrationTable& table_;
   const formats::Format& fmt_;
   formats::ScalePolicy policy_;
+  bool quantize_inputs_ = false;
   std::atomic<int> uncalibrated_ = 0;
   mutable std::mutex miss_mu_;
   std::set<std::string> missed_;

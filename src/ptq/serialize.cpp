@@ -336,6 +336,7 @@ void unpack_weights(nn::Module& model, const QuantizedModel& qm,
         v = static_cast<float>(
             formats::decode_with_policy(fmt, t.codes[k++], policy, stats) * scale);
     }
+    cw->weight_param().bump_version();  // invalidate prepacked-weight caches
   }
 }
 

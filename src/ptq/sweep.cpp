@@ -13,8 +13,12 @@ std::vector<float> run_format_sweep(
     const PtqOptions& opt) {
   std::vector<float> metrics;
   metrics.reserve(fmts.size());
+  // Calibration observes FP32 activations only — it is independent of the
+  // format under evaluation — so one pass serves every row instead of
+  // re-calibrating per format.
+  const CalibrationTable table = calibrate_model(model, calib, opt.quantize_input);
   for (const auto& fmt : fmts)
-    metrics.push_back(evaluate_ptq(model, calib, test, *fmt, opt));
+    metrics.push_back(evaluate_with_table(model, table, test, *fmt, opt));
   return metrics;
 }
 
