@@ -4,8 +4,9 @@
 # suite (including the serialization fuzz tests and fault campaigns), and a
 # ThreadSanitizer build (MERSIT_SANITIZE=thread) over the `concurrency`-
 # labelled suites (codec lazy init, kernel cache, thread pool, GEMM,
-# parallel PTQ; see tests/CMakeLists.txt for the label registry).  Finally,
-# guard against build artifacts leaking into the work tree.
+# parallel PTQ, serving engine + hot-swap; see tests/CMakeLists.txt for the
+# label registry).  Finally, guard against build artifacts leaking into the
+# work tree.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -42,20 +43,35 @@ run_suite build
 echo "==> perf smoke (bench_inference, fast sizing)"
 MERSIT_BENCH_FAST=1 ./build/bench/bench_inference --json=build/BENCH_inference.json
 
+# Serving smoke: bench_serving drives the engine through saturation, 2x
+# overload, hot-swap under live traffic, and a fault campaign fired through
+# the swap path, enforcing its own gates (exit nonzero on violation):
+#  * no deadlock — every submitted future resolves within a hard timeout,
+#  * typed shedding at 2x saturation (never unbounded queueing),
+#  * p99 of served requests within the deadline bound,
+#  * corrupt artifacts rejected, clean re-swap restores clean accuracy.
+# The --check_json pass guards the committed BENCH_serving.json against
+# schema drift (stale committed reports have bitten this repo before).
+echo "==> serving smoke (bench_serving, fast sizing)"
+MERSIT_BENCH_FAST=1 ./build/bench/bench_serving --fast --json=build/BENCH_serving.json
+./build/bench/bench_serving --check_json=BENCH_serving.json
+
 run_suite build-sanitize -DMERSIT_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
 # TSan stage: rebuild and run only the concurrency-sensitive suites (a full
 # TSan run of the training-heavy tests would dominate CI time).  Selection is
 # by ctest label, not name regex: tests/CMakeLists.txt labels the dedicated
 # test_concurrency executable (codec lazy init, kernel cache, thread pool,
-# GEMM, prepack/arena, parallel PTQ) with `concurrency`, so new suites join
-# the stage by adding a source there instead of editing a pattern here.
+# GEMM, prepack/arena, parallel PTQ) and test_serve (engine admission /
+# watchdog / drain races, hot-swap under load) with `concurrency`, so new
+# suites join the stage by adding a source there instead of editing a
+# pattern here.
 # Force a multi-thread pool so parallel paths actually interleave on 1-core
 # runners.
 echo "==> configure build-tsan (MERSIT_SANITIZE=thread)"
 cmake -B build-tsan -S . "${CACHE_ARGS[@]}" -DMERSIT_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 echo "==> build build-tsan"
-cmake --build build-tsan -j "${JOBS}" --target test_concurrency
+cmake --build build-tsan -j "${JOBS}" --target test_concurrency test_serve
 echo "==> ctest build-tsan (-L concurrency)"
 MERSIT_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
   -L concurrency

@@ -1,0 +1,131 @@
+// Bounded MPMC queue for the serving request path.
+//
+// Design constraints, in order:
+//  * admission control never blocks — producers use try_push, which fails
+//    immediately when the queue is full or closed, so overload sheds load
+//    with a typed rejection instead of wedging callers behind a mutex-
+//    convoyed blocking push;
+//  * consumers block cheaply — pop_wait parks on a condition variable with
+//    a timeout, so replica workers spend idle time asleep but still wake
+//    periodically to refresh their watchdog heartbeat;
+//  * the watchdog can surgically extract items — remove_if pulls matching
+//    entries out of the middle of the queue under the lock, which is how
+//    expired requests are failed even when every worker is wedged;
+//  * close() makes shutdown deterministic — producers fail, consumers
+//    drain what is left and then see "closed" instead of sleeping forever.
+//
+// Implementation is a mutex + two condition variables over a std::deque.
+// "Lock-light" here means short critical sections (pointer moves only),
+// not lock-free: the serving hot path moves one Tensor per request, and a
+// contended ticket-lock section of a few dozen ns is invisible next to a
+// multi-millisecond model forward.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/clock.h"
+
+namespace mersit::core {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking enqueue: false when full or closed (the caller sheds).
+  [[nodiscard]] bool try_push(T&& item) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking dequeue with a timeout.  Returns the front item, or nullopt
+  /// when `timeout` elapsed or the queue is closed and drained.  A closed
+  /// queue still yields its remaining items — shutdown never drops work
+  /// silently; the engine decides what to do with the remainder.
+  [[nodiscard]] std::optional<T> pop_wait(std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, timeout,
+                        [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking dequeue (micro-batch gathering).
+  [[nodiscard]] std::optional<T> try_pop() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Extract every item matching `pred`, preserving the relative order of
+  /// the survivors.  Returns the extracted items — the watchdog's expiry
+  /// sweep, which must fail deadline-blown requests even when no consumer
+  /// is making progress.
+  template <typename Pred>
+  [[nodiscard]] std::vector<T> remove_if(Pred pred) {
+    std::vector<T> removed;
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::deque<T> kept;
+    for (T& item : items_) {
+      if (pred(item))
+        removed.push_back(std::move(item));
+      else
+        kept.push_back(std::move(item));
+    }
+    items_.swap(kept);
+    return removed;
+  }
+
+  /// Close and return everything still queued (shutdown drain).  After
+  /// close(), try_push fails and pop_wait returns nullopt once empty.
+  [[nodiscard]] std::vector<T> close_and_drain() {
+    std::vector<T> drained;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      for (T& item : items_) drained.push_back(std::move(item));
+      items_.clear();
+    }
+    not_empty_.notify_all();
+    return drained;
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace mersit::core

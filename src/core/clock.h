@@ -1,0 +1,34 @@
+// Monotonic clock shim for the serving layer.
+//
+// All serving timestamps (enqueue times, deadlines, heartbeats) are plain
+// int64 nanosecond counts on one monotonic timeline, not time_points, so
+// they can live in atomics, serialize into stats, and subtract without
+// casts.  The clock is injectable (ClockFn) so deadline logic is unit-
+// testable without real waiting; production code uses mono_now_ns(), which
+// is std::chrono::steady_clock — never the wall clock, which jumps under
+// NTP and would turn a clock step into a mass deadline expiry.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace mersit::core {
+
+/// Nanoseconds on the process-local monotonic timeline.
+using MonoNanos = std::int64_t;
+
+[[nodiscard]] inline MonoNanos mono_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Injectable time source; defaults to mono_now_ns in production.
+using ClockFn = std::function<MonoNanos()>;
+
+inline constexpr MonoNanos kNanosPerMicro = 1'000;
+inline constexpr MonoNanos kNanosPerMilli = 1'000'000;
+inline constexpr MonoNanos kNanosPerSecond = 1'000'000'000;
+
+}  // namespace mersit::core

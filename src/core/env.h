@@ -1,0 +1,39 @@
+// Strict environment-variable parsing shared by every MERSIT_* knob.
+//
+// The old behaviour — silently falling back to a default when MERSIT_THREADS
+// held garbage — turned typos ("MERSIT_THREADS=eight", "MERSIT_THREADS=0")
+// into mysterious perf or correctness differences.  Serving config makes
+// this worse: a fat-fingered MERSIT_SERVE_QUEUE must not quietly size a
+// production queue to a default.  Policy, therefore:
+//
+//   * variable unset, or set to the empty string  -> caller's fallback
+//     (the empty string is how shells "unset" a var for one command);
+//   * anything else that is not an integer in the caller's range
+//     -> std::runtime_error naming the variable, the offending value, and
+//     the accepted range.  Loud beats lucky.
+#pragma once
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace mersit::core {
+
+/// Parse `name` as a base-10 integer in [lo, hi]; `fallback` when unset or
+/// empty, std::runtime_error on anything malformed or out of range.
+[[nodiscard]] inline long env_int(const char* name, long fallback, long lo,
+                                  long hi) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || errno == ERANGE || v < lo || v > hi)
+    throw std::runtime_error(std::string(name) + "='" + env +
+                             "': expected an integer in [" + std::to_string(lo) +
+                             ", " + std::to_string(hi) + "]");
+  return v;
+}
+
+}  // namespace mersit::core

@@ -14,14 +14,15 @@
 //    bench) can use it without a link edge onto mersit_core.
 //
 // Sizing: MERSIT_THREADS in the environment pins the global pool width;
-// unset or invalid falls back to std::thread::hardware_concurrency().
+// unset (or empty) falls back to std::thread::hardware_concurrency(), but a
+// malformed value — garbage, 0, negative, out of range — throws
+// std::runtime_error instead of silently falling back (see core/env.h).
 // A width of 1 spawns no threads at all — every parallel_* call runs
 // inline, which keeps single-core containers and TSan traces simple.
 #pragma once
 
 #include <algorithm>
 #include <condition_variable>
-#include <cstdlib>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -30,17 +31,17 @@
 #include <thread>
 #include <vector>
 
+#include "core/env.h"
+
 namespace mersit::core {
 
 class ThreadPool {
  public:
-  /// MERSIT_THREADS if set to a positive integer, else hardware concurrency.
+  /// MERSIT_THREADS if set to an integer in [1, 1024], else hardware
+  /// concurrency.  A set-but-malformed value throws std::runtime_error.
   [[nodiscard]] static int default_thread_count() {
-    if (const char* env = std::getenv("MERSIT_THREADS")) {
-      char* end = nullptr;
-      const long v = std::strtol(env, &end, 10);
-      if (end != env && v >= 1 && v <= 1024) return static_cast<int>(v);
-    }
+    const long v = env_int("MERSIT_THREADS", /*fallback=*/0, 1, 1024);
+    if (v > 0) return static_cast<int>(v);
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : static_cast<int>(hw);
   }

@@ -1,0 +1,28 @@
+#include "fault/live.h"
+
+#include <sstream>
+
+namespace mersit::fault {
+
+std::vector<LiveSwapStage> make_live_swap_stages(const ptq::QuantizedModel& qm,
+                                                 const std::vector<double>& bers,
+                                                 std::uint64_t seed) {
+  std::vector<LiveSwapStage> stages;
+  stages.reserve(bers.size());
+  for (std::size_t i = 0; i < bers.size(); ++i) {
+    ptq::QuantizedModel corrupted = qm;  // fresh copy per stage
+    BitFlipInjector injector(derive_seed(seed, i));
+    const InjectionReport rep = injector.inject_ber(corrupted, bers[i]);
+    LiveSwapStage stage;
+    stage.ber = bers[i];
+    stage.bits_flipped = rep.bits_flipped;
+    stage.codes_touched = rep.codes_touched;
+    std::ostringstream os;
+    corrupted.save(os);
+    stage.mqt1_bytes = std::move(os).str();
+    stages.push_back(std::move(stage));
+  }
+  return stages;
+}
+
+}  // namespace mersit::fault

@@ -1,0 +1,45 @@
+// Live-swap fault campaigns: corrupted artifacts for a *serving* replica.
+//
+// The artifact campaigns in campaign.h measure accuracy offline — corrupt,
+// unpack, evaluate, restore.  A serving engine adds a failure surface the
+// offline loop cannot see: the corrupted artifact arrives through the hot-
+// swap path while traffic is in flight, so parsing, validation, the non-
+// finite sanity gate, and replica-by-replica application all run against a
+// live system.  This header produces the ammunition for that campaign —
+// each stage is a fully serialized MQT1 byte stream corrupted at one BER —
+// and leaves the firing (Engine::swap_artifacts under load) to the serving
+// bench and tests, keeping this library free of a serve dependency.
+//
+// Seeding follows the campaign convention: stage i draws from
+// derive_seed(seed, i), so a campaign's corruption patterns are
+// bit-reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/bitflip.h"
+#include "ptq/serialize.h"
+
+namespace mersit::fault {
+
+/// One corrupted-artifact stage of a live hot-swap campaign.
+struct LiveSwapStage {
+  double ber = 0.0;
+  std::string mqt1_bytes;          ///< serialized corrupted weight artifact
+  std::uint64_t bits_flipped = 0;
+  std::uint64_t codes_touched = 0;
+};
+
+/// Corrupt `qm` at each BER in `bers` (independent seeded streams) and
+/// serialize each result.  The input artifact is not modified.  Containers
+/// stay structurally valid — corruption hits code words only, the way
+/// memory faults corrupt a shipped payload — so the stages exercise the
+/// engine's *semantic* defenses (non-finite gate, zero-substitution,
+/// graceful accuracy degradation), not just the container parser.
+[[nodiscard]] std::vector<LiveSwapStage> make_live_swap_stages(
+    const ptq::QuantizedModel& qm, const std::vector<double>& bers,
+    std::uint64_t seed);
+
+}  // namespace mersit::fault

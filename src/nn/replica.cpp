@@ -1,0 +1,28 @@
+#include "nn/replica.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace mersit::nn {
+
+ReplicaPool::ReplicaPool(const Module& proto, int count) {
+  if (count < 1)
+    throw std::invalid_argument("ReplicaPool: replica count " +
+                                std::to_string(count) + " must be >= 1");
+  replicas_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    auto r = std::make_unique<Replica>();
+    r->module = proto.clone();
+    replicas_.push_back(std::move(r));
+  }
+}
+
+ReplicaPool::Lease ReplicaPool::acquire(int i) {
+  if (i < 0 || i >= size())
+    throw std::out_of_range("ReplicaPool: replica index " + std::to_string(i) +
+                            " out of range [0, " + std::to_string(size()) + ")");
+  Replica& r = *replicas_[static_cast<std::size_t>(i)];
+  return Lease(std::unique_lock<std::mutex>(r.mu), r.module.get(), i);
+}
+
+}  // namespace mersit::nn

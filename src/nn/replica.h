@@ -1,0 +1,81 @@
+// Replica pool: N structural clones of one prototype model, each with its
+// own exclusive lease, built on Module::clone().
+//
+// Why clones and not a shared model: eval-mode forward is re-entrant, but
+// artifact hot-swap is not — unpack_weights rewrites every weight tensor in
+// place, which must never race a forward on the same storage.  Giving each
+// replica its own parameter storage (and therefore its own prepacked-GEMM
+// caches, which rebuild per replica via the Param version counters) turns
+// "swap under live traffic" into a per-replica critical section instead of
+// a global quiesce: replica i swaps while replicas j != i keep serving.
+//
+// The pool hands out replicas through RAII leases on a per-replica mutex.
+// Serving workers hold the lease for the duration of one micro-batch
+// forward; the swap path walks all replicas with for_each_exclusive,
+// taking each lease in turn.  Every forward thus runs entirely under one
+// artifact generation — old or new, never a mix.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace mersit::nn {
+
+class ReplicaPool {
+ public:
+  /// Clone `proto` `count` times (count >= 1; throws std::invalid_argument
+  /// otherwise).  The prototype itself is not retained.
+  ReplicaPool(const Module& proto, int count);
+
+  ReplicaPool(const ReplicaPool&) = delete;
+  ReplicaPool& operator=(const ReplicaPool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(replicas_.size()); }
+
+  /// Exclusive access to one replica; the mutex is held for the lease's
+  /// lifetime.  Move-only.
+  class Lease {
+   public:
+    Lease(Lease&&) = default;
+    Lease& operator=(Lease&&) = default;
+
+    [[nodiscard]] Module& module() { return *module_; }
+    [[nodiscard]] int index() const { return index_; }
+
+   private:
+    friend class ReplicaPool;
+    Lease(std::unique_lock<std::mutex> lock, Module* module, int index)
+        : lock_(std::move(lock)), module_(module), index_(index) {}
+
+    std::unique_lock<std::mutex> lock_;
+    Module* module_;
+    int index_;
+  };
+
+  /// Block until replica `i` is free and lease it.
+  [[nodiscard]] Lease acquire(int i);
+
+  /// Visit every replica in turn under its lease — the hot-swap walk.  `fn`
+  /// is fn(Module&, int index); at most one replica is locked at a time, so
+  /// the other replicas keep serving while one is being mutated.
+  template <typename Fn>
+  void for_each_exclusive(Fn&& fn) {
+    for (int i = 0; i < size(); ++i) {
+      Lease lease = acquire(i);
+      fn(lease.module(), i);
+    }
+  }
+
+ private:
+  struct Replica {
+    ModulePtr module;
+    std::mutex mu;
+  };
+
+  std::vector<std::unique_ptr<Replica>> replicas_;
+};
+
+}  // namespace mersit::nn

@@ -184,11 +184,12 @@ class CoverageCheckSession final : public nn::QuantSession {
   std::set<std::string> missing_;
 };
 
-[[noreturn]] void throw_uncalibrated(const std::set<std::string>& paths,
+[[noreturn]] void throw_uncalibrated(const char* who,
+                                     const std::set<std::string>& paths,
                                      const CalibrationTable& table,
                                      const char* when) {
   std::ostringstream os;
-  os << "evaluate_with_table: " << paths.size() << " quant point(s) " << when
+  os << who << ": " << paths.size() << " quant point(s) " << when
      << " have no entry in the calibration table";
   if (!table.model_name.empty()) os << " (table calibrated on '" << table.model_name << "')";
   os << ':';
@@ -228,6 +229,20 @@ CalibrationTable calibrate_model(Module& model, const Dataset& calib,
   return table;
 }
 
+void validate_table_coverage(Module& model, const CalibrationTable& table) {
+  std::set<std::string> missing;
+  for (Module* m : model.modules()) {
+    if (!m->quant_point()) continue;
+    const std::string& path = m->path();
+    if (path.empty())
+      missing.insert("<unpathed " + m->name() + ">");
+    else if (table.absmax.find(path) == table.absmax.end())
+      missing.insert(path);
+  }
+  if (!missing.empty()) throw_uncalibrated("validate_table_coverage", missing, table,
+                                      "in this model");
+}
+
 float evaluate_with_table(Module& model, const CalibrationTable& table,
                           const Dataset& test, const Format& fmt,
                           const PtqOptions& opt) {
@@ -239,7 +254,8 @@ float evaluate_with_table(Module& model, const CalibrationTable& table,
     const nn::Context ctx{/*train=*/false, &cover};
     (void)model.run(nn::slice_batch(test.inputs, 0, 1), ctx);
     if (!cover.missing().empty())
-      throw_uncalibrated(cover.missing(), table, "in this model");
+      throw_uncalibrated("evaluate_with_table", cover.missing(), table,
+                         "in this model");
   }
   const WeightSnapshot snap = snapshot_weights(model);
   quantize_weights_per_channel(model, fmt, opt.policy);
@@ -253,7 +269,8 @@ float evaluate_with_table(Module& model, const CalibrationTable& table,
   // data-dependent control flow): never report a metric computed with
   // silently unquantized activations.
   if (fq.uncalibrated_layers() > 0)
-    throw_uncalibrated(fq.uncalibrated_paths(), table, "fired during evaluation but");
+    throw_uncalibrated("evaluate_with_table", fq.uncalibrated_paths(), table,
+                       "fired during evaluation but");
   return metric;
 }
 

@@ -149,6 +149,14 @@ struct PtqOptions {
                                                bool observe_input = true,
                                                std::string model_name = "");
 
+/// Verify that every quant-point module of `model` has an entry in `table`,
+/// by static tree walk (no forward pass, no sample data needed — the check
+/// the serving engine runs before hot-swapping a calibration artifact under
+/// a replica).  Stricter than the runtime pre-check in evaluate_with_table:
+/// a quant point that exists but would not fire still needs an entry.
+/// Throws std::runtime_error naming every missing path.
+void validate_table_coverage(nn::Module& model, const CalibrationTable& table);
+
 /// Quantize weights+activations into `fmt` using a previously built (or
 /// loaded) calibration table and evaluate on `test`; weights are restored
 /// afterwards.  Returns the metric in percent.

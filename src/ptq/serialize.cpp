@@ -340,4 +340,32 @@ void unpack_weights(nn::Module& model, const QuantizedModel& qm,
   }
 }
 
+// ------------------------------------------------------- serving artifacts --
+
+ArtifactPair load_artifact_pair(std::istream& mct1, std::istream& mqt1,
+                                const formats::Format& fmt) {
+  ArtifactPair pair;
+  pair.table = CalibrationTable::load(mct1);
+  pair.weights = QuantizedModel::load(mqt1);
+  if (pair.weights.format_name != fmt.name())
+    throw std::runtime_error("load_artifact_pair: weight artifact is for format '" +
+                             pair.weights.format_name + "', engine serves '" +
+                             fmt.name() + "'");
+  return pair;
+}
+
+std::uint64_t count_nonfinite_codes(const QuantizedModel& qm,
+                                    const formats::Format& fmt) {
+  // One 256-entry finiteness table, then a linear scan — cheap enough to run
+  // on every hot-swap without perturbing serving latency.
+  bool finite[256];
+  for (int code = 0; code < 256; ++code)
+    finite[code] = std::isfinite(fmt.decode_value(static_cast<std::uint8_t>(code)));
+  std::uint64_t n = 0;
+  for (const QuantizedTensor& t : qm.tensors)
+    for (const std::uint8_t code : t.codes)
+      if (!finite[code]) ++n;
+  return n;
+}
+
 }  // namespace mersit::ptq

@@ -17,6 +17,7 @@
 // tables always serialize to identical bytes.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "formats/corruption.h"
 #include "formats/quantize.h"
 #include "nn/module.h"
+#include "ptq/ptq.h"  // CalibrationTable (held by value in ArtifactPair)
 
 namespace mersit::ptq {
 
@@ -84,5 +86,32 @@ void unpack_weights(nn::Module& model, const QuantizedModel& qm,
                     const formats::Format& fmt,
                     formats::CorruptionPolicy policy = formats::CorruptionPolicy::kPropagate,
                     formats::CorruptionStats* stats = nullptr);
+
+// ------------------------------------------------------- serving artifacts --
+
+/// The two artifacts a serving replica runs on: an MCT1 calibration table
+/// (activation scales) and an MQT1 weight container.  Always produced by
+/// load_artifact_pair, so holding one implies both streams parsed cleanly.
+struct ArtifactPair {
+  CalibrationTable table;
+  QuantizedModel weights;
+};
+
+/// Parse-and-validate seam for artifact hot-swap: read an MCT1 stream and
+/// an MQT1 stream through the hardened loaders and check that the weight
+/// container names `fmt`.  Either stream being truncated, corrupted, or
+/// random throws std::runtime_error before the caller touches any replica —
+/// the first gate of the serving engine's validate-then-swap contract.
+[[nodiscard]] ArtifactPair load_artifact_pair(std::istream& mct1,
+                                              std::istream& mqt1,
+                                              const formats::Format& fmt);
+
+/// Count the code words of `qm` that decode non-finite (NaR/Inf/NaN) under
+/// `fmt`.  Clean PTQ artifacts contain none (encode saturates), so a
+/// nonzero count is evidence of corruption in storage or transport; the
+/// serving engine rejects swaps whose non-finite fraction exceeds its
+/// configured bound instead of serving a poisoned model.
+[[nodiscard]] std::uint64_t count_nonfinite_codes(const QuantizedModel& qm,
+                                                  const formats::Format& fmt);
 
 }  // namespace mersit::ptq

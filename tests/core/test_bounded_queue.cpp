@@ -1,0 +1,125 @@
+// core::BoundedQueue — the serving admission/dispatch primitive.  Covers
+// the single-threaded contract (FIFO, capacity, close, remove_if) and an
+// MPMC stress that the TSan stage runs: every produced item must be
+// consumed exactly once with no loss, duplication, or race.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/bounded_queue.h"
+
+namespace mersit::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(BoundedQueue, FifoOrderAndCapacity) {
+  BoundedQueue<int> q(3);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_FALSE(q.try_push(4));  // full: admission sheds, never blocks
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_EQ(q.try_pop().value(), 2);
+  EXPECT_TRUE(q.try_push(4));  // slot freed
+  EXPECT_EQ(q.try_pop().value(), 3);
+  EXPECT_EQ(q.try_pop().value(), 4);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedQueue, PopWaitTimesOutOnEmpty) {
+  BoundedQueue<int> q(4);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_wait(10ms).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 9ms);
+}
+
+TEST(BoundedQueue, PopWaitWakesOnPush) {
+  BoundedQueue<int> q(4);
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(5ms);
+    ASSERT_TRUE(q.try_push(42));
+  });
+  const auto item = q.pop_wait(5s);
+  producer.join();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 42);
+}
+
+TEST(BoundedQueue, RemoveIfExtractsMatchesKeepsOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(q.try_push(std::move(i)));
+  const std::vector<int> evens = q.remove_if([](int v) { return v % 2 == 0; });
+  EXPECT_EQ(evens, (std::vector<int>{0, 2, 4, 6}));
+  EXPECT_EQ(q.size(), 4u);
+  for (const int expect : {1, 3, 5, 7}) EXPECT_EQ(q.try_pop().value(), expect);
+}
+
+TEST(BoundedQueue, CloseDrainsFailsPushesAndUnblocksPops) {
+  BoundedQueue<int> q(8);
+  ASSERT_TRUE(q.try_push(7));
+  ASSERT_TRUE(q.try_push(8));
+  const std::vector<int> drained = q.close_and_drain();
+  EXPECT_EQ(drained, (std::vector<int>{7, 8}));
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.try_push(9));
+  EXPECT_FALSE(q.pop_wait(1h).has_value());  // returns immediately: closed
+}
+
+TEST(BoundedQueue, CloseWakesParkedConsumer) {
+  BoundedQueue<int> q(4);
+  std::thread consumer([&q] { EXPECT_FALSE(q.pop_wait(30s).has_value()); });
+  std::this_thread::sleep_for(5ms);
+  (void)q.close_and_drain();
+  consumer.join();  // would hang (and trip the ctest timeout) without the wake
+}
+
+TEST(BoundedQueue, MpmcStressEveryItemConsumedExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  BoundedQueue<int> q(64);
+  std::atomic<int> consumed{0};
+  std::mutex seen_mu;
+  std::set<int> seen;
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      for (;;) {
+        auto item = q.pop_wait(50ms);
+        if (!item.has_value()) {
+          if (q.closed()) return;
+          continue;
+        }
+        consumed.fetch_add(1);
+        const std::lock_guard<std::mutex> lock(seen_mu);
+        EXPECT_TRUE(seen.insert(*item).second) << "duplicate " << *item;
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int v = p * kPerProducer + i;
+        while (!q.try_push(std::move(v))) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  while (consumed.load() < kProducers * kPerProducer)
+    std::this_thread::sleep_for(1ms);
+  (void)q.close_and_drain();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+}
+
+}  // namespace
+}  // namespace mersit::core

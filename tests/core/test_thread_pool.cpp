@@ -108,10 +108,27 @@ TEST(ThreadPool, DefaultThreadCountHonorsEnvOverride) {
   const std::string saved_copy = saved ? saved : "";
   setenv("MERSIT_THREADS", "3", 1);
   EXPECT_EQ(ThreadPool::default_thread_count(), 3);
-  setenv("MERSIT_THREADS", "not-a-number", 1);
-  EXPECT_GE(ThreadPool::default_thread_count(), 1);  // falls back to hw
-  setenv("MERSIT_THREADS", "0", 1);
+  // Unset and empty fall back to hardware concurrency.
+  unsetenv("MERSIT_THREADS");
   EXPECT_GE(ThreadPool::default_thread_count(), 1);
+  setenv("MERSIT_THREADS", "", 1);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1);
+  if (saved)
+    setenv("MERSIT_THREADS", saved_copy.c_str(), 1);
+  else
+    unsetenv("MERSIT_THREADS");
+}
+
+TEST(ThreadPool, MalformedEnvThrowsInsteadOfFallingBack) {
+  const char* saved = std::getenv("MERSIT_THREADS");
+  const std::string saved_copy = saved ? saved : "";
+  // Garbage, zero, negative, trailing junk, and out-of-range values were
+  // all silent fallbacks once; every one must now fail loudly.
+  for (const char* bad : {"not-a-number", "0", "-4", "8x", "3.5", "99999"}) {
+    setenv("MERSIT_THREADS", bad, 1);
+    EXPECT_THROW((void)ThreadPool::default_thread_count(), std::runtime_error)
+        << "MERSIT_THREADS=" << bad;
+  }
   if (saved)
     setenv("MERSIT_THREADS", saved_copy.c_str(), 1);
   else
