@@ -16,14 +16,27 @@
 // core::resize_global_pool) to demonstrate thread-count invariance of the
 // bit-exact modes and multi-thread scaling of the prepacked path.
 //
-// Extra flag: --json=PATH writes the per-model latency/speedup report
-// consumed by EXPERIMENTS.md ("Prepacked inference") and the committed
-// BENCH_inference.json.  MERSIT_BENCH_FAST=1 shrinks the batch and
-// image/sequence sizes; the output is labeled with the sizing mode.
+// A fifth column runs the code-domain quantized path (MERSIT_QGEMM=code):
+// weights stay 8-bit in memory (ptq::install_weight_codes) and the GEMM
+// pack step decodes them through the per-format LUT.  The decode is
+// bit-identical to quantize→dequantize, so the column is gated at max ULP 0
+// against an FP32 forward over the same fake-quantized weights, and the
+// report records the 4x weight-footprint reduction alongside the latency.
+// A one-shot Kulisch probe documents the exact-accumulator ULP contract by
+// measuring how far FP32 ascending-k accumulation drifts from the quire.
 //
-// Perf gate: on ResNet18-mini the prepacked path must be at least as fast as
-// packing per call (small measurement-noise allowance); a regression exits
-// nonzero.
+// Flags: --json=PATH writes the per-model latency/speedup report consumed
+// by EXPERIMENTS.md ("Prepacked inference", "Code-domain inference") and
+// the committed BENCH_inference.json.  MERSIT_BENCH_FAST=1 shrinks the
+// batch and image/sequence sizes; the output is labeled with the sizing
+// mode.  --check_json=PATH validates that a committed report carries every
+// field the current bench emits — the staleness guard CI runs so schema
+// growth cannot silently leave BENCH_inference.json behind.
+//
+// Perf gates: on ResNet18-mini the prepacked path must be at least as fast
+// as packing per call, and the code-domain path must not regress against
+// prepacked FP32 (both with a measurement-noise allowance); a regression
+// exits nonzero.
 #include <algorithm>
 #include <bit>
 #include <chrono>
@@ -31,14 +44,20 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <random>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "core/registry.h"
 #include "core/thread_pool.h"
 #include "nn/gemm/gemm.h"
+#include "nn/gemm/qgemm.h"
 #include "nn/models.h"
+#include "nn/qweights.h"
+#include "ptq/ptq.h"
 
 using namespace mersit;
 
@@ -51,6 +70,16 @@ constexpr float kFoldTol = 2e-3f;
 
 /// Allowance for timer noise in the prepacked >= packed-per-call gate.
 constexpr double kPerfSlack = 1.02;
+
+/// Allowance for the code-domain >= prepacked-FP32 gate.  Both paths serve
+/// steady-state forwards from the same prepacked-weight cache (the LUT
+/// decode happens once, in the warm-up pack), so they should tie — but the
+/// margin between two near-equal timings is all noise, hence the wider
+/// slack than kPerfSlack.
+constexpr double kCodeSlack = 1.10;
+
+/// Weight format for the code-domain column and the Kulisch probe.
+constexpr const char* kCodeFormat = "MERSIT(8,2)";
 
 /// ULP distance between two finite floats (monotone integer mapping).
 std::uint32_t ulp_distance(float a, float b) {
@@ -104,14 +133,21 @@ struct Row {
   double packed_ms = 0.0;    ///< GEMM engine, repacking weights every call
   double prepacked_ms = 0.0; ///< persistent prepack + fused epilogues
   double folded_ms = 0.0;    ///< + inference-only BN fold (MERSIT_FOLD_BN)
+  double code_ms = 0.0;      ///< 8-bit weight codes, decoded in the pack step
   std::uint32_t packed_ulp = 0;
   std::uint32_t prepacked_ulp = 0;
+  std::uint32_t code_ulp = 0;  ///< vs FP32 forward over fake-quantized weights
   float folded_diff = 0.f;
+  std::uint64_t weight_bytes_fp32 = 0;   ///< FP32 footprint of coded weights
+  std::uint64_t weight_bytes_codes = 0;  ///< codes + per-channel scales
   [[nodiscard]] double speedup_vs_naive() const {
     return prepacked_ms > 0.0 ? naive_ms / prepacked_ms : 0.0;
   }
   [[nodiscard]] double speedup_vs_packed() const {
     return prepacked_ms > 0.0 ? packed_ms / prepacked_ms : 0.0;
+  }
+  [[nodiscard]] double speedup_code_vs_prepacked() const {
+    return code_ms > 0.0 ? prepacked_ms / code_ms : 0.0;
   }
   [[nodiscard]] double img_per_s() const {
     return prepacked_ms > 0.0 ? 1e3 * batch / prepacked_ms : 0.0;
@@ -143,7 +179,91 @@ Row measure(const std::string& name, nn::Module& model, const nn::Tensor& x,
   row.folded_diff = max_abs_diff(ref, model.forward(x, ctx));
   row.folded_ms = time_forward_ms(model, x, reps);
   nn::gemm::set_fold_bn_enabled(false);
+
+  // Code domain: the bit-identity reference is an FP32 forward over the
+  // *fake-quantized* weights (quantize→dequantize in place, then restore);
+  // install_weight_codes leaves the FP32 weights untouched and encodes the
+  // same values, so the code-mode forward must reproduce that reference to
+  // the last bit.
+  const auto fmt = core::make_format(kCodeFormat);
+  const auto snap = ptq::snapshot_weights(model);
+  ptq::quantize_weights_per_channel(model, *fmt,
+                                    formats::ScalePolicy::kMaxToUnity);
+  const auto prev_mode =
+      nn::gemm::set_qgemm_mode(nn::gemm::QgemmMode::kFloat);
+  const nn::Tensor ref_q = model.forward(x, ctx);
+  ptq::restore_weights(model, snap);
+
+  ptq::install_weight_codes(model, *fmt, formats::ScalePolicy::kMaxToUnity);
+  nn::gemm::set_qgemm_mode(nn::gemm::QgemmMode::kCode);
+  row.code_ulp = max_ulp(ref_q, model.forward(x, ctx));
+  row.code_ms = time_forward_ms(model, x, reps);
+  for (nn::Module* m : model.modules()) {
+    auto* cw = dynamic_cast<nn::ChannelWeights*>(m);
+    if (cw == nullptr) continue;
+    if (const auto wc = cw->weight_codes()) {
+      row.weight_bytes_fp32 += wc->codes.size() * sizeof(float);
+      row.weight_bytes_codes +=
+          wc->codes.size() + wc->scales.size() * sizeof(double);
+    }
+  }
+  ptq::clear_weight_codes(model);
+  nn::gemm::set_qgemm_mode(prev_mode);
   return row;
+}
+
+/// One-shot Kulisch-accumulator probe on a synthetic code-domain GEMM:
+/// decode the same codes into FP32 and accumulate ascending-k (what the
+/// float microkernel does), then run qgemm_kulisch over the codes, and
+/// report the max ULP distance between the two.  Per the ULP contract the
+/// quire result carries a fixed K-independent number of roundings, so this
+/// measures how far FP32's K data-dependent roundings drift from exact.
+struct KulischProbe {
+  bool usable = false;
+  int m = 0, k = 0, n = 0;
+  std::uint32_t fp32_max_ulp_vs_exact = 0;
+};
+
+KulischProbe kulisch_probe() {
+  KulischProbe probe;
+  const auto fmt = core::make_format(kCodeFormat);
+  double lut[256];
+  std::vector<std::uint8_t> finite;
+  for (int c = 0; c < 256; ++c) {
+    lut[c] = fmt->decode_value(static_cast<std::uint8_t>(c));
+    if (std::isfinite(lut[c])) finite.push_back(static_cast<std::uint8_t>(c));
+  }
+  const nn::gemm::KulischTable tab = nn::gemm::build_kulisch_table(lut);
+  probe.usable = tab.usable;
+  if (!tab.usable) return probe;
+
+  constexpr int M = 8, K = 256, N = 16;
+  probe.m = M, probe.k = K, probe.n = N;
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<std::size_t> pick(0, finite.size() - 1);
+  std::vector<std::uint8_t> ac(M * K), bc(K * N);
+  for (auto& c : ac) c = finite[pick(rng)];
+  for (auto& c : bc) c = finite[pick(rng)];
+  const double sa = 0.375;
+  std::vector<double> sb(N);
+  for (int n = 0; n < N; ++n) sb[n] = 0.25 * (n % 5 + 1);
+
+  const nn::gemm::QOperand a{ac.data(), K, false, nullptr, sa};
+  const nn::gemm::QOperand b{bc.data(), N, false, sb.data(), 0.0};
+  std::vector<float> exact(M * N);
+  nn::gemm::qgemm_kulisch(M, N, K, a, b, tab, nn::gemm::Init::kZero, nullptr,
+                          exact.data(), N);
+
+  for (int m = 0; m < M; ++m)
+    for (int n = 0; n < N; ++n) {
+      float acc = 0.f;
+      for (int k = 0; k < K; ++k)
+        acc += static_cast<float>(lut[ac[m * K + k]] * sa) *
+               static_cast<float>(lut[bc[k * N + n]] * sb[n]);
+      probe.fp32_max_ulp_vs_exact = std::max(
+          probe.fp32_max_ulp_vs_exact, ulp_distance(acc, exact[m * N + n]));
+    }
+  return probe;
 }
 
 /// Geomean of the prepacked-over-packed speedup across the vision rows.
@@ -166,21 +286,25 @@ struct RunReport {
 
 void print_run(const RunReport& run) {
   std::printf("\n--- %d worker thread(s) ---\n", run.threads);
-  std::printf("%-22s %6s %10s %10s %11s %10s %8s %8s %7s %7s\n", "model",
-              "batch", "naive ms", "packed ms", "prepack ms", "folded ms",
-              "vs naive", "vs pack", "ULP pk", "ULP pp");
-  bench::print_rule(110);
+  std::printf("%-22s %6s %10s %10s %11s %10s %8s %8s %8s %7s %7s %7s %7s\n",
+              "model", "batch", "naive ms", "packed ms", "prepack ms",
+              "folded ms", "code ms", "vs naive", "vs pack", "ULP pk",
+              "ULP pp", "ULP cd", "w MB");
+  bench::print_rule(134);
   for (const Row& r : run.rows)
-    std::printf("%-22s %6d %10.3f %10.3f %11.3f %10.3f %7.2fx %7.2fx %7u %7u\n",
+    std::printf("%-22s %6d %10.3f %10.3f %11.3f %10.3f %8.3f %7.2fx %7.2fx "
+                "%7u %7u %7u %7.2f\n",
                 r.model.c_str(), r.batch, r.naive_ms, r.packed_ms,
-                r.prepacked_ms, r.folded_ms, r.speedup_vs_naive(),
-                r.speedup_vs_packed(), r.packed_ulp, r.prepacked_ulp);
+                r.prepacked_ms, r.folded_ms, r.code_ms, r.speedup_vs_naive(),
+                r.speedup_vs_packed(), r.packed_ulp, r.prepacked_ulp,
+                r.code_ulp,
+                static_cast<double>(r.weight_bytes_codes) / (1024.0 * 1024.0));
   std::printf("vision-zoo geomean (prepacked+fused over packed-per-call): "
               "%.2fx\n", run.geomean);
 }
 
 int write_json(const char* path, const bench::Sizes& sizes,
-               const std::vector<RunReport>& runs) {
+               const std::vector<RunReport>& runs, const KulischProbe& kp) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_inference: cannot open %s\n", path);
@@ -188,6 +312,12 @@ int write_json(const char* path, const bench::Sizes& sizes,
   }
   std::fprintf(f, "{\n  \"bench\": \"bench_inference/forward\",\n");
   std::fprintf(f, "  \"mode\": \"%s\",\n", sizes.mode());
+  std::fprintf(f, "  \"qgemm_format\": \"%s\",\n", kCodeFormat);
+  std::fprintf(f,
+               "  \"kulisch_probe\": {\"usable\": %s, \"m\": %d, \"k\": %d, "
+               "\"n\": %d, \"fp32_max_ulp_vs_exact\": %u},\n",
+               kp.usable ? "true" : "false", kp.m, kp.k, kp.n,
+               kp.fp32_max_ulp_vs_exact);
   std::fprintf(f, "  \"img\": %d,\n  \"seq\": %d,\n  \"runs\": [\n", sizes.img,
                sizes.seq);
   for (std::size_t k = 0; k < runs.size(); ++k) {
@@ -202,12 +332,19 @@ int write_json(const char* path, const bench::Sizes& sizes,
           f,
           "      {\"model\": \"%s\", \"batch\": %d, \"naive_ms\": %.3f, "
           "\"packed_ms\": %.3f, \"prepacked_ms\": %.3f, \"folded_ms\": %.3f, "
+          "\"code_ms\": %.3f, "
           "\"speedup_vs_naive\": %.2f, \"speedup_vs_packed\": %.2f, "
+          "\"speedup_code_vs_prepacked\": %.2f, "
           "\"prepacked_img_per_s\": %.1f, \"packed_ulp\": %u, "
-          "\"prepacked_ulp\": %u, \"folded_max_abs_diff\": %.2e}%s\n",
+          "\"prepacked_ulp\": %u, \"code_ulp\": %u, "
+          "\"weight_bytes_fp32\": %llu, \"weight_bytes_codes\": %llu, "
+          "\"folded_max_abs_diff\": %.2e}%s\n",
           r.model.c_str(), r.batch, r.naive_ms, r.packed_ms, r.prepacked_ms,
-          r.folded_ms, r.speedup_vs_naive(), r.speedup_vs_packed(),
-          r.img_per_s(), r.packed_ulp, r.prepacked_ulp,
+          r.folded_ms, r.code_ms, r.speedup_vs_naive(), r.speedup_vs_packed(),
+          r.speedup_code_vs_prepacked(), r.img_per_s(), r.packed_ulp,
+          r.prepacked_ulp, r.code_ulp,
+          static_cast<unsigned long long>(r.weight_bytes_fp32),
+          static_cast<unsigned long long>(r.weight_bytes_codes),
           static_cast<double>(r.folded_diff),
           i + 1 < run.rows.size() ? "," : "");
     }
@@ -218,6 +355,53 @@ int write_json(const char* path, const bench::Sizes& sizes,
   return 0;
 }
 
+/// Staleness guard for the committed BENCH_inference.json: every field the
+/// current bench emits must appear in the file, so adding a column (like
+/// the code-domain set) forces the report to be regenerated instead of
+/// silently drifting from the schema EXPERIMENTS.md describes.
+int check_json(const char* path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    std::fprintf(stderr, "bench_inference: cannot read %s\n", path);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string s = buf.str();
+  const char* required[] = {
+      "\"bench\": \"bench_inference/forward\"",
+      "\"mode\"",
+      "\"qgemm_format\"",
+      "\"kulisch_probe\"",
+      "\"fp32_max_ulp_vs_exact\"",
+      "\"zoo_geomean_prepack_vs_packed\"",
+      "\"naive_ms\"",
+      "\"packed_ms\"",
+      "\"prepacked_ms\"",
+      "\"folded_ms\"",
+      "\"code_ms\"",
+      "\"speedup_vs_naive\"",
+      "\"speedup_vs_packed\"",
+      "\"speedup_code_vs_prepacked\"",
+      "\"prepacked_img_per_s\"",
+      "\"packed_ulp\"",
+      "\"prepacked_ulp\"",
+      "\"code_ulp\"",
+      "\"weight_bytes_fp32\"",
+      "\"weight_bytes_codes\"",
+      "\"folded_max_abs_diff\"",
+  };
+  int missing = 0;
+  for (const char* key : required)
+    if (s.find(key) == std::string::npos) {
+      std::fprintf(stderr, "bench_inference: %s is stale: missing %s\n", path,
+                   key);
+      ++missing;
+    }
+  if (missing == 0) std::printf("%s matches the current schema\n", path);
+  return missing == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -225,8 +409,11 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--check_json=", 13) == 0) {
+      return check_json(argv[i] + 13);
     } else {
-      std::fprintf(stderr, "usage: %s [--json=PATH]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--json=PATH] [--check_json=PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -263,19 +450,34 @@ int main(int argc, char** argv) {
     runs.push_back(std::move(run));
   }
 
+  const KulischProbe kp = kulisch_probe();
+  std::printf("\nkulisch probe (%s, %dx%dx%d): usable=%s, FP32 drift vs "
+              "exact quire = %u ULP\n",
+              kCodeFormat, kp.m, kp.k, kp.n, kp.usable ? "yes" : "no",
+              kp.fp32_max_ulp_vs_exact);
+
   if (json_path != nullptr) {
-    const int rc = write_json(json_path, sizes, runs);
+    const int rc = write_json(json_path, sizes, runs, kp);
     if (rc != 0) return rc;
     std::printf("\nwrote %s\n", json_path);
   }
 
   // Gates (all must hold in every pool-width run):
   //  * bit-exactness — the packed and prepacked paths must reproduce the
-  //    naive outputs to the last bit (max ULP 0);
+  //    naive outputs to the last bit (max ULP 0), and the code-domain path
+  //    must reproduce the fake-quantized FP32 forward to the last bit;
   //  * BN fold stays within the numeric tolerance;
   //  * perf — on ResNet18-mini the persistent prepack must not lose to
-  //    packing per call (CI perf-smoke regression gate).
+  //    packing per call, and the code-domain path must not lose to
+  //    prepacked FP32 (CI perf-smoke regression gates);
+  //  * the Kulisch probe must find a usable table for the code format.
   int bad = 0;
+  if (!kp.usable) {
+    std::fprintf(stderr,
+                 "bench_inference: no usable Kulisch table for %s\n",
+                 kCodeFormat);
+    ++bad;
+  }
   for (const RunReport& run : runs) {
     for (const Row& r : run.rows) {
       if (r.packed_ulp > 0 || r.prepacked_ulp > 0) {
@@ -295,12 +497,28 @@ int main(int argc, char** argv) {
                      static_cast<double>(kFoldTol));
         ++bad;
       }
+      if (r.code_ulp > 0) {
+        std::fprintf(stderr,
+                     "bench_inference: %s code-domain forward diverges from "
+                     "the fake-quantized FP32 path at %d thread(s) "
+                     "(max ULP %u; must be 0)\n",
+                     r.model.c_str(), run.threads, r.code_ulp);
+        ++bad;
+      }
       if (r.model == "ResNet18-mini" &&
           r.prepacked_ms > r.packed_ms * kPerfSlack) {
         std::fprintf(stderr,
                      "bench_inference: prepacked slower than packed-per-call "
                      "on %s at %d thread(s) (%.3f ms vs %.3f ms)\n",
                      r.model.c_str(), run.threads, r.prepacked_ms, r.packed_ms);
+        ++bad;
+      }
+      if (r.model == "ResNet18-mini" &&
+          r.code_ms > r.prepacked_ms * kCodeSlack) {
+        std::fprintf(stderr,
+                     "bench_inference: code-domain slower than prepacked "
+                     "FP32 on %s at %d thread(s) (%.3f ms vs %.3f ms)\n",
+                     r.model.c_str(), run.threads, r.code_ms, r.prepacked_ms);
         ++bad;
       }
     }

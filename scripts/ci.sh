@@ -34,14 +34,21 @@ run_suite() {
 
 run_suite build
 
-# Perf smoke: the Release bench runs every model through all four modes
-# (naive / packed-per-call / prepacked+fused / folded-BN) and enforces its
-# gates internally, exiting nonzero when any fails:
+# Perf smoke: the Release bench runs every model through all five modes
+# (naive / packed-per-call / prepacked+fused / folded-BN / code-domain
+# MERSIT_QGEMM=code) and enforces its gates internally, exiting nonzero
+# when any fails:
 #  * ULP > 0 for a non-folded GEMM mode (the bit-identity contract),
+#  * ULP > 0 for the code-domain forward vs the fake-quantized FP32 path,
 #  * folded-BN divergence beyond its documented tolerance,
-#  * prepacked+fused slower than packed-per-call on ResNet18-mini.
+#  * prepacked+fused slower than packed-per-call on ResNet18-mini,
+#  * code-domain slower than prepacked FP32 on ResNet18-mini,
+#  * no usable Kulisch table for the code format.
+# The --check_json pass guards the committed BENCH_inference.json against
+# schema drift, same as the serving report below.
 echo "==> perf smoke (bench_inference, fast sizing)"
 MERSIT_BENCH_FAST=1 ./build/bench/bench_inference --json=build/BENCH_inference.json
+./build/bench/bench_inference --check_json=BENCH_inference.json
 
 # Serving smoke: bench_serving drives the engine through saturation, 2x
 # overload, hot-swap under live traffic, and a fault campaign fired through
@@ -62,16 +69,17 @@ run_suite build-sanitize -DMERSIT_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 # TSan run of the training-heavy tests would dominate CI time).  Selection is
 # by ctest label, not name regex: tests/CMakeLists.txt labels the dedicated
 # test_concurrency executable (codec lazy init, kernel cache, thread pool,
-# GEMM, prepack/arena, parallel PTQ) and test_serve (engine admission /
-# watchdog / drain races, hot-swap under load) with `concurrency`, so new
-# suites join the stage by adding a source there instead of editing a
-# pattern here.
+# GEMM, prepack/arena, parallel PTQ), test_qgemm (code-domain packs riding
+# the pool fan-out, identity-keyed pack cache, Kulisch accumulator), and
+# test_serve (engine admission / watchdog / drain races, hot-swap under
+# load) with `concurrency`, so new suites join the stage by adding a source
+# there instead of editing a pattern here.
 # Force a multi-thread pool so parallel paths actually interleave on 1-core
 # runners.
 echo "==> configure build-tsan (MERSIT_SANITIZE=thread)"
 cmake -B build-tsan -S . "${CACHE_ARGS[@]}" -DMERSIT_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 echo "==> build build-tsan"
-cmake --build build-tsan -j "${JOBS}" --target test_concurrency test_serve
+cmake --build build-tsan -j "${JOBS}" --target test_concurrency test_qgemm test_serve
 echo "==> ctest build-tsan (-L concurrency)"
 MERSIT_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
   -L concurrency

@@ -88,6 +88,57 @@ void pack_b(const float* b, int ldb, bool trans, int k0, int kc, int n0, int nc,
   }
 }
 
+// Code-domain element access: decode float(lut[code] * scale) at the point
+// the pack reads the element.  The expression must stay textually identical
+// to decode_codes — one double multiply, one float cast — so code-domain
+// packs are byte-identical to float packs of the eagerly decoded matrix.
+inline float qa_elem(const std::uint8_t* a, int lda, bool trans,
+                     const double* lut, const double* scales, int m, int k) {
+  const std::uint8_t code = trans ? a[static_cast<std::size_t>(k) * lda + m]
+                                  : a[static_cast<std::size_t>(m) * lda + k];
+  return static_cast<float>(lut[code] * scales[m]);
+}
+
+inline float qb_elem(const std::uint8_t* b, int ldb, bool trans,
+                     const double* lut, const double* scales, int k, int n) {
+  const std::uint8_t code = trans ? b[static_cast<std::size_t>(n) * ldb + k]
+                                  : b[static_cast<std::size_t>(k) * ldb + n];
+  return static_cast<float>(lut[code] * scales[n]);
+}
+
+/// pack_a over codes: same panel layout and zero padding as pack_a, with the
+/// LUT decode inlined into the element read.
+void pack_a_codes_block(const std::uint8_t* a, int lda, bool trans,
+                        const double* lut, const double* scales, int m0, int mc,
+                        int k0, int kc, float* dst) {
+  for (int ip = 0; ip < mc; ip += kMR) {
+    const int mr = std::min(kMR, mc - ip);
+    for (int k = 0; k < kc; ++k) {
+      for (int m = 0; m < mr; ++m)
+        dst[k * kMR + m] =
+            qa_elem(a, lda, trans, lut, scales, m0 + ip + m, k0 + k);
+      for (int m = mr; m < kMR; ++m) dst[k * kMR + m] = 0.f;
+    }
+    dst += static_cast<std::size_t>(kc) * kMR;
+  }
+}
+
+/// pack_b over codes, mirroring pack_b the same way.
+void pack_b_codes_block(const std::uint8_t* b, int ldb, bool trans,
+                        const double* lut, const double* scales, int k0, int kc,
+                        int n0, int nc, float* dst) {
+  for (int jp = 0; jp < nc; jp += kNR) {
+    const int nr = std::min(kNR, nc - jp);
+    for (int k = 0; k < kc; ++k) {
+      for (int n = 0; n < nr; ++n)
+        dst[k * kNR + n] =
+            qb_elem(b, ldb, trans, lut, scales, k0 + k, n0 + jp + n);
+      for (int n = nr; n < kNR; ++n) dst[k * kNR + n] = 0.f;
+    }
+    dst += static_cast<std::size_t>(kc) * kNR;
+  }
+}
+
 /// Row write-back of completed sums with the epilogue switch hoisted out of
 /// the element loop: each case instantiates epilogue_eval with a constant
 /// kind, so the per-element switch folds away and the clamp-style cases
@@ -426,6 +477,92 @@ PackedMatrix pack_b_matrix(int K, int N, const float* B, int ldb, bool trans_b) 
     }
   }
   return p;
+}
+
+PackedMatrix pack_a_codes(int M, int K, const std::uint8_t* A, int lda,
+                          bool trans_a, const double* lut,
+                          const double* scales) {
+  if (M < 0 || K < 0) throw std::invalid_argument("pack_a_codes: negative dim");
+  PackedMatrix p;
+  p.is_a = true;
+  p.other = M;
+  p.k = K;
+  if (M == 0 || K == 0) return p;
+  const int oblocks = (M + kMC - 1) / kMC;
+  const int kblocks = (K + kKC - 1) / kKC;
+  p.block_off.resize(static_cast<std::size_t>(oblocks) * kblocks);
+  std::size_t total = 0;
+  for (int ob = 0; ob < oblocks; ++ob) {
+    const int mc = std::min(kMC, M - ob * kMC);
+    const int mpanels = (mc + kMR - 1) / kMR;
+    for (int kb = 0; kb < kblocks; ++kb) {
+      const int kc = std::min(kKC, K - kb * kKC);
+      p.block_off[static_cast<std::size_t>(ob) * kblocks + kb] = total;
+      total += static_cast<std::size_t>(mpanels) * kMR * kc;
+    }
+  }
+  p.data.resize(total);
+  for (int ob = 0; ob < oblocks; ++ob) {
+    const int m0 = ob * kMC;
+    const int mc = std::min(kMC, M - m0);
+    for (int kb = 0; kb < kblocks; ++kb) {
+      const int k0 = kb * kKC;
+      const int kc = std::min(kKC, K - k0);
+      pack_a_codes_block(
+          A, lda, trans_a, lut, scales, m0, mc, k0, kc,
+          p.data.data() + p.block_off[static_cast<std::size_t>(ob) * kblocks + kb]);
+    }
+  }
+  return p;
+}
+
+PackedMatrix pack_b_codes(int K, int N, const std::uint8_t* B, int ldb,
+                          bool trans_b, const double* lut,
+                          const double* scales) {
+  if (K < 0 || N < 0) throw std::invalid_argument("pack_b_codes: negative dim");
+  PackedMatrix p;
+  p.is_a = false;
+  p.other = N;
+  p.k = K;
+  if (N == 0 || K == 0) return p;
+  const int oblocks = (N + kNC - 1) / kNC;
+  const int kblocks = (K + kKC - 1) / kKC;
+  p.block_off.resize(static_cast<std::size_t>(oblocks) * kblocks);
+  std::size_t total = 0;
+  for (int ob = 0; ob < oblocks; ++ob) {
+    const int nc = std::min(kNC, N - ob * kNC);
+    const int npanels = (nc + kNR - 1) / kNR;
+    for (int kb = 0; kb < kblocks; ++kb) {
+      const int kc = std::min(kKC, K - kb * kKC);
+      p.block_off[static_cast<std::size_t>(ob) * kblocks + kb] = total;
+      total += static_cast<std::size_t>(npanels) * kNR * kc;
+    }
+  }
+  p.data.resize(total);
+  for (int ob = 0; ob < oblocks; ++ob) {
+    const int n0 = ob * kNC;
+    const int nc = std::min(kNC, N - n0);
+    for (int kb = 0; kb < kblocks; ++kb) {
+      const int k0 = kb * kKC;
+      const int kc = std::min(kKC, K - k0);
+      pack_b_codes_block(
+          B, ldb, trans_b, lut, scales, k0, kc, n0, nc,
+          p.data.data() + p.block_off[static_cast<std::size_t>(ob) * kblocks + kb]);
+    }
+  }
+  return p;
+}
+
+void decode_codes(const std::uint8_t* codes, std::size_t n, const double* lut,
+                  const double* scales, std::size_t per_channel, float* out) {
+  if (per_channel == 0) throw std::invalid_argument("decode_codes: empty channel");
+  for (std::size_t c = 0; c * per_channel < n; ++c) {
+    const double scale = scales[c];
+    const std::size_t lo = c * per_channel;
+    const std::size_t hi = std::min(n, lo + per_channel);
+    for (std::size_t i = lo; i < hi; ++i)
+      out[i] = static_cast<float>(lut[codes[i]] * scale);
+  }
 }
 
 void sgemm(int M, int N, int K, const float* A, int lda, bool trans_a,

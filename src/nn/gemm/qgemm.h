@@ -1,0 +1,103 @@
+// Code-domain quantized GEMM modes and the exact Kulisch-style accumulator.
+//
+// Once a layer carries 8-bit weight codes (nn::WeightCodes, installed by the
+// PTQ layer or from an MQT1 artifact), inference can run in one of three
+// modes, selected by MERSIT_QGEMM:
+//
+//  * float   — ignore the codes; layers keep using their FP32 weights
+//              (the pre-code-domain behaviour, for A/B comparisons).
+//  * code    — the default.  Weights stay 8-bit in memory; the GEMM pack
+//              step decodes float(lut[code] * scale) per element
+//              (gemm::pack_a_codes / pack_b_codes), cutting weight-side
+//              bandwidth ~4x.  Decoded values are bit-identical to the
+//              quantize→dequantize FP32 path, so layer outputs are
+//              bit-identical too.
+//  * kulisch — opt-in exact-accumulation study mode mirroring the paper's
+//              §1.4 Kulisch MAC: both operands are 8-bit codes, every
+//              product is formed exactly as a dyadic rational
+//              (mant_a·mant_b, 2^(exp_a+exp_b)) and summed into a wide
+//              fixed-point quire with no intermediate rounding.
+//
+// Kulisch ULP contract: each output element is computed as
+//   float( double(bias) + quire · (scale_a · scale_b) )
+// where `quire` is the *exactly rounded* double of the full k-summation of
+// the integer products.  The only roundings are (1) quire → double (exactly
+// rounded, ≤ 0.5 ulp), (2) the double scale product, (3) the final fused
+// multiply/add chain and float cast — a fixed, K-independent number of
+// roundings.  FP32 ascending-k accumulation performs K data-dependent
+// roundings instead, so the Kulisch result is the reference the FP32 mode
+// drifts from, not vice versa.  This mode trades throughput for exactness
+// (a software 512-bit quire per output element); it is a numerics
+// instrument, not a fast path.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/gemm/gemm.h"
+
+namespace mersit::nn::gemm {
+
+/// Weight-path execution mode for layers that carry 8-bit codes.
+enum class QgemmMode {
+  kFloat,    ///< MERSIT_QGEMM=float — ignore codes, use FP32 weights
+  kCode,     ///< MERSIT_QGEMM=code (default) — decode in the pack step
+  kKulisch,  ///< MERSIT_QGEMM=kulisch — exact fixed-point accumulation
+};
+
+/// Current mode; first call parses MERSIT_QGEMM (strict: any value other
+/// than float/code/kulisch throws, consistent with core/env.h).
+[[nodiscard]] QgemmMode qgemm_mode();
+
+/// Programmatic override (tests, benches); returns the previous mode.
+QgemmMode set_qgemm_mode(QgemmMode mode);
+
+/// Per-code exact dyadic decomposition of a 256-entry decode LUT:
+/// lut[c] == mant[c] · 2^exp[c] exactly, with mant odd (or 0) and
+/// |mant| < 2^30.  Non-finite LUT entries get mant = 0 — callers must
+/// guarantee such codes never reach the accumulator (the layer plumbing
+/// gates Kulisch on a zero non-finite-code count).
+struct KulischTable {
+  std::int64_t mant[256] = {};
+  int exp[256] = {};
+  /// Quire LSB exponent: 2·min finite exponent, so every product shift is
+  /// a non-negative int.
+  int base = 0;
+  /// False when a finite entry is not exactly representable in the scheme
+  /// or the format's dynamic range exceeds the quire — Kulisch mode then
+  /// falls back to code mode for layers using this table.
+  bool usable = false;
+};
+
+/// Build the table from a decode LUT.  Verifies each decomposition by exact
+/// reconstruction and checks the quire range budget; failures clear
+/// `usable` instead of throwing (Kulisch is opt-in, fallback is silent).
+[[nodiscard]] KulischTable build_kulisch_table(const double* lut);
+
+/// One code-domain GEMM operand: an 8-bit code matrix plus its scales.
+/// op(A) element (m,k) is codes[m*ld + k] (codes[k*ld + m] when trans);
+/// op(B) element (k,n) is codes[k*ld + n] (codes[n*ld + k] when trans).
+/// `channel_scales`, when non-null, holds one scale per logical row of
+/// op(A) / per logical column of op(B) (output channels); otherwise
+/// `uniform_scale` applies to every element (quantized activations).
+struct QOperand {
+  const std::uint8_t* codes = nullptr;
+  int ld = 0;
+  bool trans = false;
+  const double* channel_scales = nullptr;
+  double uniform_scale = 1.0;
+};
+
+/// C (M x N, row-major, ldc) = epi(init + exact(op(A)·op(B)) · scales),
+/// with the k-summation of each element performed exactly in a software
+/// quire (see the ULP contract above).  Both operands must decode through
+/// the same registered-format LUT family as `tab` (weights and activations
+/// may use different tables only if their LUTs coincide — the layer
+/// plumbing passes the weight table and re-encodes activations through the
+/// same format, so they do).  Init::kAccumulate is rejected: the exact sum
+/// cannot continue a rounded partial.  Runs the M·N element grid serially
+/// per call; callers parallelize over samples.
+void qgemm_kulisch(int M, int N, int K, const QOperand& a, const QOperand& b,
+                   const KulischTable& tab, Init init, const float* bias,
+                   float* c, int ldc, Epilogue epi = Epilogue::kNone);
+
+}  // namespace mersit::nn::gemm

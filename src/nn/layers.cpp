@@ -1,6 +1,7 @@
 #include "nn/layers.h"
 
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
@@ -8,6 +9,8 @@
 #include "core/thread_pool.h"
 #include "nn/gemm/gemm.h"
 #include "nn/gemm/im2col.h"
+#include "nn/gemm/qgemm.h"
+#include "nn/qweights.h"
 
 namespace mersit::nn {
 
@@ -21,6 +24,46 @@ float sigmoidf(float x) { return 1.f / (1.f + std::exp(-x)); }
 /// every step) opts out.
 bool use_prepack(const Context& ctx) {
   return gemm::prepack_enabled() && !ctx.train;
+}
+
+/// The installed code-domain weights, when the layer should run from them:
+/// inference only and MERSIT_QGEMM != float.  The snapshot is taken once
+/// per forward; everything derived (decoded floats, packs, the cache
+/// identity) comes from this one instance, so a concurrent swap can only
+/// yield a fully-old or fully-new view, never a mix.
+std::shared_ptr<const WeightCodes> active_codes(const ChannelWeights& cw,
+                                                const Context& ctx) {
+  if (ctx.train || gemm::qgemm_mode() == gemm::QgemmMode::kFloat)
+    return nullptr;
+  return cw.weight_codes();
+}
+
+void check_codes(const WeightCodes& wc, int channels, int per_channel,
+                 const char* who) {
+  if (wc.channels != channels || wc.per_channel != per_channel ||
+      wc.codes.size() != static_cast<std::size_t>(channels) * per_channel ||
+      wc.scales.size() != static_cast<std::size_t>(channels))
+    throw std::invalid_argument(std::string(who) +
+                                ": weight codes do not match the layer shape");
+}
+
+/// Cache identity of a code-domain entry: the process-unique WeightCodes id
+/// shifted past a want-packs bit, so toggling MERSIT_PREPACK rebuilds the
+/// entry with/without panels instead of serving a packless one forever.
+/// Never collides with the float path's identity 0 (ids start at 1).
+std::uint64_t codes_identity(const WeightCodes& wc, bool want_packs) {
+  return (wc.id << 1) | static_cast<std::uint64_t>(want_packs);
+}
+
+/// Kulisch eligibility for one forward: opt-in mode, exact table available,
+/// an encode hook to recover activation codes, a stamped activation scale,
+/// and no non-finite weight codes (their products are undefined in fixed
+/// point).  Anything missing falls back to code mode, which is
+/// bit-identical to the FP32 default anyway.
+bool kulisch_ok(const WeightCodes& wc, const Tensor& x) {
+  return gemm::qgemm_mode() == gemm::QgemmMode::kKulisch &&
+         wc.kulisch != nullptr && wc.kulisch->usable && wc.encode != nullptr &&
+         wc.nonfinite == 0 && x.quant_scale() > 0.0 && gemm::enabled();
 }
 
 /// The fused-epilogue equivalent of an Act kind, or kNone when the kind has
@@ -69,17 +112,19 @@ Tensor Linear::forward_fused(const Tensor& x, const Context& ctx,
                              gemm::Epilogue epi) {
   const int n = x.dim(0);
   if (x.dim(1) != in_) throw std::invalid_argument("Linear: width mismatch");
+  if (const auto wc = active_codes(*this, ctx); wc != nullptr)
+    return forward_codes(x, ctx, wc, epi);
   Tensor y({n, out_});
   if (gemm::enabled()) {
     const gemm::PackedMatrix* pb = nullptr;
     if (use_prepack(ctx)) {
-      const std::vector<gemm::PackedMatrix>& cached = packs_.get(weight, [&] {
-        std::vector<gemm::PackedMatrix> v;
-        v.push_back(gemm::pack_b_matrix(in_, out_, weight.value.raw(), in_,
-                                        /*trans_b=*/true));
-        return v;
+      const PackedWeights& cached = packs_.get(weight, 0, [&] {
+        PackedWeights pw;
+        pw.packs.push_back(gemm::pack_b_matrix(in_, out_, weight.value.raw(),
+                                               in_, /*trans_b=*/true));
+        return pw;
       });
-      pb = cached.data();
+      pb = cached.packs.data();
     }
     // y = x · Wᵀ + b; bias-first then ascending-k accumulation matches the
     // naive loop's rounding sequence exactly.
@@ -99,6 +144,70 @@ Tensor Linear::forward_fused(const Tensor& x, const Context& ctx,
     }
   }
   if (ctx.train) x_cache_ = x;
+  return y;
+}
+
+Tensor Linear::forward_codes(const Tensor& x, const Context& ctx,
+                             const std::shared_ptr<const WeightCodes>& wc,
+                             gemm::Epilogue epi) {
+  const int n = x.dim(0);
+  check_codes(*wc, out_, in_, "Linear");
+  if (kulisch_ok(*wc, x)) {
+    // Exact path: recover the activation codes by re-encoding the already
+    // fake-quantized values at their stamped scale (encode(v / scale) is
+    // idempotent on decoded values), then run weight codes × activation
+    // codes through the software quire.
+    const double xscale = x.quant_scale();
+    const double xinv = 1.0 / xscale;
+    std::vector<std::uint8_t> xcodes(static_cast<std::size_t>(n) * in_);
+    const float* xd = x.raw();
+    for (std::size_t i = 0; i < xcodes.size(); ++i)
+      xcodes[i] = wc->encode(static_cast<double>(xd[i]) * xinv);
+    Tensor y({n, out_});
+    const gemm::QOperand a{xcodes.data(), in_, /*trans=*/false, nullptr, xscale};
+    const gemm::QOperand b{wc->codes.data(), in_, /*trans=*/true,
+                           wc->scales.data(), 0.0};
+    gemm::qgemm_kulisch(n, out_, in_, a, b, *wc->kulisch,
+                        gemm::Init::kBiasCol, bias.value.raw(), y.raw(), out_,
+                        epi);
+    return y;
+  }
+  // Code mode: the GEMM operand is packed straight from the codes; the
+  // decoded FP32 array serves the paths that read raw float pointers and is
+  // bit-identical to the quantize→dequantize weights, so outputs match the
+  // float-path quantized forward exactly.
+  const bool want_packs = gemm::enabled() && use_prepack(ctx);
+  const PackedWeights& cached =
+      packs_.get(weight, codes_identity(*wc, want_packs), [&] {
+        PackedWeights pw;
+        pw.decoded.resize(wc->codes.size());
+        gemm::decode_codes(wc->codes.data(), wc->codes.size(), wc->lut,
+                           wc->scales.data(), static_cast<std::size_t>(in_),
+                           pw.decoded.data());
+        if (want_packs)
+          pw.packs.push_back(gemm::pack_b_codes(in_, out_, wc->codes.data(),
+                                                in_, /*trans_b=*/true, wc->lut,
+                                                wc->scales.data()));
+        return pw;
+      });
+  const float* w = cached.decoded.data();
+  Tensor y({n, out_});
+  if (gemm::enabled()) {
+    gemm::sgemm(n, out_, in_, x.raw(), in_, /*trans_a=*/false, w, in_,
+                /*trans_b=*/true, y.raw(), out_, gemm::Init::kBiasCol,
+                bias.value.raw(), nullptr, epi, nullptr,
+                cached.packs.empty() ? nullptr : cached.packs.data());
+  } else {
+    for (int i = 0; i < n; ++i) {
+      const float* xi = x.raw() + static_cast<std::ptrdiff_t>(i) * in_;
+      for (int o = 0; o < out_; ++o) {
+        const float* wo = w + static_cast<std::ptrdiff_t>(o) * in_;
+        float acc = bias.value[o];
+        for (int j = 0; j < in_; ++j) acc += wo[j] * xi[j];
+        y.at(i, o) = gemm::epilogue_eval(epi, acc);
+      }
+    }
+  }
   return y;
 }
 
@@ -265,16 +374,20 @@ Tensor Conv2d::forward(const Tensor& x, const Context& ctx) {
 
 Tensor Conv2d::forward_fused(const Tensor& x, const Context& ctx,
                              gemm::Epilogue epi) {
+  if (const auto wc = active_codes(*this, ctx); wc != nullptr)
+    return forward_codes(x, ctx, wc, epi);
   const gemm::PackedMatrix* packs = nullptr;
   const bool depthwise = in_ch_ == groups_ && out_ch_ == groups_;
   if (gemm::enabled() && !depthwise && use_prepack(ctx)) {
     const int icg = in_ch_ / groups_;
     const int kdim = icg * k_ * k_;
     const int ocg = out_ch_ / groups_;
-    const std::vector<gemm::PackedMatrix>& cached = packs_.get(weight, [&] {
-      return pack_conv_weights(weight.value.raw(), groups_, ocg, kdim);
+    const PackedWeights& cached = packs_.get(weight, 0, [&] {
+      PackedWeights pw;
+      pw.packs = pack_conv_weights(weight.value.raw(), groups_, ocg, kdim);
+      return pw;
     });
-    packs = cached.data();
+    packs = cached.packs.data();
   }
   return run_conv(x, ctx, weight.value.raw(), bias.value.raw(), packs, epi);
 }
@@ -298,16 +411,20 @@ Tensor Conv2d::forward_bn_fused(const Tensor& x, const Context& ctx,
     sh[static_cast<std::size_t>(c)] =
         bn.beta.value[c] - bn.running_mean[c] * scale;
   }
+  if (const auto wc = active_codes(*this, ctx); wc != nullptr)
+    return forward_codes(x, ctx, wc, epi, sc.data(), sh.data());
   const gemm::PackedMatrix* packs = nullptr;
   const bool depthwise = in_ch_ == groups_ && out_ch_ == groups_;
   if (gemm::enabled() && !depthwise && use_prepack(ctx)) {
     const int icg = in_ch_ / groups_;
     const int kdim = icg * k_ * k_;
     const int ocg = out_ch_ / groups_;
-    const std::vector<gemm::PackedMatrix>& cached = packs_.get(weight, [&] {
-      return pack_conv_weights(weight.value.raw(), groups_, ocg, kdim);
+    const PackedWeights& cached = packs_.get(weight, 0, [&] {
+      PackedWeights pw;
+      pw.packs = pack_conv_weights(weight.value.raw(), groups_, ocg, kdim);
+      return pw;
     });
-    packs = cached.data();
+    packs = cached.packs.data();
   }
   return run_conv(x, ctx, weight.value.raw(), bias.value.raw(), packs, epi,
                   sc.data(), sh.data());
@@ -318,6 +435,12 @@ Tensor Conv2d::forward_folded(const Tensor& x, const Context& ctx,
   if (bn.folded()) throw std::logic_error("Conv2d::forward_folded: BN already folded");
   if (bn.channels() != out_ch_)
     throw std::invalid_argument("Conv2d::forward_folded: channel mismatch");
+  // Code-domain weights are immutable — there is nothing to fold the BN
+  // into.  The affine write-back path computes the identical conv→BN
+  // result from the codes (bit-identical, where folding is only
+  // tolerance-equal), so delegate.
+  if (active_codes(*this, ctx) != nullptr)
+    return forward_bn_fused(x, ctx, bn, epi);
   const std::uint64_t wv = weight.version(), bv = bias.version(),
                       gv = bn.gamma.version(), bev = bn.beta.version();
   {
@@ -349,6 +472,93 @@ Tensor Conv2d::forward_folded(const Tensor& x, const Context& ctx,
   }
   return run_conv(x, ctx, fold_.w.data(), fold_.b.data(),
                   fold_.packs.empty() ? nullptr : fold_.packs.data(), epi);
+}
+
+Tensor Conv2d::forward_codes(const Tensor& x, const Context& ctx,
+                             const std::shared_ptr<const WeightCodes>& wc,
+                             gemm::Epilogue epi, const float* bn_scale,
+                             const float* bn_shift) {
+  const int icg = in_ch_ / groups_;
+  const int kdim = icg * k_ * k_;
+  const int ocg = out_ch_ / groups_;
+  check_codes(*wc, out_ch_, kdim, "Conv2d");
+  const bool depthwise = in_ch_ == groups_ && out_ch_ == groups_;
+  if (bn_scale == nullptr && !depthwise && kulisch_ok(*wc, x))
+    return run_conv_kulisch(x, *wc, epi);
+  // Code mode: packs come straight from the codes; the decoded FP32 array
+  // (bit-identical to quantize→dequantize) feeds the depthwise/naive loops
+  // and the small-problem direct GEMM.
+  const bool want_packs = gemm::enabled() && !depthwise && use_prepack(ctx);
+  const PackedWeights& cached =
+      packs_.get(weight, codes_identity(*wc, want_packs), [&] {
+        PackedWeights pw;
+        pw.decoded.resize(wc->codes.size());
+        gemm::decode_codes(wc->codes.data(), wc->codes.size(), wc->lut,
+                           wc->scales.data(), static_cast<std::size_t>(kdim),
+                           pw.decoded.data());
+        if (want_packs) {
+          pw.packs.reserve(static_cast<std::size_t>(groups_));
+          for (int grp = 0; grp < groups_; ++grp)
+            pw.packs.push_back(gemm::pack_a_codes(
+                ocg, kdim,
+                wc->codes.data() + static_cast<std::size_t>(grp) * ocg * kdim,
+                kdim, /*trans_a=*/false, wc->lut,
+                wc->scales.data() + static_cast<std::size_t>(grp) * ocg));
+        }
+        return pw;
+      });
+  return run_conv(x, ctx, cached.decoded.data(), bias.value.raw(),
+                  cached.packs.empty() ? nullptr : cached.packs.data(), epi,
+                  bn_scale, bn_shift);
+}
+
+Tensor Conv2d::run_conv_kulisch(const Tensor& x, const WeightCodes& wc,
+                                gemm::Epilogue epi) {
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  if (x.dim(1) != in_ch_) throw std::invalid_argument("Conv2d: channel mismatch");
+  const int oh = (h + 2 * pad_ - k_) / stride_ + 1;
+  const int ow = (w + 2 * pad_ - k_) / stride_ + 1;
+  const int icg = in_ch_ / groups_;
+  const int ocg = out_ch_ / groups_;
+  const int kdim = icg * k_ * k_;
+  const int osz = oh * ow;
+  const double xscale = x.quant_scale();
+  const double xinv = 1.0 / xscale;
+  Tensor y({n, out_ch_, oh, ow});
+  const ConvGeom g{n,  in_ch_,  out_ch_, h,       w,   oh,  ow,
+                   k_, stride_, pad_,    groups_, icg, ocg};
+  core::global_pool().parallel_for(static_cast<std::size_t>(n), [&](std::size_t b) {
+    const float* xb = x.raw() + b * static_cast<std::size_t>(in_ch_) * h * w;
+    float* yb = y.raw() + b * static_cast<std::size_t>(out_ch_) * oh * ow;
+    // The quire path re-reads every element once to encode; plain vectors
+    // instead of the float-only ScratchArena (exactness mode, not a hot
+    // path).
+    std::vector<float> col;
+    if (!g.unit()) col.resize(static_cast<std::size_t>(kdim) * osz);
+    std::vector<std::uint8_t> ccodes(static_cast<std::size_t>(kdim) * osz);
+    for (int grp = 0; grp < groups_; ++grp) {
+      const float* src = xb + static_cast<std::size_t>(grp) * icg * h * w;
+      const float* colp = src;
+      if (!g.unit()) {
+        gemm::im2col(src, icg, h, w, k_, stride_, pad_, col.data());
+        colp = col.data();
+      }
+      for (std::size_t i = 0; i < ccodes.size(); ++i)
+        ccodes[i] = wc.encode(static_cast<double>(colp[i]) * xinv);
+      const gemm::QOperand a{
+          wc.codes.data() + static_cast<std::size_t>(grp) * ocg * kdim, kdim,
+          /*trans=*/false, wc.scales.data() + static_cast<std::size_t>(grp) * ocg,
+          0.0};
+      const gemm::QOperand bop{ccodes.data(), osz, /*trans=*/false, nullptr,
+                               xscale};
+      gemm::qgemm_kulisch(ocg, osz, kdim, a, bop, *wc.kulisch,
+                          gemm::Init::kBiasRow,
+                          bias.value.raw() + static_cast<std::size_t>(grp) * ocg,
+                          yb + static_cast<std::size_t>(grp) * ocg * osz, osz,
+                          epi);
+    }
+  });
+  return y;
 }
 
 Tensor Conv2d::run_conv(const Tensor& x, const Context& ctx, const float* wt,

@@ -13,38 +13,54 @@ namespace mersit::nn {
 
 class BatchNorm2d;
 
-/// Version-stamped cache of prepacked GEMM operands for one weight Param
-/// (one PackedMatrix per conv group; a single entry for Linear).  get()
-/// rebuilds when the Param's version has moved — every weight-mutation seam
-/// (optimizer steps, PTQ quantize/restore, artifact unpack, BN folding)
-/// bumps the version, so a stale pack is never served.  Copies start empty:
-/// a cloned module must repack from its own storage, never alias another
-/// module's panels.
+/// One prepacked-weight cache entry: the GEMM panel packs (one PackedMatrix
+/// per conv group; a single entry for Linear; empty when the build skipped
+/// packing) plus, for code-domain entries, the eagerly decoded FP32 weights
+/// feeding the paths that read raw float pointers (depthwise/naive loops,
+/// the small-problem direct GEMM, sgemm's shape validation).
+struct PackedWeights {
+  std::vector<gemm::PackedMatrix> packs;
+  std::vector<float> decoded;
+};
+
+/// Cache of prepacked GEMM operands for one weight Param, keyed on the
+/// pair (Param version, source identity).  The version covers every seam
+/// that rewrites the FP32 value in place (optimizer steps, PTQ
+/// quantize/restore, artifact unpack, BN folding — all bump it).  The
+/// identity covers *which source* the entry was built from: 0 for the FP32
+/// value itself, or the process-unique WeightCodes id (never 0) for a
+/// code-domain build — so a hot-swap that installs new codes for the same
+/// shapes, racing a concurrent pack lookup, can never serve panels decoded
+/// with the old format's LUT: the old entry's identity no longer matches.
+/// Copies start empty: a cloned module repacks from its own storage.
 class PackCache {
  public:
   PackCache() = default;
   PackCache(const PackCache&) noexcept {}
   PackCache& operator=(const PackCache&) noexcept { return *this; }
 
-  /// The packs for `p.value` at its current version; `build` runs under the
-  /// cache lock when the stored version is stale or absent.  Weight
-  /// mutation is never concurrent with inference forwards, so the returned
-  /// reference stays valid for the duration of the forward.
+  /// The entry for `p.value` at its current version and the given source
+  /// identity; `build` runs under the cache lock when either is stale.
+  /// Weight mutation is never concurrent with inference forwards, so the
+  /// returned reference stays valid for the duration of the forward.
   template <typename BuildFn>
-  const std::vector<gemm::PackedMatrix>& get(const Param& p, BuildFn&& build) {
+  const PackedWeights& get(const Param& p, std::uint64_t identity,
+                           BuildFn&& build) {
     const std::uint64_t v = p.version();
     const std::lock_guard<std::mutex> lock(mu_);
-    if (version_ != v) {
-      packs_ = build();
+    if (version_ != v || identity_ != identity) {
+      entry_ = build();
       version_ = v;
+      identity_ = identity;
     }
-    return packs_;
+    return entry_;
   }
 
  private:
   std::mutex mu_;
   std::uint64_t version_ = 0;  // 0 = never built (Param versions start at 1)
-  std::vector<gemm::PackedMatrix> packs_;
+  std::uint64_t identity_ = 0;
+  PackedWeights entry_;
 };
 
 /// Inference-only folded conv+BN weights (MERSIT_FOLD_BN), keyed on the
@@ -90,6 +106,13 @@ class Linear final : public Module, public ChannelWeights {
   Param bias;    ///< [out]
 
  private:
+  /// Code-domain forward: GEMM operands come from `wc` (packed straight
+  /// from the 8-bit codes); the FP32 weight Param is not read.  Dispatches
+  /// to the Kulisch accumulator when eligible under MERSIT_QGEMM=kulisch.
+  Tensor forward_codes(const Tensor& x, const Context& ctx,
+                       const std::shared_ptr<const WeightCodes>& wc,
+                       gemm::Epilogue epi);
+
   int in_, out_;
   Tensor x_cache_;
   PackCache packs_;
@@ -142,6 +165,18 @@ class Conv2d final : public Module, public ChannelWeights {
                   const float* bs, const gemm::PackedMatrix* group_packs,
                   gemm::Epilogue epi, const float* bn_scale = nullptr,
                   const float* bn_shift = nullptr);
+
+  /// Code-domain forward (see Linear::forward_codes): decoded weights and
+  /// per-group packs come from `wc`; bn_scale/bn_shift carry a fused BN
+  /// affine when the caller is forward_bn_fused.
+  Tensor forward_codes(const Tensor& x, const Context& ctx,
+                       const std::shared_ptr<const WeightCodes>& wc,
+                       gemm::Epilogue epi, const float* bn_scale = nullptr,
+                       const float* bn_shift = nullptr);
+  /// Exact-accumulation conv (MERSIT_QGEMM=kulisch): weight codes times
+  /// re-encoded activation codes through the software quire.
+  Tensor run_conv_kulisch(const Tensor& x, const WeightCodes& wc,
+                          gemm::Epilogue epi);
 
   int in_ch_, out_ch_, k_, stride_, pad_, groups_;
   Tensor x_cache_;

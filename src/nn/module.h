@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -23,6 +24,7 @@
 namespace mersit::nn {
 
 class Module;
+struct WeightCodes;  // nn/qweights.h — 8-bit code-domain weight view
 
 /// PTQ hook: observes / rewrites activations at quant points.
 class QuantSession {
@@ -93,6 +95,16 @@ struct Param {
 class ChannelWeights {
  public:
   virtual ~ChannelWeights() = default;
+  ChannelWeights() = default;
+  // Codes are an immutable shared payload; a copied module (clone, value
+  // copy) shares the installed instance — it stays valid for both, and the
+  // per-instance id keys each module's own pack cache.
+  ChannelWeights(const ChannelWeights& other) : codes_(other.weight_codes()) {}
+  ChannelWeights& operator=(const ChannelWeights& other) {
+    if (this != &other) set_weight_codes(other.weight_codes());
+    return *this;
+  }
+
   [[nodiscard]] virtual int weight_channels() const = 0;
   /// Mutable view of all weights feeding output channel `c`.
   [[nodiscard]] virtual std::span<float> channel_span(int c) = 0;
@@ -100,6 +112,26 @@ class ChannelWeights {
   /// mutate spans must bump_version() on it afterwards so prepacked-weight
   /// caches notice.
   [[nodiscard]] virtual Param& weight_param() = 0;
+
+  /// Install / replace this module's 8-bit code-domain weights.  The
+  /// payload is immutable; swapping in a new instance (new id) is what
+  /// invalidates code-domain pack caches — no version bump involved, so a
+  /// racing forward either keeps the complete old view or picks up the
+  /// complete new one.
+  void set_weight_codes(std::shared_ptr<const WeightCodes> codes) {
+    const std::lock_guard<std::mutex> lock(codes_mu_);
+    codes_ = std::move(codes);
+  }
+  void clear_weight_codes() { set_weight_codes(nullptr); }
+  /// Snapshot of the installed codes (null when running pure FP32).
+  [[nodiscard]] std::shared_ptr<const WeightCodes> weight_codes() const {
+    const std::lock_guard<std::mutex> lock(codes_mu_);
+    return codes_;
+  }
+
+ private:
+  mutable std::mutex codes_mu_;
+  std::shared_ptr<const WeightCodes> codes_;
 };
 
 class Module;

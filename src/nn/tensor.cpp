@@ -64,6 +64,7 @@ Tensor Tensor::reshaped(std::vector<int> shape) const& {
   Tensor t;
   t.shape_ = std::move(shape);
   t.data_ = data_;
+  t.qscale_ = qscale_;
   return t;
 }
 
@@ -73,6 +74,7 @@ Tensor Tensor::reshaped(std::vector<int> shape) && {
   Tensor t;
   t.shape_ = std::move(shape);
   t.data_ = std::move(data_);
+  t.qscale_ = qscale_;
   shape_.clear();
   return t;
 }

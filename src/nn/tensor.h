@@ -58,9 +58,19 @@ class Tensor {
   [[nodiscard]] float abs_max() const;
   [[nodiscard]] std::string shape_str() const;
 
+  /// Quantization scale the values were last fake-quantized with (every
+  /// element is code_value * quant_scale for some 8-bit code), or 0 when
+  /// the tensor is not known to be quantized.  Stamped by the PTQ session
+  /// hooks; consumed by the Kulisch GEMM mode to recover activation codes
+  /// by re-encoding.  Propagates through reshaped(); any other producing
+  /// op yields a fresh (unstamped) tensor.
+  [[nodiscard]] double quant_scale() const { return qscale_; }
+  void set_quant_scale(double s) { qscale_ = s; }
+
  private:
   std::vector<int> shape_;
   std::vector<float> data_;
+  double qscale_ = 0.0;
 };
 
 }  // namespace mersit::nn

@@ -9,6 +9,8 @@
 
 #include "core/thread_pool.h"
 #include "formats/kernels/kernel_cache.h"
+#include "nn/gemm/qgemm.h"
+#include "nn/qweights.h"
 
 namespace mersit::ptq {
 
@@ -60,6 +62,9 @@ void FakeQuantizer::on_activation(const Module& layer, Tensor& t) {
   if (it->second <= 0.f) return;  // degenerate (all-zero) layer output
   const double scale = formats::scale_for_absmax(fmt_, it->second, policy_);
   formats::fake_quantize(t.data(), fmt_, scale);
+  // Every element is now code_value * scale for some 8-bit code; stamp the
+  // scale so the Kulisch GEMM mode can recover the codes by re-encoding.
+  t.set_quant_scale(scale);
 }
 
 std::set<std::string> FakeQuantizer::uncalibrated_paths() const {
@@ -72,6 +77,7 @@ void FakeQuantizer::quantize_input(Tensor& t) const {
   const double scale =
       formats::scale_for_absmax(fmt_, table_.input_absmax, policy_);
   formats::fake_quantize(t.data(), fmt_, scale);
+  t.set_quant_scale(scale);
 }
 
 // ---------------------------------------------------------------- weights --
@@ -152,6 +158,57 @@ void quantize_weights_per_channel(Module& model, const Format& fmt,
   for (Module* m : model.modules())
     if (auto* cw = dynamic_cast<nn::ChannelWeights*>(m))
       cw->weight_param().bump_version();
+}
+
+void install_weight_codes(Module& model, const Format& fmt,
+                          ScalePolicy policy) {
+  const auto kernel = formats::kernels::kernel_for(fmt);
+  // The decode LUT and its Kulisch decomposition depend only on the format;
+  // build them once and share across every module's WeightCodes.
+  double lut[256];
+  for (int c = 0; c < 256; ++c) lut[c] = kernel->decode(static_cast<std::uint8_t>(c));
+  auto kulisch = std::make_shared<nn::gemm::KulischTable>(
+      nn::gemm::build_kulisch_table(lut));
+  const std::shared_ptr<const nn::gemm::KulischTable> shared_kulisch =
+      kulisch->usable ? kulisch : nullptr;
+  for (Module* m : model.modules()) {
+    auto* cw = dynamic_cast<nn::ChannelWeights*>(m);
+    if (cw == nullptr) continue;
+    const int channels = cw->weight_channels();
+    if (channels <= 0) continue;
+    auto wc = std::make_shared<nn::WeightCodes>();
+    wc->format_name = fmt.name();
+    wc->channels = channels;
+    wc->per_channel = static_cast<int>(cw->channel_span(0).size());
+    wc->codes.reserve(static_cast<std::size_t>(channels) * wc->per_channel);
+    wc->scales.reserve(static_cast<std::size_t>(channels));
+    for (int c = 0; c < 256; ++c) wc->lut[c] = lut[c];
+    for (int c = 0; c < channels; ++c) {
+      const std::span<const float> w = cw->channel_span(c);
+      float mx = 0.f;
+      for (const float v : w) mx = std::max(mx, std::fabs(v));
+      // Same scale selection as quantize_weights_per_channel; degenerate
+      // all-zero channels take scale 1.0 like pack_weights does.
+      const double scale =
+          mx > 0.f ? formats::scale_for_absmax(fmt, mx, policy) : 1.0;
+      wc->scales.push_back(scale);
+      // encode(v * (1/scale)) is exactly the argument fake_quantize feeds
+      // the codec, so decode(code) * scale reproduces its output bit for
+      // bit.
+      const double inv = 1.0 / scale;
+      for (const float v : w)
+        wc->codes.push_back(kernel->encode(static_cast<double>(v) * inv));
+    }
+    wc->encode = [kernel](double v) { return kernel->encode(v); };
+    wc->kulisch = shared_kulisch;
+    wc->nonfinite = 0;  // encode saturates; it never emits non-finite codes
+    cw->set_weight_codes(std::move(wc));
+  }
+}
+
+void clear_weight_codes(Module& model) {
+  for (Module* m : model.modules())
+    if (auto* cw = dynamic_cast<nn::ChannelWeights*>(m)) cw->clear_weight_codes();
 }
 
 // ------------------------------------------------------------- experiment --
@@ -257,14 +314,30 @@ float evaluate_with_table(Module& model, const CalibrationTable& table,
       throw_uncalibrated("evaluate_with_table", cover.missing(), table,
                          "in this model");
   }
-  const WeightSnapshot snap = snapshot_weights(model);
-  quantize_weights_per_channel(model, fmt, opt.policy);
   FakeQuantizer fq(table, fmt, opt.policy);
   // Inputs are fake-quantized per batch via the evaluator's on_input hook —
   // no second copy of the dataset is ever materialized.
   fq.set_input_quantization(opt.quantize_input);
-  const float metric = run_metric(model, test, opt.metric, &fq);
-  restore_weights(model, snap);
+  float metric = 0.f;
+  if (nn::gemm::qgemm_mode() != nn::gemm::QgemmMode::kFloat) {
+    // Code-domain weights: encode into 8-bit codes (the FP32 weights stay
+    // untouched — no snapshot/restore) and let the layers pack GEMM
+    // operands straight from them.  Decoded values are bit-identical to
+    // the quantize→dequantize path, so the metric is identical too.
+    install_weight_codes(model, fmt, opt.policy);
+    try {
+      metric = run_metric(model, test, opt.metric, &fq);
+    } catch (...) {
+      clear_weight_codes(model);
+      throw;
+    }
+    clear_weight_codes(model);
+  } else {
+    const WeightSnapshot snap = snapshot_weights(model);
+    quantize_weights_per_channel(model, fmt, opt.policy);
+    metric = run_metric(model, test, opt.metric, &fq);
+    restore_weights(model, snap);
+  }
   // Backstop for anything the single-sample pre-check could not see (e.g.
   // data-dependent control flow): never report a metric computed with
   // silently unquantized activations.

@@ -130,6 +130,22 @@ void restore_weights(nn::Module& model, const WeightSnapshot& snap);
 void quantize_weights_per_channel(nn::Module& model, const formats::Format& fmt,
                                   formats::ScalePolicy policy);
 
+/// Code-domain equivalent of quantize_weights_per_channel: instead of
+/// rewriting the FP32 weights with their quantize→dequantize images, encode
+/// them into 8-bit codes (same per-channel scales, same encode arithmetic as
+/// QuantKernel::fake_quantize) and install a nn::WeightCodes view on every
+/// ChannelWeights module.  Under MERSIT_QGEMM=code the layers then pack
+/// GEMM operands straight from the codes; the decoded values — and therefore
+/// every layer output — are bit-identical to the quantize→dequantize path.
+/// The FP32 weights are left untouched (no snapshot/restore needed).
+/// All-zero channels encode at scale 1.0, matching pack_weights.
+void install_weight_codes(nn::Module& model, const formats::Format& fmt,
+                          formats::ScalePolicy policy);
+
+/// Remove installed code-domain weights from every ChannelWeights module;
+/// layers revert to their FP32 weights.
+void clear_weight_codes(nn::Module& model);
+
 // ------------------------------------------------------------- experiment --
 
 enum class Metric { kAccuracy, kMatthews };

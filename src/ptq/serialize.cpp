@@ -4,10 +4,14 @@
 #include <cmath>
 #include <cstring>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <stdexcept>
 #include <string>
 
+#include "formats/kernels/kernel_cache.h"
+#include "nn/gemm/qgemm.h"
+#include "nn/qweights.h"
 #include "ptq/ptq.h"
 
 namespace mersit::ptq {
@@ -282,7 +286,51 @@ std::string layer_label(const nn::Module* m, std::size_t index) {
                            : "'" + m->path() + "'";
 }
 
+/// The shared validation pass of unpack_weights / install_code_weights /
+/// validate_weight_shapes: collect the ChannelWeights targets and check the
+/// artifact structurally matches them, mutating nothing.  `who` prefixes
+/// the error messages so each caller keeps its own name in diagnostics.
+std::vector<std::pair<nn::Module*, nn::ChannelWeights*>> validated_targets(
+    nn::Module& model, const QuantizedModel& qm, const char* who) {
+  std::vector<std::pair<nn::Module*, nn::ChannelWeights*>> targets;
+  for (nn::Module* m : model.modules()) {
+    auto* cw = dynamic_cast<nn::ChannelWeights*>(m);
+    if (cw != nullptr) targets.emplace_back(m, cw);
+  }
+  if (targets.size() != qm.tensors.size())
+    throw std::invalid_argument(
+        std::string(who) + ": tensor count mismatch (model has " +
+        std::to_string(targets.size()) + " quantizable layers, artifact has " +
+        std::to_string(qm.tensors.size()) + " tensors)");
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const QuantizedTensor& t = qm.tensors[i];
+    nn::ChannelWeights* cw = targets[i].second;
+    const std::string label = layer_label(targets[i].first, i);
+    if (t.channels != cw->weight_channels())
+      throw std::invalid_argument(
+          std::string(who) + ": channel mismatch at layer " + label +
+          " (model has " + std::to_string(cw->weight_channels()) +
+          ", artifact has " + std::to_string(t.channels) + ")");
+    if (static_cast<std::int64_t>(t.scales.size()) !=
+        static_cast<std::int64_t>(t.channels))
+      throw std::invalid_argument(std::string(who) +
+                                  ": scale count mismatch at layer " + label);
+    if (t.numel() != t.channels * static_cast<std::int64_t>(cw->channel_span(0).size()))
+      throw std::invalid_argument(
+          std::string(who) + ": element count mismatch at layer " + label +
+          " (model has " +
+          std::to_string(t.channels *
+                         static_cast<std::int64_t>(cw->channel_span(0).size())) +
+          ", artifact has " + std::to_string(t.numel()) + ")");
+  }
+  return targets;
+}
+
 }  // namespace
+
+void validate_weight_shapes(nn::Module& model, const QuantizedModel& qm) {
+  (void)validated_targets(model, qm, "validate_weight_shapes");
+}
 
 void unpack_weights(nn::Module& model, const QuantizedModel& qm,
                     const formats::Format& fmt, formats::CorruptionPolicy policy,
@@ -293,37 +341,7 @@ void unpack_weights(nn::Module& model, const QuantizedModel& qm,
   // Pass 1: validate the artifact against the whole model before touching a
   // single weight, so a structurally incompatible artifact can never leave
   // the model half-overwritten.
-  std::vector<std::pair<nn::Module*, nn::ChannelWeights*>> targets;
-  for (nn::Module* m : model.modules()) {
-    auto* cw = dynamic_cast<nn::ChannelWeights*>(m);
-    if (cw != nullptr) targets.emplace_back(m, cw);
-  }
-  if (targets.size() != qm.tensors.size())
-    throw std::invalid_argument(
-        "unpack_weights: tensor count mismatch (model has " +
-        std::to_string(targets.size()) + " quantizable layers, artifact has " +
-        std::to_string(qm.tensors.size()) + " tensors)");
-  for (std::size_t i = 0; i < targets.size(); ++i) {
-    const QuantizedTensor& t = qm.tensors[i];
-    nn::ChannelWeights* cw = targets[i].second;
-    const std::string label = layer_label(targets[i].first, i);
-    if (t.channels != cw->weight_channels())
-      throw std::invalid_argument(
-          "unpack_weights: channel mismatch at layer " + label + " (model has " +
-          std::to_string(cw->weight_channels()) + ", artifact has " +
-          std::to_string(t.channels) + ")");
-    if (static_cast<std::int64_t>(t.scales.size()) !=
-        static_cast<std::int64_t>(t.channels))
-      throw std::invalid_argument("unpack_weights: scale count mismatch at layer " +
-                                  label);
-    if (t.numel() != t.channels * static_cast<std::int64_t>(cw->channel_span(0).size()))
-      throw std::invalid_argument(
-          "unpack_weights: element count mismatch at layer " + label +
-          " (model has " +
-          std::to_string(t.channels *
-                         static_cast<std::int64_t>(cw->channel_span(0).size())) +
-          ", artifact has " + std::to_string(t.numel()) + ")");
-  }
+  const auto targets = validated_targets(model, qm, "unpack_weights");
   // Pass 2: decode.
   for (std::size_t i = 0; i < targets.size(); ++i) {
     const QuantizedTensor& t = qm.tensors[i];
@@ -340,6 +358,54 @@ void unpack_weights(nn::Module& model, const QuantizedModel& qm,
   }
 }
 
+void install_code_weights(nn::Module& model, const QuantizedModel& qm,
+                          const formats::Format& fmt,
+                          formats::CorruptionPolicy policy,
+                          formats::CorruptionStats* stats) {
+  if (fmt.name() != qm.format_name)
+    throw std::invalid_argument("install_code_weights: format mismatch (" +
+                                fmt.name() + " vs " + qm.format_name + ")");
+  const auto targets = validated_targets(model, qm, "install_code_weights");
+  const auto kernel = formats::kernels::kernel_for(fmt);
+  // Policy-applied decode LUT: lut[code] * scale is exactly the value
+  // unpack_weights writes for that code, IEEE specials or zero-substitutions
+  // included.  The pre-policy finiteness table drives the corruption
+  // counters, which — like decode_with_policy's — count every non-finite
+  // code regardless of policy.
+  double lut[256];
+  bool finite[256];
+  for (int c = 0; c < 256; ++c) {
+    finite[c] = std::isfinite(fmt.decode_value(static_cast<std::uint8_t>(c)));
+    lut[c] = formats::decode_with_policy(fmt, static_cast<std::uint8_t>(c),
+                                         policy, nullptr);
+  }
+  auto kulisch = std::make_shared<nn::gemm::KulischTable>(
+      nn::gemm::build_kulisch_table(lut));
+  const std::shared_ptr<const nn::gemm::KulischTable> shared_kulisch =
+      kulisch->usable ? kulisch : nullptr;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const QuantizedTensor& t = qm.tensors[i];
+    nn::ChannelWeights* cw = targets[i].second;
+    auto wc = std::make_shared<nn::WeightCodes>();
+    wc->format_name = qm.format_name;
+    wc->channels = t.channels;
+    wc->per_channel = static_cast<int>(cw->channel_span(0).size());
+    wc->codes = t.codes;
+    wc->scales.reserve(t.scales.size());
+    // Scales widen float→double here, then decode as lut[code] * scale —
+    // the same arithmetic (and therefore the same bits) as unpack_weights'
+    // static_cast<float>(decode_with_policy(...) * double(scale)).
+    for (const float s : t.scales) wc->scales.push_back(static_cast<double>(s));
+    for (int c = 0; c < 256; ++c) wc->lut[c] = lut[c];
+    for (const std::uint8_t code : t.codes)
+      if (!finite[code]) ++wc->nonfinite;
+    if (stats != nullptr) stats->non_finite += wc->nonfinite;
+    wc->encode = [kernel](double v) { return kernel->encode(v); };
+    wc->kulisch = shared_kulisch;
+    cw->set_weight_codes(std::move(wc));
+  }
+}
+
 // ------------------------------------------------------- serving artifacts --
 
 ArtifactPair load_artifact_pair(std::istream& mct1, std::istream& mqt1,
@@ -351,6 +417,13 @@ ArtifactPair load_artifact_pair(std::istream& mct1, std::istream& mqt1,
     throw std::runtime_error("load_artifact_pair: weight artifact is for format '" +
                              pair.weights.format_name + "', engine serves '" +
                              fmt.name() + "'");
+  return pair;
+}
+
+ArtifactPair load_artifact_pair(std::istream& mct1, std::istream& mqt1,
+                                const formats::Format& fmt, nn::Module& model) {
+  ArtifactPair pair = load_artifact_pair(mct1, mqt1, fmt);
+  validate_weight_shapes(model, pair.weights);
   return pair;
 }
 

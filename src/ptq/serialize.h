@@ -87,6 +87,31 @@ void unpack_weights(nn::Module& model, const QuantizedModel& qm,
                     formats::CorruptionPolicy policy = formats::CorruptionPolicy::kPropagate,
                     formats::CorruptionStats* stats = nullptr);
 
+/// The structural validation pass of unpack_weights on its own: checks that
+/// `qm` has one tensor per ChannelWeights module of `model` and that every
+/// tensor's channel count, scale count, and element count match that
+/// module's weight shape.  Mutates nothing.  Throws std::invalid_argument
+/// naming the offending layer path on the first mismatch — the static gate
+/// the serving engine (and the model-aware load_artifact_pair overload)
+/// runs before an artifact gets anywhere near live replicas.
+void validate_weight_shapes(nn::Module& model, const QuantizedModel& qm);
+
+/// Code-domain twin of unpack_weights: instead of decoding the artifact
+/// into the FP32 weights, install a nn::WeightCodes view (artifact codes,
+/// double-widened per-channel scales, policy-applied decode LUT) on every
+/// ChannelWeights module.  Under MERSIT_QGEMM=code the layers then pack
+/// GEMM operands straight from the codes; the decoded values are
+/// bit-identical to what unpack_weights would have written, so layer
+/// outputs match the unpack path exactly.  The FP32 weights are left
+/// untouched.  Validates like unpack_weights before installing anything.
+/// Non-finite codes are counted into `stats` (and into the view's own
+/// nonfinite counter) regardless of policy; with kZeroSubstitute the LUT
+/// maps them to 0.0 so the GEMM never sees an IEEE special.
+void install_code_weights(nn::Module& model, const QuantizedModel& qm,
+                          const formats::Format& fmt,
+                          formats::CorruptionPolicy policy = formats::CorruptionPolicy::kPropagate,
+                          formats::CorruptionStats* stats = nullptr);
+
 // ------------------------------------------------------- serving artifacts --
 
 /// The two artifacts a serving replica runs on: an MCT1 calibration table
@@ -105,6 +130,16 @@ struct ArtifactPair {
 [[nodiscard]] ArtifactPair load_artifact_pair(std::istream& mct1,
                                               std::istream& mqt1,
                                               const formats::Format& fmt);
+
+/// Model-aware overload: additionally validates the parsed weight container
+/// against `model`'s structure (validate_weight_shapes), so an artifact
+/// whose tensor element counts do not match the target modules' weight
+/// shapes is rejected *at load* — naming the offending layer path — instead
+/// of surfacing later, mid-swap, from unpack_weights.
+[[nodiscard]] ArtifactPair load_artifact_pair(std::istream& mct1,
+                                              std::istream& mqt1,
+                                              const formats::Format& fmt,
+                                              nn::Module& model);
 
 /// Count the code words of `qm` that decode non-finite (NaR/Inf/NaN) under
 /// `fmt`.  Clean PTQ artifacts contain none (encode saturates), so a

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/env.h"
+#include "nn/gemm/qgemm.h"
 
 namespace mersit::serve {
 
@@ -342,9 +343,15 @@ void Engine::swap_artifacts(const std::string& name, std::istream& mct1,
   ModelEntry& m = find_model(name);
   const std::lock_guard<std::mutex> swap_lock(m.swap_mu);
   try {
-    // Gate 1: hardened parse of both containers + format-name check.  A
-    // truncated / corrupted / random stream throws here, replicas untouched.
-    ptq::ArtifactPair pair = ptq::load_artifact_pair(mct1, mqt1, *fmt);
+    // Gate 1: hardened parse of both containers + format-name check, plus
+    // structural validation of every weight tensor against the module tree
+    // (the model-aware overload) — an artifact whose element counts don't
+    // match the target layers is rejected here, by path, replicas untouched.
+    // Replica 0 is leased only for the read-only shape walk.
+    ptq::ArtifactPair pair = [&] {
+      nn::ReplicaPool::Lease lease = m.pool.acquire(0);
+      return ptq::load_artifact_pair(mct1, mqt1, *fmt, lease.module());
+    }();
 
     // Gate 2: non-finite code density.  Clean artifacts have zero; a heavy
     // fraction means the container decoded but its payload is garbage.
@@ -363,15 +370,29 @@ void Engine::swap_artifacts(const std::string& name, std::istream& mct1,
           std::to_string(opt_.max_nonfinite_fraction) + ")");
 
     // Gate 3 + apply, per replica under its lease.  validate_table_coverage
-    // and unpack_weights both validate against the whole module tree before
-    // mutating anything, so a failing artifact leaves the replica serving
-    // its old weights.  The checks are deterministic in (structure,
+    // and the weight installers all validate against the whole module tree
+    // before mutating anything, so a failing artifact leaves the replica
+    // serving its old weights.  The checks are deterministic in (structure,
     // artifact) and the replicas are identical clones, so once replica 0
     // passes, all replicas pass — cross-replica divergence is impossible.
+    // The GEMM mode is sampled once so one swap installs one representation
+    // on every replica even if MERSIT_QGEMM-driven state changes mid-swap.
+    const bool code_mode =
+        nn::gemm::qgemm_mode() != nn::gemm::QgemmMode::kFloat;
     const std::uint64_t seq = m.seq.load(std::memory_order_relaxed) + 1;
     m.pool.for_each_exclusive([&](nn::Module& module, int idx) {
       ptq::validate_table_coverage(module, pair.table);
-      ptq::unpack_weights(module, pair.weights, *fmt, opt_.corruption_policy);
+      if (code_mode) {
+        // Code-domain serving: install the artifact's 8-bit codes directly
+        // (layers pack GEMM operands from them); FP32 weights untouched.
+        // Decodes are bit-identical to unpack_weights, so responses match
+        // the float path exactly.
+        ptq::install_code_weights(module, pair.weights, *fmt,
+                                  opt_.corruption_policy);
+      } else {
+        ptq::clear_weight_codes(module);  // drop any previous generation's codes
+        ptq::unpack_weights(module, pair.weights, *fmt, opt_.corruption_policy);
+      }
       auto state = std::make_shared<ArtifactState>();
       state->fmt = fmt;
       state->table = pair.table;

@@ -1,0 +1,644 @@
+// Code-domain quantized GEMM: the tentpole contract is that packing GEMM
+// operands straight from 8-bit weight codes is *bit-identical* to packing
+// the quantize→dequantized FP32 weights — for every registered format,
+// exhaustively over all 256 codes (ties, ±0, NaR/Inf/NaN, denormals) — and
+// that everything stacked on top (install_weight_codes /
+// install_code_weights, the identity-keyed pack cache, evaluate_with_table's
+// code mode) preserves that identity end to end.  The opt-in Kulisch mode
+// is held to its documented ULP contract instead.  Runs under the
+// `concurrency` TSan label: the GEMM fan-out and the code-pack caches are
+// hot concurrent paths.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "core/thread_pool.h"
+#include "fault/bitflip.h"
+#include "formats/corruption.h"
+#include "formats/kernels/kernel_cache.h"
+#include "nn/data.h"
+#include "nn/gemm/gemm.h"
+#include "nn/gemm/qgemm.h"
+#include "nn/layers.h"
+#include "nn/models.h"
+#include "nn/qweights.h"
+#include "nn/train.h"
+#include "ptq/ptq.h"
+#include "ptq/serialize.h"
+
+namespace mersit::nn {
+namespace {
+
+// Give the global pool real fan-out even on single-core CI (respects an
+// explicit MERSIT_THREADS from the environment).
+const bool kEnvReady = [] {
+  setenv("MERSIT_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+struct ModeGuard {
+  explicit ModeGuard(gemm::QgemmMode m) : prev(gemm::set_qgemm_mode(m)) {}
+  ~ModeGuard() { gemm::set_qgemm_mode(prev); }
+  gemm::QgemmMode prev;
+};
+
+struct GemmGuard {
+  explicit GemmGuard(bool on) : prev(gemm::set_enabled(on)) {}
+  ~GemmGuard() { gemm::set_enabled(prev); }
+  bool prev;
+};
+
+struct PrepackGuard {
+  explicit PrepackGuard(bool on) : prev(gemm::set_prepack_enabled(on)) {}
+  ~PrepackGuard() { gemm::set_prepack_enabled(prev); }
+  bool prev;
+};
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.raw(), b.raw(),
+                     sizeof(float) * static_cast<std::size_t>(a.numel())) == 0;
+}
+
+// Byte-for-byte pack comparison: layout metadata, block offsets, and every
+// panel float (memcmp, so NaN payloads must match too).
+::testing::AssertionResult packs_identical(const gemm::PackedMatrix& p,
+                                           const gemm::PackedMatrix& q) {
+  if (p.is_a != q.is_a || p.other != q.other || p.k != q.k)
+    return ::testing::AssertionFailure() << "pack header mismatch";
+  if (p.block_off != q.block_off)
+    return ::testing::AssertionFailure() << "block offsets mismatch";
+  if (p.data.size() != q.data.size())
+    return ::testing::AssertionFailure()
+           << "pack sizes " << p.data.size() << " vs " << q.data.size();
+  if (std::memcmp(p.data.data(), q.data.data(),
+                  p.data.size() * sizeof(float)) != 0)
+    return ::testing::AssertionFailure() << "pack bytes differ";
+  return ::testing::AssertionSuccess();
+}
+
+std::array<double, 256> decode_lut(const formats::Format& fmt) {
+  const auto kernel = formats::kernels::kernel_for(fmt);
+  std::array<double, 256> lut;
+  for (int c = 0; c < 256; ++c)
+    lut[static_cast<std::size_t>(c)] = kernel->decode(static_cast<std::uint8_t>(c));
+  return lut;
+}
+
+// ------------------------------------------------- exhaustive pack identity --
+
+// The tentpole gate: for every registered format, a code matrix containing
+// every one of the 256 codes — NaR/Inf/NaN and denormal codes included —
+// packs byte-identically to the float pack of the eagerly decoded matrix,
+// for both operand sides, both storage orders, and dimensions that cross
+// the kernel's MC/KC block boundaries (odd remainders exercise the zero
+// padding).
+TEST(QgemmPack, CodePackBitIdenticalToFloatPackAllFormatsAllCodes) {
+  constexpr int kM = 130;  // crosses the 120-row MC block, remainder 10
+  constexpr int kK = 300;  // crosses the 256-deep KC block, remainder 44
+  constexpr int kN = 37;   // ragged against the 8-wide NR panel
+  for (const std::string& name : core::all_format_names()) {
+    SCOPED_TRACE(name);
+    const auto fmt = core::make_format(name);
+    const auto lut = decode_lut(*fmt);
+
+    std::vector<std::uint8_t> a(static_cast<std::size_t>(kM) * kK);
+    for (std::size_t i = 0; i < a.size(); ++i)
+      a[i] = static_cast<std::uint8_t>((i * 7 + i / 256) & 0xFF);  // all codes
+    std::vector<double> row_scales(kM);
+    for (int m = 0; m < kM; ++m)
+      row_scales[static_cast<std::size_t>(m)] = 0.03125 * (m % 13 + 1);
+
+    std::vector<float> a_dec(a.size());
+    for (int m = 0; m < kM; ++m)
+      for (int k = 0; k < kK; ++k)
+        a_dec[static_cast<std::size_t>(m) * kK + k] = static_cast<float>(
+            lut[a[static_cast<std::size_t>(m) * kK + k]] *
+            row_scales[static_cast<std::size_t>(m)]);
+    EXPECT_TRUE(packs_identical(
+        gemm::pack_a_matrix(kM, kK, a_dec.data(), kK, false),
+        gemm::pack_a_codes(kM, kK, a.data(), kK, false, lut.data(),
+                           row_scales.data())));
+
+    // Transposed storage: op(A)(m,k) = A[k*lda + m], scale still per row m.
+    std::vector<std::uint8_t> at(a.size());
+    std::vector<float> at_dec(a.size());
+    for (int m = 0; m < kM; ++m)
+      for (int k = 0; k < kK; ++k) {
+        at[static_cast<std::size_t>(k) * kM + m] =
+            a[static_cast<std::size_t>(m) * kK + k];
+        at_dec[static_cast<std::size_t>(k) * kM + m] =
+            a_dec[static_cast<std::size_t>(m) * kK + k];
+      }
+    EXPECT_TRUE(packs_identical(
+        gemm::pack_a_matrix(kM, kK, at_dec.data(), kM, true),
+        gemm::pack_a_codes(kM, kK, at.data(), kM, true, lut.data(),
+                           row_scales.data())));
+
+    // B side: per-column scales, stored K x N and transposed N x K.
+    std::vector<std::uint8_t> b(static_cast<std::size_t>(kK) * kN);
+    for (std::size_t i = 0; i < b.size(); ++i)
+      b[i] = static_cast<std::uint8_t>((i * 11 + i / 256) & 0xFF);
+    std::vector<double> col_scales(kN);
+    for (int n = 0; n < kN; ++n)
+      col_scales[static_cast<std::size_t>(n)] = 0.25 * (n % 7 + 1);
+    std::vector<float> b_dec(b.size());
+    for (int k = 0; k < kK; ++k)
+      for (int n = 0; n < kN; ++n)
+        b_dec[static_cast<std::size_t>(k) * kN + n] = static_cast<float>(
+            lut[b[static_cast<std::size_t>(k) * kN + n]] *
+            col_scales[static_cast<std::size_t>(n)]);
+    EXPECT_TRUE(packs_identical(
+        gemm::pack_b_matrix(kK, kN, b_dec.data(), kN, false),
+        gemm::pack_b_codes(kK, kN, b.data(), kN, false, lut.data(),
+                           col_scales.data())));
+
+    std::vector<std::uint8_t> bt(b.size());
+    std::vector<float> bt_dec(b.size());
+    for (int k = 0; k < kK; ++k)
+      for (int n = 0; n < kN; ++n) {
+        bt[static_cast<std::size_t>(n) * kK + k] =
+            b[static_cast<std::size_t>(k) * kN + n];
+        bt_dec[static_cast<std::size_t>(n) * kK + k] =
+            b_dec[static_cast<std::size_t>(k) * kN + n];
+      }
+    EXPECT_TRUE(packs_identical(
+        gemm::pack_b_matrix(kK, kN, bt_dec.data(), kK, true),
+        gemm::pack_b_codes(kK, kN, bt.data(), kK, true, lut.data(),
+                           col_scales.data())));
+  }
+}
+
+// decode_codes must match the scalar codec path byte for byte — the exact
+// expression unpack_weights evaluates per element — for all 256 codes and
+// both corruption policies.
+TEST(QgemmPack, DecodeCodesMatchesScalarCodecByteForByte) {
+  for (const std::string& name : core::all_format_names()) {
+    SCOPED_TRACE(name);
+    const auto fmt = core::make_format(name);
+    for (const auto policy : {formats::CorruptionPolicy::kPropagate,
+                              formats::CorruptionPolicy::kZeroSubstitute}) {
+      double lut[256];
+      for (int c = 0; c < 256; ++c)
+        lut[c] = formats::decode_with_policy(*fmt, static_cast<std::uint8_t>(c),
+                                             policy);
+      // 16 channels x 16 elements = all 256 codes, channel-varied scales.
+      std::vector<std::uint8_t> codes(256);
+      for (int i = 0; i < 256; ++i) codes[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(i);
+      std::vector<double> scales(16);
+      for (int c = 0; c < 16; ++c) scales[static_cast<std::size_t>(c)] =
+          0.0078125 * (c + 1);
+      std::vector<float> out(256);
+      gemm::decode_codes(codes.data(), codes.size(), lut, scales.data(), 16,
+                         out.data());
+      for (int i = 0; i < 256; ++i) {
+        const float ref = static_cast<float>(
+            formats::decode_with_policy(*fmt, codes[static_cast<std::size_t>(i)],
+                                        policy) *
+            scales[static_cast<std::size_t>(i / 16)]);
+        EXPECT_EQ(std::memcmp(&out[static_cast<std::size_t>(i)], &ref,
+                              sizeof(float)),
+                  0)
+            << "code " << i;
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------- in-process installs --
+
+class QgemmModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    std::mt19937 rng(42);
+    proto_ = make_resnet_mini(3, 10, 1, rng);
+    calib_ = std::make_unique<Dataset>(make_vision_dataset(8, 3, 8, /*seed=*/3));
+    test_ = std::make_unique<Dataset>(make_vision_dataset(12, 3, 8, /*seed=*/4));
+    table_ = std::make_unique<ptq::CalibrationTable>(
+        ptq::calibrate_model(*proto_, *calib_));
+    probe_ = std::make_unique<Tensor>(Tensor({2, 3, 8, 8}));
+    std::mt19937 prng(17);
+    std::normal_distribution<float> nd(0.f, 1.f);
+    for (std::int64_t i = 0; i < probe_->numel(); ++i) (*probe_)[i] = nd(prng);
+  }
+  static void TearDownTestSuite() {
+    proto_.reset();
+    calib_.reset();
+    test_.reset();
+    table_.reset();
+    probe_.reset();
+  }
+
+  /// Quantized forward of the probe through `model` with the suite's
+  /// calibration — the replica path (input quantization + activation hooks).
+  static Tensor quant_forward(Module& model, const formats::Format& fmt) {
+    ptq::FakeQuantizer fq(*table_, fmt, formats::ScalePolicy::kMaxToUnity);
+    fq.set_input_quantization(true);
+    Tensor x = *probe_;
+    fq.on_input(x);
+    const Context ctx{/*train=*/false, &fq};
+    return model.run(x, ctx);
+  }
+
+  static ModulePtr proto_;
+  static std::unique_ptr<Dataset> calib_, test_;
+  static std::unique_ptr<ptq::CalibrationTable> table_;
+  static std::unique_ptr<Tensor> probe_;
+};
+
+ModulePtr QgemmModelTest::proto_;
+std::unique_ptr<Dataset> QgemmModelTest::calib_, QgemmModelTest::test_;
+std::unique_ptr<ptq::CalibrationTable> QgemmModelTest::table_;
+std::unique_ptr<Tensor> QgemmModelTest::probe_;
+
+// install_weight_codes + code mode reproduces the quantize→dequantize FP32
+// forward bit for bit — with the blocked GEMM, with the naive loops, and
+// with prepacking on/off — while leaving the FP32 weights untouched.
+TEST_F(QgemmModelTest, CodeModeForwardBitIdenticalToQuantizedWeights) {
+  for (const char* name : {"MERSIT(8,2)", "FP(8,4)", "Posit(8,1)", "INT8"}) {
+    SCOPED_TRACE(name);
+    const auto fmt = core::make_format(name);
+
+    const ModulePtr ref_model = proto_->clone();
+    ptq::quantize_weights_per_channel(*ref_model, *fmt,
+                                      formats::ScalePolicy::kMaxToUnity);
+    const ModeGuard ref_mode(gemm::QgemmMode::kFloat);
+    const Tensor ref = quant_forward(*ref_model, *fmt);
+
+    const ModulePtr code_model = proto_->clone();
+    const ptq::WeightSnapshot before = ptq::snapshot_weights(*code_model);
+    ptq::install_weight_codes(*code_model, *fmt,
+                              formats::ScalePolicy::kMaxToUnity);
+    {
+      const ModeGuard mode(gemm::QgemmMode::kCode);
+      EXPECT_TRUE(bitwise_equal(quant_forward(*code_model, *fmt), ref));
+      {
+        const PrepackGuard noprepack(false);
+        EXPECT_TRUE(bitwise_equal(quant_forward(*code_model, *fmt), ref));
+      }
+      {
+        const GemmGuard nogemm(false);
+        EXPECT_TRUE(bitwise_equal(quant_forward(*code_model, *fmt), ref));
+      }
+    }
+    // FP32 weights untouched by the code-domain run.
+    const ptq::WeightSnapshot after = ptq::snapshot_weights(*code_model);
+    ASSERT_EQ(before.values.size(), after.values.size());
+    for (std::size_t i = 0; i < before.values.size(); ++i)
+      EXPECT_TRUE(bitwise_equal(before.values[i], after.values[i])) << i;
+    // Clearing the codes restores the FP32 forward even in code mode.
+    ptq::clear_weight_codes(*code_model);
+    const ModeGuard cleared_mode(gemm::QgemmMode::kCode);
+    const ModulePtr fp32 = proto_->clone();
+    EXPECT_TRUE(
+        bitwise_equal(quant_forward(*code_model, *fmt), quant_forward(*fp32, *fmt)));
+  }
+}
+
+// evaluate_with_table under code mode returns the identical metric to the
+// float-path snapshot/quantize/restore pipeline, and leaves the weights
+// bitwise untouched.
+TEST_F(QgemmModelTest, EvaluateWithTableCodeModeMatchesFloatMode) {
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  const ModulePtr model = proto_->clone();
+  const ptq::WeightSnapshot before = ptq::snapshot_weights(*model);
+  float m_float = 0.f, m_code = 0.f;
+  {
+    const ModeGuard mode(gemm::QgemmMode::kFloat);
+    m_float = ptq::evaluate_with_table(*model, *table_, *test_, *fmt);
+  }
+  {
+    const ModeGuard mode(gemm::QgemmMode::kCode);
+    m_code = ptq::evaluate_with_table(*model, *table_, *test_, *fmt);
+  }
+  EXPECT_EQ(m_float, m_code);
+  const ptq::WeightSnapshot after = ptq::snapshot_weights(*model);
+  ASSERT_EQ(before.values.size(), after.values.size());
+  for (std::size_t i = 0; i < before.values.size(); ++i)
+    EXPECT_TRUE(bitwise_equal(before.values[i], after.values[i])) << i;
+  // No stray codes left behind.
+  for (Module* m : model->modules()) {
+    if (auto* cw = dynamic_cast<ChannelWeights*>(m)) {
+      EXPECT_EQ(cw->weight_codes(), nullptr);
+    }
+  }
+}
+
+// Code-domain GEMM is thread-count invariant, like the float kernel.
+TEST_F(QgemmModelTest, CodeModeForwardThreadCountInvariant) {
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  const ModulePtr model = proto_->clone();
+  ptq::install_weight_codes(*model, *fmt, formats::ScalePolicy::kMaxToUnity);
+  const ModeGuard mode(gemm::QgemmMode::kCode);
+  core::resize_global_pool(1);
+  const Tensor base = quant_forward(*model, *fmt);
+  for (const int threads : {4, 13}) {
+    core::resize_global_pool(threads);
+    EXPECT_TRUE(bitwise_equal(quant_forward(*model, *fmt), base))
+        << "threads=" << threads;
+  }
+  core::resize_global_pool(4);  // suite default
+}
+
+// --------------------------------------------------------- artifact installs --
+
+// install_code_weights runs the MQT1 artifact code-domain: forward outputs
+// are bit-identical to unpack_weights' FP32 decode — including for
+// artifacts corrupted by seeded bit flips, under both corruption policies,
+// never crashing and agreeing on the non-finite counters.
+TEST_F(QgemmModelTest, ArtifactCodesBitIdenticalToUnpackEvenWhenCorrupted) {
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  const ptq::QuantizedModel clean =
+      ptq::pack_weights(*proto_, *fmt, formats::ScalePolicy::kMaxToUnity);
+
+  for (const std::uint64_t seed : {0ull, 1ull, 0xDEADull}) {
+    for (const auto policy : {formats::CorruptionPolicy::kZeroSubstitute,
+                              formats::CorruptionPolicy::kPropagate}) {
+      SCOPED_TRACE(testing::Message() << "seed=" << seed << " policy="
+                                      << static_cast<int>(policy));
+      ptq::QuantizedModel qm = clean;
+      fault::BitFlipInjector injector(seed);
+      if (seed != 0) injector.inject_ber(qm, 0.01);
+
+      const ModulePtr unpacked = proto_->clone();
+      formats::CorruptionStats stats_unpack;
+      ptq::unpack_weights(*unpacked, qm, *fmt, policy, &stats_unpack);
+      const ModeGuard fmode(gemm::QgemmMode::kFloat);
+      const Tensor ref = quant_forward(*unpacked, *fmt);
+
+      const ModulePtr coded = proto_->clone();
+      formats::CorruptionStats stats_install;
+      ptq::install_code_weights(*coded, qm, *fmt, policy, &stats_install);
+      EXPECT_EQ(stats_install.non_finite, stats_unpack.non_finite);
+      const ModeGuard cmode(gemm::QgemmMode::kCode);
+      EXPECT_TRUE(bitwise_equal(quant_forward(*coded, *fmt), ref));
+    }
+  }
+}
+
+// The model-aware load_artifact_pair overload rejects an artifact whose
+// element counts do not match the target modules' weight shapes, naming
+// the offending layer path — at load, before anything is installed.
+TEST_F(QgemmModelTest, LoadArtifactPairRejectsShapeMismatchByPath) {
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  ptq::QuantizedModel qm =
+      ptq::pack_weights(*proto_, *fmt, formats::ScalePolicy::kMaxToUnity);
+  // Grow one tensor's element count (consistently with its own header) so
+  // the container still parses but no longer fits the model.
+  ptq::QuantizedTensor& t = qm.tensors[1];
+  const int per = t.shape[1];
+  t.shape[1] = per + 1;
+  t.codes.resize(static_cast<std::size_t>(t.channels) * (per + 1), 0);
+  std::ostringstream mqt1s;
+  qm.save(mqt1s);
+  std::ostringstream mct1s;
+  table_->save(mct1s);
+
+  std::istringstream mct1(std::move(mct1s).str()), mqt1(std::move(mqt1s).str());
+  const ModulePtr model = proto_->clone();
+  try {
+    (void)ptq::load_artifact_pair(mct1, mqt1, *fmt, *model);
+    FAIL() << "shape-mismatched artifact accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    // Names the offending layer by path.
+    Module* second = nullptr;
+    int seen = 0;
+    for (Module* m : model->modules())
+      if (dynamic_cast<ChannelWeights*>(m) != nullptr && seen++ == 1) second = m;
+    ASSERT_NE(second, nullptr);
+    EXPECT_NE(what.find(second->path()), std::string::npos) << what;
+    EXPECT_NE(what.find("element count mismatch"), std::string::npos) << what;
+  }
+}
+
+// ------------------------------------------------ pack-cache identity (bug) --
+
+// Regression for the stale-pack hole: installing new codes does not bump
+// the Param version (the FP32 weights are untouched), so a cache keyed on
+// version alone would keep serving panels packed from the *previous* codes
+// — across generations and across formats.  The identity-keyed cache must
+// rebuild, making the second forward bit-identical to a never-cached layer.
+TEST(QgemmPackCache, RebuildsWhenCodesChangeWithoutVersionBump) {
+  const ModeGuard mode(gemm::QgemmMode::kCode);
+  std::mt19937 rng_a(5), rng_b(5);
+  Linear cached(24, 12, rng_a);
+  Linear fresh(24, 12, rng_b);  // identical weights, never forwards format A
+
+  std::mt19937 xrng(9);
+  const Tensor x = Tensor::randn({6, 24}, xrng, 1.f);
+  const Context ctx{/*train=*/false, nullptr};
+
+  const auto fmt_a = core::make_format("MERSIT(8,2)");
+  const auto fmt_b = core::make_format("FP(8,4)");
+  ptq::install_weight_codes(cached, *fmt_a, formats::ScalePolicy::kMaxToUnity);
+  (void)cached.forward(x, ctx);  // warms the pack cache with format A panels
+
+  ptq::install_weight_codes(cached, *fmt_b, formats::ScalePolicy::kMaxToUnity);
+  ptq::install_weight_codes(fresh, *fmt_b, formats::ScalePolicy::kMaxToUnity);
+  const Tensor got = cached.forward(x, ctx);
+  const Tensor want = fresh.forward(x, ctx);
+  EXPECT_TRUE(bitwise_equal(got, want));
+  // Sanity: the two formats actually produce different outputs, so a stale
+  // format-A pack could not have passed the check above by coincidence.
+  ptq::clear_weight_codes(fresh);
+  ptq::install_weight_codes(fresh, *fmt_a, formats::ScalePolicy::kMaxToUnity);
+  EXPECT_FALSE(bitwise_equal(fresh.forward(x, ctx), want));
+}
+
+// Toggling MERSIT_PREPACK must also rebuild the entry (the want-packs bit
+// of the identity): a pack-less entry cached under prepack-off is not
+// served once prepacking is back on, and both configurations stay
+// bit-identical anyway.
+TEST(QgemmPackCache, PrepackToggleKeepsForwardBitIdentical) {
+  const ModeGuard mode(gemm::QgemmMode::kCode);
+  std::mt19937 rng(5);
+  Linear lin(24, 12, rng);
+  std::mt19937 xrng(9);
+  const Tensor x = Tensor::randn({6, 24}, xrng, 1.f);
+  const Context ctx{/*train=*/false, nullptr};
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  ptq::install_weight_codes(lin, *fmt, formats::ScalePolicy::kMaxToUnity);
+
+  Tensor off_result, on_result;
+  {
+    const PrepackGuard off(false);
+    off_result = lin.forward(x, ctx);
+  }
+  {
+    const PrepackGuard on(true);
+    on_result = lin.forward(x, ctx);
+  }
+  EXPECT_TRUE(bitwise_equal(off_result, on_result));
+}
+
+// ------------------------------------------------------------ Kulisch mode --
+
+// Every registered format's decode LUT either decomposes exactly —
+// lut[c] == mant[c]·2^exp[c] for all finite codes, mant 0 for non-finite —
+// or is marked unusable; never a silently wrong table.
+TEST(QgemmKulisch, TableDecomposesEveryRegisteredFormatExactly) {
+  bool any_usable = false;
+  for (const std::string& name : core::all_format_names()) {
+    SCOPED_TRACE(name);
+    const auto fmt = core::make_format(name);
+    const auto lut = decode_lut(*fmt);
+    const gemm::KulischTable tab = gemm::build_kulisch_table(lut.data());
+    if (!tab.usable) continue;
+    any_usable = true;
+    for (int c = 0; c < 256; ++c) {
+      if (!std::isfinite(lut[static_cast<std::size_t>(c)])) {
+        EXPECT_EQ(tab.mant[c], 0) << "code " << c;
+        continue;
+      }
+      EXPECT_EQ(std::ldexp(static_cast<double>(tab.mant[c]), tab.exp[c]),
+                lut[static_cast<std::size_t>(c)])
+          << "code " << c;
+      EXPECT_GE(tab.exp[c] + tab.exp[c] - tab.base, 0) << "code " << c;
+    }
+  }
+  EXPECT_TRUE(any_usable);
+  // The paper's flagship format must take the exact path.
+  const auto lut = decode_lut(*core::make_format("MERSIT(8,2)"));
+  EXPECT_TRUE(gemm::build_kulisch_table(lut.data()).usable);
+}
+
+// K=1 products admit a closed-form reference (the quire holds one exact
+// dyadic product; rounding it to double equals the double multiply): the
+// ULP-contract formula float(double(bias) + q·(sa·sb)) must hold bit for
+// bit over every finite code pair.
+TEST(QgemmKulisch, SingleProductMatchesContractFormulaExactly) {
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  const auto lut = decode_lut(*fmt);
+  const gemm::KulischTable tab = gemm::build_kulisch_table(lut.data());
+  ASSERT_TRUE(tab.usable);
+  const double sa = 0.375, sb = 1.625;
+  const float bias = 0.125f;
+  for (int ca = 0; ca < 256; ++ca) {
+    if (!std::isfinite(lut[static_cast<std::size_t>(ca)])) continue;
+    for (int cb = 0; cb < 256; ++cb) {
+      if (!std::isfinite(lut[static_cast<std::size_t>(cb)])) continue;
+      const std::uint8_t a_code = static_cast<std::uint8_t>(ca);
+      const std::uint8_t b_code = static_cast<std::uint8_t>(cb);
+      const gemm::QOperand a{&a_code, 1, false, nullptr, sa};
+      const gemm::QOperand b{&b_code, 1, false, nullptr, sb};
+      float got = 0.f;
+      gemm::qgemm_kulisch(1, 1, 1, a, b, tab, gemm::Init::kBiasCol, &bias,
+                          &got, 1);
+      const float want = static_cast<float>(
+          static_cast<double>(bias) + lut[static_cast<std::size_t>(ca)] *
+                                          lut[static_cast<std::size_t>(cb)] *
+                                          (sa * sb));
+      EXPECT_EQ(std::memcmp(&got, &want, sizeof(float)), 0)
+          << "codes " << ca << "," << cb;
+    }
+  }
+}
+
+// The reason Kulisch exists: max + tiny - max recovers the tiny value
+// exactly, where FP32 ascending-k accumulation returns 0 (the tiny addend
+// is absorbed).  This is the K-independent-rounding contract in action.
+TEST(QgemmKulisch, CancellationRecoversTinyAddendExactly) {
+  // Posit(8,3): ~2^±48 dynamic range, far beyond the float mantissa — the
+  // tapered-precision case Kulisch accumulation exists for.
+  const auto fmt = core::make_format("Posit(8,3)");
+  const auto kernel = formats::kernels::kernel_for(*fmt);
+  const auto lut = decode_lut(*fmt);
+  const gemm::KulischTable tab = gemm::build_kulisch_table(lut.data());
+  ASSERT_TRUE(tab.usable);
+
+  double vmax = 0.0, vmin = 0.0;
+  for (int c = 0; c < 256; ++c) {
+    const double v = lut[static_cast<std::size_t>(c)];
+    if (!std::isfinite(v) || v <= 0.0) continue;
+    vmax = std::max(vmax, v);
+    vmin = vmin == 0.0 ? v : std::min(vmin, v);
+  }
+  ASSERT_GT(vmax / vmin, 0x1.0p25)  // spread exceeds the float mantissa
+      << "format has too little dynamic range for this test";
+
+  const std::uint8_t a_codes[3] = {kernel->encode(vmax), kernel->encode(vmin),
+                                   kernel->encode(-vmax)};
+  const std::uint8_t one = kernel->encode(1.0);
+  const std::uint8_t b_codes[3] = {one, one, one};
+  const gemm::QOperand a{a_codes, 3, false, nullptr, 1.0};
+  const gemm::QOperand b{b_codes, 1, false, nullptr, 1.0};
+  float got = -1.f;
+  gemm::qgemm_kulisch(1, 1, 3, a, b, tab, gemm::Init::kZero, nullptr, &got, 1);
+  EXPECT_EQ(got, static_cast<float>(vmin));
+  // FP32 ascending accumulation of the same decoded values loses it.
+  float fp32 = 0.f;
+  fp32 += static_cast<float>(vmax);
+  fp32 += static_cast<float>(vmin);
+  fp32 += static_cast<float>(-vmax);
+  EXPECT_EQ(fp32, 0.f);
+}
+
+// End-to-end: a Linear under MERSIT_QGEMM=kulisch with a stamped activation
+// scale takes the quire path — bit-identical to calling qgemm_kulisch
+// directly with the layer's operands — and stays within accumulation noise
+// of the code-mode result.
+TEST(QgemmKulisch, LinearForwardTakesQuirePath) {
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  const auto kernel = formats::kernels::kernel_for(*fmt);
+  std::mt19937 rng(11);
+  Linear lin(32, 7, rng);
+  for (int o = 0; o < 7; ++o) lin.bias.value[o] = 0.01f * static_cast<float>(o);
+  ptq::install_weight_codes(lin, *fmt, formats::ScalePolicy::kMaxToUnity);
+  const auto wc = lin.weight_codes();
+  ASSERT_NE(wc, nullptr);
+  ASSERT_NE(wc->kulisch, nullptr);
+  ASSERT_TRUE(wc->kulisch->usable);
+
+  // Fake-quantized activations at a stamped scale, exactly as the PTQ
+  // hooks would leave them.
+  std::mt19937 xrng(23);
+  Tensor x = Tensor::randn({5, 32}, xrng, 1.f);
+  const double xscale = formats::scale_for_absmax(*fmt, x.abs_max(),
+                                                  formats::ScalePolicy::kMaxToUnity);
+  kernel->fake_quantize(x.data(), xscale);
+  x.set_quant_scale(xscale);
+
+  Tensor y_kulisch, y_code;
+  const Context ctx{/*train=*/false, nullptr};
+  {
+    const ModeGuard mode(gemm::QgemmMode::kKulisch);
+    y_kulisch = lin.forward(x, ctx);
+  }
+  {
+    const ModeGuard mode(gemm::QgemmMode::kCode);
+    y_code = lin.forward(x, ctx);
+  }
+
+  // Direct quire reference with the layer's exact operands.
+  std::vector<std::uint8_t> xcodes(static_cast<std::size_t>(5) * 32);
+  const double xinv = 1.0 / xscale;
+  for (std::size_t i = 0; i < xcodes.size(); ++i)
+    xcodes[i] = kernel->encode(static_cast<double>(x.raw()[i]) * xinv);
+  Tensor y_direct({5, 7});
+  const gemm::QOperand a{xcodes.data(), 32, false, nullptr, xscale};
+  const gemm::QOperand b{wc->codes.data(), 32, true, wc->scales.data(), 0.0};
+  gemm::qgemm_kulisch(5, 7, 32, a, b, *wc->kulisch, gemm::Init::kBiasCol,
+                      lin.bias.value.raw(), y_direct.raw(), 7);
+  EXPECT_TRUE(bitwise_equal(y_kulisch, y_direct));
+
+  // Exact vs FP32-accumulated: same values, K=32 roundings apart at most.
+  for (std::int64_t i = 0; i < y_code.numel(); ++i)
+    EXPECT_NEAR(y_kulisch[i], y_code[i],
+                1e-4f * (1.f + std::fabs(y_code[i])))
+        << i;
+}
+
+}  // namespace
+}  // namespace mersit::nn

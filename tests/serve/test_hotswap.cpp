@@ -209,6 +209,87 @@ TEST_F(HotSwapTest, SwapUnderLoadBitIdenticalToQuiescedSwap) {
   EXPECT_EQ(engine.artifact_seq("m"), static_cast<std::uint64_t>(1 + kSwaps));
 }
 
+// ------------------------------------------- stale packs / format identity --
+
+// Regression for the prepacked-cache identity hole: under code-domain
+// serving (MERSIT_QGEMM=code, the default) a swap installs new 8-bit codes
+// WITHOUT touching the FP32 weights, so the per-Param version counters do
+// not move — a pack cache keyed on version alone would keep serving GEMM
+// panels decoded from the previous generation's codes, or from a different
+// *format's* codes entirely.  Hammering requests while swapping between a
+// MERSIT artifact and an FP(8,4) artifact of the same weights must only
+// ever produce responses bit-identical to one of the two formats' quiesced
+// references.
+TEST_F(HotSwapTest, CrossFormatSwapUnderLoadNeverServesStalePacks) {
+  const std::shared_ptr<const formats::Format> fmt2 =
+      core::make_format("FP(8,4)");
+  std::ostringstream mqt2s;
+  ptq::pack_weights(*proto_, *fmt2).save(mqt2s);
+  const Artifact art_f2{art_a_.mct1, std::move(mqt2s).str()};
+
+  // Quiesced reference under fmt2, through the exact replica path.
+  const nn::ModulePtr replica = proto_->clone();
+  std::istringstream mqt2(art_f2.mqt1);
+  ptq::unpack_weights(*replica, ptq::QuantizedModel::load(mqt2), *fmt2,
+                      formats::CorruptionPolicy::kZeroSubstitute);
+  ptq::FakeQuantizer fq2(*table_, *fmt2, formats::ScalePolicy::kMaxToUnity);
+  fq2.set_input_quantization(true);
+  nn::Tensor x({1, 3, kImg, kImg});
+  std::memcpy(x.raw(), probe_->raw(),
+              sizeof(float) * static_cast<std::size_t>(probe_->numel()));
+  fq2.on_input(x);
+  const nn::Tensor ref_f2 =
+      replica->run(x, nn::Context{/*train=*/false, &fq2});
+  ASSERT_NE(std::memcmp(ref_f2.raw(), ref_a_->raw(), sizeof(float) * kClasses),
+            0)
+      << "formats must be distinguishable for the stale-pack check to bite";
+
+  Engine engine(serve_options());
+  register_m(engine);
+  swap(engine, art_a_);
+  // Warm every replica's pack caches on generation A before swapping.
+  for (int i = 0; i < 4; ++i) {
+    Response r = engine.submit("m", *probe_).get();
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_TRUE(matches(r, *ref_a_));
+  }
+
+  constexpr int kHammerThreads = 3, kPerThread = 25, kSwaps = 6;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> hammers;
+  for (int t = 0; t < kHammerThreads; ++t) {
+    hammers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Response r = engine.submit("m", *probe_).get();
+        if (!r.ok || !(matches(r, *ref_a_) || matches(r, ref_f2)))
+          bad.fetch_add(1);
+      }
+    });
+  }
+  std::thread swapper([&] {
+    for (int i = 0; i < kSwaps; ++i) {
+      if (i % 2 == 0) {
+        std::istringstream mct1(art_f2.mct1), mqt1(art_f2.mqt1);
+        engine.swap_artifacts("m", mct1, mqt1, fmt2);
+      } else {
+        swap(engine, art_a_);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  for (auto& t : hammers) t.join();
+  swapper.join();
+
+  EXPECT_EQ(bad.load(), 0)
+      << bad.load() << " responses failed or matched neither format";
+  EXPECT_EQ(engine.artifact_seq("m"), static_cast<std::uint64_t>(1 + kSwaps));
+  // Quiesced check after the last swap (an even count ends on format A):
+  // no stale panels from the other format survive.
+  Response r = engine.submit("m", *probe_).get();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(matches(r, *ref_a_));
+}
+
 // ------------------------------------------------------- corrupt artifacts --
 
 TEST_F(HotSwapTest, CorruptArtifactsRejectedOldGenerationKeepsServing) {
