@@ -25,17 +25,31 @@
 // A one-shot Kulisch probe documents the exact-accumulator ULP contract by
 // measuring how far FP32 ascending-k accumulation drifts from the quire.
 //
+// A final single-thread sweep times the prepacked forward of every vision
+// model under every compiled-in SIMD backend the host supports
+// (MERSIT_BACKEND registry: scalar/avx2/avx512/neon), cross-checking each
+// backend's logits bitwise against the scalar backend — the backends
+// promise the identical ascending-k rounding sequence, so any ULP distance
+// is a bug.  The report records the per-backend latencies, the
+// best-vs-scalar geomean, and the largest single-model speedup.
+//
 // Flags: --json=PATH writes the per-model latency/speedup report consumed
-// by EXPERIMENTS.md ("Prepacked inference", "Code-domain inference") and
-// the committed BENCH_inference.json.  MERSIT_BENCH_FAST=1 shrinks the
-// batch and image/sequence sizes; the output is labeled with the sizing
-// mode.  --check_json=PATH validates that a committed report carries every
-// field the current bench emits — the staleness guard CI runs so schema
-// growth cannot silently leave BENCH_inference.json behind.
+// by EXPERIMENTS.md ("Prepacked inference", "Code-domain inference",
+// "SIMD backends") and the committed BENCH_inference.json.
+// MERSIT_BENCH_FAST=1 shrinks the batch and image/sequence sizes; the
+// output is labeled with the sizing mode.  --check_json=PATH validates
+// that a committed report carries every field the current bench emits —
+// the staleness guard CI runs so schema growth cannot silently leave
+// BENCH_inference.json behind.  --backends lists the compiled-in backends
+// with the host's support verdict and exits nonzero if detection picked a
+// backend the host cannot execute (the CI self-check).
 //
 // Perf gates: on ResNet18-mini the prepacked path must be at least as fast
 // as packing per call, and the code-domain path must not regress against
-// prepacked FP32 (both with a measurement-noise allowance); a regression
+// prepacked FP32 (both with a measurement-noise allowance); the detected
+// backend must not lose to scalar on the sweep geomean; and in full sizing
+// at least one vision model must clear a 1.5x single-thread best-vs-scalar
+// speedup (the SIMD backends must pay for their dispatch).  A regression
 // exits nonzero.
 #include <algorithm>
 #include <bit>
@@ -51,8 +65,10 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/cpu.h"
 #include "core/registry.h"
 #include "core/thread_pool.h"
+#include "nn/gemm/backend.h"
 #include "nn/gemm/gemm.h"
 #include "nn/gemm/qgemm.h"
 #include "nn/models.h"
@@ -80,6 +96,10 @@ constexpr double kCodeSlack = 1.10;
 
 /// Weight format for the code-domain column and the Kulisch probe.
 constexpr const char* kCodeFormat = "MERSIT(8,2)";
+
+/// Single-thread best-vs-scalar speedup at least one vision model must
+/// clear in full sizing — the SIMD backends must pay for their dispatch.
+constexpr double kBackendSpeedupGate = 1.5;
 
 /// ULP distance between two finite floats (monotone integer mapping).
 std::uint32_t ulp_distance(float a, float b) {
@@ -266,6 +286,108 @@ KulischProbe kulisch_probe() {
   return probe;
 }
 
+// ------------------------------------------------------ SIMD backend sweep --
+
+/// Single-thread prepacked latency of every vision model under one backend.
+struct BackendRun {
+  std::string backend;
+  bool active = false;            ///< the backend auto-detection picked
+  std::vector<double> model_ms;   ///< parallel to BackendSweep::models
+  std::uint32_t max_ulp_vs_scalar = 0;  ///< bitwise gate: must be 0
+};
+
+struct BackendSweep {
+  std::vector<std::string> models;  ///< vision-zoo model names
+  std::vector<BackendRun> runs;     ///< detection order, scalar last
+  double geomean_best_vs_scalar = 0.0;
+  double max_speedup_best_vs_scalar = 0.0;
+  std::string max_speedup_model;
+};
+
+/// Times the prepacked FP32 forward of each vision model once per
+/// compiled-in backend the host supports, single-threaded, cross-checking
+/// logits bitwise against the scalar backend.  The prepacked-weight cache
+/// keys on the backend id, so switching backends rebuilds the panels in the
+/// untimed warm-up pass — exactly the hot-swap path serving exercises.
+template <typename Zoo>
+BackendSweep backend_sweep(Zoo& zoo, const nn::Tensor& x, int reps) {
+  BackendSweep sweep;
+  core::resize_global_pool(1);
+  nn::gemm::set_enabled(true);
+  nn::gemm::set_prepack_enabled(true);
+  const nn::gemm::Backend& detected = nn::gemm::active_backend();
+  const nn::Context ctx;
+  // Scalar is last in detection order, so collect the bitwise references
+  // up front with an explicit scalar pass.
+  const nn::gemm::Backend* prev =
+      nn::gemm::set_backend(&nn::gemm::scalar_backend());
+  std::vector<nn::Tensor> scalar_ref;
+  for (std::size_t i = 0; i < zoo.size(); ++i) {
+    sweep.models.push_back(zoo[i].name);
+    scalar_ref.push_back(zoo[i].model->forward(x, ctx));
+  }
+  for (const nn::gemm::Backend* be : nn::gemm::backends()) {
+    if (!be->supported()) continue;
+    nn::gemm::set_backend(be);
+    BackendRun run;
+    run.backend = be->name;
+    run.active = be == &detected;
+    for (std::size_t i = 0; i < zoo.size(); ++i) {
+      run.max_ulp_vs_scalar = std::max(
+          run.max_ulp_vs_scalar,
+          max_ulp(scalar_ref[i], zoo[i].model->forward(x, ctx)));
+      run.model_ms.push_back(time_forward_ms(*zoo[i].model, x, reps));
+    }
+    sweep.runs.push_back(std::move(run));
+  }
+  nn::gemm::set_backend(prev);
+
+  // Scalar runs last (detection order), so its timings close the list; the
+  // best backend is the detected one.  Compare best vs scalar per model.
+  const BackendRun* scalar = nullptr;
+  const BackendRun* best = nullptr;
+  for (const BackendRun& r : sweep.runs) {
+    if (r.backend == "scalar") scalar = &r;
+    if (r.active) best = &r;
+  }
+  if (scalar != nullptr && best != nullptr) {
+    double log_sum = 0.0;
+    int n = 0;
+    for (std::size_t i = 0; i < sweep.models.size(); ++i) {
+      if (best->model_ms[i] <= 0.0) continue;
+      const double s = scalar->model_ms[i] / best->model_ms[i];
+      log_sum += std::log(s);
+      ++n;
+      if (s > sweep.max_speedup_best_vs_scalar) {
+        sweep.max_speedup_best_vs_scalar = s;
+        sweep.max_speedup_model = sweep.models[i];
+      }
+    }
+    sweep.geomean_best_vs_scalar = n > 0 ? std::exp(log_sum / n) : 0.0;
+  }
+  return sweep;
+}
+
+void print_backend_sweep(const BackendSweep& sweep) {
+  std::printf("\n--- SIMD backend sweep (1 thread, prepacked ms; host: %s) ---\n",
+              core::cpu_feature_summary().c_str());
+  std::printf("%-22s", "model");
+  for (const BackendRun& r : sweep.runs)
+    std::printf(" %9s%s", r.backend.c_str(), r.active ? "*" : " ");
+  std::printf("\n");
+  bench::print_rule(22 + 11 * static_cast<int>(sweep.runs.size()));
+  for (std::size_t i = 0; i < sweep.models.size(); ++i) {
+    std::printf("%-22s", sweep.models[i].c_str());
+    for (const BackendRun& r : sweep.runs)
+      std::printf(" %9.3f ", r.model_ms[i]);
+    std::printf("\n");
+  }
+  std::printf("best-vs-scalar geomean %.2fx; peak %.2fx on %s "
+              "(* = detected backend)\n",
+              sweep.geomean_best_vs_scalar, sweep.max_speedup_best_vs_scalar,
+              sweep.max_speedup_model.c_str());
+}
+
 /// Geomean of the prepacked-over-packed speedup across the vision rows.
 double zoo_geomean(const std::vector<Row>& rows) {
   double log_sum = 0.0;
@@ -304,7 +426,8 @@ void print_run(const RunReport& run) {
 }
 
 int write_json(const char* path, const bench::Sizes& sizes,
-               const std::vector<RunReport>& runs, const KulischProbe& kp) {
+               const std::vector<RunReport>& runs, const KulischProbe& kp,
+               const BackendSweep& sweep) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_inference: cannot open %s\n", path);
@@ -312,7 +435,30 @@ int write_json(const char* path, const bench::Sizes& sizes,
   }
   std::fprintf(f, "{\n  \"bench\": \"bench_inference/forward\",\n");
   std::fprintf(f, "  \"mode\": \"%s\",\n", sizes.mode());
+  std::fprintf(f, "  \"backend\": \"%s\",\n", nn::gemm::active_backend().name);
+  std::fprintf(f, "  \"cpu_features\": \"%s\",\n",
+               core::cpu_feature_summary().c_str());
   std::fprintf(f, "  \"qgemm_format\": \"%s\",\n", kCodeFormat);
+  std::fprintf(f,
+               "  \"backend_sweep\": {\"threads\": 1, "
+               "\"geomean_best_vs_scalar\": %.2f, "
+               "\"max_speedup_best_vs_scalar\": %.2f, "
+               "\"max_speedup_model\": \"%s\", \"backends\": [\n",
+               sweep.geomean_best_vs_scalar, sweep.max_speedup_best_vs_scalar,
+               sweep.max_speedup_model.c_str());
+  for (std::size_t b = 0; b < sweep.runs.size(); ++b) {
+    const BackendRun& r = sweep.runs[b];
+    std::fprintf(f,
+                 "    {\"backend\": \"%s\", \"active\": %s, "
+                 "\"max_ulp_vs_scalar\": %u, \"models\": [",
+                 r.backend.c_str(), r.active ? "true" : "false",
+                 r.max_ulp_vs_scalar);
+    for (std::size_t i = 0; i < sweep.models.size(); ++i)
+      std::fprintf(f, "%s{\"model\": \"%s\", \"prepacked_ms\": %.3f}",
+                   i > 0 ? ", " : "", sweep.models[i].c_str(), r.model_ms[i]);
+    std::fprintf(f, "]}%s\n", b + 1 < sweep.runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]},\n");
   std::fprintf(f,
                "  \"kulisch_probe\": {\"usable\": %s, \"m\": %d, \"k\": %d, "
                "\"n\": %d, \"fp32_max_ulp_vs_exact\": %u},\n",
@@ -371,6 +517,12 @@ int check_json(const char* path) {
   const char* required[] = {
       "\"bench\": \"bench_inference/forward\"",
       "\"mode\"",
+      "\"backend\"",
+      "\"cpu_features\"",
+      "\"backend_sweep\"",
+      "\"geomean_best_vs_scalar\"",
+      "\"max_speedup_best_vs_scalar\"",
+      "\"max_ulp_vs_scalar\"",
       "\"qgemm_format\"",
       "\"kulisch_probe\"",
       "\"fp32_max_ulp_vs_exact\"",
@@ -402,6 +554,26 @@ int check_json(const char* path) {
   return missing == 0 ? 0 : 1;
 }
 
+/// --backends: list the registry with the host's support verdict and fail
+/// if detection activated a backend this host cannot execute (the CI
+/// self-check for the CPUID dispatch).
+int list_backends() {
+  const nn::gemm::Backend& active = nn::gemm::active_backend();
+  std::printf("host features: %s\n", core::cpu_feature_summary().c_str());
+  for (const nn::gemm::Backend* be : nn::gemm::backends())
+    std::printf("%-8s %dx%d tile  supported=%s%s\n", be->name, be->mr, be->nr,
+                be->supported() ? "yes" : "no",
+                be == &active ? "  [active]" : "");
+  if (!active.supported()) {
+    std::fprintf(stderr,
+                 "bench_inference: detection activated '%s', which this host "
+                 "cannot execute\n",
+                 active.name);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -411,11 +583,21 @@ int main(int argc, char** argv) {
       json_path = argv[i] + 7;
     } else if (std::strncmp(argv[i], "--check_json=", 13) == 0) {
       return check_json(argv[i] + 13);
+    } else if (std::strcmp(argv[i], "--backends") == 0) {
+      return list_backends();
     } else {
-      std::fprintf(stderr, "usage: %s [--json=PATH] [--check_json=PATH]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--json=PATH] [--check_json=PATH] [--backends]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (!nn::gemm::active_backend().supported()) {
+    std::fprintf(stderr,
+                 "bench_inference: active backend '%s' is not executable on "
+                 "this host\n",
+                 nn::gemm::active_backend().name);
+    return 1;
   }
 
   const auto sizes = bench::Sizes::from_env();
@@ -450,6 +632,9 @@ int main(int argc, char** argv) {
     runs.push_back(std::move(run));
   }
 
+  const BackendSweep sweep = backend_sweep(zoo, vision_x, reps);
+  print_backend_sweep(sweep);
+
   const KulischProbe kp = kulisch_probe();
   std::printf("\nkulisch probe (%s, %dx%dx%d): usable=%s, FP32 drift vs "
               "exact quire = %u ULP\n",
@@ -457,7 +642,7 @@ int main(int argc, char** argv) {
               kp.fp32_max_ulp_vs_exact);
 
   if (json_path != nullptr) {
-    const int rc = write_json(json_path, sizes, runs, kp);
+    const int rc = write_json(json_path, sizes, runs, kp, sweep);
     if (rc != 0) return rc;
     std::printf("\nwrote %s\n", json_path);
   }
@@ -522,6 +707,39 @@ int main(int argc, char** argv) {
         ++bad;
       }
     }
+  }
+  // SIMD backend sweep gates: every supported backend must reproduce the
+  // scalar logits to the last bit; the detected backend must not lose to
+  // scalar on the sweep geomean; and in full sizing, when a SIMD backend is
+  // active, at least one vision model must clear the 1.5x single-thread
+  // speedup bar.
+  for (const BackendRun& r : sweep.runs) {
+    if (r.max_ulp_vs_scalar > 0) {
+      std::fprintf(stderr,
+                   "bench_inference: backend '%s' diverges from scalar "
+                   "(max ULP %u; must be 0)\n",
+                   r.backend.c_str(), r.max_ulp_vs_scalar);
+      ++bad;
+    }
+  }
+  if (sweep.geomean_best_vs_scalar > 0.0 &&
+      sweep.geomean_best_vs_scalar * kPerfSlack < 1.0) {
+    std::fprintf(stderr,
+                 "bench_inference: detected backend loses to scalar "
+                 "(geomean %.2fx)\n",
+                 sweep.geomean_best_vs_scalar);
+    ++bad;
+  }
+  const bool simd_active =
+      std::string(nn::gemm::active_backend().name) != "scalar";
+  if (!sizes.fast && simd_active &&
+      sweep.max_speedup_best_vs_scalar < kBackendSpeedupGate) {
+    std::fprintf(stderr,
+                 "bench_inference: no vision model reaches %.1fx single-thread "
+                 "best-vs-scalar (peak %.2fx on %s)\n",
+                 kBackendSpeedupGate, sweep.max_speedup_best_vs_scalar,
+                 sweep.max_speedup_model.c_str());
+    ++bad;
   }
   return bad == 0 ? 0 : 1;
 }

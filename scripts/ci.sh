@@ -34,6 +34,17 @@ run_suite() {
 
 run_suite build
 
+# SIMD backend self-check: the registry's CPUID detection must activate a
+# backend this host can actually execute (--backends exits nonzero
+# otherwise), and the GEMM suites must pass under the forced scalar
+# reference as well as under the auto-detected backend (the per-backend
+# bitwise gates inside the suites cover every other compiled-in backend).
+echo "==> SIMD backend self-check (--backends)"
+./build/bench/bench_inference --backends
+echo "==> GEMM suites under MERSIT_BACKEND=scalar"
+MERSIT_BACKEND=scalar ./build/tests/test_concurrency --gtest_filter='Gemm*'
+MERSIT_BACKEND=scalar ./build/tests/test_qgemm --gtest_filter='QgemmPack.*'
+
 # Perf smoke: the Release bench runs every model through all five modes
 # (naive / packed-per-call / prepacked+fused / folded-BN / code-domain
 # MERSIT_QGEMM=code) and enforces its gates internally, exiting nonzero
@@ -43,7 +54,10 @@ run_suite build
 #  * folded-BN divergence beyond its documented tolerance,
 #  * prepacked+fused slower than packed-per-call on ResNet18-mini,
 #  * code-domain slower than prepacked FP32 on ResNet18-mini,
-#  * no usable Kulisch table for the code format.
+#  * no usable Kulisch table for the code format,
+#  * a SIMD backend diverging bitwise from scalar in the backend sweep, or
+#    the detected backend losing to scalar on the sweep geomean (the 1.5x
+#    single-model speedup bar additionally applies in full sizing).
 # The --check_json pass guards the committed BENCH_inference.json against
 # schema drift, same as the serving report below.
 echo "==> perf smoke (bench_inference, fast sizing)"
@@ -63,7 +77,11 @@ echo "==> serving smoke (bench_serving, fast sizing)"
 MERSIT_BENCH_FAST=1 ./build/bench/bench_serving --fast --json=build/BENCH_serving.json
 ./build/bench/bench_serving --check_json=BENCH_serving.json
 
-run_suite build-sanitize -DMERSIT_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+# Sanitizer stages run the *default* dispatch under the forced scalar
+# reference backend (deterministic baseline codegen; the per-backend gates
+# inside test_gemm/test_qgemm still drive every compiled-in SIMD backend
+# explicitly, so the intrinsic kernels get sanitizer coverage through them).
+MERSIT_BACKEND=scalar run_suite build-sanitize -DMERSIT_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
 # TSan stage: rebuild and run only the concurrency-sensitive suites (a full
 # TSan run of the training-heavy tests would dominate CI time).  Selection is
@@ -81,8 +99,8 @@ cmake -B build-tsan -S . "${CACHE_ARGS[@]}" -DMERSIT_SANITIZE=thread -DCMAKE_BUI
 echo "==> build build-tsan"
 cmake --build build-tsan -j "${JOBS}" --target test_concurrency test_qgemm test_serve
 echo "==> ctest build-tsan (-L concurrency)"
-MERSIT_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-  -L concurrency
+MERSIT_BACKEND=scalar MERSIT_THREADS=4 ctest --test-dir build-tsan \
+  --output-on-failure -j "${JOBS}" -L concurrency
 
 # Committed build trees have bitten this repo before (a stale build-sanitize/
 # was checked in); fail if any build artifact is tracked by git or shows up

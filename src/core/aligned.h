@@ -1,0 +1,65 @@
+// 64-byte-aligned storage for SIMD-consumed buffers.
+//
+// The GEMM backends load packed panels with aligned vector instructions, so
+// every panel allocation — PackedMatrix::data for prepacked weights and the
+// ScratchArena blocks behind per-call packs — must start on a 64-byte
+// boundary (one cache line, the widest vector width we dispatch to).
+// std::vector's default allocator and std::make_unique only guarantee
+// alignof(std::max_align_t) (16 on x86-64 glibc), hence this allocator.
+//
+// Debug builds assert the invariant at the point of use via
+// MERSIT_ASSERT_ALIGNED; release builds compile it away.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace mersit::core {
+
+/// Alignment every SIMD-consumed buffer gets: one cache line, enough for a
+/// full AVX-512 register and any narrower ISA.
+inline constexpr std::size_t kSimdAlign = 64;
+
+[[nodiscard]] inline bool is_aligned(const void* p,
+                                     std::size_t align = kSimdAlign) {
+  return (reinterpret_cast<std::uintptr_t>(p) & (align - 1)) == 0;
+}
+
+/// std::allocator drop-in whose allocations are kSimdAlign-aligned.
+/// Stateless, so all instances compare equal and container moves/swaps keep
+/// their O(1) guarantees.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}  // NOLINT
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kSimdAlign}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kSimdAlign});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// Vector whose data() is always kSimdAlign-aligned.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace mersit::core
+
+/// Debug-build check that `p` sits on a kSimdAlign boundary (no-op when
+/// NDEBUG).  A macro so the failing expression shows the callsite pointer.
+#define MERSIT_ASSERT_ALIGNED(p) \
+  assert((p) == nullptr || ::mersit::core::is_aligned(p))

@@ -1,0 +1,45 @@
+#include "core/cpu.h"
+
+namespace mersit::core {
+
+namespace {
+
+CpuFeatures probe() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(_M_X64)
+  // __builtin_cpu_supports consults libgcc's cached CPUID model, which
+  // includes the XGETBV check that the OS saves/restores the wide register
+  // state — a true bit means the instructions will actually execute.
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  f.avx512f = __builtin_cpu_supports("avx512f") != 0;
+#elif defined(__aarch64__)
+  // Advanced SIMD is architecturally mandatory on AArch64.
+  f.neon = true;
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = probe();
+  return f;
+}
+
+std::string cpu_feature_summary() {
+  const CpuFeatures& f = cpu_features();
+  std::string s;
+#if defined(__x86_64__) || defined(_M_X64)
+  s = "x86-64";
+#elif defined(__aarch64__)
+  s = "aarch64";
+#else
+  s = "baseline";
+#endif
+  if (f.avx2) s += " avx2";
+  if (f.avx512f) s += " avx512f";
+  if (f.neon) s += " neon";
+  return s;
+}
+
+}  // namespace mersit::core

@@ -36,4 +36,15 @@ namespace mersit::core {
   return v;
 }
 
+/// String form of the same unset policy: nullptr when `name` is unset or set
+/// to the empty string, the raw value otherwise.  Validation stays with the
+/// caller — which knows the accepted value set — and must follow the same
+/// loud-beats-lucky rule: an unrecognized value throws naming the variable,
+/// the value, and the accepted set (see gemm::parse_backend for the
+/// MERSIT_BACKEND instance, qgemm's parse_mode for MERSIT_QGEMM).
+[[nodiscard]] inline const char* env_str(const char* name) {
+  const char* env = std::getenv(name);
+  return (env == nullptr || env[0] == '\0') ? nullptr : env;
+}
+
 }  // namespace mersit::core

@@ -27,7 +27,10 @@
 
 #include <cstddef>
 #include <memory>
+#include <new>
 #include <vector>
+
+#include "core/aligned.h"
 
 namespace mersit::core {
 
@@ -57,18 +60,23 @@ class ScratchArena {
     std::size_t offset_;
   };
 
-  /// Bump-allocate `n` floats (64-byte aligned).  The memory is
-  /// uninitialized and valid until the innermost enclosing Scope ends.
-  /// alloc(0) returns nullptr.
+  /// Bump-allocate `n` floats, 64-byte aligned: blocks come from aligned
+  /// operator new and every allocation size is rounded up to a whole number
+  /// of cache lines, so the SIMD GEMM backends can use aligned loads/stores
+  /// on pack buffers.  The memory is uninitialized and valid until the
+  /// innermost enclosing Scope ends.  alloc(0) returns nullptr.
   [[nodiscard]] float* alloc(std::size_t n) {
     if (n == 0) return nullptr;
     const std::size_t need = align_up(n);
     if (block_ < blocks_.size() && offset_ + need <= blocks_[block_].size) {
       float* p = blocks_[block_].data.get() + offset_;
       offset_ += need;
+      MERSIT_ASSERT_ALIGNED(p);
       return p;
     }
-    return alloc_slow(need);
+    float* p = alloc_slow(need);
+    MERSIT_ASSERT_ALIGNED(p);
+    return p;
   }
 
   /// Bytes currently held across all blocks (monitoring / tests).
@@ -87,12 +95,19 @@ class ScratchArena {
   }
 
  private:
+  /// Frees a block allocated with the aligned array new below.
+  struct AlignedFree {
+    void operator()(float* p) const {
+      ::operator delete[](p, std::align_val_t{kSimdAlign});
+    }
+  };
+
   struct Block {
-    std::unique_ptr<float[]> data;
+    std::unique_ptr<float[], AlignedFree> data;
     std::size_t size = 0;  // floats
   };
 
-  static constexpr std::size_t kAlignFloats = 16;  // 64 bytes
+  static constexpr std::size_t kAlignFloats = kSimdAlign / sizeof(float);
   static constexpr std::size_t kMinBlockFloats = std::size_t{1} << 14;  // 64 KiB
 
   [[nodiscard]] static std::size_t align_up(std::size_t n) {
@@ -110,7 +125,9 @@ class ScratchArena {
       std::size_t sz = kMinBlockFloats;
       if (!blocks_.empty()) sz = blocks_.back().size * 2;
       sz = std::max(sz, need);
-      Block b{std::make_unique<float[]>(sz), sz};
+      Block b{std::unique_ptr<float[], AlignedFree>(new (std::align_val_t{
+                  kSimdAlign}) float[sz]),
+              sz};
       if (next >= blocks_.size())
         blocks_.push_back(std::move(b));
       else

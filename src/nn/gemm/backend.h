@@ -1,0 +1,125 @@
+// Runtime-dispatched SIMD backend registry for the GEMM engine.
+//
+// One Backend descriptor per instruction set — scalar (the reference),
+// avx2, avx512 on x86-64, neon on aarch64 — each bundling the micro-kernel,
+// the four panel-pack routines (float and code-domain), and its tile
+// geometry (MR/NR register tile, MC/KC/NC cache blocks).  The registry is
+// CPUID-backed: auto-detection walks the compiled-in list best-first and
+// activates the first backend the host can execute; MERSIT_BACKEND forces a
+// specific one, strict-parsed (unknown names and backends the host cannot
+// run both throw).
+//
+// The cross-backend contract is the engine's existing bit-identity tower:
+//
+//  * Packs are byte-identical.  Every backend's pack routines write the
+//    exact bytes the generic reference pack produces for that backend's
+//    tile geometry — same zero padding, and for the code-domain packs the
+//    same single double-multiply-then-float-cast per element.  test_qgemm
+//    gates this exhaustively over all 256 codes per compiled-in backend.
+//
+//  * C panels are bit-identical to scalar.  Every backend accumulates each
+//    output element's K products in ascending k order with a separately
+//    rounded multiply and add per step (no fused multiply-add anywhere —
+//    FMA skips the product rounding and would break ULP 0 against the
+//    scalar reference; the backend TUs also compile with -ffp-contract=off
+//    so the compiler cannot fuse behind the intrinsics).  Tile geometry may
+//    differ per backend because the per-element rounding sequence depends
+//    only on k order, never on MR/NR/cache blocking — test_gemm gates every
+//    compiled-in backend bitwise against scalar across the full shape/
+//    transpose/strided-C/thread-count matrix.
+//
+// Because pack layouts differ across tile geometries, a PackedMatrix
+// records the backend it was packed for, sgemm rejects operands packed for
+// a foreign backend, and the layer-side pack caches key on the backend id —
+// switching MERSIT_BACKEND can never serve a foreign-layout pack.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "nn/gemm/gemm.h"
+
+namespace mersit::nn::gemm {
+
+/// One SIMD backend: tile geometry plus the kernel entry points.  All
+/// instances are immutable statics with process lifetime; identity
+/// comparison (pointer equality) is meaningful.
+struct Backend {
+  const char* name;  ///< registry / MERSIT_BACKEND name
+  int id;            ///< stable small unique id (< 16), joins pack-cache keys
+
+  int mr, nr;        ///< register tile: MR x NR accumulator block
+  int mc, kc, nc;    ///< cache blocks: MC x KC A panels, KC x NC B panels
+
+  /// Host can execute this backend's instructions (CPUID-backed; constant
+  /// per process).
+  bool (*supported)();
+
+  /// Pack an (mc x kc) block of op(A) into mr-row panels, k-major within a
+  /// panel, short final panels zero-padded.  `dst` must be 64-byte aligned
+  /// and hold ceil(mc/mr)*mr*kc floats.
+  void (*pack_a)(const float* a, int lda, bool trans, int m0, int mc, int k0,
+                 int kc, float* dst);
+  /// Pack a (kc x nc) block of op(B) into nr-column panels, [k][n] within a
+  /// panel, zero-padded like pack_a.
+  void (*pack_b)(const float* b, int ldb, bool trans, int k0, int kc, int n0,
+                 int nc, float* dst);
+  /// pack_a over 8-bit codes: float(lut[code] * scales[m]) decoded at the
+  /// element read, byte-identical to pack_a over the eagerly decoded matrix.
+  void (*pack_a_codes)(const std::uint8_t* a, int lda, bool trans,
+                       const double* lut, const double* scales, int m0, int mc,
+                       int k0, int kc, float* dst);
+  /// pack_b over 8-bit codes (column scale scales[n]).
+  void (*pack_b_codes)(const std::uint8_t* b, int ldb, bool trans,
+                       const double* lut, const double* scales, int k0, int kc,
+                       int n0, int nc, float* dst);
+
+  /// One (mr x nr) C tile: load C, accumulate kc products in ascending k
+  /// order, write back with the optional per-row affine then epilogue.
+  /// mr/nr may be short on edge tiles; the packed panels are zero-padded to
+  /// the full register tile, so kernels may compute full width internally
+  /// as long as only real C entries are read and written.
+  void (*micro)(int kc, const float* ap, const float* bp, float* c, int ldc,
+                int mr, int nr, Epilogue epi, const float* asc,
+                const float* ash);
+};
+
+/// Compiled-in backends in detection order: best first, scalar last (scalar
+/// is always present and always supported, so detection always terminates).
+[[nodiscard]] std::span<const Backend* const> backends();
+
+/// The reference backend (always compiled in, always supported).
+[[nodiscard]] const Backend& scalar_backend();
+
+/// Lookup by registry name; nullptr when no such backend is compiled in.
+[[nodiscard]] const Backend* find_backend(std::string_view name);
+
+/// Strict MERSIT_BACKEND parsing: unknown names throw listing the
+/// compiled-in backends; a known backend the host cannot execute throws
+/// naming the missing capability.  Same loud-beats-lucky policy as
+/// core::env_int and MERSIT_QGEMM.
+[[nodiscard]] const Backend& parse_backend(const std::string& value);
+
+/// The active backend: MERSIT_BACKEND when set (strict-parsed once), else
+/// the best supported compiled-in backend.  Every pack and every sgemm call
+/// reads this.
+[[nodiscard]] const Backend& active_backend();
+
+/// Programmatic override (tests, benches); returns the previous backend.
+/// Rejects backends the host cannot execute.
+const Backend* set_backend(const Backend* b);
+
+// Descriptor accessors defined by the backend_*.cpp translation units (the
+// registry in backend.cpp is their only caller).
+const Backend* backend_scalar();
+#if defined(__x86_64__) || defined(_M_X64)
+const Backend* backend_avx2();
+const Backend* backend_avx512();
+#endif
+#if defined(__aarch64__)
+const Backend* backend_neon();
+#endif
+
+}  // namespace mersit::nn::gemm

@@ -1,0 +1,159 @@
+// AVX2 backend: 6x16 register tile, two 8-wide ymm accumulator columns per
+// row (12 accumulators + 2 B loads + 1 A broadcast = 15 of 16 ymm).
+//
+// Bit-identity with the scalar reference is load-bearing, so the k-step is
+// a separately rounded _mm256_mul_ps followed by _mm256_add_ps — *not*
+// _mm256_fmadd_ps.  A fused multiply-add skips the product rounding and
+// diverges from the scalar backend (and from the naive layer loops the
+// whole repo is gated against) in the last bit.  For the same reason this
+// TU compiles with -mavx2 only (no -mfma) and -ffp-contract=off, so the
+// compiler cannot fuse the generic-template fallbacks or the write-back
+// affine behind our back.
+//
+// B-panel rows are 64-byte strided (16 floats) and panel bases are 64-byte
+// aligned (aligned PackedMatrix/ScratchArena storage + cache-line-rounded
+// block offsets), so the B loads are aligned; C rows have caller-controlled
+// stride and use unaligned loads/stores.  Edge tiles stay on intrinsics:
+// short m dispatches to a narrower unrolled kernel, and short n drops to a
+// single ymm column when nr <= 8 (narrow-N GEMMs — late conv stages on
+// small feature maps — would otherwise burn 16-wide work on zero padding)
+// with fault-suppressing maskload/maskstore covering the partial C row.
+// Identical values on every path: vector lanes are independent, so the
+// padded lanes never touch a real C entry's rounding sequence.
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "nn/gemm/backend_impl.h"
+#include "core/cpu.h"
+
+namespace mersit::nn::gemm {
+
+namespace {
+
+constexpr int kMR = 6;
+constexpr int kNR = 16;
+
+bool supported() { return core::cpu_features().avx2; }
+
+void pack_a(const float* a, int lda, bool trans, int m0, int mc, int k0,
+            int kc, float* dst) {
+  detail::pack_a_block<kMR>(a, lda, trans, m0, mc, k0, kc, dst);
+}
+
+void pack_b(const float* b, int ldb, bool trans, int k0, int kc, int n0,
+            int nc, float* dst) {
+  detail::pack_b_block<kNR>(b, ldb, trans, k0, kc, n0, nc, dst);
+}
+
+void pack_a_codes(const std::uint8_t* a, int lda, bool trans,
+                  const double* lut, const double* scales, int m0, int mc,
+                  int k0, int kc, float* dst) {
+  detail::pack_a_codes_block<kMR>(a, lda, trans, lut, scales, m0, mc, k0, kc,
+                                  dst);
+}
+
+void pack_b_codes(const std::uint8_t* b, int ldb, bool trans,
+                  const double* lut, const double* scales, int k0, int kc,
+                  int n0, int nc, float* dst) {
+  detail::pack_b_codes_block<kNR>(b, ldb, trans, lut, scales, k0, kc, n0, nc,
+                                  dst);
+}
+
+/// R x (8*C) tile with compile-time row count R and ymm column count C
+/// (full unroll keeps the accumulators in registers across the k-loop).
+/// nr <= 8*C; when nr is partial, fault-suppressing maskload/maskstore
+/// cover the C row, and the padded B lanes (zero-filled by the pack) keep
+/// their accumulators at values that are never written back.
+template <int R, int C>
+void kernel_rows(int kc, const float* ap, const float* bp, float* c, int ldc,
+                 int nr, Epilogue epi, const float* asc, const float* ash) {
+  const bool full = nr == 8 * C;
+  __m256i mask[C];
+  if (!full) {
+    alignas(32) std::int32_t lanes[kNR];
+    for (int n = 0; n < 8 * C; ++n) lanes[n] = n < nr ? -1 : 0;
+    for (int j = 0; j < C; ++j)
+      mask[j] = _mm256_load_si256(reinterpret_cast<const __m256i*>(lanes) + j);
+  }
+  __m256 acc[R][C];
+  for (int m = 0; m < R; ++m) {
+    const float* row = c + static_cast<std::size_t>(m) * ldc;
+    for (int j = 0; j < C; ++j)
+      acc[m][j] = full ? _mm256_loadu_ps(row + 8 * j)
+                       : _mm256_maskload_ps(row + 8 * j, mask[j]);
+  }
+  for (int k = 0; k < kc; ++k) {
+    const float* bv = bp + static_cast<std::size_t>(k) * kNR;
+    __m256 b[C];
+    for (int j = 0; j < C; ++j) b[j] = _mm256_load_ps(bv + 8 * j);
+    const float* av = ap + static_cast<std::size_t>(k) * kMR;
+    for (int m = 0; m < R; ++m) {
+      const __m256 a = _mm256_broadcast_ss(av + m);
+      for (int j = 0; j < C; ++j)
+        acc[m][j] = _mm256_add_ps(acc[m][j], _mm256_mul_ps(a, b[j]));
+    }
+  }
+  if (epi == Epilogue::kNone && asc == nullptr) {
+    for (int m = 0; m < R; ++m) {
+      float* row = c + static_cast<std::size_t>(m) * ldc;
+      for (int j = 0; j < C; ++j) {
+        if (full)
+          _mm256_storeu_ps(row + 8 * j, acc[m][j]);
+        else
+          _mm256_maskstore_ps(row + 8 * j, mask[j], acc[m][j]);
+      }
+    }
+  } else {
+    alignas(32) float tmp[kNR];
+    for (int m = 0; m < R; ++m) {
+      for (int j = 0; j < C; ++j) _mm256_store_ps(tmp + 8 * j, acc[m][j]);
+      if (asc != nullptr) {
+        const float s = asc[m], t = ash[m];
+        for (int n = 0; n < nr; ++n) tmp[n] = s * tmp[n] + t;
+      }
+      epilogue_apply(epi, tmp, c + static_cast<std::size_t>(m) * ldc, nr);
+    }
+  }
+}
+
+/// One or two ymm columns depending on the tile's real width.
+template <int R>
+void kernel_cols(int kc, const float* ap, const float* bp, float* c, int ldc,
+                 int nr, Epilogue epi, const float* asc, const float* ash) {
+  if (nr > 8)
+    kernel_rows<R, 2>(kc, ap, bp, c, ldc, nr, epi, asc, ash);
+  else
+    kernel_rows<R, 1>(kc, ap, bp, c, ldc, nr, epi, asc, ash);
+}
+
+void micro(int kc, const float* ap, const float* bp, float* c, int ldc,
+           int mr, int nr, Epilogue epi, const float* asc, const float* ash) {
+  switch (mr) {
+    case 6: kernel_cols<6>(kc, ap, bp, c, ldc, nr, epi, asc, ash); return;
+    case 5: kernel_cols<5>(kc, ap, bp, c, ldc, nr, epi, asc, ash); return;
+    case 4: kernel_cols<4>(kc, ap, bp, c, ldc, nr, epi, asc, ash); return;
+    case 3: kernel_cols<3>(kc, ap, bp, c, ldc, nr, epi, asc, ash); return;
+    case 2: kernel_cols<2>(kc, ap, bp, c, ldc, nr, epi, asc, ash); return;
+    case 1: kernel_cols<1>(kc, ap, bp, c, ldc, nr, epi, asc, ash); return;
+    default:
+      detail::micro_generic<kMR, kNR>(kc, ap, bp, c, ldc, mr, nr, epi, asc,
+                                      ash);
+  }
+}
+
+constexpr Backend kAvx2 = {
+    "avx2", /*id=*/1, kMR,    kNR,    /*mc=*/120,   /*kc=*/256,
+    /*nc=*/1024,      supported,      pack_a,       pack_b,
+    pack_a_codes,     pack_b_codes,   micro,
+};
+
+}  // namespace
+
+const Backend* backend_avx2() { return &kAvx2; }
+
+}  // namespace mersit::nn::gemm
+
+#endif  // x86-64

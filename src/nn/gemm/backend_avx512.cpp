@@ -1,0 +1,125 @@
+// AVX-512 backend: 8x16 register tile, one 16-wide zmm accumulator per row,
+// with masked edge tiles — short-n edges load/store C through a
+// __mmask16 instead of falling back to scalar code (the packed B panels
+// are zero-padded to the full 16 lanes, so the masked-off lanes accumulate
+// exact zeros and never touch C).
+//
+// As in the AVX2 backend, the k-step is a separately rounded
+// _mm512_mul_ps + _mm512_add_ps, never _mm512_fmadd_ps, and the TU compiles
+// with -ffp-contract=off: -mavx512f implies FMA-capable codegen, and a
+// contracted fused multiply-add in the generic-template fallbacks or the
+// write-back affine would break the ULP-0 contract against the scalar
+// reference.
+//
+// B-panel rows are 64-byte strided (16 floats) with 64-byte-aligned panel
+// bases, so B loads are aligned; C uses masked unaligned accesses (AVX-512
+// masked loads suppress faults on masked-off lanes, so a short edge row at
+// the end of a mapping is safe).
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "nn/gemm/backend_impl.h"
+#include "core/cpu.h"
+
+namespace mersit::nn::gemm {
+
+namespace {
+
+constexpr int kMR = 8;
+constexpr int kNR = 16;
+
+bool supported() { return core::cpu_features().avx512f; }
+
+void pack_a(const float* a, int lda, bool trans, int m0, int mc, int k0,
+            int kc, float* dst) {
+  detail::pack_a_block<kMR>(a, lda, trans, m0, mc, k0, kc, dst);
+}
+
+void pack_b(const float* b, int ldb, bool trans, int k0, int kc, int n0,
+            int nc, float* dst) {
+  detail::pack_b_block<kNR>(b, ldb, trans, k0, kc, n0, nc, dst);
+}
+
+void pack_a_codes(const std::uint8_t* a, int lda, bool trans,
+                  const double* lut, const double* scales, int m0, int mc,
+                  int k0, int kc, float* dst) {
+  detail::pack_a_codes_block<kMR>(a, lda, trans, lut, scales, m0, mc, k0, kc,
+                                  dst);
+}
+
+void pack_b_codes(const std::uint8_t* b, int ldb, bool trans,
+                  const double* lut, const double* scales, int k0, int kc,
+                  int n0, int nc, float* dst) {
+  detail::pack_b_codes_block<kNR>(b, ldb, trans, lut, scales, k0, kc, n0, nc,
+                                  dst);
+}
+
+/// R x nr tile with R a compile-time row count; `mask` selects the live
+/// n-lanes (0xFFFF on full tiles).  Masked-off accumulator lanes start at
+/// zero and only ever add a*0 from the zero-padded panel, so they stay
+/// exactly zero and are never stored.
+template <int R>
+void kernel_rows(int kc, const float* ap, const float* bp, float* c, int ldc,
+                 int nr, __mmask16 mask, Epilogue epi, const float* asc,
+                 const float* ash) {
+  __m512 acc[R];
+  for (int m = 0; m < R; ++m)
+    acc[m] =
+        _mm512_maskz_loadu_ps(mask, c + static_cast<std::size_t>(m) * ldc);
+  for (int k = 0; k < kc; ++k) {
+    const __m512 b = _mm512_load_ps(bp + static_cast<std::size_t>(k) * kNR);
+    const float* av = ap + static_cast<std::size_t>(k) * kMR;
+    for (int m = 0; m < R; ++m) {
+      const __m512 a = _mm512_set1_ps(av[m]);
+      acc[m] = _mm512_add_ps(acc[m], _mm512_mul_ps(a, b));
+    }
+  }
+  if (epi == Epilogue::kNone && asc == nullptr) {
+    for (int m = 0; m < R; ++m)
+      _mm512_mask_storeu_ps(c + static_cast<std::size_t>(m) * ldc, mask,
+                            acc[m]);
+  } else {
+    alignas(64) float tmp[kNR];
+    for (int m = 0; m < R; ++m) {
+      _mm512_store_ps(tmp, acc[m]);
+      if (asc != nullptr) {
+        const float s = asc[m], t = ash[m];
+        for (int n = 0; n < nr; ++n) tmp[n] = s * tmp[n] + t;
+      }
+      epilogue_apply(epi, tmp, c + static_cast<std::size_t>(m) * ldc, nr);
+    }
+  }
+}
+
+void micro(int kc, const float* ap, const float* bp, float* c, int ldc,
+           int mr, int nr, Epilogue epi, const float* asc, const float* ash) {
+  const __mmask16 mask = static_cast<__mmask16>((1u << nr) - 1u);
+  switch (mr) {
+    case 8: kernel_rows<8>(kc, ap, bp, c, ldc, nr, mask, epi, asc, ash); return;
+    case 7: kernel_rows<7>(kc, ap, bp, c, ldc, nr, mask, epi, asc, ash); return;
+    case 6: kernel_rows<6>(kc, ap, bp, c, ldc, nr, mask, epi, asc, ash); return;
+    case 5: kernel_rows<5>(kc, ap, bp, c, ldc, nr, mask, epi, asc, ash); return;
+    case 4: kernel_rows<4>(kc, ap, bp, c, ldc, nr, mask, epi, asc, ash); return;
+    case 3: kernel_rows<3>(kc, ap, bp, c, ldc, nr, mask, epi, asc, ash); return;
+    case 2: kernel_rows<2>(kc, ap, bp, c, ldc, nr, mask, epi, asc, ash); return;
+    case 1: kernel_rows<1>(kc, ap, bp, c, ldc, nr, mask, epi, asc, ash); return;
+    default:
+      detail::micro_generic<kMR, kNR>(kc, ap, bp, c, ldc, mr, nr, epi, asc,
+                                      ash);
+  }
+}
+
+constexpr Backend kAvx512 = {
+    "avx512", /*id=*/2, kMR,    kNR,    /*mc=*/120,   /*kc=*/256,
+    /*nc=*/1024,        supported,      pack_a,       pack_b,
+    pack_a_codes,       pack_b_codes,   micro,
+};
+
+}  // namespace
+
+const Backend* backend_avx512() { return &kAvx512; }
+
+}  // namespace mersit::nn::gemm
+
+#endif  // x86-64

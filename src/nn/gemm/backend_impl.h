@@ -1,0 +1,189 @@
+// Generic (plain C++) pack and micro-kernel templates shared by every
+// backend translation unit.
+//
+// The templates are parameterized on the register tile (MR/NR) only — cache
+// blocking stays in the driver (gemm.cpp).  Each backend TU instantiates
+// them at its own tile geometry: the scalar backend uses them as its entire
+// implementation, the SIMD backends use them for the pack routines (the
+// compiler auto-vectorizes the copy/decode loops under the TU's -m flags —
+// values are IEEE-identical at any vector width) and as the fallback for
+// edge tiles their intrinsic kernels do not cover.
+//
+// Bit-identity rules baked in here, which every intrinsic kernel must also
+// obey:
+//  * ascending-k accumulation, one separately rounded multiply and add per
+//    step (backend TUs compile with -ffp-contract=off so neither the
+//    template loops nor adjacent mul/add intrinsics can fuse into FMA);
+//  * the code-domain element decode is exactly
+//    float(lut[code] * scale) — one double multiply, one float cast — the
+//    same expression decode_codes evaluates;
+//  * the per-row affine is v = scale[m]*v + shift[m] (two roundings), then
+//    the epilogue via the shared epilogue_apply.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "nn/gemm/backend.h"
+
+namespace mersit::nn::gemm::detail {
+
+inline float a_elem(const float* a, int lda, bool trans, int m, int k) {
+  return trans ? a[static_cast<std::size_t>(k) * lda + m]
+               : a[static_cast<std::size_t>(m) * lda + k];
+}
+
+inline float b_elem(const float* b, int ldb, bool trans, int k, int n) {
+  return trans ? b[static_cast<std::size_t>(n) * ldb + k]
+               : b[static_cast<std::size_t>(k) * ldb + n];
+}
+
+// Code-domain element access: decode float(lut[code] * scale) at the point
+// the pack reads the element.  The expression must stay textually identical
+// to decode_codes — one double multiply, one float cast — so code-domain
+// packs are byte-identical to float packs of the eagerly decoded matrix.
+inline float qa_elem(const std::uint8_t* a, int lda, bool trans,
+                     const double* lut, const double* scales, int m, int k) {
+  const std::uint8_t code = trans ? a[static_cast<std::size_t>(k) * lda + m]
+                                  : a[static_cast<std::size_t>(m) * lda + k];
+  return static_cast<float>(lut[code] * scales[m]);
+}
+
+inline float qb_elem(const std::uint8_t* b, int ldb, bool trans,
+                     const double* lut, const double* scales, int k, int n) {
+  const std::uint8_t code = trans ? b[static_cast<std::size_t>(n) * ldb + k]
+                                  : b[static_cast<std::size_t>(k) * ldb + n];
+  return static_cast<float>(lut[code] * scales[n]);
+}
+
+/// Pack an (mc x kc) block of op(A) into MR-row panels, k-major within a
+/// panel (panel i holds rows [i*MR, i*MR+MR), laid out [k][m]); short final
+/// panels are zero-padded so the micro-kernel never reads garbage.
+template <int MR>
+void pack_a_block(const float* a, int lda, bool trans, int m0, int mc, int k0,
+                  int kc, float* dst) {
+  for (int ip = 0; ip < mc; ip += MR) {
+    const int mr = std::min(MR, mc - ip);
+    for (int k = 0; k < kc; ++k) {
+      for (int m = 0; m < mr; ++m)
+        dst[k * MR + m] = a_elem(a, lda, trans, m0 + ip + m, k0 + k);
+      for (int m = mr; m < MR; ++m) dst[k * MR + m] = 0.f;
+    }
+    dst += static_cast<std::size_t>(kc) * MR;
+  }
+}
+
+/// Pack a (kc x nc) block of op(B) into NR-column panels, [k][n] within a
+/// panel, zero-padded like pack_a_block.
+template <int NR>
+void pack_b_block(const float* b, int ldb, bool trans, int k0, int kc, int n0,
+                  int nc, float* dst) {
+  for (int jp = 0; jp < nc; jp += NR) {
+    const int nr = std::min(NR, nc - jp);
+    for (int k = 0; k < kc; ++k) {
+      for (int n = 0; n < nr; ++n)
+        dst[k * NR + n] = b_elem(b, ldb, trans, k0 + k, n0 + jp + n);
+      for (int n = nr; n < NR; ++n) dst[k * NR + n] = 0.f;
+    }
+    dst += static_cast<std::size_t>(kc) * NR;
+  }
+}
+
+/// pack_a_block over codes: same panel layout and zero padding, with the
+/// LUT decode inlined into the element read.
+template <int MR>
+void pack_a_codes_block(const std::uint8_t* a, int lda, bool trans,
+                        const double* lut, const double* scales, int m0, int mc,
+                        int k0, int kc, float* dst) {
+  for (int ip = 0; ip < mc; ip += MR) {
+    const int mr = std::min(MR, mc - ip);
+    for (int k = 0; k < kc; ++k) {
+      for (int m = 0; m < mr; ++m)
+        dst[k * MR + m] =
+            qa_elem(a, lda, trans, lut, scales, m0 + ip + m, k0 + k);
+      for (int m = mr; m < MR; ++m) dst[k * MR + m] = 0.f;
+    }
+    dst += static_cast<std::size_t>(kc) * MR;
+  }
+}
+
+/// pack_b_block over codes, mirroring pack_b_block the same way.
+template <int NR>
+void pack_b_codes_block(const std::uint8_t* b, int ldb, bool trans,
+                        const double* lut, const double* scales, int k0, int kc,
+                        int n0, int nc, float* dst) {
+  for (int jp = 0; jp < nc; jp += NR) {
+    const int nr = std::min(NR, nc - jp);
+    for (int k = 0; k < kc; ++k) {
+      for (int n = 0; n < nr; ++n)
+        dst[k * NR + n] =
+            qb_elem(b, ldb, trans, lut, scales, k0 + k, n0 + jp + n);
+      for (int n = nr; n < NR; ++n) dst[k * NR + n] = 0.f;
+    }
+    dst += static_cast<std::size_t>(kc) * NR;
+  }
+}
+
+/// Generic MR x NR micro-kernel (full and edge tiles in one entry point):
+/// load C, accumulate kc products in ascending k order, write back with the
+/// optional per-row affine then epilogue.  Constant trip counts on the full-
+/// tile path so the inner n-loop auto-vectorizes under the TU's -m flags.
+template <int MR, int NR>
+void micro_generic(int kc, const float* ap, const float* bp, float* c, int ldc,
+                   int mr, int nr, Epilogue epi, const float* asc,
+                   const float* ash) {
+  if (mr == MR && nr == NR) {
+    float acc[MR][NR];
+    for (int m = 0; m < MR; ++m)
+      for (int n = 0; n < NR; ++n)
+        acc[m][n] = c[static_cast<std::size_t>(m) * ldc + n];
+    for (int k = 0; k < kc; ++k) {
+      const float* av = ap + static_cast<std::size_t>(k) * MR;
+      const float* bv = bp + static_cast<std::size_t>(k) * NR;
+      for (int m = 0; m < MR; ++m) {
+        const float a = av[m];
+        for (int n = 0; n < NR; ++n) acc[m][n] += a * bv[n];
+      }
+    }
+    if (epi == Epilogue::kNone && asc == nullptr) {
+      for (int m = 0; m < MR; ++m)
+        for (int n = 0; n < NR; ++n)
+          c[static_cast<std::size_t>(m) * ldc + n] = acc[m][n];
+    } else {
+      for (int m = 0; m < MR; ++m) {
+        if (asc != nullptr) {
+          const float s = asc[m], t = ash[m];
+          for (int n = 0; n < NR; ++n) acc[m][n] = s * acc[m][n] + t;
+        }
+        epilogue_apply(epi, acc[m], c + static_cast<std::size_t>(m) * ldc, NR);
+      }
+    }
+    return;
+  }
+  // Edge tile (mr < MR and/or nr < NR): same accumulation order, partial
+  // loads/stores.  The packed panels are zero-padded, so the k-loop may
+  // still run the full NR width internally — but only real C entries are
+  // touched.
+  float acc[MR][NR] = {};
+  for (int m = 0; m < mr; ++m)
+    for (int n = 0; n < nr; ++n)
+      acc[m][n] = c[static_cast<std::size_t>(m) * ldc + n];
+  for (int k = 0; k < kc; ++k) {
+    const float* av = ap + static_cast<std::size_t>(k) * MR;
+    const float* bv = bp + static_cast<std::size_t>(k) * NR;
+    for (int m = 0; m < mr; ++m) {
+      const float a = av[m];
+      for (int n = 0; n < NR; ++n) acc[m][n] += a * bv[n];
+    }
+  }
+  for (int m = 0; m < mr; ++m) {
+    if (asc != nullptr) {
+      const float s = asc[m], t = ash[m];
+      for (int n = 0; n < nr; ++n) acc[m][n] = s * acc[m][n] + t;
+    }
+    epilogue_apply(epi, acc[m], c + static_cast<std::size_t>(m) * ldc, nr);
+  }
+}
+
+}  // namespace mersit::nn::gemm::detail

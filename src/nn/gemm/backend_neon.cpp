@@ -1,0 +1,149 @@
+// NEON backend (aarch64): 6x8 register tile, two 4-wide q accumulators per
+// row (12 accumulators + 2 B loads + 1 A broadcast, well inside the 32
+// NEON registers).
+//
+// The k-step is a separately rounded vmulq_f32 + vaddq_f32 — never
+// vfmaq/vmlaq, which lower to the *fused* fmla on AArch64 and would break
+// the ULP-0 contract against the scalar reference.  The TU compiles with
+// -ffp-contract=off so the compiler cannot contract the generic-template
+// fallbacks or the write-back affine either.  NEON loads carry no alignment
+// requirement, but the panel bases are 64-byte aligned like every other
+// backend's.
+//
+// This backend cannot execute on the x86-64 CI hosts; it is compile-gated
+// to aarch64, kept structurally parallel to the AVX2 backend, and inherits
+// the same per-backend bitwise gates in test_gemm/test_qgemm on any
+// aarch64 build.
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "nn/gemm/backend_impl.h"
+#include "core/cpu.h"
+
+namespace mersit::nn::gemm {
+
+namespace {
+
+constexpr int kMR = 6;
+constexpr int kNR = 8;
+
+bool supported() { return core::cpu_features().neon; }
+
+void pack_a(const float* a, int lda, bool trans, int m0, int mc, int k0,
+            int kc, float* dst) {
+  detail::pack_a_block<kMR>(a, lda, trans, m0, mc, k0, kc, dst);
+}
+
+void pack_b(const float* b, int ldb, bool trans, int k0, int kc, int n0,
+            int nc, float* dst) {
+  detail::pack_b_block<kNR>(b, ldb, trans, k0, kc, n0, nc, dst);
+}
+
+void pack_a_codes(const std::uint8_t* a, int lda, bool trans,
+                  const double* lut, const double* scales, int m0, int mc,
+                  int k0, int kc, float* dst) {
+  detail::pack_a_codes_block<kMR>(a, lda, trans, lut, scales, m0, mc, k0, kc,
+                                  dst);
+}
+
+void pack_b_codes(const std::uint8_t* b, int ldb, bool trans,
+                  const double* lut, const double* scales, int k0, int kc,
+                  int n0, int nc, float* dst) {
+  detail::pack_b_codes_block<kNR>(b, ldb, trans, lut, scales, k0, kc, n0, nc,
+                                  dst);
+}
+
+/// R x (4*C) tile with compile-time row count R and q-register column count
+/// C.  nr <= 4*C; partial widths stage the C row through a zero-padded
+/// stack buffer (NEON has no fault-suppressing masked loads), so lanes
+/// beyond nr are never read from or written to the real C row.  The padded
+/// B lanes are zero-filled by the pack, and vector lanes are independent,
+/// so real C entries keep the exact scalar rounding sequence.
+template <int R, int C>
+void kernel_rows(int kc, const float* ap, const float* bp, float* c, int ldc,
+                 int nr, Epilogue epi, const float* asc, const float* ash) {
+  const bool full = nr == 4 * C;
+  float32x4_t acc[R][C];
+  for (int m = 0; m < R; ++m) {
+    const float* row = c + static_cast<std::size_t>(m) * ldc;
+    if (full) {
+      for (int j = 0; j < C; ++j) acc[m][j] = vld1q_f32(row + 4 * j);
+    } else {
+      float tmp[kNR] = {};
+      for (int n = 0; n < nr; ++n) tmp[n] = row[n];
+      for (int j = 0; j < C; ++j) acc[m][j] = vld1q_f32(tmp + 4 * j);
+    }
+  }
+  for (int k = 0; k < kc; ++k) {
+    const float* bv = bp + static_cast<std::size_t>(k) * kNR;
+    float32x4_t b[C];
+    for (int j = 0; j < C; ++j) b[j] = vld1q_f32(bv + 4 * j);
+    const float* av = ap + static_cast<std::size_t>(k) * kMR;
+    for (int m = 0; m < R; ++m) {
+      const float32x4_t a = vdupq_n_f32(av[m]);
+      for (int j = 0; j < C; ++j)
+        acc[m][j] = vaddq_f32(acc[m][j], vmulq_f32(a, b[j]));
+    }
+  }
+  if (epi == Epilogue::kNone && asc == nullptr && full) {
+    for (int m = 0; m < R; ++m) {
+      float* row = c + static_cast<std::size_t>(m) * ldc;
+      for (int j = 0; j < C; ++j) vst1q_f32(row + 4 * j, acc[m][j]);
+    }
+  } else {
+    float tmp[kNR];
+    for (int m = 0; m < R; ++m) {
+      for (int j = 0; j < C; ++j) vst1q_f32(tmp + 4 * j, acc[m][j]);
+      if (asc != nullptr) {
+        const float s = asc[m], t = ash[m];
+        for (int n = 0; n < nr; ++n) tmp[n] = s * tmp[n] + t;
+      }
+      if (epi == Epilogue::kNone && asc == nullptr) {
+        float* row = c + static_cast<std::size_t>(m) * ldc;
+        for (int n = 0; n < nr; ++n) row[n] = tmp[n];
+      } else {
+        epilogue_apply(epi, tmp, c + static_cast<std::size_t>(m) * ldc, nr);
+      }
+    }
+  }
+}
+
+/// One or two q-register columns depending on the tile's real width.
+template <int R>
+void kernel_cols(int kc, const float* ap, const float* bp, float* c, int ldc,
+                 int nr, Epilogue epi, const float* asc, const float* ash) {
+  if (nr > 4)
+    kernel_rows<R, 2>(kc, ap, bp, c, ldc, nr, epi, asc, ash);
+  else
+    kernel_rows<R, 1>(kc, ap, bp, c, ldc, nr, epi, asc, ash);
+}
+
+void micro(int kc, const float* ap, const float* bp, float* c, int ldc,
+           int mr, int nr, Epilogue epi, const float* asc, const float* ash) {
+  switch (mr) {
+    case 6: kernel_cols<6>(kc, ap, bp, c, ldc, nr, epi, asc, ash); return;
+    case 5: kernel_cols<5>(kc, ap, bp, c, ldc, nr, epi, asc, ash); return;
+    case 4: kernel_cols<4>(kc, ap, bp, c, ldc, nr, epi, asc, ash); return;
+    case 3: kernel_cols<3>(kc, ap, bp, c, ldc, nr, epi, asc, ash); return;
+    case 2: kernel_cols<2>(kc, ap, bp, c, ldc, nr, epi, asc, ash); return;
+    case 1: kernel_cols<1>(kc, ap, bp, c, ldc, nr, epi, asc, ash); return;
+    default:
+      detail::micro_generic<kMR, kNR>(kc, ap, bp, c, ldc, mr, nr, epi, asc,
+                                      ash);
+  }
+}
+
+constexpr Backend kNeon = {
+    "neon", /*id=*/3, kMR,    kNR,    /*mc=*/120,   /*kc=*/256,
+    /*nc=*/1024,      supported,      pack_a,       pack_b,
+    pack_a_codes,     pack_b_codes,   micro,
+};
+
+}  // namespace
+
+const Backend* backend_neon() { return &kNeon; }
+
+}  // namespace mersit::nn::gemm
+
+#endif  // aarch64

@@ -1,0 +1,62 @@
+// The scalar reference backend: the engine's original plain-C++ 4x8
+// micro-kernel and pack routines, now expressed as template instantiations
+// of the shared generic kernels.  Compiled with the project's baseline
+// flags (no -m options), so it runs on any host — it is the backend every
+// SIMD implementation is gated bitwise against, and the terminal entry of
+// the detection order.
+//
+// Register blocking: the micro-kernel keeps an MR x NR accumulator block in
+// locals.  4 x 8 = 8 vector registers on baseline SSE2 (4-wide), leaving
+// room for the A broadcast and B loads — 6 x 8 already spills on GCC 12 and
+// runs ~4x slower.  MC/KC/NC size the packed panels for L2/L1 residency.
+#include "nn/gemm/backend_impl.h"
+
+namespace mersit::nn::gemm {
+
+namespace {
+
+constexpr int kMR = 4;
+constexpr int kNR = 8;
+
+bool supported() { return true; }
+
+void pack_a(const float* a, int lda, bool trans, int m0, int mc, int k0,
+            int kc, float* dst) {
+  detail::pack_a_block<kMR>(a, lda, trans, m0, mc, k0, kc, dst);
+}
+
+void pack_b(const float* b, int ldb, bool trans, int k0, int kc, int n0,
+            int nc, float* dst) {
+  detail::pack_b_block<kNR>(b, ldb, trans, k0, kc, n0, nc, dst);
+}
+
+void pack_a_codes(const std::uint8_t* a, int lda, bool trans,
+                  const double* lut, const double* scales, int m0, int mc,
+                  int k0, int kc, float* dst) {
+  detail::pack_a_codes_block<kMR>(a, lda, trans, lut, scales, m0, mc, k0, kc,
+                                  dst);
+}
+
+void pack_b_codes(const std::uint8_t* b, int ldb, bool trans,
+                  const double* lut, const double* scales, int k0, int kc,
+                  int n0, int nc, float* dst) {
+  detail::pack_b_codes_block<kNR>(b, ldb, trans, lut, scales, k0, kc, n0, nc,
+                                  dst);
+}
+
+void micro(int kc, const float* ap, const float* bp, float* c, int ldc,
+           int mr, int nr, Epilogue epi, const float* asc, const float* ash) {
+  detail::micro_generic<kMR, kNR>(kc, ap, bp, c, ldc, mr, nr, epi, asc, ash);
+}
+
+constexpr Backend kScalar = {
+    "scalar", /*id=*/0, kMR,    kNR,    /*mc=*/120,   /*kc=*/256,
+    /*nc=*/1024,        supported,      pack_a,       pack_b,
+    pack_a_codes,       pack_b_codes,   micro,
+};
+
+}  // namespace
+
+const Backend* backend_scalar() { return &kScalar; }
+
+}  // namespace mersit::nn::gemm

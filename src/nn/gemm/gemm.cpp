@@ -1,3 +1,7 @@
+// The GEMM driver: env switches, epilogue formulas, cache-blocked tiling,
+// and the prepack machinery.  All register-tile work — packing panels and
+// the micro-kernel — dispatches through the active SIMD backend
+// (nn/gemm/backend.h); this TU stays ISA-agnostic.
 #include "nn/gemm/gemm.h"
 
 #include <algorithm>
@@ -5,9 +9,13 @@
 #include <cmath>
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "core/aligned.h"
 #include "core/scratch_arena.h"
+#include "nn/gemm/backend.h"
+#include "nn/gemm/backend_impl.h"
 
 namespace mersit::nn::gemm {
 
@@ -37,108 +45,6 @@ std::atomic<bool>& fold_bn_flag() {
   return flag;
 }
 
-// Register blocking: the micro-kernel keeps an MR x NR accumulator block in
-// locals.  4 x 8 = 8 vector registers on baseline SSE2 (4-wide), leaving
-// room for the A broadcast and B loads — 6 x 8 already spills on GCC 12 and
-// runs ~4x slower.  MC/KC/NC size the packed panels for L2/L1 residency.
-constexpr int kMR = 4;
-constexpr int kNR = 8;
-constexpr int kMC = 120;
-constexpr int kKC = 256;
-constexpr int kNC = 1024;
-
-inline float a_elem(const float* a, int lda, bool trans, int m, int k) {
-  return trans ? a[static_cast<std::size_t>(k) * lda + m]
-               : a[static_cast<std::size_t>(m) * lda + k];
-}
-
-inline float b_elem(const float* b, int ldb, bool trans, int k, int n) {
-  return trans ? b[static_cast<std::size_t>(n) * ldb + k]
-               : b[static_cast<std::size_t>(k) * ldb + n];
-}
-
-/// Pack an (mc x kc) block of op(A) into kMR-row panels, k-major within a
-/// panel (panel i holds rows [i*kMR, i*kMR+kMR), laid out [k][m]); short
-/// final panels are zero-padded so the micro-kernel never reads garbage.
-void pack_a(const float* a, int lda, bool trans, int m0, int mc, int k0, int kc,
-            float* dst) {
-  for (int ip = 0; ip < mc; ip += kMR) {
-    const int mr = std::min(kMR, mc - ip);
-    for (int k = 0; k < kc; ++k) {
-      for (int m = 0; m < mr; ++m)
-        dst[k * kMR + m] = a_elem(a, lda, trans, m0 + ip + m, k0 + k);
-      for (int m = mr; m < kMR; ++m) dst[k * kMR + m] = 0.f;
-    }
-    dst += static_cast<std::size_t>(kc) * kMR;
-  }
-}
-
-/// Pack a (kc x nc) block of op(B) into kNR-column panels, [k][n] within a
-/// panel, zero-padded like pack_a.
-void pack_b(const float* b, int ldb, bool trans, int k0, int kc, int n0, int nc,
-            float* dst) {
-  for (int jp = 0; jp < nc; jp += kNR) {
-    const int nr = std::min(kNR, nc - jp);
-    for (int k = 0; k < kc; ++k) {
-      for (int n = 0; n < nr; ++n)
-        dst[k * kNR + n] = b_elem(b, ldb, trans, k0 + k, n0 + jp + n);
-      for (int n = nr; n < kNR; ++n) dst[k * kNR + n] = 0.f;
-    }
-    dst += static_cast<std::size_t>(kc) * kNR;
-  }
-}
-
-// Code-domain element access: decode float(lut[code] * scale) at the point
-// the pack reads the element.  The expression must stay textually identical
-// to decode_codes — one double multiply, one float cast — so code-domain
-// packs are byte-identical to float packs of the eagerly decoded matrix.
-inline float qa_elem(const std::uint8_t* a, int lda, bool trans,
-                     const double* lut, const double* scales, int m, int k) {
-  const std::uint8_t code = trans ? a[static_cast<std::size_t>(k) * lda + m]
-                                  : a[static_cast<std::size_t>(m) * lda + k];
-  return static_cast<float>(lut[code] * scales[m]);
-}
-
-inline float qb_elem(const std::uint8_t* b, int ldb, bool trans,
-                     const double* lut, const double* scales, int k, int n) {
-  const std::uint8_t code = trans ? b[static_cast<std::size_t>(n) * ldb + k]
-                                  : b[static_cast<std::size_t>(k) * ldb + n];
-  return static_cast<float>(lut[code] * scales[n]);
-}
-
-/// pack_a over codes: same panel layout and zero padding as pack_a, with the
-/// LUT decode inlined into the element read.
-void pack_a_codes_block(const std::uint8_t* a, int lda, bool trans,
-                        const double* lut, const double* scales, int m0, int mc,
-                        int k0, int kc, float* dst) {
-  for (int ip = 0; ip < mc; ip += kMR) {
-    const int mr = std::min(kMR, mc - ip);
-    for (int k = 0; k < kc; ++k) {
-      for (int m = 0; m < mr; ++m)
-        dst[k * kMR + m] =
-            qa_elem(a, lda, trans, lut, scales, m0 + ip + m, k0 + k);
-      for (int m = mr; m < kMR; ++m) dst[k * kMR + m] = 0.f;
-    }
-    dst += static_cast<std::size_t>(kc) * kMR;
-  }
-}
-
-/// pack_b over codes, mirroring pack_b the same way.
-void pack_b_codes_block(const std::uint8_t* b, int ldb, bool trans,
-                        const double* lut, const double* scales, int k0, int kc,
-                        int n0, int nc, float* dst) {
-  for (int jp = 0; jp < nc; jp += kNR) {
-    const int nr = std::min(kNR, nc - jp);
-    for (int k = 0; k < kc; ++k) {
-      for (int n = 0; n < nr; ++n)
-        dst[k * kNR + n] =
-            qb_elem(b, ldb, trans, lut, scales, k0 + k, n0 + jp + n);
-      for (int n = nr; n < kNR; ++n) dst[k * kNR + n] = 0.f;
-    }
-    dst += static_cast<std::size_t>(kc) * kNR;
-  }
-}
-
 /// Row write-back of completed sums with the epilogue switch hoisted out of
 /// the element loop: each case instantiates epilogue_eval with a constant
 /// kind, so the per-element switch folds away and the clamp-style cases
@@ -162,72 +68,13 @@ void finish_row(Epilogue epi, const float* src, float* dst, int n) {
   }
 }
 
-/// Full kMR x kNR tile: constant trip counts so the inner n-loop
-/// vectorizes; accumulates kc products into the C tile in ascending k
-/// order.  `epi` is the fused epilogue for this write-back — kNone except
-/// on the final k-block, where each element's summation is complete.
-/// `asc`/`ash`, when non-null, are this tile's rows of the fused per-row
-/// affine (v = asc[m]*v + ash[m], before the activation) — also final
-/// write-back only.
-void micro_full(int kc, const float* ap, const float* bp, float* c, int ldc,
-                Epilogue epi, const float* asc, const float* ash) {
-  float acc[kMR][kNR];
-  for (int m = 0; m < kMR; ++m)
-    for (int n = 0; n < kNR; ++n) acc[m][n] = c[static_cast<std::size_t>(m) * ldc + n];
-  for (int k = 0; k < kc; ++k) {
-    const float* av = ap + static_cast<std::size_t>(k) * kMR;
-    const float* bv = bp + static_cast<std::size_t>(k) * kNR;
-    for (int m = 0; m < kMR; ++m) {
-      const float a = av[m];
-      for (int n = 0; n < kNR; ++n) acc[m][n] += a * bv[n];
-    }
-  }
-  if (epi == Epilogue::kNone && asc == nullptr) {
-    for (int m = 0; m < kMR; ++m)
-      for (int n = 0; n < kNR; ++n) c[static_cast<std::size_t>(m) * ldc + n] = acc[m][n];
-  } else {
-    for (int m = 0; m < kMR; ++m) {
-      if (asc != nullptr) {
-        const float s = asc[m], t = ash[m];
-        for (int n = 0; n < kNR; ++n) acc[m][n] = s * acc[m][n] + t;
-      }
-      finish_row(epi, acc[m], c + static_cast<std::size_t>(m) * ldc, kNR);
-    }
-  }
-}
-
-/// Edge tile (mr < kMR and/or nr < kNR): same accumulation order, partial
-/// loads/stores.  The packed panels are zero-padded, so the k-loop may still
-/// run the full kNR width internally — but only real C entries are touched.
-void micro_edge(int kc, const float* ap, const float* bp, float* c, int ldc,
-                int mr, int nr, Epilogue epi, const float* asc,
-                const float* ash) {
-  float acc[kMR][kNR] = {};
-  for (int m = 0; m < mr; ++m)
-    for (int n = 0; n < nr; ++n) acc[m][n] = c[static_cast<std::size_t>(m) * ldc + n];
-  for (int k = 0; k < kc; ++k) {
-    const float* av = ap + static_cast<std::size_t>(k) * kMR;
-    const float* bv = bp + static_cast<std::size_t>(k) * kNR;
-    for (int m = 0; m < mr; ++m) {
-      const float a = av[m];
-      for (int n = 0; n < kNR; ++n) acc[m][n] += a * bv[n];
-    }
-  }
-  for (int m = 0; m < mr; ++m) {
-    if (asc != nullptr) {
-      const float s = asc[m], t = ash[m];
-      for (int n = 0; n < nr; ++n) acc[m][n] = s * acc[m][n] + t;
-    }
-    finish_row(epi, acc[m], c + static_cast<std::size_t>(m) * ldc, nr);
-  }
-}
-
 /// Problems below this many multiply-adds skip the packing machinery: a
 /// direct m / k / n loop nest is faster there and keeps the identical
 /// per-element ascending-k accumulation order (row-at-a-time, so the inner
 /// n loop still vectorizes).  Sized for the per-head attention matmuls of
 /// short sequences, which would otherwise spend more time packing than
-/// multiplying.
+/// multiplying.  Reads the raw operands directly, so it is backend-
+/// independent by construction.
 constexpr std::int64_t kSmallWork = 1 << 13;
 
 void small_gemm(int M, int N, int K, const float* a, int lda, bool trans_a,
@@ -250,8 +97,9 @@ void small_gemm(int M, int N, int K, const float* a, int lda, bool trans_a,
         break;
     }
     for (int k = 0; k < K; ++k) {
-      const float av = a_elem(a, lda, trans_a, m, k);
-      for (int n = 0; n < N; ++n) row[n] += av * b_elem(b, ldb, trans_b, k, n);
+      const float av = detail::a_elem(a, lda, trans_a, m, k);
+      for (int n = 0; n < N; ++n)
+        row[n] += av * detail::b_elem(b, ldb, trans_b, k, n);
     }
     if (asc != nullptr) {
       const float s = asc[m], t = ash[m];
@@ -262,6 +110,7 @@ void small_gemm(int M, int N, int K, const float* a, int lda, bool trans_a,
 }
 
 struct TileArgs {
+  const Backend* be;
   int M, N, K;
   const float* a;
   int lda;
@@ -284,8 +133,9 @@ struct TileArgs {
 /// in ascending k order.  Per-call packing buffers come from the thread's
 /// ScratchArena (released on return, reused by the next call); prepacked
 /// operands skip the pack and index straight into their stored blocks,
-/// which are byte-identical to what pack_a/pack_b would write here.
+/// which are byte-identical to what the backend's pack would write here.
 void run_tile(const TileArgs& t, int m0, int mc, int n0, int nc) {
+  const Backend& be = *t.be;
   float* c0 = t.c + static_cast<std::size_t>(m0) * t.ldc + n0;
   switch (t.init) {
     case Init::kZero:
@@ -307,57 +157,109 @@ void run_tile(const TileArgs& t, int m0, int mc, int n0, int nc) {
       break;  // start from the existing C
   }
 
-  const int kc_max = std::min(t.K, kKC);
-  const int kblocks = (t.K + kKC - 1) / kKC;
-  const int mpanels = (mc + kMR - 1) / kMR;
-  const int npanels = (nc + kNR - 1) / kNR;
+  const int kc_max = std::min(t.K, be.kc);
+  const int kblocks = (t.K + be.kc - 1) / be.kc;
+  const int mpanels = (mc + be.mr - 1) / be.mr;
+  const int npanels = (nc + be.nr - 1) / be.nr;
   core::ScratchArena& arena = core::ScratchArena::local();
   const core::ScratchArena::Scope scope(arena);
-  float* abuf = t.pa != nullptr
-                    ? nullptr
-                    : arena.alloc(static_cast<std::size_t>(mpanels) * kMR * kc_max);
-  float* bbuf = t.pb != nullptr
-                    ? nullptr
-                    : arena.alloc(static_cast<std::size_t>(npanels) * kNR * kc_max);
+  float* abuf =
+      t.pa != nullptr
+          ? nullptr
+          : arena.alloc(static_cast<std::size_t>(mpanels) * be.mr * kc_max);
+  float* bbuf =
+      t.pb != nullptr
+          ? nullptr
+          : arena.alloc(static_cast<std::size_t>(npanels) * be.nr * kc_max);
 
-  for (int k0 = 0; k0 < t.K; k0 += kKC) {
-    const int kc = std::min(kKC, t.K - k0);
-    const int kb = k0 / kKC;
+  for (int k0 = 0; k0 < t.K; k0 += be.kc) {
+    const int kc = std::min(be.kc, t.K - k0);
+    const int kb = k0 / be.kc;
     const float* apack = abuf;
     const float* bpack = bbuf;
     if (t.pa != nullptr) {
       apack = t.pa->data.data() +
-              t.pa->block_off[static_cast<std::size_t>(m0 / kMC) * kblocks + kb];
+              t.pa->block_off[static_cast<std::size_t>(m0 / be.mc) * kblocks + kb];
     } else {
-      pack_a(t.a, t.lda, t.trans_a, m0, mc, k0, kc, abuf);
+      be.pack_a(t.a, t.lda, t.trans_a, m0, mc, k0, kc, abuf);
     }
     if (t.pb != nullptr) {
       bpack = t.pb->data.data() +
-              t.pb->block_off[static_cast<std::size_t>(n0 / kNC) * kblocks + kb];
+              t.pb->block_off[static_cast<std::size_t>(n0 / be.nc) * kblocks + kb];
     } else {
-      pack_b(t.b, t.ldb, t.trans_b, k0, kc, n0, nc, bbuf);
+      be.pack_b(t.b, t.ldb, t.trans_b, k0, kc, n0, nc, bbuf);
     }
+    MERSIT_ASSERT_ALIGNED(apack);
+    MERSIT_ASSERT_ALIGNED(bpack);
     // The fused epilogue/affine fires only on the final k-block's
     // write-back, when every element of this tile has its complete
     // k-summation.
     const bool last = k0 + kc >= t.K;
     const Epilogue epi = last ? t.epi : Epilogue::kNone;
-    for (int jp = 0; jp < nc; jp += kNR) {
-      const int nr = std::min(kNR, nc - jp);
-      const float* bp = bpack + static_cast<std::size_t>(jp / kNR) * kc * kNR;
-      for (int ip = 0; ip < mc; ip += kMR) {
-        const int mr = std::min(kMR, mc - ip);
-        const float* ap = apack + static_cast<std::size_t>(ip / kMR) * kc * kMR;
+    for (int jp = 0; jp < nc; jp += be.nr) {
+      const int nr = std::min(be.nr, nc - jp);
+      const float* bp = bpack + static_cast<std::size_t>(jp / be.nr) * kc * be.nr;
+      for (int ip = 0; ip < mc; ip += be.mr) {
+        const int mr = std::min(be.mr, mc - ip);
+        const float* ap = apack + static_cast<std::size_t>(ip / be.mr) * kc * be.mr;
         float* c = c0 + static_cast<std::size_t>(ip) * t.ldc + jp;
         const float* asc = (last && t.asc != nullptr) ? t.asc + m0 + ip : nullptr;
         const float* ash = asc != nullptr ? t.ash + m0 + ip : nullptr;
-        if (mr == kMR && nr == kNR)
-          micro_full(kc, ap, bp, c, t.ldc, epi, asc, ash);
-        else
-          micro_edge(kc, ap, bp, c, t.ldc, mr, nr, epi, asc, ash);
+        be.micro(kc, ap, bp, c, t.ldc, mr, nr, epi, asc, ash);
       }
     }
   }
+}
+
+/// Shared skeleton of the four pack entry points: compute the block-offset
+/// table for the active backend's tile geometry, then run `pack_block` per
+/// (outer, k) cache block.  Every block's float count is rounded up to a
+/// whole cache line so block starts stay 64-byte aligned inside the aligned
+/// data vector; resize() zero-fills, so the rounding gaps hold
+/// deterministic zeros and packs stay byte-comparable.
+template <typename PackBlockFn>
+PackedMatrix pack_generic(bool is_a, int other, int K, PackBlockFn&& pack_block) {
+  const Backend& be = active_backend();
+  PackedMatrix p;
+  p.is_a = is_a;
+  p.other = other;
+  p.k = K;
+  p.mr = be.mr;
+  p.nr = be.nr;
+  p.oc = is_a ? be.mc : be.nc;
+  p.kc = be.kc;
+  p.backend_id = be.id;
+  if (other == 0 || K == 0) return p;
+  const int reg = is_a ? be.mr : be.nr;  // panel register-tile extent
+  const int oblocks = (other + p.oc - 1) / p.oc;
+  const int kblocks = (K + be.kc - 1) / be.kc;
+  constexpr std::size_t kLineFloats = core::kSimdAlign / sizeof(float);
+  p.block_off.resize(static_cast<std::size_t>(oblocks) * kblocks);
+  std::size_t total = 0;
+  for (int ob = 0; ob < oblocks; ++ob) {
+    const int oc = std::min(p.oc, other - ob * p.oc);
+    const int panels = (oc + reg - 1) / reg;
+    for (int kb = 0; kb < kblocks; ++kb) {
+      const int kc = std::min(be.kc, K - kb * be.kc);
+      p.block_off[static_cast<std::size_t>(ob) * kblocks + kb] = total;
+      const std::size_t floats = static_cast<std::size_t>(panels) * reg * kc;
+      total += (floats + kLineFloats - 1) / kLineFloats * kLineFloats;
+    }
+  }
+  p.data.resize(total);
+  MERSIT_ASSERT_ALIGNED(p.data.data());
+  for (int ob = 0; ob < oblocks; ++ob) {
+    const int o0 = ob * p.oc;
+    const int oc = std::min(p.oc, other - o0);
+    for (int kb = 0; kb < kblocks; ++kb) {
+      const int k0 = kb * be.kc;
+      const int kc = std::min(be.kc, K - k0);
+      pack_block(be, o0, oc, k0, kc,
+                 p.data.data() +
+                     p.block_off[static_cast<std::size_t>(ob) * kblocks + kb]);
+    }
+  }
+  return p;
 }
 
 }  // namespace
@@ -412,145 +314,45 @@ void epilogue_apply(Epilogue e, const float* src, float* dst, int n) {
 PackedMatrix pack_a_matrix(int M, int K, const float* A, int lda, bool trans_a) {
   if (M < 0 || K < 0)
     throw std::invalid_argument("pack_a_matrix: negative dim");
-  PackedMatrix p;
-  p.is_a = true;
-  p.other = M;
-  p.k = K;
-  if (M == 0 || K == 0) return p;
-  const int oblocks = (M + kMC - 1) / kMC;
-  const int kblocks = (K + kKC - 1) / kKC;
-  p.block_off.resize(static_cast<std::size_t>(oblocks) * kblocks);
-  std::size_t total = 0;
-  for (int ob = 0; ob < oblocks; ++ob) {
-    const int mc = std::min(kMC, M - ob * kMC);
-    const int mpanels = (mc + kMR - 1) / kMR;
-    for (int kb = 0; kb < kblocks; ++kb) {
-      const int kc = std::min(kKC, K - kb * kKC);
-      p.block_off[static_cast<std::size_t>(ob) * kblocks + kb] = total;
-      total += static_cast<std::size_t>(mpanels) * kMR * kc;
-    }
-  }
-  p.data.resize(total);
-  for (int ob = 0; ob < oblocks; ++ob) {
-    const int m0 = ob * kMC;
-    const int mc = std::min(kMC, M - m0);
-    for (int kb = 0; kb < kblocks; ++kb) {
-      const int k0 = kb * kKC;
-      const int kc = std::min(kKC, K - k0);
-      pack_a(A, lda, trans_a, m0, mc, k0, kc,
-             p.data.data() + p.block_off[static_cast<std::size_t>(ob) * kblocks + kb]);
-    }
-  }
-  return p;
+  return pack_generic(/*is_a=*/true, M, K,
+                      [&](const Backend& be, int m0, int mc, int k0, int kc,
+                          float* dst) {
+                        be.pack_a(A, lda, trans_a, m0, mc, k0, kc, dst);
+                      });
 }
 
 PackedMatrix pack_b_matrix(int K, int N, const float* B, int ldb, bool trans_b) {
   if (K < 0 || N < 0)
     throw std::invalid_argument("pack_b_matrix: negative dim");
-  PackedMatrix p;
-  p.is_a = false;
-  p.other = N;
-  p.k = K;
-  if (N == 0 || K == 0) return p;
-  const int oblocks = (N + kNC - 1) / kNC;
-  const int kblocks = (K + kKC - 1) / kKC;
-  p.block_off.resize(static_cast<std::size_t>(oblocks) * kblocks);
-  std::size_t total = 0;
-  for (int ob = 0; ob < oblocks; ++ob) {
-    const int nc = std::min(kNC, N - ob * kNC);
-    const int npanels = (nc + kNR - 1) / kNR;
-    for (int kb = 0; kb < kblocks; ++kb) {
-      const int kc = std::min(kKC, K - kb * kKC);
-      p.block_off[static_cast<std::size_t>(ob) * kblocks + kb] = total;
-      total += static_cast<std::size_t>(npanels) * kNR * kc;
-    }
-  }
-  p.data.resize(total);
-  for (int ob = 0; ob < oblocks; ++ob) {
-    const int n0 = ob * kNC;
-    const int nc = std::min(kNC, N - n0);
-    for (int kb = 0; kb < kblocks; ++kb) {
-      const int k0 = kb * kKC;
-      const int kc = std::min(kKC, K - k0);
-      pack_b(B, ldb, trans_b, k0, kc, n0, nc,
-             p.data.data() + p.block_off[static_cast<std::size_t>(ob) * kblocks + kb]);
-    }
-  }
-  return p;
+  return pack_generic(/*is_a=*/false, N, K,
+                      [&](const Backend& be, int n0, int nc, int k0, int kc,
+                          float* dst) {
+                        be.pack_b(B, ldb, trans_b, k0, kc, n0, nc, dst);
+                      });
 }
 
 PackedMatrix pack_a_codes(int M, int K, const std::uint8_t* A, int lda,
                           bool trans_a, const double* lut,
                           const double* scales) {
   if (M < 0 || K < 0) throw std::invalid_argument("pack_a_codes: negative dim");
-  PackedMatrix p;
-  p.is_a = true;
-  p.other = M;
-  p.k = K;
-  if (M == 0 || K == 0) return p;
-  const int oblocks = (M + kMC - 1) / kMC;
-  const int kblocks = (K + kKC - 1) / kKC;
-  p.block_off.resize(static_cast<std::size_t>(oblocks) * kblocks);
-  std::size_t total = 0;
-  for (int ob = 0; ob < oblocks; ++ob) {
-    const int mc = std::min(kMC, M - ob * kMC);
-    const int mpanels = (mc + kMR - 1) / kMR;
-    for (int kb = 0; kb < kblocks; ++kb) {
-      const int kc = std::min(kKC, K - kb * kKC);
-      p.block_off[static_cast<std::size_t>(ob) * kblocks + kb] = total;
-      total += static_cast<std::size_t>(mpanels) * kMR * kc;
-    }
-  }
-  p.data.resize(total);
-  for (int ob = 0; ob < oblocks; ++ob) {
-    const int m0 = ob * kMC;
-    const int mc = std::min(kMC, M - m0);
-    for (int kb = 0; kb < kblocks; ++kb) {
-      const int k0 = kb * kKC;
-      const int kc = std::min(kKC, K - k0);
-      pack_a_codes_block(
-          A, lda, trans_a, lut, scales, m0, mc, k0, kc,
-          p.data.data() + p.block_off[static_cast<std::size_t>(ob) * kblocks + kb]);
-    }
-  }
-  return p;
+  return pack_generic(/*is_a=*/true, M, K,
+                      [&](const Backend& be, int m0, int mc, int k0, int kc,
+                          float* dst) {
+                        be.pack_a_codes(A, lda, trans_a, lut, scales, m0, mc,
+                                        k0, kc, dst);
+                      });
 }
 
 PackedMatrix pack_b_codes(int K, int N, const std::uint8_t* B, int ldb,
                           bool trans_b, const double* lut,
                           const double* scales) {
   if (K < 0 || N < 0) throw std::invalid_argument("pack_b_codes: negative dim");
-  PackedMatrix p;
-  p.is_a = false;
-  p.other = N;
-  p.k = K;
-  if (N == 0 || K == 0) return p;
-  const int oblocks = (N + kNC - 1) / kNC;
-  const int kblocks = (K + kKC - 1) / kKC;
-  p.block_off.resize(static_cast<std::size_t>(oblocks) * kblocks);
-  std::size_t total = 0;
-  for (int ob = 0; ob < oblocks; ++ob) {
-    const int nc = std::min(kNC, N - ob * kNC);
-    const int npanels = (nc + kNR - 1) / kNR;
-    for (int kb = 0; kb < kblocks; ++kb) {
-      const int kc = std::min(kKC, K - kb * kKC);
-      p.block_off[static_cast<std::size_t>(ob) * kblocks + kb] = total;
-      total += static_cast<std::size_t>(npanels) * kNR * kc;
-    }
-  }
-  p.data.resize(total);
-  for (int ob = 0; ob < oblocks; ++ob) {
-    const int n0 = ob * kNC;
-    const int nc = std::min(kNC, N - n0);
-    for (int kb = 0; kb < kblocks; ++kb) {
-      const int k0 = kb * kKC;
-      const int kc = std::min(kKC, K - k0);
-      pack_b_codes_block(
-          B, ldb, trans_b, lut, scales, k0, kc, n0, nc,
-          p.data.data() + p.block_off[static_cast<std::size_t>(ob) * kblocks + kb]);
-    }
-  }
-  return p;
+  return pack_generic(/*is_a=*/false, N, K,
+                      [&](const Backend& be, int n0, int nc, int k0, int kc,
+                          float* dst) {
+                        be.pack_b_codes(B, ldb, trans_b, lut, scales, k0, kc,
+                                        n0, nc, dst);
+                      });
 }
 
 void decode_codes(const std::uint8_t* codes, std::size_t n, const double* lut,
@@ -583,6 +385,19 @@ void sgemm(int M, int N, int K, const float* A, int lda, bool trans_a,
     throw std::invalid_argument("sgemm: packed A does not match the call shape");
   if (packed_b != nullptr && (packed_b->is_a || packed_b->other != N || packed_b->k != K))
     throw std::invalid_argument("sgemm: packed B does not match the call shape");
+  const Backend& be = active_backend();
+  // Panel layouts are backend-specific; a pack built under a different
+  // backend (different Backend::id) would be misindexed here, so refuse it.
+  // The layer-side caches key on the backend id exactly so this never fires
+  // in normal operation.
+  if (packed_a != nullptr && !packed_a->empty() && packed_a->backend_id != be.id)
+    throw std::invalid_argument(
+        std::string("sgemm: packed A was built for another backend; active is '") +
+        be.name + "'");
+  if (packed_b != nullptr && !packed_b->empty() && packed_b->backend_id != be.id)
+    throw std::invalid_argument(
+        std::string("sgemm: packed B was built for another backend; active is '") +
+        be.name + "'");
   const float* asc = affine != nullptr ? affine->scale : nullptr;
   const float* ash = affine != nullptr ? affine->shift : nullptr;
 
@@ -594,18 +409,18 @@ void sgemm(int M, int N, int K, const float* A, int lda, bool trans_a,
     return;
   }
 
-  const TileArgs t{M,    N,   K,    A,        lda,      trans_a,  B,
-                   ldb,  trans_b,   C,        ldc,      init,     bias,
+  const TileArgs t{&be,  M,    N,   K,    A,        lda,      trans_a,  B,
+                   ldb,  trans_b,   C,    ldc,      init,     bias,
                    epilogue, packed_a, packed_b, asc,   ash};
-  const int mtiles = (M + kMC - 1) / kMC;
-  const int ntiles = (N + kNC - 1) / kNC;
+  const int mtiles = (M + be.mc - 1) / be.mc;
+  const int ntiles = (N + be.nc - 1) / be.nc;
   const std::size_t tiles = static_cast<std::size_t>(mtiles) * ntiles;
-  const auto tile = [&t, ntiles](std::size_t idx) {
+  const auto tile = [&t, &be, ntiles](std::size_t idx) {
     const int mb = static_cast<int>(idx) / ntiles;
     const int nb = static_cast<int>(idx) % ntiles;
-    const int m0 = mb * kMC;
-    const int n0 = nb * kNC;
-    run_tile(t, m0, std::min(kMC, t.M - m0), n0, std::min(kNC, t.N - n0));
+    const int m0 = mb * be.mc;
+    const int n0 = nb * be.nc;
+    run_tile(t, m0, std::min(be.mc, t.M - m0), n0, std::min(be.nc, t.N - n0));
   };
   if (tiles == 1) {
     tile(0);  // skip the pool round-trip for the common tiny-matrix case

@@ -1,9 +1,11 @@
 // Dense single-precision GEMM for the inference hot paths.
 //
-// A cache-blocked, packing SGEMM with a small register-tiled micro-kernel
-// written in plain C++ so the compiler auto-vectorizes the NR dimension (no
-// intrinsics, no -ffast-math).  Three properties the rest of the repo leans
-// on:
+// A cache-blocked, packing SGEMM whose register-tiled micro-kernel and
+// panel-pack routines are dispatched through a runtime SIMD backend
+// registry (nn/gemm/backend.h): scalar (plain C++, the reference), AVX2 and
+// AVX-512 on x86-64, NEON on aarch64 — CPUID-detected, forceable via
+// MERSIT_BACKEND, and all bit-identical to scalar (no -ffast-math, no fused
+// multiply-adds).  Three properties the rest of the repo leans on:
 //
 //  * Fixed k-order summation.  Every output element accumulates its K
 //    products in ascending k order, starting from its initial value (zero,
@@ -53,6 +55,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/aligned.h"
 #include "core/thread_pool.h"
 
 namespace mersit::nn::gemm {
@@ -119,15 +122,29 @@ struct RowAffine {
   const float* shift = nullptr;  ///< M entries
 };
 
-/// A GEMM operand packed once into the kernel's panel layout, for reuse
-/// across many sgemm calls over frozen data (layer weights).  Produced by
-/// pack_a_matrix / pack_b_matrix; the fields are internal to the engine —
-/// treat instances as opaque tokens.
+/// A GEMM operand packed once into the active backend's panel layout, for
+/// reuse across many sgemm calls over frozen data (layer weights).
+/// Produced by pack_a_matrix / pack_b_matrix; the fields are internal to
+/// the engine — treat instances as opaque tokens.
+///
+/// The layout is self-describing: the tile geometry it was packed for
+/// (mr/nr register tile, oc/kc cache blocks) and the owning backend's id
+/// are recorded, and sgemm rejects a pack whose backend is not the active
+/// one — panel layouts differ across tile geometries, so a foreign-layout
+/// pack must never be consumed silently.  Panel storage is 64-byte aligned
+/// (core::AlignedVector) and every block offset is rounded to a whole cache
+/// line, so SIMD backends read panels with aligned loads; the rounding gaps
+/// are zero-filled, keeping packs byte-comparable.
 struct PackedMatrix {
-  bool is_a = false;  ///< A-operand (kMR-row panels) vs B (kNR-col panels)
+  bool is_a = false;  ///< A-operand (mr-row panels) vs B (nr-col panels)
   int other = 0;      ///< M for an A-pack, N for a B-pack
   int k = 0;          ///< shared K extent
-  std::vector<float> data;              ///< all blocks, contiguous
+  int mr = 0;         ///< register-tile rows (A panels) of the packing backend
+  int nr = 0;         ///< register-tile cols (B panels) of the packing backend
+  int oc = 0;         ///< outer cache block: MC for an A-pack, NC for a B-pack
+  int kc = 0;         ///< K cache block of the packing backend
+  int backend_id = 0; ///< Backend::id this pack was built for
+  core::AlignedVector<float> data;      ///< all blocks, contiguous, 64B-aligned
   std::vector<std::size_t> block_off;   ///< [outer_block * kblocks + kblock]
 
   [[nodiscard]] bool empty() const { return data.empty(); }

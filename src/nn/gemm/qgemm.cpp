@@ -2,9 +2,10 @@
 
 #include <atomic>
 #include <cmath>
-#include <cstdlib>
 #include <stdexcept>
 #include <string>
+
+#include "core/env.h"
 
 namespace mersit::nn::gemm {
 
@@ -21,7 +22,9 @@ QgemmMode parse_mode(const char* s) {
 
 std::atomic<QgemmMode>& qgemm_flag() {
   static std::atomic<QgemmMode> flag = [] {
-    const char* env = std::getenv("MERSIT_QGEMM");
+    // Same strict env layer as MERSIT_BACKEND: unset/empty means the
+    // default, anything else must parse or throws.
+    const char* env = core::env_str("MERSIT_QGEMM");
     return env != nullptr ? parse_mode(env) : QgemmMode::kCode;
   }();
   return flag;

@@ -29,6 +29,12 @@
 // drifts from, not vice versa.  This mode trades throughput for exactness
 // (a software 512-bit quire per output element); it is a numerics
 // instrument, not a fast path.
+//
+// Backend note: the float and code modes ride the SIMD backend registry
+// (nn/gemm/backend.h) — the code-domain packs are per-backend routines
+// gated byte-identical across backends.  qgemm_kulisch reads raw codes and
+// accumulates in integer arithmetic, so it is independent of the active
+// backend by construction and needs no per-backend gating.
 #pragma once
 
 #include <cstdint>

@@ -7,6 +7,7 @@
 
 #include "core/scratch_arena.h"
 #include "core/thread_pool.h"
+#include "nn/gemm/backend.h"
 #include "nn/gemm/gemm.h"
 #include "nn/gemm/im2col.h"
 #include "nn/gemm/qgemm.h"
@@ -47,12 +48,22 @@ void check_codes(const WeightCodes& wc, int channels, int per_channel,
                                 ": weight codes do not match the layer shape");
 }
 
+/// Cache identity of the float-weight path: just the active GEMM backend's
+/// id (< 16), so switching MERSIT_BACKEND rebuilds the entry instead of
+/// serving a foreign-layout pack (sgemm would reject it loudly).
+std::uint64_t float_pack_identity() {
+  return static_cast<std::uint64_t>(gemm::active_backend().id);
+}
+
 /// Cache identity of a code-domain entry: the process-unique WeightCodes id
-/// shifted past a want-packs bit, so toggling MERSIT_PREPACK rebuilds the
-/// entry with/without panels instead of serving a packless one forever.
-/// Never collides with the float path's identity 0 (ids start at 1).
+/// shifted past a want-packs bit (so toggling MERSIT_PREPACK rebuilds the
+/// entry with/without panels instead of serving a packless one forever),
+/// then past four backend-id bits for the same foreign-layout reason as
+/// float_pack_identity.  Never collides with the float path's identities
+/// (< 16): WeightCodes ids start at 1, so these are always >= 32.
 std::uint64_t codes_identity(const WeightCodes& wc, bool want_packs) {
-  return (wc.id << 1) | static_cast<std::uint64_t>(want_packs);
+  return (((wc.id << 1) | static_cast<std::uint64_t>(want_packs)) << 4) |
+         float_pack_identity();
 }
 
 /// Kulisch eligibility for one forward: opt-in mode, exact table available,
@@ -118,7 +129,7 @@ Tensor Linear::forward_fused(const Tensor& x, const Context& ctx,
   if (gemm::enabled()) {
     const gemm::PackedMatrix* pb = nullptr;
     if (use_prepack(ctx)) {
-      const PackedWeights& cached = packs_.get(weight, 0, [&] {
+      const PackedWeights& cached = packs_.get(weight, float_pack_identity(), [&] {
         PackedWeights pw;
         pw.packs.push_back(gemm::pack_b_matrix(in_, out_, weight.value.raw(),
                                                in_, /*trans_b=*/true));
@@ -382,7 +393,7 @@ Tensor Conv2d::forward_fused(const Tensor& x, const Context& ctx,
     const int icg = in_ch_ / groups_;
     const int kdim = icg * k_ * k_;
     const int ocg = out_ch_ / groups_;
-    const PackedWeights& cached = packs_.get(weight, 0, [&] {
+    const PackedWeights& cached = packs_.get(weight, float_pack_identity(), [&] {
       PackedWeights pw;
       pw.packs = pack_conv_weights(weight.value.raw(), groups_, ocg, kdim);
       return pw;
@@ -419,7 +430,7 @@ Tensor Conv2d::forward_bn_fused(const Tensor& x, const Context& ctx,
     const int icg = in_ch_ / groups_;
     const int kdim = icg * k_ * k_;
     const int ocg = out_ch_ / groups_;
-    const PackedWeights& cached = packs_.get(weight, 0, [&] {
+    const PackedWeights& cached = packs_.get(weight, float_pack_identity(), [&] {
       PackedWeights pw;
       pw.packs = pack_conv_weights(weight.value.raw(), groups_, ocg, kdim);
       return pw;
@@ -443,9 +454,11 @@ Tensor Conv2d::forward_folded(const Tensor& x, const Context& ctx,
     return forward_bn_fused(x, ctx, bn, epi);
   const std::uint64_t wv = weight.version(), bv = bias.version(),
                       gv = bn.gamma.version(), bev = bn.beta.version();
+  const std::uint64_t bk = static_cast<std::uint64_t>(gemm::active_backend().id);
   {
     const std::lock_guard<std::mutex> lock(fold_.mu);
-    if (fold_.wv != wv || fold_.bv != bv || fold_.gv != gv || fold_.bev != bev) {
+    if (fold_.wv != wv || fold_.bv != bv || fold_.gv != gv ||
+        fold_.bev != bev || fold_.bk != bk) {
       const std::size_t per = static_cast<std::size_t>(in_ch_ / groups_) * k_ * k_;
       fold_.w.assign(weight.value.raw(),
                      weight.value.raw() + static_cast<std::size_t>(out_ch_) * per);
@@ -468,6 +481,7 @@ Tensor Conv2d::forward_folded(const Tensor& x, const Context& ctx,
       fold_.bv = bv;
       fold_.gv = gv;
       fold_.bev = bev;
+      fold_.bk = bk;
     }
   }
   return run_conv(x, ctx, fold_.w.data(), fold_.b.data(),

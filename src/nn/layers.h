@@ -73,6 +73,7 @@ struct FoldCache {
 
   std::mutex mu;
   std::uint64_t wv = 0, bv = 0, gv = 0, bev = 0;
+  std::uint64_t bk = ~std::uint64_t{0};    ///< gemm Backend::id of `packs`
   std::vector<float> w, b;                 ///< folded weight / bias values
   std::vector<gemm::PackedMatrix> packs;   ///< per-group packs of `w`
 };

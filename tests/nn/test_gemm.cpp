@@ -17,10 +17,14 @@
 #include <cstdint>
 #include <cstdlib>
 #include <random>
+#include <set>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/thread_pool.h"
 #include "nn/attention.h"
+#include "nn/gemm/backend.h"
 #include "nn/gemm/im2col.h"
 #include "nn/layers.h"
 
@@ -420,6 +424,243 @@ TEST(GemmIm2col, RoundTripAccumulatesEveryTapOnce)
   EXPECT_TRUE(bitwise_equal(col, x));
   gemm::col2im_add(col.data(), c, h, w, 1, 1, 0, back.data());
   EXPECT_TRUE(bitwise_equal(back, x));
+}
+
+// ---------------------------------------------------------- SIMD backends --
+//
+// Every compiled-in backend the host can execute is gated bitwise against
+// the scalar reference: same shapes/transposes/inits, strided C, thread
+// counts, fused epilogues, and the prepacked-operand path.  Bit identity
+// holds because every backend accumulates ascending-k with a separately
+// rounded multiply and add per step (no FMA) — tile geometry may differ.
+
+/// Restores the active GEMM backend on scope exit.
+struct BackendGuard {
+  explicit BackendGuard(const gemm::Backend& be)
+      : prev(gemm::set_backend(&be)) {}
+  ~BackendGuard() { gemm::set_backend(prev); }
+  const gemm::Backend* prev;
+};
+
+TEST(GemmBackend, RegistryListsScalarLastWithUniqueIdsAndNames) {
+  const auto list = gemm::backends();
+  ASSERT_FALSE(list.empty());
+  // Scalar terminates detection: always compiled in, always supported.
+  EXPECT_EQ(list.back(), &gemm::scalar_backend());
+  EXPECT_TRUE(gemm::scalar_backend().supported());
+  EXPECT_TRUE(gemm::active_backend().supported());
+  std::set<int> ids;
+  for (const gemm::Backend* be : list) {
+    EXPECT_GE(be->id, 0) << be->name;
+    EXPECT_LT(be->id, 16) << be->name;  // ids join the pack-cache key bits
+    EXPECT_TRUE(ids.insert(be->id).second) << "duplicate id: " << be->name;
+    EXPECT_EQ(gemm::find_backend(be->name), be);
+    EXPECT_EQ(be->mc % be->mr, 0) << be->name;  // full tiles inside a block
+  }
+}
+
+TEST(GemmBackend, ParseBackendRejectsUnknownNamesListingTheRegistry) {
+  EXPECT_EQ(&gemm::parse_backend("scalar"), &gemm::scalar_backend());
+  EXPECT_EQ(gemm::find_backend("bogus"), nullptr);
+  try {
+    (void)gemm::parse_backend("bogus");
+    FAIL() << "unknown backend name accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos) << what;
+    // The message lists every compiled-in backend so the fix is self-evident.
+    for (const gemm::Backend* be : gemm::backends())
+      EXPECT_NE(what.find(be->name), std::string::npos) << what;
+  }
+}
+
+TEST(GemmBackend, SetBackendRoundTripsAndRejectsNull) {
+  const gemm::Backend& before = gemm::active_backend();
+  {
+    const BackendGuard g(gemm::scalar_backend());
+    EXPECT_EQ(&gemm::active_backend(), &gemm::scalar_backend());
+  }
+  EXPECT_EQ(&gemm::active_backend(), &before);
+  EXPECT_THROW(gemm::set_backend(nullptr), std::invalid_argument);
+}
+
+TEST(GemmBackend, EveryBackendBitIdenticalToScalarAcrossShapesAndInits) {
+  ASSERT_TRUE(kEnvReady);
+  std::mt19937 rng(67);
+  // All shapes exceed the direct-path cutoff so the packed kernels actually
+  // run; they are ragged against every backend's register tile (4x8, 6x16,
+  // 8x16, 6x8) and the last one crosses the MC=120 / KC=256 cache blocks.
+  const int shapes[][3] = {
+      {17, 19, 50}, {48, 33, 17}, {64, 80, 40}, {123, 70, 300}};
+  for (const auto& s : shapes) {
+    const int M = s[0], N = s[1], K = s[2];
+    for (const bool ta : {false, true}) {
+      for (const bool tb : {false, true}) {
+        const int lda = ta ? M : K;
+        const int ldb = tb ? K : N;
+        const auto A = random_vec(static_cast<std::size_t>(ta ? K : M) * lda, rng);
+        const auto B = random_vec(static_cast<std::size_t>(tb ? N : K) * ldb, rng);
+        const auto bias = random_vec(static_cast<std::size_t>(std::max(M, N)), rng);
+        for (const auto init : {gemm::Init::kZero, gemm::Init::kBiasRow,
+                                gemm::Init::kBiasCol, gemm::Init::kAccumulate}) {
+          const auto seed = random_vec(static_cast<std::size_t>(M) * N, rng);
+          std::vector<float> want = seed;
+          {
+            const BackendGuard g(gemm::scalar_backend());
+            gemm::sgemm(M, N, K, A.data(), lda, ta, B.data(), ldb, tb,
+                        want.data(), N, init, bias.data());
+          }
+          for (const gemm::Backend* be : gemm::backends()) {
+            if (!be->supported()) continue;
+            const BackendGuard g(*be);
+            std::vector<float> got = seed;
+            gemm::sgemm(M, N, K, A.data(), lda, ta, B.data(), ldb, tb,
+                        got.data(), N, init, bias.data());
+            EXPECT_TRUE(bitwise_equal(got, want))
+                << be->name << " M=" << M << " N=" << N << " K=" << K
+                << " ta=" << ta << " tb=" << tb
+                << " init=" << static_cast<int>(init);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmBackend, StridedOutputGapsUntouchedPerBackend) {
+  std::mt19937 rng(71);
+  const int M = 33, N = 29, K = 11, ldc = 37;  // above the direct-path cutoff
+  const auto A = random_vec(static_cast<std::size_t>(M) * K, rng);
+  const auto B = random_vec(static_cast<std::size_t>(K) * N, rng);
+  std::vector<float> want(static_cast<std::size_t>(M) * ldc, 42.f);
+  {
+    const BackendGuard g(gemm::scalar_backend());
+    gemm::sgemm(M, N, K, A.data(), K, false, B.data(), N, false, want.data(),
+                ldc);
+  }
+  for (const gemm::Backend* be : gemm::backends()) {
+    if (!be->supported()) continue;
+    const BackendGuard g(*be);
+    std::vector<float> c(static_cast<std::size_t>(M) * ldc, 42.f);
+    gemm::sgemm(M, N, K, A.data(), K, false, B.data(), N, false, c.data(), ldc);
+    EXPECT_TRUE(bitwise_equal(c, want)) << be->name;
+    for (int m = 0; m < M; ++m)
+      for (int n = N; n < ldc; ++n)
+        EXPECT_EQ(c[static_cast<std::size_t>(m) * ldc + n], 42.f)
+            << be->name << " m=" << m << " n=" << n;
+  }
+}
+
+TEST(GemmBackend, EpiloguesAndRowAffineBitIdenticalToScalarPerBackend) {
+  std::mt19937 rng(79);
+  const int M = 50, N = 26, K = 33;
+  const auto A = random_vec(static_cast<std::size_t>(M) * K, rng);
+  const auto B = random_vec(static_cast<std::size_t>(K) * N, rng);
+  const auto scale = random_vec(static_cast<std::size_t>(M), rng);
+  const auto shift = random_vec(static_cast<std::size_t>(M), rng);
+  const gemm::RowAffine affine{scale.data(), shift.data()};
+  for (const auto epi :
+       {gemm::Epilogue::kNone, gemm::Epilogue::kReLU, gemm::Epilogue::kReLU6,
+        gemm::Epilogue::kSiLU, gemm::Epilogue::kHardSwish,
+        gemm::Epilogue::kGELU}) {
+    for (const gemm::RowAffine* aff : {static_cast<const gemm::RowAffine*>(nullptr), &affine}) {
+      std::vector<float> want(static_cast<std::size_t>(M) * N);
+      {
+        const BackendGuard g(gemm::scalar_backend());
+        gemm::sgemm(M, N, K, A.data(), K, false, B.data(), N, false,
+                    want.data(), N, gemm::Init::kZero, nullptr, nullptr, epi,
+                    nullptr, nullptr, aff);
+      }
+      for (const gemm::Backend* be : gemm::backends()) {
+        if (!be->supported()) continue;
+        const BackendGuard g(*be);
+        std::vector<float> got(want.size());
+        gemm::sgemm(M, N, K, A.data(), K, false, B.data(), N, false,
+                    got.data(), N, gemm::Init::kZero, nullptr, nullptr, epi,
+                    nullptr, nullptr, aff);
+        EXPECT_TRUE(bitwise_equal(got, want))
+            << be->name << " epi=" << static_cast<int>(epi)
+            << " affine=" << (aff != nullptr);
+      }
+    }
+  }
+}
+
+TEST(GemmBackend, ThreadCountInvariantPerBackend) {
+  std::mt19937 rng(83);
+  const int M = 150, N = 90, K = 64;
+  const auto A = random_vec(static_cast<std::size_t>(M) * K, rng);
+  const auto B = random_vec(static_cast<std::size_t>(K) * N, rng);
+  for (const gemm::Backend* be : gemm::backends()) {
+    if (!be->supported()) continue;
+    const BackendGuard g(*be);
+    std::vector<float> base(static_cast<std::size_t>(M) * N);
+    gemm::sgemm(M, N, K, A.data(), K, false, B.data(), N, false, base.data(), N);
+    for (const int threads : {1, 4, 13}) {
+      core::ThreadPool pool(threads);
+      std::vector<float> out(base.size());
+      gemm::sgemm(M, N, K, A.data(), K, false, B.data(), N, false, out.data(),
+                  N, gemm::Init::kZero, nullptr, &pool);
+      EXPECT_TRUE(bitwise_equal(out, base))
+          << be->name << " threads=" << threads;
+    }
+  }
+}
+
+TEST(GemmBackend, PrepackedOperandsBitIdenticalAndStampedPerBackend) {
+  std::mt19937 rng(89);
+  const int M = 70, N = 51, K = 123;
+  const auto A = random_vec(static_cast<std::size_t>(M) * K, rng);
+  const auto B = random_vec(static_cast<std::size_t>(K) * N, rng);
+  for (const gemm::Backend* be : gemm::backends()) {
+    if (!be->supported()) continue;
+    const BackendGuard g(*be);
+    std::vector<float> base(static_cast<std::size_t>(M) * N);
+    gemm::sgemm(M, N, K, A.data(), K, false, B.data(), N, false, base.data(), N);
+    const gemm::PackedMatrix pa = gemm::pack_a_matrix(M, K, A.data(), K, false);
+    const gemm::PackedMatrix pb = gemm::pack_b_matrix(K, N, B.data(), N, false);
+    // Self-describing layout: packs carry the geometry they were built for.
+    EXPECT_EQ(pa.backend_id, be->id) << be->name;
+    EXPECT_EQ(pb.backend_id, be->id) << be->name;
+    EXPECT_EQ(pa.mr, be->mr) << be->name;
+    EXPECT_EQ(pb.nr, be->nr) << be->name;
+    std::vector<float> got(base.size());
+    gemm::sgemm(M, N, K, A.data(), K, false, B.data(), N, false, got.data(), N,
+                gemm::Init::kZero, nullptr, nullptr, gemm::Epilogue::kNone,
+                &pa, &pb);
+    EXPECT_TRUE(bitwise_equal(got, base)) << be->name;
+  }
+}
+
+TEST(GemmBackend, RejectsOperandsPackedForAForeignBackend) {
+  const gemm::Backend* other = nullptr;
+  for (const gemm::Backend* be : gemm::backends())
+    if (be != &gemm::scalar_backend() && be->supported()) {
+      other = be;
+      break;
+    }
+  if (other == nullptr)
+    GTEST_SKIP() << "host supports only the scalar backend";
+  std::mt19937 rng(97);
+  const int M = 64, N = 48, K = 32;
+  const auto A = random_vec(static_cast<std::size_t>(M) * K, rng);
+  const auto B = random_vec(static_cast<std::size_t>(K) * N, rng);
+  gemm::PackedMatrix pa, pb;
+  {
+    const BackendGuard g(*other);
+    pa = gemm::pack_a_matrix(M, K, A.data(), K, false);
+    pb = gemm::pack_b_matrix(K, N, B.data(), N, false);
+  }
+  const BackendGuard g(gemm::scalar_backend());
+  std::vector<float> c(static_cast<std::size_t>(M) * N);
+  EXPECT_THROW(gemm::sgemm(M, N, K, A.data(), K, false, B.data(), N, false,
+                           c.data(), N, gemm::Init::kZero, nullptr, nullptr,
+                           gemm::Epilogue::kNone, &pa, nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(gemm::sgemm(M, N, K, A.data(), K, false, B.data(), N, false,
+                           c.data(), N, gemm::Init::kZero, nullptr, nullptr,
+                           gemm::Epilogue::kNone, nullptr, &pb),
+               std::invalid_argument);
 }
 
 TEST(GemmEnv, SetEnabledReturnsPreviousValue) {

@@ -27,6 +27,7 @@
 #include "formats/corruption.h"
 #include "formats/kernels/kernel_cache.h"
 #include "nn/data.h"
+#include "nn/gemm/backend.h"
 #include "nn/gemm/gemm.h"
 #include "nn/gemm/qgemm.h"
 #include "nn/layers.h"
@@ -64,6 +65,14 @@ struct PrepackGuard {
   bool prev;
 };
 
+/// Restores the active GEMM backend on scope exit.
+struct BackendGuard {
+  explicit BackendGuard(const gemm::Backend& be)
+      : prev(gemm::set_backend(&be)) {}
+  ~BackendGuard() { gemm::set_backend(prev); }
+  const gemm::Backend* prev;
+};
+
 bool bitwise_equal(const Tensor& a, const Tensor& b) {
   return a.shape() == b.shape() &&
          std::memcmp(a.raw(), b.raw(),
@@ -76,6 +85,9 @@ bool bitwise_equal(const Tensor& a, const Tensor& b) {
                                            const gemm::PackedMatrix& q) {
   if (p.is_a != q.is_a || p.other != q.other || p.k != q.k)
     return ::testing::AssertionFailure() << "pack header mismatch";
+  if (p.mr != q.mr || p.nr != q.nr || p.oc != q.oc || p.kc != q.kc ||
+      p.backend_id != q.backend_id)
+    return ::testing::AssertionFailure() << "pack geometry mismatch";
   if (p.block_off != q.block_off)
     return ::testing::AssertionFailure() << "block offsets mismatch";
   if (p.data.size() != q.data.size())
@@ -102,11 +114,13 @@ std::array<double, 256> decode_lut(const formats::Format& fmt) {
 // packs byte-identically to the float pack of the eagerly decoded matrix,
 // for both operand sides, both storage orders, and dimensions that cross
 // the kernel's MC/KC block boundaries (odd remainders exercise the zero
-// padding).
-TEST(QgemmPack, CodePackBitIdenticalToFloatPackAllFormatsAllCodes) {
+// padding).  Runs once per compiled-in SIMD backend the host supports:
+// each backend's pack routines must write the same bytes as the float pack
+// at that backend's tile geometry.
+void run_code_pack_identity_gate() {
   constexpr int kM = 130;  // crosses the 120-row MC block, remainder 10
   constexpr int kK = 300;  // crosses the 256-deep KC block, remainder 44
-  constexpr int kN = 37;   // ragged against the 8-wide NR panel
+  constexpr int kN = 37;   // ragged against every backend's NR panel
   for (const std::string& name : core::all_format_names()) {
     SCOPED_TRACE(name);
     const auto fmt = core::make_format(name);
@@ -176,6 +190,15 @@ TEST(QgemmPack, CodePackBitIdenticalToFloatPackAllFormatsAllCodes) {
         gemm::pack_b_matrix(kK, kN, bt_dec.data(), kK, true),
         gemm::pack_b_codes(kK, kN, bt.data(), kK, true, lut.data(),
                            col_scales.data())));
+  }
+}
+
+TEST(QgemmPack, CodePackBitIdenticalToFloatPackAllFormatsAllCodes) {
+  for (const gemm::Backend* be : gemm::backends()) {
+    if (!be->supported()) continue;
+    SCOPED_TRACE(be->name);
+    const BackendGuard guard(*be);
+    run_code_pack_identity_gate();
   }
 }
 
