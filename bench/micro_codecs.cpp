@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <array>
 #include <cstdio>
 #include <cstring>
 #include <random>
@@ -210,6 +211,31 @@ void BM_MacNetlistCycle(benchmark::State& state, const char* name) {
   }
 }
 
+/// One 64-lane eval/clock sweep of the MAC netlist: 64 code pairs settle
+/// per iteration, so items_processed counts pairs and the per-pair rate is
+/// directly comparable to BM_MacNetlistCycle above (the scalar sweep).
+void BM_MacNetlistCycle64(benchmark::State& state, const char* name) {
+  const auto fmt = core::make_format(name);
+  rtl::Netlist nl;
+  const hw::MacPorts mac = hw::build_mac(nl, *fmt);
+  rtl::Simulator sim(nl);
+  sim.set_lane_count(rtl::Simulator::kLanes);
+  std::mt19937_64 rng(5);
+  std::array<std::uint64_t, rtl::Simulator::kLanes> w{}, a{};
+  for (auto _ : state) {
+    for (int l = 0; l < rtl::Simulator::kLanes; ++l) {
+      w[static_cast<std::size_t>(l)] = rng() & 0xFF;
+      a[static_cast<std::size_t>(l)] = rng() & 0xFF;
+    }
+    sim.set_input_bus_lanes(mac.wdec.code, w);
+    sim.set_input_bus_lanes(mac.adec.code, a);
+    sim.eval();
+    sim.clock();
+    benchmark::DoNotOptimize(sim.get_lanes(mac.acc[0]));
+  }
+  state.SetItemsProcessed(state.iterations() * rtl::Simulator::kLanes);
+}
+
 void BM_MacReference(benchmark::State& state) {
   const auto fmt = core::make_format("MERSIT(8,2)");
   const auto* ef = dynamic_cast<const formats::ExponentCodedFormat*>(fmt.get());
@@ -240,6 +266,9 @@ BENCHMARK_CAPTURE(BM_QuantizeBufferKernel, int8, "INT8")->Arg(4096);
 BENCHMARK_CAPTURE(BM_MacNetlistCycle, mersit82, "MERSIT(8,2)");
 BENCHMARK_CAPTURE(BM_MacNetlistCycle, posit81, "Posit(8,1)");
 BENCHMARK_CAPTURE(BM_MacNetlistCycle, fp84, "FP(8,4)");
+BENCHMARK_CAPTURE(BM_MacNetlistCycle64, mersit82, "MERSIT(8,2)");
+BENCHMARK_CAPTURE(BM_MacNetlistCycle64, posit81, "Posit(8,1)");
+BENCHMARK_CAPTURE(BM_MacNetlistCycle64, fp84, "FP(8,4)");
 BENCHMARK(BM_MacReference);
 
 int main(int argc, char** argv) {

@@ -2,24 +2,82 @@
 // product through it cycle by cycle, verify against the exact reference and
 // a double-precision result, and print the area/power report.
 //
-//   ./mac_simulation [format]     default MERSIT(8,2)
+//   ./mac_simulation [format]            default MERSIT(8,2)
+//   ./mac_simulation [format] --verilog  also dump the decoder and MAC as
+//                                        structural Verilog (<fmt>_decoder.v
+//                                        and <fmt>_mac.v in the cwd)
+#include <cctype>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <random>
 
 #include "core/registry.h"
+#include "hw/decoder.h"
 #include "hw/power.h"
 #include "hw/reference.h"
 #include "rtl/sim.h"
+#include "rtl/verilog.h"
 
 using namespace mersit;
 
+namespace {
+
+/// "MERSIT(8,2)" -> "mersit_8_2" for module and file names.
+std::string slug(const std::string& name) {
+  std::string s;
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0)
+      s.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    else if (!s.empty() && s.back() != '_')
+      s.push_back('_');
+  }
+  while (!s.empty() && s.back() == '_') s.pop_back();
+  return s;
+}
+
+int dump_verilog(const formats::Format& fmt, const std::string& name) {
+  const std::string base = slug(name);
+  {
+    rtl::Netlist nl;
+    const hw::DecoderPorts dec = hw::build_decoder(nl, fmt);
+    const auto ports = hw::decoder_output_ports(dec);
+    std::ofstream os(base + "_decoder.v", std::ios::binary);
+    os << rtl::to_verilog(nl, base + "_decoder", ports);
+    std::printf("wrote %s_decoder.v (%zu cells)\n", base.c_str(), nl.cell_count());
+  }
+  {
+    rtl::Netlist nl;
+    const hw::MacPorts mac = hw::build_mac(nl, fmt);
+    const auto ports = hw::mac_output_ports(mac);
+    std::ofstream os(base + "_mac.v", std::ios::binary);
+    os << rtl::to_verilog(nl, base + "_mac", ports);
+    std::printf("wrote %s_mac.v (%zu cells)\n", base.c_str(), nl.cell_count());
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const std::string name = argc > 1 ? argv[1] : "MERSIT(8,2)";
+  std::string name = "MERSIT(8,2)";
+  bool verilog = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verilog") == 0)
+      verilog = true;
+    else
+      name = argv[i];
+  }
   const auto fmt = core::make_format(name);
   const auto* ef = dynamic_cast<const formats::ExponentCodedFormat*>(fmt.get());
   if (ef == nullptr) {
     std::fprintf(stderr, "%s has no hardware MAC in this library\n", name.c_str());
     return 1;
+  }
+  if (verilog) {
+    const int rc = dump_verilog(*fmt, name);
+    if (rc != 0) return rc;
+    std::printf("\n");
   }
 
   // 1. Build the netlist.

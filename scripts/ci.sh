@@ -77,6 +77,17 @@ echo "==> serving smoke (bench_serving, fast sizing)"
 MERSIT_BENCH_FAST=1 ./build/bench/bench_serving --fast --json=build/BENCH_serving.json
 ./build/bench/bench_serving --check_json=BENCH_serving.json
 
+# Hardware smoke: fig7_mac_area_power replays entire per-layer PTQ code
+# streams through the 64-wide gate-level simulator, enforcing its gates
+# internally (exit nonzero on violation):
+#  * 64-wide replay >= 20x faster than the scalar replay loop,
+#  * MERSIT(8,2) saves both area and power vs Posit(8,1),
+#  * every per-lane accumulator bit-identical to hw::MacReference.
+# The --check_json pass guards the committed BENCH_fig7.json.
+echo "==> hardware smoke (fig7_mac_area_power, fast sizing)"
+MERSIT_BENCH_FAST=1 ./build/bench/fig7_mac_area_power --json=build/BENCH_fig7.json
+./build/bench/fig7_mac_area_power --check_json=BENCH_fig7.json
+
 # Sanitizer stages run the *default* dispatch under the forced scalar
 # reference backend (deterministic baseline codegen; the per-backend gates
 # inside test_gemm/test_qgemm still drive every compiled-in SIMD backend

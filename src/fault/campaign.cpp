@@ -1,5 +1,7 @@
 #include "fault/campaign.h"
 
+#include <algorithm>
+#include <span>
 #include <stdexcept>
 
 #include "hw/mac.h"
@@ -206,34 +208,59 @@ GoldenMac build_golden(const formats::Format& fmt, const GateCampaignConfig& cfg
 
 enum class Outcome { kMasked, kDetected, kSdc };
 
-/// Run one faulted simulation against the golden traces.
-Outcome run_injection(const GoldenMac& g, const rtl::FaultPlan& plan,
-                      const GateCampaignConfig& cfg) {
-  rtl::Simulator sim(g.nl);
-  sim.set_fault_plan(plan);
-  bool corrupted = false;
-  bool flagged = false;
-  for (int c = 0; c < cfg.cycles; ++c) {
-    sim.set_input_bus(g.mac.wdec.code, g.w_codes[static_cast<std::size_t>(c)]);
-    sim.set_input_bus(g.mac.adec.code, g.a_codes[static_cast<std::size_t>(c)]);
-    sim.eval();
-    if ((sim.get(g.mac.special_any) ? 1 : 0) !=
-        g.flag_trace[static_cast<std::size_t>(c)])
-      flagged = true;
-    sim.clock();
-    if (sim.get_bus_signed(g.mac.acc) != g.acc_trace[static_cast<std::size_t>(c)])
-      corrupted = true;
-  }
-  if (!corrupted) return Outcome::kMasked;
-  return flagged ? Outcome::kDetected : Outcome::kSdc;
-}
-
 void tally(StuckAtReport& rep, Outcome o) {
   ++rep.trials;
   switch (o) {
     case Outcome::kMasked: ++rep.masked; break;
     case Outcome::kDetected: ++rep.detected; break;
     case Outcome::kSdc: ++rep.sdc; break;
+  }
+}
+
+/// Run up to 64 faulted simulations at once — lane L carries plans[L] — and
+/// classify each against the golden traces.  The operand stream is
+/// broadcast to every lane, faults stay confined to their lane's masks, so
+/// each lane reproduces its scalar injection bit-for-bit; divergence from
+/// golden is collected as per-lane masks with word-wise XOR.
+void run_injections(const GoldenMac& g, std::span<const rtl::FaultPlan> plans,
+                    const GateCampaignConfig& cfg, StuckAtReport& rep) {
+  rtl::Simulator sim(g.nl);
+  sim.set_lane_count(static_cast<int>(plans.size()));
+  sim.set_fault_plans(plans);
+  std::uint64_t corrupted = 0;
+  std::uint64_t flagged = 0;
+  for (int c = 0; c < cfg.cycles; ++c) {
+    sim.set_input_bus(g.mac.wdec.code, g.w_codes[static_cast<std::size_t>(c)]);
+    sim.set_input_bus(g.mac.adec.code, g.a_codes[static_cast<std::size_t>(c)]);
+    sim.eval();
+    const std::uint64_t flag_ref =
+        g.flag_trace[static_cast<std::size_t>(c)] != 0 ? ~std::uint64_t{0} : 0;
+    flagged |= sim.get_lanes(g.mac.special_any) ^ flag_ref;
+    sim.clock();
+    const auto golden =
+        static_cast<std::uint64_t>(g.acc_trace[static_cast<std::size_t>(c)]);
+    for (std::size_t q = 0; q < g.mac.acc.size(); ++q) {
+      const std::uint64_t bit_ref = ((golden >> q) & 1u) != 0 ? ~std::uint64_t{0} : 0;
+      corrupted |= sim.get_lanes(g.mac.acc[q]) ^ bit_ref;
+    }
+  }
+  for (std::size_t l = 0; l < plans.size(); ++l) {
+    const bool corr = ((corrupted >> l) & 1u) != 0;
+    const bool flg = ((flagged >> l) & 1u) != 0;
+    tally(rep, !corr ? Outcome::kMasked
+                     : (flg ? Outcome::kDetected : Outcome::kSdc));
+  }
+}
+
+/// Feed a whole campaign's plan list through run_injections in lane-sized
+/// batches.
+void run_batched(const GoldenMac& g, const std::vector<rtl::FaultPlan>& plans,
+                 const GateCampaignConfig& cfg, StuckAtReport& rep) {
+  constexpr std::size_t kBatch = rtl::Simulator::kLanes;
+  for (std::size_t base = 0; base < plans.size(); base += kBatch) {
+    const std::size_t n = std::min(kBatch, plans.size() - base);
+    run_injections(g, std::span<const rtl::FaultPlan>(plans.data() + base, n),
+                   cfg, rep);
   }
 }
 
@@ -245,13 +272,16 @@ StuckAtReport run_stuckat_campaign(const formats::Format& fmt,
   StuckAtReport rep;
   rep.format_name = fmt.name();
   rep.sites = g.sites.size();
+  std::vector<rtl::FaultPlan> plans;
+  plans.reserve(g.sites.size() * 2);
   for (const rtl::NetId net : g.sites) {
     for (const bool level : {false, true}) {
       rtl::FaultPlan plan;
       plan.stuck.push_back({net, level});
-      tally(rep, run_injection(g, plan, cfg));
+      plans.push_back(std::move(plan));
     }
   }
+  run_batched(g, plans, cfg, rep);
   return rep;
 }
 
@@ -262,12 +292,15 @@ StuckAtReport run_transient_campaign(const formats::Format& fmt,
   rep.format_name = fmt.name();
   rep.sites = g.sites.size();
   SplitMix64 rng(derive_seed(cfg.seed, 0x5EU));
+  std::vector<rtl::FaultPlan> plans;
+  plans.reserve(g.sites.size());
   for (const rtl::NetId net : g.sites) {
     rtl::FaultPlan plan;
     plan.transients.push_back(
         {rng.next() % static_cast<std::uint64_t>(cfg.cycles), net});
-    tally(rep, run_injection(g, plan, cfg));
+    plans.push_back(std::move(plan));
   }
+  run_batched(g, plans, cfg, rep);
   return rep;
 }
 

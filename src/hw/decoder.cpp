@@ -31,13 +31,14 @@ std::uint64_t to_field(std::int64_t value, int width) {
 }
 
 DecoderPorts build_mersit_decoder(Netlist& nl, const core::MersitFormat& fmt,
-                                  DecoderStyle style) {
+                                  DecoderStyle style,
+                                  const std::string& code_port) {
   const int es = fmt.es();
   const int groups = fmt.groups();
   const int maxfb = (groups - 1) * es;
   DecoderPorts d;
   d.spec = decoder_spec(fmt);
-  d.code = nl.input_bus("code", 8);
+  d.code = nl.input_bus(code_port, 8);
   d.sign = d.code[7];
   const NetId ks = d.code[6];
 
@@ -155,12 +156,13 @@ DecoderPorts build_mersit_decoder(Netlist& nl, const core::MersitFormat& fmt,
   return d;
 }
 
-DecoderPorts build_posit_decoder(Netlist& nl, const formats::PaperPosit8& fmt) {
+DecoderPorts build_posit_decoder(Netlist& nl, const formats::PaperPosit8& fmt,
+                                 const std::string& code_port) {
   const int es = fmt.es();
   const int max_frac = (es < 4) ? (5 - es) : 1;  // body 10 | es bits | frac
   DecoderPorts d;
   d.spec = decoder_spec(fmt);
-  d.code = nl.input_bus("code", 8);
+  d.code = nl.input_bus(code_port, 8);
   d.sign = d.code[7];
   const NetId lead = d.code[6];
 
@@ -218,13 +220,14 @@ DecoderPorts build_posit_decoder(Netlist& nl, const formats::PaperPosit8& fmt) {
   return d;
 }
 
-DecoderPorts build_fp8_decoder(Netlist& nl, const formats::Fp8Format& fmt) {
+DecoderPorts build_fp8_decoder(Netlist& nl, const formats::Fp8Format& fmt,
+                               const std::string& code_port) {
   const int e_bits = fmt.exp_bits();
   const int m_bits = fmt.mant_bits();
   const int bias = fmt.bias();
   DecoderPorts d;
   d.spec = decoder_spec(fmt);
-  d.code = nl.input_bus("code", 8);
+  d.code = nl.input_bus(code_port, 8);
   d.sign = d.code[7];
 
   Bus e, mant;
@@ -283,14 +286,23 @@ DecoderPorts build_fp8_decoder(Netlist& nl, const formats::Fp8Format& fmt) {
 }  // namespace
 
 DecoderPorts build_decoder(Netlist& nl, const formats::Format& fmt,
-                           DecoderStyle style) {
+                           DecoderStyle style, const std::string& code_port) {
   if (const auto* m = dynamic_cast<const core::MersitFormat*>(&fmt))
-    return build_mersit_decoder(nl, *m, style);
+    return build_mersit_decoder(nl, *m, style, code_port);
   if (const auto* p = dynamic_cast<const formats::PaperPosit8*>(&fmt))
-    return build_posit_decoder(nl, *p);
+    return build_posit_decoder(nl, *p, code_port);
   if (const auto* f = dynamic_cast<const formats::Fp8Format*>(&fmt))
-    return build_fp8_decoder(nl, *f);
+    return build_fp8_decoder(nl, *f, code_port);
   throw std::invalid_argument("build_decoder: no hardware decoder for " + fmt.name());
+}
+
+std::vector<rtl::VerilogPort> decoder_output_ports(const DecoderPorts& d) {
+  return {
+      {"sign", Bus{d.sign}},
+      {"exp_eff", d.exp_eff},
+      {"frac_eff", d.frac_eff},
+      {"is_special", Bus{d.is_special}},
+  };
 }
 
 }  // namespace mersit::hw

@@ -16,9 +16,13 @@
 //  * FP8: subnormal LZD + normalizing shifter + exponent bias adjust.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "formats/format.h"
 #include "rtl/components.h"
 #include "rtl/netlist.h"
+#include "rtl/verilog.h"
 
 namespace mersit::hw {
 
@@ -51,9 +55,20 @@ enum class DecoderStyle { kCompact, kFast };
 
 /// Build the decoder for `fmt` (dispatches on the concrete format type;
 /// throws std::invalid_argument for formats with no hardware decoder, i.e.
-/// INT8 and the two's-complement StandardPosit8).
+/// INT8 and the two's-complement StandardPosit8).  `code_port` names the
+/// 8-bit input port — callers instantiating several decoders in one
+/// netlist (MAC, dot array) must pick distinct names so the Verilog
+/// emitter sees a collision-free port list.
 [[nodiscard]] DecoderPorts build_decoder(rtl::Netlist& nl,
                                          const formats::Format& fmt,
-                                         DecoderStyle style = DecoderStyle::kCompact);
+                                         DecoderStyle style = DecoderStyle::kCompact,
+                                         const std::string& code_port = "code");
+
+/// Output-port list for exporting a decoder as a standalone Verilog module
+/// (rtl::to_verilog): sign, exp_eff, frac_eff, is_special.  Shared by the
+/// golden-snapshot test and the `mac_simulation --verilog` dump so both
+/// emit byte-identical modules.
+[[nodiscard]] std::vector<rtl::VerilogPort> decoder_output_ports(
+    const DecoderPorts& d);
 
 }  // namespace mersit::hw

@@ -28,8 +28,9 @@ DotArrayPorts build_dot_array(Netlist& nl, const formats::Format& fmt, int lanes
   std::vector<Bus> lane_addends;  // signed, total_width each
   for (int lane = 0; lane < lanes; ++lane) {
     nl.push_group("decoder");
-    arr.wdec.push_back(build_decoder(nl, fmt));
-    arr.adec.push_back(build_decoder(nl, fmt));
+    const std::string ln = std::to_string(lane);
+    arr.wdec.push_back(build_decoder(nl, fmt, DecoderStyle::kCompact, "code_w" + ln));
+    arr.adec.push_back(build_decoder(nl, fmt, DecoderStyle::kCompact, "code_a" + ln));
     nl.pop_group();
 
     nl.push_group("exp_adder");

@@ -31,8 +31,8 @@ MacPorts build_mac(Netlist& nl, const formats::Format& fmt, int v_margin) {
   const int m = spec.m;
 
   nl.push_group("decoder");
-  mac.wdec = build_decoder(nl, fmt);
-  mac.adec = build_decoder(nl, fmt);
+  mac.wdec = build_decoder(nl, fmt, DecoderStyle::kCompact, "code_w");
+  mac.adec = build_decoder(nl, fmt, DecoderStyle::kCompact, "code_a");
   mac.special_any = nl.or2(mac.wdec.is_special, mac.adec.is_special);
   nl.pop_group();
 
@@ -74,6 +74,13 @@ MacPorts build_mac(Netlist& nl, const formats::Format& fmt, int v_margin) {
   nl.pop_group();
 
   return mac;
+}
+
+std::vector<rtl::VerilogPort> mac_output_ports(const MacPorts& m) {
+  return {
+      {"acc", m.acc},
+      {"special_any", Bus{m.special_any}},
+  };
 }
 
 }  // namespace mersit::hw

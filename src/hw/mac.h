@@ -59,4 +59,10 @@ struct MacPorts {
 [[nodiscard]] MacPorts build_mac(rtl::Netlist& nl, const formats::Format& fmt,
                                  int v_margin = 6);
 
+/// Output-port list for exporting a MAC as a standalone Verilog module
+/// (rtl::to_verilog): the accumulator register plus the externally
+/// monitored special_any flag.  Shared by tests and the `mac_simulation
+/// --verilog` dump.
+[[nodiscard]] std::vector<rtl::VerilogPort> mac_output_ports(const MacPorts& m);
+
 }  // namespace mersit::hw

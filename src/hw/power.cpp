@@ -1,5 +1,6 @@
 #include "hw/power.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "hw/reference.h"
@@ -24,46 +25,127 @@ ComponentCost MacCost::multiplier() const {
   return m;
 }
 
-MacCost measure_mac(const formats::Format& fmt, const CodeStream& stream,
-                    double clock_hz, int v_margin) {
-  const auto* ef = dynamic_cast<const formats::ExponentCodedFormat*>(&fmt);
-  if (ef == nullptr)
-    throw std::invalid_argument("measure_mac: not an exponent-coded format");
-
+struct MacReplay::Impl {
+  const formats::ExponentCodedFormat* fmt = nullptr;
+  std::string name;
+  int v_margin = 6;
   rtl::Netlist nl;
-  const MacPorts mac = build_mac(nl, fmt, v_margin);
+  MacPorts mac;
+  std::uint8_t zero_code = 0;
+
+  // Running totals across replay() calls.
+  std::size_t pairs = 0;
+  double energy_fj = 0.0;
+  std::vector<double> energy_by_group_fj;
+};
+
+MacReplay::MacReplay(const formats::Format& fmt, int v_margin)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->fmt = dynamic_cast<const formats::ExponentCodedFormat*>(&fmt);
+  if (impl_->fmt == nullptr)
+    throw std::invalid_argument("MacReplay: not an exponent-coded format");
+  impl_->name = fmt.name();
+  impl_->v_margin = v_margin;
+  impl_->mac = build_mac(impl_->nl, fmt, v_margin);
+  impl_->zero_code = fmt.encode(0.0);
+  impl_->energy_by_group_fj.assign(impl_->nl.group_names().size(), 0.0);
+}
+
+MacReplay::~MacReplay() = default;
+
+const rtl::Netlist& MacReplay::netlist() const { return impl_->nl; }
+const MacPorts& MacReplay::ports() const { return impl_->mac; }
+const std::vector<std::string>& MacReplay::group_names() const {
+  return impl_->nl.group_names();
+}
+
+ReplayStats MacReplay::replay(const CodeStream& stream, int lanes) {
+  if (lanes < 1 || lanes > rtl::Simulator::kLanes)
+    throw std::invalid_argument("MacReplay::replay: lanes out of [1,64]");
+  Impl& im = *impl_;
+  const rtl::CellLibrary& lib = rtl::CellLibrary::nangate45_like();
+
+  // Fresh simulator and references per stream: each replay is an
+  // independent measurement starting from the settled reset state.
+  rtl::Simulator sim(im.nl);
+  std::vector<MacReference> refs;
+  refs.reserve(static_cast<std::size_t>(lanes));
+  for (int l = 0; l < lanes; ++l) refs.emplace_back(*im.fmt, im.v_margin);
+
+  std::vector<std::uint64_t> w_lanes(static_cast<std::size_t>(lanes));
+  std::vector<std::uint64_t> a_lanes(static_cast<std::size_t>(lanes));
+
+  ReplayStats st;
+  st.pairs = stream.size();
+  sim.set_lane_count(lanes);
+  for (std::size_t base = 0; base < stream.size();
+       base += static_cast<std::size_t>(lanes)) {
+    const int active = static_cast<int>(
+        std::min(stream.size() - base, static_cast<std::size_t>(lanes)));
+    // A tail sweep parks idle lanes on the zero code (special codes leave
+    // the accumulator untouched) and stops charging their toggles.
+    if (active < lanes) sim.set_lane_count(active);
+    for (int l = 0; l < lanes; ++l) {
+      if (l < active) {
+        const auto& [w, a] = stream[base + static_cast<std::size_t>(l)];
+        w_lanes[static_cast<std::size_t>(l)] = w;
+        a_lanes[static_cast<std::size_t>(l)] = a;
+        refs[static_cast<std::size_t>(l)].accumulate(w, a);
+      } else {
+        w_lanes[static_cast<std::size_t>(l)] = im.zero_code;
+        a_lanes[static_cast<std::size_t>(l)] = im.zero_code;
+      }
+    }
+    sim.set_input_bus_lanes(im.mac.wdec.code, w_lanes);
+    sim.set_input_bus_lanes(im.mac.adec.code, a_lanes);
+    sim.eval();
+    sim.clock();
+    ++st.sweeps;
+  }
+
+  // End-of-stream cross-check: every lane that carried pairs must agree
+  // with its software reference bit-for-bit (MacReference wraps exactly
+  // like the hardware register, so this holds on arbitrarily long streams).
+  for (int l = 0; l < lanes; ++l) {
+    const bool lane_used = static_cast<std::size_t>(l) < stream.size();
+    if (!lane_used) break;
+    if (sim.get_bus_signed_lane(im.mac.acc, l) !=
+        refs[static_cast<std::size_t>(l)].acc_raw())
+      throw std::logic_error("MacReplay: netlist/reference accumulator mismatch for " +
+                             im.name);
+  }
+
+  st.toggles = sim.total_toggles();
+  st.energy_fj = sim.dynamic_energy_fj(lib);
+  st.energy_by_group_fj = sim.dynamic_energy_by_group_fj(lib);
+
+  im.pairs += st.pairs;
+  im.energy_fj += st.energy_fj;
+  for (std::size_t i = 0; i < st.energy_by_group_fj.size(); ++i)
+    im.energy_by_group_fj[i] += st.energy_by_group_fj[i];
+  return st;
+}
+
+MacCost MacReplay::cost(double clock_hz) const {
+  const Impl& im = *impl_;
   const rtl::CellLibrary& lib = rtl::CellLibrary::nangate45_like();
 
   MacCost cost;
-  cost.format = fmt.name();
-  cost.cfg = mac.cfg;
-  cost.area_um2 = lib.area_um2(nl);
-  cost.cells = nl.cell_count();
+  cost.format = im.name;
+  cost.cfg = im.mac.cfg;
+  cost.area_um2 = lib.area_um2(im.nl);
+  cost.cells = im.nl.cell_count();
 
-  rtl::Simulator sim(nl);
-  MacReference ref(*ef, v_margin);
-  for (const auto& [w, a] : stream) {
-    sim.set_input_bus(mac.wdec.code, w);
-    sim.set_input_bus(mac.adec.code, a);
-    sim.eval();
-    sim.clock();
-    ref.accumulate(w, a);
-  }
-  if (!stream.empty() &&
-      sim.get_bus_signed(mac.acc) != ref.acc_raw()) {
-    throw std::logic_error("measure_mac: netlist/reference accumulator mismatch for " +
-                           fmt.name());
-  }
-
-  const double cycles = static_cast<double>(stream.empty() ? 1 : stream.size());
+  // One scalar-equivalent cycle per pair: activity-averaged power matches
+  // a 1-pair-per-cycle hardware MAC regardless of replay lane width.
+  const double cycles = static_cast<double>(im.pairs == 0 ? 1 : im.pairs);
   const double period_ns = 1e9 / clock_hz;
-  const auto energy_by_group = sim.dynamic_energy_by_group_fj(lib);
-  const auto area_by_group = lib.area_by_group_um2(nl);
+  const auto area_by_group = lib.area_by_group_um2(im.nl);
 
   // Leakage attributed exactly, per gate, to its component group.
-  const auto& names = nl.group_names();
+  const auto& names = im.nl.group_names();
   std::vector<double> leak_by_group(names.size(), 0.0);
-  for (const auto& g : nl.gates())
+  for (const auto& g : im.nl.gates())
     leak_by_group[g.group] += lib.spec(g.type).leakage_nw * 1e-3;
 
   double total_power = 0.0;
@@ -71,12 +153,19 @@ MacCost measure_mac(const formats::Format& fmt, const CodeStream& stream,
     ComponentCost c;
     c.name = names[i];
     c.area_um2 = area_by_group[i];
-    c.power_uw = energy_by_group[i] / (cycles * period_ns) + leak_by_group[i];
+    c.power_uw = im.energy_by_group_fj[i] / (cycles * period_ns) + leak_by_group[i];
     total_power += c.power_uw;
     if (c.name != "top") cost.components.push_back(c);
   }
   cost.power_uw = total_power;
   return cost;
+}
+
+MacCost measure_mac(const formats::Format& fmt, const CodeStream& stream,
+                    double clock_hz, int v_margin) {
+  MacReplay replay(fmt, v_margin);
+  (void)replay.replay(stream);
+  return replay.cost(clock_hz);
 }
 
 CodeStream make_code_stream(const formats::Format& fmt,

@@ -5,9 +5,19 @@
 // (weight, activation) code pairs through the MAC netlist at the paper's
 // 100 MHz and charges every output transition its cell's switching energy;
 // leakage is added per cell.
+//
+// Replay is bit-parallel: the 64-wide simulator (rtl/sim.h) takes 64 code
+// pairs per eval()/clock() sweep, so *entire* PTQ inference code streams
+// are replayed instead of subsampled — pair i rides lane i%64 of sweep
+// i/64, each lane an independent MAC whose accumulator is cross-checked
+// against MacReference at end of stream.  Tail sweeps shrink the active
+// lane count and park idle lanes on the format's zero code (special codes
+// contribute nothing to the accumulator), so reported toggles equal the
+// summed per-lane scalar replays exactly.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
@@ -40,9 +50,54 @@ struct MacCost {
   [[nodiscard]] ComponentCost multiplier() const;
 };
 
+/// Switching-activity record of one replayed code stream.
+struct ReplayStats {
+  std::size_t pairs = 0;        ///< code pairs fed through the MAC
+  std::size_t sweeps = 0;       ///< eval()/clock() sweeps (ceil(pairs/lanes))
+  std::uint64_t toggles = 0;    ///< net transitions, summed over lanes
+  double energy_fj = 0.0;       ///< switching energy of this stream
+  /// Per-component switching energy, indexed like Netlist::group_names().
+  std::vector<double> energy_by_group_fj;
+};
+
+/// Reusable replay harness: builds the MAC netlist for `fmt` once, then
+/// replays any number of code streams through it (e.g. one per DNN layer),
+/// accumulating switching energy towards a single MacCost report.  Every
+/// replay() runs on a fresh simulator — streams are independent
+/// measurements, not one concatenated trace.
+class MacReplay {
+ public:
+  explicit MacReplay(const formats::Format& fmt, int v_margin = 6);
+  ~MacReplay();
+  MacReplay(const MacReplay&) = delete;
+  MacReplay& operator=(const MacReplay&) = delete;
+
+  /// Replay `stream`, `lanes` pairs per sweep (1 = the historical scalar
+  /// loop; 64 = full bit-parallel).  The per-lane accumulators are
+  /// cross-checked against MacReference at end of stream; a mismatch
+  /// throws std::logic_error.  Returns this stream's activity and adds it
+  /// to the running totals reported by cost().
+  ReplayStats replay(const CodeStream& stream, int lanes = 64);
+
+  /// Aggregate cost over every replay() so far: area/leakage from the
+  /// netlist, dynamic power = total switching energy averaged over the
+  /// scalar-equivalent cycle count (one cycle per pair) at `clock_hz`.
+  [[nodiscard]] MacCost cost(double clock_hz = 100e6) const;
+
+  [[nodiscard]] const rtl::Netlist& netlist() const;
+  [[nodiscard]] const MacPorts& ports() const;
+  /// Component-group names of the MAC netlist (ReplayStats indexing).
+  [[nodiscard]] const std::vector<std::string>& group_names() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Build the MAC for `fmt`, stream `stream` through it, and report cost.
 /// `clock_hz` defaults to the paper's 100 MHz.  The functional result is
 /// cross-checked against MacReference; a mismatch throws std::logic_error.
+/// (Convenience wrapper over MacReplay for single-stream measurements.)
 [[nodiscard]] MacCost measure_mac(const formats::Format& fmt, const CodeStream& stream,
                                   double clock_hz = 100e6, int v_margin = 6);
 

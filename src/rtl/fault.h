@@ -6,10 +6,29 @@
 //  * transient faults flip the value driven onto a net for the duration of
 //    one clock cycle (SEU-style single-event upsets on datapath nets).
 //
-// Plans are pure data; the Simulator applies them (sim.h).  An empty plan
-// is guaranteed to leave simulation bit-identical to a fault-free run,
-// including toggle statistics, so instrumented campaigns can share one code
-// path with golden runs.
+// Plans are pure data; the Simulator applies them (sim.h) and copies them
+// at install time, so a plan may be destroyed or mutated the moment
+// set_fault_plan(s) returns.  An empty plan is guaranteed to leave
+// simulation bit-identical to a fault-free run, including toggle
+// statistics, so instrumented campaigns can share one code path with
+// golden runs.
+//
+// Lane-masked application: the 64-wide simulator compiles installed plans
+// into three per-net lane words —
+//  * stuck_mask (which lanes have a stuck-at on this net),
+//  * stuck_val  (the forced level for those lanes), and
+//  * flip       (lanes whose driven value is inverted this cycle) —
+// and intercepts every value driven onto a net with the branch-free
+//   ((v & ~stuck_mask) | stuck_val) ^ flip.
+// set_fault_plan(p) sets every lane's mask bits from one plan;
+// set_fault_plans(ps) gives lane L the masks of ps[L] only, so up to 64
+// *independent* fault injections run in one simulation, each lane
+// bit-identical to the scalar run that installs its plan alone.  Within a
+// lane, the last StuckAt listed for a net wins; transient flips on the
+// same (net, cycle) XOR together (a pair cancels).  Primary inputs hold
+// their level between set_input calls, so the simulator applies transient
+// flips to held input lanes when the scheduled cycle begins and removes
+// them when it ends.
 #pragma once
 
 #include <cstdint>

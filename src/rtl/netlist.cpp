@@ -59,17 +59,24 @@ Netlist::Netlist() {
 
 NetId Netlist::new_net() { return static_cast<NetId>(net_count_++); }
 
-NetId Netlist::input(const std::string& /*name*/) {
+NetId Netlist::input_net() {
   Gate g{CellType::kInput, 0, 0, 0, new_net(), group_stack_.back()};
   gates_.push_back(g);
   inputs_.push_back(g.out);
   return g.out;
 }
 
+NetId Netlist::input(const std::string& name) {
+  const NetId net = input_net();
+  input_ports_.push_back({name, Bus{net}});
+  return net;
+}
+
 Bus Netlist::input_bus(const std::string& name, int width) {
   Bus bus;
   bus.reserve(static_cast<std::size_t>(width));
-  for (int i = 0; i < width; ++i) bus.push_back(input(name + std::to_string(i)));
+  for (int i = 0; i < width; ++i) bus.push_back(input_net());
+  input_ports_.push_back({name, bus});
   return bus;
 }
 

@@ -51,6 +51,15 @@ struct Gate {
   std::uint16_t group = 0;  ///< index into Netlist::group_names()
 };
 
+/// A named primary-input port: `bus` is the nets it drives, LSB first.
+/// input() records a 1-bit port; input_bus() records one multi-bit port
+/// (not one port per bit).  The Verilog emitter (verilog.h) turns these
+/// into the module's input declarations.
+struct InputPort {
+  std::string name;
+  Bus bus;
+};
+
 class Netlist {
  public:
   Netlist();
@@ -91,6 +100,10 @@ class Netlist {
   [[nodiscard]] std::size_t net_count() const { return net_count_; }
   [[nodiscard]] const std::vector<Gate>& gates() const { return gates_; }
   [[nodiscard]] const std::vector<NetId>& inputs() const { return inputs_; }
+  /// Named input ports in declaration order (see InputPort).
+  [[nodiscard]] const std::vector<InputPort>& input_ports() const {
+    return input_ports_;
+  }
   [[nodiscard]] const std::vector<std::size_t>& dff_gate_indices() const {
     return dffs_;
   }
@@ -99,10 +112,12 @@ class Netlist {
 
  private:
   NetId new_net();
+  NetId input_net();
 
   std::size_t net_count_ = 0;
   std::vector<Gate> gates_;
   std::vector<NetId> inputs_;
+  std::vector<InputPort> input_ports_;
   std::vector<std::size_t> dffs_;
   std::vector<std::string> group_names_;
   std::vector<std::uint16_t> group_stack_;

@@ -1,22 +1,41 @@
 #include "rtl/sim.h"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace mersit::rtl {
+
+namespace {
+
+constexpr std::uint64_t kAllLanes = ~std::uint64_t{0};
+
+[[nodiscard]] constexpr std::uint64_t broadcast(bool value) {
+  return value ? kAllLanes : 0;
+}
+
+}  // namespace
 
 Simulator::Simulator(const Netlist& nl)
     : nl_(nl), value_(nl.net_count(), 0), toggles_(nl.gates().size(), 0),
       input_net_(nl.net_count(), 0) {
   for (const Gate& g : nl.gates())
     if (g.type == CellType::kInput) input_net_[g.out] = 1;
-  // Establish consistent initial values (constants, settled logic).
+  // Establish consistent initial values (constants, settled logic).  Every
+  // lane starts from this same settled state.
   eval();
   reset_stats();
 }
 
+void Simulator::set_lane_count(int lanes) {
+  if (lanes < 1 || lanes > kLanes)
+    throw std::invalid_argument("Simulator::set_lane_count: lanes out of [1,64]");
+  lane_count_ = lanes;
+  lane_mask_ = lanes == kLanes ? kAllLanes : (std::uint64_t{1} << lanes) - 1;
+}
+
 void Simulator::set_input(NetId net, bool value) {
-  std::uint8_t v = value ? 1 : 0;
+  std::uint64_t v = broadcast(value);
   if (has_faults_) v = faulted(net, v);
   value_[net] = v;
 }
@@ -26,28 +45,51 @@ void Simulator::set_input_bus(const Bus& bus, std::uint64_t value) {
     set_input(bus[i], ((value >> i) & 1u) != 0);
 }
 
+void Simulator::set_input_lanes(NetId net, std::uint64_t lanes) {
+  if (has_faults_) lanes = faulted(net, lanes);
+  value_[net] = lanes;
+}
+
+void Simulator::set_input_bus_lanes(const Bus& bus,
+                                    std::span<const std::uint64_t> lane_values) {
+  if (lane_values.size() > static_cast<std::size_t>(kLanes))
+    throw std::invalid_argument("set_input_bus_lanes: more than 64 lanes");
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    std::uint64_t word = 0;
+    for (std::size_t l = 0; l < lane_values.size(); ++l)
+      word |= ((lane_values[l] >> i) & 1u) << l;
+    set_input_lanes(bus[i], word);
+  }
+}
+
 void Simulator::eval_gate(const Gate& g) {
-  std::uint8_t out = 0;
+  std::uint64_t out = 0;
   switch (g.type) {
     case CellType::kConst0: out = 0; break;
-    case CellType::kConst1: out = 1; break;
+    case CellType::kConst1: out = kAllLanes; break;
     case CellType::kInput:
     case CellType::kDff:
       return;  // sources during combinational evaluation
     case CellType::kBuf: out = value_[g.a]; break;
-    case CellType::kInv: out = value_[g.a] ^ 1u; break;
+    case CellType::kInv: out = ~value_[g.a]; break;
     case CellType::kAnd2: out = value_[g.a] & value_[g.b]; break;
     case CellType::kOr2: out = value_[g.a] | value_[g.b]; break;
-    case CellType::kNand2: out = (value_[g.a] & value_[g.b]) ^ 1u; break;
-    case CellType::kNor2: out = (value_[g.a] | value_[g.b]) ^ 1u; break;
+    case CellType::kNand2: out = ~(value_[g.a] & value_[g.b]); break;
+    case CellType::kNor2: out = ~(value_[g.a] | value_[g.b]); break;
     case CellType::kXor2: out = value_[g.a] ^ value_[g.b]; break;
-    case CellType::kXnor2: out = (value_[g.a] ^ value_[g.b]) ^ 1u; break;
-    case CellType::kMux2: out = value_[g.s] ? value_[g.b] : value_[g.a]; break;
+    case CellType::kXnor2: out = ~(value_[g.a] ^ value_[g.b]); break;
+    case CellType::kMux2: {
+      const std::uint64_t s = value_[g.s];
+      out = (s & value_[g.b]) | (~s & value_[g.a]);
+      break;
+    }
   }
   if (has_faults_) out = faulted(g.out, out);
-  if (out != value_[g.out]) {
+  const std::uint64_t prev = value_[g.out];
+  if (prev != out) {
     value_[g.out] = out;
-    toggles_[&g - nl_.gates().data()]++;
+    toggles_[static_cast<std::size_t>(&g - nl_.gates().data())] +=
+        static_cast<std::uint64_t>(std::popcount((prev ^ out) & lane_mask_));
   }
 }
 
@@ -58,7 +100,7 @@ void Simulator::eval() {
 void Simulator::clock() {
   const auto& gates = nl_.gates();
   // Sample every D simultaneously, then update the Qs.
-  std::vector<std::uint8_t> sampled;
+  std::vector<std::uint64_t> sampled;
   sampled.reserve(nl_.dff_gate_indices().size());
   for (const std::size_t idx : nl_.dff_gate_indices())
     sampled.push_back(value_[gates[idx].a]);
@@ -67,27 +109,37 @@ void Simulator::clock() {
   std::size_t i = 0;
   for (const std::size_t idx : nl_.dff_gate_indices()) {
     const Gate& g = gates[idx];
-    std::uint8_t q = sampled[i];
+    std::uint64_t q = sampled[i];
     if (has_faults_) q = faulted(g.out, q);
-    if (value_[g.out] != q) {
+    const std::uint64_t prev = value_[g.out];
+    if (prev != q) {
       value_[g.out] = q;
-      toggles_[idx]++;
+      toggles_[idx] +=
+          static_cast<std::uint64_t>(std::popcount((prev ^ q) & lane_mask_));
     }
     ++i;
   }
   eval();
 }
 
-std::uint64_t Simulator::get_bus(const Bus& bus) const {
+std::uint64_t Simulator::get_bus(const Bus& bus) const { return get_bus_lane(bus, 0); }
+
+std::int64_t Simulator::get_bus_signed(const Bus& bus) const {
+  return get_bus_signed_lane(bus, 0);
+}
+
+std::uint64_t Simulator::get_bus_lane(const Bus& bus, int lane) const {
   if (bus.size() > 64) throw std::invalid_argument("get_bus: bus wider than 64");
+  if (lane < 0 || lane >= kLanes)
+    throw std::invalid_argument("get_bus_lane: lane out of [0,64)");
   std::uint64_t v = 0;
   for (std::size_t i = 0; i < bus.size(); ++i)
-    v |= static_cast<std::uint64_t>(value_[bus[i]]) << i;
+    v |= ((value_[bus[i]] >> lane) & 1u) << i;
   return v;
 }
 
-std::int64_t Simulator::get_bus_signed(const Bus& bus) const {
-  const std::uint64_t raw = get_bus(bus);
+std::int64_t Simulator::get_bus_signed_lane(const Bus& bus, int lane) const {
+  const std::uint64_t raw = get_bus_lane(bus, lane);
   const std::size_t w = bus.size();
   if (w == 0 || w >= 64) return static_cast<std::int64_t>(raw);
   const std::uint64_t sign = 1ull << (w - 1);
@@ -125,41 +177,68 @@ std::vector<double> Simulator::dynamic_energy_by_group_fj(
 // --- fault injection --------------------------------------------------------
 
 void Simulator::set_fault_plan(const FaultPlan& plan) {
-  for (const auto& f : plan.stuck)
-    if (f.net >= nl_.net_count())
-      throw std::invalid_argument("FaultPlan: stuck-at net out of range");
-  for (const auto& f : plan.transients)
-    if (f.net >= nl_.net_count())
-      throw std::invalid_argument("FaultPlan: transient net out of range");
-  // Undo any transient level still held on a primary input by the old plan.
+  std::vector<LanePlan> plans;
+  if (!plan.empty()) plans.push_back({kAllLanes, plan});
+  install_plans(std::move(plans));
+}
+
+void Simulator::set_fault_plans(std::span<const FaultPlan> lane_plans) {
+  if (lane_plans.size() > static_cast<std::size_t>(kLanes))
+    throw std::invalid_argument("set_fault_plans: more than 64 lane plans");
+  std::vector<LanePlan> plans;
+  for (std::size_t l = 0; l < lane_plans.size(); ++l)
+    if (!lane_plans[l].empty())
+      plans.push_back({std::uint64_t{1} << l, lane_plans[l]});
+  install_plans(std::move(plans));
+}
+
+void Simulator::clear_fault_plan() { install_plans({}); }
+
+void Simulator::install_plans(std::vector<LanePlan> plans) {
+  for (const LanePlan& lp : plans) {
+    for (const auto& f : lp.plan.stuck)
+      if (f.net >= nl_.net_count())
+        throw std::invalid_argument("FaultPlan: stuck-at net out of range");
+    for (const auto& f : lp.plan.transients)
+      if (f.net >= nl_.net_count())
+        throw std::invalid_argument("FaultPlan: transient net out of range");
+  }
+  // Undo any transient level still held on a primary input by the old plans.
   for (std::size_t n = 0; n < flip_.size(); ++n)
-    if (flip_[n] && input_net_[n]) value_[n] ^= 1u;
-  plan_ = plan;
-  has_faults_ = !plan_.empty();
+    if (input_net_[n]) value_[n] ^= flip_[n];
+  plans_ = std::move(plans);
+  has_faults_ = !plans_.empty();
   if (!has_faults_) {
-    stuck_.clear();
+    stuck_mask_.clear();
+    stuck_val_.clear();
     flip_.clear();
     return;
   }
-  stuck_.assign(nl_.net_count(), kFree);
+  stuck_mask_.assign(nl_.net_count(), 0);
+  stuck_val_.assign(nl_.net_count(), 0);
   flip_.assign(nl_.net_count(), 0);
-  for (const auto& f : plan_.stuck) {
-    stuck_[f.net] = f.value ? 1 : 0;
-    value_[f.net] = f.value ? 1 : 0;  // force current state; eval() propagates
+  for (const LanePlan& lp : plans_) {
+    for (const auto& f : lp.plan.stuck) {
+      const std::uint64_t level = f.value ? lp.lanes : 0;
+      stuck_mask_[f.net] |= lp.lanes;
+      // Within one plan the last stuck-at on a net wins (scalar semantics).
+      stuck_val_[f.net] = (stuck_val_[f.net] & ~lp.lanes) | level;
+      // Force current state on the affected lanes; eval() propagates.
+      value_[f.net] = (value_[f.net] & ~lp.lanes) | level;
+    }
   }
   rebuild_transients();
 }
 
-void Simulator::clear_fault_plan() { set_fault_plan(FaultPlan{}); }
-
 void Simulator::rebuild_transients() {
   flip_scratch_.assign(flip_.size(), 0);
-  for (const auto& t : plan_.transients)
-    if (t.cycle == cycle_) flip_scratch_[t.net] ^= 1u;
+  for (const LanePlan& lp : plans_)
+    for (const auto& t : lp.plan.transients)
+      if (t.cycle == cycle_) flip_scratch_[t.net] ^= lp.lanes;
   // Gate and DFF outputs pick flips up when next driven (eval / clock), but
   // primary inputs hold their level, so apply the flip delta to them here.
   for (std::size_t n = 0; n < flip_.size(); ++n)
-    if (flip_scratch_[n] != flip_[n] && input_net_[n]) value_[n] ^= 1u;
+    if (input_net_[n]) value_[n] ^= flip_scratch_[n] ^ flip_[n];
   flip_.swap(flip_scratch_);
 }
 

@@ -1,26 +1,55 @@
-// Cycle-accurate 2-value logic simulator with per-gate toggle counting.
+// Bit-parallel (64-wide) cycle-accurate 2-value logic simulator with
+// per-gate toggle counting.
 //
-// Because netlist construction order is topological for the combinational
-// part (see netlist.h), evaluation is a single in-order sweep.  DFF outputs
-// act as sources during eval() and are updated by clock().
+// Every net holds one uint64_t of state: bit L is the net's value in lane L,
+// so a single in-order sweep over the gate list (construction order is
+// topological, see netlist.h) settles 64 independent stimulus vectors at
+// once with word-wise boolean ops — the classic bit-parallel logic-sim
+// trick, worth ~64x over the old uint8_t-per-net scalar sweep.  DFF outputs
+// act as sources during eval() and are updated by clock(); each lane
+// carries its own independent register state, so a 64-lane run is exactly
+// 64 scalar machines in lockstep.
 //
 // Toggle counts drive the activity-based power model: the paper extracts
 // power "using PrimeTime PX with the average value obtained from actual DNN
-// data"; here the same quantized data streams are replayed through the gate
-// graph and every output transition is charged the cell's switching energy.
+// data"; here the quantized data streams are replayed through the gate
+// graph and every output transition in an *active* lane is charged the
+// cell's switching energy — toggles_[g] += popcount((prev ^ next) & mask).
+// A batched run therefore reports exactly the summed toggles of the
+// per-lane scalar runs it replaces (pinned by tests/rtl/test_sim.cpp).
 //
-// Fault injection (fault.h): an installed FaultPlan forces stuck-at levels
-// and single-cycle transient flips onto arbitrary nets.  Faults intercept
-// the value *driven* onto a net — by a gate, a DFF, or set_input — so
-// downstream logic and toggle accounting see the corrupted level exactly as
-// real silicon would.  Primary-input nets, which nothing re-drives between
-// set_input calls, have transient flips applied directly to their held
-// level when the scheduled cycle begins and removed when it ends.  With no
-// plan (or an empty one) the simulator is bit-identical, toggles included,
-// to the uninstrumented original.
+// Lane discipline:
+//  * lane_count() starts at 1.  The scalar API (set_input / get / get_bus)
+//    drives ALL lanes with the same value and reads lane 0, so a
+//    lane_count()==1 simulator is bit-identical — values and toggle
+//    counts — to the historical scalar simulator.
+//  * set_lane_count(n) masks toggle accounting to lanes [0, n).  All lanes
+//    start from the same settled reset state and only diverge through the
+//    batched entry points (set_input_lanes / set_input_bus_lanes) or
+//    per-lane fault plans, so growing the lane count is always safe.
+//  * inactive lanes still compute (word ops are free) but never charge
+//    toggles; their register state advances with whatever is on their
+//    inputs, so batched replays that shrink the lane count for a tail
+//    chunk should park inactive lanes on a zero/no-op stimulus.
+//
+// Fault injection (fault.h): installed FaultPlans force stuck-at levels and
+// single-cycle transient flips onto arbitrary nets through per-lane masks.
+// set_fault_plan(plan) applies one plan to every lane; set_fault_plans(ps)
+// gives lane L its own plan ps[L], which is what lets the gate-level
+// campaigns classify 64 independent injections per simulation.  Faults
+// intercept the value *driven* onto a net — by a gate, a DFF, or
+// set_input — so downstream logic and toggle accounting see the corrupted
+// level exactly as real silicon would.  Primary-input nets, which nothing
+// re-drives between set_input calls, have transient flips applied directly
+// to their held lanes when the scheduled cycle begins and removed when it
+// ends.  Plans are copied at install time (the caller's FaultPlan may be
+// destroyed or reused immediately).  With no plan (or an empty one) the
+// simulator is bit-identical, toggles included, to the uninstrumented
+// original.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "rtl/cells.h"
@@ -31,23 +60,50 @@ namespace mersit::rtl {
 
 class Simulator {
  public:
+  /// Width of the bit-parallel datapath: independent stimulus lanes per net.
+  static constexpr int kLanes = 64;
+
   explicit Simulator(const Netlist& nl);
 
+  // --- lane control ---------------------------------------------------------
+  /// Restrict toggle accounting to lanes [0, lanes).  1..kLanes.
+  void set_lane_count(int lanes);
+  [[nodiscard]] int lane_count() const { return lane_count_; }
+
+  // --- scalar compatibility API (drives every lane, reads lane 0) ----------
   void set_input(NetId net, bool value);
-  /// Drive `bus` (LSB first) with the low bits of `value`.
+  /// Drive `bus` (LSB first) with the low bits of `value` on every lane.
   void set_input_bus(const Bus& bus, std::uint64_t value);
-
-  /// Settle all combinational logic (DFF outputs unchanged).
-  void eval();
-  /// Rising clock edge: latch every DFF's D into Q.  Call after eval();
-  /// combinational nets are re-settled automatically.
-  void clock();
-
-  [[nodiscard]] bool get(NetId net) const { return value_[net]; }
+  [[nodiscard]] bool get(NetId net) const { return (value_[net] & 1u) != 0; }
   [[nodiscard]] std::uint64_t get_bus(const Bus& bus) const;
-  /// Sign-extended read of a two's-complement bus.
+  /// Sign-extended read of a two's-complement bus (lane 0).
   [[nodiscard]] std::int64_t get_bus_signed(const Bus& bus) const;
 
+  // --- batched (per-lane) API ----------------------------------------------
+  /// Drive one net with 64 per-lane values (bit L = lane L).
+  void set_input_lanes(NetId net, std::uint64_t lanes);
+  /// Drive `bus` (LSB first) with one value per lane: lane L takes the low
+  /// bits of `lane_values[L]`.  Lanes at and beyond lane_values.size() are
+  /// driven with 0 — batched replays should pass a full kLanes-wide span
+  /// with explicit padding (e.g. a format's zero code) when the tail of a
+  /// stream leaves lanes idle.
+  void set_input_bus_lanes(const Bus& bus, std::span<const std::uint64_t> lane_values);
+  /// Raw 64-lane word of one net.
+  [[nodiscard]] std::uint64_t get_lanes(NetId net) const { return value_[net]; }
+  [[nodiscard]] bool get_lane(NetId net, int lane) const {
+    return ((value_[net] >> lane) & 1u) != 0;
+  }
+  [[nodiscard]] std::uint64_t get_bus_lane(const Bus& bus, int lane) const;
+  [[nodiscard]] std::int64_t get_bus_signed_lane(const Bus& bus, int lane) const;
+
+  // --- evaluation -----------------------------------------------------------
+  /// Settle all combinational logic (DFF outputs unchanged), all lanes.
+  void eval();
+  /// Rising clock edge: latch every DFF's D into Q, per lane.  Call after
+  /// eval(); combinational nets are re-settled automatically.
+  void clock();
+
+  // --- statistics -----------------------------------------------------------
   /// Clear toggle statistics (e.g. after reset/warm-up cycles).
   void reset_stats();
   [[nodiscard]] std::uint64_t total_toggles() const;
@@ -58,37 +114,51 @@ class Simulator {
       const CellLibrary& lib) const;
 
   // --- fault injection ------------------------------------------------------
-  /// Install `plan`.  Stuck-at levels are forced onto the affected nets
-  /// immediately (without charging toggles; call eval() to propagate).
-  /// Transients take effect when their cycle arrives.  The plan is copied.
+  /// Install `plan` on every lane.  Stuck-at levels are forced onto the
+  /// affected nets immediately (without charging toggles; call eval() to
+  /// propagate).  Transients take effect when their cycle arrives.  The
+  /// plan is copied; the caller's object may be destroyed or reused freely
+  /// after the call returns.
   void set_fault_plan(const FaultPlan& plan);
+  /// Install one plan per lane: lane L gets plans[L], lanes at and beyond
+  /// plans.size() run fault-free.  At most kLanes plans.  Replaces any
+  /// previously installed plan(s); all plans are copied.
+  void set_fault_plans(std::span<const FaultPlan> plans);
   void clear_fault_plan();
   /// Number of clock() edges applied so far (transient cycles count from 0
-  /// at construction; see FaultPlan::Transient).
+  /// at construction; see FaultPlan::Transient).  Shared by all lanes.
   [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
 
  private:
+  /// One installed plan and the lanes it applies to.
+  struct LanePlan {
+    std::uint64_t lanes = 0;  ///< lane mask this plan covers
+    FaultPlan plan;
+  };
+
   void eval_gate(const Gate& g);
-  /// Value actually appearing on `net` when `v` is driven onto it.
-  [[nodiscard]] std::uint8_t faulted(NetId net, std::uint8_t v) const {
-    const std::uint8_t s = stuck_[net];
-    if (s != kFree) return s & 1u;
-    return v ^ flip_[net];
+  /// Value word actually appearing on `net` when `v` is driven onto it.
+  /// Branch-free: stuck lanes are overridden by their forced level, live
+  /// transient lanes are flipped, untouched lanes pass through.
+  [[nodiscard]] std::uint64_t faulted(NetId net, std::uint64_t v) const {
+    return ((v & ~stuck_mask_[net]) | stuck_val_[net]) ^ flip_[net];
   }
+  void install_plans(std::vector<LanePlan> plans);
   void rebuild_transients();
 
-  static constexpr std::uint8_t kFree = 0xFF;
-
   const Netlist& nl_;
-  std::vector<std::uint8_t> value_;          // per net
-  std::vector<std::uint64_t> toggles_;       // per gate
+  int lane_count_ = 1;
+  std::uint64_t lane_mask_ = 1;              // toggle-accounting mask
+  std::vector<std::uint64_t> value_;         // per net: 64 lanes
+  std::vector<std::uint64_t> toggles_;       // per gate, summed over lanes
 
   bool has_faults_ = false;
   std::uint64_t cycle_ = 0;
-  FaultPlan plan_;
-  std::vector<std::uint8_t> stuck_;          // per net: kFree, 0, or 1
-  std::vector<std::uint8_t> flip_;           // per net: 1 while a transient is live
-  std::vector<std::uint8_t> flip_scratch_;   // per net: next cycle's flip set
+  std::vector<LanePlan> plans_;
+  std::vector<std::uint64_t> stuck_mask_;    // per net: lanes with a stuck-at
+  std::vector<std::uint64_t> stuck_val_;     // per net: forced level per lane
+  std::vector<std::uint64_t> flip_;          // per net: lanes with a live transient
+  std::vector<std::uint64_t> flip_scratch_;  // per net: next cycle's flip lanes
   std::vector<std::uint8_t> input_net_;      // per net: 1 if a primary input
 };
 

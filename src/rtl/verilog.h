@@ -1,0 +1,47 @@
+// Structural Verilog export for rtl::Netlist.
+//
+// Bridges this repo's in-memory gate graphs to real EDA flows: the emitted
+// module can be linted/compiled with iverilog, synthesized with yosys or
+// Design Compiler, and cross-checked against the paper's reported areas.
+// The output is deterministic — identical netlist in, byte-identical .v
+// out — so decoder/MAC designs can be pinned by golden-snapshot tests
+// (tests/rtl/test_verilog.cpp).
+//
+// Mapping:
+//  * named input ports (Netlist::input_ports) become `input`/`input [w-1:0]`
+//    declarations; multi-bit ports are indexed LSB-first (`code[0]` is the
+//    first net of the bus);
+//  * every combinational gate becomes one continuous assign of the
+//    equivalent boolean expression (`assign n42 = ~(n17 & n23);`);
+//  * DFFs become `reg` nets updated in a single `always @(posedge clk)`
+//    block with nonblocking assigns (a `clk` port is added exactly when the
+//    netlist has DFFs);
+//  * caller-chosen output ports are concatenation assigns from the named
+//    output buses;
+//  * internal nets are named `n<id>` after their NetId; constants fold to
+//    `1'b0`/`1'b1` literals (no constant nets are declared);
+//  * component-group transitions appear as `// group: <name>` comments.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "rtl/netlist.h"
+
+namespace mersit::rtl {
+
+/// A named output port of the emitted module; `bus` lists nets LSB first.
+/// Any net is allowed (gate outputs, DFF outputs, inputs, constants).
+struct VerilogPort {
+  std::string name;
+  Bus bus;
+};
+
+/// Render `nl` as a structural Verilog module.  Port names are sanitized
+/// to Verilog identifiers; throws std::invalid_argument on an empty or
+/// colliding port list or an out-of-range output net.
+[[nodiscard]] std::string to_verilog(const Netlist& nl,
+                                     const std::string& module_name,
+                                     std::span<const VerilogPort> outputs);
+
+}  // namespace mersit::rtl

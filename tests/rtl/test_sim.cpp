@@ -1,0 +1,370 @@
+// Golden tests for the bit-parallel 64-wide simulator (rtl/sim.h).
+//
+// The load-bearing contract: a 64-lane batched run is bit-identical —
+// output values AND toggle counts — to the 64 scalar runs it replaces, on
+// every registered format's decoder and MAC netlist, under random
+// stimulus.  The power model (hw/power.h) and the fault campaigns
+// (fault/campaign.cpp) both lean on this identity, so it is pinned here
+// rather than assumed.
+//
+// FaultPlan semantics (fault.h) are pinned on hand-built netlists where
+// every expected level can be derived by eye: stuck-at overrides the
+// driven value, a transient flips exactly one cycle on primary inputs and
+// internal nets alike, an empty plan is bit-identical to no plan, and
+// per-lane plans (set_fault_plans) make each lane match the scalar run
+// that installs its plan alone.
+#include "rtl/sim.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "core/registry.h"
+#include "hw/decoder.h"
+#include "hw/mac.h"
+#include "rtl/fault.h"
+#include "rtl/netlist.h"
+
+namespace mersit {
+namespace {
+
+constexpr int kLanes = rtl::Simulator::kLanes;
+
+/// Every registered format with a hardware decoder (INT8 and the
+/// two's-complement standard posits have none and throw).
+std::vector<std::shared_ptr<const formats::Format>> decodable_formats() {
+  std::vector<std::shared_ptr<const formats::Format>> out;
+  for (const auto& name : core::all_format_names()) {
+    auto fmt = core::make_format(name);
+    rtl::Netlist probe;
+    try {
+      (void)hw::build_decoder(probe, *fmt);
+    } catch (const std::invalid_argument&) {
+      continue;
+    }
+    out.push_back(std::move(fmt));
+  }
+  return out;
+}
+
+std::uint64_t summed_toggles(const std::vector<rtl::Simulator>& sims) {
+  std::uint64_t sum = 0;
+  for (const auto& s : sims) sum += s.total_toggles();
+  return sum;
+}
+
+// --- scalar-vs-64-wide bit identity ----------------------------------------
+
+TEST(LaneIdentity, DecoderValuesAndToggles) {
+  for (const auto& fmt : decodable_formats()) {
+    SCOPED_TRACE(fmt->name());
+    rtl::Netlist nl;
+    const hw::DecoderPorts d = hw::build_decoder(nl, *fmt);
+
+    rtl::Simulator wide(nl);
+    wide.set_lane_count(kLanes);
+    std::vector<rtl::Simulator> scalar;
+    scalar.reserve(kLanes);
+    for (int l = 0; l < kLanes; ++l) scalar.emplace_back(nl);
+
+    std::mt19937_64 rng(0xDEC0DEu);
+    std::vector<std::uint64_t> codes(kLanes);
+    for (int sweep = 0; sweep < 8; ++sweep) {
+      for (auto& c : codes) c = rng() & 0xFFu;
+      wide.set_input_bus_lanes(d.code, codes);
+      wide.eval();
+      for (int l = 0; l < kLanes; ++l) {
+        rtl::Simulator& s = scalar[static_cast<std::size_t>(l)];
+        s.set_input_bus(d.code, codes[static_cast<std::size_t>(l)]);
+        s.eval();
+        ASSERT_EQ(wide.get_lane(d.sign, l), s.get(d.sign)) << "lane " << l;
+        ASSERT_EQ(wide.get_bus_signed_lane(d.exp_eff, l), s.get_bus_signed(d.exp_eff))
+            << "lane " << l;
+        ASSERT_EQ(wide.get_bus_lane(d.frac_eff, l), s.get_bus(d.frac_eff))
+            << "lane " << l;
+        ASSERT_EQ(wide.get_lane(d.is_special, l), s.get(d.is_special)) << "lane " << l;
+      }
+    }
+    EXPECT_EQ(wide.total_toggles(), summed_toggles(scalar));
+  }
+}
+
+TEST(LaneIdentity, MacValuesAndToggles) {
+  for (const auto& fmt : decodable_formats()) {
+    SCOPED_TRACE(fmt->name());
+    rtl::Netlist nl;
+    const hw::MacPorts mac = hw::build_mac(nl, *fmt);
+
+    rtl::Simulator wide(nl);
+    wide.set_lane_count(kLanes);
+    std::vector<rtl::Simulator> scalar;
+    scalar.reserve(kLanes);
+    for (int l = 0; l < kLanes; ++l) scalar.emplace_back(nl);
+
+    std::mt19937_64 rng(0xACCu);
+    std::vector<std::uint64_t> w(kLanes), a(kLanes);
+    for (int cycle = 0; cycle < 12; ++cycle) {
+      for (auto& c : w) c = rng() & 0xFFu;
+      for (auto& c : a) c = rng() & 0xFFu;
+      wide.set_input_bus_lanes(mac.wdec.code, w);
+      wide.set_input_bus_lanes(mac.adec.code, a);
+      wide.eval();
+      wide.clock();
+      for (int l = 0; l < kLanes; ++l) {
+        rtl::Simulator& s = scalar[static_cast<std::size_t>(l)];
+        s.set_input_bus(mac.wdec.code, w[static_cast<std::size_t>(l)]);
+        s.set_input_bus(mac.adec.code, a[static_cast<std::size_t>(l)]);
+        s.eval();
+        s.clock();
+        // Bit-by-bit: Posit(8,3)'s Kulisch accumulator is wider than the
+        // 64-bit get_bus_signed window.
+        for (std::size_t q = 0; q < mac.acc.size(); ++q)
+          ASSERT_EQ(wide.get_lane(mac.acc[q], l), s.get(mac.acc[q]))
+              << "lane " << l << " cycle " << cycle << " acc bit " << q;
+        ASSERT_EQ(wide.get_lane(mac.special_any, l), s.get(mac.special_any))
+            << "lane " << l << " cycle " << cycle;
+      }
+    }
+    EXPECT_EQ(wide.total_toggles(), summed_toggles(scalar));
+  }
+}
+
+TEST(LaneIdentity, ScalarApiBroadcastsToEveryLane) {
+  // The compat API drives all 64 lanes with one value: after a scalar
+  // write, every lane of a wide simulator reads back the same word.
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  rtl::Netlist nl;
+  const hw::DecoderPorts d = hw::build_decoder(nl, *fmt);
+  rtl::Simulator sim(nl);
+  sim.set_lane_count(kLanes);
+  sim.set_input_bus(d.code, 0x5A);
+  sim.eval();
+  const std::uint64_t lane0 = sim.get_bus_lane(d.frac_eff, 0);
+  for (int l = 1; l < kLanes; ++l)
+    ASSERT_EQ(sim.get_bus_lane(d.frac_eff, l), lane0) << "lane " << l;
+}
+
+// --- API bounds -------------------------------------------------------------
+
+TEST(SimulatorApi, RejectsOutOfRangeArguments) {
+  rtl::Netlist nl;
+  const rtl::NetId a = nl.input("a");
+  (void)nl.inv(a);
+  rtl::Simulator sim(nl);
+  EXPECT_THROW(sim.set_lane_count(0), std::invalid_argument);
+  EXPECT_THROW(sim.set_lane_count(kLanes + 1), std::invalid_argument);
+  std::vector<rtl::FaultPlan> too_many(kLanes + 1);
+  EXPECT_THROW(sim.set_fault_plans(too_many), std::invalid_argument);
+  rtl::FaultPlan bad;
+  bad.stuck.push_back({static_cast<rtl::NetId>(nl.net_count()), true});
+  EXPECT_THROW(sim.set_fault_plan(bad), std::invalid_argument);
+}
+
+// --- FaultPlan semantics -----------------------------------------------------
+
+TEST(FaultPlan, StuckAtOverridesDrivenValue) {
+  rtl::Netlist nl;
+  const rtl::NetId a = nl.input("a");
+  const rtl::NetId x = nl.inv(a);
+  const rtl::NetId y = nl.inv(x);
+  rtl::Simulator sim(nl);
+
+  rtl::FaultPlan plan;
+  plan.stuck.push_back({x, true});
+  sim.set_fault_plan(plan);
+
+  sim.set_input(a, true);  // drives x = 0, but the fault holds it at 1
+  sim.eval();
+  EXPECT_TRUE(sim.get(x));
+  EXPECT_FALSE(sim.get(y));  // downstream logic sees the forced level
+  sim.set_input(a, false);
+  sim.eval();
+  EXPECT_TRUE(sim.get(x));
+  EXPECT_FALSE(sim.get(y));
+}
+
+TEST(FaultPlan, LastStuckAtForANetWins) {
+  rtl::Netlist nl;
+  const rtl::NetId a = nl.input("a");
+  const rtl::NetId x = nl.inv(a);
+  rtl::Simulator sim(nl);
+
+  rtl::FaultPlan plan;
+  plan.stuck.push_back({x, true});
+  plan.stuck.push_back({x, false});
+  sim.set_fault_plan(plan);
+  sim.set_input(a, false);  // drives x = 1, stuck-at-0 wins
+  sim.eval();
+  EXPECT_FALSE(sim.get(x));
+}
+
+TEST(FaultPlan, TransientFlipsInternalNetForOneCycle) {
+  rtl::Netlist nl;
+  const rtl::NetId a = nl.input("a");
+  const rtl::NetId x = nl.inv(a);
+  const rtl::NetId q = nl.dff(x);
+  rtl::Simulator sim(nl);
+
+  rtl::FaultPlan plan;
+  plan.transients.push_back({1, x});
+  sim.set_fault_plan(plan);
+
+  sim.set_input(a, false);  // x = 1 fault-free
+  sim.eval();
+  EXPECT_TRUE(sim.get(x));  // cycle 0: no fault yet
+  sim.clock();              // q <= 1; cycle 1 begins, flip live
+  EXPECT_TRUE(sim.get(q));
+  EXPECT_FALSE(sim.get(x));
+  sim.clock();  // q captures the corrupted 0; cycle 2, flip expired
+  EXPECT_FALSE(sim.get(q));
+  EXPECT_TRUE(sim.get(x));
+  sim.clock();  // clean value propagates again
+  EXPECT_TRUE(sim.get(q));
+}
+
+TEST(FaultPlan, TransientFlipsHeldPrimaryInputForOneCycle) {
+  // Primary inputs are not re-driven between set_input calls, so the
+  // simulator must apply the flip to the held level when the scheduled
+  // cycle begins and remove it when it ends.
+  rtl::Netlist nl;
+  const rtl::NetId a = nl.input("a");
+  const rtl::NetId q = nl.dff(a);
+  rtl::Simulator sim(nl);
+
+  rtl::FaultPlan plan;
+  plan.transients.push_back({1, a});
+  sim.set_fault_plan(plan);
+
+  sim.set_input(a, true);
+  sim.eval();
+  EXPECT_TRUE(sim.get(a));
+  sim.clock();  // q <= 1; cycle 1, input flipped
+  EXPECT_TRUE(sim.get(q));
+  EXPECT_FALSE(sim.get(a));
+  sim.clock();  // q captures the flipped 0; flip removed, held level back
+  EXPECT_FALSE(sim.get(q));
+  EXPECT_TRUE(sim.get(a));
+  sim.clock();
+  EXPECT_TRUE(sim.get(q));
+}
+
+TEST(FaultPlan, PairedTransientsOnSameNetAndCycleCancel) {
+  rtl::Netlist nl;
+  const rtl::NetId a = nl.input("a");
+  const rtl::NetId x = nl.inv(a);
+  rtl::Simulator sim(nl);
+
+  rtl::FaultPlan plan;
+  plan.transients.push_back({1, x});
+  plan.transients.push_back({1, x});
+  sim.set_fault_plan(plan);
+  sim.set_input(a, false);
+  sim.eval();
+  sim.clock();  // cycle 1: the two flips XOR away
+  EXPECT_TRUE(sim.get(x));
+}
+
+TEST(FaultPlan, EmptyPlanIsBitIdenticalToNoPlan) {
+  const auto fmt = core::make_format("Posit(8,1)");
+  rtl::Netlist nl;
+  const hw::MacPorts mac = hw::build_mac(nl, *fmt);
+
+  rtl::Simulator golden(nl);  // never told about faults at all
+  rtl::Simulator empty(nl);
+  empty.set_fault_plan(rtl::FaultPlan{});
+
+  std::mt19937_64 rng(99);
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    const std::uint64_t w = rng() & 0xFFu, a = rng() & 0xFFu;
+    for (rtl::Simulator* s : {&golden, &empty}) {
+      s->set_input_bus(mac.wdec.code, w);
+      s->set_input_bus(mac.adec.code, a);
+      s->eval();
+      s->clock();
+    }
+    ASSERT_EQ(empty.get_bus_signed(mac.acc), golden.get_bus_signed(mac.acc));
+    ASSERT_EQ(empty.total_toggles(), golden.total_toggles()) << "cycle " << cycle;
+  }
+}
+
+TEST(FaultPlan, ClearRestoresFaultFreeBehavior) {
+  rtl::Netlist nl;
+  const rtl::NetId a = nl.input("a");
+  const rtl::NetId x = nl.inv(a);
+  rtl::Simulator sim(nl);
+
+  rtl::FaultPlan plan;
+  plan.stuck.push_back({x, false});
+  sim.set_fault_plan(plan);
+  sim.set_input(a, false);
+  sim.eval();
+  EXPECT_FALSE(sim.get(x));  // forced low
+  sim.clear_fault_plan();
+  sim.eval();
+  EXPECT_TRUE(sim.get(x));  // gate drives the net again
+}
+
+TEST(FaultPlan, PerLaneBatchedPlansMatchScalarRuns) {
+  // The campaign pattern: 64 independent injections in one simulation.
+  // Lane L of the batched run must match — accumulator, detection flag,
+  // and (in sum) toggles — the scalar run that installs plans[L] alone.
+  const auto fmt = core::make_format("MERSIT(8,2)");
+  rtl::Netlist nl;
+  const hw::MacPorts mac = hw::build_mac(nl, *fmt);
+  const auto& gates = nl.gates();
+
+  std::vector<rtl::FaultPlan> plans(kLanes);
+  for (int l = 0; l < kLanes; ++l) {
+    const auto g = (static_cast<std::size_t>(l) * 97 + 13) % gates.size();
+    const rtl::NetId net = gates[g].out;
+    auto& p = plans[static_cast<std::size_t>(l)];
+    switch (l % 3) {
+      case 0:
+        p.stuck.push_back({net, (l & 1) != 0});
+        break;
+      case 1:
+        p.transients.push_back({static_cast<std::uint64_t>(l % 5), net});
+        break;
+      default:
+        break;  // empty: this lane must match the fault-free run
+    }
+  }
+
+  rtl::Simulator wide(nl);
+  wide.set_lane_count(kLanes);
+  wide.set_fault_plans(plans);
+  std::vector<rtl::Simulator> scalar;
+  scalar.reserve(kLanes);
+  for (int l = 0; l < kLanes; ++l) {
+    scalar.emplace_back(nl);
+    scalar.back().set_fault_plan(plans[static_cast<std::size_t>(l)]);
+  }
+
+  std::mt19937_64 rng(0xFA17u);
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    const std::uint64_t w = rng() & 0xFFu, a = rng() & 0xFFu;
+    wide.set_input_bus(mac.wdec.code, w);  // broadcast, like the campaigns
+    wide.set_input_bus(mac.adec.code, a);
+    wide.eval();
+    wide.clock();
+    for (int l = 0; l < kLanes; ++l) {
+      rtl::Simulator& s = scalar[static_cast<std::size_t>(l)];
+      s.set_input_bus(mac.wdec.code, w);
+      s.set_input_bus(mac.adec.code, a);
+      s.eval();
+      s.clock();
+      ASSERT_EQ(wide.get_bus_signed_lane(mac.acc, l), s.get_bus_signed(mac.acc))
+          << "lane " << l << " cycle " << cycle;
+      ASSERT_EQ(wide.get_lane(mac.special_any, l), s.get(mac.special_any))
+          << "lane " << l << " cycle " << cycle;
+    }
+  }
+  EXPECT_EQ(wide.total_toggles(), summed_toggles(scalar));
+}
+
+}  // namespace
+}  // namespace mersit
