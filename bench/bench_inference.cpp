@@ -25,6 +25,17 @@
 // A one-shot Kulisch probe documents the exact-accumulator ULP contract by
 // measuring how far FP32 ascending-k accumulation drifts from the quire.
 //
+// A sixth column runs the decode-free integer path (MERSIT_QGEMM=int8,
+// INT8 weights): codes are remapped to int8 levels through the affine LUT,
+// activations are quantized to levels at each GEMM boundary, and the
+// accumulation runs in int32 (nn/gemm/qgemm.h documents the ULP contract).
+// Because the integer path needs quantization scales on its activations,
+// both sides of this comparison run under a calibrated FakeQuantizer
+// session — the same hooks, so the timing difference is the GEMM path.
+// Gates: logits within the contract tolerance of the code path, identical
+// batch top-1, and (full sizing, SIMD host) at least 1.3x over the code
+// path single-threaded on ResNet18-mini and VGG16-mini.
+//
 // A final single-thread sweep times the prepacked forward of every vision
 // model under every compiled-in SIMD backend the host supports
 // (MERSIT_BACKEND registry: scalar/avx2/avx512/neon), cross-checking each
@@ -97,6 +108,26 @@ constexpr double kCodeSlack = 1.10;
 /// Weight format for the code-domain column and the Kulisch probe.
 constexpr const char* kCodeFormat = "MERSIT(8,2)";
 
+/// Weight format for the decode-free integer column: INT8 is the affine-LUT
+/// family the int8 path accepts (MERSIT/posit/FP8 LUTs are non-affine and
+/// fall back to decode-in-pack).
+constexpr const char* kInt8Format = "INT8";
+
+/// Single-thread speedup the integer path must clear over the code path on
+/// ResNet18-mini and VGG16-mini in full sizing on a SIMD host — skipping
+/// the decode and accumulating 8-bit levels in int32 must pay.
+constexpr double kInt8SpeedupGate = 1.3;
+
+/// Logit tolerance for int8 vs code under the same quant session.  The raw
+/// accumulation residual (exact int32 vs FP32's K data-dependent roundings)
+/// is ~1e-6 relative, but each fake-quantize point re-rounds the activations
+/// to the session grid: when the two accumulations straddle a round-to-
+/// nearest-even boundary, one element flips by a FULL grid step (~1/127 of
+/// the layer's absmax, i.e. a few e-2 relative on these nets).  Deep stacks
+/// hit a handful of such flips, so the logit bound sits above a few steps;
+/// semantic agreement is gated separately via exact batch top-1 match.
+constexpr float kInt8RelTol = 0.15f;
+
 /// Single-thread best-vs-scalar speedup at least one vision model must
 /// clear in full sizing — the SIMD backends must pay for their dispatch.
 constexpr double kBackendSpeedupGate = 1.5;
@@ -131,8 +162,8 @@ float max_abs_diff(const nn::Tensor& a, const nn::Tensor& b) {
 /// Best-of-R wall time for one forward batch, in milliseconds (one untimed
 /// warm-up pass absorbs lazy work — including the one-time weight prepack,
 /// which is exactly what the persistent cache amortizes away).
-double time_forward_ms(nn::Module& model, const nn::Tensor& x, int reps) {
-  const nn::Context ctx;
+double time_forward_ms(nn::Module& model, const nn::Tensor& x, int reps,
+                       const nn::Context& ctx = nn::Context{}) {
   (void)model.forward(x, ctx);
   double best = 1e300;
   for (int r = 0; r < reps; ++r) {
@@ -160,6 +191,13 @@ struct Row {
   float folded_diff = 0.f;
   std::uint64_t weight_bytes_fp32 = 0;   ///< FP32 footprint of coded weights
   std::uint64_t weight_bytes_codes = 0;  ///< codes + per-channel scales
+  // Decode-free integer column (vision models; INT8 weights, quant session
+  // on both sides so the only difference is the GEMM path).
+  bool int8_eligible = false;   ///< affine LUT detected for kInt8Format
+  double int8_code_ms = 0.0;    ///< quant-session forward, MERSIT_QGEMM=code
+  double int8_ms = 0.0;         ///< quant-session forward, MERSIT_QGEMM=int8
+  float int8_max_rel = 0.f;     ///< max |int8-code| / max(1,|code|) on logits
+  int int8_top1_delta = 0;      ///< batch argmax disagreements vs code
   [[nodiscard]] double speedup_vs_naive() const {
     return prepacked_ms > 0.0 ? naive_ms / prepacked_ms : 0.0;
   }
@@ -168,6 +206,9 @@ struct Row {
   }
   [[nodiscard]] double speedup_code_vs_prepacked() const {
     return code_ms > 0.0 ? prepacked_ms / code_ms : 0.0;
+  }
+  [[nodiscard]] double speedup_int8_vs_code() const {
+    return int8_ms > 0.0 ? int8_code_ms / int8_ms : 0.0;
   }
   [[nodiscard]] double img_per_s() const {
     return prepacked_ms > 0.0 ? 1e3 * batch / prepacked_ms : 0.0;
@@ -228,6 +269,58 @@ Row measure(const std::string& name, nn::Module& model, const nn::Tensor& x,
     }
   }
   ptq::clear_weight_codes(model);
+
+  // Decode-free integer column.  Token-id models are skipped: the integer
+  // path needs a quantization scale on the model input, which token ids do
+  // not have (every intermediate scale comes from the quant session).
+  if (vision) {
+    const auto fmt8 = core::make_format(kInt8Format);
+    nn::gemm::set_qgemm_mode(nn::gemm::QgemmMode::kFloat);
+    ptq::MaxCalibrator cal;
+    cal.observe_input(x);
+    const nn::Context cal_ctx{/*train=*/false, &cal};
+    (void)model.forward(x, cal_ctx);
+
+    ptq::install_weight_codes(model, *fmt8,
+                              formats::ScalePolicy::kMaxToUnity);
+    for (nn::Module* m : model.modules()) {
+      auto* cw = dynamic_cast<nn::ChannelWeights*>(m);
+      if (cw == nullptr) continue;
+      if (const auto wc = cw->weight_codes();
+          wc != nullptr && wc->affine != nullptr && wc->affine->usable)
+        row.int8_eligible = true;
+    }
+
+    ptq::FakeQuantizer fq(cal.table, *fmt8, formats::ScalePolicy::kMaxToUnity);
+    nn::Tensor xq = x;
+    fq.quantize_input(xq);
+    const nn::Context qctx{/*train=*/false, &fq};
+
+    nn::gemm::set_qgemm_mode(nn::gemm::QgemmMode::kCode);
+    const nn::Tensor y_code = model.forward(xq, qctx);
+    row.int8_code_ms = time_forward_ms(model, xq, reps, qctx);
+
+    nn::gemm::set_qgemm_mode(nn::gemm::QgemmMode::kInt8);
+    const nn::Tensor y_int8 = model.forward(xq, qctx);
+    row.int8_ms = time_forward_ms(model, xq, reps, qctx);
+
+    const auto dc = y_code.data(), di = y_int8.data();
+    for (std::size_t i = 0; i < dc.size(); ++i)
+      row.int8_max_rel = std::max(
+          row.int8_max_rel,
+          std::fabs(di[i] - dc[i]) / std::max(1.f, std::fabs(dc[i])));
+    const int classes = y_code.dim(1);
+    for (int b = 0; b < row.batch; ++b) {
+      const float* rc = y_code.raw() + static_cast<std::size_t>(b) * classes;
+      const float* ri = y_int8.raw() + static_cast<std::size_t>(b) * classes;
+      const auto top1 = [classes](const float* r) {
+        return static_cast<int>(std::max_element(r, r + classes) - r);
+      };
+      if (top1(rc) != top1(ri)) ++row.int8_top1_delta;
+    }
+    ptq::clear_weight_codes(model);
+  }
+
   nn::gemm::set_qgemm_mode(prev_mode);
   return row;
 }
@@ -408,17 +501,18 @@ struct RunReport {
 
 void print_run(const RunReport& run) {
   std::printf("\n--- %d worker thread(s) ---\n", run.threads);
-  std::printf("%-22s %6s %10s %10s %11s %10s %8s %8s %8s %7s %7s %7s %7s\n",
+  std::printf("%-22s %6s %10s %10s %11s %10s %8s %8s %8s %8s %7s %7s %7s %7s %7s\n",
               "model", "batch", "naive ms", "packed ms", "prepack ms",
-              "folded ms", "code ms", "vs naive", "vs pack", "ULP pk",
-              "ULP pp", "ULP cd", "w MB");
-  bench::print_rule(134);
+              "folded ms", "code ms", "int8 ms", "vs naive", "vs pack",
+              "i8/code", "ULP pk", "ULP pp", "ULP cd", "w MB");
+  bench::print_rule(152);
   for (const Row& r : run.rows)
-    std::printf("%-22s %6d %10.3f %10.3f %11.3f %10.3f %8.3f %7.2fx %7.2fx "
-                "%7u %7u %7u %7.2f\n",
+    std::printf("%-22s %6d %10.3f %10.3f %11.3f %10.3f %8.3f %8.3f %7.2fx "
+                "%7.2fx %6.2fx %7u %7u %7u %7.2f\n",
                 r.model.c_str(), r.batch, r.naive_ms, r.packed_ms,
-                r.prepacked_ms, r.folded_ms, r.code_ms, r.speedup_vs_naive(),
-                r.speedup_vs_packed(), r.packed_ulp, r.prepacked_ulp,
+                r.prepacked_ms, r.folded_ms, r.code_ms, r.int8_ms,
+                r.speedup_vs_naive(), r.speedup_vs_packed(),
+                r.speedup_int8_vs_code(), r.packed_ulp, r.prepacked_ulp,
                 r.code_ulp,
                 static_cast<double>(r.weight_bytes_codes) / (1024.0 * 1024.0));
   std::printf("vision-zoo geomean (prepacked+fused over packed-per-call): "
@@ -439,6 +533,7 @@ int write_json(const char* path, const bench::Sizes& sizes,
   std::fprintf(f, "  \"cpu_features\": \"%s\",\n",
                core::cpu_feature_summary().c_str());
   std::fprintf(f, "  \"qgemm_format\": \"%s\",\n", kCodeFormat);
+  std::fprintf(f, "  \"int8_format\": \"%s\",\n", kInt8Format);
   std::fprintf(f,
                "  \"backend_sweep\": {\"threads\": 1, "
                "\"geomean_best_vs_scalar\": %.2f, "
@@ -484,14 +579,19 @@ int write_json(const char* path, const bench::Sizes& sizes,
           "\"prepacked_img_per_s\": %.1f, \"packed_ulp\": %u, "
           "\"prepacked_ulp\": %u, \"code_ulp\": %u, "
           "\"weight_bytes_fp32\": %llu, \"weight_bytes_codes\": %llu, "
-          "\"folded_max_abs_diff\": %.2e}%s\n",
+          "\"folded_max_abs_diff\": %.2e, "
+          "\"int8_eligible\": %s, \"int8_code_ms\": %.3f, \"int8_ms\": %.3f, "
+          "\"speedup_int8_vs_code\": %.2f, \"int8_max_rel_vs_code\": %.2e, "
+          "\"int8_top1_delta\": %d}%s\n",
           r.model.c_str(), r.batch, r.naive_ms, r.packed_ms, r.prepacked_ms,
           r.folded_ms, r.code_ms, r.speedup_vs_naive(), r.speedup_vs_packed(),
           r.speedup_code_vs_prepacked(), r.img_per_s(), r.packed_ulp,
           r.prepacked_ulp, r.code_ulp,
           static_cast<unsigned long long>(r.weight_bytes_fp32),
           static_cast<unsigned long long>(r.weight_bytes_codes),
-          static_cast<double>(r.folded_diff),
+          static_cast<double>(r.folded_diff), r.int8_eligible ? "true" : "false",
+          r.int8_code_ms, r.int8_ms, r.speedup_int8_vs_code(),
+          static_cast<double>(r.int8_max_rel), r.int8_top1_delta,
           i + 1 < run.rows.size() ? "," : "");
     }
     std::fprintf(f, "    ]}%s\n", k + 1 < runs.size() ? "," : "");
@@ -542,6 +642,13 @@ int check_json(const char* path) {
       "\"weight_bytes_fp32\"",
       "\"weight_bytes_codes\"",
       "\"folded_max_abs_diff\"",
+      "\"int8_format\"",
+      "\"int8_eligible\"",
+      "\"int8_code_ms\"",
+      "\"int8_ms\"",
+      "\"speedup_int8_vs_code\"",
+      "\"int8_max_rel_vs_code\"",
+      "\"int8_top1_delta\"",
   };
   int missing = 0;
   for (const char* key : required)
@@ -657,6 +764,8 @@ int main(int argc, char** argv) {
   //    prepacked FP32 (CI perf-smoke regression gates);
   //  * the Kulisch probe must find a usable table for the code format.
   int bad = 0;
+  const bool simd_active =
+      std::string(nn::gemm::active_backend().name) != "scalar";
   if (!kp.usable) {
     std::fprintf(stderr,
                  "bench_inference: no usable Kulisch table for %s\n",
@@ -706,6 +815,46 @@ int main(int argc, char** argv) {
                      r.model.c_str(), run.threads, r.code_ms, r.prepacked_ms);
         ++bad;
       }
+      // Integer-path gates.  Every vision model must be int8-eligible
+      // (INT8's LUT is affine by construction), stay within the contract
+      // logit tolerance of the code path, and keep the batch top-1
+      // unchanged; the 1.3x speedup bar applies single-threaded in full
+      // sizing on a SIMD host (like the backend-sweep speedup gate, the
+      // fast-sizing shapes are too small for a stable kernel-bound ratio).
+      if (r.vision && !r.int8_eligible) {
+        std::fprintf(stderr,
+                     "bench_inference: %s has no usable affine LUT for %s — "
+                     "the int8 path never engaged\n",
+                     r.model.c_str(), kInt8Format);
+        ++bad;
+      }
+      if (r.vision && r.int8_max_rel > kInt8RelTol) {
+        std::fprintf(stderr,
+                     "bench_inference: %s int8 logits diverge from the code "
+                     "path at %d thread(s) (max rel %.3e > %.1e)\n",
+                     r.model.c_str(), run.threads,
+                     static_cast<double>(r.int8_max_rel),
+                     static_cast<double>(kInt8RelTol));
+        ++bad;
+      }
+      if (r.vision && r.int8_top1_delta != 0) {
+        std::fprintf(stderr,
+                     "bench_inference: %s int8 batch top-1 differs from the "
+                     "code path at %d thread(s) (%d of %d)\n",
+                     r.model.c_str(), run.threads, r.int8_top1_delta, r.batch);
+        ++bad;
+      }
+      if (!sizes.fast && run.threads == 1 && simd_active &&
+          (r.model == "ResNet18-mini" || r.model == "VGG16-mini") &&
+          r.speedup_int8_vs_code() < kInt8SpeedupGate) {
+        std::fprintf(stderr,
+                     "bench_inference: int8 path below the %.1fx single-thread "
+                     "bar over the code path on %s (%.2fx: %.3f ms vs %.3f "
+                     "ms)\n",
+                     kInt8SpeedupGate, r.model.c_str(),
+                     r.speedup_int8_vs_code(), r.int8_ms, r.int8_code_ms);
+        ++bad;
+      }
     }
   }
   // SIMD backend sweep gates: every supported backend must reproduce the
@@ -730,8 +879,6 @@ int main(int argc, char** argv) {
                  sweep.geomean_best_vs_scalar);
     ++bad;
   }
-  const bool simd_active =
-      std::string(nn::gemm::active_backend().name) != "scalar";
   if (!sizes.fast && simd_active &&
       sweep.max_speedup_best_vs_scalar < kBackendSpeedupGate) {
     std::fprintf(stderr,

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <chrono>
 #include <array>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <random>
@@ -20,10 +21,12 @@
 
 #include "core/mersit.h"
 #include "core/registry.h"
+#include "core/thread_pool.h"
 #include "formats/kernels/kernel_cache.h"
 #include "formats/quantize.h"
 #include "hw/mac.h"
 #include "hw/reference.h"
+#include "nn/gemm/qgemm.h"
 #include "rtl/sim.h"
 
 using namespace mersit;
@@ -236,6 +239,49 @@ void BM_MacNetlistCycle64(benchmark::State& state, const char* name) {
   state.SetItemsProcessed(state.iterations() * rtl::Simulator::kLanes);
 }
 
+/// Raw decode-free int8 micro-kernel rate on a 256^3 GEMM: both operands
+/// prepacked (the steady-state layer shape), single-threaded, INT8's affine
+/// LUT.  items_per_second counts multiply-adds as 2 ops, so the reported
+/// rate reads directly as GOP/s — the headline number EXPERIMENTS.md quotes
+/// for the integer path.
+void BM_QgemmInt8Kernel256(benchmark::State& state) {
+  constexpr int kDim = 256;
+  core::resize_global_pool(1);  // raw single-thread kernel rate
+  const auto fmt = core::make_format("INT8");
+  double lut[256];
+  std::vector<std::uint8_t> finite;
+  for (int c = 0; c < 256; ++c) {
+    lut[c] = fmt->decode_value(static_cast<std::uint8_t>(c));
+    if (std::isfinite(lut[c])) finite.push_back(static_cast<std::uint8_t>(c));
+  }
+  const nn::gemm::AffineLut alut = nn::gemm::build_affine_lut(lut);
+  if (!alut.usable) {
+    state.SkipWithError("INT8 LUT is not affine");
+    return;
+  }
+  std::mt19937 rng(9);
+  std::uniform_int_distribution<std::size_t> pick(0, finite.size() - 1);
+  std::vector<std::uint8_t> ac(kDim * kDim), bc(kDim * kDim);
+  for (auto& c : ac) c = finite[pick(rng)];
+  for (auto& c : bc) c = finite[pick(rng)];
+  const nn::gemm::Int8Operand a{ac.data(), kDim, false, alut.q, nullptr,
+                                alut.scale};
+  const nn::gemm::Int8Operand b{bc.data(), kDim, false, alut.q, nullptr,
+                                alut.scale};
+  const nn::gemm::PackedInt8 pa =
+      nn::gemm::pack_a_int8_matrix(kDim, kDim, ac.data(), kDim, false, alut.q);
+  const nn::gemm::PackedInt8 pb =
+      nn::gemm::pack_b_int8_matrix(kDim, kDim, bc.data(), kDim, false, alut.q);
+  std::vector<float> out(static_cast<std::size_t>(kDim) * kDim);
+  for (auto _ : state) {
+    nn::gemm::qgemm_int8(kDim, kDim, kDim, a, b, nn::gemm::Init::kZero,
+                         nullptr, out.data(), kDim, nullptr,
+                         nn::gemm::Epilogue::kNone, &pa, &pb);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (2LL * kDim * kDim * kDim));
+}
+
 void BM_MacReference(benchmark::State& state) {
   const auto fmt = core::make_format("MERSIT(8,2)");
   const auto* ef = dynamic_cast<const formats::ExponentCodedFormat*>(fmt.get());
@@ -269,6 +315,7 @@ BENCHMARK_CAPTURE(BM_MacNetlistCycle, fp84, "FP(8,4)");
 BENCHMARK_CAPTURE(BM_MacNetlistCycle64, mersit82, "MERSIT(8,2)");
 BENCHMARK_CAPTURE(BM_MacNetlistCycle64, posit81, "Posit(8,1)");
 BENCHMARK_CAPTURE(BM_MacNetlistCycle64, fp84, "FP(8,4)");
+BENCHMARK(BM_QgemmInt8Kernel256);
 BENCHMARK(BM_MacReference);
 
 int main(int argc, char** argv) {

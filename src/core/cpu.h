@@ -20,7 +20,9 @@ namespace mersit::core {
 struct CpuFeatures {
   bool avx2 = false;     ///< x86: 256-bit integer/float SIMD
   bool avx512f = false;  ///< x86: 512-bit foundation (masked ops included)
+  bool avx512vnni = false;  ///< x86: vpdpbusd int8 dot-product (DL Boost)
   bool neon = false;     ///< aarch64: Advanced SIMD (baseline on AArch64)
+  bool dotprod = false;  ///< aarch64: sdot/udot int8 dot-product (ARMv8.2)
 };
 
 /// The host's features, probed once per process (thread-safe static init).

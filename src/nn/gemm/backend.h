@@ -84,6 +84,54 @@ struct Backend {
   void (*micro)(int kc, const float* ap, const float* bp, float* c, int ldc,
                 int mr, int nr, Epilogue epi, const float* asc,
                 const float* ash);
+
+  // --- Decode-free int8 path (MERSIT_QGEMM=int8) ---------------------------
+  // The int8 kernels accumulate level products in int32, which is exact and
+  // associative, so the bit-identity contract holds across backends with no
+  // ordering rules at all — any k order, any widening scheme, FMA-free by
+  // nature.  Panel layouts group k in `kg8`-wide runs: A panels are
+  // [group][m][j] (j < kg8), B panels [group][n][j], the packed k extent
+  // rounded up to a multiple of kg8 with zero levels in the padding.  Panel
+  // bytes are backend-private (the AVX-512 pack biases A levels by 128 for
+  // vpdpbusd's u8 operand); a pack is only valid for the backend that made
+  // it, enforced exactly like PackedMatrix via PackedInt8::backend_id.
+
+  /// K-group width of this backend's int8 panel layout (1, 2, or 4).
+  int kg8;
+
+  /// Pack an (mc x kc) block of op(A) 8-bit codes through the code→level
+  /// remap `qlut` into mr-row int8 panels.  `dst` must be 64-byte aligned
+  /// and hold ceil(mc/mr)*mr*round_up(kc, kg8) bytes.
+  void (*pack_a_int8)(const std::uint8_t* a, int lda, bool trans,
+                      const std::int8_t* qlut, int m0, int mc, int k0, int kc,
+                      std::int8_t* dst);
+  /// Pack a (kc x nc) block of op(B) codes into nr-column int8 panels.
+  void (*pack_b_int8)(const std::uint8_t* b, int ldb, bool trans,
+                      const std::int8_t* qlut, int k0, int kc, int n0, int nc,
+                      std::int8_t* dst);
+
+  /// One (mr x nr) int32 tile: acc[m*ldacc + n] += Σ_k qa·qb over this
+  /// k-block's kc levels (kc is the unpadded extent; the panels are padded
+  /// to round_up(kc, kg8) with zeros, which add nothing).  Accumulation is
+  /// += so k-blocks chain; the driver zeroes acc at tile start and dequants
+  /// after the last k-block.  Edge tiles (mr/nr short) must write only the
+  /// real acc entries.
+  void (*micro_int8)(int kc, const std::int8_t* ap, const std::int8_t* bp,
+                     std::int32_t* acc, int ldacc, int mr, int nr);
+
+  /// pack_a_int8 over a *float* source: each element quantizes onto the
+  /// level grid — q = clamp(RNE(v·inv), lo, hi), exactly quantize_levels —
+  /// fused into the panel distribution (one pass, no intermediate level
+  /// buffer).  Same layout, padding, and byte bias rules as pack_a_int8, so
+  /// panels are byte-identical to packing pre-quantized levels through the
+  /// identity map.
+  void (*pack_a_int8_f32)(const float* a, int lda, bool trans, double inv,
+                          int lo, int hi, int m0, int mc, int k0, int kc,
+                          std::int8_t* dst);
+  /// pack_b_int8 over a float source, mirroring pack_a_int8_f32.
+  void (*pack_b_int8_f32)(const float* b, int ldb, bool trans, double inv,
+                          int lo, int hi, int k0, int kc, int n0, int nc,
+                          std::int8_t* dst);
 };
 
 /// Compiled-in backends in detection order: best first, scalar last (scalar

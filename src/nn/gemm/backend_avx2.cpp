@@ -144,10 +144,110 @@ void micro(int kc, const float* ap, const float* bp, float* c, int ldc,
   }
 }
 
+// Int8 path, KG = 2: B groups are 32 bytes (16 columns x 2 k-levels,
+// [n][j] interleaved) — exactly the epi32-lane pairing _mm256_madd_epi16
+// wants.  Levels are sign-extended to s16 first, then madd forms
+// a0·b0 + a1·b1 per lane in s32; |level| <= 128 keeps every intermediate
+// far from madd's lone saturation case (two -32768·-32768 products), so the
+// accumulation is exact.  The ISSUE sketch says `maddubs`, but
+// _mm256_maddubs_epi16 saturates its s16 intermediate (2·255·127 > 32767)
+// and would break the ULP-0 contract — the widening madd is the exact
+// variant of the same idea.  12 accumulators + 2 B + 1 A broadcast = 15 ymm.
+constexpr int kKG8 = 2;
+
+void pack_a_int8(const std::uint8_t* a, int lda, bool trans,
+                 const std::int8_t* qlut, int m0, int mc, int k0, int kc,
+                 std::int8_t* dst) {
+  detail::pack_a_int8_block<kMR, kKG8>(a, lda, trans, qlut, m0, mc, k0, kc,
+                                       dst);
+}
+
+void pack_b_int8(const std::uint8_t* b, int ldb, bool trans,
+                 const std::int8_t* qlut, int k0, int kc, int n0, int nc,
+                 std::int8_t* dst) {
+  detail::pack_b_int8_block<kNR, kKG8>(b, ldb, trans, qlut, k0, kc, n0, nc,
+                                       dst);
+}
+
+template <int R>
+void kernel_int8_rows(int kc, const std::int8_t* ap, const std::int8_t* bp,
+                      std::int32_t* acc, int ldacc, int nr) {
+  const int groups = (kc + kKG8 - 1) / kKG8;
+  __m256i vacc[R][2];
+  for (int m = 0; m < R; ++m) {
+    vacc[m][0] = _mm256_setzero_si256();
+    vacc[m][1] = _mm256_setzero_si256();
+  }
+  for (int g = 0; g < groups; ++g) {
+    const std::int8_t* bg = bp + static_cast<std::size_t>(g) * kNR * kKG8;
+    const __m256i braw =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(bg));
+    const __m256i b0 = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(braw));
+    const __m256i b1 = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(braw, 1));
+    const std::int8_t* ag = ap + static_cast<std::size_t>(g) * kMR * kKG8;
+    for (int m = 0; m < R; ++m) {
+      const std::uint32_t w =
+          static_cast<std::uint16_t>(static_cast<std::int16_t>(ag[m * 2])) |
+          (static_cast<std::uint32_t>(static_cast<std::uint16_t>(
+               static_cast<std::int16_t>(ag[m * 2 + 1])))
+           << 16);
+      const __m256i av = _mm256_set1_epi32(static_cast<int>(w));
+      vacc[m][0] = _mm256_add_epi32(vacc[m][0], _mm256_madd_epi16(av, b0));
+      vacc[m][1] = _mm256_add_epi32(vacc[m][1], _mm256_madd_epi16(av, b1));
+    }
+  }
+  for (int m = 0; m < R; ++m) {
+    std::int32_t* row = acc + static_cast<std::size_t>(m) * ldacc;
+    if (nr == kNR) {
+      __m256i* p = reinterpret_cast<__m256i*>(row);
+      _mm256_storeu_si256(
+          p, _mm256_add_epi32(_mm256_loadu_si256(p), vacc[m][0]));
+      _mm256_storeu_si256(
+          p + 1, _mm256_add_epi32(_mm256_loadu_si256(p + 1), vacc[m][1]));
+    } else {
+      alignas(32) std::int32_t tmp[kNR];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), vacc[m][0]);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(tmp) + 1, vacc[m][1]);
+      for (int n = 0; n < nr; ++n) row[n] += tmp[n];
+    }
+  }
+}
+
+void micro_int8(int kc, const std::int8_t* ap, const std::int8_t* bp,
+                std::int32_t* acc, int ldacc, int mr, int nr) {
+  switch (mr) {
+    case 6: kernel_int8_rows<6>(kc, ap, bp, acc, ldacc, nr); return;
+    case 5: kernel_int8_rows<5>(kc, ap, bp, acc, ldacc, nr); return;
+    case 4: kernel_int8_rows<4>(kc, ap, bp, acc, ldacc, nr); return;
+    case 3: kernel_int8_rows<3>(kc, ap, bp, acc, ldacc, nr); return;
+    case 2: kernel_int8_rows<2>(kc, ap, bp, acc, ldacc, nr); return;
+    case 1: kernel_int8_rows<1>(kc, ap, bp, acc, ldacc, nr); return;
+    default:
+      detail::micro_int8_generic<kMR, kNR, kKG8>(kc, ap, bp, acc, ldacc, mr,
+                                                 nr);
+  }
+}
+
+void pack_a_int8_f32(const float* a, int lda, bool trans, double inv, int lo,
+                     int hi, int m0, int mc, int k0, int kc,
+                     std::int8_t* dst) {
+  detail::pack_a_int8_f32_block<kMR, kKG8>(a, lda, trans, inv, lo, hi, m0, mc,
+                                           k0, kc, dst);
+}
+
+void pack_b_int8_f32(const float* b, int ldb, bool trans, double inv, int lo,
+                     int hi, int k0, int kc, int n0, int nc,
+                     std::int8_t* dst) {
+  detail::pack_b_int8_f32_block<kNR, kKG8>(b, ldb, trans, inv, lo, hi, k0, kc,
+                                           n0, nc, dst);
+}
+
 constexpr Backend kAvx2 = {
     "avx2", /*id=*/1, kMR,    kNR,    /*mc=*/120,   /*kc=*/256,
     /*nc=*/1024,      supported,      pack_a,       pack_b,
     pack_a_codes,     pack_b_codes,   micro,
+    /*kg8=*/kKG8,     pack_a_int8,    pack_b_int8,  micro_int8,
+    pack_a_int8_f32,  pack_b_int8_f32,
 };
 
 }  // namespace

@@ -110,10 +110,117 @@ void micro(int kc, const float* ap, const float* bp, float* c, int ldc,
   }
 }
 
+// Int8 path, KG = 4: a B group is 64 bytes (16 columns x 4 k-levels,
+// [n][j]) — one zmm whose epi32 lane n holds column n's 4 levels, exactly
+// vpdpbusd's operand shape.  vpdpbusd takes u8 x s8, so when the host has
+// AVX-512 VNNI the A pack biases levels by 128 (u8 = q + 128) and the
+// kernel subtracts the bias once per output: a single `comp` register
+// accumulates 128·Σ_k q_b per column (vpdpbusd with an all-0x80 A operand),
+// shared by every row of the tile.  Intermediate lanes may wrap mod 2^32;
+// the final acc − comp is exact because the true s8·s8 sum fits int32 under
+// the driver's K bound.  8 row accumulators + comp + B + A broadcast = 11
+// zmm.  This TU compiles with -mavx512f only, so the vpdpbusd kernel gets
+// the instruction set via a function-level target attribute and is only
+// dispatched to when CPUID reports VNNI; without VNNI both the pack and the
+// kernel fall back to the generic plain-level routines (correct everywhere,
+// and the pack/kernel pair always agrees because both test the same
+// process-constant CPUID bit).
+constexpr int kKG8 = 4;
+
+void pack_a_int8(const std::uint8_t* a, int lda, bool trans,
+                 const std::int8_t* qlut, int m0, int mc, int k0, int kc,
+                 std::int8_t* dst) {
+  if (core::cpu_features().avx512vnni)
+    detail::pack_a_int8_block<kMR, kKG8, 0x80>(a, lda, trans, qlut, m0, mc,
+                                               k0, kc, dst);
+  else
+    detail::pack_a_int8_block<kMR, kKG8>(a, lda, trans, qlut, m0, mc, k0, kc,
+                                         dst);
+}
+
+void pack_b_int8(const std::uint8_t* b, int ldb, bool trans,
+                 const std::int8_t* qlut, int k0, int kc, int n0, int nc,
+                 std::int8_t* dst) {
+  detail::pack_b_int8_block<kNR, kKG8>(b, ldb, trans, qlut, k0, kc, n0, nc,
+                                       dst);
+}
+
+template <int R>
+__attribute__((target("avx512vnni"))) void kernel_int8_vnni(
+    int kc, const std::int8_t* ap, const std::int8_t* bp, std::int32_t* acc,
+    int ldacc, int nr) {
+  const int groups = (kc + kKG8 - 1) / kKG8;
+  __m512i vacc[R];
+  for (int m = 0; m < R; ++m) vacc[m] = _mm512_setzero_si512();
+  __m512i comp = _mm512_setzero_si512();
+  const __m512i bias = _mm512_set1_epi32(static_cast<int>(0x80808080u));
+  for (int g = 0; g < groups; ++g) {
+    const __m512i bvec = _mm512_load_si512(
+        bp + static_cast<std::size_t>(g) * kNR * kKG8);
+    comp = _mm512_dpbusd_epi32(comp, bias, bvec);
+    const std::int8_t* ag = ap + static_cast<std::size_t>(g) * kMR * kKG8;
+    for (int m = 0; m < R; ++m) {
+      std::int32_t w;
+      __builtin_memcpy(&w, ag + m * kKG8, sizeof w);
+      vacc[m] =
+          _mm512_dpbusd_epi32(vacc[m], _mm512_set1_epi32(w), bvec);
+    }
+  }
+  const __mmask16 mask = static_cast<__mmask16>((1u << nr) - 1u);
+  for (int m = 0; m < R; ++m) {
+    std::int32_t* row = acc + static_cast<std::size_t>(m) * ldacc;
+    const __m512i cur = _mm512_maskz_loadu_epi32(mask, row);
+    _mm512_mask_storeu_epi32(
+        row, mask, _mm512_add_epi32(cur, _mm512_sub_epi32(vacc[m], comp)));
+  }
+}
+
+void micro_int8(int kc, const std::int8_t* ap, const std::int8_t* bp,
+                std::int32_t* acc, int ldacc, int mr, int nr) {
+  if (core::cpu_features().avx512vnni) {
+    switch (mr) {
+      case 8: kernel_int8_vnni<8>(kc, ap, bp, acc, ldacc, nr); return;
+      case 7: kernel_int8_vnni<7>(kc, ap, bp, acc, ldacc, nr); return;
+      case 6: kernel_int8_vnni<6>(kc, ap, bp, acc, ldacc, nr); return;
+      case 5: kernel_int8_vnni<5>(kc, ap, bp, acc, ldacc, nr); return;
+      case 4: kernel_int8_vnni<4>(kc, ap, bp, acc, ldacc, nr); return;
+      case 3: kernel_int8_vnni<3>(kc, ap, bp, acc, ldacc, nr); return;
+      case 2: kernel_int8_vnni<2>(kc, ap, bp, acc, ldacc, nr); return;
+      case 1: kernel_int8_vnni<1>(kc, ap, bp, acc, ldacc, nr); return;
+      default: return;  // mr <= 0: nothing to write (mr > kMR cannot happen,
+                        // and the plain-level generic below must not see the
+                        // biased VNNI panels)
+    }
+  }
+  detail::micro_int8_generic<kMR, kNR, kKG8>(kc, ap, bp, acc, ldacc, mr, nr);
+}
+
+void pack_a_int8_f32(const float* a, int lda, bool trans, double inv, int lo,
+                     int hi, int m0, int mc, int k0, int kc,
+                     std::int8_t* dst) {
+  // Same VNNI bias rule as pack_a_int8: the pack and the kernel test the
+  // same process-constant CPUID bit, so they always agree on the layout.
+  if (core::cpu_features().avx512vnni)
+    detail::pack_a_int8_f32_block<kMR, kKG8, 0x80>(a, lda, trans, inv, lo, hi,
+                                                   m0, mc, k0, kc, dst);
+  else
+    detail::pack_a_int8_f32_block<kMR, kKG8>(a, lda, trans, inv, lo, hi, m0,
+                                             mc, k0, kc, dst);
+}
+
+void pack_b_int8_f32(const float* b, int ldb, bool trans, double inv, int lo,
+                     int hi, int k0, int kc, int n0, int nc,
+                     std::int8_t* dst) {
+  detail::pack_b_int8_f32_block<kNR, kKG8>(b, ldb, trans, inv, lo, hi, k0, kc,
+                                           n0, nc, dst);
+}
+
 constexpr Backend kAvx512 = {
     "avx512", /*id=*/2, kMR,    kNR,    /*mc=*/120,   /*kc=*/256,
     /*nc=*/1024,        supported,      pack_a,       pack_b,
     pack_a_codes,       pack_b_codes,   micro,
+    /*kg8=*/kKG8,       pack_a_int8,    pack_b_int8,  micro_int8,
+    pack_a_int8_f32,    pack_b_int8_f32,
 };
 
 }  // namespace

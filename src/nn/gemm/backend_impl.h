@@ -24,8 +24,10 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 #include "nn/gemm/backend.h"
+#include "nn/gemm/qgemm.h"
 
 namespace mersit::nn::gemm::detail {
 
@@ -122,6 +124,398 @@ void pack_b_codes_block(const std::uint8_t* b, int ldb, bool trans,
       for (int n = nr; n < NR; ++n) dst[k * NR + n] = 0.f;
     }
     dst += static_cast<std::size_t>(kc) * NR;
+  }
+}
+
+/// pack_a_block over 8-bit codes remapped to int8 levels: panels are
+/// [group][m][j] with KG-wide k groups, k extent padded to a multiple of KG
+/// and row pads zero-filled.  XOR is applied to every stored byte (including
+/// pads): 0 for two's-complement level panels, 0x80 for the AVX-512 VNNI
+/// layout, which stores A levels biased by 128 (q ^ 0x80 == q + 128 as a
+/// byte) so vpdpbusd's unsigned operand sees u8 = q + 128.
+template <int MR, int KG, int XOR = 0>
+void pack_a_int8_block(const std::uint8_t* a, int lda, bool trans,
+                       const std::int8_t* qlut, int m0, int mc, int k0, int kc,
+                       std::int8_t* dst) {
+  const int groups = (kc + KG - 1) / KG;
+  const int full_g = kc / KG;
+  for (int ip = 0; ip < mc; ip += MR) {
+    const int mr = std::min(MR, mc - ip);
+    int g0 = 0;
+    if (!trans && mr == MR) {
+      // Full row panel over row-major A: every (m, group) is a contiguous
+      // KG-byte run through the LUT, so the per-element bounds tests of the
+      // general loop below vanish.  Byte-identical output — this is the hot
+      // shape for per-call activation packs (Linear A operand).
+      for (int m = 0; m < MR; ++m) {
+        const std::uint8_t* row =
+            a + static_cast<std::size_t>(m0 + ip + m) * lda + k0;
+        std::int8_t* dm = dst + static_cast<std::size_t>(m) * KG;
+        for (int g = 0; g < full_g; ++g) {
+          const std::uint8_t* src = row + static_cast<std::size_t>(g) * KG;
+          std::int8_t* dg = dm + static_cast<std::size_t>(g) * MR * KG;
+          for (int j = 0; j < KG; ++j)
+            dg[j] = static_cast<std::int8_t>(qlut[src[j]] ^ XOR);
+        }
+      }
+      g0 = full_g;
+    }
+    for (int g = g0; g < groups; ++g) {
+      for (int m = 0; m < MR; ++m) {
+        for (int j = 0; j < KG; ++j) {
+          const int k = g * KG + j;
+          std::int8_t v = 0;
+          if (m < mr && k < kc) {
+            const std::uint8_t code =
+                trans ? a[static_cast<std::size_t>(k0 + k) * lda + m0 + ip + m]
+                      : a[static_cast<std::size_t>(m0 + ip + m) * lda + k0 + k];
+            v = qlut[code];
+          }
+          dst[(static_cast<std::size_t>(g) * MR + m) * KG + j] =
+              static_cast<std::int8_t>(v ^ XOR);
+        }
+      }
+    }
+    dst += static_cast<std::size_t>(groups) * MR * KG;
+  }
+}
+
+/// Interleave KG level rows (NR bytes each) into one packed group:
+/// dst[n*KG + j] = rows[j][n].  This is the identity-map inner loop of the
+/// B packs; NR/KG are panel constants, so the constant-index shuffles below
+/// compile to a handful of byte unpacks under whatever vector ISA the TU is
+/// built with (GCC vector extensions are target-independent, with a scalar
+/// word-compose fallback for geometries no backend uses).
+template <int NR, int KG>
+inline void interleave_rows_i8(const std::uint8_t* const* rows,
+                               std::int8_t* dst) {
+  if constexpr (KG == 1) {
+    std::memcpy(dst, rows[0], NR);
+  } else if constexpr (NR == 16 && KG == 2) {
+    typedef std::uint8_t V16 __attribute__((vector_size(16)));
+    V16 a, b;
+    std::memcpy(&a, rows[0], 16);
+    std::memcpy(&b, rows[1], 16);
+    const V16 lo = __builtin_shufflevector(a, b, 0, 16, 1, 17, 2, 18, 3, 19, 4,
+                                           20, 5, 21, 6, 22, 7, 23);
+    const V16 hi = __builtin_shufflevector(a, b, 8, 24, 9, 25, 10, 26, 11, 27,
+                                           12, 28, 13, 29, 14, 30, 15, 31);
+    std::memcpy(dst, &lo, 16);
+    std::memcpy(dst + 16, &hi, 16);
+  } else if constexpr (NR == 16 && KG == 4) {
+    typedef std::uint8_t V16 __attribute__((vector_size(16)));
+    V16 a, b, c, d;
+    std::memcpy(&a, rows[0], 16);
+    std::memcpy(&b, rows[1], 16);
+    std::memcpy(&c, rows[2], 16);
+    std::memcpy(&d, rows[3], 16);
+    // Two unpack levels: bytes (a0 b0 a1 b1 ...) then byte pairs
+    // (a0 b0 c0 d0 a1 b1 c1 d1 ...) — the classic 4xN byte transpose.
+    const V16 ab0 = __builtin_shufflevector(a, b, 0, 16, 1, 17, 2, 18, 3, 19,
+                                            4, 20, 5, 21, 6, 22, 7, 23);
+    const V16 ab1 = __builtin_shufflevector(a, b, 8, 24, 9, 25, 10, 26, 11, 27,
+                                            12, 28, 13, 29, 14, 30, 15, 31);
+    const V16 cd0 = __builtin_shufflevector(c, d, 0, 16, 1, 17, 2, 18, 3, 19,
+                                            4, 20, 5, 21, 6, 22, 7, 23);
+    const V16 cd1 = __builtin_shufflevector(c, d, 8, 24, 9, 25, 10, 26, 11, 27,
+                                            12, 28, 13, 29, 14, 30, 15, 31);
+    const V16 o0 = __builtin_shufflevector(ab0, cd0, 0, 1, 16, 17, 2, 3, 18,
+                                           19, 4, 5, 20, 21, 6, 7, 22, 23);
+    const V16 o1 = __builtin_shufflevector(ab0, cd0, 8, 9, 24, 25, 10, 11, 26,
+                                           27, 12, 13, 28, 29, 14, 15, 30, 31);
+    const V16 o2 = __builtin_shufflevector(ab1, cd1, 0, 1, 16, 17, 2, 3, 18,
+                                           19, 4, 5, 20, 21, 6, 7, 22, 23);
+    const V16 o3 = __builtin_shufflevector(ab1, cd1, 8, 9, 24, 25, 10, 11, 26,
+                                           27, 12, 13, 28, 29, 14, 15, 30, 31);
+    std::memcpy(dst, &o0, 16);
+    std::memcpy(dst + 16, &o1, 16);
+    std::memcpy(dst + 32, &o2, 16);
+    std::memcpy(dst + 48, &o3, 16);
+  } else if constexpr (NR == 8 && KG == 4) {
+    typedef std::uint8_t V8 __attribute__((vector_size(8)));
+    V8 a, b, c, d;
+    std::memcpy(&a, rows[0], 8);
+    std::memcpy(&b, rows[1], 8);
+    std::memcpy(&c, rows[2], 8);
+    std::memcpy(&d, rows[3], 8);
+    const V8 ab0 = __builtin_shufflevector(a, b, 0, 8, 1, 9, 2, 10, 3, 11);
+    const V8 ab1 = __builtin_shufflevector(a, b, 4, 12, 5, 13, 6, 14, 7, 15);
+    const V8 cd0 = __builtin_shufflevector(c, d, 0, 8, 1, 9, 2, 10, 3, 11);
+    const V8 cd1 = __builtin_shufflevector(c, d, 4, 12, 5, 13, 6, 14, 7, 15);
+    const V8 o0 = __builtin_shufflevector(ab0, cd0, 0, 1, 8, 9, 2, 3, 10, 11);
+    const V8 o1 = __builtin_shufflevector(ab0, cd0, 4, 5, 12, 13, 6, 7, 14, 15);
+    const V8 o2 = __builtin_shufflevector(ab1, cd1, 0, 1, 8, 9, 2, 3, 10, 11);
+    const V8 o3 = __builtin_shufflevector(ab1, cd1, 4, 5, 12, 13, 6, 7, 14, 15);
+    std::memcpy(dst, &o0, 8);
+    std::memcpy(dst + 8, &o1, 8);
+    std::memcpy(dst + 16, &o2, 8);
+    std::memcpy(dst + 24, &o3, 8);
+  } else if constexpr (NR == 8 && KG == 2) {
+    typedef std::uint8_t V8 __attribute__((vector_size(8)));
+    V8 a, b;
+    std::memcpy(&a, rows[0], 8);
+    std::memcpy(&b, rows[1], 8);
+    const V8 lo = __builtin_shufflevector(a, b, 0, 8, 1, 9, 2, 10, 3, 11);
+    const V8 hi = __builtin_shufflevector(a, b, 4, 12, 5, 13, 6, 14, 7, 15);
+    std::memcpy(dst, &lo, 8);
+    std::memcpy(dst + 8, &hi, 8);
+  } else {
+    for (int n = 0; n < NR; ++n) {
+      std::uint32_t wv = 0;
+      for (int j = 0; j < KG; ++j)
+        wv |= static_cast<std::uint32_t>(rows[j][n]) << (8 * j);
+      std::memcpy(dst + n * KG, &wv, KG);
+    }
+  }
+}
+
+/// pack_b_block over codes into [group][n][j] int8 panels, padded like
+/// pack_a_int8_block (B panels always hold plain two's-complement levels).
+template <int NR, int KG>
+void pack_b_int8_block(const std::uint8_t* b, int ldb, bool trans,
+                       const std::int8_t* qlut, int k0, int kc, int n0, int nc,
+                       std::int8_t* dst) {
+  const int groups = (kc + KG - 1) / KG;
+  const int full_g = kc / KG;
+  for (int jp = 0; jp < nc; jp += NR) {
+    const int nr = std::min(NR, nc - jp);
+    int g0 = 0;
+    if (nr == NR) {
+      // Full column panel: drop the per-element bounds tests for the whole
+      // k-groups (the ragged tail group, if any, falls through to the
+      // general loop).  Byte-identical output; this is the hot shape for
+      // per-call activation packs (conv im2col B operand).
+      if (trans) {
+        for (int n = 0; n < NR; ++n) {
+          const std::uint8_t* row =
+              b + static_cast<std::size_t>(n0 + jp + n) * ldb + k0;
+          std::int8_t* dn = dst + static_cast<std::size_t>(n) * KG;
+          for (int g = 0; g < full_g; ++g) {
+            const std::uint8_t* src = row + static_cast<std::size_t>(g) * KG;
+            std::int8_t* dg = dn + static_cast<std::size_t>(g) * NR * KG;
+            for (int j = 0; j < KG; ++j) dg[j] = qlut[src[j]];
+          }
+        }
+      } else {
+        // Codes already ARE the levels when the map is identity (the conv
+        // im2col operand), so the group interleave runs as straight byte
+        // shuffles with no table lookup.
+        const bool ident = qlut == identity_qlut();
+        for (int g = 0; g < full_g; ++g) {
+          std::int8_t* dg = dst + static_cast<std::size_t>(g) * NR * KG;
+          const std::uint8_t* rows[KG];
+          for (int j = 0; j < KG; ++j)
+            rows[j] =
+                b + static_cast<std::size_t>(k0 + g * KG + j) * ldb + n0 + jp;
+          if (ident) {
+            interleave_rows_i8<NR, KG>(rows, dg);
+            continue;
+          }
+          // Compose each column's KG levels into one word and store it whole
+          // (KG is 1/2/4): sequential word stores instead of a stride-KG
+          // byte scatter, ~2x faster on the per-call activation pack.
+          for (int n = 0; n < NR; ++n) {
+            std::uint32_t wv = 0;
+            for (int j = 0; j < KG; ++j)
+              wv |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(
+                        qlut[rows[j][n]]))
+                    << (8 * j);
+            std::memcpy(dg + n * KG, &wv, KG);
+          }
+        }
+      }
+      g0 = full_g;
+    }
+    for (int g = g0; g < groups; ++g) {
+      for (int n = 0; n < NR; ++n) {
+        for (int j = 0; j < KG; ++j) {
+          const int k = g * KG + j;
+          std::int8_t v = 0;
+          if (n < nr && k < kc) {
+            const std::uint8_t code =
+                trans ? b[static_cast<std::size_t>(n0 + jp + n) * ldb + k0 + k]
+                      : b[static_cast<std::size_t>(k0 + k) * ldb + n0 + jp + n];
+            v = qlut[code];
+          }
+          dst[(static_cast<std::size_t>(g) * NR + n) * KG + j] = v;
+        }
+      }
+    }
+    dst += static_cast<std::size_t>(groups) * NR * KG;
+  }
+}
+
+/// pack_a_int8_block over a float source: quantize_levels runs on each
+/// contiguous run of the source (a whole k-row when !trans; a gathered
+/// column otherwise) through a small stack buffer, and the resulting levels
+/// distribute into the same [group][m][j] layout with the same XOR and
+/// padding rules.  quantize_levels is elementwise, so panels are
+/// byte-identical to pack_a_int8_block over pre-quantized levels.
+template <int MR, int KG, int XOR = 0>
+void pack_a_int8_f32_block(const float* a, int lda, bool trans, double inv,
+                           int lo, int hi, int m0, int mc, int k0, int kc,
+                           std::int8_t* dst) {
+  constexpr int kChunk = 256;  // multiple of every KG (1/2/4)
+  const int groups = (kc + KG - 1) / KG;
+  for (int ip = 0; ip < mc; ip += MR) {
+    const int mr = std::min(MR, mc - ip);
+    for (int m = 0; m < MR; ++m) {
+      std::int8_t* dm = dst + static_cast<std::size_t>(m) * KG;
+      if (m < mr) {
+        float tmp[kChunk];
+        std::int8_t q[kChunk];
+        for (int kb = 0; kb < kc; kb += kChunk) {
+          const int len = std::min(kChunk, kc - kb);
+          const float* src;
+          if (!trans) {
+            src = a + static_cast<std::size_t>(m0 + ip + m) * lda + k0 + kb;
+          } else {
+            for (int i = 0; i < len; ++i)
+              tmp[i] =
+                  a[static_cast<std::size_t>(k0 + kb + i) * lda + m0 + ip + m];
+            src = tmp;
+          }
+          quantize_levels(src, static_cast<std::size_t>(len), inv, lo, hi, q);
+          // A group's KG levels are contiguous at dm + g*MR*KG: compose them
+          // (with the byte bias) into one word and store it whole.
+          constexpr std::uint32_t xmask = 0x01010101u * XOR;
+          int i = 0;
+          for (; i + KG <= len; i += KG) {
+            std::uint32_t wv = 0;
+            for (int j = 0; j < KG; ++j)
+              wv |= static_cast<std::uint32_t>(
+                        static_cast<std::uint8_t>(q[i + j]))
+                    << (8 * j);
+            wv ^= xmask;
+            std::memcpy(
+                dm + static_cast<std::size_t>((kb + i) / KG) * MR * KG, &wv,
+                KG);
+          }
+          for (; i < len; ++i) {
+            const int k = kb + i;
+            dm[static_cast<std::size_t>(k / KG) * MR * KG + k % KG] =
+                static_cast<std::int8_t>(q[i] ^ XOR);
+          }
+        }
+      }
+      for (int k = m < mr ? kc : 0; k < groups * KG; ++k)
+        dm[static_cast<std::size_t>(k / KG) * MR * KG + k % KG] =
+            static_cast<std::int8_t>(XOR);  // zero level, biased like the rest
+    }
+    dst += static_cast<std::size_t>(groups) * MR * KG;
+  }
+}
+
+/// pack_b_int8_block over a float source (B panels are always plain
+/// two's-complement levels).  !trans is the hot orientation (conv im2col
+/// columns): row k of op(B) is contiguous, so one quantize_levels call per k
+/// covers every panel of the block.
+template <int NR, int KG>
+void pack_b_int8_f32_block(const float* b, int ldb, bool trans, double inv,
+                           int lo, int hi, int k0, int kc, int n0, int nc,
+                           std::int8_t* dst) {
+  const int groups = (kc + KG - 1) / KG;
+  const std::size_t panel = static_cast<std::size_t>(groups) * NR * KG;
+  // Zero every pad byte up front (the ragged last panel and the k tail
+  // group); the fill passes below then touch only real elements.
+  for (int jp = 0; jp < nc; jp += NR) {
+    std::int8_t* pd = dst + static_cast<std::size_t>(jp / NR) * panel;
+    if (nc - jp < NR) {
+      std::memset(pd, 0, panel);
+    } else if (kc < groups * KG) {
+      std::int8_t* pg = pd + static_cast<std::size_t>(groups - 1) * NR * KG;
+      const int j0 = kc - (groups - 1) * KG;
+      for (int n = 0; n < NR; ++n)
+        for (int j = j0; j < KG; ++j) pg[n * KG + j] = 0;
+    }
+  }
+  if (!trans) {
+    // Row k of op(B) is contiguous in `b`, so each of a group's KG source
+    // rows quantizes in one SIMD sweep; the interleave then composes every
+    // column's KG levels into a single word store (see pack_b_int8_block).
+    constexpr int kChunk = 1024;  // multiple of every NR (8/16)
+    std::int8_t qr[KG][kChunk];
+    for (int nb = 0; nb < nc; nb += kChunk) {
+      const int len = std::min(kChunk, nc - nb);
+      for (int g = 0; g < groups; ++g) {
+        for (int j = 0; j < KG; ++j) {
+          const int k = g * KG + j;
+          if (k < kc)
+            quantize_levels(b + static_cast<std::size_t>(k0 + k) * ldb + n0 +
+                                nb,
+                            static_cast<std::size_t>(len), inv, lo, hi, qr[j]);
+          else
+            std::memset(qr[j], 0, static_cast<std::size_t>(len));
+        }
+        for (int jpo = 0; jpo < len; jpo += NR) {
+          std::int8_t* dg = dst +
+                            static_cast<std::size_t>((nb + jpo) / NR) * panel +
+                            static_cast<std::size_t>(g) * NR * KG;
+          const int nr = std::min(NR, len - jpo);
+          if (nr == NR) {
+            // qr rows already hold levels — the full-panel interleave is the
+            // same byte shuffle the identity pack uses.
+            const std::uint8_t* rp[KG];
+            for (int j = 0; j < KG; ++j)
+              rp[j] = reinterpret_cast<const std::uint8_t*>(qr[j]) + jpo;
+            interleave_rows_i8<NR, KG>(rp, dg);
+            continue;
+          }
+          for (int n = 0; n < nr; ++n) {
+            std::uint32_t wv = 0;
+            for (int j = 0; j < KG; ++j)
+              wv |= static_cast<std::uint32_t>(
+                        static_cast<std::uint8_t>(qr[j][jpo + n]))
+                    << (8 * j);
+            std::memcpy(dg + n * KG, &wv, KG);
+          }
+        }
+      }
+    }
+  } else {
+    // op(B) column n is a contiguous k-row of `b`: quantize it whole, then
+    // distribute into the [group][n][j] layout.
+    constexpr int kChunk = 256;
+    std::int8_t q[kChunk];
+    for (int n = 0; n < nc; ++n) {
+      const float* src = b + static_cast<std::size_t>(n0 + n) * ldb + k0;
+      std::int8_t* dn = dst + static_cast<std::size_t>(n / NR) * panel +
+                        static_cast<std::size_t>(n % NR) * KG;
+      for (int kb = 0; kb < kc; kb += kChunk) {
+        const int len = std::min(kChunk, kc - kb);
+        quantize_levels(src + kb, static_cast<std::size_t>(len), inv, lo, hi,
+                        q);
+        for (int i = 0; i < len; ++i) {
+          const int k = kb + i;
+          dn[static_cast<std::size_t>(k / KG) * NR * KG + k % KG] = q[i];
+        }
+      }
+    }
+  }
+}
+
+/// Generic int8 micro-kernel over the [group][row/col][j] panel layout:
+/// acc[m][n] += Σ qa·qb in int32.  Exact integer arithmetic, so this is the
+/// reference every intrinsic kernel must match bitwise (and trivially does —
+/// integer sums are order-independent).  Handles full and edge tiles.
+template <int MR, int NR, int KG>
+void micro_int8_generic(int kc, const std::int8_t* ap, const std::int8_t* bp,
+                        std::int32_t* acc, int ldacc, int mr, int nr) {
+  const int groups = (kc + KG - 1) / KG;
+  for (int m = 0; m < mr; ++m) {
+    for (int n = 0; n < nr; ++n) {
+      std::int32_t s = 0;
+      for (int g = 0; g < groups; ++g) {
+        const std::int8_t* am =
+            ap + (static_cast<std::size_t>(g) * MR + m) * KG;
+        const std::int8_t* bn =
+            bp + (static_cast<std::size_t>(g) * NR + n) * KG;
+        for (int j = 0; j < KG; ++j)
+          s += static_cast<std::int32_t>(am[j]) *
+               static_cast<std::int32_t>(bn[j]);
+      }
+      acc[static_cast<std::size_t>(m) * ldacc + n] += s;
+    }
   }
 }
 

@@ -134,10 +134,114 @@ void micro(int kc, const float* ap, const float* bp, float* c, int ldc,
   }
 }
 
+// Int8 path, KG = 4: a B group is 32 bytes (8 columns x 4 k-levels, [n][j])
+// — two int8x16 whose s32 lane n holds column n's 4 levels, the operand
+// shape sdot wants.  When the compile target guarantees FEAT_DotProd
+// (__ARM_FEATURE_DOTPROD, mirrored into CpuFeatures::dotprod) each k-group
+// is one vdotq_s32 per B half; otherwise the same panels go through an
+// exact widening chain — vmull_s8 products, vpaddlq_s16 pairwise-longs,
+// vpaddq_s32 to per-column sums — all integer, so both kernels are bitwise
+// identical to the scalar reference by construction.  12 accumulators + 2 B
+// + 1 A broadcast stay well inside the 32 NEON registers.
+constexpr int kKG8 = 4;
+
+void pack_a_int8(const std::uint8_t* a, int lda, bool trans,
+                 const std::int8_t* qlut, int m0, int mc, int k0, int kc,
+                 std::int8_t* dst) {
+  detail::pack_a_int8_block<kMR, kKG8>(a, lda, trans, qlut, m0, mc, k0, kc,
+                                       dst);
+}
+
+void pack_b_int8(const std::uint8_t* b, int ldb, bool trans,
+                 const std::int8_t* qlut, int k0, int kc, int n0, int nc,
+                 std::int8_t* dst) {
+  detail::pack_b_int8_block<kNR, kKG8>(b, ldb, trans, qlut, k0, kc, n0, nc,
+                                       dst);
+}
+
+template <int R>
+void kernel_int8_rows(int kc, const std::int8_t* ap, const std::int8_t* bp,
+                      std::int32_t* acc, int ldacc, int nr) {
+  const int groups = (kc + kKG8 - 1) / kKG8;
+  int32x4_t vacc[R][2];
+  for (int m = 0; m < R; ++m) {
+    vacc[m][0] = vdupq_n_s32(0);
+    vacc[m][1] = vdupq_n_s32(0);
+  }
+  for (int g = 0; g < groups; ++g) {
+    const std::int8_t* bg = bp + static_cast<std::size_t>(g) * kNR * kKG8;
+    const int8x16_t b0 = vld1q_s8(bg);       // columns n0..n3
+    const int8x16_t b1 = vld1q_s8(bg + 16);  // columns n4..n7
+    const std::int8_t* ag = ap + static_cast<std::size_t>(g) * kMR * kKG8;
+    for (int m = 0; m < R; ++m) {
+      std::int32_t w;
+      __builtin_memcpy(&w, ag + m * kKG8, sizeof w);
+#if defined(__ARM_FEATURE_DOTPROD)
+      const int8x16_t av = vreinterpretq_s8_s32(vdupq_n_s32(w));
+      vacc[m][0] = vdotq_s32(vacc[m][0], av, b0);
+      vacc[m][1] = vdotq_s32(vacc[m][1], av, b1);
+#else
+      const int8x8_t av = vreinterpret_s8_s32(vdup_n_s32(w));
+      // vmull_s8 gives 8 exact s16 products (two columns' worth); pairwise-
+      // long then pairwise-add folds them to one exact s32 per column.
+      const int32x4_t p00 = vpaddlq_s16(vmull_s8(vget_low_s8(b0), av));
+      const int32x4_t p01 = vpaddlq_s16(vmull_s8(vget_high_s8(b0), av));
+      const int32x4_t p10 = vpaddlq_s16(vmull_s8(vget_low_s8(b1), av));
+      const int32x4_t p11 = vpaddlq_s16(vmull_s8(vget_high_s8(b1), av));
+      vacc[m][0] = vaddq_s32(vacc[m][0], vpaddq_s32(p00, p01));
+      vacc[m][1] = vaddq_s32(vacc[m][1], vpaddq_s32(p10, p11));
+#endif
+    }
+  }
+  for (int m = 0; m < R; ++m) {
+    std::int32_t* row = acc + static_cast<std::size_t>(m) * ldacc;
+    if (nr == kNR) {
+      vst1q_s32(row, vaddq_s32(vld1q_s32(row), vacc[m][0]));
+      vst1q_s32(row + 4, vaddq_s32(vld1q_s32(row + 4), vacc[m][1]));
+    } else {
+      std::int32_t tmp[kNR];
+      vst1q_s32(tmp, vacc[m][0]);
+      vst1q_s32(tmp + 4, vacc[m][1]);
+      for (int n = 0; n < nr; ++n) row[n] += tmp[n];
+    }
+  }
+}
+
+void micro_int8(int kc, const std::int8_t* ap, const std::int8_t* bp,
+                std::int32_t* acc, int ldacc, int mr, int nr) {
+  switch (mr) {
+    case 6: kernel_int8_rows<6>(kc, ap, bp, acc, ldacc, nr); return;
+    case 5: kernel_int8_rows<5>(kc, ap, bp, acc, ldacc, nr); return;
+    case 4: kernel_int8_rows<4>(kc, ap, bp, acc, ldacc, nr); return;
+    case 3: kernel_int8_rows<3>(kc, ap, bp, acc, ldacc, nr); return;
+    case 2: kernel_int8_rows<2>(kc, ap, bp, acc, ldacc, nr); return;
+    case 1: kernel_int8_rows<1>(kc, ap, bp, acc, ldacc, nr); return;
+    default:
+      detail::micro_int8_generic<kMR, kNR, kKG8>(kc, ap, bp, acc, ldacc, mr,
+                                                 nr);
+  }
+}
+
+void pack_a_int8_f32(const float* a, int lda, bool trans, double inv, int lo,
+                     int hi, int m0, int mc, int k0, int kc,
+                     std::int8_t* dst) {
+  detail::pack_a_int8_f32_block<kMR, kKG8>(a, lda, trans, inv, lo, hi, m0, mc,
+                                           k0, kc, dst);
+}
+
+void pack_b_int8_f32(const float* b, int ldb, bool trans, double inv, int lo,
+                     int hi, int k0, int kc, int n0, int nc,
+                     std::int8_t* dst) {
+  detail::pack_b_int8_f32_block<kNR, kKG8>(b, ldb, trans, inv, lo, hi, k0, kc,
+                                           n0, nc, dst);
+}
+
 constexpr Backend kNeon = {
     "neon", /*id=*/3, kMR,    kNR,    /*mc=*/120,   /*kc=*/256,
     /*nc=*/1024,      supported,      pack_a,       pack_b,
     pack_a_codes,     pack_b_codes,   micro,
+    /*kg8=*/kKG8,     pack_a_int8,    pack_b_int8,  micro_int8,
+    pack_a_int8_f32,  pack_b_int8_f32,
 };
 
 }  // namespace

@@ -1,31 +1,28 @@
 #include "nn/gemm/qgemm.h"
 
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <stdexcept>
 #include <string>
 
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+#include "core/cpu.h"
 #include "core/env.h"
 
 namespace mersit::nn::gemm {
 
 namespace {
 
-QgemmMode parse_mode(const char* s) {
-  const std::string v(s);
-  if (v == "float") return QgemmMode::kFloat;
-  if (v == "code") return QgemmMode::kCode;
-  if (v == "kulisch") return QgemmMode::kKulisch;
-  throw std::runtime_error(
-      "MERSIT_QGEMM must be one of float|code|kulisch, got \"" + v + "\"");
-}
-
 std::atomic<QgemmMode>& qgemm_flag() {
   static std::atomic<QgemmMode> flag = [] {
     // Same strict env layer as MERSIT_BACKEND: unset/empty means the
     // default, anything else must parse or throws.
     const char* env = core::env_str("MERSIT_QGEMM");
-    return env != nullptr ? parse_mode(env) : QgemmMode::kCode;
+    return env != nullptr ? parse_qgemm_mode(env) : QgemmMode::kCode;
   }();
   return flag;
 }
@@ -144,10 +141,209 @@ bool decompose(double v, std::int64_t& mant, int& exp) {
 
 }  // namespace
 
+QgemmMode parse_qgemm_mode(const std::string& value) {
+  if (value == "float") return QgemmMode::kFloat;
+  if (value == "code") return QgemmMode::kCode;
+  if (value == "kulisch") return QgemmMode::kKulisch;
+  if (value == "int8") return QgemmMode::kInt8;
+  throw std::runtime_error(
+      "MERSIT_QGEMM must be one of float|code|kulisch|int8, got \"" + value +
+      "\"");
+}
+
 QgemmMode qgemm_mode() { return qgemm_flag().load(std::memory_order_relaxed); }
 
 QgemmMode set_qgemm_mode(QgemmMode mode) {
   return qgemm_flag().exchange(mode, std::memory_order_relaxed);
+}
+
+AffineLut build_affine_lut(const double* lut) {
+  AffineLut t;
+  for (int c = 0; c < 256; ++c) t.bad[c] = !std::isfinite(lut[c]);
+  // Two code interpretations: signed (INT8-family two's-complement codes,
+  // zero level at code 0x00) then unsigned (zero-point layouts, e.g.
+  // s·(c − 128)).  A code's level is fixed by the interpretation; the zero
+  // point z is read off a code that decodes to exactly 0.0.  Policy-zeroed
+  // non-finite codes can add extra 0.0 entries whose level is not z, so
+  // every zero-valued code is tried as the anchor.
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto level = [pass](int c) {
+      return pass == 0 ? static_cast<int>(static_cast<std::int8_t>(
+                             static_cast<std::uint8_t>(c)))
+                       : c;
+    };
+    for (int zc = 0; zc < 256; ++zc) {
+      if (t.bad[zc] || lut[zc] != 0.0) continue;
+      const int z = level(zc);
+      // Derive s from a nonzero entry, preferring |level − z| a power of
+      // two so the division itself is exact; the exhaustive verification
+      // below catches a mis-rounded s either way.
+      int ref = -1;
+      unsigned ref_pow2 = 0;
+      for (int c = 0; c < 256; ++c) {
+        if (t.bad[c] || lut[c] == 0.0) continue;
+        const int q = level(c) - z;
+        const unsigned aq = static_cast<unsigned>(q < 0 ? -q : q);
+        const bool pow2 = (aq & (aq - 1)) == 0;
+        if (ref < 0 || (pow2 && (ref_pow2 == 0 || aq < ref_pow2))) {
+          ref = c;
+          ref_pow2 = pow2 ? aq : 0;
+        }
+      }
+      if (ref < 0) break;  // all-zero LUT: nothing to gain, stay unusable
+      const double s = lut[ref] / static_cast<double>(level(ref) - z);
+      if (!std::isfinite(s) || s == 0.0) continue;
+      bool ok = true;
+      int qmin = 127, qmax = -128;
+      std::int8_t q[256] = {};
+      for (int c = 0; c < 256 && ok; ++c) {
+        if (t.bad[c]) continue;
+        int lv;
+        if (lut[c] == 0.0) {
+          lv = 0;  // exact regardless of level (covers policy-zeroed codes)
+        } else {
+          lv = level(c) - z;
+          if (lv < -128 || lv > 127 ||
+              lut[c] != s * static_cast<double>(lv)) {
+            ok = false;
+            break;
+          }
+        }
+        q[c] = static_cast<std::int8_t>(lv);
+        qmin = lv < qmin ? lv : qmin;
+        qmax = lv > qmax ? lv : qmax;
+      }
+      if (!ok) continue;
+      for (int c = 0; c < 256; ++c) t.q[c] = q[c];
+      t.scale = s;
+      t.qmin = static_cast<std::int8_t>(qmin);
+      t.qmax = static_cast<std::int8_t>(qmax);
+      t.usable = true;
+      return t;
+    }
+  }
+  return t;
+}
+
+const std::int8_t* identity_qlut() {
+  static const auto table = [] {
+    std::array<std::int8_t, 256> q{};
+    for (int c = 0; c < 256; ++c)
+      q[static_cast<std::size_t>(c)] =
+          static_cast<std::int8_t>(static_cast<std::uint8_t>(c));
+    return q;
+  }();
+  return table.data();
+}
+
+namespace {
+
+// Scalar reference for quantize_levels; also the tail loop of the SIMD
+// paths.  Kept exactly in sync with the vector paths: the whole int8 layer
+// contract (ULP-0 across backends, thread invariance) leans on every lane
+// producing the same byte regardless of which path quantized it.
+void quantize_levels_scalar(const float* x, std::size_t n, double inv,
+                            int lo, int hi, std::int8_t* out) {
+  const double dlo = static_cast<double>(lo);
+  const double dhi = static_cast<double>(hi);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(x[i]) * inv;
+    int q;
+    if (v >= dhi) {
+      q = hi;
+    } else if (v <= dlo) {
+      q = lo;
+    } else if (v != v) {  // NaN input: match encode-of-NaN gating upstream
+      q = 0;
+    } else {
+      q = static_cast<int>(std::lrint(v));  // RNE under default fenv
+    }
+    out[i] = static_cast<std::int8_t>(q);
+  }
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+// Vector variants of the same computation, bit-exact against the scalar
+// loop.  All arithmetic stays in double (cvtps_pd, mul_pd) so the product
+// x·inv rounds identically; the clamp runs in the double domain against
+// the exact-integer bounds [lo, hi], so cvtpd_epi32 (round-to-nearest-even
+// under the default MXCSR, same as lrint) can never overflow int32.  NaN
+// lanes fall out of max/min as the bound operand (x86 min/max return the
+// second operand when either is NaN), so a separate unordered-compare mask
+// zeroes them afterwards — matching the scalar `v != v → 0` branch.  ±Inf
+// survives the multiply and clamps to hi/lo like the scalar >=/<= tests.
+
+__attribute__((target("avx512f"))) void quantize_levels_avx512(
+    const float* x, std::size_t n, double inv, int lo, int hi,
+    std::int8_t* out) {
+  const __m512d vinv = _mm512_set1_pd(inv);
+  const __m512d vlo = _mm512_set1_pd(static_cast<double>(lo));
+  const __m512d vhi = _mm512_set1_pd(static_cast<double>(hi));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 xf = _mm256_loadu_ps(x + i);
+    __m512d v = _mm512_mul_pd(_mm512_cvtps_pd(xf), vinv);
+    v = _mm512_min_pd(_mm512_max_pd(v, vlo), vhi);
+    __m256i q = _mm512_cvtpd_epi32(v);  // RNE, in [lo, hi]
+    const __m256 nan = _mm256_cmp_ps(xf, xf, _CMP_UNORD_Q);
+    q = _mm256_andnot_si256(_mm256_castps_si256(nan), q);
+    const __m128i p16 = _mm_packs_epi32(_mm256_castsi256_si128(q),
+                                        _mm256_extracti128_si256(q, 1));
+    const __m128i p8 = _mm_packs_epi16(p16, p16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out + i), p8);
+  }
+  if (i < n) quantize_levels_scalar(x + i, n - i, inv, lo, hi, out + i);
+}
+
+__attribute__((target("avx2"))) void quantize_levels_avx2(
+    const float* x, std::size_t n, double inv, int lo, int hi,
+    std::int8_t* out) {
+  const __m256d vinv = _mm256_set1_pd(inv);
+  const __m256d vlo = _mm256_set1_pd(static_cast<double>(lo));
+  const __m256d vhi = _mm256_set1_pd(static_cast<double>(hi));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128 xf0 = _mm_loadu_ps(x + i);
+    const __m128 xf1 = _mm_loadu_ps(x + i + 4);
+    __m256d v0 = _mm256_mul_pd(_mm256_cvtps_pd(xf0), vinv);
+    __m256d v1 = _mm256_mul_pd(_mm256_cvtps_pd(xf1), vinv);
+    v0 = _mm256_min_pd(_mm256_max_pd(v0, vlo), vhi);
+    v1 = _mm256_min_pd(_mm256_max_pd(v1, vlo), vhi);
+    const __m128i q0 = _mm256_cvtpd_epi32(v0);  // RNE, in [lo, hi]
+    const __m128i q1 = _mm256_cvtpd_epi32(v1);
+    const __m128i nan0 =
+        _mm_castps_si128(_mm_cmpunord_ps(xf0, xf0));
+    const __m128i nan1 =
+        _mm_castps_si128(_mm_cmpunord_ps(xf1, xf1));
+    __m128i p16 = _mm_packs_epi32(_mm_andnot_si128(nan0, q0),
+                                  _mm_andnot_si128(nan1, q1));
+    const __m128i p8 = _mm_packs_epi16(p16, p16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out + i), p8);
+  }
+  if (i < n) quantize_levels_scalar(x + i, n - i, inv, lo, hi, out + i);
+}
+
+#endif  // x86-64
+
+using QuantizeFn = void (*)(const float*, std::size_t, double, int, int,
+                            std::int8_t*);
+
+QuantizeFn pick_quantize_levels() {
+#if defined(__x86_64__) || defined(_M_X64)
+  const auto& f = core::cpu_features();
+  if (f.avx512f) return quantize_levels_avx512;
+  if (f.avx2) return quantize_levels_avx2;
+#endif
+  return quantize_levels_scalar;
+}
+
+}  // namespace
+
+void quantize_levels(const float* x, std::size_t n, double inv, int lo,
+                     int hi, std::int8_t* out) {
+  static const QuantizeFn fn = pick_quantize_levels();
+  fn(x, n, inv, lo, hi, out);
 }
 
 KulischTable build_kulisch_table(const double* lut) {

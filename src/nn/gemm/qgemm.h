@@ -1,7 +1,7 @@
 // Code-domain quantized GEMM modes and the exact Kulisch-style accumulator.
 //
 // Once a layer carries 8-bit weight codes (nn::WeightCodes, installed by the
-// PTQ layer or from an MQT1 artifact), inference can run in one of three
+// PTQ layer or from an MQT1 artifact), inference can run in one of four
 // modes, selected by MERSIT_QGEMM:
 //
 //  * float   — ignore the codes; layers keep using their FP32 weights
@@ -17,6 +17,29 @@
 //              product is formed exactly as a dyadic rational
 //              (mant_a·mant_b, 2^(exp_a+exp_b)) and summed into a wide
 //              fixed-point quire with no intermediate rounding.
+//  * int8    — decode-free integer fast path for formats whose decode LUT
+//              is exactly affine, lut[code] == s·(code − z) (the INT8
+//              family).  Weight codes are remapped once to int8 levels
+//              q = code − z, activations are quantized per-tensor to the
+//              same level grid at the GEMM boundary, and the micro-kernel
+//              accumulates q_a·q_b in int32 — both operands move as 8-bit
+//              codes (≈4x less pack traffic than the float-decoding pack)
+//              and no float math happens until the epilogue.  Formats whose
+//              LUT is not affine (MERSIT, posit, FP8) fall back to code
+//              mode per layer, silently, exactly like Kulisch fallback.
+//
+// Int8 ULP contract: each output element is computed as
+//   float( double(bias) + double(acc) · (s_a · s_b) )
+// where `acc` is the exact int32 k-summation of the level products (exact
+// whenever K ≤ kInt8MaxK, validated by the driver).  The only roundings are
+// (1) the double scale product s_a·s_b, (2) the final multiply/add chain
+// and float cast, plus the RowAffine fold when present — a fixed,
+// K-independent number of roundings, independent of thread count and of
+// the SIMD backend: integer accumulation is associative, so every backend
+// is bitwise identical to the scalar integer reference by construction
+// (gated at ULP 0 in tests).  Against the float code path the result
+// differs only by the code path's K data-dependent float roundings, a
+// bounded relative error on the order of K·2^-24 per element.
 //
 // Kulisch ULP contract: each output element is computed as
 //   float( double(bias) + quire · (scale_a · scale_b) )
@@ -38,7 +61,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
+#include "core/aligned.h"
 #include "nn/gemm/gemm.h"
 
 namespace mersit::nn::gemm {
@@ -48,10 +73,16 @@ enum class QgemmMode {
   kFloat,    ///< MERSIT_QGEMM=float — ignore codes, use FP32 weights
   kCode,     ///< MERSIT_QGEMM=code (default) — decode in the pack step
   kKulisch,  ///< MERSIT_QGEMM=kulisch — exact fixed-point accumulation
+  kInt8,     ///< MERSIT_QGEMM=int8 — decode-free integer path (affine LUTs)
 };
 
+/// Strict parse of a MERSIT_QGEMM value; throws std::runtime_error with a
+/// message enumerating all valid values on anything else.  Exposed so tests
+/// can exercise rejection without re-running static env initialisation.
+[[nodiscard]] QgemmMode parse_qgemm_mode(const std::string& value);
+
 /// Current mode; first call parses MERSIT_QGEMM (strict: any value other
-/// than float/code/kulisch throws, consistent with core/env.h).
+/// than float/code/kulisch/int8 throws, consistent with core/env.h).
 [[nodiscard]] QgemmMode qgemm_mode();
 
 /// Programmatic override (tests, benches); returns the previous mode.
@@ -105,5 +136,127 @@ struct QOperand {
 void qgemm_kulisch(int M, int N, int K, const QOperand& a, const QOperand& b,
                    const KulischTable& tab, Init init, const float* bias,
                    float* c, int ldc, Epilogue epi = Epilogue::kNone);
+
+// ---------------------------------------------------------------------------
+// Decode-free int8 path (MERSIT_QGEMM=int8)
+// ---------------------------------------------------------------------------
+
+/// Exact affine remap of a 256-entry decode LUT: for every finite entry,
+/// lut[c] == scale · q[c] exactly (double compare, no tolerance), with q an
+/// int8 level.  Detection tries the signed code interpretation first
+/// (level = int8(c), the INT8-family layout), then unsigned (level = c, for
+/// zero-point LUTs such as s·(c − 128)).  Finite entries that are exactly
+/// 0.0 map to q = 0 regardless of level, so artifact LUTs whose non-finite
+/// codes were policy-zeroed still qualify.  Non-finite entries get bad[c];
+/// they never reach the kernel (the layer plumbing gates int8 on a zero
+/// non-finite-code count, same as Kulisch).
+struct AffineLut {
+  std::int8_t q[256] = {};   ///< code → int8 level, lut[c] == scale·q[c]
+  bool bad[256] = {};        ///< non-finite decode entry
+  double scale = 0.0;        ///< exact affine step s
+  std::int8_t qmin = 0;      ///< smallest finite level (activation clamp)
+  std::int8_t qmax = 0;      ///< largest finite level (activation clamp)
+  bool usable = false;       ///< false → layers fall back to code mode
+};
+
+/// Build the remap from a decode LUT.  The 256-code verification is
+/// exhaustive and exact; any mismatch (MERSIT, posit, FP8, or a level that
+/// does not fit int8) clears `usable` instead of throwing — int8 is opt-in
+/// and fallback is silent, mirroring build_kulisch_table.
+[[nodiscard]] AffineLut build_affine_lut(const double* lut);
+
+/// The identity level map q[c] = int8(c), for operands whose bytes already
+/// are int8 levels (activations quantized by quantize_levels below).
+[[nodiscard]] const std::int8_t* identity_qlut();
+
+/// Largest K the int8 driver accepts: the worst-case |Σ q_a·q_b| is
+/// K·128·128, which must stay below 2^31 for the int32 accumulation to be
+/// exact.  (2^31 / 2^14 = 2^17; one spare bit for safety.)
+inline constexpr int kInt8MaxK = 1 << 16;
+
+/// Quantize a float tensor straight to int8 levels on the affine grid:
+/// out[i] = clamp(RNE(x[i] · inv), lo, hi) with inv = 1/(alut.scale ·
+/// tensor_scale).  For activations already fake-quantized onto the grid
+/// (the PTQ eval and serving paths) the rounding is exact, so this matches
+/// the format's own encode kernel code-for-code (pinned by test).
+/// Non-finite inputs clamp (NaN → 0).
+void quantize_levels(const float* x, std::size_t n, double inv, int lo,
+                     int hi, std::int8_t* out);
+
+/// One int8-path GEMM operand: an 8-bit code matrix plus the code→level
+/// remap to apply in the pack step and the operand's dequant scales.
+/// Addressing follows QOperand.  For weights, `qlut` is AffineLut::q and
+/// `channel_scales[ch]` = AffineLut::scale · WeightCodes::scales[ch]; for
+/// activations, `qlut` is identity_qlut() and `uniform_scale` =
+/// AffineLut::scale · tensor quant_scale.
+///
+/// Alternatively an operand may carry a *float* source (`fsrc` non-null):
+/// the pack step then quantizes elements straight onto the level grid —
+/// q = clamp(RNE(v·finv), flo, fhi), the exact quantize_levels computation —
+/// fused into the panel distribution, so per-call activations skip the
+/// intermediate level buffer entirely.  `ld`/`trans` address `fsrc` the same
+/// way they address `codes`; `codes`/`qlut` are ignored.  Because the
+/// quantization is elementwise and identical to quantize_levels, a float
+/// operand is bit-for-bit equivalent to pre-quantizing into a buffer and
+/// passing it with identity_qlut().
+struct Int8Operand {
+  const std::uint8_t* codes = nullptr;
+  int ld = 0;
+  bool trans = false;
+  const std::int8_t* qlut = nullptr;
+  const double* channel_scales = nullptr;
+  double uniform_scale = 1.0;
+  const float* fsrc = nullptr;  ///< quantize-on-pack float source (optional)
+  double finv = 0.0;            ///< 1 / (AffineLut::scale · tensor scale)
+  int flo = 0, fhi = 0;         ///< level clamp (AffineLut qmin/qmax)
+};
+
+/// A fully packed int8 operand (all k-blocks), for prepacking weights once
+/// and reusing across calls — the int8 analogue of PackedMatrix.  Panel
+/// bytes are backend-specific (the AVX-512 kernel stores A biased by 128
+/// for vpdpbusd); a pack is only valid for the backend that produced it,
+/// enforced via backend_id.
+struct PackedInt8 {
+  bool is_a = false;    ///< packed as op(A) (true) or op(B) (false)
+  int other = 0;        ///< M for A-packs, N for B-packs
+  int k = 0;            ///< shared K extent
+  int mr = 0, nr = 0;   ///< panel shape of the producing backend
+  int kg = 0;           ///< k-group width of the panel layout
+  int oc = 0, kc = 0;   ///< cache-block shape used at pack time
+  int backend_id = -1;  ///< producing backend (Backend::id)
+  core::AlignedVector<std::int8_t> data;
+  std::vector<std::size_t> block_off;  ///< per (oc-block, kc-block) offset
+
+  [[nodiscard]] bool empty() const { return data.empty(); }
+  [[nodiscard]] std::size_t byte_size() const { return data.size(); }
+};
+
+/// Pack all of op(A) (M x K) / op(B) (K x N) int8 levels for the active
+/// backend.  `codes` + `qlut` follow Int8Operand conventions.
+[[nodiscard]] PackedInt8 pack_a_int8_matrix(int M, int K,
+                                            const std::uint8_t* codes, int ld,
+                                            bool trans,
+                                            const std::int8_t* qlut);
+[[nodiscard]] PackedInt8 pack_b_int8_matrix(int K, int N,
+                                            const std::uint8_t* codes, int ld,
+                                            bool trans,
+                                            const std::int8_t* qlut);
+
+/// C (M x N, row-major, ldc) = epi(affine(init + double(acc) · (s_a·s_b)))
+/// with acc the exact int32 k-summation of level products (see the int8
+/// ULP contract above).  Init::kAccumulate is rejected (the exact sum
+/// cannot continue a rounded partial) and K must be ≤ kInt8MaxK.  `affine`,
+/// when non-null, is the per-output-row fold applied before the epilogue,
+/// exactly as in sgemm.  `packed_a` / `packed_b`, when non-null, must have
+/// been produced by pack_{a,b}_int8_matrix under the same active backend.
+/// Parallelises over output tiles on `pool` (or the global pool); results
+/// are invariant to thread count and backend by construction.
+void qgemm_int8(int M, int N, int K, const Int8Operand& a,
+                const Int8Operand& b, Init init, const float* bias, float* c,
+                int ldc, core::ThreadPool* pool = nullptr,
+                Epilogue epi = Epilogue::kNone,
+                const PackedInt8* packed_a = nullptr,
+                const PackedInt8* packed_b = nullptr,
+                const RowAffine* affine = nullptr);
 
 }  // namespace mersit::nn::gemm

@@ -1,7 +1,9 @@
 #include "nn/layers.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <stdexcept>
 #include <vector>
 
@@ -56,14 +58,23 @@ std::uint64_t float_pack_identity() {
 }
 
 /// Cache identity of a code-domain entry: the process-unique WeightCodes id
-/// shifted past a want-packs bit (so toggling MERSIT_PREPACK rebuilds the
-/// entry with/without panels instead of serving a packless one forever),
-/// then past four backend-id bits for the same foreign-layout reason as
+/// shifted past a two-bit entry kind (1 = code packs, 2 = int8 level packs
+/// — the two builds share a Param version, so the kind must be part of the
+/// key or a mode flip between code and int8 could serve the wrong panels),
+/// a want-packs bit (so toggling MERSIT_PREPACK rebuilds the entry
+/// with/without panels instead of serving a packless one forever), and four
+/// backend-id bits for the same foreign-layout reason as
 /// float_pack_identity.  Never collides with the float path's identities
-/// (< 16): WeightCodes ids start at 1, so these are always >= 32.
+/// (< 16): the kind bits make these always >= 32.
 std::uint64_t codes_identity(const WeightCodes& wc, bool want_packs) {
-  return (((wc.id << 1) | static_cast<std::uint64_t>(want_packs)) << 4) |
-         float_pack_identity();
+  return (wc.id << 7) | (std::uint64_t{1} << 5) |
+         (static_cast<std::uint64_t>(want_packs) << 4) | float_pack_identity();
+}
+
+/// Cache identity of an int8-path entry (kind 2; see codes_identity).
+std::uint64_t int8_identity(const WeightCodes& wc, bool want_packs) {
+  return (wc.id << 7) | (std::uint64_t{2} << 5) |
+         (static_cast<std::uint64_t>(want_packs) << 4) | float_pack_identity();
 }
 
 /// Kulisch eligibility for one forward: opt-in mode, exact table available,
@@ -75,6 +86,17 @@ bool kulisch_ok(const WeightCodes& wc, const Tensor& x) {
   return gemm::qgemm_mode() == gemm::QgemmMode::kKulisch &&
          wc.kulisch != nullptr && wc.kulisch->usable && wc.encode != nullptr &&
          wc.nonfinite == 0 && x.quant_scale() > 0.0 && gemm::enabled();
+}
+
+/// Int8 eligibility for one forward: opt-in mode, an exactly affine decode
+/// LUT, a stamped activation scale to quantize against, and no non-finite
+/// weight codes (a NaR level has no integer value).  Callers additionally
+/// bound K ≤ gemm::kInt8MaxK (exact int32 accumulation).  Anything missing
+/// falls back to code mode, silently — same contract as Kulisch fallback.
+bool int8_ok(const WeightCodes& wc, const Tensor& x) {
+  return gemm::qgemm_mode() == gemm::QgemmMode::kInt8 &&
+         wc.affine != nullptr && wc.affine->usable && wc.nonfinite == 0 &&
+         x.quant_scale() > 0.0 && gemm::enabled();
 }
 
 /// The fused-epilogue equivalent of an Act kind, or kNone when the kind has
@@ -181,6 +203,44 @@ Tensor Linear::forward_codes(const Tensor& x, const Context& ctx,
     gemm::qgemm_kulisch(n, out_, in_, a, b, *wc->kulisch,
                         gemm::Init::kBiasCol, bias.value.raw(), y.raw(), out_,
                         epi);
+    return y;
+  }
+  if (int8_ok(*wc, x) && in_ <= gemm::kInt8MaxK) {
+    // Decode-free path: weight codes remap to int8 levels in the pack step,
+    // activations quantize straight to the same level grid at the GEMM
+    // boundary (exact on already-fake-quantized values), and the kernel
+    // accumulates level products in int32 — both operands move as 8-bit
+    // codes and the only float math is the dequant write-back.
+    const gemm::AffineLut& alut = *wc->affine;
+    const double xscale = x.quant_scale();
+    const bool want_packs = use_prepack(ctx);
+    const PackedWeights& cached =
+        packs_.get(weight, int8_identity(*wc, want_packs), [&] {
+          PackedWeights pw;
+          pw.iscales.resize(wc->scales.size());
+          for (std::size_t o = 0; o < wc->scales.size(); ++o)
+            pw.iscales[o] = alut.scale * wc->scales[o];
+          if (want_packs)
+            pw.ipacks.push_back(gemm::pack_b_int8_matrix(
+                in_, out_, wc->codes.data(), in_, /*trans_b=*/true, alut.q));
+          return pw;
+        });
+    Tensor y({n, out_});
+    // Activations ride as a float-source operand: the backend pack fuses the
+    // level quantization into the panel distribution (bit-identical to a
+    // separate quantize_levels pass, no intermediate buffer).
+    gemm::Int8Operand a;
+    a.ld = in_;
+    a.uniform_scale = alut.scale * xscale;
+    a.fsrc = x.raw();
+    a.finv = 1.0 / (alut.scale * xscale);
+    a.flo = alut.qmin;
+    a.fhi = alut.qmax;
+    const gemm::Int8Operand b{wc->codes.data(), in_, /*trans=*/true, alut.q,
+                              cached.iscales.data(), 0.0};
+    gemm::qgemm_int8(n, out_, in_, a, b, gemm::Init::kBiasCol,
+                     bias.value.raw(), y.raw(), out_, nullptr, epi, nullptr,
+                     cached.ipacks.empty() ? nullptr : cached.ipacks.data());
     return y;
   }
   // Code mode: the GEMM operand is packed straight from the codes; the
@@ -499,6 +559,31 @@ Tensor Conv2d::forward_codes(const Tensor& x, const Context& ctx,
   const bool depthwise = in_ch_ == groups_ && out_ch_ == groups_;
   if (bn_scale == nullptr && !depthwise && kulisch_ok(*wc, x))
     return run_conv_kulisch(x, *wc, epi);
+  if (!depthwise && int8_ok(*wc, x) && kdim <= gemm::kInt8MaxK) {
+    // Decode-free path (see Linear::forward_codes).  A fused inference BN
+    // rides the RowAffine write-back, identical to run_conv's fold, so the
+    // Sequential fusion scan needs no special case.  Depthwise stays on the
+    // direct float loops (no GEMM to run in the level domain).
+    const gemm::AffineLut& alut = *wc->affine;
+    const bool want_packs = use_prepack(ctx);
+    const PackedWeights& cached =
+        packs_.get(weight, int8_identity(*wc, want_packs), [&] {
+          PackedWeights pw;
+          pw.iscales.resize(wc->scales.size());
+          for (std::size_t o = 0; o < wc->scales.size(); ++o)
+            pw.iscales[o] = alut.scale * wc->scales[o];
+          if (want_packs) {
+            pw.ipacks.reserve(static_cast<std::size_t>(groups_));
+            for (int grp = 0; grp < groups_; ++grp)
+              pw.ipacks.push_back(gemm::pack_a_int8_matrix(
+                  ocg, kdim,
+                  wc->codes.data() + static_cast<std::size_t>(grp) * ocg * kdim,
+                  kdim, /*trans_a=*/false, alut.q));
+          }
+          return pw;
+        });
+    return run_conv_int8(x, *wc, cached, epi, bn_scale, bn_shift);
+  }
   // Code mode: packs come straight from the codes; the decoded FP32 array
   // (bit-identical to quantize→dequantize) feeds the depthwise/naive loops
   // and the small-problem direct GEMM.
@@ -572,6 +657,103 @@ Tensor Conv2d::run_conv_kulisch(const Tensor& x, const WeightCodes& wc,
                           epi);
     }
   });
+  return y;
+}
+
+Tensor Conv2d::run_conv_int8(const Tensor& x, const WeightCodes& wc,
+                             const PackedWeights& cached, gemm::Epilogue epi,
+                             const float* bn_scale, const float* bn_shift) {
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  if (x.dim(1) != in_ch_) throw std::invalid_argument("Conv2d: channel mismatch");
+  const int oh = (h + 2 * pad_ - k_) / stride_ + 1;
+  const int ow = (w + 2 * pad_ - k_) / stride_ + 1;
+  const int icg = in_ch_ / groups_;
+  const int ocg = out_ch_ / groups_;
+  const int kdim = icg * k_ * k_;
+  const int osz = oh * ow;
+  const gemm::AffineLut& alut = *wc.affine;
+  const double xscale = x.quant_scale();
+  const double xinv = 1.0 / (alut.scale * xscale);
+  Tensor y({n, out_ch_, oh, ow});
+  const ConvGeom g{n,  in_ch_,  out_ch_, h,       w,   oh,  ow,
+                   k_, stride_, pad_,    groups_, icg, ocg};
+  // Batched lowering: sample chunks share one wide column buffer (sample i's
+  // columns at offset i*osz, row stride chunk·osz), so each group runs ONE
+  // qgemm_int8 of N = chunk·osz columns instead of a per-sample GEMM —
+  // per-call pack/driver overhead amortizes across the batch, which is what
+  // makes int8 win at small-channel shapes (M = ocg as low as 14 in the
+  // mini models).  The lowering itself is the fused im2col_int8: columns are
+  // written directly as int8 levels (one pass, 4x smaller buffer, and the
+  // separate quantize sweep disappears).  Chunk boundaries are a function of
+  // the shape only, every output element's integer accumulation is exact,
+  // and the dequant expression is per-element — so results are invariant to
+  // chunking, tiling, thread count, and backend, exactly like the
+  // per-sample formulation this replaces.
+  const std::size_t col_bytes = static_cast<std::size_t>(kdim) * osz;
+  constexpr std::size_t kColBudget = std::size_t{8} << 20;
+  const int chunk = static_cast<int>(std::clamp<std::size_t>(
+      kColBudget / (col_bytes != 0 ? col_bytes : 1), 1,
+      static_cast<std::size_t>(n)));
+  core::ScratchArena& arena = core::ScratchArena::local();
+  const core::ScratchArena::Scope scope(arena);
+  // The level buffer reinterprets arena floats (4 int8 levels per slot);
+  // the arena's 64-byte slot alignment carries over.
+  std::int8_t* qcol = reinterpret_cast<std::int8_t*>(
+      arena.alloc((static_cast<std::size_t>(kdim) * chunk * osz + 3) / 4));
+  // Batched C rows interleave samples ([m][sample][osz]), so the GEMM lands
+  // in scratch and scatters to y's [sample][channel][osz] layout after.
+  float* cbuf = chunk > 1
+                    ? arena.alloc(static_cast<std::size_t>(ocg) * chunk * osz)
+                    : nullptr;
+  for (int b0 = 0; b0 < n; b0 += chunk) {
+    const int bn = std::min(chunk, n - b0);
+    const int ncols = bn * osz;
+    for (int grp = 0; grp < groups_; ++grp) {
+      core::global_pool().parallel_for(
+          static_cast<std::size_t>(bn), [&](std::size_t bi) {
+            gemm::im2col_int8(
+                x.raw() + (static_cast<std::size_t>(b0 + bi) * in_ch_ +
+                           static_cast<std::size_t>(grp) * icg) *
+                              h * w,
+                icg, h, w, k_, stride_, pad_, xinv, alut.qmin, alut.qmax,
+                qcol + bi * static_cast<std::size_t>(osz), ncols);
+          });
+      gemm::RowAffine aff;
+      if (bn_scale != nullptr) {
+        aff.scale = bn_scale + static_cast<std::size_t>(grp) * ocg;
+        aff.shift = bn_shift + static_cast<std::size_t>(grp) * ocg;
+      }
+      const gemm::Int8Operand a{
+          wc.codes.data() + static_cast<std::size_t>(grp) * ocg * kdim, kdim,
+          /*trans=*/false, alut.q,
+          cached.iscales.data() + static_cast<std::size_t>(grp) * ocg, 0.0};
+      const gemm::Int8Operand bop{reinterpret_cast<const std::uint8_t*>(qcol),
+                                  ncols, /*trans=*/false, gemm::identity_qlut(),
+                                  nullptr, alut.scale * xscale};
+      float* cdst = bn == 1
+                        ? y.raw() + (static_cast<std::size_t>(b0) * out_ch_ +
+                                     static_cast<std::size_t>(grp) * ocg) *
+                                        osz
+                        : cbuf;
+      gemm::qgemm_int8(ocg, ncols, kdim, a, bop, gemm::Init::kBiasRow,
+                       bias.value.raw() + static_cast<std::size_t>(grp) * ocg,
+                       cdst, ncols, &core::global_pool(), epi,
+                       cached.ipacks.empty() ? nullptr : &cached.ipacks[grp],
+                       nullptr, bn_scale != nullptr ? &aff : nullptr);
+      if (bn > 1) {
+        for (int m = 0; m < ocg; ++m) {
+          const float* crow = cbuf + static_cast<std::size_t>(m) * ncols;
+          for (int bi = 0; bi < bn; ++bi)
+            std::memcpy(y.raw() + ((static_cast<std::size_t>(b0 + bi) *
+                                        out_ch_ +
+                                    static_cast<std::size_t>(grp) * ocg + m)) *
+                                      osz,
+                        crow + static_cast<std::size_t>(bi) * osz,
+                        static_cast<std::size_t>(osz) * sizeof(float));
+        }
+      }
+    }
+  }
   return y;
 }
 
@@ -795,14 +977,20 @@ Tensor BatchNorm2d::forward(const Tensor& x, const Context& ctx) {
           }
     }
   } else {
+    // Inference affine over contiguous [h*w] channel planes: same
+    // scale*x + shift per element as the indexed loops, minus the
+    // out-of-line at() call per element (and the plain loop vectorizes).
+    const int hw = h * w;
     for (int c = 0; c < c_; ++c) {
       const float inv = 1.f / std::sqrt(running_var[c] + eps_);
       const float scale = gamma.value[c] * inv;
       const float shift = beta.value[c] - running_mean[c] * scale;
-      for (int b = 0; b < n; ++b)
-        for (int i = 0; i < h; ++i)
-          for (int j = 0; j < w; ++j)
-            y.at(b, c, i, j) = scale * x.at(b, c, i, j) + shift;
+      for (int b = 0; b < n; ++b) {
+        const float* xp =
+            x.raw() + (static_cast<std::size_t>(b) * c_ + c) * hw;
+        float* yp = y.raw() + (static_cast<std::size_t>(b) * c_ + c) * hw;
+        for (int i = 0; i < hw; ++i) yp[i] = scale * xp[i] + shift;
+      }
     }
   }
   return y;
@@ -919,7 +1107,18 @@ float act_grad(Act a, float x) {
 
 Tensor Activation::forward(const Tensor& x, const Context& ctx) {
   Tensor y(x.shape());
-  for (std::int64_t i = 0; i < x.numel(); ++i) y[i] = act_eval(kind_, x[i]);
+  // act_eval delegates the fusable kinds to epilogue_eval, so the bulk
+  // epilogue loop (constant-epilogue body, auto-vectorized) computes the
+  // identical value per element — just without the per-element kind switch.
+  if (const auto e = epilogue_for(kind_); e != gemm::Epilogue::kNone) {
+    constexpr std::int64_t kChunk = 1 << 28;  // epilogue_apply takes int n
+    for (std::int64_t i0 = 0; i0 < x.numel(); i0 += kChunk)
+      gemm::epilogue_apply(
+          e, x.raw() + i0, y.raw() + i0,
+          static_cast<int>(std::min(kChunk, x.numel() - i0)));
+  } else {
+    for (std::int64_t i = 0; i < x.numel(); ++i) y[i] = act_eval(kind_, x[i]);
+  }
   if (ctx.train) x_cache_ = x;
   return y;
 }

@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "nn/gemm/gemm.h"
+#include "nn/gemm/qgemm.h"
 #include "nn/module.h"
 
 namespace mersit::nn {
@@ -21,6 +22,13 @@ class BatchNorm2d;
 struct PackedWeights {
   std::vector<gemm::PackedMatrix> packs;
   std::vector<float> decoded;
+  /// Int8-path variants (MERSIT_QGEMM=int8 on an affine-LUT format): the
+  /// level-domain weight panels (one PackedInt8 per conv group; a single
+  /// entry for Linear) and the fused per-channel dequant scales
+  /// AffineLut::scale * WeightCodes::scales[ch].  The int8 path never
+  /// decodes floats, so `decoded`/`packs` stay empty in these entries.
+  std::vector<gemm::PackedInt8> ipacks;
+  std::vector<double> iscales;
 };
 
 /// Cache of prepacked GEMM operands for one weight Param, keyed on the
@@ -178,6 +186,13 @@ class Conv2d final : public Module, public ChannelWeights {
   /// re-encoded activation codes through the software quire.
   Tensor run_conv_kulisch(const Tensor& x, const WeightCodes& wc,
                           gemm::Epilogue epi);
+  /// Decode-free conv (MERSIT_QGEMM=int8 on an affine-LUT format): weight
+  /// levels times activation levels in int32, dequant at write-back.
+  /// `cached` carries the per-group level packs and fused dequant scales;
+  /// bn_scale/bn_shift fold a following inference BN exactly as run_conv.
+  Tensor run_conv_int8(const Tensor& x, const WeightCodes& wc,
+                       const PackedWeights& cached, gemm::Epilogue epi,
+                       const float* bn_scale, const float* bn_shift);
 
   int in_ch_, out_ch_, k_, stride_, pad_, groups_;
   Tensor x_cache_;

@@ -53,6 +53,10 @@ struct WeightCodes {
   /// when the format's values do not decompose (fallback to code mode).
   std::shared_ptr<const gemm::KulischTable> kulisch;
 
+  /// Exact affine remap of `lut` for the decode-free int8 path; null when
+  /// the LUT is not affine (MERSIT/posit/FP8 — fallback to code mode).
+  std::shared_ptr<const gemm::AffineLut> affine;
+
   /// Codes whose *pre-policy* decode is non-finite (NaR/Inf).  Kulisch mode
   /// requires 0 under kPropagate semantics; code mode handles any value
   /// (the LUT already reflects the policy).

@@ -20,6 +20,7 @@
 #include <map>
 #include <mutex>
 #include <set>
+#include <span>
 #include <string>
 
 #include "formats/quantize.h"
@@ -100,10 +101,24 @@ class FakeQuantizer final : public nn::QuantSession {
   /// The distinct paths (or "<unpathed TypeName>") of those layers.
   [[nodiscard]] std::set<std::string> uncalibrated_paths() const;
 
+  /// True when the format's value set is a uniform grid the SIMD level
+  /// quantizer reproduces bit-for-bit, so fake quantization takes the fast
+  /// path (see fake_quantize_grid in ptq.cpp).  INT8 qualifies; MERSIT /
+  /// posit / FP8 grids are non-uniform and ride the codec kernel.
+  [[nodiscard]] bool uniform_grid_fast_path() const { return grid_usable_; }
+
  private:
+  void fake_quantize_grid(std::span<float> x, double scale) const;
+
   const CalibrationTable& table_;
   const formats::Format& fmt_;
   formats::ScalePolicy policy_;
+  // Uniform-grid fast path: values are ±pitch·{0..qmax} with pitch = 2^e and
+  // code parity == level parity (the tie conditions; derivation at the
+  // detector in ptq.cpp).
+  bool grid_usable_ = false;
+  double grid_pitch_ = 0.0;
+  int grid_qmax_ = 0;
   bool quantize_inputs_ = false;
   std::atomic<int> uncalibrated_ = 0;
   mutable std::mutex miss_mu_;

@@ -383,6 +383,12 @@ void install_code_weights(nn::Module& model, const QuantizedModel& qm,
       nn::gemm::build_kulisch_table(lut));
   const std::shared_ptr<const nn::gemm::KulischTable> shared_kulisch =
       kulisch->usable ? kulisch : nullptr;
+  // The affine remap sees the *policy-applied* LUT: a zeroed NaR entry maps
+  // to level 0, so INT8-family artifacts stay int8-eligible under kZero.
+  auto affine = std::make_shared<nn::gemm::AffineLut>(
+      nn::gemm::build_affine_lut(lut));
+  const std::shared_ptr<const nn::gemm::AffineLut> shared_affine =
+      affine->usable ? affine : nullptr;
   for (std::size_t i = 0; i < targets.size(); ++i) {
     const QuantizedTensor& t = qm.tensors[i];
     nn::ChannelWeights* cw = targets[i].second;
@@ -402,6 +408,7 @@ void install_code_weights(nn::Module& model, const QuantizedModel& qm,
     if (stats != nullptr) stats->non_finite += wc->nonfinite;
     wc->encode = [kernel](double v) { return kernel->encode(v); };
     wc->kulisch = shared_kulisch;
+    wc->affine = shared_affine;
     cw->set_weight_codes(std::move(wc));
   }
 }

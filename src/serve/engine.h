@@ -32,10 +32,12 @@
 //      generation.  Each forward runs entirely under one artifact
 //      generation (replica leases), so responses under a concurrent swap
 //      are bit-identical to a quiesced swap's before/after outputs.
-//      Under MERSIT_QGEMM=code|kulisch the swap installs the artifact's
-//      8-bit codes directly (ptq::install_code_weights) instead of decoding
-//      into FP32 — decodes are bit-identical, so responses match the float
-//      path exactly while weights stay in 1-byte form.
+//      Under MERSIT_QGEMM=code|kulisch|int8 the swap installs the
+//      artifact's 8-bit codes directly (ptq::install_code_weights) instead
+//      of decoding into FP32 — decodes are bit-identical, so responses
+//      match the float path exactly while weights stay in 1-byte form
+//      (int8 additionally remaps affine-LUT codes to integer levels and
+//      accumulates in int32; see nn/gemm/qgemm.h for its ULP contract).
 #pragma once
 
 #include <atomic>
